@@ -1,0 +1,220 @@
+//! Analytic model of CHARM, the prior state-of-the-art Versal accelerator
+//! the paper compares against (Fig. 18, Tables 6b and 7).
+//!
+//! Structural differences captured by the model, all taken from the paper's
+//! discussion of CHARM:
+//!
+//! * a lower-efficiency AIE GEMM kernel (Table 6a: 4.5 TFLOPS vs 6.78),
+//! * layer-serialised execution — the attention intermediates must travel
+//!   off-chip, and loads/stores are not software-interleaved,
+//! * only the DDR channel is used for data (Table 6b note), so weights and
+//!   feature maps share one ~21 GB/s channel,
+//! * two fixed MM engines sized for large and small layers that only balance
+//!   when four 6-sequence batches are interleaved, so the design schedules
+//!   at a 6-batch granularity and under-utilises below ~24 sequences.
+//!
+//! Two constants are explicit calibrations: the small-MM utilization and the
+//! dual-engine imbalance factor, chosen so the modelled BERT encoder latency
+//! at batch 6 lands near the published 110 ms.
+
+use rsn_hw::aie::{AieArrayModel, GemmKernelModel};
+use rsn_hw::memory::{InterleavePolicy, MemoryChannelModel};
+use rsn_hw::versal::Vck190Spec;
+use rsn_workloads::bert::{BertConfig, NonMmOp, RhsSource};
+use rsn_workloads::gemm::GemmShape;
+use rsn_workloads::models::{ModelConfig, ModelKind};
+
+/// MME utilization CHARM reaches on the small attention MMs.
+const CHARM_UTIL_SMALL: f64 = 0.40;
+/// MME utilization CHARM reaches on large layers.
+const CHARM_UTIL_LARGE: f64 = 0.96;
+/// Fraction of each instance's prolog/epilog CHARM cannot hide.
+const CHARM_PHASE_FACTOR: f64 = 1.0;
+/// Extra latency factor from the fixed large/small dual-engine split when
+/// fewer than four 6-sequence batches are in flight (calibration constant).
+const ENGINE_IMBALANCE_MAX: f64 = 2.0;
+/// Batch size at which CHARM's dual engines are fully balanced.
+const BALANCED_BATCH: f64 = 24.0;
+/// CHARM schedules whole 6-sequence batches.
+const BATCH_GRANULARITY: usize = 6;
+
+/// The CHARM latency/throughput model.
+#[derive(Debug, Clone)]
+pub struct CharmModel {
+    aie: AieArrayModel,
+    ddr: MemoryChannelModel,
+}
+
+impl CharmModel {
+    /// Builds the calibrated CHARM model.
+    pub fn new() -> Self {
+        Self {
+            aie: AieArrayModel::with_kernel(GemmKernelModel::charm()),
+            ddr: MemoryChannelModel::ddr(&Vck190Spec::new()),
+        }
+    }
+
+    fn engine_imbalance(&self, batch: usize) -> f64 {
+        let b = (batch.max(1) as f64).min(BALANCED_BATCH);
+        // Linearly improves from the maximum at one 6-batch to 1.0 at four.
+        let span = BALANCED_BATCH - BATCH_GRANULARITY as f64;
+        let progress = ((b - BATCH_GRANULARITY as f64).max(0.0) / span).clamp(0.0, 1.0);
+        ENGINE_IMBALANCE_MAX - (ENGINE_IMBALANCE_MAX - 1.0) * progress
+    }
+
+    fn gemm_phase_s(&self, gemm: &GemmShape) -> f64 {
+        let out_tile = (gemm.m.min(768) * gemm.n.min(1024)) as f64 * 4.0;
+        let in_tile = (gemm.m.min(768) * gemm.k.min(128) + gemm.k.min(128) * gemm.n.min(1024))
+            as f64
+            * 4.0;
+        in_tile / self.ddr.read_bw() + out_tile / self.ddr.write_bw()
+    }
+
+    fn segment_latency_s(&self, gemm: &GemmShape, small: bool, weights_bytes: f64, spilled_intermediate: f64) -> f64 {
+        let util = if small { CHARM_UTIL_SMALL } else { CHARM_UTIL_LARGE };
+        let compute = gemm.flops() / self.aie.achieved_flops_at_utilization(util);
+        let col_blocks = gemm.n.div_ceil(1024) as f64;
+        let row_blocks = gemm.m.div_ceil(768) as f64;
+        // Everything — activations, weights and spilled intermediates — goes
+        // over the single DDR channel without software interleaving.
+        let load = gemm.lhs_bytes() * col_blocks + weights_bytes * row_blocks + spilled_intermediate;
+        let store = gemm.out_bytes() + spilled_intermediate;
+        let ddr = self
+            .ddr
+            .channel_busy_time_s(load, store, InterleavePolicy::Serialized);
+        let phase = CHARM_PHASE_FACTOR * gemm.num as f64 * self.gemm_phase_s(gemm);
+        let mut parts = [compute, ddr];
+        parts.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        parts[0] + 0.1 * parts[1] + phase
+    }
+
+    /// Latency of one BERT encoder layer for the given configuration,
+    /// seconds.  Batches are rounded up to CHARM's 6-sequence granularity.
+    pub fn encoder_latency_s(&self, cfg: &BertConfig) -> f64 {
+        let rounded_batch = cfg.batch.div_ceil(BATCH_GRANULARITY) * BATCH_GRANULARITY;
+        let cfg = cfg.with_batch(rounded_batch);
+        let mut total = 0.0;
+        for seg in cfg.encoder_segments() {
+            let weights = match seg.rhs_source {
+                RhsSource::WeightsLpddr => seg.gemm.rhs_bytes(),
+                RhsSource::Activations => 0.0,
+            };
+            let mut extra_load = if seg.rhs_source == RhsSource::Activations {
+                // Attention operands are activations read back from DDR.
+                seg.gemm.rhs_bytes()
+            } else {
+                0.0
+            };
+            if seg.non_mm.contains(&NonMmOp::LayerAdd) {
+                extra_load += seg.gemm.out_bytes();
+            }
+            total += self.segment_latency_s(&seg.gemm, seg.attention_small_mm, weights, extra_load);
+        }
+        total * self.engine_imbalance(rounded_batch)
+    }
+
+    /// Throughput in sequences per second for the first-encoder workload of
+    /// Fig. 18.
+    pub fn encoder_throughput_tasks_per_s(&self, cfg: &BertConfig) -> f64 {
+        let rounded_batch = cfg.batch.div_ceil(BATCH_GRANULARITY) * BATCH_GRANULARITY;
+        rounded_batch as f64 / self.encoder_latency_s(&cfg.with_batch(rounded_batch))
+    }
+
+    /// End-to-end square GEMM throughput with operands in DRAM (Table 6b).
+    ///
+    /// CHARM's published end-to-end numbers are bandwidth-starved at small
+    /// sizes (it only uses the DDR channel) and kernel-bound at large sizes;
+    /// this saturation model reproduces that shape.
+    pub fn gemm_end_to_end_flops(&self, n: usize) -> f64 {
+        let peak = self.aie.achieved_flops_at_utilization(1.0);
+        let saturation = n as f64 / (n as f64 + 2600.0);
+        peak * saturation
+    }
+
+    /// Latency per task at maximum throughput for a Table 7 model.
+    pub fn model_config_latency_s(&self, cfg: &ModelConfig) -> f64 {
+        if let Some(bert_like) = cfg.bert_like {
+            return self.encoder_latency_s(&bert_like) * bert_like.layers as f64
+                / cfg.tasks_per_pass as f64;
+        }
+        let mut total = 0.0;
+        for layer in &cfg.layers {
+            total += self.segment_latency_s(
+                &layer.gemm,
+                layer.small_activation_mm,
+                layer.gemm.rhs_bytes(),
+                0.0,
+            );
+        }
+        total * self.engine_imbalance(cfg.tasks_per_pass) / cfg.tasks_per_pass as f64
+    }
+
+    /// Latency per task of every Table 7 model.
+    pub fn table7_latencies_s(&self) -> Vec<(ModelKind, f64)> {
+        ModelKind::table7_models()
+            .iter()
+            .map(|&kind| {
+                let cfg = ModelConfig::table7(kind);
+                (kind, self.model_config_latency_s(&cfg))
+            })
+            .collect()
+    }
+}
+
+impl Default for CharmModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_encoder_latency_near_published_110ms() {
+        let charm = CharmModel::new();
+        let latency = charm.encoder_latency_s(&BertConfig::bert_large(512, 6)) * 1e3;
+        // Paper: CHARM's best latency is 110 ms at batch 6.
+        assert!(latency > 80.0 && latency < 140.0, "latency {latency}");
+    }
+
+    #[test]
+    fn small_batches_pay_the_6_batch_granularity() {
+        let charm = CharmModel::new();
+        let b1 = charm.encoder_latency_s(&BertConfig::bert_large(512, 1));
+        let b6 = charm.encoder_latency_s(&BertConfig::bert_large(512, 6));
+        // Batch 1 is rounded up to 6, so it costs the same.
+        assert!((b1 - b6).abs() / b6 < 1e-9);
+    }
+
+    #[test]
+    fn throughput_improves_towards_batch_24() {
+        let charm = CharmModel::new();
+        let t6 = charm.encoder_throughput_tasks_per_s(&BertConfig::bert_large(512, 6));
+        let t24 = charm.encoder_throughput_tasks_per_s(&BertConfig::bert_large(512, 24));
+        assert!(t24 > 1.5 * t6, "t6 {t6} t24 {t24}");
+        // Paper: CHARM peaks around 100 tasks/s (333.76 / 3.25).
+        assert!(t24 > 60.0 && t24 < 160.0, "t24 {t24}");
+    }
+
+    #[test]
+    fn gemm_throughput_saturates_with_size() {
+        let charm = CharmModel::new();
+        let g1k = charm.gemm_end_to_end_flops(1024) / 1e9;
+        let g3k = charm.gemm_end_to_end_flops(3072) / 1e9;
+        let g6k = charm.gemm_end_to_end_flops(6144) / 1e9;
+        // Paper Table 6b: 1103 / 2850 / 3278 GFLOPS.
+        assert!(g1k < g3k && g3k < g6k);
+        assert!(g1k > 700.0 && g1k < 1700.0, "1k {g1k}");
+        assert!(g6k > 2500.0 && g6k < 4000.0, "6k {g6k}");
+    }
+
+    #[test]
+    fn table7_latencies_exist_for_every_model() {
+        let charm = CharmModel::new();
+        let rows = charm.table7_latencies_s();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|(_, l)| *l > 0.0));
+    }
+}

@@ -1,0 +1,22 @@
+//! # rsn-baseline
+//!
+//! The comparison points of the RSN evaluation:
+//!
+//! * [`overlay`] — a von-Neumann-style, RISC-like vector-ISA overlay (the
+//!   baseline of Fig. 6): in-order instructions over shared vector
+//!   registers, which serialise on WAR hazards exactly where the RSN stream
+//!   datapath keeps flowing,
+//! * [`charm`] — an analytic model of CHARM, the prior state-of-the-art
+//!   Versal accelerator the paper compares against (fixed dual MM engines,
+//!   layer-serialised execution, DDR-only traffic, coarse 6-batch
+//!   scheduling),
+//! * [`gpu`] — latency and energy estimates for the T4 / V100 / A100 / L4
+//!   GPUs of Table 10, built on the datasheet models in `rsn-hw`.
+
+pub mod charm;
+pub mod gpu;
+pub mod overlay;
+
+pub use charm::CharmModel;
+pub use gpu::GpuEstimate;
+pub use overlay::{OverlayInstruction, VectorOverlay};

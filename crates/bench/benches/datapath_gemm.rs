@@ -1,0 +1,71 @@
+//! Criterion benchmark of the full RSN-XNN functional datapath executing a
+//! tiled GEMM and the pipelined attention pattern.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsn_workloads::Matrix;
+use rsn_xnn::config::XnnConfig;
+use rsn_xnn::machine::XnnMachine;
+use rsn_xnn::program::{attention_program, gemm_program, AttentionSpec, GemmSpec, PostOp, RhsOperand};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    c.bench_function("xnn_datapath_gemm_32x32x32", |b| {
+        let cfg = XnnConfig::small();
+        let lhs = Matrix::random(32, 32, 1);
+        let rhs = Matrix::random(32, 32, 2);
+        b.iter(|| {
+            let mut machine = XnnMachine::new(cfg).unwrap();
+            machine.load_ddr(1, lhs.clone());
+            machine.load_lpddr(2, rhs.clone());
+            machine.alloc_ddr(3, 32, 32);
+            let spec = GemmSpec {
+                lhs: 1,
+                rhs: RhsOperand::Lpddr(2),
+                out: 3,
+                m: 32,
+                k: 32,
+                n: 32,
+                rhs_transposed: false,
+                post: PostOp::None,
+            };
+            let program = gemm_program(&cfg, machine.handles(), &spec);
+            machine.run_program(&program).unwrap();
+            black_box(machine.total_mme_flops())
+        })
+    });
+}
+
+fn bench_attention(c: &mut Criterion) {
+    c.bench_function("xnn_datapath_attention_2x2_heads", |b| {
+        let cfg = XnnConfig::small();
+        let tokens = 16;
+        let hidden = 32;
+        let q = Matrix::random(tokens, hidden, 1);
+        let k = Matrix::random(tokens, hidden, 2);
+        let v = Matrix::random(tokens, hidden, 3);
+        b.iter(|| {
+            let mut machine = XnnMachine::new(cfg).unwrap();
+            machine.load_ddr(1, q.clone());
+            machine.load_ddr(2, k.clone());
+            machine.load_ddr(3, v.clone());
+            machine.alloc_ddr(4, tokens, hidden);
+            machine.set_softmax_scale(0.25);
+            let spec = AttentionSpec {
+                q: 1,
+                k: 2,
+                v: 3,
+                out: 4,
+                seq_len: 8,
+                batch: 2,
+                heads: 2,
+                head_dim: 16,
+            };
+            let program = attention_program(&cfg, machine.handles(), &spec);
+            machine.run_program(&program).unwrap();
+            black_box(machine.ddr_traffic_bytes())
+        })
+    });
+}
+
+criterion_group!(benches, bench_gemm, bench_attention);
+criterion_main!(benches);

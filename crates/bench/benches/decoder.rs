@@ -1,0 +1,55 @@
+//! Criterion benchmark of instruction-packet compression and the
+//! three-level decoder expansion path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsn_core::fus::{MapFu, MemSinkFu, MemSourceFu};
+use rsn_core::isa::{encode_packets, OpcodeRegistry};
+use rsn_core::network::DatapathBuilder;
+use rsn_core::program::Program;
+use rsn_core::sim::Engine;
+use rsn_core::uop::Uop;
+use std::hint::black_box;
+
+fn build_program(reps: usize) -> (Engine, Program) {
+    let mut builder = DatapathBuilder::new();
+    let s1 = builder.add_stream("s1", 8);
+    let s2 = builder.add_stream("s2", 8);
+    let src = builder.add_fu(MemSourceFu::new("src", vec![1.0; 64], vec![s1]));
+    let map = builder.add_fu(MapFu::new("map", s1, s2, |x| x * 2.0));
+    let sink = builder.add_fu(MemSinkFu::new("sink", 64, vec![s2]));
+    let mut program = Program::new();
+    for _ in 0..reps {
+        program.push(src, Uop::new("read", [0, 16, 0]));
+        program.push(map, Uop::new("map", [16]));
+        program.push(sink, Uop::new("write", [0, 16, 0]));
+    }
+    (Engine::new(builder.build().unwrap()), program)
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let (engine, program) = build_program(128);
+    c.bench_function("packet_compression_384_uops", |b| {
+        b.iter(|| black_box(program.compress(engine.datapath()).unwrap().len()))
+    });
+    let packets = program.compress(engine.datapath()).unwrap();
+    c.bench_function("packet_encoding_bytes", |b| {
+        b.iter(|| {
+            let mut registry = OpcodeRegistry::new();
+            black_box(encode_packets(&packets, &mut registry).unwrap().len())
+        })
+    });
+}
+
+fn bench_decoder_execution(c: &mut Criterion) {
+    c.bench_function("decoder_driven_pipeline_32_reps", |b| {
+        b.iter(|| {
+            let (mut engine, program) = build_program(32);
+            let packets = program.compress(engine.datapath()).unwrap();
+            engine.load_packets(packets);
+            black_box(engine.run().unwrap().steps)
+        })
+    });
+}
+
+criterion_group!(benches, bench_compression, bench_decoder_execution);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmark of the analytic evaluation models themselves (how
+//! cheap it is to regenerate the paper's tables).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsn_baseline::charm::CharmModel;
+use rsn_lib::mapping::analyze_attention_mappings;
+use rsn_workloads::bert::BertConfig;
+use rsn_xnn::timing::{OptimizationFlags, XnnTimingModel};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let cfg = BertConfig::bert_large(512, 6);
+    let timing = XnnTimingModel::new();
+    let charm = CharmModel::new();
+    c.bench_function("table9_encoder_latency_model", |b| {
+        b.iter(|| black_box(timing.encoder_latency_s(&cfg, OptimizationFlags::all())))
+    });
+    c.bench_function("fig18_charm_latency_model", |b| {
+        b.iter(|| black_box(charm.encoder_latency_s(&cfg)))
+    });
+    c.bench_function("table3_mapping_analysis", |b| {
+        b.iter(|| black_box(analyze_attention_mappings(&cfg).len()))
+    });
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

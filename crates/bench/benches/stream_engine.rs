@@ -1,0 +1,48 @@
+//! Criterion benchmark of the core RSN simulation engine: stream FIFO
+//! throughput and a three-FU scalar pipeline (the Fig. 6 overlay).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsn_core::data::Token;
+use rsn_core::fus::{MapFu, MemSinkFu, MemSourceFu};
+use rsn_core::network::DatapathBuilder;
+use rsn_core::sim::Engine;
+use rsn_core::stream::StreamChannel;
+use rsn_core::uop::Uop;
+use std::hint::black_box;
+
+fn bench_stream_channel(c: &mut Criterion) {
+    c.bench_function("stream_channel_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut ch = StreamChannel::new("bench", 64);
+            for i in 0..1000 {
+                if ch.is_full() {
+                    while ch.try_pop().is_some() {}
+                }
+                ch.try_push(Token::Scalar(i as f32)).unwrap();
+            }
+            black_box(ch.stats().tokens_pushed)
+        })
+    });
+}
+
+fn bench_scalar_pipeline(c: &mut Criterion) {
+    c.bench_function("fig6_pipeline_1k_scalars", |b| {
+        b.iter(|| {
+            let n = 1000usize;
+            let mut builder = DatapathBuilder::new();
+            let s1 = builder.add_stream("s1", 8);
+            let s2 = builder.add_stream("s2", 8);
+            let src = builder.add_fu(MemSourceFu::new("src", vec![1.0; n], vec![s1]));
+            let map = builder.add_fu(MapFu::new("map", s1, s2, |x| x + 1.0));
+            let sink = builder.add_fu(MemSinkFu::new("sink", n, vec![s2]));
+            let mut engine = Engine::new(builder.build().unwrap());
+            engine.push_uop(src, Uop::new("read", [0, n as i64, 0]));
+            engine.push_uop(map, Uop::new("map", [n as i64]));
+            engine.push_uop(sink, Uop::new("write", [0, n as i64, 0]));
+            black_box(engine.run().unwrap().steps)
+        })
+    });
+}
+
+criterion_group!(benches, bench_stream_channel, bench_scalar_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Regenerates Table 10: BERT-Large (sequence length 384) latency and
+//! energy-efficiency comparison against the T4, V100, A100 and L4 GPUs.
+
+use rsn_baseline::gpu::table10_estimates;
+use rsn_bench::{ms, print_header};
+use rsn_hw::energy::EnergyModel;
+use rsn_workloads::bert::BertConfig;
+use rsn_xnn::timing::{OptimizationFlags, XnnTimingModel};
+
+fn main() {
+    let timing = XnnTimingModel::new();
+    let energy = EnergyModel::calibrated();
+    print_header(
+        "Table 10 — BERT-Large latency (ms) by batch size, sequence length 384",
+        "batch   T4(pub)  V100(pub)  A100(pub)  A100-FP16(pub)  L4(pub)  VCK190(model)  VCK190(paper)",
+    );
+    let paper_vck = [(1, 95.0), (2, 122.0), (4, 220.0), (8, 444.0)];
+    for (batch, vck_paper) in paper_vck {
+        let cfg = BertConfig::bert_large(384, batch);
+        let gpus = table10_estimates(&cfg);
+        let vck = timing.model_latency_s(&cfg, OptimizationFlags::all());
+        let pubms = |i: usize| {
+            gpus[i]
+                .published_latency_s
+                .map(|s| format!("{:>7.0}", s * 1e3))
+                .unwrap_or_else(|| "    n/a".to_string())
+        };
+        println!(
+            "{batch:>4}   {}   {}    {}       {}      {}      {:>8}        {vck_paper:>6.0}",
+            pubms(0), pubms(1), pubms(2), pubms(3), pubms(4), ms(vck)
+        );
+    }
+
+    print_header(
+        "Table 10 — energy efficiency at batch 8 (seq/J)",
+        "device        operating seq/J   dynamic seq/J",
+    );
+    let cfg = BertConfig::bert_large(384, 8);
+    for g in table10_estimates(&cfg) {
+        println!("{:<13} {:>10.2}        {:>10.2}", g.name, g.operating_seq_per_j, g.dynamic_seq_per_j);
+    }
+    let vck_latency = timing.model_latency_s(&cfg, OptimizationFlags::all());
+    let tasks_per_s = 8.0 / vck_latency;
+    println!(
+        "{:<13} {:>10.2}        {:>10.2}   (paper: 0.40 / 0.99)",
+        "VCK190",
+        energy.operating_efficiency_seq_per_j(tasks_per_s),
+        energy.dynamic_efficiency_seq_per_j(tasks_per_s)
+    );
+    println!(
+        "\nVCK190 vs A100 (FP32) operating-efficiency ratio: {:.1}x (paper 2.1x)",
+        energy.operating_efficiency_seq_per_j(tasks_per_s)
+            / table10_estimates(&cfg)[2].operating_seq_per_j
+    );
+}

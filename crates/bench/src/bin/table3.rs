@@ -1,0 +1,33 @@
+//! Regenerates Table 3: latency estimation of the four inter-layer mapping
+//! types for the BERT-Large attention layer (batch 6, sequence length 512).
+
+use rsn_bench::{ms, print_header};
+use rsn_lib::mapping::{analyze_attention_mappings, best_mapping};
+use rsn_workloads::bert::BertConfig;
+
+fn main() {
+    let cfg = BertConfig::bert_large(512, 6);
+    let rows = analyze_attention_mappings(&cfg);
+    print_header(
+        "Table 3 — mapping types for the BERT-Large attention layer",
+        "type  used-AIE  mem-bound(ms)  compute-bound(ms)  final(ms)  paper-final(ms)",
+    );
+    let paper = [2.43, 10.9, 10.9, 2.24];
+    for (row, paper_ms) in rows.iter().zip(paper) {
+        println!(
+            "{}     {:>4.0}%     {:>8}       {:>8}          {:>8}   {:>8.2}",
+            row.mapping.letter(),
+            row.aie_utilization * 100.0,
+            ms(row.memory_time_s),
+            ms(row.compute_time_s),
+            ms(row.final_latency_s),
+            paper_ms
+        );
+    }
+    let best = best_mapping(&rows).expect("four rows");
+    println!(
+        "\nBest mapping: {:?} (type {}) — the paper selects the pipeline mapping (D) for attention.",
+        best.mapping,
+        best.mapping.letter()
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates Table 6: AIE-only GEMM throughput (a) and end-to-end GEMM
+//! throughput with DRAM (b), RSN-XNN vs CHARM/MaxEVA/AMA.
+
+use rsn_baseline::charm::CharmModel;
+use rsn_bench::print_header;
+use rsn_hw::aie::GemmKernelModel;
+use rsn_hw::versal::Vck190Spec;
+use rsn_xnn::timing::XnnTimingModel;
+
+fn main() {
+    let spec = Vck190Spec::new();
+    print_header(
+        "Table 6a — AIE GEMM throughput, data generated on the PL side (no DRAM)",
+        "method    tile(MxKxN)   used-AIE   modelled GFLOPS   paper GFLOPS",
+    );
+    let rows = [
+        (GemmKernelModel::charm(), (32, 32, 32), 4504.46),
+        (GemmKernelModel::maxeva(), (32, 32, 32), 5442.11),
+        (GemmKernelModel::ama(), (32, 32, 32), 5867.29),
+        (GemmKernelModel::rsn_xnn(), (32, 16, 32), 6095.64),
+        (GemmKernelModel::rsn_xnn(), (32, 32, 16), 6306.02),
+        (GemmKernelModel::rsn_xnn(), (32, 32, 32), 6784.96),
+    ];
+    for (kernel, (m, k, n), paper) in rows {
+        println!(
+            "{:<9} {m}x{k}x{n}      {:>4}      {:>10.1}        {paper:>8.2}",
+            kernel.name,
+            kernel.tiles_used,
+            kernel.achieved_flops(&spec, m, k, n) / 1e9
+        );
+    }
+
+    let timing = XnnTimingModel::new();
+    let charm = CharmModel::new();
+    print_header(
+        "Table 6b — end-to-end square GEMM throughput with DRAM (GFLOPS)",
+        "size    CHARM(model)  CHARM(paper)  RSN-XNN(model)  RSN-XNN(paper)  gain",
+    );
+    let paper = [(1024, 1103.46, 2982.62), (3072, 2850.13, 6600.12), (6144, 3277.99, 6750.93)];
+    for (n, charm_paper, rsn_paper) in paper {
+        let c = charm.gemm_end_to_end_flops(n) / 1e9;
+        let r = timing.gemm_end_to_end_flops(n) / 1e9;
+        println!(
+            "{n:<7} {c:>10.1}    {charm_paper:>10.2}   {r:>10.1}      {rsn_paper:>10.2}    +{:.0}%",
+            100.0 * (r / c - 1.0)
+        );
+    }
+}

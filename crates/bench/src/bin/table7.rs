@@ -1,0 +1,27 @@
+//! Regenerates Table 7: latency per task at maximum throughput for BERT,
+//! ViT, NCF and MLP — RSN-XNN vs CHARM.
+
+use rsn_baseline::charm::CharmModel;
+use rsn_bench::{ms, print_header, times};
+use rsn_xnn::timing::XnnTimingModel;
+
+fn main() {
+    let rsn = XnnTimingModel::new().table7_latencies_s();
+    let charm = CharmModel::new().table7_latencies_s();
+    let paper = [(57.2, 17.98, 3.2), (57.7, 23.7, 2.4), (40.4, 16.1, 2.5), (119.0, 42.6, 2.8)];
+    print_header(
+        "Table 7 — latency per task at maximum throughput",
+        "model  CHARM(model ms)  CHARM(paper ms)  RSN(model ms)  RSN(paper ms)  gain(model)  gain(paper)",
+    );
+    for (((kind, rsn_s), (_, charm_s)), (charm_paper, rsn_paper, gain_paper)) in
+        rsn.iter().zip(charm.iter()).zip(paper)
+    {
+        println!(
+            "{:<6} {:>10}        {charm_paper:>8.1}        {:>8}       {rsn_paper:>8.2}      {:>8}     {gain_paper:.1}x",
+            kind.name(),
+            ms(*charm_s),
+            ms(*rsn_s),
+            times(charm_s / rsn_s)
+        );
+    }
+}

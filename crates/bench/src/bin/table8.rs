@@ -1,0 +1,32 @@
+//! Regenerates Table 8: maximum-throughput comparison of FPGA-based
+//! transformer accelerators (published designs plus this reproduction's
+//! modelled RSN-XNN row).
+
+use rsn_bench::print_header;
+use rsn_workloads::bert::BertConfig;
+use rsn_xnn::timing::{OptimizationFlags, XnnTimingModel};
+
+fn main() {
+    let timing = XnnTimingModel::new();
+    let achieved =
+        timing.achieved_bert_flops(&BertConfig::bert_large(512, 6), OptimizationFlags::all()) / 1e12;
+    print_header(
+        "Table 8 — SOTA FPGA transformer accelerators (published rows + modelled RSN-XNN)",
+        "design      board    precision  peak TOPS  achieved TOPS  utilization  model",
+    );
+    let rows: Vec<(&str, &str, &str, f64, f64, &str)> = vec![
+        ("RSN-XNN", "VCK190", "FP32", 8.0, achieved, "BERT-L"),
+        ("SSR", "VCK190", "INT8", 102.0, 26.7, "DeiT-T"),
+        ("FET-OPU", "U280", "INT8", 7.2, 1.64, "BERT-B"),
+        ("DFX", "U280", "FP16", 1.2, 0.19, "GPT2 Prefill"),
+        ("VIA", "U50", "FP16", 1.2, 0.31, "Swin-T"),
+        ("FTRANS", "VCU118", "INT16", 2.7, 1.05, "RoBERTa-B"),
+    ];
+    for (design, board, prec, peak, achieved, model) in rows {
+        println!(
+            "{design:<11} {board:<8} {prec:<9} {peak:>7.1}    {achieved:>8.2}        {:>5.1}%     {model}",
+            100.0 * achieved / peak
+        );
+    }
+    println!("\nPaper RSN-XNN row: 4.7 achieved TOPS, 59% utilization — the highest utilization in the table.");
+}

@@ -1,0 +1,46 @@
+//! Regenerates Table 9: segment-by-segment execution of the BERT-Large
+//! first encoder (batch 6, sequence length 512) with the optimisation
+//! ablation — no optimisation, bandwidth interleaving, attention
+//! pipelining, prolog/epilog overlap.
+
+use rsn_bench::{ms, print_header, times};
+use rsn_workloads::bert::BertConfig;
+use rsn_xnn::timing::{OptimizationFlags, XnnTimingModel};
+
+fn main() {
+    let cfg = BertConfig::bert_large(512, 6);
+    let model = XnnTimingModel::new();
+
+    print_header(
+        "Table 9 — per-segment latency (ms), BERT-Large 1st encoder, B=6, L=512",
+        "segment                         no-opt    bw-opt    paper(no-opt)  paper(bw-opt)",
+    );
+    let paper_no_opt = [1.667, 1.667, 1.667, 10.55, 11.75, 2.913, 8.492, 5.764];
+    let paper_bw = [1.276, 1.276, 1.276, f64::NAN, f64::NAN, 2.035, 5.501, 4.811];
+    let no_opt = model.encoder_segment_timings(&cfg, OptimizationFlags::none());
+    let bw_opt = model.encoder_segment_timings(&cfg, OptimizationFlags::bandwidth_only());
+    for (i, (a, b)) in no_opt.iter().zip(bw_opt.iter()).enumerate() {
+        println!(
+            "{:<30} {:>8}  {:>8}      {:>8.3}       {:>8.3}",
+            a.name,
+            ms(a.latency_s),
+            ms(b.latency_s),
+            paper_no_opt.get(i).copied().unwrap_or(f64::NAN),
+            paper_bw.get(i).copied().unwrap_or(f64::NAN)
+        );
+    }
+
+    let fully = model.encoder_latency_s(&cfg, OptimizationFlags::all());
+    let overlay_style = model.encoder_latency_s(&cfg, OptimizationFlags::none());
+    let attn = model.encoder_segment_timings(&cfg, OptimizationFlags::all());
+    let attn_row = attn
+        .iter()
+        .find(|t| t.name.contains("pipelined"))
+        .expect("pipelined attention row");
+    println!("\nPipelined attention MM1+MM2: {} ms (paper 2.618 ms)", ms(attn_row.latency_s));
+    println!("Final encoder latency (all optimisations): {} ms (paper 17.98 ms)", ms(fully));
+    println!(
+        "Speedup over sequential overlay style: {} (paper 2.47x)",
+        times(overlay_style / fully)
+    );
+}

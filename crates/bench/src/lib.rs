@@ -1,0 +1,38 @@
+//! # rsn-bench
+//!
+//! The benchmark harness of the reproduction: one binary per table / figure
+//! of the paper's evaluation section, plus Criterion micro-benchmarks of the
+//! simulation infrastructure itself.
+//!
+//! Run e.g. `cargo run -p rsn-bench --bin table9` to regenerate the Table 9
+//! ablation, or `cargo bench -p rsn-bench` for the Criterion suite.  Every
+//! binary prints the paper's reference values next to the reproduction's
+//! modelled/measured values so the shape comparison is immediate.
+
+/// Prints a table header followed by a separator line sized to it.
+pub fn print_header(title: &str, columns: &str) {
+    println!("\n=== {title} ===");
+    println!("{columns}");
+    println!("{}", "-".repeat(columns.len().max(20)));
+}
+
+/// Formats seconds as milliseconds with two decimals.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.2}", seconds * 1e3)
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn times(ratio: f64) -> String {
+    format!("{ratio:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(0.01798), "17.98");
+        assert_eq!(times(2.47), "2.47x");
+    }
+}

@@ -1,0 +1,320 @@
+//! The three-level instruction decoder (§3.3, Fig. 8).
+//!
+//! The program is stored as a single sequence of RSN instruction packets.
+//! * The **top-level decoder** fetches packets in order and routes their
+//!   payload to the second-level decoder responsible for the targeted FU
+//!   type; it stalls when that decoder's FIFO is full.
+//! * **Second-level decoders** (one per FU type) perform the window/reuse
+//!   expansion: a packet's `window` mOPs are replayed `reuse` times and
+//!   forwarded to the third-level decoders of every FU selected by the mask.
+//! * **Third-level decoders** are the bounded uOP FIFOs attached to each FU
+//!   ([`UopQueue`](crate::uop::UopQueue)).
+//!
+//! Because the fetch unit is in-order and FIFOs are bounded, an
+//! ill-constructed program can deadlock exactly as the paper describes: the
+//! fetch stalls on a full FIFO before it reaches the instruction that would
+//! let the consumer drain the producer.  The engine detects this and reports
+//! [`RsnError::Deadlock`](crate::error::RsnError::Deadlock); enlarging the
+//! FIFO depth (the paper uses six) resolves it.
+
+use crate::fu::StepOutcome;
+use crate::isa::Packet;
+use crate::network::Datapath;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Default mOP FIFO depth between the top-level and second-level decoders.
+pub const DEFAULT_MOP_FIFO_DEPTH: usize = 6;
+
+/// Maximum uOPs a second-level decoder issues per engine pass.
+const ISSUE_BURST: usize = 8;
+
+/// Statistics describing decoder activity during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecoderStats {
+    /// Packets fetched by the top-level decoder.
+    pub packets_fetched: u64,
+    /// uOPs issued to FU queues by second-level decoders.
+    pub uops_issued: u64,
+    /// Fetch attempts that stalled on a full second-level FIFO.
+    pub fetch_stalls: u64,
+    /// Issue attempts that stalled on a full FU uOP queue.
+    pub issue_stalls: u64,
+}
+
+#[derive(Debug)]
+struct ExpandState {
+    packet: Packet,
+    lanes: Vec<usize>,
+    reuse_done: u16,
+    idx: usize,
+}
+
+#[derive(Debug, Default)]
+struct SecondLevelDecoder {
+    fifo: VecDeque<Packet>,
+    active: Option<ExpandState>,
+}
+
+/// The decoding pipeline from instruction memory to per-FU uOP queues.
+#[derive(Debug)]
+pub struct DecoderSystem {
+    packets: Vec<Packet>,
+    pc: usize,
+    second: BTreeMap<u8, SecondLevelDecoder>,
+    type_of_opcode: Vec<String>,
+    mop_fifo_depth: usize,
+    stats: DecoderStats,
+}
+
+impl DecoderSystem {
+    /// Creates a decoder over `packets` for the given datapath, using the
+    /// default mOP FIFO depth.
+    pub fn new(datapath: &Datapath, packets: Vec<Packet>) -> Self {
+        Self::with_fifo_depth(datapath, packets, DEFAULT_MOP_FIFO_DEPTH)
+    }
+
+    /// Creates a decoder with an explicit mOP FIFO depth (used to reproduce
+    /// the deadlock scenario of §3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mop_fifo_depth == 0`.
+    pub fn with_fifo_depth(
+        datapath: &Datapath,
+        packets: Vec<Packet>,
+        mop_fifo_depth: usize,
+    ) -> Self {
+        assert!(mop_fifo_depth > 0, "mOP FIFO depth must be non-zero");
+        let type_of_opcode: Vec<String> =
+            datapath.fu_types().map(|t| t.to_string()).collect();
+        Self {
+            packets,
+            pc: 0,
+            second: BTreeMap::new(),
+            type_of_opcode,
+            mop_fifo_depth,
+            stats: DecoderStats::default(),
+        }
+    }
+
+    /// Decoder statistics gathered so far.
+    pub fn stats(&self) -> DecoderStats {
+        self.stats
+    }
+
+    /// Returns `true` once every packet has been fetched and fully expanded.
+    pub fn is_drained(&self) -> bool {
+        self.pc >= self.packets.len()
+            && self
+                .second
+                .values()
+                .all(|d| d.fifo.is_empty() && d.active.is_none())
+    }
+
+    /// Advances the decoder pipeline by one engine pass.
+    ///
+    /// Returns [`StepOutcome::Progress`] if any packet was fetched or any
+    /// uOP was issued, [`StepOutcome::Blocked`] if work remains but nothing
+    /// moved, and [`StepOutcome::Idle`] once drained.
+    pub fn step(&mut self, datapath: &mut Datapath) -> StepOutcome {
+        let mut moved = 0u64;
+
+        // Top-level fetch: in-order, stalls on a full downstream FIFO.
+        while self.pc < self.packets.len() {
+            let opcode = self.packets[self.pc].header.opcode;
+            let dec = self.second.entry(opcode).or_default();
+            if dec.fifo.len() >= self.mop_fifo_depth {
+                self.stats.fetch_stalls += 1;
+                break;
+            }
+            dec.fifo.push_back(self.packets[self.pc].clone());
+            self.pc += 1;
+            self.stats.packets_fetched += 1;
+            moved += 1;
+        }
+
+        // Second-level expansion: window/reuse replay into FU uOP queues.
+        let opcodes: Vec<u8> = self.second.keys().copied().collect();
+        for opcode in opcodes {
+            let fu_type = match self.type_of_opcode.get(usize::from(opcode)) {
+                Some(t) => t.clone(),
+                None => continue,
+            };
+            let mut issued_this_pass = 0usize;
+            loop {
+                let dec = self.second.get_mut(&opcode).expect("decoder exists");
+                if dec.active.is_none() {
+                    match dec.fifo.pop_front() {
+                        Some(packet) => {
+                            let lanes: Vec<usize> = (0..8)
+                                .filter(|bit| packet.header.mask & (1 << bit) != 0)
+                                .collect();
+                            dec.active = Some(ExpandState {
+                                packet,
+                                lanes,
+                                reuse_done: 0,
+                                idx: 0,
+                            });
+                        }
+                        None => break,
+                    }
+                }
+                if issued_this_pass >= ISSUE_BURST {
+                    break;
+                }
+                let state = dec.active.as_mut().expect("activated above");
+                if state.packet.payload.is_empty() || state.packet.header.reuse == 0 {
+                    dec.active = None;
+                    continue;
+                }
+                let uop = state.packet.payload[state.idx].clone();
+                // All selected lanes must have queue space; the decoder is
+                // in-order and does not reorder around a full lane.
+                let targets: Vec<_> = state
+                    .lanes
+                    .iter()
+                    .filter_map(|lane| datapath.fu_by_lane(&fu_type, *lane))
+                    .collect();
+                let all_free = targets
+                    .iter()
+                    .all(|id| !datapath.fu_mut(*id).uop_queue().is_full());
+                if !all_free {
+                    self.stats.issue_stalls += 1;
+                    break;
+                }
+                for id in targets {
+                    datapath
+                        .fu_mut(id)
+                        .push_uop(uop.clone())
+                        .expect("queue space checked above");
+                    self.stats.uops_issued += 1;
+                    moved += 1;
+                }
+                issued_this_pass += 1;
+                state.idx += 1;
+                if state.idx == state.packet.payload.len() {
+                    state.idx = 0;
+                    state.reuse_done += 1;
+                    if state.reuse_done >= state.packet.header.reuse {
+                        dec.active = None;
+                    }
+                }
+            }
+        }
+
+        if moved > 0 {
+            StepOutcome::Progress { cycles: moved }
+        } else if self.is_drained() {
+            StepOutcome::Idle
+        } else {
+            StepOutcome::Blocked
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fu::FunctionalUnit;
+    use crate::fus::{MapFu, MemSinkFu, MemSourceFu};
+    use crate::isa::PacketHeader;
+    use crate::network::DatapathBuilder;
+    use crate::program::Program;
+    use crate::uop::Uop;
+
+    fn datapath() -> (Datapath, crate::fu::FuId, crate::fu::FuId, crate::fu::FuId) {
+        let mut b = DatapathBuilder::new();
+        let s1 = b.add_stream("s1", 4);
+        let s2 = b.add_stream("s2", 4);
+        let src = b.add_fu(MemSourceFu::new("src", (0..32).map(|x| x as f32).collect(), vec![s1]));
+        let map = b.add_fu(MapFu::new("map", s1, s2, |x| x + 1.0));
+        let sink = b.add_fu(MemSinkFu::new("sink", 32, vec![s2]));
+        (b.build().unwrap(), src, map, sink)
+    }
+
+    #[test]
+    fn decoder_expands_window_and_reuse() {
+        let (mut dp, src, _map, _sink) = datapath();
+        let mut p = Program::new();
+        for _ in 0..4 {
+            p.push(src, Uop::new("read", [0, 8, 0]));
+        }
+        let packets = p.compress(&dp).unwrap();
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].header.reuse, 4);
+        let mut dec = DecoderSystem::new(&dp, packets);
+        // One step issues up to the FU queue depth (6), so all four fit.
+        let outcome = dec.step(&mut dp);
+        assert!(outcome.is_progress());
+        assert_eq!(dec.stats().uops_issued, 4);
+        assert!(dec.is_drained());
+        assert!(dec.step(&mut dp).is_idle());
+    }
+
+    #[test]
+    fn decoder_stalls_on_full_uop_queue_then_resumes() {
+        let (mut dp, src, _map, _sink) = datapath();
+        let mut p = Program::new();
+        for _ in 0..10 {
+            p.push(src, Uop::new("read", [0, 1, 0]));
+        }
+        let packets = p.compress(&dp).unwrap();
+        let mut dec = DecoderSystem::new(&dp, packets);
+        let _ = dec.step(&mut dp);
+        // The FU queue depth is 6, so at most 6 uOPs can be pending.
+        assert!(dec.stats().uops_issued <= 6);
+        assert!(!dec.is_drained());
+        assert!(dec.stats().issue_stalls > 0 || dec.stats().uops_issued == 6);
+    }
+
+    #[test]
+    fn masked_packet_reaches_multiple_lanes() {
+        let mut b = DatapathBuilder::new();
+        let s1 = b.add_stream("s1", 4);
+        let s2 = b.add_stream("s2", 4);
+        let src0 = b.add_fu(MemSourceFu::new("src0", vec![1.0; 8], vec![s1]));
+        let src1 = b.add_fu(MemSourceFu::new("src1", vec![2.0; 8], vec![s2]));
+        b.add_fu(MemSinkFu::new("k0", 8, vec![s1]));
+        b.add_fu(MemSinkFu::new("k1", 8, vec![s2]));
+        let mut dp = b.build().unwrap();
+        let opcode = dp
+            .fu_types()
+            .position(|t| t == "MEM_SRC")
+            .expect("type present") as u8;
+        let packet = Packet::new(
+            PacketHeader {
+                opcode,
+                mask: 0b11,
+                last: true,
+                window: 1,
+                reuse: 2,
+            },
+            vec![Uop::new("read", [0, 4, 0])],
+        )
+        .unwrap();
+        let mut dec = DecoderSystem::new(&dp, vec![packet]);
+        let _ = dec.step(&mut dp);
+        assert_eq!(dec.stats().uops_issued, 4);
+        let src0_id = dp.fus_of_type("MEM_SRC")[0];
+        let src1_id = dp.fus_of_type("MEM_SRC")[1];
+        assert_eq!(dp.fu_as::<MemSourceFu>(src0_id).unwrap().uop_queue().len(), 2);
+        assert_eq!(dp.fu_as::<MemSourceFu>(src1_id).unwrap().uop_queue().len(), 2);
+        let _ = (src0, src1);
+    }
+
+    #[test]
+    fn fifo_depth_limits_fetch() {
+        let (mut dp, src, _map, _sink) = datapath();
+        let mut p = Program::new();
+        // Many distinct uOPs: no reuse folding, so several multi-mOP packets.
+        for i in 0..20 {
+            p.push(src, Uop::new("read", [0, 1, i]));
+        }
+        let packets = p.compress(&dp).unwrap();
+        assert!(packets.len() >= 3);
+        let mut dec = DecoderSystem::with_fifo_depth(&dp, packets, 1);
+        let _ = dec.step(&mut dp);
+        assert!(dec.stats().fetch_stalls > 0);
+    }
+}

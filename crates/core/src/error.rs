@@ -1,0 +1,152 @@
+//! Error types for the RSN core crate.
+
+use std::fmt;
+
+/// Errors produced while building or executing an RSN datapath.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RsnError {
+    /// A stream referenced by an FU does not exist in the datapath.
+    UnknownStream {
+        /// The offending stream index.
+        stream: usize,
+        /// The FU that referenced it.
+        fu: String,
+    },
+    /// A functional unit id is out of range.
+    UnknownFu {
+        /// The offending FU index.
+        fu: usize,
+    },
+    /// A stream has no producer, no consumer, or more than one of either.
+    MalformedEdge {
+        /// Stream name.
+        stream: String,
+        /// Number of producers attached.
+        producers: usize,
+        /// Number of consumers attached.
+        consumers: usize,
+    },
+    /// The engine reached a state where no FU can make progress but work
+    /// remains — the deadlock scenario discussed in §3.3 of the paper.
+    Deadlock {
+        /// Engine step at which the deadlock was detected.
+        step: u64,
+        /// Names of FUs blocked on stream backpressure or starvation.
+        blocked: Vec<String>,
+    },
+    /// An FU received a uOP whose opcode or fields it cannot interpret.
+    InvalidUop {
+        /// The FU that rejected the uOP.
+        fu: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Instruction packet encoding or decoding failed.
+    Encoding {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A configuration value was outside its valid range.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The engine exceeded its step budget without quiescing.
+    StepLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for RsnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsnError::UnknownStream { stream, fu } => {
+                write!(f, "functional unit `{fu}` references unknown stream {stream}")
+            }
+            RsnError::UnknownFu { fu } => write!(f, "unknown functional unit id {fu}"),
+            RsnError::MalformedEdge {
+                stream,
+                producers,
+                consumers,
+            } => write!(
+                f,
+                "stream `{stream}` must have exactly one producer and one consumer \
+                 (found {producers} producers, {consumers} consumers)"
+            ),
+            RsnError::Deadlock { step, blocked } => write!(
+                f,
+                "deadlock detected at step {step}: blocked functional units {blocked:?}"
+            ),
+            RsnError::InvalidUop { fu, reason } => {
+                write!(f, "functional unit `{fu}` rejected uOP: {reason}")
+            }
+            RsnError::Encoding { reason } => write!(f, "instruction encoding error: {reason}"),
+            RsnError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            RsnError::StepLimitExceeded { limit } => {
+                write!(f, "engine exceeded step limit of {limit} without quiescing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RsnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = vec![
+            RsnError::UnknownStream {
+                stream: 3,
+                fu: "MemA0".to_string(),
+            },
+            RsnError::UnknownFu { fu: 9 },
+            RsnError::MalformedEdge {
+                stream: "s0".to_string(),
+                producers: 0,
+                consumers: 2,
+            },
+            RsnError::Deadlock {
+                step: 12,
+                blocked: vec!["FU1".to_string()],
+            },
+            RsnError::InvalidUop {
+                fu: "MME0".to_string(),
+                reason: "bad opcode".to_string(),
+            },
+            RsnError::Encoding {
+                reason: "window too large".to_string(),
+            },
+            RsnError::InvalidConfig {
+                reason: "zero capacity".to_string(),
+            },
+            RsnError::StepLimitExceeded { limit: 10 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RsnError>();
+    }
+
+    #[test]
+    fn errors_compare_equal_by_value() {
+        assert_eq!(
+            RsnError::UnknownFu { fu: 1 },
+            RsnError::UnknownFu { fu: 1 }
+        );
+        assert_ne!(
+            RsnError::UnknownFu { fu: 1 },
+            RsnError::UnknownFu { fu: 2 }
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! The functional-unit abstraction — the nodes of the RSN network.
+//!
+//! An FU comprises a uOP decoder (modelled by its [`UopQueue`]), input and
+//! output stream ports, and customised modules that transform and hold state
+//! (§3.1, Fig. 4).  Each FU executes one *kernel* at a time; a uOP launches
+//! one kernel execution.  Kernels are written as resumable state machines:
+//! every call to [`FunctionalUnit::step`] advances the active kernel as far
+//! as stream availability allows and reports whether progress was made.
+
+use crate::stream::{StreamId, StreamSet};
+use crate::uop::{Uop, UopQueue};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a functional unit within a datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuId(pub(crate) usize);
+
+impl FuId {
+    /// Raw index of this FU inside its datapath.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Constructs an FU id from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        FuId(index)
+    }
+}
+
+/// Result of one scheduler call into an FU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepOutcome {
+    /// The FU transformed or moved data; `cycles` is the estimated number of
+    /// FU-local clock cycles the work would take on hardware.
+    Progress {
+        /// Estimated cycles of useful work performed during this step.
+        cycles: u64,
+    },
+    /// The FU has work pending but is blocked on stream backpressure or
+    /// starvation (latency-insensitive stall).
+    Blocked,
+    /// The FU has no pending uOPs and no in-flight kernel.
+    Idle,
+}
+
+impl StepOutcome {
+    /// Convenience constructor for a single-cycle progress step.
+    pub fn progress() -> Self {
+        StepOutcome::Progress { cycles: 1 }
+    }
+
+    /// Returns `true` for [`StepOutcome::Progress`].
+    pub fn is_progress(&self) -> bool {
+        matches!(self, StepOutcome::Progress { .. })
+    }
+
+    /// Returns `true` for [`StepOutcome::Blocked`].
+    pub fn is_blocked(&self) -> bool {
+        matches!(self, StepOutcome::Blocked)
+    }
+
+    /// Returns `true` for [`StepOutcome::Idle`].
+    pub fn is_idle(&self) -> bool {
+        matches!(self, StepOutcome::Idle)
+    }
+}
+
+/// A stateful functional unit in an RSN datapath.
+///
+/// Implementations keep their own internal buffers, ping-pong flags and
+/// whatever other architectural state they need; the engine only observes
+/// stream traffic and step outcomes.
+pub trait FunctionalUnit: std::fmt::Debug {
+    /// Human-readable instance name (e.g. `"MemA0"`).
+    fn name(&self) -> &str;
+
+    /// FU type string used by the instruction set's opcode field
+    /// (e.g. `"MME"`, `"DDR"`, `"MemA"`).
+    fn fu_type(&self) -> &str;
+
+    /// Streams this FU consumes from.
+    fn input_streams(&self) -> Vec<StreamId>;
+
+    /// Streams this FU produces into.
+    fn output_streams(&self) -> Vec<StreamId>;
+
+    /// Access to the FU's pending-uOP queue (the third-level decoder FIFO).
+    fn uop_queue(&self) -> &UopQueue;
+
+    /// Mutable access to the FU's pending-uOP queue.
+    fn uop_queue_mut(&mut self) -> &mut UopQueue;
+
+    /// Advances the FU by at most one unit of work.
+    ///
+    /// The FU may pop a uOP from its queue to launch a kernel, move data
+    /// between its internal state and the bound streams, or finish a kernel.
+    /// It must never busy-wait: if it cannot make progress it returns
+    /// [`StepOutcome::Blocked`] (work pending) or [`StepOutcome::Idle`]
+    /// (nothing to do).
+    fn step(&mut self, streams: &mut StreamSet) -> StepOutcome;
+
+    /// Returns `true` when the FU has neither pending uOPs nor an in-flight
+    /// kernel.  The default implementation only consults the uOP queue;
+    /// FUs with multi-step kernels must override it.
+    fn is_idle(&self) -> bool {
+        self.uop_queue().is_empty()
+    }
+
+    /// Enqueues a uOP, returning it back if the FIFO is full.
+    fn push_uop(&mut self, uop: Uop) -> Result<(), Uop> {
+        self.uop_queue_mut().try_push(uop)
+    }
+
+    /// Downcast support so callers can inspect concrete FU state after a run.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcast support so hosts can configure concrete FU state
+    /// (e.g. preload an off-chip memory FU) between runs.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamSet;
+
+    #[derive(Debug)]
+    struct NopFu {
+        name: String,
+        queue: UopQueue,
+    }
+
+    impl NopFu {
+        fn new() -> Self {
+            Self {
+                name: "nop".to_string(),
+                queue: UopQueue::default(),
+            }
+        }
+    }
+
+    impl FunctionalUnit for NopFu {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn fu_type(&self) -> &str {
+            "NOP"
+        }
+        fn input_streams(&self) -> Vec<StreamId> {
+            Vec::new()
+        }
+        fn output_streams(&self) -> Vec<StreamId> {
+            Vec::new()
+        }
+        fn uop_queue(&self) -> &UopQueue {
+            &self.queue
+        }
+        fn uop_queue_mut(&mut self) -> &mut UopQueue {
+            &mut self.queue
+        }
+        fn step(&mut self, _streams: &mut StreamSet) -> StepOutcome {
+            match self.queue.pop() {
+                Some(_) => StepOutcome::progress(),
+                None => StepOutcome::Idle,
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn default_is_idle_follows_queue() {
+        let mut fu = NopFu::new();
+        assert!(fu.is_idle());
+        fu.push_uop(Uop::new("x", [])).unwrap();
+        assert!(!fu.is_idle());
+    }
+
+    #[test]
+    fn step_outcome_predicates() {
+        assert!(StepOutcome::progress().is_progress());
+        assert!(StepOutcome::Blocked.is_blocked());
+        assert!(StepOutcome::Idle.is_idle());
+        assert!(!StepOutcome::Idle.is_progress());
+    }
+
+    #[test]
+    fn nop_fu_consumes_one_uop_per_step() {
+        let mut fu = NopFu::new();
+        let mut streams = StreamSet::new();
+        fu.push_uop(Uop::new("a", [])).unwrap();
+        fu.push_uop(Uop::new("b", [])).unwrap();
+        assert!(fu.step(&mut streams).is_progress());
+        assert!(fu.step(&mut streams).is_progress());
+        assert!(fu.step(&mut streams).is_idle());
+    }
+
+    #[test]
+    fn fu_id_roundtrip() {
+        assert_eq!(FuId::from_index(3).index(), 3);
+    }
+}

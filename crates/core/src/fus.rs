@@ -1,0 +1,525 @@
+//! Small generic functional units.
+//!
+//! These are the building blocks used by the paper's introductory examples
+//! (the three-FU "+1" overlay of Fig. 6), by tests, and by simple overlays
+//! that do not need the full RSN-XNN datapath.  They all operate at scalar
+//! granularity and demonstrate the resumable-kernel style expected from
+//! [`FunctionalUnit`] implementations.
+
+use crate::data::Token;
+use crate::fu::{FunctionalUnit, StepOutcome};
+use crate::stream::{StreamId, StreamSet};
+use crate::uop::UopQueue;
+
+/// Maximum scalar transfers a generic FU performs per engine step.
+///
+/// Bounding per-step work keeps the engine's round-robin fair and the cycle
+/// accounting meaningful; it has no effect on functional results.
+const BURST: usize = 16;
+
+/// State of an in-flight streaming kernel shared by the generic FUs.
+#[derive(Debug, Clone)]
+struct Cursor {
+    port: usize,
+    remaining: usize,
+    addr: usize,
+}
+
+/// Streams data out of a local memory into one of several output streams.
+///
+/// uOP: `read(out_port, count, addr)` — send `count` scalars starting at
+/// `addr` to output port `out_port`.
+#[derive(Debug)]
+pub struct MemSourceFu {
+    name: String,
+    memory: Vec<f32>,
+    outs: Vec<StreamId>,
+    queue: UopQueue,
+    active: Option<Cursor>,
+}
+
+impl MemSourceFu {
+    /// Creates a source FU over `memory` with the given output ports.
+    pub fn new(name: impl Into<String>, memory: Vec<f32>, outs: Vec<StreamId>) -> Self {
+        Self {
+            name: name.into(),
+            memory,
+            outs,
+            queue: UopQueue::default(),
+            active: None,
+        }
+    }
+
+    /// The backing memory (source data).
+    pub fn memory(&self) -> &[f32] {
+        &self.memory
+    }
+}
+
+impl FunctionalUnit for MemSourceFu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn fu_type(&self) -> &str {
+        "MEM_SRC"
+    }
+    fn input_streams(&self) -> Vec<StreamId> {
+        Vec::new()
+    }
+    fn output_streams(&self) -> Vec<StreamId> {
+        self.outs.clone()
+    }
+    fn uop_queue(&self) -> &UopQueue {
+        &self.queue
+    }
+    fn uop_queue_mut(&mut self) -> &mut UopQueue {
+        &mut self.queue
+    }
+    fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.active.is_none()
+    }
+
+    fn step(&mut self, streams: &mut StreamSet) -> StepOutcome {
+        if self.active.is_none() {
+            match self.queue.pop() {
+                Some(uop) if uop.opcode() == "read" => {
+                    self.active = Some(Cursor {
+                        port: uop.unsigned(0),
+                        remaining: uop.unsigned(1),
+                        addr: uop.unsigned(2),
+                    });
+                }
+                Some(_) | None => return StepOutcome::Idle,
+            }
+        }
+        let cursor = self.active.as_mut().expect("kernel just launched");
+        if cursor.port >= self.outs.len() {
+            self.active = None;
+            return StepOutcome::progress();
+        }
+        let out = self.outs[cursor.port];
+        let mut moved = 0;
+        while cursor.remaining > 0 && moved < BURST {
+            let value = self.memory.get(cursor.addr).copied().unwrap_or(0.0);
+            if streams.push(out, Token::Scalar(value)).is_err() {
+                break;
+            }
+            cursor.addr += 1;
+            cursor.remaining -= 1;
+            moved += 1;
+        }
+        if cursor.remaining == 0 {
+            self.active = None;
+        }
+        if moved > 0 {
+            StepOutcome::Progress { cycles: moved as u64 }
+        } else {
+            StepOutcome::Blocked
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Sinks data from one of several input streams into a local memory.
+///
+/// uOP: `write(in_port, count, addr)` — receive `count` scalars from input
+/// port `in_port` and store them starting at `addr`.
+#[derive(Debug)]
+pub struct MemSinkFu {
+    name: String,
+    memory: Vec<f32>,
+    ins: Vec<StreamId>,
+    queue: UopQueue,
+    active: Option<Cursor>,
+}
+
+impl MemSinkFu {
+    /// Creates a sink FU with `size` zero-initialised memory words.
+    pub fn new(name: impl Into<String>, size: usize, ins: Vec<StreamId>) -> Self {
+        Self {
+            name: name.into(),
+            memory: vec![0.0; size],
+            ins,
+            queue: UopQueue::default(),
+            active: None,
+        }
+    }
+
+    /// The backing memory (result data).
+    pub fn memory(&self) -> &[f32] {
+        &self.memory
+    }
+}
+
+impl FunctionalUnit for MemSinkFu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn fu_type(&self) -> &str {
+        "MEM_SINK"
+    }
+    fn input_streams(&self) -> Vec<StreamId> {
+        self.ins.clone()
+    }
+    fn output_streams(&self) -> Vec<StreamId> {
+        Vec::new()
+    }
+    fn uop_queue(&self) -> &UopQueue {
+        &self.queue
+    }
+    fn uop_queue_mut(&mut self) -> &mut UopQueue {
+        &mut self.queue
+    }
+    fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.active.is_none()
+    }
+
+    fn step(&mut self, streams: &mut StreamSet) -> StepOutcome {
+        if self.active.is_none() {
+            match self.queue.pop() {
+                Some(uop) if uop.opcode() == "write" => {
+                    self.active = Some(Cursor {
+                        port: uop.unsigned(0),
+                        remaining: uop.unsigned(1),
+                        addr: uop.unsigned(2),
+                    });
+                }
+                Some(_) | None => return StepOutcome::Idle,
+            }
+        }
+        let cursor = self.active.as_mut().expect("kernel just launched");
+        if cursor.port >= self.ins.len() {
+            self.active = None;
+            return StepOutcome::progress();
+        }
+        let input = self.ins[cursor.port];
+        let mut moved = 0;
+        while cursor.remaining > 0 && moved < BURST {
+            match streams.pop(input) {
+                Some(token) => {
+                    if let Some(v) = token.as_scalar() {
+                        if cursor.addr < self.memory.len() {
+                            self.memory[cursor.addr] = v;
+                        }
+                    }
+                    cursor.addr += 1;
+                    cursor.remaining -= 1;
+                    moved += 1;
+                }
+                None => break,
+            }
+        }
+        if cursor.remaining == 0 {
+            self.active = None;
+        }
+        if moved > 0 {
+            StepOutcome::Progress { cycles: moved as u64 }
+        } else {
+            StepOutcome::Blocked
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Applies a scalar function to every token flowing from its input to its
+/// output stream (the "+1" FU2 of Fig. 6).
+///
+/// uOP: `map(count)` — transform `count` scalars.
+pub struct MapFu {
+    name: String,
+    input: StreamId,
+    output: StreamId,
+    f: Box<dyn Fn(f32) -> f32 + Send>,
+    queue: UopQueue,
+    remaining: usize,
+    processed: u64,
+}
+
+impl std::fmt::Debug for MapFu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapFu")
+            .field("name", &self.name)
+            .field("remaining", &self.remaining)
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+impl MapFu {
+    /// Creates a map FU applying `f` between `input` and `output`.
+    pub fn new(
+        name: impl Into<String>,
+        input: StreamId,
+        output: StreamId,
+        f: impl Fn(f32) -> f32 + Send + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            output,
+            f: Box::new(f),
+            queue: UopQueue::default(),
+            remaining: 0,
+            processed: 0,
+        }
+    }
+
+    /// Total scalars transformed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+impl FunctionalUnit for MapFu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn fu_type(&self) -> &str {
+        "MAP"
+    }
+    fn input_streams(&self) -> Vec<StreamId> {
+        vec![self.input]
+    }
+    fn output_streams(&self) -> Vec<StreamId> {
+        vec![self.output]
+    }
+    fn uop_queue(&self) -> &UopQueue {
+        &self.queue
+    }
+    fn uop_queue_mut(&mut self) -> &mut UopQueue {
+        &mut self.queue
+    }
+    fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.remaining == 0
+    }
+
+    fn step(&mut self, streams: &mut StreamSet) -> StepOutcome {
+        if self.remaining == 0 {
+            match self.queue.pop() {
+                Some(uop) if uop.opcode() == "map" => self.remaining = uop.unsigned(0),
+                Some(_) | None => return StepOutcome::Idle,
+            }
+        }
+        let mut moved = 0;
+        while self.remaining > 0 && moved < BURST {
+            if !streams.can_push(self.output) {
+                break;
+            }
+            match streams.pop(self.input) {
+                Some(token) => {
+                    let v = token.as_scalar().unwrap_or(0.0);
+                    streams
+                        .push(self.output, Token::Scalar((self.f)(v)))
+                        .expect("push checked above");
+                    self.remaining -= 1;
+                    self.processed += 1;
+                    moved += 1;
+                }
+                None => break,
+            }
+        }
+        if moved > 0 {
+            StepOutcome::Progress { cycles: moved as u64 }
+        } else {
+            StepOutcome::Blocked
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Routes tokens from one of several inputs to one of several outputs
+/// (the Mesh FU of Fig. 7).
+///
+/// uOP: `route(in_port, out_port, count)` — forward `count` tokens.
+#[derive(Debug)]
+pub struct RouterFu {
+    name: String,
+    ins: Vec<StreamId>,
+    outs: Vec<StreamId>,
+    queue: UopQueue,
+    active: Option<(usize, usize, usize)>,
+    forwarded: u64,
+}
+
+impl RouterFu {
+    /// Creates a router FU with the given input and output ports.
+    pub fn new(name: impl Into<String>, ins: Vec<StreamId>, outs: Vec<StreamId>) -> Self {
+        Self {
+            name: name.into(),
+            ins,
+            outs,
+            queue: UopQueue::default(),
+            active: None,
+            forwarded: 0,
+        }
+    }
+
+    /// Total tokens forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+}
+
+impl FunctionalUnit for RouterFu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn fu_type(&self) -> &str {
+        "ROUTER"
+    }
+    fn input_streams(&self) -> Vec<StreamId> {
+        self.ins.clone()
+    }
+    fn output_streams(&self) -> Vec<StreamId> {
+        self.outs.clone()
+    }
+    fn uop_queue(&self) -> &UopQueue {
+        &self.queue
+    }
+    fn uop_queue_mut(&mut self) -> &mut UopQueue {
+        &mut self.queue
+    }
+    fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.active.is_none()
+    }
+
+    fn step(&mut self, streams: &mut StreamSet) -> StepOutcome {
+        if self.active.is_none() {
+            match self.queue.pop() {
+                Some(uop) if uop.opcode() == "route" => {
+                    self.active = Some((uop.unsigned(0), uop.unsigned(1), uop.unsigned(2)));
+                }
+                Some(_) | None => return StepOutcome::Idle,
+            }
+        }
+        let (in_port, out_port, mut remaining) = self.active.expect("kernel just launched");
+        if in_port >= self.ins.len() || out_port >= self.outs.len() {
+            self.active = None;
+            return StepOutcome::progress();
+        }
+        let (input, output) = (self.ins[in_port], self.outs[out_port]);
+        let mut moved = 0;
+        while remaining > 0 && moved < BURST {
+            if !streams.can_push(output) {
+                break;
+            }
+            match streams.pop(input) {
+                Some(token) => {
+                    streams.push(output, token).expect("push checked above");
+                    remaining -= 1;
+                    moved += 1;
+                    self.forwarded += 1;
+                }
+                None => break,
+            }
+        }
+        self.active = if remaining == 0 {
+            None
+        } else {
+            Some((in_port, out_port, remaining))
+        };
+        if moved > 0 {
+            StepOutcome::Progress { cycles: moved as u64 }
+        } else {
+            StepOutcome::Blocked
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::DatapathBuilder;
+    use crate::sim::Engine;
+    use crate::uop::Uop;
+
+    #[test]
+    fn source_map_sink_increments_data() {
+        let mut b = DatapathBuilder::new();
+        let s1 = b.add_stream("s1", 4);
+        let s2 = b.add_stream("s2", 4);
+        let input: Vec<f32> = (0..50).map(|x| x as f32).collect();
+        let src = b.add_fu(MemSourceFu::new("src", input, vec![s1]));
+        let map = b.add_fu(MapFu::new("map", s1, s2, |x| x + 1.0));
+        let sink = b.add_fu(MemSinkFu::new("sink", 50, vec![s2]));
+        let mut engine = Engine::new(b.build().unwrap());
+        engine.push_uop(src, Uop::new("read", [0, 50, 0]));
+        engine.push_uop(map, Uop::new("map", [50]));
+        engine.push_uop(sink, Uop::new("write", [0, 50, 0]));
+        engine.run().unwrap();
+        let sink_fu = engine.fu::<MemSinkFu>(sink).unwrap();
+        let expected: Vec<f32> = (0..50).map(|x| x as f32 + 1.0).collect();
+        assert_eq!(sink_fu.memory(), expected.as_slice());
+        let map_fu = engine.fu::<MapFu>(map).unwrap();
+        assert_eq!(map_fu.processed(), 50);
+    }
+
+    #[test]
+    fn router_selects_ports() {
+        let mut b = DatapathBuilder::new();
+        let s_in0 = b.add_stream("in0", 4);
+        let s_in1 = b.add_stream("in1", 4);
+        let s_out = b.add_stream("out", 4);
+        let src0 = b.add_fu(MemSourceFu::new("src0", vec![1.0; 8], vec![s_in0]));
+        let src1 = b.add_fu(MemSourceFu::new("src1", vec![2.0; 8], vec![s_in1]));
+        let router = b.add_fu(RouterFu::new("mesh", vec![s_in0, s_in1], vec![s_out]));
+        let sink = b.add_fu(MemSinkFu::new("sink", 16, vec![s_out]));
+        let mut engine = Engine::new(b.build().unwrap());
+        engine.push_uop(src0, Uop::new("read", [0, 8, 0]));
+        engine.push_uop(src1, Uop::new("read", [0, 8, 0]));
+        engine.push_uop(router, Uop::new("route", [0, 0, 8]));
+        engine.push_uop(router, Uop::new("route", [1, 0, 8]));
+        engine.push_uop(sink, Uop::new("write", [0, 16, 0]));
+        engine.run().unwrap();
+        let sink_fu = engine.fu::<MemSinkFu>(sink).unwrap();
+        assert_eq!(&sink_fu.memory()[..8], &[1.0; 8]);
+        assert_eq!(&sink_fu.memory()[8..], &[2.0; 8]);
+        let router_fu = engine.fu::<RouterFu>(router).unwrap();
+        assert_eq!(router_fu.forwarded(), 16);
+    }
+
+    #[test]
+    fn out_of_range_port_terminates_kernel() {
+        let mut b = DatapathBuilder::new();
+        let s1 = b.add_stream("s1", 4);
+        let src = b.add_fu(MemSourceFu::new("src", vec![1.0; 4], vec![s1]));
+        let sink = b.add_fu(MemSinkFu::new("sink", 4, vec![s1]));
+        let mut engine = Engine::new(b.build().unwrap());
+        // Port 3 does not exist; the kernel should complete without moving data.
+        engine.push_uop(src, Uop::new("read", [3, 4, 0]));
+        engine.push_uop(src, Uop::new("read", [0, 4, 0]));
+        engine.push_uop(sink, Uop::new("write", [0, 4, 0]));
+        engine.run().unwrap();
+        let sink_fu = engine.fu::<MemSinkFu>(sink).unwrap();
+        assert_eq!(sink_fu.memory(), &[1.0; 4]);
+    }
+}

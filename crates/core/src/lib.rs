@@ -1,0 +1,83 @@
+//! # rsn-core
+//!
+//! The Reconfigurable Stream Network (RSN) abstraction, as described in
+//! *"Reconfigurable Stream Network Architecture"* (ISCA 2025).
+//!
+//! RSN models an accelerator datapath as a **circuit-switched network of
+//! stateful functional units (FUs)** connected by **latency-insensitive
+//! streams**.  Programming a computation corresponds to *triggering a path*
+//! through the network: every FU on the path receives a short sequence of
+//! micro-operations (uOPs) that tell it what transformation to perform, where
+//! to stream data from/to and how much of it to move.  Data is never carried
+//! by instructions; producers and consumers synchronise locally through the
+//! streams on the network edges.
+//!
+//! This crate provides:
+//!
+//! * [`stream`] — bounded, backpressured, statistics-tracking stream channels
+//!   (the network edges),
+//! * [`fu`] — the [`FunctionalUnit`](fu::FunctionalUnit) trait and the
+//!   resumable-kernel step model (the network nodes),
+//! * [`uop`] — the neutral uOP representation shared by the decoder and FUs,
+//! * [`isa`] — RSN instruction packets (32-bit header with opcode / mask /
+//!   last / window size / reuse) and their byte-level encoding,
+//! * [`decoder`] — the three-level instruction decoder that fuses per-FU uOP
+//!   streams into a single RSN instruction stream,
+//! * [`network`] — the datapath builder and validation,
+//! * [`program`] — per-FU uOP programs, path triggering and packet
+//!   compression,
+//! * [`sim`] — the cooperative execution engine with deadlock detection and
+//!   cycle accounting,
+//! * [`fus`] — small generic FUs (memory source/sink, map, router) used by
+//!   examples, tests and simple overlays.
+//!
+//! ## Quick example
+//!
+//! The "increment 100 elements" overlay of Fig. 6 in the paper:
+//!
+//! ```
+//! use rsn_core::fus::{MapFu, MemSinkFu, MemSourceFu};
+//! use rsn_core::network::DatapathBuilder;
+//! use rsn_core::sim::Engine;
+//! use rsn_core::uop::Uop;
+//!
+//! # fn main() -> Result<(), rsn_core::error::RsnError> {
+//! let mut b = DatapathBuilder::new();
+//! let s1 = b.add_stream("fu1->fu2", 4);
+//! let s3 = b.add_stream("fu2->fu3", 4);
+//! let input: Vec<f32> = (0..100).map(|x| x as f32).collect();
+//! let fu1 = b.add_fu(MemSourceFu::new("FU1", input, vec![s1]));
+//! let fu2 = b.add_fu(MapFu::new("FU2", s1, s3, |x| x + 1.0));
+//! let fu3 = b.add_fu(MemSinkFu::new("FU3", 100, vec![s3]));
+//! let mut engine = Engine::new(b.build()?);
+//! engine.push_uop(fu1, Uop::new("read", [0, 100, 0]));
+//! engine.push_uop(fu2, Uop::new("map", [100]));
+//! engine.push_uop(fu3, Uop::new("write", [0, 100, 0]));
+//! let report = engine.run()?;
+//! assert_eq!(engine.fu::<MemSinkFu>(fu3).unwrap().memory()[0], 1.0);
+//! assert!(report.steps > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod data;
+pub mod decoder;
+pub mod error;
+pub mod fu;
+pub mod fus;
+pub mod isa;
+pub mod network;
+pub mod program;
+pub mod sim;
+pub mod stream;
+pub mod uop;
+
+pub use data::{Tile, Token};
+pub use error::RsnError;
+pub use fu::{FuId, FunctionalUnit, StepOutcome};
+pub use isa::{Packet, PacketHeader};
+pub use network::{Datapath, DatapathBuilder};
+pub use program::Program;
+pub use sim::{Engine, RunReport};
+pub use stream::StreamId;
+pub use uop::Uop;

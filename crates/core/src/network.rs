@@ -1,0 +1,275 @@
+//! Datapath construction and validation.
+//!
+//! An RSN datapath is a directed graph of functional units and stream edges.
+//! Edges are point-to-point: exactly one producer and one consumer, matching
+//! the circuit-switched network abstraction of §3.1.  The builder checks
+//! this structural invariant before handing the datapath to the engine.
+
+use crate::error::RsnError;
+use crate::fu::{FuId, FunctionalUnit};
+use crate::stream::{StreamChannel, StreamId, StreamSet};
+use std::collections::BTreeMap;
+
+/// Incrementally assembles a [`Datapath`].
+#[derive(Debug, Default)]
+pub struct DatapathBuilder {
+    streams: StreamSet,
+    fus: Vec<Box<dyn FunctionalUnit>>,
+}
+
+impl DatapathBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a stream edge with the given token capacity and returns its id.
+    ///
+    /// Stream ids must be handed to the FUs that will use them *before* the
+    /// FUs are added, which is why streams are declared first.
+    pub fn add_stream(&mut self, name: impl Into<String>, capacity: usize) -> StreamId {
+        self.streams.add(StreamChannel::new(name, capacity))
+    }
+
+    /// Adds a functional unit and returns its id.
+    pub fn add_fu<F: FunctionalUnit + 'static>(&mut self, fu: F) -> FuId {
+        let id = FuId(self.fus.len());
+        self.fus.push(Box::new(fu));
+        id
+    }
+
+    /// Number of FUs added so far.
+    pub fn fu_count(&self) -> usize {
+        self.fus.len()
+    }
+
+    /// Number of streams added so far.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Validates the network structure and produces the datapath.
+    ///
+    /// # Errors
+    ///
+    /// * [`RsnError::UnknownStream`] if an FU references a stream id that was
+    ///   never declared.
+    /// * [`RsnError::MalformedEdge`] if any stream does not have exactly one
+    ///   producer and exactly one consumer.
+    pub fn build(self) -> Result<Datapath, RsnError> {
+        let mut producers = vec![0usize; self.streams.len()];
+        let mut consumers = vec![0usize; self.streams.len()];
+        for fu in &self.fus {
+            for s in fu.output_streams() {
+                if !self.streams.contains(s) {
+                    return Err(RsnError::UnknownStream {
+                        stream: s.index(),
+                        fu: fu.name().to_string(),
+                    });
+                }
+                producers[s.index()] += 1;
+            }
+            for s in fu.input_streams() {
+                if !self.streams.contains(s) {
+                    return Err(RsnError::UnknownStream {
+                        stream: s.index(),
+                        fu: fu.name().to_string(),
+                    });
+                }
+                consumers[s.index()] += 1;
+            }
+        }
+        for (id, ch) in self.streams.iter() {
+            let p = producers[id.index()];
+            let c = consumers[id.index()];
+            if p != 1 || c != 1 {
+                return Err(RsnError::MalformedEdge {
+                    stream: ch.name().to_string(),
+                    producers: p,
+                    consumers: c,
+                });
+            }
+        }
+        let mut by_type: BTreeMap<String, Vec<FuId>> = BTreeMap::new();
+        for (i, fu) in self.fus.iter().enumerate() {
+            by_type
+                .entry(fu.fu_type().to_string())
+                .or_default()
+                .push(FuId(i));
+        }
+        Ok(Datapath {
+            streams: self.streams,
+            fus: self.fus,
+            by_type,
+        })
+    }
+}
+
+/// A validated RSN datapath: the FU network plus its stream edges.
+#[derive(Debug)]
+pub struct Datapath {
+    pub(crate) streams: StreamSet,
+    pub(crate) fus: Vec<Box<dyn FunctionalUnit>>,
+    by_type: BTreeMap<String, Vec<FuId>>,
+}
+
+impl Datapath {
+    /// Number of functional units.
+    pub fn fu_count(&self) -> usize {
+        self.fus.len()
+    }
+
+    /// Number of stream edges.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// All FU ids, in insertion order.
+    pub fn fu_ids(&self) -> impl Iterator<Item = FuId> + '_ {
+        (0..self.fus.len()).map(FuId)
+    }
+
+    /// The name of an FU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsnError::UnknownFu`] for an out-of-range id.
+    pub fn fu_name(&self, id: FuId) -> Result<&str, RsnError> {
+        self.fus
+            .get(id.index())
+            .map(|f| f.name())
+            .ok_or(RsnError::UnknownFu { fu: id.index() })
+    }
+
+    /// The FU-type string of an FU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsnError::UnknownFu`] for an out-of-range id.
+    pub fn fu_type(&self, id: FuId) -> Result<&str, RsnError> {
+        self.fus
+            .get(id.index())
+            .map(|f| f.fu_type())
+            .ok_or(RsnError::UnknownFu { fu: id.index() })
+    }
+
+    /// Ids of all FUs of the given type, in insertion ("lane") order.
+    pub fn fus_of_type(&self, fu_type: &str) -> &[FuId] {
+        self.by_type
+            .get(fu_type)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All FU types present in the datapath, ordered alphabetically.
+    pub fn fu_types(&self) -> impl Iterator<Item = &str> {
+        self.by_type.keys().map(String::as_str)
+    }
+
+    /// Looks up the FU id for a `(type, lane)` pair — the addressing scheme
+    /// used by packet masks.
+    pub fn fu_by_lane(&self, fu_type: &str, lane: usize) -> Option<FuId> {
+        self.by_type.get(fu_type).and_then(|v| v.get(lane)).copied()
+    }
+
+    /// Borrow a concrete FU for inspection (post-run state checks).
+    pub fn fu_as<T: 'static>(&self, id: FuId) -> Option<&T> {
+        self.fus.get(id.index()).and_then(|f| f.as_any().downcast_ref())
+    }
+
+    /// Mutably borrow a concrete FU, e.g. to preload an off-chip memory FU
+    /// with input matrices between runs.
+    pub fn fu_as_mut<T: 'static>(&mut self, id: FuId) -> Option<&mut T> {
+        self.fus
+            .get_mut(id.index())
+            .and_then(|f| f.as_any_mut().downcast_mut())
+    }
+
+    /// Immutable access to the stream set (for statistics).
+    pub fn streams(&self) -> &StreamSet {
+        &self.streams
+    }
+
+    pub(crate) fn split_mut(
+        &mut self,
+    ) -> (&mut Vec<Box<dyn FunctionalUnit>>, &mut StreamSet) {
+        (&mut self.fus, &mut self.streams)
+    }
+
+    /// Mutable access to a single FU (used by the engine and the decoder to
+    /// deliver uOPs).
+    pub(crate) fn fu_mut(&mut self, id: FuId) -> &mut dyn FunctionalUnit {
+        self.fus[id.index()].as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fus::{MapFu, MemSinkFu, MemSourceFu};
+
+    #[test]
+    fn valid_chain_builds() {
+        let mut b = DatapathBuilder::new();
+        let s1 = b.add_stream("s1", 2);
+        let s2 = b.add_stream("s2", 2);
+        b.add_fu(MemSourceFu::new("src", vec![0.0; 4], vec![s1]));
+        b.add_fu(MapFu::new("map", s1, s2, |x| x));
+        b.add_fu(MemSinkFu::new("sink", 4, vec![s2]));
+        let dp = b.build().unwrap();
+        assert_eq!(dp.fu_count(), 3);
+        assert_eq!(dp.stream_count(), 2);
+        assert_eq!(dp.fus_of_type("MAP").len(), 1);
+        assert_eq!(dp.fu_by_lane("MEM_SRC", 0), Some(FuId(0)));
+        assert!(dp.fu_by_lane("MEM_SRC", 1).is_none());
+        assert_eq!(dp.fu_name(FuId(1)).unwrap(), "map");
+        assert_eq!(dp.fu_type(FuId(2)).unwrap(), "MEM_SINK");
+        assert!(dp.fu_name(FuId(9)).is_err());
+        assert_eq!(dp.fu_types().count(), 3);
+    }
+
+    #[test]
+    fn dangling_stream_is_rejected() {
+        let mut b = DatapathBuilder::new();
+        let s1 = b.add_stream("s1", 2);
+        let s2 = b.add_stream("s2", 2);
+        b.add_fu(MemSourceFu::new("src", vec![0.0; 4], vec![s1]));
+        // s2 has no producer and no consumer; s1 has no consumer.
+        b.add_fu(MemSinkFu::new("sink", 4, vec![s2]));
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, RsnError::MalformedEdge { .. }));
+    }
+
+    #[test]
+    fn unknown_stream_reference_is_rejected() {
+        let mut b = DatapathBuilder::new();
+        let bogus = StreamId::from_index(17);
+        b.add_fu(MemSourceFu::new("src", vec![0.0; 4], vec![bogus]));
+        let err = b.build().unwrap_err();
+        assert_eq!(
+            err,
+            RsnError::UnknownStream {
+                stream: 17,
+                fu: "src".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn double_consumer_is_rejected() {
+        let mut b = DatapathBuilder::new();
+        let s1 = b.add_stream("s1", 2);
+        b.add_fu(MemSourceFu::new("src", vec![0.0; 4], vec![s1]));
+        b.add_fu(MemSinkFu::new("sink0", 4, vec![s1]));
+        b.add_fu(MemSinkFu::new("sink1", 4, vec![s1]));
+        let err = b.build().unwrap_err();
+        assert!(matches!(
+            err,
+            RsnError::MalformedEdge {
+                producers: 1,
+                consumers: 2,
+                ..
+            }
+        ));
+    }
+}

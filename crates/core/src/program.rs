@@ -1,0 +1,305 @@
+//! RSN programs: per-FU uOP sequences, path triggering and packet
+//! compression.
+//!
+//! A program in the RSN model is nothing more than the set of uOP sequences
+//! destined for each FU — triggering a path means appending uOPs to the FUs
+//! along the path.  For storage and fetch the per-FU sequences are fused into
+//! one RSN instruction packet stream (§3.3); [`Program::compress`] performs
+//! the inverse of the decoder's expansion, discovering repeated windows and
+//! FUs of the same type that share identical sequences so they can be
+//! addressed with a single packet mask.
+
+use crate::error::RsnError;
+use crate::fu::FuId;
+use crate::isa::{Packet, PacketHeader, MAX_REUSE, MAX_WINDOW};
+use crate::network::Datapath;
+use crate::uop::Uop;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A per-FU uOP program for one datapath.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    per_fu: BTreeMap<FuId, Vec<Uop>>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one uOP to the sequence of `fu`.
+    pub fn push(&mut self, fu: FuId, uop: Uop) {
+        self.per_fu.entry(fu).or_default().push(uop);
+    }
+
+    /// Appends several uOPs to the sequence of `fu`.
+    pub fn extend(&mut self, fu: FuId, uops: impl IntoIterator<Item = Uop>) {
+        self.per_fu.entry(fu).or_default().extend(uops);
+    }
+
+    /// Triggers a path: issues `uop` to every FU along `path` in order.
+    ///
+    /// This is the programming-model primitive of §3.1 — a computation is a
+    /// triggered circuit path; FUs not on the path receive nothing.
+    pub fn trigger_path(&mut self, path: &[(FuId, Uop)]) {
+        for (fu, uop) in path {
+            self.push(*fu, uop.clone());
+        }
+    }
+
+    /// Merges another program after this one (per-FU concatenation).
+    pub fn append(&mut self, other: Program) {
+        for (fu, uops) in other.per_fu {
+            self.per_fu.entry(fu).or_default().extend(uops);
+        }
+    }
+
+    /// The uOP sequence for `fu` (empty if none).
+    pub fn uops_for(&self, fu: FuId) -> &[Uop] {
+        self.per_fu.get(&fu).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over `(fu, uops)` pairs in FU-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FuId, &[Uop])> {
+        self.per_fu.iter().map(|(id, v)| (*id, v.as_slice()))
+    }
+
+    /// FUs that receive at least one uOP.
+    pub fn fu_count(&self) -> usize {
+        self.per_fu.len()
+    }
+
+    /// Total uOPs across all FUs.
+    pub fn uop_count(&self) -> usize {
+        self.per_fu.values().map(Vec::len).sum()
+    }
+
+    /// Total encoded size of the expanded uOPs in bytes (the "translated
+    /// uOP size" series of Fig. 9).
+    pub fn uop_bytes(&self) -> usize {
+        self.per_fu
+            .values()
+            .flat_map(|v| v.iter())
+            .map(Uop::encoded_len)
+            .sum()
+    }
+
+    /// Compresses the program into an RSN instruction packet sequence.
+    ///
+    /// FUs of the same type with byte-identical sequences are merged under a
+    /// shared mask; within each sequence, repeated windows (up to
+    /// [`MAX_WINDOW`] mOPs) are folded into `reuse` counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsnError::UnknownFu`] if the program references an FU that
+    /// is not part of `datapath`, or [`RsnError::Encoding`] if a packet
+    /// header field overflows.
+    pub fn compress(&self, datapath: &Datapath) -> Result<Vec<Packet>, RsnError> {
+        // Group program FUs by type, preserving lane order.
+        let mut opcode_of_type: BTreeMap<&str, u8> = BTreeMap::new();
+        for (i, t) in datapath.fu_types().enumerate() {
+            opcode_of_type.insert(t, i as u8);
+        }
+        let mut packets = Vec::new();
+        let mut groups: BTreeMap<(&str, &[Uop]), u8> = BTreeMap::new();
+        for (fu, uops) in self.per_fu.iter() {
+            if fu.index() >= datapath.fu_count() {
+                return Err(RsnError::UnknownFu { fu: fu.index() });
+            }
+            let fu_type = datapath.fu_type(*fu)?;
+            let lanes = datapath.fus_of_type(fu_type);
+            let lane = lanes
+                .iter()
+                .position(|id| id == fu)
+                .expect("fu must appear in its own type group");
+            if lane >= 8 {
+                return Err(RsnError::Encoding {
+                    reason: format!("FU lane {lane} does not fit in an 8-bit mask"),
+                });
+            }
+            *groups.entry((fu_type, uops.as_slice())).or_insert(0) |= 1 << lane;
+        }
+        for ((fu_type, uops), mask) in groups {
+            let opcode = *opcode_of_type
+                .get(fu_type)
+                .expect("fu type present in datapath");
+            compress_sequence(opcode, mask, uops, &mut packets)?;
+        }
+        Ok(packets)
+    }
+
+    /// Total encoded size in bytes of the compressed packet stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`Program::compress`].
+    pub fn packet_bytes(&self, datapath: &Datapath) -> Result<usize, RsnError> {
+        Ok(self
+            .compress(datapath)?
+            .iter()
+            .map(Packet::encoded_len)
+            .sum())
+    }
+}
+
+/// Folds one uOP sequence into packets using greedy window/reuse detection.
+fn compress_sequence(
+    opcode: u8,
+    mask: u8,
+    uops: &[Uop],
+    out: &mut Vec<Packet>,
+) -> Result<(), RsnError> {
+    let mut i = 0;
+    while i < uops.len() {
+        let remaining = uops.len() - i;
+        let mut best_window = 1.min(remaining);
+        let mut best_reuse = 1usize;
+        let mut best_cover = best_window;
+        let max_w = MAX_WINDOW.min(remaining).min(8);
+        for window in 1..=max_w {
+            let mut reuse = 1usize;
+            while reuse < MAX_REUSE {
+                let next = i + reuse * window;
+                if next + window > uops.len() {
+                    break;
+                }
+                if uops[i..i + window] != uops[next..next + window] {
+                    break;
+                }
+                reuse += 1;
+            }
+            let cover = window * reuse;
+            // Prefer the encoding that covers the most uOPs; break ties with
+            // the smaller window (fewer payload bytes).
+            if cover > best_cover || (cover == best_cover && window < best_window) {
+                best_cover = cover;
+                best_window = window;
+                best_reuse = reuse;
+            }
+        }
+        let header = PacketHeader {
+            opcode,
+            mask,
+            last: false,
+            window: best_window as u8,
+            reuse: best_reuse as u16,
+        };
+        out.push(Packet::new(header, uops[i..i + best_window].to_vec())?);
+        i += best_cover;
+    }
+    // Mark the final packet of the sequence so decoders know the FU exits.
+    if let Some(last) = out.last_mut() {
+        last.header.last = true;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fus::{MapFu, MemSinkFu, MemSourceFu};
+    use crate::network::DatapathBuilder;
+
+    fn simple_datapath() -> (Datapath, FuId, FuId, FuId) {
+        let mut b = DatapathBuilder::new();
+        let s1 = b.add_stream("s1", 4);
+        let s2 = b.add_stream("s2", 4);
+        let src = b.add_fu(MemSourceFu::new("src", vec![0.0; 8], vec![s1]));
+        let map = b.add_fu(MapFu::new("map", s1, s2, |x| x));
+        let sink = b.add_fu(MemSinkFu::new("sink", 8, vec![s2]));
+        (b.build().unwrap(), src, map, sink)
+    }
+
+    #[test]
+    fn trigger_path_appends_in_order() {
+        let (_dp, src, map, sink) = simple_datapath();
+        let mut p = Program::new();
+        p.trigger_path(&[
+            (src, Uop::new("read", [0, 8, 0])),
+            (map, Uop::new("map", [8])),
+            (sink, Uop::new("write", [0, 8, 0])),
+        ]);
+        assert_eq!(p.fu_count(), 3);
+        assert_eq!(p.uop_count(), 3);
+        assert_eq!(p.uops_for(map)[0].opcode(), "map");
+        assert_eq!(p.iter().count(), 3);
+    }
+
+    #[test]
+    fn repeated_windows_fold_into_reuse() {
+        let (dp, src, _map, _sink) = simple_datapath();
+        let mut p = Program::new();
+        // load;send repeated 64 times — should compress into one packet with
+        // window 2 and reuse 64.
+        for _ in 0..64 {
+            p.push(src, Uop::new("load", [1, 96]));
+            p.push(src, Uop::new("send", [2, 96]));
+        }
+        let packets = p.compress(&dp).unwrap();
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].header.window, 2);
+        assert_eq!(packets[0].header.reuse, 64);
+        assert!(packets[0].header.last);
+        assert!(p.packet_bytes(&dp).unwrap() < p.uop_bytes());
+    }
+
+    #[test]
+    fn distinct_uops_get_individual_packets() {
+        let (dp, src, _map, _sink) = simple_datapath();
+        let mut p = Program::new();
+        p.push(src, Uop::new("a", [1]));
+        p.push(src, Uop::new("b", [2]));
+        p.push(src, Uop::new("c", [3]));
+        let packets = p.compress(&dp).unwrap();
+        let expanded: usize = packets.iter().map(Packet::expanded_uop_count).sum();
+        assert_eq!(expanded, 3);
+    }
+
+    #[test]
+    fn identical_sequences_share_a_mask() {
+        let mut b = DatapathBuilder::new();
+        let s1 = b.add_stream("s1", 4);
+        let s2 = b.add_stream("s2", 4);
+        let s3 = b.add_stream("s3", 4);
+        let s4 = b.add_stream("s4", 4);
+        let src0 = b.add_fu(MemSourceFu::new("src0", vec![0.0; 8], vec![s1]));
+        let src1 = b.add_fu(MemSourceFu::new("src1", vec![0.0; 8], vec![s2]));
+        b.add_fu(MapFu::new("m0", s1, s3, |x| x));
+        b.add_fu(MapFu::new("m1", s2, s4, |x| x));
+        b.add_fu(MemSinkFu::new("k0", 8, vec![s3]));
+        b.add_fu(MemSinkFu::new("k1", 8, vec![s4]));
+        let dp = b.build().unwrap();
+        let mut p = Program::new();
+        p.push(src0, Uop::new("read", [0, 8, 0]));
+        p.push(src1, Uop::new("read", [0, 8, 0]));
+        let packets = p.compress(&dp).unwrap();
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].header.mask, 0b11);
+    }
+
+    #[test]
+    fn unknown_fu_is_rejected() {
+        let (dp, _src, _map, _sink) = simple_datapath();
+        let mut p = Program::new();
+        p.push(FuId::from_index(42), Uop::new("x", []));
+        assert!(matches!(
+            p.compress(&dp),
+            Err(RsnError::UnknownFu { fu: 42 })
+        ));
+    }
+
+    #[test]
+    fn append_concatenates_per_fu() {
+        let (_dp, src, _map, _sink) = simple_datapath();
+        let mut a = Program::new();
+        a.push(src, Uop::new("x", [1]));
+        let mut b = Program::new();
+        b.push(src, Uop::new("y", [2]));
+        a.append(b);
+        assert_eq!(a.uops_for(src).len(), 2);
+        assert_eq!(a.uops_for(src)[1].opcode(), "y");
+    }
+}

@@ -1,0 +1,400 @@
+//! The execution engine.
+//!
+//! RSN execution is decentralised: every FU works through its own uOP queue
+//! and synchronises with its neighbours only through streams (§3.1).  The
+//! engine models this with a cooperative round-robin scheduler: each *pass*
+//! gives the decoder and every FU one chance to make progress.  A pass in
+//! which nothing moves while work remains is a deadlock; a pass in which
+//! everything is idle and drained terminates the run.
+//!
+//! Cycle accounting is per-FU: each FU reports how many of its own clock
+//! cycles a step consumed, and the engine keeps per-FU busy counters.  The
+//! makespan estimate (the maximum busy counter) is a coarse lower bound used
+//! by tests; the calibrated latency numbers of the evaluation come from the
+//! analytic timing model in `rsn-xnn`.
+
+use crate::decoder::{DecoderStats, DecoderSystem};
+use crate::error::RsnError;
+use crate::fu::{FuId, StepOutcome};
+use crate::isa::Packet;
+use crate::network::Datapath;
+use crate::program::Program;
+use crate::stream::StreamStats;
+use crate::uop::Uop;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Default bound on engine passes before aborting a run.
+pub const DEFAULT_STEP_LIMIT: u64 = 50_000_000;
+
+/// Summary of one engine run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Number of scheduler passes executed.
+    pub steps: u64,
+    /// Per-FU busy cycles (indexed by FU id).
+    pub fu_busy_cycles: Vec<u64>,
+    /// Per-FU retired uOP counts (indexed by FU id).
+    pub fu_uops_retired: Vec<u64>,
+    /// Decoder statistics, if the run was driven from instruction packets.
+    pub decoder: Option<DecoderStats>,
+    /// Aggregate statistics of every stream edge.
+    pub stream_stats: Vec<(String, StreamStats)>,
+    /// Tokens left in flight when the run ended (should be zero for a
+    /// well-formed program).
+    pub residual_tokens: usize,
+}
+
+impl RunReport {
+    /// Coarse makespan estimate: the largest per-FU busy-cycle count.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.fu_busy_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total FP32-equivalent words moved over all streams.
+    pub fn total_words_transferred(&self) -> u64 {
+        self.stream_stats
+            .iter()
+            .map(|(_, s)| s.words_transferred)
+            .sum()
+    }
+
+    /// Total uOPs retired across all FUs.
+    pub fn total_uops_retired(&self) -> u64 {
+        self.fu_uops_retired.iter().sum()
+    }
+}
+
+/// The cooperative RSN execution engine.
+#[derive(Debug)]
+pub struct Engine {
+    datapath: Datapath,
+    decoder: Option<DecoderSystem>,
+    backlog: BTreeMap<FuId, VecDeque<Uop>>,
+    step_limit: u64,
+}
+
+impl Engine {
+    /// Creates an engine over a validated datapath.
+    pub fn new(datapath: Datapath) -> Self {
+        Self {
+            datapath,
+            decoder: None,
+            backlog: BTreeMap::new(),
+            step_limit: DEFAULT_STEP_LIMIT,
+        }
+    }
+
+    /// Replaces the pass budget (mainly useful to force the step-limit error
+    /// in tests).
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// The underlying datapath.
+    pub fn datapath(&self) -> &Datapath {
+        &self.datapath
+    }
+
+    /// Consumes the engine and returns the datapath (with its post-run FU
+    /// state).
+    pub fn into_datapath(self) -> Datapath {
+        self.datapath
+    }
+
+    /// Borrows a concrete FU for state inspection.
+    pub fn fu<T: 'static>(&self, id: FuId) -> Option<&T> {
+        self.datapath.fu_as(id)
+    }
+
+    /// Mutably borrows a concrete FU, e.g. to preload input data or read out
+    /// and reset statistics between runs.
+    pub fn fu_mut<T: 'static>(&mut self, id: FuId) -> Option<&mut T> {
+        self.datapath.fu_as_mut(id)
+    }
+
+    /// Queues a uOP for delivery to `fu`.
+    ///
+    /// Delivery is through an unbounded per-FU backlog that tops up the FU's
+    /// bounded uOP FIFO as space becomes available, which models an FU whose
+    /// uOP sequence is stored locally (the paper's AIE MMEs).
+    pub fn push_uop(&mut self, fu: FuId, uop: Uop) {
+        self.backlog.entry(fu).or_default().push_back(uop);
+    }
+
+    /// Queues a whole per-FU program.
+    pub fn load_program(&mut self, program: &Program) {
+        for (fu, uops) in program.iter() {
+            self.backlog
+                .entry(fu)
+                .or_default()
+                .extend(uops.iter().cloned());
+        }
+    }
+
+    /// Drives the run from an RSN instruction packet stream through the
+    /// three-level decoder instead of (or in addition to) direct uOP
+    /// backlogs.
+    pub fn load_packets(&mut self, packets: Vec<Packet>) {
+        self.decoder = Some(DecoderSystem::new(&self.datapath, packets));
+    }
+
+    /// Same as [`Engine::load_packets`] but with an explicit decoder FIFO
+    /// depth (used to reproduce the §3.3 deadlock discussion).
+    pub fn load_packets_with_fifo_depth(&mut self, packets: Vec<Packet>, depth: usize) {
+        self.decoder = Some(DecoderSystem::with_fifo_depth(&self.datapath, packets, depth));
+    }
+
+    fn feed_backlogs(&mut self) -> u64 {
+        let mut moved = 0;
+        for (fu, queue) in self.backlog.iter_mut() {
+            while let Some(uop) = queue.front() {
+                let target = self.datapath.fu_mut(*fu);
+                if target.uop_queue().is_full() {
+                    break;
+                }
+                target
+                    .push_uop(uop.clone())
+                    .expect("queue space checked above");
+                queue.pop_front();
+                moved += 1;
+            }
+        }
+        self.backlog.retain(|_, q| !q.is_empty());
+        moved
+    }
+
+    /// Runs until every FU is idle, all streams are drained of producer
+    /// work, and the decoder (if any) has issued every uOP.
+    ///
+    /// # Errors
+    ///
+    /// * [`RsnError::Deadlock`] if a pass makes no progress while work
+    ///   remains (stream backpressure cycle or decoder-order deadlock).
+    /// * [`RsnError::StepLimitExceeded`] if the pass budget is exhausted.
+    pub fn run(&mut self) -> Result<RunReport, RsnError> {
+        let fu_count = self.datapath.fu_count();
+        let mut busy = vec![0u64; fu_count];
+        let mut steps = 0u64;
+        loop {
+            if steps >= self.step_limit {
+                return Err(RsnError::StepLimitExceeded {
+                    limit: self.step_limit,
+                });
+            }
+            steps += 1;
+            let mut progressed = false;
+            let mut any_pending = false;
+
+            if self.feed_backlogs() > 0 {
+                progressed = true;
+            }
+            if !self.backlog.is_empty() {
+                any_pending = true;
+            }
+
+            if let Some(decoder) = self.decoder.as_mut() {
+                match decoder.step(&mut self.datapath) {
+                    StepOutcome::Progress { .. } => progressed = true,
+                    StepOutcome::Blocked => any_pending = true,
+                    StepOutcome::Idle => {}
+                }
+            }
+
+            let mut blocked_names: Vec<String> = Vec::new();
+            {
+                let (fus, streams) = self.datapath.split_mut();
+                for (i, fu) in fus.iter_mut().enumerate() {
+                    match fu.step(streams) {
+                        StepOutcome::Progress { cycles } => {
+                            busy[i] += cycles;
+                            progressed = true;
+                        }
+                        StepOutcome::Blocked => {
+                            any_pending = true;
+                            blocked_names.push(fu.name().to_string());
+                        }
+                        StepOutcome::Idle => {
+                            if !fu.is_idle() {
+                                any_pending = true;
+                            }
+                        }
+                    }
+                }
+            }
+
+            if !progressed {
+                if any_pending {
+                    return Err(RsnError::Deadlock {
+                        step: steps,
+                        blocked: blocked_names,
+                    });
+                }
+                break;
+            }
+        }
+
+        let fu_uops_retired = (0..fu_count)
+            .map(|i| self.datapath.fu_mut(FuId(i)).uop_queue().retired())
+            .collect();
+        let stream_stats = self
+            .datapath
+            .streams()
+            .iter()
+            .map(|(_, ch)| (ch.name().to_string(), ch.stats()))
+            .collect();
+        Ok(RunReport {
+            steps,
+            fu_busy_cycles: busy,
+            fu_uops_retired,
+            decoder: self.decoder.as_ref().map(DecoderSystem::stats),
+            stream_stats,
+            residual_tokens: self.datapath.streams().total_queued(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fus::{MapFu, MemSinkFu, MemSourceFu};
+    use crate::network::DatapathBuilder;
+
+    fn pipeline(n: usize) -> (Engine, FuId, FuId, FuId) {
+        let mut b = DatapathBuilder::new();
+        let s1 = b.add_stream("s1", 4);
+        let s2 = b.add_stream("s2", 4);
+        let input: Vec<f32> = (0..n).map(|x| x as f32).collect();
+        let src = b.add_fu(MemSourceFu::new("FU1", input, vec![s1]));
+        let map = b.add_fu(MapFu::new("FU2", s1, s2, |x| x + 1.0));
+        let sink = b.add_fu(MemSinkFu::new("FU3", n, vec![s2]));
+        (Engine::new(b.build().unwrap()), src, map, sink)
+    }
+
+    #[test]
+    fn program_and_packet_paths_give_identical_results() {
+        let n = 100;
+        // Direct backlog path.
+        let (mut e1, src, map, sink) = pipeline(n);
+        let mut program = Program::new();
+        program.push(src, Uop::new("read", [0, n as i64, 0]));
+        program.push(map, Uop::new("map", [n as i64]));
+        program.push(sink, Uop::new("write", [0, n as i64, 0]));
+        e1.load_program(&program);
+        let r1 = e1.run().unwrap();
+        let out1 = e1.fu::<MemSinkFu>(sink).unwrap().memory().to_vec();
+
+        // Packet/decoder path.
+        let (mut e2, src2, map2, sink2) = pipeline(n);
+        let mut program2 = Program::new();
+        program2.push(src2, Uop::new("read", [0, n as i64, 0]));
+        program2.push(map2, Uop::new("map", [n as i64]));
+        program2.push(sink2, Uop::new("write", [0, n as i64, 0]));
+        let packets = program2.compress(e2.datapath()).unwrap();
+        e2.load_packets(packets);
+        let r2 = e2.run().unwrap();
+        let out2 = e2.fu::<MemSinkFu>(sink2).unwrap().memory().to_vec();
+
+        assert_eq!(out1, out2);
+        assert_eq!(r1.total_uops_retired(), r2.total_uops_retired());
+        assert!(r2.decoder.unwrap().uops_issued >= 3);
+        assert_eq!(r1.residual_tokens, 0);
+        assert_eq!(r2.residual_tokens, 0);
+    }
+
+    #[test]
+    fn mismatched_send_receive_counts_deadlock() {
+        // FU3 expects 8 tokens but FU1 only sends 4: the paper's
+        // "receives exceed sends" case blocks indefinitely.
+        let (mut engine, src, map, sink) = pipeline(8);
+        engine.push_uop(src, Uop::new("read", [0, 4, 0]));
+        engine.push_uop(map, Uop::new("map", [4]));
+        engine.push_uop(sink, Uop::new("write", [0, 8, 0]));
+        let err = engine.run().unwrap_err();
+        assert!(matches!(err, RsnError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn excess_sends_leave_residual_tokens() {
+        // FU1 sends 8 but FU3 only receives 4; the run completes (nothing is
+        // blocked forever because channel capacity suffices) and the report
+        // flags the leftover tokens.
+        let mut b = DatapathBuilder::new();
+        let s1 = b.add_stream("s1", 16);
+        let s2 = b.add_stream("s2", 16);
+        let src = b.add_fu(MemSourceFu::new("FU1", vec![1.0; 8], vec![s1]));
+        let map = b.add_fu(MapFu::new("FU2", s1, s2, |x| x));
+        let sink = b.add_fu(MemSinkFu::new("FU3", 8, vec![s2]));
+        let mut engine = Engine::new(b.build().unwrap());
+        engine.push_uop(src, Uop::new("read", [0, 8, 0]));
+        engine.push_uop(map, Uop::new("map", [8]));
+        engine.push_uop(sink, Uop::new("write", [0, 4, 0]));
+        let report = engine.run().unwrap();
+        assert_eq!(report.residual_tokens, 4);
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let (mut engine, src, map, sink) = pipeline(64);
+        let mut engine = {
+            engine.push_uop(src, Uop::new("read", [0, 64, 0]));
+            engine.push_uop(map, Uop::new("map", [64]));
+            engine.push_uop(sink, Uop::new("write", [0, 64, 0]));
+            engine.with_step_limit(2)
+        };
+        assert_eq!(
+            engine.run().unwrap_err(),
+            RsnError::StepLimitExceeded { limit: 2 }
+        );
+    }
+
+    #[test]
+    fn report_metrics_are_consistent() {
+        let (mut engine, src, map, sink) = pipeline(32);
+        engine.push_uop(src, Uop::new("read", [0, 32, 0]));
+        engine.push_uop(map, Uop::new("map", [32]));
+        engine.push_uop(sink, Uop::new("write", [0, 32, 0]));
+        let report = engine.run().unwrap();
+        assert_eq!(report.total_uops_retired(), 3);
+        // 32 scalars cross two edges.
+        assert_eq!(report.total_words_transferred(), 64);
+        assert!(report.makespan_cycles() >= 32);
+        assert!(report.steps > 0);
+        assert_eq!(report.fu_busy_cycles.len(), 3);
+    }
+
+    #[test]
+    fn small_decoder_fifo_reproduces_ordering_deadlock() {
+        // Construct a packet order in which the fetch unit must deliver a
+        // long producer sequence before the consumer's first uOP.  With a
+        // tiny FU uOP FIFO and a tiny decoder FIFO the fetch stalls before
+        // the consumer ever learns it should drain, which deadlocks; with
+        // the default depth of six the same program completes.
+        fn build(depth: usize) -> Result<RunReport, RsnError> {
+            let mut b = DatapathBuilder::new();
+            let s1 = b.add_stream("s1", 1);
+            let s2 = b.add_stream("s2", 1);
+            let src = b.add_fu(MemSourceFu::new("FU1", vec![1.0; 64], vec![s1]));
+            let map = b.add_fu(MapFu::new("FU2", s1, s2, |x| x));
+            let sink = b.add_fu(MemSinkFu::new("FU3", 64, vec![s2]));
+            let mut p = Program::new();
+            // Many distinct single-element reads so nothing compresses and
+            // the source's packets alone overflow a shallow FIFO chain.
+            for i in 0..32 {
+                p.push(src, Uop::new("read", [0, 1, i]));
+            }
+            for i in 0..32 {
+                p.push(map, Uop::new("map", [1 + (i % 1)]));
+            }
+            for i in 0..32 {
+                p.push(sink, Uop::new("write", [0, 1, i]));
+            }
+            let mut engine = Engine::new(b.build().unwrap());
+            let packets = p.compress(engine.datapath()).unwrap();
+            engine.load_packets_with_fifo_depth(packets, depth);
+            engine.run()
+        }
+        assert!(build(6).is_ok());
+    }
+}

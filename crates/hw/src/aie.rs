@@ -1,0 +1,315 @@
+//! The AI-engine array model.
+//!
+//! RSN-XNN virtualises the 400-tile AIE array as six matrix-multiply-engine
+//! (MME) functional units.  Each MME groups 64 tiles in a 4×4×4 arrangement
+//! and shares PL↔AIE streams four ways so the whole design fits inside the
+//! board's 234-input / 156-output stream budget (§5.3, Fig. 17).
+//!
+//! Two models live here:
+//!
+//! * [`MmeGroupPlan`] — the stream-allocation arithmetic (how many tiles and
+//!   streams a grouping consumes and whether it fits the budget),
+//! * [`GemmKernelModel`] / [`AieArrayModel`] — a calibrated throughput model
+//!   for the AIE GEMM kernels behind Table 6a and the end-to-end compute
+//!   times used by the timing model.
+
+use crate::versal::Vck190Spec;
+use serde::{Deserialize, Serialize};
+
+/// How AIE tiles are grouped into MME functional units and how the PL↔AIE
+/// streams are shared within a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmeGroupPlan {
+    /// Number of MME groups (6 in RSN-XNN).
+    pub groups: usize,
+    /// Tiles per group along the M dimension of the 3-D arrangement.
+    pub tiles_m: usize,
+    /// Tiles per group along the K dimension (cascade-chained).
+    pub tiles_k: usize,
+    /// Tiles per group along the N dimension.
+    pub tiles_n: usize,
+    /// How many tiles share one LHS/RHS input stream.
+    pub input_stream_reuse: usize,
+    /// How many tiles share one output stream (cascade length).
+    pub output_stream_reuse: usize,
+}
+
+impl MmeGroupPlan {
+    /// The 6-group, 4×4×4 plan used by RSN-XNN (§5.3).
+    pub fn rsn_xnn() -> Self {
+        Self {
+            groups: 6,
+            tiles_m: 4,
+            tiles_k: 4,
+            tiles_n: 4,
+            input_stream_reuse: 4,
+            output_stream_reuse: 4,
+        }
+    }
+
+    /// Tiles per MME group.
+    pub fn tiles_per_group(&self) -> usize {
+        self.tiles_m * self.tiles_k * self.tiles_n
+    }
+
+    /// Total AIE tiles used by all groups.
+    pub fn tiles_used(&self) -> usize {
+        self.groups * self.tiles_per_group()
+    }
+
+    /// Total PL→AIE input streams required.
+    ///
+    /// Without sharing each tile needs two input streams (LHS and RHS);
+    /// sharing divides that by the reuse factor.
+    pub fn input_streams_required(&self) -> usize {
+        self.tiles_used() * 2 / self.input_stream_reuse
+    }
+
+    /// Total AIE→PL output streams required.
+    ///
+    /// Cascading `output_stream_reuse` tiles lets them share one stream.
+    pub fn output_streams_required(&self) -> usize {
+        self.tiles_used() / self.output_stream_reuse
+    }
+
+    /// Whether the plan fits within the board's stream budget.
+    pub fn fits(&self, spec: &Vck190Spec) -> bool {
+        self.tiles_used() <= spec.aie_tile_count()
+            && self.input_streams_required() <= spec.aie_input_streams
+            && self.output_streams_required() <= spec.aie_output_streams
+    }
+}
+
+/// Calibrated per-kernel overhead model for a tiled AIE GEMM implementation.
+///
+/// A kernel invocation multiplies an `m×k` tile by a `k×n` tile.  The MAC
+/// array needs `m·k·n / 8` cycles of pure compute; everything else (VLIW
+/// pipeline fill, lock synchronisation, stream start-up) is folded into a
+/// per-invocation `overhead_cycles` constant.  The constants below were
+/// calibrated so the achieved-throughput column of Table 6a is reproduced
+/// to within a few percent; they are documented as calibration values, not
+/// datasheet numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmKernelModel {
+    /// Human-readable name of the kernel/framework.
+    pub name: &'static str,
+    /// AIE tiles the implementation keeps busy.
+    pub tiles_used: usize,
+    /// Fixed overhead cycles per kernel invocation (calibrated).
+    pub overhead_cycles: f64,
+}
+
+impl GemmKernelModel {
+    /// The RSN-XNN kernel (384 tiles, ~530 cycles of per-invocation
+    /// overhead).
+    pub fn rsn_xnn() -> Self {
+        Self {
+            name: "RSN-XNN",
+            tiles_used: 384,
+            overhead_cycles: 530.0,
+        }
+    }
+
+    /// The CHARM kernel as published (384 tiles at a markedly lower
+    /// efficiency).
+    pub fn charm() -> Self {
+        Self {
+            name: "CHARM",
+            tiles_used: 384,
+            overhead_cycles: 2890.0,
+        }
+    }
+
+    /// The MaxEVA kernel as published (390 tiles).
+    pub fn maxeva() -> Self {
+        Self {
+            name: "MaxEVA",
+            tiles_used: 390,
+            overhead_cycles: 1690.0,
+        }
+    }
+
+    /// The AMA kernel as published (342 tiles).
+    pub fn ama() -> Self {
+        Self {
+            name: "AMA",
+            tiles_used: 342,
+            overhead_cycles: 500.0,
+        }
+    }
+
+    /// Efficiency (0..1) of one kernel invocation for an `m×k×n` tile.
+    pub fn kernel_efficiency(&self, m: usize, k: usize, n: usize) -> f64 {
+        let compute_cycles = (m * k * n) as f64 / 8.0;
+        compute_cycles / (compute_cycles + self.overhead_cycles)
+    }
+
+    /// Achieved array throughput in FLOP/s for a steady stream of `m×k×n`
+    /// tile kernels, assuming data is generated on the PL side (no DRAM
+    /// limit) — the setting of Table 6a.
+    pub fn achieved_flops(&self, spec: &Vck190Spec, m: usize, k: usize, n: usize) -> f64 {
+        spec.aie_tile_peak_flops() * self.tiles_used as f64 * self.kernel_efficiency(m, k, n)
+    }
+}
+
+/// The array-level compute model used by the timing code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AieArrayModel {
+    spec: Vck190Spec,
+    kernel: GemmKernelModel,
+    plan: MmeGroupPlan,
+}
+
+impl AieArrayModel {
+    /// The RSN-XNN array configuration.
+    pub fn rsn_xnn() -> Self {
+        Self {
+            spec: Vck190Spec::new(),
+            kernel: GemmKernelModel::rsn_xnn(),
+            plan: MmeGroupPlan::rsn_xnn(),
+        }
+    }
+
+    /// Builds a model with an explicit kernel (used for the baselines in
+    /// Table 6).
+    pub fn with_kernel(kernel: GemmKernelModel) -> Self {
+        Self {
+            spec: Vck190Spec::new(),
+            kernel,
+            plan: MmeGroupPlan::rsn_xnn(),
+        }
+    }
+
+    /// The board spec behind this model.
+    pub fn spec(&self) -> &Vck190Spec {
+        &self.spec
+    }
+
+    /// The kernel model behind this model.
+    pub fn kernel(&self) -> &GemmKernelModel {
+        &self.kernel
+    }
+
+    /// The MME grouping plan.
+    pub fn plan(&self) -> &MmeGroupPlan {
+        &self.plan
+    }
+
+    /// Achieved FLOP/s when a fraction `utilization` (0..=1) of the MME
+    /// groups is assigned to the computation.
+    ///
+    /// The paper's Table 3 uses 64 % (4/6 groups usable when a layer is too
+    /// small to split further) and 96 % (all six groups busy).
+    pub fn achieved_flops_at_utilization(&self, utilization: f64) -> f64 {
+        let eff = self.kernel.kernel_efficiency(32, 32, 32);
+        self.spec.aie_tile_peak_flops() * self.kernel.tiles_used as f64 * eff * utilization
+    }
+
+    /// Time in seconds to execute `flops` floating-point operations at the
+    /// given MME utilization, ignoring off-chip bandwidth.
+    pub fn compute_time_s(&self, flops: f64, utilization: f64) -> f64 {
+        flops / self.achieved_flops_at_utilization(utilization)
+    }
+
+    /// Peak achieved GEMM throughput with all groups busy (the 6.78 TFLOPS
+    /// figure of §5.3).
+    pub fn peak_achieved_flops(&self) -> f64 {
+        self.achieved_flops_at_utilization(1.0)
+    }
+
+    /// Minimum number of times each loaded weight must be reused for the
+    /// computation to stay compute-bound instead of LPDDR-bound (§5.3
+    /// reports 661× for RSN-XNN).
+    pub fn required_weight_reuse(&self) -> f64 {
+        // Each FP32 weight is 4 bytes and participates in 2 FLOP per use.
+        self.peak_achieved_flops() / (self.spec.lpddr_read_bw / 4.0) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rsn_plan_fits_stream_budget() {
+        let spec = Vck190Spec::new();
+        let plan = MmeGroupPlan::rsn_xnn();
+        assert_eq!(plan.tiles_used(), 384);
+        assert_eq!(plan.input_streams_required(), 192);
+        assert_eq!(plan.output_streams_required(), 96);
+        assert!(plan.fits(&spec));
+    }
+
+    #[test]
+    fn naive_plan_exceeds_stream_budget() {
+        // One stream per tile port (no sharing) needs 800 in / 400 out,
+        // which the paper points out does not fit.
+        let plan = MmeGroupPlan {
+            groups: 6,
+            tiles_m: 4,
+            tiles_k: 4,
+            tiles_n: 4,
+            input_stream_reuse: 1,
+            output_stream_reuse: 1,
+        };
+        assert!(!plan.fits(&Vck190Spec::new()));
+    }
+
+    #[test]
+    fn table6a_throughputs_are_reproduced_in_shape() {
+        let spec = Vck190Spec::new();
+        let rsn = GemmKernelModel::rsn_xnn();
+        let charm = GemmKernelModel::charm();
+        let maxeva = GemmKernelModel::maxeva();
+        let ama = GemmKernelModel::ama();
+        let g = |k: &GemmKernelModel| k.achieved_flops(&spec, 32, 32, 32) / 1e9;
+        // Paper: CHARM 4504, MaxEVA 5442, AMA 5867, RSN 6785 GFLOPS.
+        assert!((g(&rsn) - 6785.0).abs() / 6785.0 < 0.05, "rsn {}", g(&rsn));
+        assert!((g(&charm) - 4504.0).abs() / 4504.0 < 0.05, "charm {}", g(&charm));
+        assert!((g(&maxeva) - 5442.0).abs() / 5442.0 < 0.05, "maxeva {}", g(&maxeva));
+        assert!((g(&ama) - 5867.0).abs() / 5867.0 < 0.05, "ama {}", g(&ama));
+        // Ordering (who wins) must hold.
+        assert!(g(&rsn) > g(&ama) && g(&ama) > g(&maxeva) && g(&maxeva) > g(&charm));
+    }
+
+    #[test]
+    fn smaller_tiles_reduce_efficiency() {
+        let spec = Vck190Spec::new();
+        let rsn = GemmKernelModel::rsn_xnn();
+        let full = rsn.achieved_flops(&spec, 32, 32, 32);
+        let half_k = rsn.achieved_flops(&spec, 32, 16, 32);
+        let half_n = rsn.achieved_flops(&spec, 32, 32, 16);
+        assert!(half_k < full);
+        assert!(half_n < full);
+        // Paper ordering: 32x16x32 (6096) < 32x32x16 (6306) < 32x32x32 (6785).
+        // Our first-order model treats both halvings identically, so we only
+        // require that they land in the right neighbourhood.
+        assert!(half_k / 1e9 > 5800.0 && half_k / 1e9 < 6500.0);
+        assert!(half_n / 1e9 > 5800.0 && half_n / 1e9 < 6500.0);
+    }
+
+    #[test]
+    fn utilization_scales_compute_time() {
+        let m = AieArrayModel::rsn_xnn();
+        let flops = 1.0e12;
+        let t_full = m.compute_time_s(flops, 0.96);
+        let t_part = m.compute_time_s(flops, 0.64);
+        assert!(t_part > t_full);
+        assert!((t_part / t_full - 0.96 / 0.64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_reuse_requirement_matches_paper_order() {
+        let m = AieArrayModel::rsn_xnn();
+        let reuse = m.required_weight_reuse();
+        // Paper reports each weight must be reused over 661 times.
+        assert!(reuse > 500.0 && reuse < 800.0, "reuse {reuse}");
+    }
+
+    #[test]
+    fn peak_achieved_is_below_peak_theoretical() {
+        let m = AieArrayModel::rsn_xnn();
+        assert!(m.peak_achieved_flops() < m.spec().aie_peak_flops());
+        assert!(m.peak_achieved_flops() > 0.8 * 8.0e12 * 384.0 / 400.0);
+    }
+}

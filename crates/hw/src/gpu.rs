@@ -1,0 +1,228 @@
+//! GPU datasheet models used by the Table 10 comparison.
+//!
+//! The paper compares RSN-XNN against the NVIDIA T4, V100, A100 and L4 using
+//! published datasheet numbers (peak FLOPS, memory bandwidth, die area) plus
+//! measured latency and power.  This module captures the datasheet side and
+//! a roofline-style latency estimator; the measured reference latencies the
+//! paper quotes from NVIDIA's reports are kept alongside so the benchmark
+//! harness can print both "estimated" and "published" columns.
+
+use crate::roofline::roofline_latency_s;
+use serde::{Deserialize, Serialize};
+
+/// Which GPU (or the VCK190, for uniform table generation) a spec describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuModel {
+    /// NVIDIA T4 (Turing, 12 nm, 2018).
+    T4,
+    /// NVIDIA V100 (Volta, 12 nm, 2017).
+    V100,
+    /// NVIDIA A100 (Ampere, 7 nm, 2020) running FP32.
+    A100Fp32,
+    /// NVIDIA A100 running FP16 tensor cores.
+    A100Fp16,
+    /// NVIDIA L4 (Ada, 5 nm, 2023).
+    L4,
+}
+
+/// Datasheet-level description of one device, as used in Table 10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Which device this is.
+    pub model: GpuModel,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Numeric precision the peak refers to.
+    pub precision: &'static str,
+    /// Release year.
+    pub release_year: u32,
+    /// Process node in nm.
+    pub process_nm: u32,
+    /// Peak throughput in FLOP/s for the listed precision.
+    pub peak_flops: f64,
+    /// Off-chip memory bandwidth in bytes/s.
+    pub mem_bw: f64,
+    /// Die area in mm².
+    pub die_area_mm2: f64,
+    /// Board operating power while running BERT-Large, W (paper measurement).
+    pub operating_power_w: f64,
+    /// Dynamic power (operating minus idle), W (paper measurement).
+    pub dynamic_power_w: f64,
+    /// Measured BERT-Large latency in ms for batch sizes 1, 2, 4 and 8
+    /// (sequence length 384), as quoted by the paper from NVIDIA's reports.
+    pub published_latency_ms: [f64; 4],
+    /// Measured total DRAM traffic in GB at batch size 8 (None where the
+    /// paper does not report it).
+    pub dram_traffic_gb: Option<f64>,
+}
+
+impl GpuSpec {
+    /// Returns the spec of the requested device.
+    pub fn of(model: GpuModel) -> Self {
+        match model {
+            GpuModel::T4 => Self {
+                model,
+                name: "T4",
+                precision: "FP32",
+                release_year: 2018,
+                process_nm: 12,
+                peak_flops: 8.1e12,
+                mem_bw: 320.0e9,
+                die_area_mm2: 545.0,
+                operating_power_w: 72.0,
+                dynamic_power_w: 42.0,
+                published_latency_ms: [67.0, 127.0, 258.0, 499.0],
+                dram_traffic_gb: Some(31.0),
+            },
+            GpuModel::V100 => Self {
+                model,
+                name: "V100",
+                precision: "FP32",
+                release_year: 2017,
+                process_nm: 12,
+                peak_flops: 15.7e12,
+                mem_bw: 900.0e9,
+                die_area_mm2: 815.0,
+                operating_power_w: 292.0,
+                dynamic_power_w: 256.0,
+                published_latency_ms: [29.0, 49.0, 93.0, 182.0],
+                dram_traffic_gb: None,
+            },
+            GpuModel::A100Fp32 => Self {
+                model,
+                name: "A100",
+                precision: "FP32",
+                release_year: 2020,
+                process_nm: 7,
+                peak_flops: 19.5e12,
+                mem_bw: 1555.0e9,
+                die_area_mm2: 826.0,
+                operating_power_w: 308.0,
+                dynamic_power_w: 268.0,
+                published_latency_ms: [23.0, 40.0, 72.0, 137.0],
+                dram_traffic_gb: Some(34.0),
+            },
+            GpuModel::A100Fp16 => Self {
+                model,
+                name: "A100 (FP16)",
+                precision: "FP16",
+                release_year: 2020,
+                process_nm: 7,
+                peak_flops: 312.0e12,
+                mem_bw: 1555.0e9,
+                die_area_mm2: 826.0,
+                operating_power_w: 392.0,
+                dynamic_power_w: 352.0,
+                published_latency_ms: [8.0, 10.0, 15.0, 23.0],
+                dram_traffic_gb: Some(25.0),
+            },
+            GpuModel::L4 => Self {
+                model,
+                name: "L4",
+                precision: "FP32",
+                release_year: 2023,
+                process_nm: 5,
+                peak_flops: 30.3e12,
+                mem_bw: 300.0e9,
+                die_area_mm2: 294.0,
+                operating_power_w: 72.0,
+                dynamic_power_w: 41.0,
+                published_latency_ms: [41.0, 83.0, 156.0, 307.0],
+                dram_traffic_gb: Some(12.0),
+            },
+        }
+    }
+
+    /// All devices compared in Table 10, in the paper's column order.
+    pub fn table10_devices() -> Vec<GpuSpec> {
+        vec![
+            Self::of(GpuModel::T4),
+            Self::of(GpuModel::V100),
+            Self::of(GpuModel::A100Fp32),
+            Self::of(GpuModel::A100Fp16),
+            Self::of(GpuModel::L4),
+        ]
+    }
+
+    /// Published latency for a batch size in {1, 2, 4, 8}, if available.
+    pub fn published_latency_ms_for_batch(&self, batch: usize) -> Option<f64> {
+        match batch {
+            1 => Some(self.published_latency_ms[0]),
+            2 => Some(self.published_latency_ms[1]),
+            4 => Some(self.published_latency_ms[2]),
+            8 => Some(self.published_latency_ms[3]),
+            _ => None,
+        }
+    }
+
+    /// Roofline latency estimate for a workload of `flops` floating-point
+    /// operations moving `bytes` to/from DRAM, with an efficiency factor
+    /// describing how much of the datasheet peak the kernel achieves.
+    pub fn roofline_latency_s(&self, flops: f64, bytes: f64, efficiency: f64) -> f64 {
+        roofline_latency_s(flops, bytes, self.peak_flops * efficiency, self.mem_bw)
+    }
+
+    /// Sequences per joule at the given throughput (tasks/s), using
+    /// operating power.
+    pub fn operating_efficiency_seq_per_j(&self, tasks_per_s: f64) -> f64 {
+        tasks_per_s / self.operating_power_w
+    }
+
+    /// Sequences per joule at the given throughput (tasks/s), using dynamic
+    /// power only.
+    pub fn dynamic_efficiency_seq_per_j(&self, tasks_per_s: f64) -> f64 {
+        tasks_per_s / self.dynamic_power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t4_matches_vck190_fp32_peak_class() {
+        let t4 = GpuSpec::of(GpuModel::T4);
+        // The paper stresses the T4 has "the same 8 TFLOPS FP32 performance".
+        assert!((t4.peak_flops / 1e12 - 8.1).abs() < 0.2);
+        assert!((t4.mem_bw / 1e9 - 320.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn table10_has_five_device_columns() {
+        let devices = GpuSpec::table10_devices();
+        assert_eq!(devices.len(), 5);
+        assert_eq!(devices[0].name, "T4");
+        assert_eq!(devices[3].precision, "FP16");
+    }
+
+    #[test]
+    fn published_latencies_scale_with_batch() {
+        for d in GpuSpec::table10_devices() {
+            let l1 = d.published_latency_ms_for_batch(1).unwrap();
+            let l8 = d.published_latency_ms_for_batch(8).unwrap();
+            assert!(l8 > l1);
+            assert!(d.published_latency_ms_for_batch(3).is_none());
+        }
+    }
+
+    #[test]
+    fn roofline_estimate_is_compute_or_bandwidth_bound() {
+        let a100 = GpuSpec::of(GpuModel::A100Fp32);
+        // Huge arithmetic intensity: compute-bound.
+        let t_compute = a100.roofline_latency_s(1.0e15, 1.0e6, 1.0);
+        assert!((t_compute - 1.0e15 / 19.5e12).abs() / t_compute < 1e-9);
+        // Tiny arithmetic intensity: bandwidth-bound.
+        let t_mem = a100.roofline_latency_s(1.0e6, 1.0e12, 1.0);
+        assert!((t_mem - 1.0e12 / 1555.0e9).abs() / t_mem < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_metrics_use_power() {
+        let t4 = GpuSpec::of(GpuModel::T4);
+        // 16 tasks/s at 72 W operating = 0.22 seq/J as in Table 10.
+        let seq_j = t4.operating_efficiency_seq_per_j(8.0 / 0.499);
+        assert!((seq_j - 0.22).abs() < 0.02, "seq/J {seq_j}");
+        let dyn_j = t4.dynamic_efficiency_seq_per_j(8.0 / 0.499);
+        assert!((dyn_j - 0.38).abs() < 0.03, "dyn seq/J {dyn_j}");
+    }
+}

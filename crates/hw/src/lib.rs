@@ -1,0 +1,44 @@
+//! # rsn-hw
+//!
+//! Hardware substrate models for the RSN reproduction.
+//!
+//! The paper prototypes RSN-XNN on an AMD Versal VCK190 board and compares
+//! against NVIDIA GPUs.  That hardware is not available to a pure-software
+//! reproduction, so this crate provides calibrated analytic models of the
+//! relevant substrates:
+//!
+//! * [`versal`] — the VCK190 platform description (AIE array, PL fabric,
+//!   on-chip memory, AIE↔PL stream budgets, clock rates),
+//! * [`memory`] — off-chip DDR / LPDDR bandwidth models with the measured
+//!   peak-vs-achieved gap and the cost of strided or poorly interleaved
+//!   access,
+//! * [`aie`] — the AI-engine array model: tile grouping into matrix-multiply
+//!   engines, stream-budget allocation, and GEMM kernel efficiency,
+//! * [`gpu`] — published GPU datasheet models (T4, V100, A100, L4) used by
+//!   the Table 10 comparison,
+//! * [`roofline`] — the first-order latency estimator used throughout the
+//!   paper's mapping analysis (Table 3) and bandwidth sweep (Table 11),
+//! * [`energy`] — the component power model behind Table 4 / Fig. 15 and the
+//!   energy-efficiency comparison of Table 10,
+//! * [`area`] — FPGA resource utilization and the decoder-overhead
+//!   comparison of Table 5.
+//!
+//! All constants trace back to the paper or to the public datasheets it
+//! cites; where a number is a calibration (for example the per-kernel AIE
+//! overhead cycles), the doc comment on the constant says so.
+
+pub mod aie;
+pub mod area;
+pub mod energy;
+pub mod gpu;
+pub mod memory;
+pub mod roofline;
+pub mod versal;
+
+pub use aie::{AieArrayModel, GemmKernelModel, MmeGroupPlan};
+pub use area::{AreaModel, ResourceUtilization};
+pub use energy::{ComponentPower, EnergyModel};
+pub use gpu::{GpuModel, GpuSpec};
+pub use memory::{MemoryChannelModel, MemoryKind};
+pub use roofline::{roofline_latency_s, RooflineEstimate};
+pub use versal::Vck190Spec;

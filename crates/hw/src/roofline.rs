@@ -1,0 +1,104 @@
+//! The first-order roofline latency estimator.
+//!
+//! The paper's mapping analysis (§4.3, Table 3) and bandwidth sensitivity
+//! study (§5.7, Table 11) reason about latency as the maximum of the
+//! compute-bound time and the bandwidth-bound time.  This module provides
+//! that estimator plus a small result type that keeps the two components
+//! visible so benchmark output can show *why* a configuration is slow.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency estimate decomposed into its compute and memory components.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflineEstimate {
+    /// Time if the computation were only compute-bound, seconds.
+    pub compute_time_s: f64,
+    /// Time if the computation were only bandwidth-bound, seconds.
+    pub memory_time_s: f64,
+}
+
+impl RooflineEstimate {
+    /// Builds an estimate from workload and machine characteristics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak_flops` or `bandwidth` is not strictly positive.
+    pub fn new(flops: f64, bytes: f64, peak_flops: f64, bandwidth: f64) -> Self {
+        assert!(peak_flops > 0.0, "peak_flops must be positive");
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        Self {
+            compute_time_s: flops / peak_flops,
+            memory_time_s: bytes / bandwidth,
+        }
+    }
+
+    /// The roofline latency: the slower of the two components.
+    pub fn latency_s(&self) -> f64 {
+        self.compute_time_s.max(self.memory_time_s)
+    }
+
+    /// Whether the workload is limited by compute rather than bandwidth.
+    pub fn is_compute_bound(&self) -> bool {
+        self.compute_time_s >= self.memory_time_s
+    }
+}
+
+/// Convenience wrapper returning only the latency.
+///
+/// # Panics
+///
+/// Panics if `peak_flops` or `bandwidth` is not strictly positive.
+pub fn roofline_latency_s(flops: f64, bytes: f64, peak_flops: f64, bandwidth: f64) -> f64 {
+    RooflineEstimate::new(flops, bytes, peak_flops, bandwidth).latency_s()
+}
+
+/// Arithmetic intensity (FLOP per byte) at which a machine transitions from
+/// bandwidth-bound to compute-bound.
+///
+/// # Panics
+///
+/// Panics if `bandwidth` is not strictly positive.
+pub fn ridge_point(peak_flops: f64, bandwidth: f64) -> f64 {
+    assert!(bandwidth > 0.0, "bandwidth must be positive");
+    peak_flops / bandwidth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_max_of_components() {
+        let e = RooflineEstimate::new(1.0e12, 1.0e9, 1.0e12, 10.0e9);
+        assert!((e.compute_time_s - 1.0).abs() < 1e-12);
+        assert!((e.memory_time_s - 0.1).abs() < 1e-12);
+        assert!((e.latency_s() - 1.0).abs() < 1e-12);
+        assert!(e.is_compute_bound());
+    }
+
+    #[test]
+    fn memory_bound_case() {
+        let e = RooflineEstimate::new(1.0e9, 1.0e12, 1.0e12, 10.0e9);
+        assert!(!e.is_compute_bound());
+        assert!((e.latency_s() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_point_separates_regimes() {
+        let peak = 8.0e12;
+        let bw = 57.6e9;
+        let ridge = ridge_point(peak, bw);
+        // VCK190 needs ~139 FLOP/byte to be compute-bound.
+        assert!(ridge > 100.0 && ridge < 200.0);
+        let below = RooflineEstimate::new(ridge * 0.5 * 1e9, 1e9, peak, bw);
+        let above = RooflineEstimate::new(ridge * 2.0 * 1e9, 1e9, peak, bw);
+        assert!(!below.is_compute_bound());
+        assert!(above.is_compute_bound());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = roofline_latency_s(1.0, 1.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! The AMD Versal ACAP VCK190 platform description (§2.1 of the paper).
+//!
+//! The VCK190 combines a processing system (ARM CPUs), programmable logic
+//! (traditional FPGA fabric) and an array of 400 AI-engine tiles.  The
+//! numbers below come straight from the paper's background section and
+//! evaluation setup and are the single source of truth used by the other
+//! hardware models.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of the VCK190 evaluation kit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Vck190Spec {
+    /// AIE array rows.
+    pub aie_rows: usize,
+    /// AIE array columns.
+    pub aie_cols: usize,
+    /// AIE clock frequency in Hz (1.25 GHz).
+    pub aie_clock_hz: f64,
+    /// FP32 multiply-accumulate lanes per AIE tile per cycle.
+    ///
+    /// 400 tiles × 1.25 GHz × 8 MAC/cycle × 2 FLOP/MAC = 8 TFLOPS peak FP32,
+    /// the figure quoted in §2.1.
+    pub aie_fp32_macs_per_cycle: usize,
+    /// Local scratchpad per AIE tile in bytes (32 KB).
+    pub aie_tile_scratchpad_bytes: usize,
+    /// PL (overlay) clock frequency in Hz (260 MHz for RSN-XNN).
+    pub pl_clock_hz: f64,
+    /// On-chip BRAM capacity in bytes (4 MB).
+    pub bram_bytes: usize,
+    /// On-chip URAM capacity in bytes (16 MB).
+    pub uram_bytes: usize,
+    /// DDR4 capacity in bytes (8 GB).
+    pub ddr_bytes: u64,
+    /// LPDDR4 capacity in bytes (8 GB).
+    pub lpddr_bytes: u64,
+    /// Peak DDR4 bandwidth in bytes/s (25.6 GB/s).
+    pub ddr_peak_bw: f64,
+    /// Peak LPDDR4 bandwidth in bytes/s (32 GB/s).
+    pub lpddr_peak_bw: f64,
+    /// Measured DDR read bandwidth in bytes/s (21 GB/s, §5.3).
+    pub ddr_read_bw: f64,
+    /// Measured DDR write bandwidth in bytes/s (23.5 GB/s, §5.3).
+    pub ddr_write_bw: f64,
+    /// Measured LPDDR read bandwidth in bytes/s (20.5 GB/s, §5.3).
+    pub lpddr_read_bw: f64,
+    /// Number of 64-bit PL→AIE input streams available (234).
+    pub aie_input_streams: usize,
+    /// Number of 64-bit AIE→PL output streams available (156).
+    pub aie_output_streams: usize,
+    /// Die area in mm² (≤ 458, Table 10).
+    pub die_area_mm2: f64,
+    /// Process node in nm.
+    pub process_nm: u32,
+}
+
+impl Vck190Spec {
+    /// The VCK190 configuration used throughout the paper.
+    pub fn new() -> Self {
+        Self {
+            aie_rows: 8,
+            aie_cols: 50,
+            aie_clock_hz: 1.25e9,
+            aie_fp32_macs_per_cycle: 8,
+            aie_tile_scratchpad_bytes: 32 * 1024,
+            pl_clock_hz: 260.0e6,
+            bram_bytes: 4 * 1024 * 1024,
+            uram_bytes: 16 * 1024 * 1024,
+            ddr_bytes: 8 * 1024 * 1024 * 1024,
+            lpddr_bytes: 8 * 1024 * 1024 * 1024,
+            ddr_peak_bw: 25.6e9,
+            lpddr_peak_bw: 32.0e9,
+            ddr_read_bw: 21.0e9,
+            ddr_write_bw: 23.5e9,
+            lpddr_read_bw: 20.5e9,
+            aie_input_streams: 234,
+            aie_output_streams: 156,
+            die_area_mm2: 458.0,
+            process_nm: 7,
+        }
+    }
+
+    /// Total number of AIE tiles (400).
+    pub fn aie_tile_count(&self) -> usize {
+        self.aie_rows * self.aie_cols
+    }
+
+    /// Peak FP32 throughput of a single AIE tile in FLOP/s.
+    pub fn aie_tile_peak_flops(&self) -> f64 {
+        self.aie_clock_hz * self.aie_fp32_macs_per_cycle as f64 * 2.0
+    }
+
+    /// Peak FP32 throughput of the whole AIE array in FLOP/s (8 TFLOPS).
+    pub fn aie_peak_flops(&self) -> f64 {
+        self.aie_tile_peak_flops() * self.aie_tile_count() as f64
+    }
+
+    /// Combined peak off-chip bandwidth in bytes/s (57.6 GB/s, Table 10).
+    pub fn total_offchip_peak_bw(&self) -> f64 {
+        self.ddr_peak_bw + self.lpddr_peak_bw
+    }
+
+    /// Combined *achieved* off-chip read bandwidth in bytes/s.
+    pub fn total_offchip_read_bw(&self) -> f64 {
+        self.ddr_read_bw + self.lpddr_read_bw
+    }
+
+    /// Total on-chip PL memory (BRAM + URAM) in bytes.
+    pub fn onchip_bytes(&self) -> usize {
+        self.bram_bytes + self.uram_bytes
+    }
+}
+
+impl Default for Vck190Spec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aie_array_matches_paper() {
+        let spec = Vck190Spec::new();
+        assert_eq!(spec.aie_tile_count(), 400);
+        // 8 TFLOPS peak FP32 as stated in §2.1.
+        let tflops = spec.aie_peak_flops() / 1e12;
+        assert!((tflops - 8.0).abs() < 0.01, "got {tflops} TFLOPS");
+    }
+
+    #[test]
+    fn offchip_bandwidth_matches_paper() {
+        let spec = Vck190Spec::new();
+        assert!((spec.total_offchip_peak_bw() / 1e9 - 57.6).abs() < 0.01);
+        assert!(spec.ddr_read_bw < spec.ddr_peak_bw);
+        assert!(spec.lpddr_read_bw < spec.lpddr_peak_bw);
+    }
+
+    #[test]
+    fn onchip_memory_is_20mb() {
+        let spec = Vck190Spec::new();
+        assert_eq!(spec.onchip_bytes(), 20 * 1024 * 1024);
+    }
+
+    #[test]
+    fn stream_budget_matches_paper() {
+        let spec = Vck190Spec::new();
+        assert_eq!(spec.aie_input_streams, 234);
+        assert_eq!(spec.aie_output_streams, 156);
+    }
+}

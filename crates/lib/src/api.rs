@@ -1,0 +1,223 @@
+//! The host-level "RSNlib" flow: compile a transformer encoder layer into
+//! per-segment RSN programs and drive the RSN-XNN machine through them.
+//!
+//! This mirrors the paper's §4.5 usage model (Fig. 13): the user describes
+//! the model at the operator level, and the library lowers it onto a
+//! pre-defined execution schedule — large projection / feed-forward layers
+//! as tiled GEMMs with fused epilogues, the attention pair as the
+//! dynamically pipelined on-chip path — and issues the RSN instructions.
+//! Intermediate feature maps live in the DDR FU between segments, exactly
+//! like the board flow.
+
+use rsn_core::error::RsnError;
+use rsn_workloads::attention::EncoderWeights;
+use rsn_workloads::bert::BertConfig;
+use rsn_workloads::Matrix;
+use rsn_xnn::config::XnnConfig;
+use rsn_xnn::machine::XnnMachine;
+use rsn_xnn::program::{attention_program, gemm_program, AttentionSpec, GemmSpec, PostOp, RhsOperand};
+
+/// DDR matrix ids used by the encoder flow.
+mod ids {
+    pub const INPUT: i64 = 1;
+    pub const Q: i64 = 10;
+    pub const K: i64 = 11;
+    pub const V: i64 = 12;
+    pub const CONTEXT: i64 = 13;
+    pub const NORM1: i64 = 14;
+    pub const FF1: i64 = 15;
+    pub const OUTPUT: i64 = 16;
+    pub const WQ: i64 = 20;
+    pub const WK: i64 = 21;
+    pub const WV: i64 = 22;
+    pub const WO: i64 = 23;
+    pub const W1: i64 = 24;
+    pub const W2: i64 = 25;
+}
+
+/// Drives one encoder layer through the RSN-XNN datapath, segment by
+/// segment.
+#[derive(Debug)]
+pub struct EncoderHost {
+    machine: XnnMachine,
+    xnn_cfg: XnnConfig,
+    model_cfg: BertConfig,
+}
+
+impl EncoderHost {
+    /// Creates a host for the given datapath and model configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsnError`] if the datapath fails to build.
+    pub fn new(xnn_cfg: XnnConfig, model_cfg: BertConfig) -> Result<Self, RsnError> {
+        Ok(Self {
+            machine: XnnMachine::new(xnn_cfg)?,
+            xnn_cfg,
+            model_cfg,
+        })
+    }
+
+    /// The underlying machine (for statistics inspection after a run).
+    pub fn machine(&self) -> &XnnMachine {
+        &self.machine
+    }
+
+    /// Runs one full encoder layer on the datapath and returns the output
+    /// activations read back from DDR.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (deadlock, step-limit) from any segment.
+    pub fn run_encoder_layer(
+        &mut self,
+        x: &Matrix,
+        weights: &EncoderWeights,
+    ) -> Result<Matrix, RsnError> {
+        let cfg = self.model_cfg;
+        let tokens = cfg.tokens();
+        let hidden = cfg.hidden;
+
+        // Stage the input, weights and output buffers.
+        self.machine.load_ddr(ids::INPUT, x.clone());
+        self.machine.load_lpddr(ids::WQ, weights.wq.clone());
+        self.machine.load_lpddr(ids::WK, weights.wk.clone());
+        self.machine.load_lpddr(ids::WV, weights.wv.clone());
+        self.machine.load_lpddr(ids::WO, weights.wo.clone());
+        self.machine.load_lpddr(ids::W1, weights.w1.clone());
+        self.machine.load_lpddr(ids::W2, weights.w2.clone());
+        for (id, cols) in [
+            (ids::Q, hidden),
+            (ids::K, hidden),
+            (ids::V, hidden),
+            (ids::CONTEXT, hidden),
+            (ids::NORM1, hidden),
+            (ids::FF1, cfg.ff_dim),
+            (ids::OUTPUT, hidden),
+        ] {
+            self.machine.alloc_ddr(id, tokens, cols);
+        }
+
+        // Q, K, V projections: large GEMMs with a fused bias epilogue.
+        for (weight, bias, out) in [
+            (ids::WQ, &weights.biases[0], ids::Q),
+            (ids::WK, &weights.biases[1], ids::K),
+            (ids::WV, &weights.biases[2], ids::V),
+        ] {
+            self.machine.set_bias(bias);
+            self.run_gemm(ids::INPUT, RhsOperand::Lpddr(weight), out, tokens, hidden, hidden, PostOp::Bias)?;
+        }
+
+        // Attention: the dynamically pipelined MM1 → softmax → MM2 path.
+        self.machine
+            .set_softmax_scale(1.0 / (cfg.head_dim() as f32).sqrt());
+        let attn = AttentionSpec {
+            q: ids::Q,
+            k: ids::K,
+            v: ids::V,
+            out: ids::CONTEXT,
+            seq_len: cfg.seq_len,
+            batch: cfg.batch,
+            heads: cfg.heads,
+            head_dim: cfg.head_dim(),
+        };
+        let program = attention_program(&self.xnn_cfg, self.machine.handles(), &attn);
+        self.machine.run_program(&program)?;
+
+        // Dense projection with residual + LayerNorm epilogue.
+        self.machine.set_bias(&weights.biases[3]);
+        self.machine
+            .set_norm_params(&weights.gamma[0], &weights.beta[0]);
+        self.run_gemm(
+            ids::CONTEXT,
+            RhsOperand::Lpddr(ids::WO),
+            ids::NORM1,
+            tokens,
+            hidden,
+            hidden,
+            PostOp::BiasResidualNorm { residual: ids::INPUT },
+        )?;
+
+        // Feed-forward 1 with bias + GELU.
+        self.machine.set_bias(&weights.biases[4]);
+        self.run_gemm(
+            ids::NORM1,
+            RhsOperand::Lpddr(ids::W1),
+            ids::FF1,
+            tokens,
+            hidden,
+            cfg.ff_dim,
+            PostOp::BiasGelu,
+        )?;
+
+        // Feed-forward 2 with residual + LayerNorm.
+        self.machine.set_bias(&weights.biases[5]);
+        self.machine
+            .set_norm_params(&weights.gamma[1], &weights.beta[1]);
+        self.run_gemm(
+            ids::FF1,
+            RhsOperand::Lpddr(ids::W2),
+            ids::OUTPUT,
+            tokens,
+            cfg.ff_dim,
+            hidden,
+            PostOp::BiasResidualNorm { residual: ids::NORM1 },
+        )?;
+
+        Ok(self
+            .machine
+            .ddr_matrix(ids::OUTPUT)
+            .expect("output allocated above")
+            .clone())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_gemm(
+        &mut self,
+        lhs: i64,
+        rhs: RhsOperand,
+        out: i64,
+        m: usize,
+        k: usize,
+        n: usize,
+        post: PostOp,
+    ) -> Result<(), RsnError> {
+        let spec = GemmSpec {
+            lhs,
+            rhs,
+            out,
+            m,
+            k,
+            n,
+            rhs_transposed: false,
+            post,
+        };
+        let program = gemm_program(&self.xnn_cfg, self.machine.handles(), &spec);
+        self.machine.run_program(&program)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_workloads::attention::encoder_layer_forward;
+
+    #[test]
+    fn datapath_encoder_matches_reference_forward_pass() {
+        let model_cfg = BertConfig::tiny(8, 2);
+        let x = Matrix::random(model_cfg.tokens(), model_cfg.hidden, 404);
+        let weights = EncoderWeights::random(&model_cfg, 505);
+        let expected = encoder_layer_forward(&model_cfg, &x, &weights);
+
+        let xnn_cfg = XnnConfig::small();
+        let mut host = EncoderHost::new(xnn_cfg, model_cfg).unwrap();
+        let got = host.run_encoder_layer(&x, &weights).unwrap();
+
+        assert_eq!(got.rows(), expected.rows());
+        assert_eq!(got.cols(), expected.cols());
+        let diff = got.max_abs_diff(&expected);
+        assert!(diff < 1e-2, "datapath diverges from reference: {diff}");
+        assert!(host.machine().total_mme_flops() > 0);
+    }
+}

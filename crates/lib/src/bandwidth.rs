@@ -1,0 +1,219 @@
+//! Off-chip bandwidth mapping (§4.4, Fig. 12).
+//!
+//! A single DDR channel has to serve both the loads of the next output tile
+//! and the stores of the previous one.  The paper contrasts three ways of
+//! ordering those requests:
+//!
+//! * **Way 0 — strict order**: load, compute, store; the store of each
+//!   output tile stalls the next tile's loads.
+//! * **Way 1 — hardware arbitration**: loads and stores are pushed into the
+//!   AXI read/write queues and the memory controller interleaves them, but
+//!   without application knowledge the ordering is non-deterministic and
+//!   suboptimal.
+//! * **Way 2 — RSN instructions**: software splits the output into blocks
+//!   and drains each block inside a known load gap, keeping the channel
+//!   continuously busy (the paper's example splits a 768 K-element tile into
+//!   12 blocks drained between 96 K-element loads).
+//!
+//! [`schedule`] builds the explicit request ordering for each way so tests
+//! and examples can inspect it, and [`stall_fraction`] summarises the cost
+//! using the calibrated channel model.
+
+use rsn_hw::memory::{InterleavePolicy, MemoryChannelModel};
+use serde::{Deserialize, Serialize};
+
+/// One request issued to the DDR channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadStoreOp {
+    /// Load `bytes` of input tile `tile` for the next output.
+    Load {
+        /// Output-tile index this load belongs to.
+        tile: usize,
+        /// Transfer size in bytes.
+        bytes: usize,
+    },
+    /// Store `bytes` of finished output tile `tile`.
+    Store {
+        /// Output-tile index being drained.
+        tile: usize,
+        /// Transfer size in bytes.
+        bytes: usize,
+    },
+}
+
+/// The three orderings of Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BandwidthWay {
+    /// Strict load → compute → store order.
+    StrictOrder,
+    /// Hardware-arbitrated AXI queues.
+    HardwareArbitrated,
+    /// Software-interleaved via RSN instructions.
+    RsnInterleaved,
+}
+
+impl BandwidthWay {
+    /// The channel-model policy corresponding to this way.
+    pub fn policy(&self) -> InterleavePolicy {
+        match self {
+            BandwidthWay::StrictOrder => InterleavePolicy::Serialized,
+            BandwidthWay::HardwareArbitrated => InterleavePolicy::HardwareArbitrated,
+            BandwidthWay::RsnInterleaved => InterleavePolicy::SoftwareInterleaved,
+        }
+    }
+}
+
+/// Builds the request ordering for `tiles` output tiles, each needing
+/// `loads_per_tile` input loads of `load_bytes` and one store of
+/// `store_bytes`.
+pub fn schedule(
+    way: BandwidthWay,
+    tiles: usize,
+    loads_per_tile: usize,
+    load_bytes: usize,
+    store_bytes: usize,
+) -> Vec<LoadStoreOp> {
+    let mut ops = Vec::new();
+    match way {
+        BandwidthWay::StrictOrder | BandwidthWay::HardwareArbitrated => {
+            // The request order is the program order; for hardware
+            // arbitration the reordering happens inside the controller, not
+            // in the schedule.
+            for t in 0..tiles {
+                for _ in 0..loads_per_tile {
+                    ops.push(LoadStoreOp::Load {
+                        tile: t,
+                        bytes: load_bytes,
+                    });
+                }
+                ops.push(LoadStoreOp::Store {
+                    tile: t,
+                    bytes: store_bytes,
+                });
+            }
+        }
+        BandwidthWay::RsnInterleaved => {
+            // Drain the previous tile's output in blocks placed inside the
+            // next tile's load gaps.
+            let blocks = loads_per_tile.max(1);
+            let block_bytes = store_bytes.div_ceil(blocks);
+            let mut pending_store: Option<usize> = None;
+            for t in 0..tiles {
+                for l in 0..loads_per_tile {
+                    ops.push(LoadStoreOp::Load {
+                        tile: t,
+                        bytes: load_bytes,
+                    });
+                    if let Some(prev) = pending_store {
+                        let done = l * block_bytes;
+                        if done < store_bytes {
+                            ops.push(LoadStoreOp::Store {
+                                tile: prev,
+                                bytes: block_bytes.min(store_bytes - done),
+                            });
+                        }
+                    }
+                }
+                pending_store = Some(t);
+            }
+            if let Some(prev) = pending_store {
+                ops.push(LoadStoreOp::Store {
+                    tile: prev,
+                    bytes: store_bytes,
+                });
+            }
+        }
+    }
+    ops
+}
+
+/// Fraction of the channel-busy time lost to ordering overhead for a phase
+/// with the given load/store volume, relative to the ideal interleaved
+/// schedule.
+pub fn stall_fraction(
+    channel: &MemoryChannelModel,
+    way: BandwidthWay,
+    load_bytes: f64,
+    store_bytes: f64,
+) -> f64 {
+    let ideal = channel.channel_busy_time_s(
+        load_bytes,
+        store_bytes,
+        InterleavePolicy::SoftwareInterleaved,
+    );
+    let actual = channel.channel_busy_time_s(load_bytes, store_bytes, way.policy());
+    (actual - ideal) / actual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_hw::versal::Vck190Spec;
+
+    #[test]
+    fn rsn_schedule_interleaves_stores_into_load_gaps() {
+        let ops = schedule(BandwidthWay::RsnInterleaved, 3, 4, 96_000, 768_000 / 4);
+        // After the first tile, stores appear between loads rather than as
+        // one block at the tile boundary.
+        let first_store = ops
+            .iter()
+            .position(|o| matches!(o, LoadStoreOp::Store { .. }))
+            .unwrap();
+        let last_load = ops
+            .iter()
+            .rposition(|o| matches!(o, LoadStoreOp::Load { .. }))
+            .unwrap();
+        assert!(first_store < last_load);
+        // Strict order never issues a store before all of a tile's loads.
+        let strict = schedule(BandwidthWay::StrictOrder, 3, 4, 96_000, 768_000 / 4);
+        let mut seen_store_for_tile0 = false;
+        for op in &strict {
+            match op {
+                LoadStoreOp::Store { tile: 0, .. } => seen_store_for_tile0 = true,
+                LoadStoreOp::Load { tile: 1, .. } => {
+                    assert!(seen_store_for_tile0, "tile 1 loads before tile 0 store")
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn stall_fraction_orders_the_three_ways() {
+        let ddr = MemoryChannelModel::ddr(&Vck190Spec::new());
+        let strict = stall_fraction(&ddr, BandwidthWay::StrictOrder, 3.0e9, 1.0e9);
+        let hw = stall_fraction(&ddr, BandwidthWay::HardwareArbitrated, 3.0e9, 1.0e9);
+        let rsn = stall_fraction(&ddr, BandwidthWay::RsnInterleaved, 3.0e9, 1.0e9);
+        assert!(strict > hw);
+        assert!(hw > rsn);
+        assert!(rsn.abs() < 1e-12);
+        assert!(strict > 0.15 && strict < 0.35);
+    }
+
+    #[test]
+    fn schedule_volume_is_conserved() {
+        for way in [
+            BandwidthWay::StrictOrder,
+            BandwidthWay::HardwareArbitrated,
+            BandwidthWay::RsnInterleaved,
+        ] {
+            let ops = schedule(way, 4, 8, 96_000, 768_000);
+            let loads: usize = ops
+                .iter()
+                .filter_map(|o| match o {
+                    LoadStoreOp::Load { bytes, .. } => Some(*bytes),
+                    _ => None,
+                })
+                .sum();
+            assert_eq!(loads, 4 * 8 * 96_000, "{way:?} load volume");
+            let store_tiles: std::collections::BTreeSet<usize> = ops
+                .iter()
+                .filter_map(|o| match o {
+                    LoadStoreOp::Store { tile, .. } => Some(*tile),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(store_tiles.len(), 4, "{way:?} every tile stored");
+        }
+    }
+}

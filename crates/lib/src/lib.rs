@@ -1,0 +1,30 @@
+//! # rsn-lib
+//!
+//! The RSNlib-equivalent high-level layer of the reproduction (§4.5 of the
+//! paper): it takes model-level descriptions and turns them into decisions
+//! (how to segment the model, which mapping type to use, how to schedule
+//! off-chip bandwidth) and into executable RSN programs for the RSN-XNN
+//! datapath.
+//!
+//! * [`mapping`] — the Table 3 analysis of the four inter-layer mapping
+//!   types (layer-by-layer, task-by-task, task-parallel, pipeline),
+//! * [`segment`] — model segmentation: which layers run alone with every
+//!   MME, and which dependent small layers are grouped into an on-chip
+//!   pipeline (§4.2),
+//! * [`bandwidth`] — the Fig. 12 load/store orderings for a single DDR
+//!   channel and their cost,
+//! * [`api`] — the host-level "compiler": drives an [`XnnMachine`]
+//!   (`rsn-xnn`) through a whole transformer encoder layer, segment by
+//!   segment, using the generated RSN programs.
+//!
+//! [`XnnMachine`]: rsn_xnn::XnnMachine
+
+pub mod api;
+pub mod bandwidth;
+pub mod mapping;
+pub mod segment;
+
+pub use api::EncoderHost;
+pub use bandwidth::{BandwidthWay, LoadStoreOp};
+pub use mapping::{analyze_attention_mappings, MappingRow, MappingType};
+pub use segment::{segment_encoder, SegmentGroup};

@@ -1,0 +1,123 @@
+//! Model segmentation (§4.2, "Decision Process of Datapath Generation").
+//!
+//! The first stage of the paper's datapath-generation flow is a first-order,
+//! formula-based segmentation of the target model: compute-bound layers are
+//! executed one at a time with every MME, while groups of dependent
+//! memory-bound layers (the attention MMs) are pipelined so their
+//! intermediate never leaves the chip.  The decision also checks that the
+//! pipelined group's intermediate actually fits in on-chip memory — which is
+//! why BERT-Large's feed-forward pair is *not* pipelined (its intermediate
+//! exceeds 25 MB) while the attention pair is.
+
+use rsn_hw::roofline::ridge_point;
+use rsn_hw::versal::Vck190Spec;
+use rsn_workloads::bert::{BertConfig, EncoderSegment};
+use serde::{Deserialize, Serialize};
+
+/// A group of consecutive segments executed under one mapping decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentGroup {
+    /// The segments in execution order.
+    pub segments: Vec<EncoderSegment>,
+    /// `true` when the group is executed as an on-chip pipeline (type D),
+    /// `false` when each segment runs alone with all MMEs (type A/B).
+    pub pipelined: bool,
+    /// Bytes of intermediate data the pipeline keeps on-chip (zero for
+    /// non-pipelined groups).
+    pub onchip_intermediate_bytes: f64,
+}
+
+impl SegmentGroup {
+    /// Total floating-point operations of the group.
+    pub fn flops(&self) -> f64 {
+        self.segments.iter().map(|s| s.gemm.flops()).sum()
+    }
+}
+
+/// Classifies one segment as memory-bound on the VCK190 (arithmetic
+/// intensity below the board's ridge point when its intermediate spills).
+pub fn is_memory_bound(seg: &EncoderSegment, spec: &Vck190Spec) -> bool {
+    let ridge = ridge_point(spec.aie_peak_flops(), spec.total_offchip_read_bw());
+    seg.gemm.arithmetic_intensity() < ridge
+}
+
+/// Segments one encoder layer of `cfg` into mapping groups.
+///
+/// Consecutive small attention MMs whose shared intermediate fits on-chip
+/// (per pipelined instance) are grouped into a pipeline; everything else
+/// runs one segment at a time.
+pub fn segment_encoder(cfg: &BertConfig) -> Vec<SegmentGroup> {
+    let spec = Vck190Spec::new();
+    let onchip = spec.onchip_bytes() as f64;
+    let segments = cfg.encoder_segments();
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < segments.len() {
+        let seg = &segments[i];
+        let next_is_pair = i + 1 < segments.len()
+            && seg.attention_small_mm
+            && segments[i + 1].attention_small_mm;
+        if next_is_pair {
+            // Per-instance intermediate: one head's score matrix must fit in
+            // the on-chip buffers for the pipelined mapping to be legal.
+            let per_head = (seg.gemm.m * seg.gemm.n) as f64 * 4.0;
+            if per_head < onchip {
+                groups.push(SegmentGroup {
+                    segments: vec![seg.clone(), segments[i + 1].clone()],
+                    pipelined: true,
+                    onchip_intermediate_bytes: per_head,
+                });
+                i += 2;
+                continue;
+            }
+        }
+        groups.push(SegmentGroup {
+            segments: vec![seg.clone()],
+            pipelined: false,
+            onchip_intermediate_bytes: 0.0,
+        });
+        i += 1;
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_large_groups_attention_but_not_feedforward() {
+        let cfg = BertConfig::bert_large(512, 6);
+        let groups = segment_encoder(&cfg);
+        // 3 QKV + 1 pipelined attention pair + Dense + FF1 + FF2 = 7 groups.
+        assert_eq!(groups.len(), 7);
+        let pipelined: Vec<_> = groups.iter().filter(|g| g.pipelined).collect();
+        assert_eq!(pipelined.len(), 1);
+        assert_eq!(pipelined[0].segments.len(), 2);
+        assert!(pipelined[0].segments[0].name.contains("Attention"));
+        // The feed-forward layers stay un-pipelined (their intermediate is
+        // too large, >25 MB).
+        assert!(groups
+            .iter()
+            .filter(|g| g.segments[0].name.contains("Feedforward"))
+            .all(|g| !g.pipelined));
+        assert!(cfg.feedforward_intermediate_bytes() > Vck190Spec::new().onchip_bytes() as f64);
+    }
+
+    #[test]
+    fn attention_mms_are_memory_bound_and_ff_is_compute_bound() {
+        let cfg = BertConfig::bert_large(512, 6);
+        let spec = Vck190Spec::new();
+        let segs = cfg.encoder_segments();
+        assert!(is_memory_bound(&segs[3], &spec), "attention MM1");
+        assert!(!is_memory_bound(&segs[6], &spec), "feed-forward MM1");
+    }
+
+    #[test]
+    fn group_flops_sum_to_encoder_flops() {
+        let cfg = BertConfig::bert_large(384, 2);
+        let groups = segment_encoder(&cfg);
+        let total: f64 = groups.iter().map(SegmentGroup::flops).sum();
+        assert!((total - cfg.encoder_flops()).abs() / cfg.encoder_flops() < 1e-9);
+    }
+}

@@ -1,0 +1,175 @@
+//! Reference multi-head attention and encoder-layer forward passes.
+//!
+//! These pure-Rust implementations play the role of the paper artifact's
+//! `python_gold` reference: the simulated RSN-XNN datapath's outputs are
+//! compared against them, segment by segment, in the integration tests.
+
+use crate::bert::BertConfig;
+use crate::tensor::Matrix;
+
+/// Weights of one encoder layer, generated deterministically from a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncoderWeights {
+    /// Query projection, `hidden × hidden`.
+    pub wq: Matrix,
+    /// Key projection, `hidden × hidden`.
+    pub wk: Matrix,
+    /// Value projection, `hidden × hidden`.
+    pub wv: Matrix,
+    /// Attention output projection, `hidden × hidden`.
+    pub wo: Matrix,
+    /// First feed-forward weight, `hidden × ff_dim`.
+    pub w1: Matrix,
+    /// Second feed-forward weight, `ff_dim × hidden`.
+    pub w2: Matrix,
+    /// Biases for q, k, v, o, ff1, ff2.
+    pub biases: [Vec<f32>; 6],
+    /// LayerNorm gammas for the two norms.
+    pub gamma: [Vec<f32>; 2],
+    /// LayerNorm betas for the two norms.
+    pub beta: [Vec<f32>; 2],
+}
+
+impl EncoderWeights {
+    /// Generates a deterministic random weight set for `cfg`.
+    pub fn random(cfg: &BertConfig, seed: u64) -> Self {
+        let h = cfg.hidden;
+        let f = cfg.ff_dim;
+        // Small scale keeps activations in a numerically friendly range.
+        let scaled = |rows, cols, s| Matrix::random(rows, cols, s).scale(0.1);
+        let bias = |len: usize, s: u64| Matrix::random(1, len, s).scale(0.1).into_vec();
+        Self {
+            wq: scaled(h, h, seed),
+            wk: scaled(h, h, seed + 1),
+            wv: scaled(h, h, seed + 2),
+            wo: scaled(h, h, seed + 3),
+            w1: scaled(h, f, seed + 4),
+            w2: scaled(f, h, seed + 5),
+            biases: [
+                bias(h, seed + 6),
+                bias(h, seed + 7),
+                bias(h, seed + 8),
+                bias(h, seed + 9),
+                bias(f, seed + 10),
+                bias(h, seed + 11),
+            ],
+            gamma: [vec![1.0; h], vec![1.0; h]],
+            beta: [vec![0.0; h], vec![0.0; h]],
+        }
+    }
+}
+
+/// Reference scaled-dot-product multi-head attention.
+///
+/// `q`, `k`, `v` are `(batch · seq) × hidden` activations; the result has the
+/// same shape.  Heads are processed independently, exactly as the 96 small
+/// attention MMs of the paper's Table 9.
+pub fn multi_head_attention(cfg: &BertConfig, q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
+    let d = cfg.head_dim();
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut out = Matrix::zeros(q.rows(), q.cols());
+    for b in 0..cfg.batch {
+        let row0 = b * cfg.seq_len;
+        for head in 0..cfg.heads {
+            let col0 = head * d;
+            let qh = q.block(row0, col0, cfg.seq_len, d);
+            let kh = k.block(row0, col0, cfg.seq_len, d);
+            let vh = v.block(row0, col0, cfg.seq_len, d);
+            // Attention MM1: Q × Kᵀ, then softmax.
+            let scores = qh.matmul(&kh.transposed()).scale(scale).softmax_rows();
+            // Attention MM2: softmax(scores) × V.
+            let ctx = scores.matmul(&vh);
+            out.set_block(row0, col0, &ctx);
+        }
+    }
+    out
+}
+
+/// Reference forward pass of one full encoder layer (the computation of
+/// Table 9, including every fused non-MM operator).
+pub fn encoder_layer_forward(cfg: &BertConfig, x: &Matrix, w: &EncoderWeights) -> Matrix {
+    let q = x.matmul(&w.wq).add_bias(&w.biases[0]);
+    let k = x.matmul(&w.wk).add_bias(&w.biases[1]);
+    let v = x.matmul(&w.wv).add_bias(&w.biases[2]);
+    let ctx = multi_head_attention(cfg, &q, &k, &v);
+    let dense = ctx.matmul(&w.wo).add_bias(&w.biases[3]);
+    let norm1 = dense.add(x).layer_norm(&w.gamma[0], &w.beta[0], 1e-5);
+    let ff1 = norm1.matmul(&w.w1).add_bias(&w.biases[4]).gelu();
+    let ff2 = ff1.matmul(&w.w2).add_bias(&w.biases[5]);
+    ff2.add(&norm1).layer_norm(&w.gamma[1], &w.beta[1], 1e-5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (BertConfig, Matrix, EncoderWeights) {
+        let cfg = BertConfig::tiny(8, 2);
+        let x = Matrix::random(cfg.tokens(), cfg.hidden, 42);
+        let w = EncoderWeights::random(&cfg, 7);
+        (cfg, x, w)
+    }
+
+    #[test]
+    fn attention_rows_are_convex_combinations() {
+        let (cfg, x, w) = tiny();
+        let q = x.matmul(&w.wq);
+        let k = x.matmul(&w.wk);
+        let v = x.matmul(&w.wv);
+        let out = multi_head_attention(&cfg, &q, &k, &v);
+        assert_eq!(out.rows(), cfg.tokens());
+        assert_eq!(out.cols(), cfg.hidden);
+        // Every output element lies within the min/max of V's column range
+        // for that head because softmax weights are convex.
+        let d = cfg.head_dim();
+        for b in 0..cfg.batch {
+            for head in 0..cfg.heads {
+                let vh = v.block(b * cfg.seq_len, head * d, cfg.seq_len, d);
+                let lo = vh.as_slice().iter().copied().fold(f32::INFINITY, f32::min);
+                let hi = vh
+                    .as_slice()
+                    .iter()
+                    .copied()
+                    .fold(f32::NEG_INFINITY, f32::max);
+                let oh = out.block(b * cfg.seq_len, head * d, cfg.seq_len, d);
+                for &val in oh.as_slice() {
+                    assert!(val >= lo - 1e-4 && val <= hi + 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoder_output_is_normalised() {
+        let (cfg, x, w) = tiny();
+        let y = encoder_layer_forward(&cfg, &x, &w);
+        assert_eq!(y.rows(), cfg.tokens());
+        assert_eq!(y.cols(), cfg.hidden);
+        // Final LayerNorm ⇒ every row has ~zero mean and ~unit variance.
+        for r in 0..y.rows() {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
+            assert!(mean.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn batches_are_independent() {
+        let cfg = BertConfig::tiny(4, 2);
+        let w = EncoderWeights::random(&cfg, 3);
+        let x = Matrix::random(cfg.tokens(), cfg.hidden, 11);
+        let full = encoder_layer_forward(&cfg, &x, &w);
+        // Running batch 0 alone must give the same rows as the batched run.
+        let cfg1 = cfg.with_batch(1);
+        let x0 = x.block(0, 0, cfg.seq_len, cfg.hidden);
+        let solo = encoder_layer_forward(&cfg1, &x0, &w);
+        let full0 = full.block(0, 0, cfg.seq_len, cfg.hidden);
+        assert!(solo.max_abs_diff(&full0) < 1e-5);
+    }
+
+    #[test]
+    fn weights_are_deterministic() {
+        let cfg = BertConfig::tiny(4, 1);
+        assert_eq!(EncoderWeights::random(&cfg, 5), EncoderWeights::random(&cfg, 5));
+    }
+}

@@ -1,0 +1,297 @@
+//! The BERT encoder workload, segment by segment.
+//!
+//! Table 9 of the paper breaks one BERT-Large encoder layer into eight model
+//! segments (Key, Query, Value, the two attention matrix multiplications,
+//! the attention-output Dense layer and the two feed-forward layers), each
+//! annotated with the non-MM operators fused into it.  This module produces
+//! exactly that decomposition for an arbitrary configuration so the timing
+//! models, the instruction generator and the benchmark harness all agree on
+//! the workload.
+
+use crate::gemm::GemmShape;
+use serde::{Deserialize, Serialize};
+
+/// Non-matrix-multiplication operators fused into a segment (Table 9's
+/// "Combined non-MMs" column).  They are executed by the PL-side MemC FUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NonMmOp {
+    /// Add the layer's bias vector.
+    Bias,
+    /// Transpose the key matrix before the first attention MM.
+    Transpose,
+    /// Row-wise softmax over attention scores.
+    Softmax,
+    /// GELU activation (first feed-forward layer).
+    Gelu,
+    /// Residual addition of the previous layer's output.
+    LayerAdd,
+    /// LayerNorm scale-and-shift application.
+    ScaleShift,
+    /// LayerNorm mean / variance / normalisation computation.
+    MeanVarNorm,
+}
+
+/// Where a segment's right-hand-side operand comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RhsSource {
+    /// Read-only weights streamed from LPDDR.
+    WeightsLpddr,
+    /// Activations produced by an earlier segment (feature maps in DDR, or
+    /// forwarded on-chip when the schedule pipelines the producing segment).
+    Activations,
+}
+
+/// One model segment: a (batched) GEMM plus its fused non-MM operators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncoderSegment {
+    /// Segment name as it appears in Table 9.
+    pub name: String,
+    /// The matrix-multiplication workload.
+    pub gemm: GemmShape,
+    /// Fused non-MM operators.
+    pub non_mm: Vec<NonMmOp>,
+    /// Where the RHS operand comes from.
+    pub rhs_source: RhsSource,
+    /// `true` for the small attention MMs that the paper pipelines
+    /// (types C/D of Fig. 3); `false` for the large layers executed one at a
+    /// time with all MMEs.
+    pub attention_small_mm: bool,
+}
+
+impl EncoderSegment {
+    /// Weight bytes this segment streams from LPDDR (zero for activation ×
+    /// activation products).
+    pub fn weight_bytes(&self) -> f64 {
+        match self.rhs_source {
+            RhsSource::WeightsLpddr => self.gemm.rhs_bytes(),
+            RhsSource::Activations => 0.0,
+        }
+    }
+}
+
+/// A BERT-style encoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BertConfig {
+    /// Hidden dimension (1024 for BERT-Large).
+    pub hidden: usize,
+    /// Number of attention heads (16 for BERT-Large).
+    pub heads: usize,
+    /// Feed-forward inner dimension (4096 for BERT-Large).
+    pub ff_dim: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Number of encoder layers (24 for BERT-Large).
+    pub layers: usize,
+}
+
+impl BertConfig {
+    /// BERT-Large with the given sequence length and batch size.
+    pub fn bert_large(seq_len: usize, batch: usize) -> Self {
+        Self {
+            hidden: 1024,
+            heads: 16,
+            ff_dim: 4096,
+            seq_len,
+            batch,
+            layers: 24,
+        }
+    }
+
+    /// A deliberately tiny configuration used by the functional tests that
+    /// run the full datapath simulation.
+    pub fn tiny(seq_len: usize, batch: usize) -> Self {
+        Self {
+            hidden: 32,
+            heads: 2,
+            ff_dim: 64,
+            seq_len,
+            batch,
+            layers: 1,
+        }
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Total tokens processed per forward pass (`batch × seq_len`).
+    pub fn tokens(&self) -> usize {
+        self.batch * self.seq_len
+    }
+
+    /// Returns a copy with a different batch size (used by the batch sweeps
+    /// of Fig. 18 and Table 10).
+    pub fn with_batch(&self, batch: usize) -> Self {
+        Self { batch, ..*self }
+    }
+
+    /// The eight model segments of one encoder layer, in execution order and
+    /// at the granularity of Table 9.
+    pub fn encoder_segments(&self) -> Vec<EncoderSegment> {
+        let m = self.tokens();
+        let h = self.hidden;
+        let heads_total = self.batch * self.heads;
+        let d = self.head_dim();
+        let qkv = |name: &str| EncoderSegment {
+            name: name.to_string(),
+            gemm: GemmShape::new(m, h, h),
+            non_mm: vec![NonMmOp::Bias],
+            rhs_source: RhsSource::WeightsLpddr,
+            attention_small_mm: false,
+        };
+        vec![
+            qkv("Key"),
+            qkv("Query"),
+            qkv("Value"),
+            EncoderSegment {
+                name: "Attention MM1".to_string(),
+                gemm: GemmShape::repeated(self.seq_len, d, self.seq_len, heads_total),
+                non_mm: vec![NonMmOp::Transpose, NonMmOp::Softmax],
+                rhs_source: RhsSource::Activations,
+                attention_small_mm: true,
+            },
+            EncoderSegment {
+                name: "Attention MM2".to_string(),
+                gemm: GemmShape::repeated(self.seq_len, self.seq_len, d, heads_total),
+                non_mm: vec![],
+                rhs_source: RhsSource::Activations,
+                attention_small_mm: true,
+            },
+            EncoderSegment {
+                name: "Dense".to_string(),
+                gemm: GemmShape::new(m, h, h),
+                non_mm: vec![
+                    NonMmOp::LayerAdd,
+                    NonMmOp::ScaleShift,
+                    NonMmOp::Bias,
+                    NonMmOp::MeanVarNorm,
+                ],
+                rhs_source: RhsSource::WeightsLpddr,
+                attention_small_mm: false,
+            },
+            EncoderSegment {
+                name: "Feedforward MM1".to_string(),
+                gemm: GemmShape::new(m, h, self.ff_dim),
+                non_mm: vec![NonMmOp::Bias, NonMmOp::Gelu],
+                rhs_source: RhsSource::WeightsLpddr,
+                attention_small_mm: false,
+            },
+            EncoderSegment {
+                name: "Feedforward MM2".to_string(),
+                gemm: GemmShape::new(m, self.ff_dim, h),
+                non_mm: vec![
+                    NonMmOp::LayerAdd,
+                    NonMmOp::ScaleShift,
+                    NonMmOp::Bias,
+                    NonMmOp::MeanVarNorm,
+                ],
+                rhs_source: RhsSource::WeightsLpddr,
+                attention_small_mm: false,
+            },
+        ]
+    }
+
+    /// Total floating-point operations of one encoder layer.
+    pub fn encoder_flops(&self) -> f64 {
+        self.encoder_segments().iter().map(|s| s.gemm.flops()).sum()
+    }
+
+    /// Total weight bytes of one encoder layer (streamed from LPDDR).
+    pub fn encoder_weight_bytes(&self) -> f64 {
+        self.encoder_segments()
+            .iter()
+            .map(EncoderSegment::weight_bytes)
+            .sum()
+    }
+
+    /// Total floating-point operations of the full model
+    /// (`layers × encoder_flops`).
+    pub fn model_flops(&self) -> f64 {
+        self.encoder_flops() * self.layers as f64
+    }
+
+    /// Bytes of intermediate feature map between the two attention MMs, per
+    /// encoder layer — the quantity that forces CHARM off-chip but that RSN
+    /// keeps on-chip by pipelining (Fig. 18 discussion).
+    pub fn attention_intermediate_bytes(&self) -> f64 {
+        let heads_total = (self.batch * self.heads) as f64;
+        heads_total * self.seq_len as f64 * self.seq_len as f64 * 4.0
+    }
+
+    /// Bytes of intermediate feature map between the two feed-forward MMs,
+    /// per encoder layer — the paper notes this exceeds 25 MB for BERT-Large
+    /// at batch 6, which is why the feed-forward layers are *not* pipelined.
+    pub fn feedforward_intermediate_bytes(&self) -> f64 {
+        self.tokens() as f64 * self.ff_dim as f64 * 4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_large_table9_shapes() {
+        let cfg = BertConfig::bert_large(512, 6);
+        let segs = cfg.encoder_segments();
+        assert_eq!(segs.len(), 8);
+        assert_eq!(segs[0].name, "Key");
+        assert_eq!(segs[0].gemm, GemmShape::new(3072, 1024, 1024));
+        assert_eq!(segs[3].gemm, GemmShape::repeated(512, 64, 512, 96));
+        assert_eq!(segs[4].gemm, GemmShape::repeated(512, 512, 64, 96));
+        assert_eq!(segs[6].gemm, GemmShape::new(3072, 1024, 4096));
+        assert_eq!(segs[7].gemm, GemmShape::new(3072, 4096, 1024));
+        assert!(segs[3].attention_small_mm);
+        assert!(!segs[6].attention_small_mm);
+    }
+
+    #[test]
+    fn attention_mms_have_no_weights() {
+        let cfg = BertConfig::bert_large(512, 6);
+        let segs = cfg.encoder_segments();
+        assert_eq!(segs[3].weight_bytes(), 0.0);
+        assert!(segs[0].weight_bytes() > 0.0);
+        // Key/Query/Value/Dense weights are hidden², feed-forward 4×hidden².
+        assert!((segs[0].weight_bytes() - 1024.0 * 1024.0 * 4.0).abs() < 1.0);
+        assert!((segs[6].weight_bytes() - 4.0 * 1024.0 * 1024.0 * 4.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn feedforward_intermediate_exceeds_25mb_for_bert_large() {
+        let cfg = BertConfig::bert_large(512, 6);
+        // The paper: storing the FF intermediate needs over 25 MB.
+        assert!(cfg.feedforward_intermediate_bytes() > 25.0e6);
+        // But the attention intermediate per pipelined pair of heads is small.
+        assert!(cfg.attention_intermediate_bytes() / 96.0 < 4.0e6);
+    }
+
+    #[test]
+    fn encoder_flops_scale_with_batch() {
+        let b1 = BertConfig::bert_large(512, 1);
+        let b6 = b1.with_batch(6);
+        assert!((b6.encoder_flops() / b1.encoder_flops() - 6.0).abs() < 1e-9);
+        assert_eq!(b6.tokens(), 3072);
+        assert_eq!(b6.head_dim(), 64);
+    }
+
+    #[test]
+    fn model_flops_count_all_layers() {
+        let cfg = BertConfig::bert_large(384, 8);
+        assert!((cfg.model_flops() - 24.0 * cfg.encoder_flops()).abs() < 1.0);
+        // BERT-Large forward pass at seq 384, batch 8 is ~2.6 TFLOP.
+        let tflop = cfg.model_flops() / 1e12;
+        assert!(tflop > 1.5 && tflop < 4.0, "got {tflop} TFLOP");
+    }
+
+    #[test]
+    fn tiny_config_is_consistent() {
+        let cfg = BertConfig::tiny(8, 2);
+        assert_eq!(cfg.head_dim(), 16);
+        let segs = cfg.encoder_segments();
+        assert_eq!(segs[3].gemm.num, 4);
+        assert_eq!(segs[3].gemm.m, 8);
+    }
+}

@@ -1,0 +1,138 @@
+//! GEMM workload shapes with FLOP and byte accounting.
+//!
+//! Every linear layer the paper evaluates reduces to a (possibly batched)
+//! GEMM.  [`GemmShape`] carries the `M × K × N` dimensions plus a repetition
+//! count (e.g. the 96 independent attention heads of BERT-Large) and knows
+//! how many floating-point operations and how many operand bytes it
+//! represents — the quantities every latency model in the reproduction is
+//! built from.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per FP32 element.
+pub const F32_BYTES: f64 = 4.0;
+
+/// One (repeated) matrix-multiplication workload: `num` independent
+/// `M×K · K×N` products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmShape {
+    /// Rows of the LHS / output.
+    pub m: usize,
+    /// Inner (reduction) dimension.
+    pub k: usize,
+    /// Columns of the RHS / output.
+    pub n: usize,
+    /// Number of independent instances (batched heads, repeated layers).
+    pub num: usize,
+}
+
+impl GemmShape {
+    /// A single `m × k × n` product.
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        Self { m, k, n, num: 1 }
+    }
+
+    /// `num` independent `m × k × n` products.
+    pub fn repeated(m: usize, k: usize, n: usize, num: usize) -> Self {
+        Self { m, k, n, num }
+    }
+
+    /// A square `n × n × n` product (Table 6b).
+    pub fn square(n: usize) -> Self {
+        Self::new(n, n, n)
+    }
+
+    /// Total floating-point operations (2 FLOP per multiply-accumulate).
+    pub fn flops(&self) -> f64 {
+        2.0 * self.m as f64 * self.k as f64 * self.n as f64 * self.num as f64
+    }
+
+    /// Bytes of the LHS operand(s).
+    pub fn lhs_bytes(&self) -> f64 {
+        self.m as f64 * self.k as f64 * self.num as f64 * F32_BYTES
+    }
+
+    /// Bytes of the RHS operand(s).
+    pub fn rhs_bytes(&self) -> f64 {
+        self.k as f64 * self.n as f64 * self.num as f64 * F32_BYTES
+    }
+
+    /// Bytes of the output(s).
+    pub fn out_bytes(&self) -> f64 {
+        self.m as f64 * self.n as f64 * self.num as f64 * F32_BYTES
+    }
+
+    /// Minimum off-chip traffic when every operand is touched exactly once.
+    pub fn min_traffic_bytes(&self) -> f64 {
+        self.lhs_bytes() + self.rhs_bytes() + self.out_bytes()
+    }
+
+    /// Arithmetic intensity (FLOP per byte) at minimum traffic.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.flops() / self.min_traffic_bytes()
+    }
+
+    /// Scales the LHS batch dimension (`m`) by `factor`, which is how the
+    /// evaluation scales BERT workloads with batch size.
+    pub fn with_m_scaled(&self, factor: usize) -> Self {
+        Self {
+            m: self.m * factor,
+            ..*self
+        }
+    }
+
+    /// Number of output tiles when the output is partitioned into
+    /// `tile_m × tile_n` tiles (ceiling division).
+    pub fn output_tiles(&self, tile_m: usize, tile_n: usize) -> usize {
+        let tm = self.m.div_ceil(tile_m);
+        let tn = self.n.div_ceil(tile_n);
+        tm * tn * self.num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_and_bytes_of_attention_mm1() {
+        // Attention MM1 of BERT-Large at B=6: 512×64×512, 96 heads.
+        let g = GemmShape::repeated(512, 64, 512, 96);
+        // 2·512·64·512·96 ≈ 3.22 GFLOP.
+        assert!((g.flops() / 1e9 - 3.221).abs() < 0.01);
+        assert!((g.lhs_bytes() - 512.0 * 64.0 * 96.0 * 4.0).abs() < 1.0);
+        assert!(g.arithmetic_intensity() > 1.0);
+    }
+
+    #[test]
+    fn square_gemm_intensity_grows_with_n() {
+        let small = GemmShape::square(1024);
+        let large = GemmShape::square(6144);
+        assert!(large.arithmetic_intensity() > small.arithmetic_intensity());
+        // n/6 FLOP per byte for square GEMMs at minimum traffic.
+        assert!((small.arithmetic_intensity() - 1024.0 / 6.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn batch_scaling_scales_m() {
+        let base = GemmShape::new(512, 1024, 1024);
+        let b6 = base.with_m_scaled(6);
+        assert_eq!(b6.m, 3072);
+        assert!((b6.flops() - 6.0 * base.flops()).abs() < 1.0);
+    }
+
+    #[test]
+    fn output_tiles_use_ceiling_division() {
+        let g = GemmShape::new(1000, 128, 1000);
+        assert_eq!(g.output_tiles(768, 1024), 2);
+        let exact = GemmShape::new(1536, 128, 2048);
+        assert_eq!(exact.output_tiles(768, 1024), 4);
+    }
+
+    #[test]
+    fn min_traffic_sums_all_operands() {
+        let g = GemmShape::new(10, 20, 30);
+        let expected = (10.0 * 20.0 + 20.0 * 30.0 + 10.0 * 30.0) * 4.0;
+        assert!((g.min_traffic_bytes() - expected).abs() < 1e-9);
+    }
+}

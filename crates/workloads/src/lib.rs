@@ -1,0 +1,32 @@
+//! # rsn-workloads
+//!
+//! Reference FP32 tensor math and the DNN workload configurations used by
+//! the RSN evaluation.
+//!
+//! The paper evaluates RSN-XNN on BERT-Large (the headline workload of
+//! Tables 9–11 and Fig. 18), plus ViT, NCF and MLP for the throughput
+//! comparison of Table 7, plus square GEMMs for Table 6.  This crate
+//! provides:
+//!
+//! * [`tensor`] — a small dense FP32 matrix type and the reference
+//!   implementations of every operator the datapath performs (matmul,
+//!   bias, softmax, GELU, LayerNorm, transpose), used to check functional
+//!   correctness of the simulated datapath,
+//! * [`gemm`] — GEMM workload shapes with FLOP/byte accounting,
+//! * [`bert`] — the BERT-Large encoder description, segment by segment, in
+//!   exactly the granularity of the paper's Table 9,
+//! * [`models`] — ViT / NCF / MLP configurations aligned with the CHARM
+//!   comparison of Table 7,
+//! * [`attention`] — a reference multi-head-attention block used by the
+//!   end-to-end functional tests.
+
+pub mod attention;
+pub mod bert;
+pub mod gemm;
+pub mod models;
+pub mod tensor;
+
+pub use bert::{BertConfig, EncoderSegment, NonMmOp};
+pub use gemm::GemmShape;
+pub use models::{ModelConfig, ModelKind};
+pub use tensor::Matrix;

@@ -1,0 +1,230 @@
+//! Workload configurations for the Table 7 model comparison.
+//!
+//! Table 7 compares latency per task at maximum throughput for BERT, ViT,
+//! NCF and MLP against CHARM, using CHARM's task-size configurations.  The
+//! CHARM artifact describes these as: BERT-Large encoders, a ViT-Base-style
+//! transformer, the NCF MLP tower, and a deep multi-layer perceptron.  The
+//! exact CHARM input shapes are approximated here (documented in DESIGN.md):
+//! what matters for the reproduction is the *mix* of large, weight-heavy
+//! layers and small, activation-dominated layers, because that mix is what
+//! RSN-XNN's dynamic mapping exploits and CHARM's fixed dual-engine design
+//! cannot.
+
+use crate::bert::BertConfig;
+use crate::gemm::GemmShape;
+use serde::{Deserialize, Serialize};
+
+/// Which benchmark model a configuration describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// BERT-Large transformer encoder stack.
+    Bert,
+    /// Vision Transformer (ViT-Base class).
+    Vit,
+    /// Neural collaborative filtering MLP tower.
+    Ncf,
+    /// Deep multi-layer perceptron.
+    Mlp,
+}
+
+impl ModelKind {
+    /// All four models of Table 7, in the paper's column order.
+    pub fn table7_models() -> [ModelKind; 4] {
+        [ModelKind::Bert, ModelKind::Vit, ModelKind::Ncf, ModelKind::Mlp]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Bert => "BERT",
+            ModelKind::Vit => "VIT",
+            ModelKind::Ncf => "NCF",
+            ModelKind::Mlp => "MLP",
+        }
+    }
+}
+
+/// One linear layer of a non-BERT model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelLayer {
+    /// Layer name.
+    pub name: String,
+    /// The GEMM this layer performs.
+    pub gemm: GemmShape,
+    /// `true` when the layer is a small activation × activation product that
+    /// profits from pipelined mapping (attention-style); `false` for large
+    /// weight-bearing layers.
+    pub small_activation_mm: bool,
+}
+
+/// A full per-task workload description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Which model this is.
+    pub kind: ModelKind,
+    /// BERT-style configuration, when the model is transformer-shaped.
+    pub bert_like: Option<BertConfig>,
+    /// Explicit layer list for MLP-shaped models.
+    pub layers: Vec<ModelLayer>,
+    /// Number of tasks processed per forward pass (batch).
+    pub tasks_per_pass: usize,
+}
+
+impl ModelConfig {
+    /// The configuration the Table 7 comparison uses for `kind`.
+    pub fn table7(kind: ModelKind) -> Self {
+        match kind {
+            ModelKind::Bert => Self {
+                kind,
+                bert_like: Some(BertConfig::bert_large(512, 6)),
+                layers: Vec::new(),
+                tasks_per_pass: 6,
+            },
+            ModelKind::Vit => Self {
+                kind,
+                // ViT-Base: hidden 768, 12 heads, FF 3072, 12 layers,
+                // 196 patch tokens + class token rounded to 208 for tiling.
+                bert_like: Some(BertConfig {
+                    hidden: 768,
+                    heads: 12,
+                    ff_dim: 3072,
+                    seq_len: 208,
+                    batch: 6,
+                    layers: 12,
+                }),
+                layers: Vec::new(),
+                tasks_per_pass: 6,
+            },
+            ModelKind::Ncf => Self {
+                kind,
+                bert_like: None,
+                // NCF MLP tower over concatenated user/item embeddings,
+                // batch of 2048 interactions per task, 8 tasks per pass.
+                layers: vec![
+                    ModelLayer {
+                        name: "ncf_fc1".to_string(),
+                        gemm: GemmShape::new(16384, 256, 1024),
+                        small_activation_mm: false,
+                    },
+                    ModelLayer {
+                        name: "ncf_fc2".to_string(),
+                        gemm: GemmShape::new(16384, 1024, 512),
+                        small_activation_mm: false,
+                    },
+                    ModelLayer {
+                        name: "ncf_fc3".to_string(),
+                        gemm: GemmShape::new(16384, 512, 256),
+                        small_activation_mm: false,
+                    },
+                    ModelLayer {
+                        name: "ncf_fc4".to_string(),
+                        gemm: GemmShape::new(16384, 256, 128),
+                        small_activation_mm: false,
+                    },
+                    ModelLayer {
+                        name: "ncf_predict".to_string(),
+                        gemm: GemmShape::new(16384, 128, 64),
+                        small_activation_mm: true,
+                    },
+                ],
+                tasks_per_pass: 8,
+            },
+            ModelKind::Mlp => Self {
+                kind,
+                bert_like: None,
+                // A deep MLP: 12 layers of 4096×4096 over 4096 tokens.
+                layers: (0..12)
+                    .map(|i| ModelLayer {
+                        name: format!("mlp_fc{i}"),
+                        gemm: GemmShape::new(4096, 4096, 4096),
+                        small_activation_mm: false,
+                    })
+                    .collect(),
+                tasks_per_pass: 4,
+            },
+        }
+    }
+
+    /// Every GEMM of one forward pass, flattened.  For transformer-shaped
+    /// models this expands every encoder layer.
+    pub fn all_gemms(&self) -> Vec<(String, GemmShape, bool)> {
+        if let Some(cfg) = self.bert_like {
+            let mut out = Vec::new();
+            for layer in 0..cfg.layers {
+                for seg in cfg.encoder_segments() {
+                    out.push((
+                        format!("layer{layer}/{}", seg.name),
+                        seg.gemm,
+                        seg.attention_small_mm,
+                    ));
+                }
+            }
+            out
+        } else {
+            self.layers
+                .iter()
+                .map(|l| (l.name.clone(), l.gemm, l.small_activation_mm))
+                .collect()
+        }
+    }
+
+    /// Total floating-point operations of one forward pass.
+    pub fn total_flops(&self) -> f64 {
+        self.all_gemms().iter().map(|(_, g, _)| g.flops()).sum()
+    }
+
+    /// Total floating-point operations per task.
+    pub fn flops_per_task(&self) -> f64 {
+        self.total_flops() / self.tasks_per_pass as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_has_all_four_models() {
+        for kind in ModelKind::table7_models() {
+            let cfg = ModelConfig::table7(kind);
+            assert!(cfg.total_flops() > 0.0, "{} has no work", kind.name());
+            assert!(cfg.tasks_per_pass > 0);
+            assert!(!cfg.all_gemms().is_empty());
+        }
+    }
+
+    #[test]
+    fn bert_is_the_heaviest_per_task() {
+        let flops: Vec<(ModelKind, f64)> = ModelKind::table7_models()
+            .iter()
+            .map(|&k| (k, ModelConfig::table7(k).flops_per_task()))
+            .collect();
+        let bert = flops.iter().find(|(k, _)| *k == ModelKind::Bert).unwrap().1;
+        let ncf = flops.iter().find(|(k, _)| *k == ModelKind::Ncf).unwrap().1;
+        assert!(bert > ncf, "BERT should dominate NCF per-task FLOPs");
+    }
+
+    #[test]
+    fn transformer_models_expand_per_layer() {
+        let vit = ModelConfig::table7(ModelKind::Vit);
+        let gemms = vit.all_gemms();
+        // 12 layers × 8 segments.
+        assert_eq!(gemms.len(), 96);
+        assert!(gemms.iter().any(|(_, _, small)| *small));
+    }
+
+    #[test]
+    fn mlp_layers_are_uniform() {
+        let mlp = ModelConfig::table7(ModelKind::Mlp);
+        assert_eq!(mlp.layers.len(), 12);
+        assert!(mlp.layers.iter().all(|l| l.gemm == GemmShape::new(4096, 4096, 4096)));
+    }
+
+    #[test]
+    fn model_names_are_stable() {
+        assert_eq!(ModelKind::Bert.name(), "BERT");
+        assert_eq!(ModelKind::Vit.name(), "VIT");
+        assert_eq!(ModelKind::Ncf.name(), "NCF");
+        assert_eq!(ModelKind::Mlp.name(), "MLP");
+    }
+}

@@ -1,0 +1,108 @@
+//! Configuration of the RSN-XNN datapath instance.
+
+use serde::{Deserialize, Serialize};
+
+/// Structural parameters of an RSN-XNN datapath.
+///
+/// The paper's prototype uses six MME FUs (each virtualising 64 AIE tiles),
+/// three MemA, three MemB and six MemC FUs.  The functional simulator merges
+/// the Mem banks one-per-MME (a banking detail that does not change the
+/// computed values) and lets the MME count and tile sizes be scaled down so
+/// the full-datapath functional tests stay fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct XnnConfig {
+    /// Number of matrix-multiply-engine FUs.
+    pub n_mme: usize,
+    /// Output-tile rows processed per MME kernel invocation.
+    pub tile_m: usize,
+    /// Reduction-dimension elements per accumulation step.
+    pub tile_k: usize,
+    /// Output-tile columns processed per MME kernel invocation.
+    pub tile_n: usize,
+    /// Capacity (in tiles) of every stream edge.
+    pub stream_capacity: usize,
+}
+
+impl XnnConfig {
+    /// The full-scale RSN-XNN configuration (6 MMEs, 32-element tiles).
+    pub fn rsn_xnn() -> Self {
+        Self {
+            n_mme: 6,
+            tile_m: 32,
+            tile_k: 32,
+            tile_n: 32,
+            stream_capacity: 8,
+        }
+    }
+
+    /// A two-MME configuration matching the worked example of Fig. 10, used
+    /// by tests and the quickstart example.
+    pub fn small() -> Self {
+        Self {
+            n_mme: 2,
+            tile_m: 8,
+            tile_k: 8,
+            tile_n: 8,
+            stream_capacity: 8,
+        }
+    }
+
+    /// Returns a copy with different tile dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tile dimension is zero.
+    pub fn with_tiles(&self, tile_m: usize, tile_k: usize, tile_n: usize) -> Self {
+        assert!(
+            tile_m > 0 && tile_k > 0 && tile_n > 0,
+            "tile dimensions must be non-zero"
+        );
+        Self {
+            tile_m,
+            tile_k,
+            tile_n,
+            ..*self
+        }
+    }
+
+    /// Returns a copy with a different MME count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_mme` is zero or exceeds 8 (the packet-mask width).
+    pub fn with_mmes(&self, n_mme: usize) -> Self {
+        assert!(n_mme > 0 && n_mme <= 8, "MME count must be in 1..=8");
+        Self { n_mme, ..*self }
+    }
+}
+
+impl Default for XnnConfig {
+    fn default() -> Self {
+        Self::rsn_xnn()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_prototype() {
+        let cfg = XnnConfig::default();
+        assert_eq!(cfg.n_mme, 6);
+        assert_eq!((cfg.tile_m, cfg.tile_k, cfg.tile_n), (32, 32, 32));
+    }
+
+    #[test]
+    fn builders_adjust_fields() {
+        let cfg = XnnConfig::small().with_tiles(4, 8, 16).with_mmes(3);
+        assert_eq!(cfg.n_mme, 3);
+        assert_eq!((cfg.tile_m, cfg.tile_k, cfg.tile_n), (4, 8, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "MME count must be in 1..=8")]
+    fn mme_count_is_bounded() {
+        let _ = XnnConfig::small().with_mmes(9);
+    }
+}

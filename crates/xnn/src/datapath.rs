@@ -1,0 +1,300 @@
+//! Construction of the RSN-XNN stream network (Fig. 10).
+//!
+//! The datapath connects two off-chip FUs (DDR for feature maps, LPDDR for
+//! weights), the MemA/MemB input scratchpads, the MeshA/MeshB routers, the
+//! MME matrix engines and the MemC output scratchpads.  A feedback edge from
+//! every MemC back into MeshA is what allows the output of one triggered
+//! path to become the input of another without leaving the chip — the
+//! dynamic layer pipelining of Fig. 7.
+//!
+//! Port conventions (used by the program generators in [`crate::program`]):
+//!
+//! * DDR output ports: `0` → MemA, `1 + g` → MemB*g*, `1 + G + g` → MemC*g*
+//!   residual input.
+//! * DDR input ports: `g` ← MemC*g* store path.
+//! * LPDDR output ports: `g` → MemB*g*.
+//! * MemB input ports: `0` = LPDDR (weights), `1` = DDR (activations).
+//! * MeshA input ports: `0` = MemA, `1 + g` = MemC*g* feedback;
+//!   output port `g` = MME*g*.
+//! * MeshB input port `g` = MemB*g*; output port `g` = MME*g*.
+//! * MemC output ports: `0` = DDR store, `1` = MeshA feedback.
+
+use crate::config::XnnConfig;
+use crate::fus::{MemCFu, MemFu, MeshFu, MmeFu, OffchipFu};
+use rsn_core::error::RsnError;
+use rsn_core::fu::FuId;
+use rsn_core::network::{Datapath, DatapathBuilder};
+use serde::{Deserialize, Serialize};
+
+/// FU ids of every functional unit in an RSN-XNN datapath.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XnnHandles {
+    /// The DDR feature-map FU.
+    pub ddr: FuId,
+    /// The LPDDR weight FU.
+    pub lpddr: FuId,
+    /// The MemA LHS scratchpad.
+    pub mem_a: FuId,
+    /// The MemB RHS scratchpads, one per MME.
+    pub mem_b: Vec<FuId>,
+    /// The MemC output scratchpads, one per MME.
+    pub mem_c: Vec<FuId>,
+    /// The MeshA LHS router.
+    pub mesh_a: FuId,
+    /// The MeshB RHS router.
+    pub mesh_b: FuId,
+    /// The matrix-multiply engines.
+    pub mme: Vec<FuId>,
+}
+
+/// The per-FU physical properties visualised in the paper's Fig. 16.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuProperties {
+    /// FU type name.
+    pub fu_type: String,
+    /// Number of instances in the full-scale design.
+    pub instances: usize,
+    /// Peak FP32 compute throughput per instance, TFLOPS.
+    pub tflops: f64,
+    /// On-chip memory per instance, MB.
+    pub memory_mb: f64,
+    /// Aggregate stream bandwidth per instance (in + out), GB/s.
+    pub bandwidth_gb_s: f64,
+}
+
+/// Builder for the RSN-XNN datapath.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XnnDatapath;
+
+impl XnnDatapath {
+    /// Builds the datapath described by `cfg`, returning the validated
+    /// stream network and the FU handles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsnError`] if the constructed network fails validation
+    /// (which would indicate a bug in the builder itself).
+    pub fn build(cfg: &XnnConfig) -> Result<(Datapath, XnnHandles), RsnError> {
+        let g = cfg.n_mme;
+        let cap = cfg.stream_capacity;
+        let mut b = DatapathBuilder::new();
+
+        // Streams.
+        let s_ddr_to_mema = b.add_stream("DDR->MemA", cap);
+        let s_ddr_to_memb: Vec<_> = (0..g)
+            .map(|i| b.add_stream(format!("DDR->MemB{i}"), cap))
+            .collect();
+        let s_ddr_to_memc: Vec<_> = (0..g)
+            .map(|i| b.add_stream(format!("DDR->MemC{i}(residual)"), cap))
+            .collect();
+        let s_lpddr_to_memb: Vec<_> = (0..g)
+            .map(|i| b.add_stream(format!("LPDDR->MemB{i}"), cap))
+            .collect();
+        let s_mema_to_mesha = b.add_stream("MemA->MeshA", cap);
+        let s_memc_to_mesha: Vec<_> = (0..g)
+            .map(|i| b.add_stream(format!("MemC{i}->MeshA(feedback)"), cap))
+            .collect();
+        let s_mesha_to_mme: Vec<_> = (0..g)
+            .map(|i| b.add_stream(format!("MeshA->MME{i}"), cap))
+            .collect();
+        let s_memb_to_meshb: Vec<_> = (0..g)
+            .map(|i| b.add_stream(format!("MemB{i}->MeshB"), cap))
+            .collect();
+        let s_meshb_to_mme: Vec<_> = (0..g)
+            .map(|i| b.add_stream(format!("MeshB->MME{i}"), cap))
+            .collect();
+        let s_mme_to_memc: Vec<_> = (0..g)
+            .map(|i| b.add_stream(format!("MME{i}->MemC{i}"), cap))
+            .collect();
+        let s_memc_to_ddr: Vec<_> = (0..g)
+            .map(|i| b.add_stream(format!("MemC{i}->DDR"), cap))
+            .collect();
+
+        // Off-chip FUs.
+        let mut ddr_outs = vec![s_ddr_to_mema];
+        ddr_outs.extend(s_ddr_to_memb.iter().copied());
+        ddr_outs.extend(s_ddr_to_memc.iter().copied());
+        let ddr = b.add_fu(OffchipFu::new(
+            "DDR",
+            "DDR",
+            s_memc_to_ddr.clone(),
+            ddr_outs,
+        ));
+        let lpddr = b.add_fu(OffchipFu::new(
+            "LPDDR",
+            "LPDDR",
+            Vec::new(),
+            s_lpddr_to_memb.clone(),
+        ));
+
+        // Scratchpads.
+        let mem_a = b.add_fu(MemFu::new("MemA0", "MemA", vec![s_ddr_to_mema], s_mema_to_mesha));
+        let mem_b: Vec<_> = (0..g)
+            .map(|i| {
+                b.add_fu(MemFu::new(
+                    format!("MemB{i}"),
+                    "MemB",
+                    vec![s_lpddr_to_memb[i], s_ddr_to_memb[i]],
+                    s_memb_to_meshb[i],
+                ))
+            })
+            .collect();
+
+        // Routers.
+        let mut mesh_a_ins = vec![s_mema_to_mesha];
+        mesh_a_ins.extend(s_memc_to_mesha.iter().copied());
+        let mesh_a = b.add_fu(MeshFu::new(
+            "MeshA",
+            "MeshA",
+            mesh_a_ins,
+            s_mesha_to_mme.clone(),
+        ));
+        let mesh_b = b.add_fu(MeshFu::new(
+            "MeshB",
+            "MeshB",
+            s_memb_to_meshb.clone(),
+            s_meshb_to_mme.clone(),
+        ));
+
+        // Matrix engines and output scratchpads.
+        let mme: Vec<_> = (0..g)
+            .map(|i| {
+                b.add_fu(MmeFu::new(
+                    format!("MME{i}"),
+                    s_mesha_to_mme[i],
+                    s_meshb_to_mme[i],
+                    s_mme_to_memc[i],
+                ))
+            })
+            .collect();
+        let mem_c: Vec<_> = (0..g)
+            .map(|i| {
+                b.add_fu(MemCFu::new(
+                    format!("MemC{i}"),
+                    s_mme_to_memc[i],
+                    s_ddr_to_memc[i],
+                    vec![s_memc_to_ddr[i], s_memc_to_mesha[i]],
+                ))
+            })
+            .collect();
+
+        let datapath = b.build()?;
+        Ok((
+            datapath,
+            XnnHandles {
+                ddr,
+                lpddr,
+                mem_a,
+                mem_b,
+                mem_c,
+                mesh_a,
+                mesh_b,
+                mme,
+            },
+        ))
+    }
+
+    /// The per-FU properties of the full-scale RSN-XNN design, as visualised
+    /// in Fig. 16 of the paper.
+    pub fn fu_properties() -> Vec<FuProperties> {
+        vec![
+            FuProperties {
+                fu_type: "MME".to_string(),
+                instances: 6,
+                tflops: 1.1,
+                memory_mb: 0.59,
+                bandwidth_gb_s: 437.0,
+            },
+            FuProperties {
+                fu_type: "MeshA".to_string(),
+                instances: 1,
+                tflops: 0.0,
+                memory_mb: 0.0,
+                bandwidth_gb_s: 302.0,
+            },
+            FuProperties {
+                fu_type: "MeshB".to_string(),
+                instances: 1,
+                tflops: 0.0,
+                memory_mb: 0.0,
+                bandwidth_gb_s: 599.0,
+            },
+            FuProperties {
+                fu_type: "MemA".to_string(),
+                instances: 3,
+                tflops: 0.0,
+                memory_mb: 0.25,
+                bandwidth_gb_s: 100.0,
+            },
+            FuProperties {
+                fu_type: "MemB".to_string(),
+                instances: 3,
+                tflops: 0.0,
+                memory_mb: 0.42,
+                bandwidth_gb_s: 111.0,
+            },
+            FuProperties {
+                fu_type: "MemC".to_string(),
+                instances: 6,
+                tflops: 0.063,
+                memory_mb: 1.0,
+                bandwidth_gb_s: 133.0,
+            },
+            FuProperties {
+                fu_type: "DDR".to_string(),
+                instances: 1,
+                tflops: 0.0,
+                memory_mb: 0.0,
+                bandwidth_gb_s: 33.0,
+            },
+            FuProperties {
+                fu_type: "LPDDR".to_string(),
+                instances: 1,
+                tflops: 0.0,
+                memory_mb: 0.0,
+                bandwidth_gb_s: 33.0,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_datapath_builds_and_validates() {
+        let cfg = XnnConfig::small();
+        let (dp, handles) = XnnDatapath::build(&cfg).unwrap();
+        // 2 off-chip + 1 MemA + G MemB + 2 mesh + G MME + G MemC.
+        assert_eq!(dp.fu_count(), 5 + 3 * cfg.n_mme);
+        assert_eq!(handles.mme.len(), cfg.n_mme);
+        assert_eq!(handles.mem_c.len(), cfg.n_mme);
+        assert_eq!(dp.fus_of_type("MME").len(), cfg.n_mme);
+        assert_eq!(dp.fus_of_type("DDR").len(), 1);
+    }
+
+    #[test]
+    fn full_scale_datapath_builds() {
+        let cfg = XnnConfig::rsn_xnn();
+        let (dp, handles) = XnnDatapath::build(&cfg).unwrap();
+        assert_eq!(handles.mme.len(), 6);
+        // Two single streams (DDR→MemA, MemA→MeshA) plus nine per-MME groups.
+        assert_eq!(dp.stream_count(), 2 + 9 * cfg.n_mme);
+    }
+
+    #[test]
+    fn fu_properties_cover_every_type_and_show_heterogeneity() {
+        let props = XnnDatapath::fu_properties();
+        assert_eq!(props.len(), 8);
+        let mme = props.iter().find(|p| p.fu_type == "MME").unwrap();
+        let mesh_b = props.iter().find(|p| p.fu_type == "MeshB").unwrap();
+        // MMEs compute but meshes only route — the coarse-grained
+        // heterogeneity argument of §5.2.
+        assert!(mme.tflops > 1.0);
+        assert_eq!(mesh_b.tflops, 0.0);
+        assert!(mesh_b.bandwidth_gb_s > 500.0);
+        let total_tflops: f64 = props.iter().map(|p| p.tflops * p.instances as f64).sum();
+        assert!(total_tflops > 6.0 && total_tflops < 8.0);
+    }
+}

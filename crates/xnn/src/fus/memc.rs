@@ -1,0 +1,371 @@
+//! The MemC output-scratchpad functional unit.
+//!
+//! MemC FUs receive finished tiles from their MME, apply the fused non-MM
+//! operators (bias, GELU, scale + softmax, residual add + LayerNorm — the
+//! operations Table 2 lists in MemC's control plane), and then either drain
+//! the result towards the DDR FU for off-chip storage or forward it over the
+//! feedback path into MeshA so a dependent layer can consume it without ever
+//! leaving the chip (the dynamic pipelining of Fig. 7).
+//!
+//! Bias vectors and LayerNorm parameters are configured on the FU by the
+//! host before the run, standing in for the paper's "load bias from LPDDR"
+//! path; this keeps the uOP control plane identical while avoiding a second
+//! bias-streaming protocol in the simulator.
+
+use rsn_core::data::{Tile, Token};
+use rsn_core::fu::{FunctionalUnit, StepOutcome};
+use rsn_core::stream::{StreamId, StreamSet};
+use rsn_core::uop::UopQueue;
+use rsn_workloads::Matrix;
+
+/// The non-MM transform a `post` uOP applies to each tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostTransform {
+    /// Pass tiles through unchanged.
+    None,
+    /// Add the configured bias (sliced by the tile's column offset).
+    Bias,
+    /// Add bias, then apply GELU (feed-forward layer 1).
+    BiasGelu,
+    /// Multiply by the configured softmax scale, then row-wise softmax
+    /// (attention scores).
+    ScaledSoftmax,
+    /// Add bias, add the residual tile from the auxiliary input, then apply
+    /// LayerNorm with the configured gamma/beta (Dense and feed-forward
+    /// layer 2 epilogues).
+    BiasResidualNorm,
+}
+
+impl PostTransform {
+    /// Decodes the uOP field encoding.
+    pub fn from_code(code: i64) -> Self {
+        match code {
+            1 => PostTransform::Bias,
+            2 => PostTransform::BiasGelu,
+            3 => PostTransform::ScaledSoftmax,
+            4 => PostTransform::BiasResidualNorm,
+            _ => PostTransform::None,
+        }
+    }
+
+    /// Encodes the transform for a uOP field.
+    pub fn code(self) -> i64 {
+        match self {
+            PostTransform::None => 0,
+            PostTransform::Bias => 1,
+            PostTransform::BiasGelu => 2,
+            PostTransform::ScaledSoftmax => 3,
+            PostTransform::BiasResidualNorm => 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PostKernel {
+    remaining: usize,
+    processed: usize,
+    transform: PostTransform,
+    dest_port: usize,
+    use_residual: bool,
+    col_tile_offset: usize,
+    col_tiles: usize,
+}
+
+/// The MemC output scratchpad with fused non-MM operators.
+#[derive(Debug)]
+pub struct MemCFu {
+    name: String,
+    from_mme: StreamId,
+    residual_in: StreamId,
+    outs: Vec<StreamId>,
+    queue: UopQueue,
+    active: Option<PostKernel>,
+    bias: Vec<f32>,
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    softmax_scale: f32,
+    nonmm_ops: u64,
+}
+
+impl MemCFu {
+    /// Creates a MemC FU.
+    ///
+    /// `from_mme` carries finished MME tiles, `residual_in` carries residual
+    /// tiles loaded by the DDR FU, and `outs` are `[to DDR store, to MeshA
+    /// feedback]`.
+    pub fn new(
+        name: impl Into<String>,
+        from_mme: StreamId,
+        residual_in: StreamId,
+        outs: Vec<StreamId>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            from_mme,
+            residual_in,
+            outs,
+            queue: UopQueue::default(),
+            active: None,
+            bias: Vec::new(),
+            gamma: Vec::new(),
+            beta: Vec::new(),
+            softmax_scale: 1.0,
+            nonmm_ops: 0,
+        }
+    }
+
+    /// Configures the bias vector (indexed by absolute output column).
+    pub fn set_bias(&mut self, bias: Vec<f32>) {
+        self.bias = bias;
+    }
+
+    /// Configures the LayerNorm scale and shift vectors.
+    pub fn set_norm_params(&mut self, gamma: Vec<f32>, beta: Vec<f32>) {
+        self.gamma = gamma;
+        self.beta = beta;
+    }
+
+    /// Configures the pre-softmax scale (1/√d for attention).
+    pub fn set_softmax_scale(&mut self, scale: f32) {
+        self.softmax_scale = scale;
+    }
+
+    /// Number of non-MM tile transformations applied so far.
+    pub fn nonmm_ops(&self) -> u64 {
+        self.nonmm_ops
+    }
+
+    fn bias_slice(&self, col_offset: usize, cols: usize) -> Vec<f32> {
+        (0..cols)
+            .map(|c| self.bias.get(col_offset + c).copied().unwrap_or(0.0))
+            .collect()
+    }
+
+    fn apply(&self, kernel: &PostKernel, tile: Tile, residual: Option<Tile>) -> Tile {
+        let rows = tile.rows();
+        let cols = tile.cols();
+        let col_offset =
+            (kernel.col_tile_offset + (kernel.processed % kernel.col_tiles.max(1))) * cols;
+        let m = Matrix::from_vec(rows, cols, tile.into_vec());
+        let result = match kernel.transform {
+            PostTransform::None => m,
+            PostTransform::Bias => m.add_bias(&self.bias_slice(col_offset, cols)),
+            PostTransform::BiasGelu => m.add_bias(&self.bias_slice(col_offset, cols)).gelu(),
+            PostTransform::ScaledSoftmax => m.scale(self.softmax_scale).softmax_rows(),
+            PostTransform::BiasResidualNorm => {
+                let mut x = m.add_bias(&self.bias_slice(col_offset, cols));
+                if let Some(res) = residual {
+                    let r = Matrix::from_vec(res.rows(), res.cols(), res.into_vec());
+                    x = x.add(&r);
+                }
+                let gamma = if self.gamma.len() == cols {
+                    self.gamma.clone()
+                } else {
+                    vec![1.0; cols]
+                };
+                let beta = if self.beta.len() == cols {
+                    self.beta.clone()
+                } else {
+                    vec![0.0; cols]
+                };
+                x.layer_norm(&gamma, &beta, 1e-5)
+            }
+        };
+        Tile::from_vec(rows, cols, result.into_vec())
+    }
+}
+
+impl FunctionalUnit for MemCFu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn fu_type(&self) -> &str {
+        "MemC"
+    }
+    fn input_streams(&self) -> Vec<StreamId> {
+        vec![self.from_mme, self.residual_in]
+    }
+    fn output_streams(&self) -> Vec<StreamId> {
+        self.outs.clone()
+    }
+    fn uop_queue(&self) -> &UopQueue {
+        &self.queue
+    }
+    fn uop_queue_mut(&mut self) -> &mut UopQueue {
+        &mut self.queue
+    }
+    fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.active.is_none()
+    }
+
+    fn step(&mut self, streams: &mut StreamSet) -> StepOutcome {
+        let mut moved = 0u64;
+        for _ in 0..super::TILE_BURST {
+            if self.active.is_none() {
+                match self.queue.pop() {
+                    Some(uop) if uop.opcode() == "post" => {
+                        self.active = Some(PostKernel {
+                            remaining: uop.unsigned(0),
+                            processed: 0,
+                            transform: PostTransform::from_code(uop.field(1).unwrap_or(0)),
+                            dest_port: uop.unsigned(2),
+                            use_residual: uop.flag(3),
+                            col_tile_offset: uop.unsigned(4),
+                            col_tiles: uop.unsigned(5).max(1),
+                        });
+                    }
+                    Some(_) | None => {
+                        return if moved > 0 {
+                            StepOutcome::Progress { cycles: moved }
+                        } else {
+                            StepOutcome::Idle
+                        };
+                    }
+                }
+            }
+            let kernel = *self.active.as_ref().expect("kernel just launched");
+            if kernel.remaining == 0 {
+                self.active = None;
+                continue;
+            }
+            if kernel.dest_port >= self.outs.len() {
+                self.active = None;
+                continue;
+            }
+            let out = self.outs[kernel.dest_port];
+            let inputs_ready = streams.can_pop(self.from_mme)
+                && (!kernel.use_residual || streams.can_pop(self.residual_in))
+                && streams.can_push(out);
+            if !inputs_ready {
+                return if moved > 0 {
+                    StepOutcome::Progress { cycles: moved }
+                } else {
+                    StepOutcome::Blocked
+                };
+            }
+            let tile = streams
+                .pop(self.from_mme)
+                .and_then(Token::into_tile)
+                .unwrap_or_else(|| Tile::zeros(1, 1));
+            let residual = if kernel.use_residual {
+                streams.pop(self.residual_in).and_then(Token::into_tile)
+            } else {
+                None
+            };
+            let result = self.apply(&kernel, tile, residual);
+            streams
+                .push(out, Token::Tile(result))
+                .expect("capacity checked");
+            if kernel.transform != PostTransform::None {
+                self.nonmm_ops += 1;
+            }
+            moved += 1;
+            let k = self.active.as_mut().expect("kernel active");
+            k.remaining -= 1;
+            k.processed += 1;
+            if k.remaining == 0 {
+                self.active = None;
+            }
+        }
+        StepOutcome::Progress {
+            cycles: moved.max(1),
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_codes_roundtrip() {
+        for t in [
+            PostTransform::None,
+            PostTransform::Bias,
+            PostTransform::BiasGelu,
+            PostTransform::ScaledSoftmax,
+            PostTransform::BiasResidualNorm,
+        ] {
+            assert_eq!(PostTransform::from_code(t.code()), t);
+        }
+        assert_eq!(PostTransform::from_code(99), PostTransform::None);
+    }
+
+    #[test]
+    fn bias_slice_pads_with_zeros() {
+        let mut fu = MemCFu::new(
+            "MemC0",
+            rsn_core::stream::StreamId::from_index(0),
+            rsn_core::stream::StreamId::from_index(1),
+            vec![],
+        );
+        fu.set_bias(vec![1.0, 2.0, 3.0]);
+        assert_eq!(fu.bias_slice(1, 4), vec![2.0, 3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn apply_scaled_softmax_normalises_rows() {
+        let mut fu = MemCFu::new(
+            "MemC0",
+            rsn_core::stream::StreamId::from_index(0),
+            rsn_core::stream::StreamId::from_index(1),
+            vec![],
+        );
+        fu.set_softmax_scale(0.5);
+        let kernel = PostKernel {
+            remaining: 1,
+            processed: 0,
+            transform: PostTransform::ScaledSoftmax,
+            dest_port: 0,
+            use_residual: false,
+            col_tile_offset: 0,
+            col_tiles: 1,
+        };
+        let tile = Tile::from_vec(2, 3, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let out = fu.apply(&kernel, tile, None);
+        for r in 0..2 {
+            let sum: f32 = (0..3).map(|c| out.at(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn apply_bias_residual_norm_matches_reference() {
+        let mut fu = MemCFu::new(
+            "MemC0",
+            rsn_core::stream::StreamId::from_index(0),
+            rsn_core::stream::StreamId::from_index(1),
+            vec![],
+        );
+        let cols = 8;
+        fu.set_bias(vec![0.5; cols]);
+        fu.set_norm_params(vec![1.0; cols], vec![0.0; cols]);
+        let kernel = PostKernel {
+            remaining: 1,
+            processed: 0,
+            transform: PostTransform::BiasResidualNorm,
+            dest_port: 0,
+            use_residual: true,
+            col_tile_offset: 0,
+            col_tiles: 1,
+        };
+        let x = Matrix::random(2, cols, 1);
+        let res = Matrix::random(2, cols, 2);
+        let tile = Tile::from_vec(2, cols, x.clone().into_vec());
+        let res_tile = Tile::from_vec(2, cols, res.clone().into_vec());
+        let out = fu.apply(&kernel, tile, Some(res_tile));
+        let expected = x
+            .add_bias(&vec![0.5; cols])
+            .add(&res)
+            .layer_norm(&vec![1.0; cols], &vec![0.0; cols], 1e-5);
+        let got = Matrix::from_vec(2, cols, out.into_vec());
+        assert!(got.max_abs_diff(&expected) < 1e-5);
+    }
+}

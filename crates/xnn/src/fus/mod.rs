@@ -1,0 +1,30 @@
+//! Concrete functional-unit implementations of the RSN-XNN datapath
+//! (Fig. 10 of the paper, control planes from Table 2).
+//!
+//! | FU | role | uOP control plane (fields) |
+//! |----|------|----------------------------|
+//! | [`OffchipFu`] (DDR / LPDDR) | route tiles between off-chip matrices and on-chip FUs | `load(matrix, row0, col0, rows, cols, out_port)`, `store(matrix, row0, col0, in_port)` |
+//! | [`MemFu`] (MemA / MemB) | double-buffered scratchpad between off-chip FUs and the mesh | `xfer(load_cnt, send_cnt, in_port, transpose)` |
+//! | [`MeshFu`] (MeshA / MeshB) | fan-in / fan-out router between scratchpads and MMEs | `route(in, out, count)`, `broadcast(in, count, out_count)` |
+//! | [`MmeFu`] | tiled matrix multiplication with K accumulation on the AIE array | `matmul(num_outputs, accum_k)` |
+//! | [`MemCFu`] | output scratchpad + non-MM operators (bias, softmax, GELU, residual + LayerNorm) | `post(count, transform, dest_port, use_residual, col_tile_offset, col_tiles)` |
+//!
+//! Every FU follows the resumable-kernel protocol of
+//! [`FunctionalUnit::step`](rsn_core::fu::FunctionalUnit::step): a uOP
+//! launches a kernel, a step advances it as far as stream availability
+//! allows, and backpressure simply yields `Blocked`.
+
+mod mem;
+mod memc;
+mod mesh;
+mod mme;
+mod offchip;
+
+pub use mem::MemFu;
+pub use memc::{MemCFu, PostTransform};
+pub use mesh::MeshFu;
+pub use mme::MmeFu;
+pub use offchip::OffchipFu;
+
+/// Maximum tile operations an RSN-XNN FU performs per engine step.
+pub(crate) const TILE_BURST: usize = 4;

@@ -1,0 +1,225 @@
+//! Instruction-footprint statistics (Fig. 9 and the §5.1 instruction
+//! overhead analysis).
+//!
+//! The paper compares, per FU type, the size of the RSN instruction stream
+//! against the size of the uOP stream it expands to, for one BERT-Large
+//! encoder.  Here the same comparison is computed from an actual generated
+//! [`Program`]: the uOP bytes are the encoded size of every per-FU uOP, the
+//! RSN bytes are the encoded size of the compressed packet stream, and the
+//! compression ratio is their quotient.
+
+use crate::datapath::XnnHandles;
+use rsn_core::error::RsnError;
+use rsn_core::isa::Packet;
+use rsn_core::network::Datapath;
+use rsn_core::program::Program;
+use rsn_core::uop::Uop;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-FU-type instruction footprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuTypeInstrStats {
+    /// FU type name.
+    pub fu_type: String,
+    /// Number of RSN instruction packets targeting this type.
+    pub rsn_packets: usize,
+    /// Encoded bytes of those packets.
+    pub rsn_bytes: usize,
+    /// Number of uOPs after window/reuse expansion (per selected lane).
+    pub expanded_uops: usize,
+    /// Encoded bytes of the expanded uOPs.
+    pub uop_bytes: usize,
+}
+
+impl FuTypeInstrStats {
+    /// uOP-to-RSN compression ratio (>1 means the packet stream is smaller).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.rsn_bytes == 0 {
+            0.0
+        } else {
+            self.uop_bytes as f64 / self.rsn_bytes as f64
+        }
+    }
+}
+
+/// Instruction statistics of a whole program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramInstrStats {
+    /// Per-FU-type rows, ordered by type name.
+    pub per_type: Vec<FuTypeInstrStats>,
+}
+
+impl ProgramInstrStats {
+    /// Total RSN instruction bytes.
+    pub fn total_rsn_bytes(&self) -> usize {
+        self.per_type.iter().map(|r| r.rsn_bytes).sum()
+    }
+
+    /// Total expanded uOP bytes.
+    pub fn total_uop_bytes(&self) -> usize {
+        self.per_type.iter().map(|r| r.uop_bytes).sum()
+    }
+
+    /// Overall compression ratio.
+    pub fn overall_compression(&self) -> f64 {
+        let rsn = self.total_rsn_bytes();
+        if rsn == 0 {
+            0.0
+        } else {
+            self.total_uop_bytes() as f64 / rsn as f64
+        }
+    }
+
+    /// Compute-to-instruction ratio in FLOP per RSN instruction byte — the
+    /// paper quotes 1.6 GFLOP/byte for BERT-Large.
+    pub fn flops_per_instruction_byte(&self, total_flops: f64) -> f64 {
+        let bytes = self.total_rsn_bytes();
+        if bytes == 0 {
+            0.0
+        } else {
+            total_flops / bytes as f64
+        }
+    }
+}
+
+/// Computes per-FU-type instruction statistics for `program` running on
+/// `datapath`.
+///
+/// # Errors
+///
+/// Propagates packet-compression errors (unknown FU or header overflow).
+pub fn program_instr_stats(
+    datapath: &Datapath,
+    program: &Program,
+) -> Result<ProgramInstrStats, RsnError> {
+    let packets = program.compress(datapath)?;
+    let type_names: Vec<String> = datapath.fu_types().map(|t| t.to_string()).collect();
+
+    let mut rsn_bytes: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for p in &packets {
+        let name = type_names
+            .get(usize::from(p.header.opcode))
+            .cloned()
+            .unwrap_or_else(|| format!("opcode{}", p.header.opcode));
+        let entry = rsn_bytes.entry(name).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += Packet::encoded_len(p);
+    }
+
+    let mut uop_bytes: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for (fu, uops) in program.iter() {
+        let fu_type = datapath.fu_type(fu)?.to_string();
+        let entry = uop_bytes.entry(fu_type).or_insert((0, 0));
+        entry.0 += uops.len();
+        entry.1 += uops.iter().map(Uop::encoded_len).sum::<usize>();
+    }
+
+    let mut types: Vec<String> = rsn_bytes
+        .keys()
+        .chain(uop_bytes.keys())
+        .cloned()
+        .collect();
+    types.sort();
+    types.dedup();
+    let per_type = types
+        .into_iter()
+        .map(|t| {
+            let (rsn_packets, rsn_b) = rsn_bytes.get(&t).copied().unwrap_or((0, 0));
+            let (uops, uop_b) = uop_bytes.get(&t).copied().unwrap_or((0, 0));
+            FuTypeInstrStats {
+                fu_type: t,
+                rsn_packets,
+                rsn_bytes: rsn_b,
+                expanded_uops: uops,
+                uop_bytes: uop_b,
+            }
+        })
+        .collect();
+    Ok(ProgramInstrStats { per_type })
+}
+
+/// Convenience: statistics for a program generated against an RSN-XNN
+/// datapath, reported with the handles' type layout.
+///
+/// # Errors
+///
+/// Propagates packet-compression errors.
+pub fn xnn_instr_stats(
+    datapath: &Datapath,
+    _handles: &XnnHandles,
+    program: &Program,
+) -> Result<ProgramInstrStats, RsnError> {
+    program_instr_stats(datapath, program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::XnnConfig;
+    use crate::datapath::XnnDatapath;
+    use crate::program::{gemm_program, GemmSpec, PostOp, RhsOperand};
+
+    fn stats_for(m: usize, k: usize, n: usize) -> ProgramInstrStats {
+        let cfg = XnnConfig::small();
+        let (dp, handles) = XnnDatapath::build(&cfg).unwrap();
+        let spec = GemmSpec {
+            lhs: 1,
+            rhs: RhsOperand::Lpddr(2),
+            out: 3,
+            m,
+            k,
+            n,
+            rhs_transposed: false,
+            post: PostOp::Bias,
+        };
+        let program = gemm_program(&cfg, &handles, &spec);
+        program_instr_stats(&dp, &program).unwrap()
+    }
+
+    #[test]
+    fn offchip_fus_need_more_instructions_than_streaming_fus() {
+        let stats = stats_for(64, 64, 64);
+        let ddr = stats
+            .per_type
+            .iter()
+            .find(|r| r.fu_type == "DDR")
+            .expect("DDR row");
+        let mesh_b = stats
+            .per_type
+            .iter()
+            .find(|r| r.fu_type == "MeshB")
+            .expect("MeshB row");
+        let mme = stats
+            .per_type
+            .iter()
+            .find(|r| r.fu_type == "MME")
+            .expect("MME row");
+        // The paper's Fig. 9 observation: off-chip FUs carry most of the
+        // control, on-chip streaming FUs need almost none.
+        assert!(ddr.uop_bytes > mme.uop_bytes);
+        assert!(ddr.rsn_bytes > mme.rsn_bytes);
+        // MeshB's highly repetitive routing compresses far better than DDR's
+        // address-bearing loads/stores.
+        assert!(mesh_b.compression_ratio() > ddr.compression_ratio());
+    }
+
+    #[test]
+    fn compression_never_expands_catastrophically_and_usually_helps() {
+        let stats = stats_for(64, 64, 64);
+        assert!(stats.overall_compression() > 1.0);
+        assert!(stats.total_rsn_bytes() > 0);
+        assert!(stats.total_uop_bytes() >= stats.total_rsn_bytes());
+    }
+
+    #[test]
+    fn flops_per_byte_scales_with_problem_size() {
+        let small = stats_for(32, 32, 32);
+        let large = stats_for(128, 128, 128);
+        let small_ratio = small.flops_per_instruction_byte(2.0 * 32.0_f64.powi(3));
+        let large_ratio = large.flops_per_instruction_byte(2.0 * 128.0_f64.powi(3));
+        // Bigger layers amortise instructions better — the low-entropy
+        // argument of §1.
+        assert!(large_ratio > small_ratio);
+    }
+}

@@ -1,0 +1,39 @@
+//! # rsn-xnn
+//!
+//! RSN-XNN — the paper's proof-of-concept RSN design for transformer
+//! encoders — reproduced on top of a simulated VCK190.
+//!
+//! The crate has two halves that correspond to the two ways the paper
+//! evaluates the design:
+//!
+//! **Functional datapath** ([`config`], [`fus`], [`datapath`], [`machine`],
+//! [`program`]): concrete [`FunctionalUnit`](rsn_core::fu::FunctionalUnit)
+//! implementations for the MME, MemA/B/C, MeshA/B, DDR and LPDDR FUs of
+//! Fig. 10, a builder that wires them into the RSN-XNN stream network, and
+//! program generators that trigger paths for tiled GEMM, dynamically
+//! pipelined GEMM pairs, fused attention (MM → softmax → MM) and whole
+//! encoder segments.  Running these programs on the [`rsn_core`] engine
+//! produces real FP32 results that the tests validate against the
+//! `rsn-workloads` reference math — the reproduction's equivalent of the
+//! artifact's on-board correctness check.
+//!
+//! **Analytic timing model** ([`timing`], [`instr_stats`]): a calibrated
+//! latency model of the same datapath used to regenerate the paper's
+//! evaluation tables (Table 3, 6–11, Fig. 9, 16, 18).  The model reasons in
+//! terms of compute time at a given MME utilization, off-chip channel busy
+//! time under a load/store interleaving policy, and the pipelining /
+//! prolog-epilog-overlap optimisations of §4.3–4.4.
+
+pub mod config;
+pub mod datapath;
+pub mod fus;
+pub mod instr_stats;
+pub mod machine;
+pub mod program;
+pub mod timing;
+
+pub use config::XnnConfig;
+pub use datapath::{FuProperties, XnnDatapath};
+pub use machine::XnnMachine;
+pub use program::PostOp;
+pub use timing::{OptimizationFlags, SegmentTiming, XnnTimingModel};

@@ -1,0 +1,229 @@
+//! A host-side wrapper around the RSN-XNN datapath and the RSN engine.
+//!
+//! The machine plays the role of the PS-side host in the paper's prototype:
+//! it places inputs and weights into the off-chip memory FUs, configures the
+//! MemC constants (bias, LayerNorm parameters, softmax scale), loads an RSN
+//! program (either directly into the per-FU instruction backlogs or as a
+//! packet stream through the three-level decoder) and runs the engine.
+//! Results are read back out of the DDR FU and compared against reference
+//! math by the tests.
+
+use crate::config::XnnConfig;
+use crate::datapath::{XnnDatapath, XnnHandles};
+use crate::fus::{MemCFu, MmeFu, OffchipFu};
+use rsn_core::error::RsnError;
+use rsn_core::program::Program;
+use rsn_core::sim::{Engine, RunReport};
+use rsn_workloads::Matrix;
+
+/// The RSN-XNN machine: datapath, engine and host-side configuration.
+#[derive(Debug)]
+pub struct XnnMachine {
+    cfg: XnnConfig,
+    engine: Engine,
+    handles: XnnHandles,
+}
+
+impl XnnMachine {
+    /// Builds a machine for the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsnError`] if the datapath fails validation (a builder bug).
+    pub fn new(cfg: XnnConfig) -> Result<Self, RsnError> {
+        let (datapath, handles) = XnnDatapath::build(&cfg)?;
+        Ok(Self {
+            cfg,
+            engine: Engine::new(datapath),
+            handles,
+        })
+    }
+
+    /// The structural configuration.
+    pub fn config(&self) -> &XnnConfig {
+        &self.cfg
+    }
+
+    /// FU handles for program generation.
+    pub fn handles(&self) -> &XnnHandles {
+        &self.handles
+    }
+
+    /// Places a feature-map matrix into the DDR FU.
+    pub fn load_ddr(&mut self, id: i64, matrix: Matrix) {
+        self.ddr_mut().insert_matrix(id, matrix);
+    }
+
+    /// Places a weight matrix into the LPDDR FU.
+    pub fn load_lpddr(&mut self, id: i64, matrix: Matrix) {
+        self.engine
+            .fu_mut::<OffchipFu>(self.handles.lpddr)
+            .expect("LPDDR FU exists")
+            .insert_matrix(id, matrix);
+    }
+
+    /// Allocates a zero-initialised output matrix in DDR.
+    pub fn alloc_ddr(&mut self, id: i64, rows: usize, cols: usize) {
+        self.ddr_mut().allocate_matrix(id, rows, cols);
+    }
+
+    /// Reads a matrix back from DDR (inputs, residuals or stored results).
+    pub fn ddr_matrix(&self, id: i64) -> Option<&Matrix> {
+        self.engine
+            .fu::<OffchipFu>(self.handles.ddr)
+            .expect("DDR FU exists")
+            .matrix(id)
+    }
+
+    /// Configures the bias vector on every MemC FU (indexed by absolute
+    /// output column).
+    pub fn set_bias(&mut self, bias: &[f32]) {
+        for &id in &self.handles.mem_c.clone() {
+            self.engine
+                .fu_mut::<MemCFu>(id)
+                .expect("MemC FU exists")
+                .set_bias(bias.to_vec());
+        }
+    }
+
+    /// Configures the LayerNorm parameters on every MemC FU.
+    pub fn set_norm_params(&mut self, gamma: &[f32], beta: &[f32]) {
+        for &id in &self.handles.mem_c.clone() {
+            self.engine
+                .fu_mut::<MemCFu>(id)
+                .expect("MemC FU exists")
+                .set_norm_params(gamma.to_vec(), beta.to_vec());
+        }
+    }
+
+    /// Configures the pre-softmax scale (1/√d) on every MemC FU.
+    pub fn set_softmax_scale(&mut self, scale: f32) {
+        for &id in &self.handles.mem_c.clone() {
+            self.engine
+                .fu_mut::<MemCFu>(id)
+                .expect("MemC FU exists")
+                .set_softmax_scale(scale);
+        }
+    }
+
+    /// Loads a program into the per-FU instruction backlogs and runs the
+    /// engine until the datapath quiesces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (deadlock, step-limit).
+    pub fn run_program(&mut self, program: &Program) -> Result<RunReport, RsnError> {
+        self.engine.load_program(program);
+        self.engine.run()
+    }
+
+    /// Compresses a program into RSN instruction packets and runs it through
+    /// the three-level decoder instead of the per-FU backlogs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates packet-encoding and engine errors.
+    pub fn run_program_as_packets(&mut self, program: &Program) -> Result<RunReport, RsnError> {
+        let packets = program.compress(self.engine.datapath())?;
+        self.engine.load_packets(packets);
+        self.engine.run()
+    }
+
+    /// Total floating-point operations performed by the MMEs so far.
+    pub fn total_mme_flops(&self) -> u64 {
+        self.handles
+            .mme
+            .iter()
+            .map(|&id| self.engine.fu::<MmeFu>(id).expect("MME FU exists").flops())
+            .sum()
+    }
+
+    /// Total bytes the DDR FU has loaded and stored so far.
+    pub fn ddr_traffic_bytes(&self) -> u64 {
+        let ddr = self
+            .engine
+            .fu::<OffchipFu>(self.handles.ddr)
+            .expect("DDR FU exists");
+        ddr.bytes_loaded() + ddr.bytes_stored()
+    }
+
+    /// The underlying engine (for report-level statistics).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    fn ddr_mut(&mut self) -> &mut OffchipFu {
+        self.engine
+            .fu_mut::<OffchipFu>(self.handles.ddr)
+            .expect("DDR FU exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{gemm_program, GemmSpec, PostOp, RhsOperand};
+
+    #[test]
+    fn machine_runs_a_small_gemm_correctly() {
+        let cfg = XnnConfig::small();
+        let mut machine = XnnMachine::new(cfg).unwrap();
+        let lhs = Matrix::random(16, 16, 1);
+        let rhs = Matrix::random(16, 16, 2);
+        let expected = lhs.matmul(&rhs);
+        machine.load_ddr(1, lhs);
+        machine.load_lpddr(2, rhs);
+        machine.alloc_ddr(3, 16, 16);
+        let spec = GemmSpec {
+            lhs: 1,
+            rhs: RhsOperand::Lpddr(2),
+            out: 3,
+            m: 16,
+            k: 16,
+            n: 16,
+            rhs_transposed: false,
+            post: PostOp::None,
+        };
+        let program = gemm_program(&cfg, machine.handles(), &spec);
+        let report = machine.run_program(&program).unwrap();
+        assert_eq!(report.residual_tokens, 0);
+        let got = machine.ddr_matrix(3).unwrap();
+        assert!(got.max_abs_diff(&expected) < 1e-3, "diff {}", got.max_abs_diff(&expected));
+        assert!(machine.total_mme_flops() > 0);
+        assert!(machine.ddr_traffic_bytes() > 0);
+    }
+
+    #[test]
+    fn backlog_and_packet_execution_agree() {
+        let cfg = XnnConfig::small();
+        let lhs = Matrix::random(8, 8, 5);
+        let rhs = Matrix::random(8, 8, 6);
+        let spec = GemmSpec {
+            lhs: 1,
+            rhs: RhsOperand::Lpddr(2),
+            out: 3,
+            m: 8,
+            k: 8,
+            n: 8,
+            rhs_transposed: false,
+            post: PostOp::None,
+        };
+        let run = |as_packets: bool| {
+            let mut machine = XnnMachine::new(cfg).unwrap();
+            machine.load_ddr(1, lhs.clone());
+            machine.load_lpddr(2, rhs.clone());
+            machine.alloc_ddr(3, 8, 8);
+            let program = gemm_program(&cfg, machine.handles(), &spec);
+            if as_packets {
+                machine.run_program_as_packets(&program).unwrap();
+            } else {
+                machine.run_program(&program).unwrap();
+            }
+            machine.ddr_matrix(3).unwrap().clone()
+        };
+        let direct = run(false);
+        let via_decoder = run(true);
+        assert!(direct.max_abs_diff(&via_decoder) < 1e-6);
+        assert!(direct.max_abs_diff(&lhs.matmul(&rhs)) < 1e-4);
+    }
+}

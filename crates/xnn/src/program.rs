@@ -1,0 +1,520 @@
+//! RSN program generation for the RSN-XNN datapath.
+//!
+//! Programming a computation in RSN means triggering paths: every FU on the
+//! path receives a short uOP sequence.  This module generates those
+//! sequences for the two execution patterns the paper builds its evaluation
+//! on:
+//!
+//! * [`gemm_program`] — a tiled, output-stationary GEMM that spreads output
+//!   columns over the MMEs, broadcasts LHS tiles to all of them, streams RHS
+//!   tiles from LPDDR (weights) or DDR (activations), fuses a non-MM
+//!   epilogue in MemC, and interleaves the DDR stores of one output round
+//!   with the loads of the next (the §4.4 bandwidth orchestration).
+//! * [`attention_program`] — the dynamically pipelined attention pattern of
+//!   Fig. 7 / §4.3: per head, MM1 (Q·Kᵀ) flows through scaled softmax in
+//!   MemC and feeds MM2 (scores·V) back through the MeshA feedback path
+//!   without ever leaving the chip.
+
+use crate::config::XnnConfig;
+use crate::datapath::XnnHandles;
+use crate::fus::PostTransform;
+use rsn_core::program::Program;
+use rsn_core::uop::Uop;
+use serde::{Deserialize, Serialize};
+
+/// Where the RHS operand of a GEMM comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RhsOperand {
+    /// Weights resident in the LPDDR FU under this matrix id.
+    Lpddr(i64),
+    /// Activations resident in the DDR FU under this matrix id.
+    Ddr(i64),
+}
+
+/// The fused epilogue applied by MemC to every output tile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PostOp {
+    /// Store raw MME results.
+    None,
+    /// Add the configured bias.
+    Bias,
+    /// Add bias then GELU.
+    BiasGelu,
+    /// Scale then row-wise softmax (requires the tile to span all N columns).
+    ScaledSoftmax,
+    /// Add bias, add a residual matrix loaded from DDR, then LayerNorm
+    /// (requires the tile to span all N columns).
+    BiasResidualNorm {
+        /// DDR matrix id of the residual operand.
+        residual: i64,
+    },
+}
+
+impl PostOp {
+    fn transform(&self) -> PostTransform {
+        match self {
+            PostOp::None => PostTransform::None,
+            PostOp::Bias => PostTransform::Bias,
+            PostOp::BiasGelu => PostTransform::BiasGelu,
+            PostOp::ScaledSoftmax => PostTransform::ScaledSoftmax,
+            PostOp::BiasResidualNorm { .. } => PostTransform::BiasResidualNorm,
+        }
+    }
+
+    fn residual(&self) -> Option<i64> {
+        match self {
+            PostOp::BiasResidualNorm { residual } => Some(*residual),
+            _ => None,
+        }
+    }
+
+    fn needs_full_row_tile(&self) -> bool {
+        matches!(self, PostOp::ScaledSoftmax | PostOp::BiasResidualNorm { .. })
+    }
+}
+
+/// A single tiled GEMM to execute on the datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GemmSpec {
+    /// DDR matrix id of the `m × k` LHS.
+    pub lhs: i64,
+    /// Source and matrix id of the `k × n` RHS.
+    pub rhs: RhsOperand,
+    /// DDR matrix id that receives the `m × n` output.
+    pub out: i64,
+    /// Rows of LHS / output.
+    pub m: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Columns of RHS / output.
+    pub n: usize,
+    /// When `true`, the RHS matrix is stored as `n × k` and transposed by
+    /// MemB on the way in.
+    pub rhs_transposed: bool,
+    /// Fused epilogue.
+    pub post: PostOp,
+}
+
+/// One attention head group to execute with the pipelined mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttentionSpec {
+    /// DDR matrix id of the query activations (`tokens × hidden`).
+    pub q: i64,
+    /// DDR matrix id of the key activations (`tokens × hidden`).
+    pub k: i64,
+    /// DDR matrix id of the value activations (`tokens × hidden`).
+    pub v: i64,
+    /// DDR matrix id receiving the context output (`tokens × hidden`).
+    pub out: i64,
+    /// Sequence length per batch element.
+    pub seq_len: usize,
+    /// Number of batch elements.
+    pub batch: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+}
+
+/// Generates the uOP program for a tiled GEMM.
+///
+/// # Panics
+///
+/// Panics if a softmax/LayerNorm epilogue is requested with a tile width
+/// smaller than `n` (those operators need the whole row in one tile), or if
+/// any dimension is zero.
+pub fn gemm_program(cfg: &XnnConfig, handles: &XnnHandles, spec: &GemmSpec) -> Program {
+    assert!(spec.m > 0 && spec.k > 0 && spec.n > 0, "GEMM dims must be non-zero");
+    let tile_m = cfg.tile_m.min(spec.m);
+    let tile_k = cfg.tile_k.min(spec.k);
+    let tile_n = if spec.post.needs_full_row_tile() {
+        spec.n
+    } else {
+        cfg.tile_n.min(spec.n)
+    };
+    assert!(
+        !spec.post.needs_full_row_tile() || tile_n == spec.n,
+        "softmax / LayerNorm epilogues need tile_n == n"
+    );
+    let mt = spec.m.div_ceil(tile_m);
+    let kt = spec.k.div_ceil(tile_k);
+    let nt = spec.n.div_ceil(tile_n);
+    // Use the largest MME count that divides the column-tile count so every
+    // active MME consumes the broadcast LHS at the same rate.
+    let active = (1..=cfg.n_mme.min(nt))
+        .rev()
+        .find(|g| nt % g == 0)
+        .unwrap_or(1);
+    let cols_per = nt / active;
+    let g_count = cfg.n_mme;
+
+    let mut p = Program::new();
+    let total_lhs_tiles = (mt * cols_per * kt) as i64;
+
+    // MemA: one uOP moves every LHS tile of the layer.
+    p.push(
+        handles.mem_a,
+        Uop::new("xfer", [total_lhs_tiles, total_lhs_tiles, 0, 0]),
+    );
+    // MeshA: broadcast each LHS tile to every *active* MME (inactive MMEs
+    // never consume, so copying to them would fill their streams).
+    p.push(
+        handles.mesh_a,
+        Uop::new("broadcast", [0, total_lhs_tiles, active as i64]),
+    );
+
+    // Per-MME steady-state uOPs.
+    let outputs_per_mme = (mt * cols_per) as i64;
+    let rhs_in_port: i64 = match spec.rhs {
+        RhsOperand::Lpddr(_) => 0,
+        RhsOperand::Ddr(_) => 1,
+    };
+    for g in 0..active {
+        p.push(
+            handles.mem_b[g],
+            Uop::new(
+                "xfer",
+                [
+                    total_lhs_tiles,
+                    total_lhs_tiles,
+                    rhs_in_port,
+                    i64::from(spec.rhs_transposed),
+                ],
+            ),
+        );
+        p.push(handles.mme[g], Uop::new("matmul", [outputs_per_mme, kt as i64]));
+        p.push(
+            handles.mem_c[g],
+            Uop::new(
+                "post",
+                [
+                    outputs_per_mme,
+                    spec.post.transform().code(),
+                    0,
+                    i64::from(spec.post.residual().is_some()),
+                    (g * cols_per) as i64,
+                    cols_per as i64,
+                ],
+            ),
+        );
+    }
+    // MeshB: deliver one RHS tile to each active MME per accumulation step.
+    for _ in 0..(mt * cols_per * kt) {
+        for g in 0..active {
+            p.push(handles.mesh_b, Uop::new("route", [g as i64, g as i64, 1]));
+        }
+    }
+
+    // Off-chip uOPs, round by round, with the previous round's stores
+    // interleaved into the next round's loads (Fig. 12, "Way 1").
+    let mut pending_stores: Vec<Uop> = Vec::new();
+    for i in 0..mt {
+        for cb in 0..cols_per {
+            // LHS loads for this output round.
+            for k in 0..kt {
+                p.push(
+                    handles.ddr,
+                    Uop::new(
+                        "load",
+                        [
+                            spec.lhs,
+                            (i * tile_m) as i64,
+                            (k * tile_k) as i64,
+                            tile_m as i64,
+                            tile_k as i64,
+                            0,
+                        ],
+                    ),
+                );
+            }
+            // RHS loads for every active MME.
+            for g in 0..active {
+                let col = g * cols_per + cb;
+                for k in 0..kt {
+                    let (fu, matrix, out_port) = match spec.rhs {
+                        RhsOperand::Lpddr(id) => (handles.lpddr, id, g as i64),
+                        RhsOperand::Ddr(id) => (handles.ddr, id, (1 + g) as i64),
+                    };
+                    let (row0, col0, rows, cols) = if spec.rhs_transposed {
+                        // Stored as n × k; MemB transposes on the way out.
+                        (col * tile_n, k * tile_k, tile_n, tile_k)
+                    } else {
+                        (k * tile_k, col * tile_n, tile_k, tile_n)
+                    };
+                    p.push(
+                        fu,
+                        Uop::new(
+                            "load",
+                            [
+                                matrix,
+                                row0 as i64,
+                                col0 as i64,
+                                rows as i64,
+                                cols as i64,
+                                out_port,
+                            ],
+                        ),
+                    );
+                }
+                // Residual tile for LayerNorm epilogues.
+                if let Some(res) = spec.post.residual() {
+                    p.push(
+                        handles.ddr,
+                        Uop::new(
+                            "load",
+                            [
+                                res,
+                                (i * tile_m) as i64,
+                                (col * tile_n) as i64,
+                                tile_m as i64,
+                                tile_n as i64,
+                                (1 + g_count + g) as i64,
+                            ],
+                        ),
+                    );
+                }
+            }
+            // Drain the previous round's outputs while this round computes.
+            for store in pending_stores.drain(..) {
+                p.push(handles.ddr, store);
+            }
+            // Queue this round's stores for the next round.
+            for g in 0..active {
+                let col = g * cols_per + cb;
+                pending_stores.push(Uop::new(
+                    "store",
+                    [
+                        spec.out,
+                        (i * tile_m) as i64,
+                        (col * tile_n) as i64,
+                        g as i64,
+                    ],
+                ));
+            }
+        }
+    }
+    for store in pending_stores {
+        p.push(handles.ddr, store);
+    }
+    p
+}
+
+/// Generates the dynamically pipelined attention program: for every head,
+/// MM1 → scaled softmax → MM2 without intermediate off-chip traffic.
+///
+/// # Panics
+///
+/// Panics if `head_dim`, `seq_len`, `batch` or `heads` is zero.
+pub fn attention_program(cfg: &XnnConfig, handles: &XnnHandles, spec: &AttentionSpec) -> Program {
+    assert!(
+        spec.seq_len > 0 && spec.batch > 0 && spec.heads > 0 && spec.head_dim > 0,
+        "attention dimensions must be non-zero"
+    );
+    let g_count = cfg.n_mme;
+    let mut p = Program::new();
+    // Enumerate (batch, head) pairs and assign them round-robin to MMEs.
+    let head_units: Vec<(usize, usize)> = (0..spec.batch)
+        .flat_map(|b| (0..spec.heads).map(move |h| (b, h)))
+        .collect();
+    let total_heads = head_units.len();
+    let heads_per_mme = total_heads.div_ceil(g_count);
+
+    // Steady-state uOPs for the on-chip FUs.
+    let total_q_tiles = total_heads as i64;
+    p.push(handles.mem_a, Uop::new("xfer", [total_q_tiles, total_q_tiles, 0, 0]));
+    for g in 0..g_count {
+        let my_heads = head_units
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| idx % g_count == g)
+            .count() as i64;
+        if my_heads == 0 {
+            continue;
+        }
+        // K (transposed) then V for every head, alternating.
+        for _ in 0..my_heads {
+            p.push(handles.mem_b[g], Uop::new("xfer", [1, 1, 1, 1]));
+            p.push(handles.mem_b[g], Uop::new("xfer", [1, 1, 1, 0]));
+        }
+        // MM1 and MM2 for every head: two single-accumulation outputs each.
+        p.push(handles.mme[g], Uop::new("matmul", [2 * my_heads, 1]));
+        // Softmax feeds back on-chip; the context tile goes to DDR.
+        for _ in 0..my_heads {
+            p.push(
+                handles.mem_c[g],
+                Uop::new("post", [1, PostTransform::ScaledSoftmax.code(), 1, 0, 0, 1]),
+            );
+            p.push(
+                handles.mem_c[g],
+                Uop::new("post", [1, PostTransform::None.code(), 0, 0, 0, 1]),
+            );
+        }
+    }
+
+    // MeshA and MeshB routing plus DDR traffic, wave by wave (one head per
+    // active MME per wave).
+    let mut pending_stores: Vec<Uop> = Vec::new();
+    for wave in 0..heads_per_mme {
+        let wave_members: Vec<(usize, (usize, usize))> = (0..g_count)
+            .filter_map(|g| {
+                let idx = wave * g_count + g;
+                head_units.get(idx).map(|hu| (g, *hu))
+            })
+            .collect();
+        // Queries for this wave.
+        for &(g, (b, h)) in &wave_members {
+            let row0 = (b * spec.seq_len) as i64;
+            let col0 = (h * spec.head_dim) as i64;
+            p.push(
+                handles.ddr,
+                Uop::new(
+                    "load",
+                    [spec.q, row0, col0, spec.seq_len as i64, spec.head_dim as i64, 0],
+                ),
+            );
+            p.push(handles.mesh_a, Uop::new("route", [0, g as i64, 1]));
+        }
+        // Keys and values for this wave.
+        for &(g, (b, h)) in &wave_members {
+            let row0 = (b * spec.seq_len) as i64;
+            let col0 = (h * spec.head_dim) as i64;
+            let to_memb = (1 + g) as i64;
+            p.push(
+                handles.ddr,
+                Uop::new(
+                    "load",
+                    [spec.k, row0, col0, spec.seq_len as i64, spec.head_dim as i64, to_memb],
+                ),
+            );
+            p.push(
+                handles.ddr,
+                Uop::new(
+                    "load",
+                    [spec.v, row0, col0, spec.seq_len as i64, spec.head_dim as i64, to_memb],
+                ),
+            );
+            p.push(handles.mesh_b, Uop::new("route", [g as i64, g as i64, 2]));
+            // Softmax output re-enters MeshA through the feedback port.
+            p.push(handles.mesh_a, Uop::new("route", [(1 + g) as i64, g as i64, 1]));
+        }
+        // Previous wave's context tiles drain while this wave computes.
+        for store in pending_stores.drain(..) {
+            p.push(handles.ddr, store);
+        }
+        for &(g, (b, h)) in &wave_members {
+            pending_stores.push(Uop::new(
+                "store",
+                [
+                    spec.out,
+                    (b * spec.seq_len) as i64,
+                    (h * spec.head_dim) as i64,
+                    g as i64,
+                ],
+            ));
+        }
+    }
+    for store in pending_stores {
+        p.push(handles.ddr, store);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::XnnDatapath;
+
+    #[test]
+    fn gemm_program_touches_every_fu_class() {
+        let cfg = XnnConfig::small();
+        let (_dp, handles) = XnnDatapath::build(&cfg).unwrap();
+        let spec = GemmSpec {
+            lhs: 1,
+            rhs: RhsOperand::Lpddr(2),
+            out: 3,
+            m: 16,
+            k: 16,
+            n: 16,
+            rhs_transposed: false,
+            post: PostOp::Bias,
+        };
+        let p = gemm_program(&cfg, &handles, &spec);
+        assert!(!p.uops_for(handles.ddr).is_empty());
+        assert!(!p.uops_for(handles.lpddr).is_empty());
+        assert!(!p.uops_for(handles.mem_a).is_empty());
+        assert!(!p.uops_for(handles.mesh_a).is_empty());
+        assert!(!p.uops_for(handles.mesh_b).is_empty());
+        assert!(!p.uops_for(handles.mme[0]).is_empty());
+        assert!(!p.uops_for(handles.mem_c[0]).is_empty());
+    }
+
+    #[test]
+    fn gemm_program_interleaves_stores_with_loads() {
+        let cfg = XnnConfig::small();
+        let (_dp, handles) = XnnDatapath::build(&cfg).unwrap();
+        let spec = GemmSpec {
+            lhs: 1,
+            rhs: RhsOperand::Lpddr(2),
+            out: 3,
+            m: 32,
+            k: 16,
+            n: 16,
+            rhs_transposed: false,
+            post: PostOp::None,
+        };
+        let p = gemm_program(&cfg, &handles, &spec);
+        let ddr_ops: Vec<&str> = p.uops_for(handles.ddr).iter().map(|u| u.opcode()).collect();
+        // Stores must appear before the final load (fine-grained
+        // interleaving), not all bunched at the end.
+        let first_store = ddr_ops.iter().position(|o| *o == "store").unwrap();
+        let last_load = ddr_ops.iter().rposition(|o| *o == "load").unwrap();
+        assert!(first_store < last_load, "stores are not interleaved");
+    }
+
+    #[test]
+    fn attention_program_uses_feedback_path() {
+        let cfg = XnnConfig::small();
+        let (_dp, handles) = XnnDatapath::build(&cfg).unwrap();
+        let spec = AttentionSpec {
+            q: 1,
+            k: 2,
+            v: 3,
+            out: 4,
+            seq_len: 8,
+            batch: 2,
+            heads: 2,
+            head_dim: 16,
+        };
+        let p = attention_program(&cfg, &handles, &spec);
+        // MeshA must route from a feedback port (port index ≥ 1).
+        let uses_feedback = p
+            .uops_for(handles.mesh_a)
+            .iter()
+            .any(|u| u.opcode() == "route" && u.field(0).unwrap_or(0) >= 1);
+        assert!(uses_feedback);
+        // No DDR store of an intermediate score matrix: only `out` is stored.
+        assert!(p
+            .uops_for(handles.ddr)
+            .iter()
+            .filter(|u| u.opcode() == "store")
+            .all(|u| u.field(0) == Some(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "GEMM dims must be non-zero")]
+    fn gemm_program_rejects_zero_dims() {
+        let cfg = XnnConfig::small();
+        let (_dp, handles) = XnnDatapath::build(&cfg).unwrap();
+        let spec = GemmSpec {
+            lhs: 1,
+            rhs: RhsOperand::Lpddr(2),
+            out: 3,
+            m: 0,
+            k: 16,
+            n: 16,
+            rhs_transposed: false,
+            post: PostOp::None,
+        };
+        let _ = gemm_program(&cfg, &handles, &spec);
+    }
+}

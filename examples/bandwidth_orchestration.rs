@@ -1,0 +1,49 @@
+//! Fine-grained off-chip bandwidth mapping (§4.4, Fig. 12): build the three
+//! load/store orderings for one DDR channel and show the stall cost of each,
+//! using the paper's example of draining a 768 K-element output tile inside
+//! the load gaps of the next tile's 96 K-element input loads.
+//!
+//! Run with: `cargo run --example bandwidth_orchestration`
+
+use rsn::hw::memory::MemoryChannelModel;
+use rsn::hw::versal::Vck190Spec;
+use rsn::lib::bandwidth::{schedule, stall_fraction, BandwidthWay, LoadStoreOp};
+
+fn main() {
+    let ddr = MemoryChannelModel::ddr(&Vck190Spec::new());
+    // Paper example: 8 input loads of 96K elements per output tile, one
+    // 768K-element output tile drained per round (FP32).
+    let loads_per_tile = 8;
+    let load_bytes = 96 * 1024 * 4;
+    let store_bytes = 768 * 1024 * 4;
+    for way in [
+        BandwidthWay::StrictOrder,
+        BandwidthWay::HardwareArbitrated,
+        BandwidthWay::RsnInterleaved,
+    ] {
+        let ops = schedule(way, 3, loads_per_tile, load_bytes, store_bytes);
+        let stores_before_last_load = ops
+            .iter()
+            .take(
+                ops.iter()
+                    .rposition(|o| matches!(o, LoadStoreOp::Load { .. }))
+                    .unwrap_or(0),
+            )
+            .filter(|o| matches!(o, LoadStoreOp::Store { .. }))
+            .count();
+        let loss = stall_fraction(
+            &ddr,
+            way,
+            3.0 * loads_per_tile as f64 * load_bytes as f64,
+            3.0 * store_bytes as f64,
+        );
+        println!(
+            "{way:?}: {} requests, {} store bursts interleaved before the final load, {:.1}% channel time lost vs ideal",
+            ops.len(),
+            stores_before_last_load,
+            loss * 100.0
+        );
+    }
+    println!("\nOnly the RSN-instruction ordering keeps the channel at its ideal busy time —");
+    println!("this is the fine-grained bandwidth orchestration behind Table 9's BW-optimised column.");
+}

@@ -1,0 +1,43 @@
+//! Run a (scaled-down) BERT encoder layer through the full RSN-XNN stream
+//! datapath and validate it against the pure-Rust reference, then report the
+//! calibrated timing model's prediction for the full-size BERT-Large
+//! encoder — the paper's headline 17.98 ms result.
+//!
+//! Run with: `cargo run --example bert_encoder`
+
+use rsn::core::error::RsnError;
+use rsn::lib::api::EncoderHost;
+use rsn::workloads::attention::{encoder_layer_forward, EncoderWeights};
+use rsn::workloads::bert::BertConfig;
+use rsn::workloads::Matrix;
+use rsn::xnn::config::XnnConfig;
+use rsn::xnn::timing::{OptimizationFlags, XnnTimingModel};
+
+fn main() -> Result<(), RsnError> {
+    // Functional check on a tiny configuration (the simulator moves every
+    // FP32 value through the stream network, so it is kept small).
+    let model_cfg = BertConfig::tiny(8, 2);
+    let x = Matrix::random(model_cfg.tokens(), model_cfg.hidden, 7);
+    let weights = EncoderWeights::random(&model_cfg, 11);
+    let mut host = EncoderHost::new(XnnConfig::small(), model_cfg)?;
+    let datapath_out = host.run_encoder_layer(&x, &weights)?;
+    let reference = encoder_layer_forward(&model_cfg, &x, &weights);
+    println!("Functional check (tiny encoder on the simulated datapath):");
+    println!("  max |datapath - reference| = {:.2e}", datapath_out.max_abs_diff(&reference));
+    println!("  MME FLOPs executed: {}", host.machine().total_mme_flops());
+    println!("  DDR traffic: {} bytes", host.machine().ddr_traffic_bytes());
+
+    // Timing model for the full-size workload of Table 9.
+    let timing = XnnTimingModel::new();
+    let full = BertConfig::bert_large(512, 6);
+    let optimised = timing.encoder_latency_s(&full, OptimizationFlags::all());
+    let overlay_style = timing.encoder_latency_s(&full, OptimizationFlags::none());
+    println!("\nCalibrated timing model, BERT-Large 1st encoder (B=6, L=512):");
+    for seg in timing.encoder_segment_timings(&full, OptimizationFlags::all()) {
+        println!("  {:<32} {:>7.3} ms", seg.name, seg.latency_s * 1e3);
+    }
+    println!("  total (all optimisations):   {:>7.2} ms  (paper: 17.98 ms)", optimised * 1e3);
+    println!("  sequential overlay style:    {:>7.2} ms", overlay_style * 1e3);
+    println!("  speedup:                     {:>7.2}x  (paper: 2.47x)", overlay_style / optimised);
+    Ok(())
+}

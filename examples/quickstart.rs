@@ -1,0 +1,64 @@
+//! Quickstart: the paper's Fig. 6 example, executed two ways.
+//!
+//! An RSN datapath of three functional units (source → +1 → sink) connected
+//! by streams runs "Application 2" (increment elements 0–99 and 200–299,
+//! copy 100–199), and the same application runs on the RISC-like vector
+//! overlay baseline that serialises on register hazards.  The example prints
+//! the functional results and the cycle counts of both, showing why the
+//! stream network needs no register renaming or double buffering.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rsn::baseline::overlay::VectorOverlay;
+use rsn::core::error::RsnError;
+use rsn::core::fus::{MapFu, MemSinkFu, MemSourceFu};
+use rsn::core::network::DatapathBuilder;
+use rsn::core::sim::Engine;
+use rsn::core::uop::Uop;
+
+fn main() -> Result<(), RsnError> {
+    // --- RSN version -----------------------------------------------------
+    let input: Vec<f32> = (1..=300).map(|x| x as f32).collect();
+    let mut builder = DatapathBuilder::new();
+    let s12 = builder.add_stream("FU1->FU2", 4);
+    let s13 = builder.add_stream("FU1->FU3", 4);
+    let s23 = builder.add_stream("FU2->FU3", 4);
+    let fu1 = builder.add_fu(MemSourceFu::new("FU1", input.clone(), vec![s12, s13]));
+    let fu2 = builder.add_fu(MapFu::new("FU2", s12, s23, |x| x + 1.0));
+    let fu3 = builder.add_fu(MemSinkFu::new("FU3", 300, vec![s23, s13]));
+    let mut engine = Engine::new(builder.build()?);
+
+    // Application 2 as three short uOP sequences (Fig. 6, right).
+    engine.push_uop(fu1, Uop::new("read", [0, 100, 0]));
+    engine.push_uop(fu1, Uop::new("read", [1, 100, 100]));
+    engine.push_uop(fu1, Uop::new("read", [0, 100, 200]));
+    engine.push_uop(fu2, Uop::new("map", [200]));
+    engine.push_uop(fu3, Uop::new("write", [0, 100, 0]));
+    engine.push_uop(fu3, Uop::new("write", [1, 100, 100]));
+    engine.push_uop(fu3, Uop::new("write", [0, 100, 200]));
+    let report = engine.run()?;
+    let sink = engine.fu::<MemSinkFu>(fu3).expect("sink FU");
+    println!("RSN stream network:");
+    println!("  out[0]   = {} (expected {})", sink.memory()[0], input[0] + 1.0);
+    println!("  out[150] = {} (expected {})", sink.memory()[150], input[150]);
+    println!("  out[299] = {} (expected {})", sink.memory()[299], input[299] + 1.0);
+    println!("  engine passes: {}, makespan estimate: {} FU cycles", report.steps, report.makespan_cycles());
+
+    // --- Vector-overlay baseline ------------------------------------------
+    let mut memory = input;
+    memory.extend(vec![0.0; 300]);
+    // The overlay executes the same application with vector LD/ADD/ST
+    // instructions over three shared registers; here we only compare the
+    // control behaviour (cycles and hazard stalls) against the RSN run.
+    let mut overlay = VectorOverlay::new(3, 100, memory);
+    overlay.execute(&VectorOverlay::fig6_application2_program());
+    println!("\nRISC-like overlay baseline:");
+    println!(
+        "  cycles: {} (of which {} are register-hazard stalls)",
+        overlay.cycles(),
+        overlay.stall_cycles()
+    );
+    println!("\nThe overlay pays a full-vector stall on every dependent instruction pair;");
+    println!("the RSN datapath streams the same 300 elements through all three FUs concurrently.");
+    Ok(())
+}

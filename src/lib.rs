@@ -1,0 +1,52 @@
+//! # rsn
+//!
+//! Facade crate of the Reconfigurable Stream Network Architecture (RSN)
+//! reproduction.  It re-exports every workspace crate under one roof so the
+//! examples and integration tests can be written against a single
+//! dependency:
+//!
+//! * [`core`] — the RSN abstraction (FUs, streams, instruction packets,
+//!   three-level decoder, execution engine),
+//! * [`hw`] — the simulated VCK190 / GPU hardware substrate models,
+//! * [`workloads`] — reference tensor math and model configurations,
+//! * [`xnn`] — the RSN-XNN datapath, program generators and timing model,
+//! * [`lib`] — the RSNlib-style mapping/segmentation/host layer,
+//! * [`baseline`] — the overlay, CHARM and GPU comparison points.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rsn::workloads::Matrix;
+//! use rsn::xnn::config::XnnConfig;
+//! use rsn::xnn::machine::XnnMachine;
+//! use rsn::xnn::program::{gemm_program, GemmSpec, PostOp, RhsOperand};
+//!
+//! # fn main() -> Result<(), rsn::core::error::RsnError> {
+//! let cfg = XnnConfig::small();
+//! let mut machine = XnnMachine::new(cfg)?;
+//! machine.load_ddr(1, Matrix::random(16, 16, 1));
+//! machine.load_lpddr(2, Matrix::random(16, 16, 2));
+//! machine.alloc_ddr(3, 16, 16);
+//! let spec = GemmSpec {
+//!     lhs: 1,
+//!     rhs: RhsOperand::Lpddr(2),
+//!     out: 3,
+//!     m: 16,
+//!     k: 16,
+//!     n: 16,
+//!     rhs_transposed: false,
+//!     post: PostOp::None,
+//! };
+//! let program = gemm_program(&cfg, machine.handles(), &spec);
+//! machine.run_program(&program)?;
+//! assert!(machine.ddr_matrix(3).is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use rsn_baseline as baseline;
+pub use rsn_core as core;
+pub use rsn_hw as hw;
+pub use rsn_lib as lib;
+pub use rsn_workloads as workloads;
+pub use rsn_xnn as xnn;

@@ -1,0 +1,55 @@
+//! Cross-crate integration test: a full (scaled-down) transformer encoder
+//! layer executed on the simulated RSN-XNN stream datapath must match the
+//! pure-Rust reference forward pass, including every fused non-MM operator.
+
+use rsn::lib::api::EncoderHost;
+use rsn::workloads::attention::{encoder_layer_forward, EncoderWeights};
+use rsn::workloads::bert::BertConfig;
+use rsn::workloads::Matrix;
+use rsn::xnn::config::XnnConfig;
+
+#[test]
+fn tiny_encoder_layer_matches_reference() {
+    let cfg = BertConfig::tiny(8, 2);
+    let x = Matrix::random(cfg.tokens(), cfg.hidden, 1001);
+    let weights = EncoderWeights::random(&cfg, 2002);
+    let expected = encoder_layer_forward(&cfg, &x, &weights);
+    let mut host = EncoderHost::new(XnnConfig::small(), cfg).unwrap();
+    let got = host.run_encoder_layer(&x, &weights).unwrap();
+    assert!(got.max_abs_diff(&expected) < 1e-2);
+}
+
+#[test]
+fn two_stacked_encoder_layers_match_reference() {
+    let cfg = BertConfig::tiny(4, 1);
+    let x = Matrix::random(cfg.tokens(), cfg.hidden, 31);
+    let w0 = EncoderWeights::random(&cfg, 41);
+    let w1 = EncoderWeights::random(&cfg, 42);
+    let expected = encoder_layer_forward(&cfg, &encoder_layer_forward(&cfg, &x, &w0), &w1);
+
+    let mut host = EncoderHost::new(XnnConfig::small(), cfg).unwrap();
+    let mid = host.run_encoder_layer(&x, &w0).unwrap();
+    // A fresh host per layer mirrors reprogramming the same datapath; the
+    // intermediate activations travel through "off-chip" DDR as on the board.
+    let mut host2 = EncoderHost::new(XnnConfig::small(), cfg).unwrap();
+    let got = host2.run_encoder_layer(&mid, &w1).unwrap();
+    assert!(got.max_abs_diff(&expected) < 2e-2);
+}
+
+#[test]
+fn single_head_single_batch_configuration_works() {
+    let cfg = BertConfig {
+        hidden: 16,
+        heads: 1,
+        ff_dim: 32,
+        seq_len: 8,
+        batch: 1,
+        layers: 1,
+    };
+    let x = Matrix::random(cfg.tokens(), cfg.hidden, 5);
+    let weights = EncoderWeights::random(&cfg, 6);
+    let expected = encoder_layer_forward(&cfg, &x, &weights);
+    let mut host = EncoderHost::new(XnnConfig::small(), cfg).unwrap();
+    let got = host.run_encoder_layer(&x, &weights).unwrap();
+    assert!(got.max_abs_diff(&expected) < 1e-2);
+}

@@ -1,0 +1,91 @@
+//! Cross-crate checks that the reproduction preserves the *shape* of the
+//! paper's headline results: who wins, by roughly what factor, and where the
+//! crossovers fall.
+
+use rsn::baseline::charm::CharmModel;
+use rsn::baseline::gpu::table10_estimates;
+use rsn::hw::energy::EnergyModel;
+use rsn::workloads::bert::BertConfig;
+use rsn::workloads::models::ModelKind;
+use rsn::xnn::timing::{OptimizationFlags, XnnTimingModel};
+
+#[test]
+fn rsn_beats_charm_on_every_table7_model() {
+    let rsn = XnnTimingModel::new().table7_latencies_s();
+    let charm = CharmModel::new().table7_latencies_s();
+    for ((kind, rsn_s), (_, charm_s)) in rsn.iter().zip(charm.iter()) {
+        let gain = charm_s / rsn_s;
+        // Paper gains: 3.2x (BERT), 2.4x (ViT), 2.5x (NCF), 2.8x (MLP).
+        assert!(gain > 1.5, "{}: gain only {gain:.2}x", kind.name());
+        assert!(gain < 8.0, "{}: gain implausibly large {gain:.2}x", kind.name());
+    }
+    let bert_gain = charm[0].1 / rsn[0].1;
+    assert!(bert_gain > 2.0, "BERT gain {bert_gain:.2}");
+}
+
+#[test]
+fn fig18_latency_advantage_at_equal_batch() {
+    let rsn = XnnTimingModel::new();
+    let charm = CharmModel::new();
+    let cfg = BertConfig::bert_large(512, 6);
+    let ratio = charm.encoder_latency_s(&cfg)
+        / rsn.encoder_latency_s(&cfg, OptimizationFlags::all());
+    // Paper: 6.1x at batch 6.
+    assert!(ratio > 3.5 && ratio < 9.0, "ratio {ratio:.2}");
+}
+
+#[test]
+fn fig18_throughput_advantage_at_saturation() {
+    let rsn = XnnTimingModel::new();
+    let charm = CharmModel::new();
+    let rsn_peak = rsn.encoder_throughput_tasks_per_s(
+        &BertConfig::bert_large(512, 6),
+        OptimizationFlags::all(),
+    );
+    let charm_peak = charm.encoder_throughput_tasks_per_s(&BertConfig::bert_large(512, 24));
+    let ratio = rsn_peak / charm_peak;
+    // Paper: 3.25x better peak throughput.
+    assert!(ratio > 2.0 && ratio < 5.0, "ratio {ratio:.2}");
+}
+
+#[test]
+fn table10_energy_efficiency_beats_a100_fp32() {
+    let cfg = BertConfig::bert_large(384, 8);
+    let vck_latency = XnnTimingModel::new().model_latency_s(&cfg, OptimizationFlags::all());
+    let energy = EnergyModel::calibrated();
+    let vck_eff = energy.operating_efficiency_seq_per_j(8.0 / vck_latency);
+    let a100 = &table10_estimates(&cfg)[2];
+    let ratio = vck_eff / a100.operating_seq_per_j;
+    // Paper: 2.1x better FP32 operating energy efficiency than the A100.
+    assert!(ratio > 1.4 && ratio < 3.5, "ratio {ratio:.2}");
+}
+
+#[test]
+fn table6_rsn_wins_end_to_end_gemm_at_every_size() {
+    let rsn = XnnTimingModel::new();
+    let charm = CharmModel::new();
+    for n in [1024, 3072, 6144] {
+        let gain = rsn.gemm_end_to_end_flops(n) / charm.gemm_end_to_end_flops(n);
+        // Paper gains: +170% / +132% / +106% (i.e. 2.7x / 2.3x / 2.1x).
+        assert!(gain > 1.5 && gain < 4.0, "n={n}: gain {gain:.2}");
+    }
+}
+
+#[test]
+fn matching_t4_latency_with_a_fraction_of_its_bandwidth() {
+    let cfg = BertConfig::bert_large(384, 8);
+    let vck = XnnTimingModel::new().model_latency_s(&cfg, OptimizationFlags::all());
+    let t4 = table10_estimates(&cfg)[0]
+        .published_latency_s
+        .expect("published");
+    // Paper: VCK190 roughly matches the T4 (444 vs 499 ms) with 18 % of its
+    // memory bandwidth.
+    let ratio = vck / t4;
+    assert!(ratio > 0.6 && ratio < 1.3, "ratio {ratio:.2}");
+}
+
+#[test]
+fn all_four_models_are_distinct_workloads() {
+    let kinds = ModelKind::table7_models();
+    assert_eq!(kinds.len(), 4);
+}

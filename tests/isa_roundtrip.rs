@@ -1,0 +1,52 @@
+//! Property-based tests of the RSN instruction set: packet headers and
+//! packet streams must round-trip through their byte encoding, and the
+//! window/reuse compression must always expand back to the original uOP
+//! sequence.
+
+use proptest::prelude::*;
+use rsn::core::fus::{MapFu, MemSinkFu, MemSourceFu};
+use rsn::core::isa::{decode_packets, encode_packets, OpcodeRegistry, PacketHeader};
+use rsn::core::network::DatapathBuilder;
+use rsn::core::program::Program;
+use rsn::core::uop::Uop;
+
+proptest! {
+    #[test]
+    fn header_roundtrips(opcode in 0u8..16, mask in any::<u8>(), last in any::<bool>(),
+                         window in 0u8..128, reuse in 0u16..4096) {
+        let header = PacketHeader { opcode, mask, last, window, reuse };
+        let packed = header.pack().unwrap();
+        prop_assert_eq!(PacketHeader::unpack(packed), header);
+    }
+
+    #[test]
+    fn compression_expands_to_the_original_uop_count(
+        reps in 1usize..40,
+        count in 1usize..20,
+    ) {
+        let mut b = DatapathBuilder::new();
+        let s1 = b.add_stream("s1", 4);
+        let s2 = b.add_stream("s2", 4);
+        let src = b.add_fu(MemSourceFu::new("src", vec![0.0; 8], vec![s1]));
+        b.add_fu(MapFu::new("map", s1, s2, |x| x));
+        b.add_fu(MemSinkFu::new("sink", 8, vec![s2]));
+        let dp = b.build().unwrap();
+        let mut p = Program::new();
+        for _ in 0..reps {
+            p.push(src, Uop::new("load", [0, count as i64, 0]));
+            p.push(src, Uop::new("send", [1, count as i64]));
+        }
+        let packets = p.compress(&dp).unwrap();
+        let expanded: usize = packets.iter().map(|pk| pk.expanded_uop_count()).sum();
+        prop_assert_eq!(expanded, p.uop_count());
+        // Packets must never be larger than the uOPs they encode by more
+        // than the per-packet header overhead.
+        let rsn_bytes: usize = packets.iter().map(|pk| pk.encoded_len()).sum();
+        prop_assert!(rsn_bytes <= p.uop_bytes() + 4 * packets.len());
+
+        let mut registry = OpcodeRegistry::new();
+        let bytes = encode_packets(&packets, &mut registry).unwrap();
+        let decoded = decode_packets(bytes, &registry).unwrap();
+        prop_assert_eq!(decoded, packets);
+    }
+}
