@@ -64,20 +64,30 @@ impl CharmModel {
 
     fn gemm_phase_s(&self, gemm: &GemmShape) -> f64 {
         let out_tile = (gemm.m.min(768) * gemm.n.min(1024)) as f64 * 4.0;
-        let in_tile = (gemm.m.min(768) * gemm.k.min(128) + gemm.k.min(128) * gemm.n.min(1024))
-            as f64
-            * 4.0;
+        let in_tile =
+            (gemm.m.min(768) * gemm.k.min(128) + gemm.k.min(128) * gemm.n.min(1024)) as f64 * 4.0;
         in_tile / self.ddr.read_bw() + out_tile / self.ddr.write_bw()
     }
 
-    fn segment_latency_s(&self, gemm: &GemmShape, small: bool, weights_bytes: f64, spilled_intermediate: f64) -> f64 {
-        let util = if small { CHARM_UTIL_SMALL } else { CHARM_UTIL_LARGE };
+    fn segment_latency_s(
+        &self,
+        gemm: &GemmShape,
+        small: bool,
+        weights_bytes: f64,
+        spilled_intermediate: f64,
+    ) -> f64 {
+        let util = if small {
+            CHARM_UTIL_SMALL
+        } else {
+            CHARM_UTIL_LARGE
+        };
         let compute = gemm.flops() / self.aie.achieved_flops_at_utilization(util);
         let col_blocks = gemm.n.div_ceil(1024) as f64;
         let row_blocks = gemm.m.div_ceil(768) as f64;
         // Everything — activations, weights and spilled intermediates — goes
         // over the single DDR channel without software interleaving.
-        let load = gemm.lhs_bytes() * col_blocks + weights_bytes * row_blocks + spilled_intermediate;
+        let load =
+            gemm.lhs_bytes() * col_blocks + weights_bytes * row_blocks + spilled_intermediate;
         let store = gemm.out_bytes() + spilled_intermediate;
         let ddr = self
             .ddr

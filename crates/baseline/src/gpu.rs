@@ -109,8 +109,16 @@ mod tests {
     fn t4_efficiency_matches_table10() {
         let t4 = estimate(GpuModel::T4, &cfg());
         // Paper: 0.22 seq/J operating, 0.38 seq/J dynamic.
-        assert!((t4.operating_seq_per_j - 0.22).abs() < 0.03, "{}", t4.operating_seq_per_j);
-        assert!((t4.dynamic_seq_per_j - 0.38).abs() < 0.05, "{}", t4.dynamic_seq_per_j);
+        assert!(
+            (t4.operating_seq_per_j - 0.22).abs() < 0.03,
+            "{}",
+            t4.operating_seq_per_j
+        );
+        assert!(
+            (t4.dynamic_seq_per_j - 0.38).abs() < 0.05,
+            "{}",
+            t4.dynamic_seq_per_j
+        );
     }
 
     #[test]

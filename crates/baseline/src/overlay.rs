@@ -72,6 +72,13 @@ impl VectorOverlay {
         &self.memory
     }
 
+    /// Pre-loads a vector register (e.g. the all-ones increment operand of
+    /// Fig. 6); values beyond the vector length are ignored.
+    pub fn set_register(&mut self, reg: usize, values: &[f32]) {
+        let len = self.vector_len.min(values.len());
+        self.registers[reg][..len].copy_from_slice(&values[..len]);
+    }
+
     /// Total cycles consumed (including hazard stalls).
     pub fn cycles(&self) -> u64 {
         self.cycles
@@ -127,8 +134,7 @@ impl VectorOverlay {
             match *instr {
                 OverlayInstruction::Load { reg, addr, len } => {
                     for i in 0..len.min(self.vector_len) {
-                        self.registers[reg][i] =
-                            self.memory.get(addr + i).copied().unwrap_or(0.0);
+                        self.registers[reg][i] = self.memory.get(addr + i).copied().unwrap_or(0.0);
                     }
                 }
                 OverlayInstruction::Add { dst, a, b } => {
@@ -153,14 +159,38 @@ impl VectorOverlay {
     /// 100-element vector registers (v2 pre-loaded with ones).
     pub fn fig6_application2_program() -> Vec<OverlayInstruction> {
         vec![
-            OverlayInstruction::Load { reg: 0, addr: 0, len: 100 },
+            OverlayInstruction::Load {
+                reg: 0,
+                addr: 0,
+                len: 100,
+            },
             OverlayInstruction::Add { dst: 2, a: 0, b: 1 },
-            OverlayInstruction::Store { reg: 2, addr: 300, len: 100 },
-            OverlayInstruction::Load { reg: 0, addr: 100, len: 100 },
-            OverlayInstruction::Store { reg: 0, addr: 400, len: 100 },
-            OverlayInstruction::Load { reg: 0, addr: 200, len: 100 },
+            OverlayInstruction::Store {
+                reg: 2,
+                addr: 300,
+                len: 100,
+            },
+            OverlayInstruction::Load {
+                reg: 0,
+                addr: 100,
+                len: 100,
+            },
+            OverlayInstruction::Store {
+                reg: 0,
+                addr: 400,
+                len: 100,
+            },
+            OverlayInstruction::Load {
+                reg: 0,
+                addr: 200,
+                len: 100,
+            },
             OverlayInstruction::Add { dst: 2, a: 0, b: 1 },
-            OverlayInstruction::Store { reg: 2, addr: 500, len: 100 },
+            OverlayInstruction::Store {
+                reg: 2,
+                addr: 500,
+                len: 100,
+            },
         ]
     }
 }
@@ -212,9 +242,21 @@ mod tests {
     fn independent_instructions_do_not_stall() {
         let mut ov = VectorOverlay::new(4, 10, vec![0.0; 100]);
         let program = vec![
-            OverlayInstruction::Load { reg: 0, addr: 0, len: 10 },
-            OverlayInstruction::Load { reg: 1, addr: 10, len: 10 },
-            OverlayInstruction::Load { reg: 2, addr: 20, len: 10 },
+            OverlayInstruction::Load {
+                reg: 0,
+                addr: 0,
+                len: 10,
+            },
+            OverlayInstruction::Load {
+                reg: 1,
+                addr: 10,
+                len: 10,
+            },
+            OverlayInstruction::Load {
+                reg: 2,
+                addr: 20,
+                len: 10,
+            },
         ];
         ov.execute(&program);
         assert_eq!(ov.stall_cycles(), 0);

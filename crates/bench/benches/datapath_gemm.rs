@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rsn_workloads::Matrix;
 use rsn_xnn::config::XnnConfig;
 use rsn_xnn::machine::XnnMachine;
-use rsn_xnn::program::{attention_program, gemm_program, AttentionSpec, GemmSpec, PostOp, RhsOperand};
+use rsn_xnn::program::{
+    attention_program, gemm_program, AttentionSpec, GemmSpec, PostOp, RhsOperand,
+};
 use std::hint::black_box;
 
 fn bench_gemm(c: &mut Criterion) {

@@ -1,14 +1,25 @@
 //! Criterion benchmark of the core RSN simulation engine: stream FIFO
-//! throughput and a three-FU scalar pipeline (the Fig. 6 overlay).
+//! throughput, a three-FU scalar pipeline (the Fig. 6 overlay) under both
+//! scheduling disciplines, and the end-to-end tiny-encoder run.
+//!
+//! After the timed runs, the harness writes `BENCH_engine.json` (repo root
+//! when run via `cargo bench`, else the current directory): the encoder
+//! run's makespan and wall-clock per scheduler, so future engine changes
+//! have a recorded trajectory to beat.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rsn_core::data::Token;
 use rsn_core::fus::{MapFu, MemSinkFu, MemSourceFu};
 use rsn_core::network::DatapathBuilder;
-use rsn_core::sim::Engine;
+use rsn_core::sim::{Engine, SchedulerKind};
 use rsn_core::stream::StreamChannel;
 use rsn_core::uop::Uop;
-use std::hint::black_box;
+use rsn_lib::api::EncoderHost;
+use rsn_workloads::attention::{encoder_layer_forward, EncoderWeights};
+use rsn_workloads::bert::BertConfig;
+use rsn_workloads::Matrix;
+use rsn_xnn::config::XnnConfig;
+use std::time::Instant;
 
 fn bench_stream_channel(c: &mut Criterion) {
     c.bench_function("stream_channel_push_pop_1k", |b| {
@@ -25,24 +36,88 @@ fn bench_stream_channel(c: &mut Criterion) {
     });
 }
 
+fn scalar_pipeline(kind: SchedulerKind) -> u64 {
+    let n = 1000usize;
+    let mut builder = DatapathBuilder::new();
+    let s1 = builder.add_stream("s1", 8);
+    let s2 = builder.add_stream("s2", 8);
+    let src = builder.add_fu(MemSourceFu::new("src", vec![1.0; n], vec![s1]));
+    let map = builder.add_fu(MapFu::new("map", s1, s2, |x| x + 1.0));
+    let sink = builder.add_fu(MemSinkFu::new("sink", n, vec![s2]));
+    let mut engine = Engine::new(builder.build().unwrap()).with_scheduler(kind);
+    engine.push_uop(src, Uop::new("read", [0, n as i64, 0]));
+    engine.push_uop(map, Uop::new("map", [n as i64]));
+    engine.push_uop(sink, Uop::new("write", [0, n as i64, 0]));
+    engine.run().unwrap().steps
+}
+
 fn bench_scalar_pipeline(c: &mut Criterion) {
-    c.bench_function("fig6_pipeline_1k_scalars", |b| {
-        b.iter(|| {
-            let n = 1000usize;
-            let mut builder = DatapathBuilder::new();
-            let s1 = builder.add_stream("s1", 8);
-            let s2 = builder.add_stream("s2", 8);
-            let src = builder.add_fu(MemSourceFu::new("src", vec![1.0; n], vec![s1]));
-            let map = builder.add_fu(MapFu::new("map", s1, s2, |x| x + 1.0));
-            let sink = builder.add_fu(MemSinkFu::new("sink", n, vec![s2]));
-            let mut engine = Engine::new(builder.build().unwrap());
-            engine.push_uop(src, Uop::new("read", [0, n as i64, 0]));
-            engine.push_uop(map, Uop::new("map", [n as i64]));
-            engine.push_uop(sink, Uop::new("write", [0, n as i64, 0]));
-            black_box(engine.run().unwrap().steps)
-        })
+    c.bench_function("fig6_pipeline_1k_scalars_event_driven", |b| {
+        b.iter(|| black_box(scalar_pipeline(SchedulerKind::EventDriven)))
+    });
+    c.bench_function("fig6_pipeline_1k_scalars_round_robin", |b| {
+        b.iter(|| black_box(scalar_pipeline(SchedulerKind::RoundRobin)))
     });
 }
 
-criterion_group!(benches, bench_stream_channel, bench_scalar_pipeline);
+/// One tiny-encoder run; returns (makespan cycles, fu step calls).
+fn encoder_run(kind: SchedulerKind) -> (u64, u64) {
+    let cfg = BertConfig::tiny(8, 2);
+    let x = Matrix::random(cfg.tokens(), cfg.hidden, 7);
+    let weights = EncoderWeights::random(&cfg, 11);
+    let mut host = EncoderHost::with_scheduler(XnnConfig::small(), cfg, kind).unwrap();
+    let out = host.run_encoder_layer(&x, &weights).unwrap();
+    assert!(out.max_abs_diff(&encoder_layer_forward(&cfg, &x, &weights)) < 1e-2);
+    let (_, fu_step_calls) = host.total_scheduler_work();
+    (host.total_makespan_cycles(), fu_step_calls)
+}
+
+fn bench_encoder_layer(c: &mut Criterion) {
+    c.bench_function("tiny_encoder_layer_event_driven", |b| {
+        b.iter(|| black_box(encoder_run(SchedulerKind::EventDriven)))
+    });
+    c.bench_function("tiny_encoder_layer_round_robin", |b| {
+        b.iter(|| black_box(encoder_run(SchedulerKind::RoundRobin)))
+    });
+}
+
+/// Times `runs` encoder executions and returns mean wall seconds.
+fn wall_clock(kind: SchedulerKind, runs: u32) -> f64 {
+    let start = Instant::now();
+    for _ in 0..runs {
+        black_box(encoder_run(kind));
+    }
+    start.elapsed().as_secs_f64() / f64::from(runs)
+}
+
+/// Emits the perf-trajectory file for future engine work to beat.
+fn emit_bench_json() {
+    let runs = 3;
+    let (makespan_ed, steps_ed) = encoder_run(SchedulerKind::EventDriven);
+    let (makespan_rr, steps_rr) = encoder_run(SchedulerKind::RoundRobin);
+    let wall_ed = wall_clock(SchedulerKind::EventDriven, runs);
+    let wall_rr = wall_clock(SchedulerKind::RoundRobin, runs);
+    let json = format!(
+        "{{\n  \"benchmark\": \"tiny_encoder_layer\",\n  \"workload\": \"BertConfig::tiny(8, 2) full encoder layer on XnnConfig::small()\",\n  \"event_driven\": {{\n    \"makespan_cycles\": {makespan_ed},\n    \"fu_step_calls\": {steps_ed},\n    \"wall_seconds\": {wall_ed:.6}\n  }},\n  \"round_robin\": {{\n    \"makespan_cycles\": {makespan_rr},\n    \"fu_step_calls\": {steps_rr},\n    \"wall_seconds\": {wall_rr:.6}\n  }},\n  \"fu_step_call_ratio\": {:.4}\n}}\n",
+        steps_rr as f64 / steps_ed as f64
+    );
+    // Anchor to the workspace root regardless of the invocation CWD.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_engine.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn bench_all(c: &mut Criterion) {
+    bench_stream_channel(c);
+    bench_scalar_pipeline(c);
+    bench_encoder_layer(c);
+    emit_bench_json();
+}
+
+criterion_group!(benches, bench_all);
 criterion_main!(benches);

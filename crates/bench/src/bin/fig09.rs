@@ -1,49 +1,42 @@
 //! Regenerates Fig. 9: RSN instruction bytes vs expanded uOP bytes per FU
-//! type, for a generated GEMM-heavy program on the RSN-XNN datapath.
+//! type, for a generated GEMM-heavy program on the RSN-XNN datapath —
+//! obtained through the unified evaluation layer's instruction-footprint
+//! workload.
 
 use rsn_bench::print_header;
-use rsn_xnn::config::XnnConfig;
-use rsn_xnn::datapath::XnnDatapath;
-use rsn_xnn::instr_stats::program_instr_stats;
-use rsn_xnn::program::{gemm_program, GemmSpec, PostOp, RhsOperand};
+use rsn_eval::{Backend, CycleEngineBackend, WorkloadSpec};
 
 fn main() {
     // A BERT-like projection layer scaled to the functional simulator's tile
     // size: the instruction-count *pattern* per FU type is what Fig. 9 shows.
-    let cfg = XnnConfig::rsn_xnn().with_tiles(32, 32, 32);
-    let (dp, handles) = XnnDatapath::build(&cfg).unwrap();
-    let spec = GemmSpec {
-        lhs: 1,
-        rhs: RhsOperand::Lpddr(2),
-        out: 3,
-        m: 384,
-        k: 256,
-        n: 384,
-        rhs_transposed: false,
-        post: PostOp::Bias,
-    };
-    let program = gemm_program(&cfg, &handles, &spec);
-    let stats = program_instr_stats(&dp, &program).unwrap();
+    let (m, k, n) = (384, 256, 384);
+    let backend = CycleEngineBackend::new();
+    let report = backend
+        .evaluate(&WorkloadSpec::InstructionFootprint { m, k, n })
+        .expect("footprint analysis");
+
     print_header(
         "Fig. 9 — RSN instruction footprint vs expanded uOPs per FU type",
         "FU type   packets   RSN bytes   uOPs    uOP bytes   compression",
     );
-    for row in &stats.per_type {
+    for row in &report.breakdown {
         println!(
             "{:<9} {:>6}    {:>8}   {:>6}   {:>8}     {:>5.1}x",
-            row.fu_type,
-            row.rsn_packets,
-            row.rsn_bytes,
-            row.expanded_uops,
-            row.uop_bytes,
-            row.compression_ratio()
+            row.name,
+            row.value("rsn_packets").unwrap_or(f64::NAN),
+            row.value("rsn_bytes").unwrap_or(f64::NAN),
+            row.value("expanded_uops").unwrap_or(f64::NAN),
+            row.value("uop_bytes").unwrap_or(f64::NAN),
+            row.value("compression").unwrap_or(f64::NAN)
         );
     }
-    let flops = 2.0 * 384.0 * 256.0 * 384.0;
     println!(
         "\nOverall compression: {:.1}x; compute per RSN instruction byte: {:.2} KFLOP/byte",
-        stats.overall_compression(),
-        stats.flops_per_instruction_byte(flops) / 1e3
+        report.metric("overall_compression").unwrap_or(f64::NAN),
+        report
+            .metric("flops_per_instruction_byte")
+            .unwrap_or(f64::NAN)
+            / 1e3
     );
     println!("Paper: off-chip FUs (DDR/LPDDR) compress 2-4.2x, on-chip streaming FUs 6.8-22.7x;");
     println!("       1685 RSN instructions drive the PL side of one BERT-Large encoder at 1.6 GFLOP/byte.");

@@ -1,40 +1,51 @@
 //! Regenerates Table 11: sensitivity of BERT-Large latency (sequence length
 //! 384, batch 8) to off-chip bandwidth.
+//!
+//! Every sweep point is a bandwidth-scaled variant of the RSN-XNN analytic
+//! backend; the whole sweep evaluates one workload across all variants in
+//! parallel through the unified evaluation layer.
 
 use rsn_bench::{ms, print_header, times};
+use rsn_eval::{Evaluator, WorkloadSpec, XnnAnalyticBackend};
 use rsn_workloads::bert::BertConfig;
-use rsn_xnn::timing::{OptimizationFlags, XnnTimingModel};
 
 fn main() {
     let cfg = BertConfig::bert_large(384, 8);
-    let opts = OptimizationFlags::all();
-    let model = XnnTimingModel::new();
-    let base = model.model_latency_s(&cfg, opts);
+    let workload = WorkloadSpec::FullModel { cfg };
+    let evaluator = Evaluator::empty()
+        .with_backend(Box::new(XnnAnalyticBackend::with_infinite_bandwidth()))
+        .with_backend(Box::new(XnnAnalyticBackend::with_infinite_compute()))
+        .with_backend(Box::new(XnnAnalyticBackend::with_bandwidth_scale(0.5)))
+        .with_backend(Box::new(XnnAnalyticBackend::new()))
+        .with_backend(Box::new(XnnAnalyticBackend::with_bandwidth_scale(2.0)))
+        .with_backend(Box::new(XnnAnalyticBackend::with_bandwidth_scale(3.0)));
+    let reports = evaluator.evaluate(&workload);
+    let latency = |i: usize| {
+        reports[i]
+            .as_ref()
+            .expect("analytic model")
+            .latency_s
+            .expect("latency modelled")
+    };
+    let base = latency(3);
+
     print_header(
         "Table 11 — bandwidth sweep, BERT-Large L=384 B=8 (paper base 444 ms)",
         "scenario            latency(ms)   speedup vs 1x   paper speedup",
     );
-    let rows: Vec<(String, f64, f64)> = vec![
-        (
-            "infinite BW".to_string(),
-            model.with_infinite_bandwidth().model_latency_s(&cfg, opts),
-            1.43,
-        ),
-        (
-            "infinite compute".to_string(),
-            model.with_infinite_compute().model_latency_s(&cfg, opts),
-            1.27,
-        ),
-        ("0.5x BW".to_string(), model.with_bandwidth_scale(0.5).model_latency_s(&cfg, opts), 0.63),
-        ("1x BW".to_string(), base, 1.0),
-        ("2x BW".to_string(), model.with_bandwidth_scale(2.0).model_latency_s(&cfg, opts), 1.15),
-        ("3x BW".to_string(), model.with_bandwidth_scale(3.0).model_latency_s(&cfg, opts), 1.19),
+    let rows = [
+        ("infinite BW", 0, 1.43),
+        ("infinite compute", 1, 1.27),
+        ("0.5x BW", 2, 0.63),
+        ("1x BW", 3, 1.0),
+        ("2x BW", 4, 1.15),
+        ("3x BW", 5, 1.19),
     ];
-    for (name, latency, paper) in rows {
+    for (name, idx, paper) in rows {
         println!(
             "{name:<19} {:>9}      {:>8}        {paper:>6.2}",
-            ms(latency),
-            times(base / latency)
+            ms(latency(idx)),
+            times(base / latency(idx))
         );
     }
 }

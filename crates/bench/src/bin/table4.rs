@@ -1,53 +1,34 @@
-//! Regenerates Table 4 / Fig. 15: estimated power breakdown per FU type.
+//! Regenerates Table 4 / Fig. 15: estimated power breakdown per FU type,
+//! obtained through the unified evaluation layer's power workload.
 
 use rsn_bench::print_header;
-use rsn_hw::energy::{ComponentProfile, EnergyModel};
-use rsn_xnn::datapath::XnnDatapath;
+use rsn_eval::{Backend, WorkloadSpec, XnnAnalyticBackend};
 
 fn main() {
-    let model = EnergyModel::calibrated();
-    let props = XnnDatapath::fu_properties();
+    let backend = XnnAnalyticBackend::new();
+    let report = backend
+        .evaluate(&WorkloadSpec::PowerBreakdown)
+        .expect("power model");
     print_header(
         "Table 4 — estimated power breakdown (paper: AIE 60.8 W, MemC 22.9 W, decoder 0.08 W)",
         "component     instances   watts    share",
     );
-    let mut rows = Vec::new();
-    // Decoder profile: a few KB of FIFOs, ~1.4 MB/s of instruction traffic.
-    rows.push(model.component_power(
-        "Decoder",
-        ComponentProfile {
-            flops: 0.0,
-            memory_bytes: 8.0e3,
-            bandwidth_bytes_per_s: 1.4e6,
-            instances: 1,
-        },
-    ));
-    for p in &props {
-        let name = if p.fu_type == "MME" { "AIE (6 MME)" } else { &p.fu_type };
-        rows.push(model.component_power(
-            name,
-            ComponentProfile {
-                flops: p.tflops * 1e12 * p.instances as f64,
-                memory_bytes: p.memory_mb * 1e6 * p.instances as f64,
-                bandwidth_bytes_per_s: if p.fu_type == "MemC" {
-                    p.bandwidth_gb_s * 1e9 * p.instances as f64
-                } else {
-                    0.0
-                },
-                instances: p.instances,
-            },
-        ));
-    }
-    let total = EnergyModel::total_watts(&rows);
-    for r in &rows {
+    for row in &report.breakdown {
         println!(
             "{:<13} {:>6}     {:>6.2}   {:>5.1}%",
-            r.name,
+            row.name,
             "",
-            r.watts,
-            100.0 * r.watts / total
+            row.value("watts").unwrap_or(f64::NAN),
+            row.value("share").unwrap_or(f64::NAN) * 100.0
         );
     }
-    println!("\nTotal estimated dynamic component power: {total:.2} W (paper total estimate 98.66 W includes static rails)");
-    println!("Board measurements used for Table 10: operating {:.1} W, dynamic {:.1} W", model.board_operating_power_w, model.board_dynamic_power_w);
+    println!(
+        "\nTotal estimated dynamic component power: {:.2} W (paper total estimate 98.66 W includes static rails)",
+        report.metric("total_watts").unwrap_or(f64::NAN)
+    );
+    println!(
+        "Board measurements used for Table 10: operating {:.1} W, dynamic {:.1} W",
+        report.metric("board_operating_w").unwrap_or(f64::NAN),
+        report.metric("board_dynamic_w").unwrap_or(f64::NAN)
+    );
 }

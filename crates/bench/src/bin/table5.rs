@@ -1,10 +1,12 @@
-//! Regenerates Table 5: instruction-decoder area overhead and compute
-//! utilization comparison.
+//! Regenerates Table 5: instruction-decoder area overhead (published FPGA
+//! place-and-route numbers) and compute utilization comparison, with the
+//! modelled RSN-XNN achieved-throughput row obtained through the unified
+//! evaluation layer.
 
 use rsn_bench::print_header;
+use rsn_eval::{Backend, WorkloadSpec, XnnAnalyticBackend};
 use rsn_hw::area::AreaModel;
 use rsn_workloads::bert::BertConfig;
-use rsn_xnn::timing::{OptimizationFlags, XnnTimingModel};
 
 fn main() {
     print_header(
@@ -27,9 +29,13 @@ fn main() {
         }
     }
 
-    let timing = XnnTimingModel::new();
-    let achieved =
-        timing.achieved_bert_flops(&BertConfig::bert_large(512, 6), OptimizationFlags::all());
+    let backend = XnnAnalyticBackend::new();
+    let report = backend
+        .evaluate(&WorkloadSpec::FullModel {
+            cfg: BertConfig::bert_large(512, 6),
+        })
+        .expect("analytic model");
+    let achieved = report.achieved_flops.expect("achieved FLOP/s modelled");
     print_header(
         "Table 5b — computation resource utilization",
         "design    precision  peak(TFLOPS)  off-chip BW(GB/s)  achieved(TFLOPS)  utilization",
@@ -45,5 +51,7 @@ fn main() {
             row.utilization() * 100.0
         );
     }
-    println!("\nPaper: RSN-XNN 4.7 TFLOPS achieved (59% of 8 TFLOPS); DFX 0.19 of 1.2 TFLOPS (16%).");
+    println!(
+        "\nPaper: RSN-XNN 4.7 TFLOPS achieved (59% of 8 TFLOPS); DFX 0.19 of 1.2 TFLOPS (16%)."
+    );
 }

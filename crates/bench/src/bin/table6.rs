@@ -1,11 +1,11 @@
-//! Regenerates Table 6: AIE-only GEMM throughput (a) and end-to-end GEMM
-//! throughput with DRAM (b), RSN-XNN vs CHARM/MaxEVA/AMA.
+//! Regenerates Table 6: AIE-only GEMM throughput (a, published kernel
+//! models) and end-to-end GEMM throughput with DRAM (b), RSN-XNN vs CHARM —
+//! the end-to-end comparison running through the unified evaluation layer.
 
-use rsn_baseline::charm::CharmModel;
 use rsn_bench::print_header;
+use rsn_eval::{CharmBackend, Evaluator, WorkloadSpec, XnnAnalyticBackend};
 use rsn_hw::aie::GemmKernelModel;
 use rsn_hw::versal::Vck190Spec;
-use rsn_xnn::timing::XnnTimingModel;
 
 fn main() {
     let spec = Vck190Spec::new();
@@ -30,16 +30,34 @@ fn main() {
         );
     }
 
-    let timing = XnnTimingModel::new();
-    let charm = CharmModel::new();
+    let sizes = [1024usize, 3072, 6144];
+    let workloads: Vec<WorkloadSpec> = sizes
+        .iter()
+        .map(|&n| WorkloadSpec::SquareGemm { n })
+        .collect();
+    let evaluator = Evaluator::empty()
+        .with_backend(Box::new(CharmBackend::new()))
+        .with_backend(Box::new(XnnAnalyticBackend::new()));
+    let grid = evaluator.evaluate_grid(&workloads);
+
     print_header(
         "Table 6b — end-to-end square GEMM throughput with DRAM (GFLOPS)",
         "size    CHARM(model)  CHARM(paper)  RSN-XNN(model)  RSN-XNN(paper)  gain",
     );
-    let paper = [(1024, 1103.46, 2982.62), (3072, 2850.13, 6600.12), (6144, 3277.99, 6750.93)];
-    for (n, charm_paper, rsn_paper) in paper {
-        let c = charm.gemm_end_to_end_flops(n) / 1e9;
-        let r = timing.gemm_end_to_end_flops(n) / 1e9;
+    let paper = [(1103.46, 2982.62), (2850.13, 6600.12), (3277.99, 6750.93)];
+    for (i, (n, (charm_paper, rsn_paper))) in sizes.iter().zip(paper).enumerate() {
+        let c = grid[0][i]
+            .as_ref()
+            .expect("charm model")
+            .achieved_flops
+            .expect("flops")
+            / 1e9;
+        let r = grid[1][i]
+            .as_ref()
+            .expect("rsn model")
+            .achieved_flops
+            .expect("flops")
+            / 1e9;
         println!(
             "{n:<7} {c:>10.1}    {charm_paper:>10.2}   {r:>10.1}      {rsn_paper:>10.2}    +{:.0}%",
             100.0 * (r / c - 1.0)

@@ -1,15 +1,19 @@
 //! Regenerates Table 8: maximum-throughput comparison of FPGA-based
 //! transformer accelerators (published designs plus this reproduction's
-//! modelled RSN-XNN row).
+//! modelled RSN-XNN row, obtained through the unified evaluation layer).
 
 use rsn_bench::print_header;
+use rsn_eval::{Backend, WorkloadSpec, XnnAnalyticBackend};
 use rsn_workloads::bert::BertConfig;
-use rsn_xnn::timing::{OptimizationFlags, XnnTimingModel};
 
 fn main() {
-    let timing = XnnTimingModel::new();
-    let achieved =
-        timing.achieved_bert_flops(&BertConfig::bert_large(512, 6), OptimizationFlags::all()) / 1e12;
+    let backend = XnnAnalyticBackend::new();
+    let report = backend
+        .evaluate(&WorkloadSpec::FullModel {
+            cfg: BertConfig::bert_large(512, 6),
+        })
+        .expect("analytic model");
+    let achieved = report.achieved_flops.expect("achieved FLOP/s modelled") / 1e12;
     print_header(
         "Table 8 — SOTA FPGA transformer accelerators (published rows + modelled RSN-XNN)",
         "design      board    precision  peak TOPS  achieved TOPS  utilization  model",

@@ -1,0 +1,162 @@
+//! Minimal byte-buffer types for the instruction-stream codec.
+//!
+//! The ISA codec only needs append-and-freeze on the encode side and an
+//! in-order cursor on the decode side, so these two types are implemented
+//! inline (mirroring the small slice of the `bytes` crate's API that
+//! [`crate::isa`] uses) to keep the workspace free of external dependencies.
+
+/// Growable byte buffer used while encoding an instruction stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i32`.
+    pub fn put_i32_le(&mut self, v: i32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the buffer into an immutable, readable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+/// Immutable byte stream with an in-order read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps an owned byte vector.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Total length of the underlying stream (independent of the cursor).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the underlying stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Returns `true` while unread bytes remain.
+    pub fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is exhausted (callers check `remaining` first).
+    pub fn get_u8(&mut self) -> u8 {
+        let v = self.data[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than four bytes remain.
+    pub fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.data[self.pos..self.pos + 4]);
+        self.pos += 4;
+        u32::from_le_bytes(raw)
+    }
+
+    /// Returns a fresh stream over a sub-range of the underlying bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        Self {
+            data: self.data[range].to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Reads a little-endian `i32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than four bytes remain.
+    pub fn get_i32_le(&mut self) -> i32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.data[self.pos..self.pos + 4]);
+        self.pos += 4;
+        i32::from_le_bytes(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_freeze() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u8(7);
+        buf.put_i32_le(-42);
+        assert_eq!(buf.len(), 9);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.len(), 9);
+        assert_eq!(bytes.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_i32_le(), -42);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn remaining_tracks_cursor() {
+        let mut bytes = Bytes::from_vec(vec![1, 2, 3]);
+        assert_eq!(bytes.remaining(), 3);
+        let _ = bytes.get_u8();
+        assert_eq!(bytes.remaining(), 2);
+        assert_eq!(bytes.len(), 3);
+    }
+}

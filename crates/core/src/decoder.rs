@@ -86,8 +86,7 @@ impl DecoderSystem {
         mop_fifo_depth: usize,
     ) -> Self {
         assert!(mop_fifo_depth > 0, "mOP FIFO depth must be non-zero");
-        let type_of_opcode: Vec<String> =
-            datapath.fu_types().map(|t| t.to_string()).collect();
+        let type_of_opcode: Vec<String> = datapath.fu_types().map(|t| t.to_string()).collect();
         Self {
             packets,
             pc: 0,
@@ -118,6 +117,19 @@ impl DecoderSystem {
     /// uOP was issued, [`StepOutcome::Blocked`] if work remains but nothing
     /// moved, and [`StepOutcome::Idle`] once drained.
     pub fn step(&mut self, datapath: &mut Datapath) -> StepOutcome {
+        let mut sink = Vec::new();
+        self.step_collect(datapath, &mut sink)
+    }
+
+    /// Same as [`DecoderSystem::step`], additionally appending the id of
+    /// every FU that received a uOP to `touched` (possibly with duplicates).
+    /// The event-driven scheduler uses this to wake exactly the FUs whose
+    /// queues gained work instead of rescanning the whole datapath.
+    pub fn step_collect(
+        &mut self,
+        datapath: &mut Datapath,
+        touched: &mut Vec<crate::fu::FuId>,
+    ) -> StepOutcome {
         let mut moved = 0u64;
 
         // Top-level fetch: in-order, stalls on a full downstream FIFO.
@@ -189,6 +201,7 @@ impl DecoderSystem {
                         .push_uop(uop.clone())
                         .expect("queue space checked above");
                     self.stats.uops_issued += 1;
+                    touched.push(id);
                     moved += 1;
                 }
                 issued_this_pass += 1;
@@ -227,7 +240,11 @@ mod tests {
         let mut b = DatapathBuilder::new();
         let s1 = b.add_stream("s1", 4);
         let s2 = b.add_stream("s2", 4);
-        let src = b.add_fu(MemSourceFu::new("src", (0..32).map(|x| x as f32).collect(), vec![s1]));
+        let src = b.add_fu(MemSourceFu::new(
+            "src",
+            (0..32).map(|x| x as f32).collect(),
+            vec![s1],
+        ));
         let map = b.add_fu(MapFu::new("map", s1, s2, |x| x + 1.0));
         let sink = b.add_fu(MemSinkFu::new("sink", 32, vec![s2]));
         (b.build().unwrap(), src, map, sink)
@@ -298,8 +315,14 @@ mod tests {
         assert_eq!(dec.stats().uops_issued, 4);
         let src0_id = dp.fus_of_type("MEM_SRC")[0];
         let src1_id = dp.fus_of_type("MEM_SRC")[1];
-        assert_eq!(dp.fu_as::<MemSourceFu>(src0_id).unwrap().uop_queue().len(), 2);
-        assert_eq!(dp.fu_as::<MemSourceFu>(src1_id).unwrap().uop_queue().len(), 2);
+        assert_eq!(
+            dp.fu_as::<MemSourceFu>(src0_id).unwrap().uop_queue().len(),
+            2
+        );
+        assert_eq!(
+            dp.fu_as::<MemSourceFu>(src1_id).unwrap().uop_queue().len(),
+            2
+        );
         let _ = (src0, src1);
     }
 

@@ -62,7 +62,10 @@ impl fmt::Display for RsnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RsnError::UnknownStream { stream, fu } => {
-                write!(f, "functional unit `{fu}` references unknown stream {stream}")
+                write!(
+                    f,
+                    "functional unit `{fu}` references unknown stream {stream}"
+                )
             }
             RsnError::UnknownFu { fu } => write!(f, "unknown functional unit id {fu}"),
             RsnError::MalformedEdge {
@@ -140,13 +143,7 @@ mod tests {
 
     #[test]
     fn errors_compare_equal_by_value() {
-        assert_eq!(
-            RsnError::UnknownFu { fu: 1 },
-            RsnError::UnknownFu { fu: 1 }
-        );
-        assert_ne!(
-            RsnError::UnknownFu { fu: 1 },
-            RsnError::UnknownFu { fu: 2 }
-        );
+        assert_eq!(RsnError::UnknownFu { fu: 1 }, RsnError::UnknownFu { fu: 1 });
+        assert_ne!(RsnError::UnknownFu { fu: 1 }, RsnError::UnknownFu { fu: 2 });
     }
 }

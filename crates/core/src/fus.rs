@@ -112,7 +112,9 @@ impl FunctionalUnit for MemSourceFu {
             self.active = None;
         }
         if moved > 0 {
-            StepOutcome::Progress { cycles: moved as u64 }
+            StepOutcome::Progress {
+                cycles: moved as u64,
+            }
         } else {
             StepOutcome::Blocked
         }
@@ -220,7 +222,9 @@ impl FunctionalUnit for MemSinkFu {
             self.active = None;
         }
         if moved > 0 {
-            StepOutcome::Progress { cycles: moved as u64 }
+            StepOutcome::Progress {
+                cycles: moved as u64,
+            }
         } else {
             StepOutcome::Blocked
         }
@@ -333,7 +337,9 @@ impl FunctionalUnit for MapFu {
             }
         }
         if moved > 0 {
-            StepOutcome::Progress { cycles: moved as u64 }
+            StepOutcome::Progress {
+                cycles: moved as u64,
+            }
         } else {
             StepOutcome::Blocked
         }
@@ -440,7 +446,9 @@ impl FunctionalUnit for RouterFu {
             Some((in_port, out_port, remaining))
         };
         if moved > 0 {
-            StepOutcome::Progress { cycles: moved as u64 }
+            StepOutcome::Progress {
+                cycles: moved as u64,
+            }
         } else {
             StepOutcome::Blocked
         }

@@ -14,9 +14,9 @@
 //! repetitive uOP sequences ("send to FU1 then FU2, 128 times") and is the
 //! source of the compression ratios reported in the paper's Fig. 9.
 
+use crate::bytes::{Bytes, BytesMut};
 use crate::error::RsnError;
 use crate::uop::Uop;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -65,12 +65,20 @@ impl PacketHeader {
     pub fn pack(&self) -> Result<u32, RsnError> {
         if u32::from(self.opcode) > u32::from(MAX_OPCODE) {
             return Err(RsnError::Encoding {
-                reason: format!("opcode {} exceeds {} bits", self.opcode, header_bits::OPCODE),
+                reason: format!(
+                    "opcode {} exceeds {} bits",
+                    self.opcode,
+                    header_bits::OPCODE
+                ),
             });
         }
         if usize::from(self.window) > MAX_WINDOW {
             return Err(RsnError::Encoding {
-                reason: format!("window {} exceeds {} bits", self.window, header_bits::WINDOW),
+                reason: format!(
+                    "window {} exceeds {} bits",
+                    self.window,
+                    header_bits::WINDOW
+                ),
             });
         }
         if usize::from(self.reuse) > MAX_REUSE {
@@ -226,7 +234,10 @@ impl OpcodeRegistry {
 ///
 /// Returns [`RsnError::Encoding`] when a header field or field count exceeds
 /// its representable range.
-pub fn encode_packets(packets: &[Packet], registry: &mut OpcodeRegistry) -> Result<Bytes, RsnError> {
+pub fn encode_packets(
+    packets: &[Packet],
+    registry: &mut OpcodeRegistry,
+) -> Result<Bytes, RsnError> {
     let mut buf = BytesMut::new();
     for p in packets {
         buf.put_u32_le(p.header.pack()?);
@@ -255,7 +266,10 @@ pub fn encode_packets(packets: &[Packet], registry: &mut OpcodeRegistry) -> Resu
 /// # Errors
 ///
 /// Returns [`RsnError::Encoding`] on truncated input or unknown opcode ids.
-pub fn decode_packets(mut bytes: Bytes, registry: &OpcodeRegistry) -> Result<Vec<Packet>, RsnError> {
+pub fn decode_packets(
+    mut bytes: Bytes,
+    registry: &OpcodeRegistry,
+) -> Result<Vec<Packet>, RsnError> {
     let mut packets = Vec::new();
     while bytes.has_remaining() {
         if bytes.remaining() < 4 {

@@ -60,6 +60,7 @@
 //! # }
 //! ```
 
+pub mod bytes;
 pub mod data;
 pub mod decoder;
 pub mod error;

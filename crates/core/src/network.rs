@@ -155,10 +155,7 @@ impl Datapath {
 
     /// Ids of all FUs of the given type, in insertion ("lane") order.
     pub fn fus_of_type(&self, fu_type: &str) -> &[FuId] {
-        self.by_type
-            .get(fu_type)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.by_type.get(fu_type).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// All FU types present in the datapath, ordered alphabetically.
@@ -174,7 +171,9 @@ impl Datapath {
 
     /// Borrow a concrete FU for inspection (post-run state checks).
     pub fn fu_as<T: 'static>(&self, id: FuId) -> Option<&T> {
-        self.fus.get(id.index()).and_then(|f| f.as_any().downcast_ref())
+        self.fus
+            .get(id.index())
+            .and_then(|f| f.as_any().downcast_ref())
     }
 
     /// Mutably borrow a concrete FU, e.g. to preload an off-chip memory FU
@@ -190,9 +189,7 @@ impl Datapath {
         &self.streams
     }
 
-    pub(crate) fn split_mut(
-        &mut self,
-    ) -> (&mut Vec<Box<dyn FunctionalUnit>>, &mut StreamSet) {
+    pub(crate) fn split_mut(&mut self) -> (&mut Vec<Box<dyn FunctionalUnit>>, &mut StreamSet) {
         (&mut self.fus, &mut self.streams)
     }
 

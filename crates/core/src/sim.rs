@@ -2,16 +2,30 @@
 //!
 //! RSN execution is decentralised: every FU works through its own uOP queue
 //! and synchronises with its neighbours only through streams (§3.1).  The
-//! engine models this with a cooperative round-robin scheduler: each *pass*
-//! gives the decoder and every FU one chance to make progress.  A pass in
-//! which nothing moves while work remains is a deadlock; a pass in which
-//! everything is idle and drained terminates the run.
+//! engine supports two scheduling disciplines over the same FU step model:
+//!
+//! * [`SchedulerKind::EventDriven`] (the default) keeps a ready queue keyed
+//!   on stream readiness.  An FU is serviced only when it might be able to
+//!   move: after receiving uOPs, or after a neighbour on one of its streams
+//!   made progress (freeing space downstream or producing tokens upstream).
+//!   Idle FUs cost zero work per scheduler step, so large multi-segment runs
+//!   touch only the active region of the datapath.
+//! * [`SchedulerKind::RoundRobin`] is the original cooperative scheduler:
+//!   each *pass* gives the decoder and every FU one chance to make progress.
+//!   It is retained as the semantic reference — the equivalence tests assert
+//!   that both disciplines retire identical uOP counts and cycle totals.
+//!
+//! Under either discipline, a state in which nothing can move while work
+//! remains is a deadlock; a state in which everything is idle and drained
+//! terminates the run.
 //!
 //! Cycle accounting is per-FU: each FU reports how many of its own clock
-//! cycles a step consumed, and the engine keeps per-FU busy counters.  The
-//! makespan estimate (the maximum busy counter) is a coarse lower bound used
-//! by tests; the calibrated latency numbers of the evaluation come from the
-//! analytic timing model in `rsn-xnn`.
+//! cycles a step consumed, and the engine keeps per-FU busy counters.  Since
+//! FUs charge cycles per token moved (not per service call), the per-FU busy
+//! totals — and therefore the makespan estimate — are independent of the
+//! scheduling discipline.  The makespan estimate (the maximum busy counter)
+//! is a coarse lower bound used by tests; the calibrated latency numbers of
+//! the evaluation come from the analytic timing model in `rsn-xnn`.
 
 use crate::decoder::{DecoderStats, DecoderSystem};
 use crate::error::RsnError;
@@ -24,14 +38,32 @@ use crate::uop::Uop;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
-/// Default bound on engine passes before aborting a run.
+/// Default bound on engine scheduler steps before aborting a run.
 pub const DEFAULT_STEP_LIMIT: u64 = 50_000_000;
+
+/// Which scheduling discipline drives the FUs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Ready-queue scheduler keyed on stream readiness (the default).
+    #[default]
+    EventDriven,
+    /// The original poll-everyone-per-pass scheduler, kept as the semantic
+    /// reference for equivalence tests.
+    RoundRobin,
+}
 
 /// Summary of one engine run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
-    /// Number of scheduler passes executed.
+    /// Scheduler iterations executed: round-robin passes, or event-driven
+    /// queue services.  Comparable only within one scheduler kind.
     pub steps: u64,
+    /// Total `FunctionalUnit::step` invocations.  This is the
+    /// scheduler-neutral work metric: round-robin charges one call per FU
+    /// per pass, the event-driven scheduler only per ready FU.
+    pub fu_step_calls: u64,
+    /// Scheduler that produced this report.
+    pub scheduler: SchedulerKind,
     /// Per-FU busy cycles (indexed by FU id).
     pub fu_busy_cycles: Vec<u64>,
     /// Per-FU retired uOP counts (indexed by FU id).
@@ -65,31 +97,50 @@ impl RunReport {
     }
 }
 
-/// The cooperative RSN execution engine.
+/// The RSN execution engine.
 #[derive(Debug)]
 pub struct Engine {
     datapath: Datapath,
     decoder: Option<DecoderSystem>,
     backlog: BTreeMap<FuId, VecDeque<Uop>>,
     step_limit: u64,
+    scheduler: SchedulerKind,
 }
 
 impl Engine {
-    /// Creates an engine over a validated datapath.
+    /// Creates an engine over a validated datapath, using the event-driven
+    /// scheduler.
     pub fn new(datapath: Datapath) -> Self {
         Self {
             datapath,
             decoder: None,
             backlog: BTreeMap::new(),
             step_limit: DEFAULT_STEP_LIMIT,
+            scheduler: SchedulerKind::default(),
         }
     }
 
-    /// Replaces the pass budget (mainly useful to force the step-limit error
-    /// in tests).
+    /// Replaces the scheduler-step budget (mainly useful to force the
+    /// step-limit error in tests).
     pub fn with_step_limit(mut self, limit: u64) -> Self {
         self.step_limit = limit;
         self
+    }
+
+    /// Selects the scheduling discipline (builder form).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Selects the scheduling discipline on an existing engine.
+    pub fn set_scheduler(&mut self, scheduler: SchedulerKind) {
+        self.scheduler = scheduler;
+    }
+
+    /// The active scheduling discipline.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
     }
 
     /// The underlying datapath.
@@ -143,7 +194,11 @@ impl Engine {
     /// Same as [`Engine::load_packets`] but with an explicit decoder FIFO
     /// depth (used to reproduce the §3.3 deadlock discussion).
     pub fn load_packets_with_fifo_depth(&mut self, packets: Vec<Packet>, depth: usize) {
-        self.decoder = Some(DecoderSystem::with_fifo_depth(&self.datapath, packets, depth));
+        self.decoder = Some(DecoderSystem::with_fifo_depth(
+            &self.datapath,
+            packets,
+            depth,
+        ));
     }
 
     fn feed_backlogs(&mut self) -> u64 {
@@ -165,18 +220,74 @@ impl Engine {
         moved
     }
 
+    /// Tops up one FU's uOP FIFO from its backlog; returns uOPs delivered.
+    fn feed_backlog_for(&mut self, fu: FuId) -> u64 {
+        let Some(queue) = self.backlog.get_mut(&fu) else {
+            return 0;
+        };
+        let mut moved = 0;
+        while let Some(uop) = queue.front() {
+            let target = self.datapath.fu_mut(fu);
+            if target.uop_queue().is_full() {
+                break;
+            }
+            target
+                .push_uop(uop.clone())
+                .expect("queue space checked above");
+            queue.pop_front();
+            moved += 1;
+        }
+        if self.backlog.get(&fu).is_some_and(VecDeque::is_empty) {
+            self.backlog.remove(&fu);
+        }
+        moved
+    }
+
+    fn finish_report(&mut self, steps: u64, fu_step_calls: u64, busy: Vec<u64>) -> RunReport {
+        let fu_count = self.datapath.fu_count();
+        let fu_uops_retired = (0..fu_count)
+            .map(|i| self.datapath.fu_mut(FuId(i)).uop_queue().retired())
+            .collect();
+        let stream_stats = self
+            .datapath
+            .streams()
+            .iter()
+            .map(|(_, ch)| (ch.name().to_string(), ch.stats()))
+            .collect();
+        RunReport {
+            steps,
+            fu_step_calls,
+            scheduler: self.scheduler,
+            fu_busy_cycles: busy,
+            fu_uops_retired,
+            decoder: self.decoder.as_ref().map(DecoderSystem::stats),
+            stream_stats,
+            residual_tokens: self.datapath.streams().total_queued(),
+        }
+    }
+
     /// Runs until every FU is idle, all streams are drained of producer
     /// work, and the decoder (if any) has issued every uOP.
     ///
     /// # Errors
     ///
-    /// * [`RsnError::Deadlock`] if a pass makes no progress while work
+    /// * [`RsnError::Deadlock`] if no progress is possible while work
     ///   remains (stream backpressure cycle or decoder-order deadlock).
-    /// * [`RsnError::StepLimitExceeded`] if the pass budget is exhausted.
+    /// * [`RsnError::StepLimitExceeded`] if the scheduler-step budget is
+    ///   exhausted.
     pub fn run(&mut self) -> Result<RunReport, RsnError> {
+        match self.scheduler {
+            SchedulerKind::RoundRobin => self.run_round_robin(),
+            SchedulerKind::EventDriven => self.run_event_driven(),
+        }
+    }
+
+    /// The original poll-everyone scheduler (see [`SchedulerKind`]).
+    fn run_round_robin(&mut self) -> Result<RunReport, RsnError> {
         let fu_count = self.datapath.fu_count();
         let mut busy = vec![0u64; fu_count];
         let mut steps = 0u64;
+        let mut fu_step_calls = 0u64;
         loop {
             if steps >= self.step_limit {
                 return Err(RsnError::StepLimitExceeded {
@@ -206,6 +317,7 @@ impl Engine {
             {
                 let (fus, streams) = self.datapath.split_mut();
                 for (i, fu) in fus.iter_mut().enumerate() {
+                    fu_step_calls += 1;
                     match fu.step(streams) {
                         StepOutcome::Progress { cycles } => {
                             busy[i] += cycles;
@@ -234,24 +346,162 @@ impl Engine {
                 break;
             }
         }
+        Ok(self.finish_report(steps, fu_step_calls, busy))
+    }
 
-        let fu_uops_retired = (0..fu_count)
-            .map(|i| self.datapath.fu_mut(FuId(i)).uop_queue().retired())
+    /// The event-driven ready-queue scheduler (see [`SchedulerKind`]).
+    ///
+    /// Invariants:
+    /// * every FU holding deliverable work is either in the ready queue or
+    ///   recorded as blocked;
+    /// * a blocked FU is re-enqueued whenever a neighbour on one of its
+    ///   streams progresses (tokens appeared upstream or space freed
+    ///   downstream) or new uOPs reach it;
+    /// * the decoder is re-enqueued whenever any FU progresses (retired
+    ///   uOPs free the third-level FIFOs the decoder may be stalled on).
+    fn run_event_driven(&mut self) -> Result<RunReport, RsnError> {
+        let fu_count = self.datapath.fu_count();
+
+        // Stream topology: who produces into / consumes from each edge.
+        let stream_count = self.datapath.stream_count();
+        let mut producer_of: Vec<Option<usize>> = vec![None; stream_count];
+        let mut consumer_of: Vec<Option<usize>> = vec![None; stream_count];
+        for i in 0..fu_count {
+            for s in self.datapath.fus[i].output_streams() {
+                producer_of[s.index()] = Some(i);
+            }
+            for s in self.datapath.fus[i].input_streams() {
+                consumer_of[s.index()] = Some(i);
+            }
+        }
+        // FUs to wake when FU `i` progresses: the consumers of its outputs
+        // (new tokens) and the producers of its inputs (freed capacity).
+        let wake_list: Vec<Vec<usize>> = (0..fu_count)
+            .map(|i| {
+                let mut wake: Vec<usize> = Vec::new();
+                for s in self.datapath.fus[i].output_streams() {
+                    if let Some(c) = consumer_of[s.index()] {
+                        wake.push(c);
+                    }
+                }
+                for s in self.datapath.fus[i].input_streams() {
+                    if let Some(p) = producer_of[s.index()] {
+                        wake.push(p);
+                    }
+                }
+                wake.sort_unstable();
+                wake.dedup();
+                wake
+            })
             .collect();
-        let stream_stats = self
-            .datapath
-            .streams()
-            .iter()
-            .map(|(_, ch)| (ch.name().to_string(), ch.stats()))
-            .collect();
-        Ok(RunReport {
-            steps,
-            fu_busy_cycles: busy,
-            fu_uops_retired,
-            decoder: self.decoder.as_ref().map(DecoderSystem::stats),
-            stream_stats,
-            residual_tokens: self.datapath.streams().total_queued(),
-        })
+
+        // Ready queue over FU indices; `fu_count` is the decoder's slot.
+        const NO_SLOT: usize = usize::MAX;
+        let decoder_slot = fu_count;
+        let mut queued = vec![false; fu_count + 1];
+        let mut blocked = vec![false; fu_count];
+        let mut ready: VecDeque<usize> = VecDeque::with_capacity(fu_count + 1);
+        let enqueue = |ready: &mut VecDeque<usize>, queued: &mut Vec<bool>, slot: usize| {
+            if slot != NO_SLOT && !queued[slot] {
+                queued[slot] = true;
+                ready.push_back(slot);
+            }
+        };
+
+        let mut busy = vec![0u64; fu_count];
+        let mut steps = 0u64;
+        let mut fu_step_calls = 0u64;
+
+        // Seed: deliver initial backlogs, then give everything one chance.
+        self.feed_backlogs();
+        for i in 0..fu_count {
+            enqueue(&mut ready, &mut queued, i);
+        }
+        if self.decoder.is_some() {
+            enqueue(&mut ready, &mut queued, decoder_slot);
+        }
+
+        let mut touched: Vec<FuId> = Vec::new();
+        while let Some(slot) = ready.pop_front() {
+            if steps >= self.step_limit {
+                return Err(RsnError::StepLimitExceeded {
+                    limit: self.step_limit,
+                });
+            }
+            steps += 1;
+            queued[slot] = false;
+
+            if slot == decoder_slot {
+                let Some(decoder) = self.decoder.as_mut() else {
+                    continue;
+                };
+                touched.clear();
+                match decoder.step_collect(&mut self.datapath, &mut touched) {
+                    StepOutcome::Progress { .. } => {
+                        for id in touched.drain(..) {
+                            blocked[id.index()] = false;
+                            enqueue(&mut ready, &mut queued, id.index());
+                        }
+                        // The decoder may have more in-order work ready.
+                        enqueue(&mut ready, &mut queued, decoder_slot);
+                    }
+                    StepOutcome::Blocked | StepOutcome::Idle => {}
+                }
+                continue;
+            }
+
+            // Top up the FU's uOP FIFO from its backlog before stepping so a
+            // retire-then-refill sequence costs one service, not two.
+            let fed = self.feed_backlog_for(FuId(slot)) > 0;
+            let (fus, streams) = self.datapath.split_mut();
+            fu_step_calls += 1;
+            match fus[slot].step(streams) {
+                StepOutcome::Progress { cycles } => {
+                    busy[slot] += cycles;
+                    blocked[slot] = false;
+                    enqueue(&mut ready, &mut queued, slot);
+                    for &neighbour in &wake_list[slot] {
+                        blocked[neighbour] = false;
+                        enqueue(&mut ready, &mut queued, neighbour);
+                    }
+                    if self.decoder.is_some() {
+                        enqueue(&mut ready, &mut queued, decoder_slot);
+                    }
+                }
+                StepOutcome::Blocked => {
+                    blocked[slot] = true;
+                    if fed {
+                        // New uOPs arrived mid-service; retry once more so
+                        // they are not stranded if no neighbour ever wakes
+                        // this FU again.
+                        enqueue(&mut ready, &mut queued, slot);
+                    }
+                }
+                StepOutcome::Idle => {
+                    blocked[slot] = false;
+                    if fed {
+                        enqueue(&mut ready, &mut queued, slot);
+                    }
+                }
+            }
+        }
+
+        // Queue drained: either everything completed or nothing can move.
+        let decoder_pending = self.decoder.as_ref().is_some_and(|d| !d.is_drained());
+        let work_remains = !self.backlog.is_empty()
+            || decoder_pending
+            || (0..fu_count).any(|i| !self.datapath.fus[i].is_idle());
+        if work_remains {
+            let blocked_names = (0..fu_count)
+                .filter(|&i| blocked[i])
+                .map(|i| self.datapath.fus[i].name().to_string())
+                .collect();
+            return Err(RsnError::Deadlock {
+                step: steps,
+                blocked: blocked_names,
+            });
+        }
+        Ok(self.finish_report(steps, fu_step_calls, busy))
     }
 }
 
@@ -304,15 +554,82 @@ mod tests {
     }
 
     #[test]
+    fn schedulers_agree_on_results_and_cycles() {
+        let n = 256;
+        let run = |kind: SchedulerKind| {
+            let (engine, src, map, sink) = pipeline(n);
+            let mut engine = engine.with_scheduler(kind);
+            engine.push_uop(src, Uop::new("read", [0, n as i64, 0]));
+            engine.push_uop(map, Uop::new("map", [n as i64]));
+            engine.push_uop(sink, Uop::new("write", [0, n as i64, 0]));
+            let report = engine.run().unwrap();
+            let out = engine.fu::<MemSinkFu>(sink).unwrap().memory().to_vec();
+            (report, out)
+        };
+        let (rr, out_rr) = run(SchedulerKind::RoundRobin);
+        let (ed, out_ed) = run(SchedulerKind::EventDriven);
+        assert_eq!(out_rr, out_ed);
+        assert_eq!(rr.fu_uops_retired, ed.fu_uops_retired);
+        // Cycle accounting is per token moved, so the busy totals (and the
+        // makespan) are schedule-independent.
+        assert_eq!(rr.fu_busy_cycles, ed.fu_busy_cycles);
+        assert_eq!(rr.makespan_cycles(), ed.makespan_cycles());
+    }
+
+    #[test]
+    fn event_driven_does_less_work_than_round_robin() {
+        // Many parallel chains, only one of which has work — the typical
+        // shape of a segmented encoder run, where most lanes of the datapath
+        // sit idle during any one segment.  Round-robin polls every FU every
+        // pass; the ready queue never services the idle chains after their
+        // first (empty) visit.
+        let n = 400usize;
+        let chains = 8usize;
+        let build = |kind: SchedulerKind| {
+            let mut b = DatapathBuilder::new();
+            let mut first = None;
+            for c in 0..chains {
+                let s1 = b.add_stream(format!("c{c}s1"), 4);
+                let s2 = b.add_stream(format!("c{c}s2"), 4);
+                let input: Vec<f32> = (0..n).map(|x| x as f32).collect();
+                let src = b.add_fu(MemSourceFu::new(format!("src{c}"), input, vec![s1]));
+                let map = b.add_fu(MapFu::new(format!("map{c}"), s1, s2, |x| x + 1.0));
+                let sink = b.add_fu(MemSinkFu::new(format!("sink{c}"), n, vec![s2]));
+                if c == 0 {
+                    first = Some((src, map, sink));
+                }
+            }
+            let (src, map, sink) = first.expect("chain 0 built");
+            let mut engine = Engine::new(b.build().unwrap()).with_scheduler(kind);
+            engine.push_uop(src, Uop::new("read", [0, n as i64, 0]));
+            engine.push_uop(map, Uop::new("map", [n as i64]));
+            engine.push_uop(sink, Uop::new("write", [0, n as i64, 0]));
+            engine
+        };
+        let rr = build(SchedulerKind::RoundRobin).run().unwrap();
+        let ed = build(SchedulerKind::EventDriven).run().unwrap();
+        assert_eq!(rr.fu_busy_cycles, ed.fu_busy_cycles);
+        assert!(
+            ed.fu_step_calls * 2 < rr.fu_step_calls,
+            "event-driven {} vs round-robin {}",
+            ed.fu_step_calls,
+            rr.fu_step_calls
+        );
+    }
+
+    #[test]
     fn mismatched_send_receive_counts_deadlock() {
         // FU3 expects 8 tokens but FU1 only sends 4: the paper's
         // "receives exceed sends" case blocks indefinitely.
-        let (mut engine, src, map, sink) = pipeline(8);
-        engine.push_uop(src, Uop::new("read", [0, 4, 0]));
-        engine.push_uop(map, Uop::new("map", [4]));
-        engine.push_uop(sink, Uop::new("write", [0, 8, 0]));
-        let err = engine.run().unwrap_err();
-        assert!(matches!(err, RsnError::Deadlock { .. }));
+        for kind in [SchedulerKind::RoundRobin, SchedulerKind::EventDriven] {
+            let (engine, src, map, sink) = pipeline(8);
+            let mut engine = engine.with_scheduler(kind);
+            engine.push_uop(src, Uop::new("read", [0, 4, 0]));
+            engine.push_uop(map, Uop::new("map", [4]));
+            engine.push_uop(sink, Uop::new("write", [0, 8, 0]));
+            let err = engine.run().unwrap_err();
+            assert!(matches!(err, RsnError::Deadlock { .. }), "{kind:?}");
+        }
     }
 
     #[test]
@@ -320,33 +637,36 @@ mod tests {
         // FU1 sends 8 but FU3 only receives 4; the run completes (nothing is
         // blocked forever because channel capacity suffices) and the report
         // flags the leftover tokens.
-        let mut b = DatapathBuilder::new();
-        let s1 = b.add_stream("s1", 16);
-        let s2 = b.add_stream("s2", 16);
-        let src = b.add_fu(MemSourceFu::new("FU1", vec![1.0; 8], vec![s1]));
-        let map = b.add_fu(MapFu::new("FU2", s1, s2, |x| x));
-        let sink = b.add_fu(MemSinkFu::new("FU3", 8, vec![s2]));
-        let mut engine = Engine::new(b.build().unwrap());
-        engine.push_uop(src, Uop::new("read", [0, 8, 0]));
-        engine.push_uop(map, Uop::new("map", [8]));
-        engine.push_uop(sink, Uop::new("write", [0, 4, 0]));
-        let report = engine.run().unwrap();
-        assert_eq!(report.residual_tokens, 4);
+        for kind in [SchedulerKind::RoundRobin, SchedulerKind::EventDriven] {
+            let mut b = DatapathBuilder::new();
+            let s1 = b.add_stream("s1", 16);
+            let s2 = b.add_stream("s2", 16);
+            let src = b.add_fu(MemSourceFu::new("FU1", vec![1.0; 8], vec![s1]));
+            let map = b.add_fu(MapFu::new("FU2", s1, s2, |x| x));
+            let sink = b.add_fu(MemSinkFu::new("FU3", 8, vec![s2]));
+            let mut engine = Engine::new(b.build().unwrap()).with_scheduler(kind);
+            engine.push_uop(src, Uop::new("read", [0, 8, 0]));
+            engine.push_uop(map, Uop::new("map", [8]));
+            engine.push_uop(sink, Uop::new("write", [0, 4, 0]));
+            let report = engine.run().unwrap();
+            assert_eq!(report.residual_tokens, 4, "{kind:?}");
+        }
     }
 
     #[test]
     fn step_limit_is_enforced() {
-        let (mut engine, src, map, sink) = pipeline(64);
-        let mut engine = {
+        for kind in [SchedulerKind::RoundRobin, SchedulerKind::EventDriven] {
+            let (engine, src, map, sink) = pipeline(64);
+            let mut engine = engine.with_scheduler(kind).with_step_limit(2);
             engine.push_uop(src, Uop::new("read", [0, 64, 0]));
             engine.push_uop(map, Uop::new("map", [64]));
             engine.push_uop(sink, Uop::new("write", [0, 64, 0]));
-            engine.with_step_limit(2)
-        };
-        assert_eq!(
-            engine.run().unwrap_err(),
-            RsnError::StepLimitExceeded { limit: 2 }
-        );
+            assert_eq!(
+                engine.run().unwrap_err(),
+                RsnError::StepLimitExceeded { limit: 2 },
+                "{kind:?}"
+            );
+        }
     }
 
     #[test]
@@ -361,6 +681,8 @@ mod tests {
         assert_eq!(report.total_words_transferred(), 64);
         assert!(report.makespan_cycles() >= 32);
         assert!(report.steps > 0);
+        assert!(report.fu_step_calls > 0);
+        assert_eq!(report.scheduler, SchedulerKind::EventDriven);
         assert_eq!(report.fu_busy_cycles.len(), 3);
     }
 
@@ -371,7 +693,7 @@ mod tests {
         // tiny FU uOP FIFO and a tiny decoder FIFO the fetch stalls before
         // the consumer ever learns it should drain, which deadlocks; with
         // the default depth of six the same program completes.
-        fn build(depth: usize) -> Result<RunReport, RsnError> {
+        fn build(depth: usize, kind: SchedulerKind) -> Result<RunReport, RsnError> {
             let mut b = DatapathBuilder::new();
             let s1 = b.add_stream("s1", 1);
             let s2 = b.add_stream("s2", 1);
@@ -384,17 +706,18 @@ mod tests {
             for i in 0..32 {
                 p.push(src, Uop::new("read", [0, 1, i]));
             }
-            for i in 0..32 {
-                p.push(map, Uop::new("map", [1 + (i % 1)]));
+            for _ in 0..32 {
+                p.push(map, Uop::new("map", [1]));
             }
             for i in 0..32 {
                 p.push(sink, Uop::new("write", [0, 1, i]));
             }
-            let mut engine = Engine::new(b.build().unwrap());
+            let mut engine = Engine::new(b.build().unwrap()).with_scheduler(kind);
             let packets = p.compress(engine.datapath()).unwrap();
             engine.load_packets_with_fifo_depth(packets, depth);
             engine.run()
         }
-        assert!(build(6).is_ok());
+        assert!(build(6, SchedulerKind::RoundRobin).is_ok());
+        assert!(build(6, SchedulerKind::EventDriven).is_ok());
     }
 }

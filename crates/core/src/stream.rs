@@ -264,7 +264,8 @@ mod tests {
     #[test]
     fn stats_track_words_and_occupancy() {
         let mut ch = StreamChannel::new("s", 4);
-        ch.try_push(Token::Tile(crate::data::Tile::zeros(2, 4))).unwrap();
+        ch.try_push(Token::Tile(crate::data::Tile::zeros(2, 4)))
+            .unwrap();
         ch.try_push(Token::Scalar(1.0)).unwrap();
         assert_eq!(ch.stats().words_transferred, 9);
         assert_eq!(ch.stats().max_occupancy, 2);

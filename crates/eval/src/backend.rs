@@ -1,0 +1,95 @@
+//! The [`Backend`] trait — the single entry point every comparison goes
+//! through.
+
+use crate::report::EvalReport;
+use crate::workload::WorkloadSpec;
+use rsn_core::error::RsnError;
+
+/// Errors an evaluation can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// This backend has no way to evaluate the given workload (e.g. asking
+    /// the GPU datasheet model for an RSN instruction footprint).
+    Unsupported {
+        /// Backend name.
+        backend: String,
+        /// Workload label.
+        workload: String,
+    },
+    /// The workload is structurally supported but too large for this
+    /// backend's execution style (the cycle-level simulator moves every FP32
+    /// value through the stream network, so it is bounded to small shapes).
+    TooLarge {
+        /// Backend name.
+        backend: String,
+        /// Workload label.
+        workload: String,
+        /// Human-readable bound that was exceeded.
+        limit: String,
+    },
+    /// The underlying engine failed (deadlock, step limit, malformed
+    /// datapath).
+    Engine(RsnError),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Unsupported { backend, workload } => {
+                write!(
+                    f,
+                    "backend `{backend}` does not support workload `{workload}`"
+                )
+            }
+            EvalError::TooLarge {
+                backend,
+                workload,
+                limit,
+            } => write!(
+                f,
+                "workload `{workload}` exceeds backend `{backend}` bound: {limit}"
+            ),
+            EvalError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<RsnError> for EvalError {
+    fn from(e: RsnError) -> Self {
+        EvalError::Engine(e)
+    }
+}
+
+/// A comparison point of the evaluation: something that can turn a
+/// [`WorkloadSpec`] into an [`EvalReport`].
+///
+/// Implementations must be `Send + Sync` so the sweep runner can fan a
+/// workload grid out across threads; backends therefore hold only immutable
+/// model state and construct any per-run machinery inside `evaluate`.
+pub trait Backend: Send + Sync {
+    /// Stable display name (used in table output and report tags).
+    fn name(&self) -> &str;
+
+    /// Returns `true` when `workload` is structurally evaluable by this
+    /// backend (size bounds may still apply at `evaluate` time).
+    fn supports(&self, workload: &WorkloadSpec) -> bool;
+
+    /// Evaluates one workload.
+    ///
+    /// # Errors
+    ///
+    /// * [`EvalError::Unsupported`] when `supports` is `false`,
+    /// * [`EvalError::TooLarge`] when a size bound is exceeded,
+    /// * [`EvalError::Engine`] when the underlying simulation fails.
+    fn evaluate(&self, workload: &WorkloadSpec) -> Result<EvalReport, EvalError>;
+}
+
+/// Convenience constructor for the `Unsupported` error.
+pub(crate) fn unsupported(backend: &dyn Backend, workload: &WorkloadSpec) -> EvalError {
+    EvalError::Unsupported {
+        backend: backend.name().to_string(),
+        workload: workload.name(),
+    }
+}

@@ -1,0 +1,41 @@
+//! The built-in comparison points, one module per backend.
+
+mod charm;
+mod cycle;
+mod gpu;
+mod overlay;
+mod roofline;
+mod xnn;
+
+pub use charm::CharmBackend;
+pub use cycle::CycleEngineBackend;
+pub use gpu::GpuBackend;
+pub use overlay::OverlayBackend;
+pub use roofline::RooflineBackend;
+pub use xnn::XnnAnalyticBackend;
+
+use crate::backend::Backend;
+use rsn_hw::gpu::GpuModel;
+
+/// Every backend of the standard comparison, in presentation order:
+/// the RSN-XNN analytic model, the cycle-level engine, the overlay-style
+/// baseline, CHARM, the five Table 10 GPUs, and the roofline bound.
+pub fn default_backends() -> Vec<Box<dyn Backend>> {
+    let mut backends: Vec<Box<dyn Backend>> = vec![
+        Box::new(XnnAnalyticBackend::new()),
+        Box::new(CycleEngineBackend::new()),
+        Box::new(OverlayBackend::new()),
+        Box::new(CharmBackend::new()),
+    ];
+    for model in [
+        GpuModel::T4,
+        GpuModel::V100,
+        GpuModel::A100Fp32,
+        GpuModel::A100Fp16,
+        GpuModel::L4,
+    ] {
+        backends.push(Box::new(GpuBackend::new(model)));
+    }
+    backends.push(Box::new(RooflineBackend::new()));
+    backends
+}

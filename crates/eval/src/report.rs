@@ -1,0 +1,179 @@
+//! The backend-neutral result type.
+//!
+//! Every backend answers a [`WorkloadSpec`](crate::WorkloadSpec) with an
+//! [`EvalReport`]: a small set of first-class scalars (latency, throughput,
+//! achieved FLOP/s) that every comparison table uses, plus structured
+//! optional sections — per-segment latency decompositions for the analytic
+//! models, cycle statistics for the simulation backend, labelled breakdown
+//! rows for property tables — and a free-form metric map for
+//! backend-specific extras (energy efficiency, stall counts, published
+//! reference latencies).
+
+use rsn_core::sim::SchedulerKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Latency decomposition of one model segment (a Table 9 row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentMetric {
+    /// Segment name.
+    pub name: String,
+    /// Total modelled latency, seconds.
+    pub latency_s: f64,
+    /// Compute-bound component, seconds.
+    pub compute_s: f64,
+    /// DDR-channel component, seconds.
+    pub ddr_s: f64,
+    /// LPDDR-channel component, seconds.
+    pub lpddr_s: f64,
+    /// Non-hidden prolog/epilog component, seconds.
+    pub phase_s: f64,
+}
+
+/// One labelled row of a property table (power breakdown, FU properties,
+/// instruction footprints): a name plus ordered key/value pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownRow {
+    /// Row label (component, FU type, ...).
+    pub name: String,
+    /// Ordered `(metric, value)` pairs.
+    pub values: Vec<(String, f64)>,
+}
+
+impl BreakdownRow {
+    /// Looks up one value by metric name.
+    pub fn value(&self, key: &str) -> Option<f64> {
+        self.values.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+}
+
+/// Aggregate statistics of a cycle-level engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleStats {
+    /// Scheduling discipline that produced the run.
+    pub scheduler: SchedulerKind,
+    /// Scheduler iterations (see [`rsn_core::sim::RunReport::steps`]).
+    pub steps: u64,
+    /// Total `FunctionalUnit::step` invocations — the scheduler-neutral
+    /// work metric.
+    pub fu_step_calls: u64,
+    /// Sum of per-run makespan estimates (max per-FU busy cycles).
+    pub makespan_cycles: u64,
+    /// Total uOPs retired.
+    pub uops_retired: u64,
+    /// Total FP32-equivalent words moved over streams.
+    pub words_transferred: u64,
+    /// Maximum absolute error against the reference math, when the workload
+    /// has a functional reference.
+    pub max_abs_error: Option<f64>,
+}
+
+/// The result of one `Backend::evaluate` call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Name of the backend that produced this report.
+    pub backend: String,
+    /// Label of the evaluated workload.
+    pub workload: String,
+    /// End-to-end latency, seconds (the primary comparison scalar).
+    pub latency_s: Option<f64>,
+    /// Tasks (sequences) per second.
+    pub throughput_tasks_per_s: Option<f64>,
+    /// Achieved compute throughput, FLOP/s.
+    pub achieved_flops: Option<f64>,
+    /// Per-segment latency decomposition (analytic backends).
+    pub segments: Vec<SegmentMetric>,
+    /// Labelled property rows (power, FU properties, footprints).
+    pub breakdown: Vec<BreakdownRow>,
+    /// Cycle-level statistics (simulation backend).
+    pub cycle: Option<CycleStats>,
+    /// Backend-specific named scalars.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl EvalReport {
+    /// Creates an empty report tagged with backend and workload labels.
+    pub fn new(backend: impl Into<String>, workload: impl Into<String>) -> Self {
+        Self {
+            backend: backend.into(),
+            workload: workload.into(),
+            latency_s: None,
+            throughput_tasks_per_s: None,
+            achieved_flops: None,
+            segments: Vec::new(),
+            breakdown: Vec::new(),
+            cycle: None,
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts a named scalar metric (builder form).
+    pub fn with_metric(mut self, key: &str, value: f64) -> Self {
+        self.metrics.insert(key.to_string(), value);
+        self
+    }
+
+    /// Looks up a named scalar metric.
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.get(key).copied()
+    }
+
+    /// The headline scalar of this report: latency if present, else
+    /// throughput, else achieved FLOP/s, else the cycle-level makespan,
+    /// else the first breakdown value or named metric.
+    pub fn primary_metric(&self) -> Option<f64> {
+        self.latency_s
+            .or(self.throughput_tasks_per_s)
+            .or(self.achieved_flops)
+            .or_else(|| self.cycle.as_ref().map(|c| c.makespan_cycles as f64))
+            .or_else(|| {
+                self.breakdown
+                    .first()
+                    .and_then(|row| row.values.first().map(|(_, v)| *v))
+            })
+            .or_else(|| self.metrics.values().next().copied())
+    }
+
+    /// Returns `true` when the headline scalar exists, is finite, and is
+    /// strictly positive — the invariant the backend smoke test asserts.
+    pub fn is_finite_nonzero(&self) -> bool {
+        self.primary_metric()
+            .is_some_and(|v| v.is_finite() && v > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_metric_prefers_latency() {
+        let mut r = EvalReport::new("b", "w");
+        assert!(r.primary_metric().is_none());
+        assert!(!r.is_finite_nonzero());
+        r.metrics.insert("x".into(), 3.0);
+        assert_eq!(r.primary_metric(), Some(3.0));
+        r.latency_s = Some(1.5);
+        assert_eq!(r.primary_metric(), Some(1.5));
+        assert!(r.is_finite_nonzero());
+    }
+
+    #[test]
+    fn nan_or_zero_is_not_finite_nonzero() {
+        let mut r = EvalReport::new("b", "w");
+        r.latency_s = Some(f64::NAN);
+        assert!(!r.is_finite_nonzero());
+        r.latency_s = Some(0.0);
+        assert!(!r.is_finite_nonzero());
+    }
+
+    #[test]
+    fn breakdown_lookup_by_key() {
+        let row = BreakdownRow {
+            name: "MME".to_string(),
+            values: vec![("watts".to_string(), 60.8), ("share".to_string(), 0.6)],
+        };
+        assert_eq!(row.value("watts"), Some(60.8));
+        assert_eq!(row.value("missing"), None);
+    }
+}

@@ -1,0 +1,215 @@
+//! The parallel sweep runner and the [`Evaluator`] registry.
+//!
+//! Table and figure binaries evaluate *grids* — several workloads across
+//! several backends — and the analytic models are embarrassingly parallel,
+//! so the runner fans the grid out across all cores.  The build environment
+//! has no crates.io access, so the fan-out uses `std::thread::scope` with an
+//! atomic work index (a drop-in work-stealing-free equivalent of a rayon
+//! `par_iter` over the job list); swapping in rayon later only touches this
+//! module.
+
+use crate::backend::{Backend, EvalError};
+use crate::backends::default_backends;
+use crate::report::EvalReport;
+use crate::workload::WorkloadSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `jobs` closures across all available cores, preserving order.
+fn run_jobs<T: Send>(jobs: Vec<Box<dyn Fn() -> T + Send + Sync + '_>>) -> Vec<T> {
+    let n = jobs.len();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = jobs[i]();
+                results.lock().expect("result lock")[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("result lock")
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+/// Evaluates every workload on one backend, in parallel, preserving order.
+pub fn evaluate_grid(
+    backend: &dyn Backend,
+    workloads: &[WorkloadSpec],
+) -> Vec<Result<EvalReport, EvalError>> {
+    let jobs: Vec<Box<dyn Fn() -> Result<EvalReport, EvalError> + Send + Sync>> = workloads
+        .iter()
+        .map(|w| {
+            let job: Box<dyn Fn() -> Result<EvalReport, EvalError> + Send + Sync> =
+                Box::new(move || backend.evaluate(w));
+            job
+        })
+        .collect();
+    run_jobs(jobs)
+}
+
+/// A registry of comparison backends that evaluates workloads across all of
+/// them — the one harness every table binary drives.
+pub struct Evaluator {
+    backends: Vec<Box<dyn Backend>>,
+}
+
+impl Evaluator {
+    /// An evaluator with no backends (register them explicitly).
+    pub fn empty() -> Self {
+        Self {
+            backends: Vec::new(),
+        }
+    }
+
+    /// An evaluator over the standard comparison set
+    /// ([`default_backends`]).
+    pub fn new() -> Self {
+        Self {
+            backends: default_backends(),
+        }
+    }
+
+    /// Adds a backend (builder form).
+    pub fn with_backend(mut self, backend: Box<dyn Backend>) -> Self {
+        self.backends.push(backend);
+        self
+    }
+
+    /// Adds a backend.
+    pub fn register(&mut self, backend: Box<dyn Backend>) {
+        self.backends.push(backend);
+    }
+
+    /// The registered backends, in registration order.
+    pub fn backends(&self) -> &[Box<dyn Backend>] {
+        &self.backends
+    }
+
+    /// Finds a backend by its display name.
+    pub fn backend(&self, name: &str) -> Option<&dyn Backend> {
+        self.backends
+            .iter()
+            .find(|b| b.name() == name)
+            .map(AsRef::as_ref)
+    }
+
+    /// Evaluates one workload on every registered backend, in parallel.
+    /// Results align with [`Evaluator::backends`] order.
+    pub fn evaluate(&self, workload: &WorkloadSpec) -> Vec<Result<EvalReport, EvalError>> {
+        let jobs: Vec<Box<dyn Fn() -> Result<EvalReport, EvalError> + Send + Sync>> = self
+            .backends
+            .iter()
+            .map(|b| {
+                let job: Box<dyn Fn() -> Result<EvalReport, EvalError> + Send + Sync> =
+                    Box::new(move || b.evaluate(workload));
+                job
+            })
+            .collect();
+        run_jobs(jobs)
+    }
+
+    /// Evaluates a workload grid on every registered backend, in parallel.
+    /// The outer result is indexed like [`Evaluator::backends`], the inner
+    /// like `workloads`.
+    pub fn evaluate_grid(
+        &self,
+        workloads: &[WorkloadSpec],
+    ) -> Vec<Vec<Result<EvalReport, EvalError>>> {
+        let mut jobs: Vec<Box<dyn Fn() -> Result<EvalReport, EvalError> + Send + Sync>> =
+            Vec::with_capacity(self.backends.len() * workloads.len());
+        for b in &self.backends {
+            for w in workloads {
+                jobs.push(Box::new(move || b.evaluate(w)));
+            }
+        }
+        let flat = run_jobs(jobs);
+        let mut rows = Vec::with_capacity(self.backends.len());
+        let mut it = flat.into_iter();
+        for _ in 0..self.backends.len() {
+            rows.push(it.by_ref().take(workloads.len()).collect());
+        }
+        rows
+    }
+
+    /// Evaluates one workload on the backends that support it, returning
+    /// `(backend name, report)` pairs and skipping unsupported/oversized
+    /// combinations.
+    pub fn evaluate_supported(&self, workload: &WorkloadSpec) -> Vec<(String, EvalReport)> {
+        self.backends
+            .iter()
+            .zip(self.evaluate(workload))
+            .filter(|(b, _)| b.supports(workload))
+            .filter_map(|(b, r)| r.ok().map(|r| (b.name().to_string(), r)))
+            .collect()
+    }
+}
+
+impl Default for Evaluator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::{CharmBackend, XnnAnalyticBackend};
+    use rsn_workloads::bert::BertConfig;
+
+    #[test]
+    fn grid_preserves_order_across_threads() {
+        let backend = XnnAnalyticBackend::new();
+        let workloads: Vec<WorkloadSpec> = [1, 2, 3, 6, 12, 24]
+            .iter()
+            .map(|&b| WorkloadSpec::EncoderLayer {
+                cfg: BertConfig::bert_large(512, b),
+            })
+            .collect();
+        let reports = evaluate_grid(&backend, &workloads);
+        assert_eq!(reports.len(), workloads.len());
+        // Larger batches never get *faster* per batch: latency grows
+        // monotonically with batch size in the analytic model.
+        let latencies: Vec<f64> = reports
+            .iter()
+            .map(|r| r.as_ref().unwrap().latency_s.unwrap())
+            .collect();
+        for pair in latencies.windows(2) {
+            assert!(pair[1] > pair[0], "latencies not monotone: {latencies:?}");
+        }
+    }
+
+    #[test]
+    fn evaluator_routes_by_backend_name() {
+        let evaluator = Evaluator::empty()
+            .with_backend(Box::new(XnnAnalyticBackend::new()))
+            .with_backend(Box::new(CharmBackend::new()));
+        assert!(evaluator.backend("rsn-xnn").is_some());
+        assert!(evaluator.backend("charm").is_some());
+        assert!(evaluator.backend("missing").is_none());
+        let w = WorkloadSpec::EncoderLayer {
+            cfg: BertConfig::bert_large(512, 6),
+        };
+        let results = evaluator.evaluate(&w);
+        assert_eq!(results.len(), 2);
+        let rsn = results[0].as_ref().unwrap().latency_s.unwrap();
+        let charm = results[1].as_ref().unwrap().latency_s.unwrap();
+        // The paper's headline: RSN-XNN beats CHARM at equal batch size.
+        assert!(charm > rsn);
+    }
+}

@@ -1,0 +1,144 @@
+//! Workload descriptions accepted by every evaluation backend.
+//!
+//! A [`WorkloadSpec`] is a backend-neutral statement of *what* to evaluate;
+//! each [`Backend`](crate::Backend) decides *how* (analytic model, cycle
+//! simulation, published datasheet numbers).  The variants cover every
+//! measurement the paper's evaluation section makes, so each table/figure
+//! binary can be expressed as a grid of specs fed to the sweep runner.
+
+use rsn_lib::mapping::MappingType;
+use rsn_workloads::bert::BertConfig;
+use rsn_workloads::models::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// One unit of evaluation work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// One transformer encoder layer of `cfg` (Tables 3/9, Fig. 18).
+    EncoderLayer {
+        /// Model configuration (batch, sequence length, dimensions).
+        cfg: BertConfig,
+    },
+    /// The full model: `cfg.layers` encoder layers (Tables 10/11).
+    FullModel {
+        /// Model configuration.
+        cfg: BertConfig,
+    },
+    /// An `n × n × n` GEMM with operands resident in DRAM (Table 6b).
+    SquareGemm {
+        /// Square dimension.
+        n: usize,
+    },
+    /// One of the Table 7 model-zoo workloads (BERT, ViT, NCF, MLP).
+    ZooModel {
+        /// Which model.
+        kind: ModelKind,
+    },
+    /// One inter-layer mapping type applied to the attention pair (Table 3).
+    AttentionMapping {
+        /// Model configuration.
+        cfg: BertConfig,
+        /// Mapping type A–D.
+        mapping: MappingType,
+    },
+    /// Estimated component power breakdown of the machine (Table 4).
+    PowerBreakdown,
+    /// Per-FU compute/memory/bandwidth properties of the datapath (Fig. 16).
+    DatapathProperties,
+    /// RSN instruction footprint vs expanded uOPs for a generated GEMM
+    /// program (Fig. 9).
+    InstructionFootprint {
+        /// GEMM rows.
+        m: usize,
+        /// GEMM reduction dimension.
+        k: usize,
+        /// GEMM columns.
+        n: usize,
+    },
+    /// A functional (value-accurate) GEMM executed on the simulated stream
+    /// datapath, validated against the reference math.
+    FunctionalGemm {
+        /// GEMM rows.
+        m: usize,
+        /// GEMM reduction dimension.
+        k: usize,
+        /// GEMM columns.
+        n: usize,
+        /// Seed for the deterministic input matrices.
+        seed: u64,
+    },
+    /// A functional multi-head attention block executed on the simulated
+    /// stream datapath (MM1 → softmax → MM2, scores staying on-chip).
+    FunctionalAttention {
+        /// Model configuration (kept small: every value flows through the
+        /// simulated streams).
+        cfg: BertConfig,
+        /// Seed for the deterministic inputs.
+        seed: u64,
+    },
+    /// The Fig. 6 scalar pipeline: stream `elements` scalars through a
+    /// source → map → sink chain (or the overlay's LD/ADD/ST equivalent).
+    ScalarPipeline {
+        /// Number of scalars to stream.
+        elements: usize,
+    },
+}
+
+impl WorkloadSpec {
+    /// Short human-readable label used in reports and table output.
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadSpec::EncoderLayer { cfg } => {
+                format!("encoder-layer L={} B={}", cfg.seq_len, cfg.batch)
+            }
+            WorkloadSpec::FullModel { cfg } => {
+                format!("model x{} L={} B={}", cfg.layers, cfg.seq_len, cfg.batch)
+            }
+            WorkloadSpec::SquareGemm { n } => format!("gemm {n}^3"),
+            WorkloadSpec::ZooModel { kind } => format!("zoo {}", kind.name()),
+            WorkloadSpec::AttentionMapping { mapping, .. } => {
+                format!("attention-mapping {}", mapping.letter())
+            }
+            WorkloadSpec::PowerBreakdown => "power-breakdown".to_string(),
+            WorkloadSpec::DatapathProperties => "datapath-properties".to_string(),
+            WorkloadSpec::InstructionFootprint { m, k, n } => {
+                format!("instr-footprint {m}x{k}x{n}")
+            }
+            WorkloadSpec::FunctionalGemm { m, k, n, .. } => {
+                format!("functional-gemm {m}x{k}x{n}")
+            }
+            WorkloadSpec::FunctionalAttention { cfg, .. } => {
+                format!("functional-attention L={} B={}", cfg.seq_len, cfg.batch)
+            }
+            WorkloadSpec::ScalarPipeline { elements } => {
+                format!("scalar-pipeline n={elements}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct_and_informative() {
+        let cfg = BertConfig::tiny(8, 2);
+        let specs = [
+            WorkloadSpec::EncoderLayer { cfg },
+            WorkloadSpec::FullModel { cfg },
+            WorkloadSpec::SquareGemm { n: 1024 },
+            WorkloadSpec::ZooModel {
+                kind: ModelKind::Bert,
+            },
+            WorkloadSpec::PowerBreakdown,
+            WorkloadSpec::DatapathProperties,
+            WorkloadSpec::ScalarPipeline { elements: 300 },
+        ];
+        let names: Vec<String> = specs.iter().map(WorkloadSpec::name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

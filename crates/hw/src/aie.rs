@@ -265,8 +265,16 @@ mod tests {
         let g = |k: &GemmKernelModel| k.achieved_flops(&spec, 32, 32, 32) / 1e9;
         // Paper: CHARM 4504, MaxEVA 5442, AMA 5867, RSN 6785 GFLOPS.
         assert!((g(&rsn) - 6785.0).abs() / 6785.0 < 0.05, "rsn {}", g(&rsn));
-        assert!((g(&charm) - 4504.0).abs() / 4504.0 < 0.05, "charm {}", g(&charm));
-        assert!((g(&maxeva) - 5442.0).abs() / 5442.0 < 0.05, "maxeva {}", g(&maxeva));
+        assert!(
+            (g(&charm) - 4504.0).abs() / 4504.0 < 0.05,
+            "charm {}",
+            g(&charm)
+        );
+        assert!(
+            (g(&maxeva) - 5442.0).abs() / 5442.0 < 0.05,
+            "maxeva {}",
+            g(&maxeva)
+        );
         assert!((g(&ama) - 5867.0).abs() / 5867.0 < 0.05, "ama {}", g(&ama));
         // Ordering (who wins) must hold.
         assert!(g(&rsn) > g(&ama) && g(&ama) > g(&maxeva) && g(&maxeva) > g(&charm));

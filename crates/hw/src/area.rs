@@ -102,7 +102,12 @@ impl AreaModel {
     /// published comparisons (DFX on U280, DLA on Arria10) use the numbers
     /// reported in their papers.  `None` totals mean the design's full area
     /// was not reported.
-    pub fn decoder_overhead_rows() -> Vec<(String, String, ResourceUtilization, Option<ResourceUtilization>)> {
+    pub fn decoder_overhead_rows() -> Vec<(
+        String,
+        String,
+        ResourceUtilization,
+        Option<ResourceUtilization>,
+    )> {
         vec![
             (
                 "RSN-XNN".to_string(),

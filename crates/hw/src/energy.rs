@@ -146,7 +146,11 @@ mod tests {
         let memc = m.component_power("MemC", memc_profile());
         // Table 4: AIE ≈ 60.8 W (~62 %), MemC ≈ 22.9 W (~23 %).
         assert!((aie.watts - 60.8).abs() / 60.8 < 0.1, "aie {}", aie.watts);
-        assert!((memc.watts - 22.9).abs() / 22.9 < 0.2, "memc {}", memc.watts);
+        assert!(
+            (memc.watts - 22.9).abs() / 22.9 < 0.2,
+            "memc {}",
+            memc.watts
+        );
         assert!(aie.watts > 2.0 * memc.watts);
     }
 

@@ -10,12 +10,15 @@
 //! like the board flow.
 
 use rsn_core::error::RsnError;
+use rsn_core::sim::{RunReport, SchedulerKind};
 use rsn_workloads::attention::EncoderWeights;
 use rsn_workloads::bert::BertConfig;
 use rsn_workloads::Matrix;
 use rsn_xnn::config::XnnConfig;
 use rsn_xnn::machine::XnnMachine;
-use rsn_xnn::program::{attention_program, gemm_program, AttentionSpec, GemmSpec, PostOp, RhsOperand};
+use rsn_xnn::program::{
+    attention_program, gemm_program, AttentionSpec, GemmSpec, PostOp, RhsOperand,
+};
 
 /// DDR matrix ids used by the encoder flow.
 mod ids {
@@ -42,6 +45,7 @@ pub struct EncoderHost {
     machine: XnnMachine,
     xnn_cfg: XnnConfig,
     model_cfg: BertConfig,
+    segment_reports: Vec<(String, RunReport)>,
 }
 
 impl EncoderHost {
@@ -51,16 +55,55 @@ impl EncoderHost {
     ///
     /// Returns [`RsnError`] if the datapath fails to build.
     pub fn new(xnn_cfg: XnnConfig, model_cfg: BertConfig) -> Result<Self, RsnError> {
+        Self::with_scheduler(xnn_cfg, model_cfg, SchedulerKind::default())
+    }
+
+    /// Creates a host with an explicit engine scheduling discipline (used by
+    /// the evaluation layer's scheduler-equivalence checks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsnError`] if the datapath fails to build.
+    pub fn with_scheduler(
+        xnn_cfg: XnnConfig,
+        model_cfg: BertConfig,
+        scheduler: SchedulerKind,
+    ) -> Result<Self, RsnError> {
         Ok(Self {
-            machine: XnnMachine::new(xnn_cfg)?,
+            machine: XnnMachine::new(xnn_cfg)?.with_scheduler(scheduler),
             xnn_cfg,
             model_cfg,
+            segment_reports: Vec::new(),
         })
     }
 
     /// The underlying machine (for statistics inspection after a run).
     pub fn machine(&self) -> &XnnMachine {
         &self.machine
+    }
+
+    /// Engine run reports of every segment executed so far, in program
+    /// order, labelled with the segment name.  The evaluation layer's cycle
+    /// backend aggregates these into its [`RunReport`]-level metrics.
+    pub fn segment_reports(&self) -> &[(String, RunReport)] {
+        &self.segment_reports
+    }
+
+    /// Total scheduler work across all segments: `(steps, fu_step_calls)`.
+    pub fn total_scheduler_work(&self) -> (u64, u64) {
+        self.segment_reports
+            .iter()
+            .fold((0, 0), |(s, c), (_, r)| (s + r.steps, c + r.fu_step_calls))
+    }
+
+    /// Sum of the per-segment makespan estimates
+    /// ([`RunReport::makespan_cycles`] of each run) — a coarse whole-layer
+    /// makespan bound, since segments execute back to back.
+    pub fn total_makespan_cycles(&self) -> u64 {
+        self.segment_reports
+            .iter()
+            .map(|(_, r)| r.makespan_cycles())
+            .sum()
     }
 
     /// Runs one full encoder layer on the datapath and returns the output
@@ -77,6 +120,7 @@ impl EncoderHost {
         let cfg = self.model_cfg;
         let tokens = cfg.tokens();
         let hidden = cfg.hidden;
+        self.segment_reports.clear();
 
         // Stage the input, weights and output buffers.
         self.machine.load_ddr(ids::INPUT, x.clone());
@@ -99,13 +143,22 @@ impl EncoderHost {
         }
 
         // Q, K, V projections: large GEMMs with a fused bias epilogue.
-        for (weight, bias, out) in [
-            (ids::WQ, &weights.biases[0], ids::Q),
-            (ids::WK, &weights.biases[1], ids::K),
-            (ids::WV, &weights.biases[2], ids::V),
+        for (name, weight, bias, out) in [
+            ("Q projection", ids::WQ, &weights.biases[0], ids::Q),
+            ("K projection", ids::WK, &weights.biases[1], ids::K),
+            ("V projection", ids::WV, &weights.biases[2], ids::V),
         ] {
             self.machine.set_bias(bias);
-            self.run_gemm(ids::INPUT, RhsOperand::Lpddr(weight), out, tokens, hidden, hidden, PostOp::Bias)?;
+            self.run_gemm(
+                name,
+                ids::INPUT,
+                RhsOperand::Lpddr(weight),
+                out,
+                tokens,
+                hidden,
+                hidden,
+                PostOp::Bias,
+            )?;
         }
 
         // Attention: the dynamically pipelined MM1 → softmax → MM2 path.
@@ -122,25 +175,31 @@ impl EncoderHost {
             head_dim: cfg.head_dim(),
         };
         let program = attention_program(&self.xnn_cfg, self.machine.handles(), &attn);
-        self.machine.run_program(&program)?;
+        let report = self.machine.run_program(&program)?;
+        self.segment_reports
+            .push(("Attention MM1+MM2 (pipelined)".to_string(), report));
 
         // Dense projection with residual + LayerNorm epilogue.
         self.machine.set_bias(&weights.biases[3]);
         self.machine
             .set_norm_params(&weights.gamma[0], &weights.beta[0]);
         self.run_gemm(
+            "Dense projection",
             ids::CONTEXT,
             RhsOperand::Lpddr(ids::WO),
             ids::NORM1,
             tokens,
             hidden,
             hidden,
-            PostOp::BiasResidualNorm { residual: ids::INPUT },
+            PostOp::BiasResidualNorm {
+                residual: ids::INPUT,
+            },
         )?;
 
         // Feed-forward 1 with bias + GELU.
         self.machine.set_bias(&weights.biases[4]);
         self.run_gemm(
+            "Feed-forward 1",
             ids::NORM1,
             RhsOperand::Lpddr(ids::W1),
             ids::FF1,
@@ -155,13 +214,16 @@ impl EncoderHost {
         self.machine
             .set_norm_params(&weights.gamma[1], &weights.beta[1]);
         self.run_gemm(
+            "Feed-forward 2",
             ids::FF1,
             RhsOperand::Lpddr(ids::W2),
             ids::OUTPUT,
             tokens,
             cfg.ff_dim,
             hidden,
-            PostOp::BiasResidualNorm { residual: ids::NORM1 },
+            PostOp::BiasResidualNorm {
+                residual: ids::NORM1,
+            },
         )?;
 
         Ok(self
@@ -174,6 +236,7 @@ impl EncoderHost {
     #[allow(clippy::too_many_arguments)]
     fn run_gemm(
         &mut self,
+        name: &str,
         lhs: i64,
         rhs: RhsOperand,
         out: i64,
@@ -193,7 +256,8 @@ impl EncoderHost {
             post,
         };
         let program = gemm_program(&self.xnn_cfg, self.machine.handles(), &spec);
-        self.machine.run_program(&program)?;
+        let report = self.machine.run_program(&program)?;
+        self.segment_reports.push((name.to_string(), report));
         Ok(())
     }
 }

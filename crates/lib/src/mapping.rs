@@ -121,8 +121,7 @@ pub fn analyze_attention_mappings(cfg: &BertConfig) -> Vec<MappingRow> {
             };
             let memory_time_s = traffic / bandwidth;
             let utilization = mapping.aie_utilization();
-            let mut compute_time_s =
-                total_flops / aie.achieved_flops_at_utilization(utilization);
+            let mut compute_time_s = total_flops / aie.achieved_flops_at_utilization(utilization);
             if mapping == MappingType::Pipeline {
                 compute_time_s *= 1.0 + PIPELINE_SETUP_FRACTION;
             }
@@ -151,7 +150,11 @@ pub fn best_mapping(rows: &[MappingRow]) -> Option<&MappingRow> {
         let key = |r: &MappingRow| {
             (
                 r.final_latency_s,
-                if r.mapping == MappingType::Pipeline { 0 } else { 1 },
+                if r.mapping == MappingType::Pipeline {
+                    0
+                } else {
+                    1
+                },
             )
         };
         key(a).partial_cmp(&key(b)).expect("finite latencies")
@@ -178,7 +181,11 @@ mod tests {
         // intermediate; A and D are ~2.2–2.4 ms.
         assert!(b.final_latency_s > 4.0 * best.final_latency_s);
         assert!((b.final_latency_s - c.final_latency_s).abs() < 1e-6);
-        assert!((b.final_latency_s * 1e3 - 10.9).abs() / 10.9 < 0.25, "B {}", b.final_latency_s * 1e3);
+        assert!(
+            (b.final_latency_s * 1e3 - 10.9).abs() / 10.9 < 0.25,
+            "B {}",
+            b.final_latency_s * 1e3
+        );
     }
 
     #[test]
@@ -187,7 +194,11 @@ mod tests {
         let a = &rows[0];
         assert_eq!(a.mapping.letter(), 'A');
         // Paper: 2.43 ms final for A (memory-bound at 64 % utilization).
-        assert!((a.final_latency_s * 1e3 - 2.43).abs() / 2.43 < 0.25, "A {}", a.final_latency_s * 1e3);
+        assert!(
+            (a.final_latency_s * 1e3 - 2.43).abs() / 2.43 < 0.25,
+            "A {}",
+            a.final_latency_s * 1e3
+        );
         assert!(a.memory_time_s > a.compute_time_s * 0.9);
     }
 

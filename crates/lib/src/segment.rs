@@ -54,9 +54,8 @@ pub fn segment_encoder(cfg: &BertConfig) -> Vec<SegmentGroup> {
     let mut i = 0;
     while i < segments.len() {
         let seg = &segments[i];
-        let next_is_pair = i + 1 < segments.len()
-            && seg.attention_small_mm
-            && segments[i + 1].attention_small_mm;
+        let next_is_pair =
+            i + 1 < segments.len() && seg.attention_small_mm && segments[i + 1].attention_small_mm;
         if next_is_pair {
             // Per-instance intermediate: one head's score matrix must fit in
             // the on-chip buffers for the pipelined mapping to be legal.

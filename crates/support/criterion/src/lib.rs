@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of criterion's API the workspace benches use — [`Criterion`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`] — backed
+//! by a plain wall-clock measurement loop: a fixed warm-up, then timed
+//! batches until the sample budget is spent.  Results print as
+//! `name  median  (min .. max)` per-iteration times and are retained on the
+//! [`Criterion`] value so harness `main`s can post-process them (for example
+//! to emit a JSON trajectory file).
+//!
+//! Swapping back to real criterion later requires no changes in the bench
+//! sources themselves, only in the workspace dependency.
+
+use std::time::{Duration, Instant};
+
+/// One finished benchmark: name plus per-iteration timing statistics.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id as passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest observed batch mean, nanoseconds.
+    pub min_ns: f64,
+    /// Slowest observed batch mean, nanoseconds.
+    pub max_ns: f64,
+    /// Total iterations executed across all timed batches.
+    pub iterations: u64,
+}
+
+/// Minimal stand-in for `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1200),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Replaces the warm-up budget (API parity with criterion).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Replaces the measurement budget (API parity with criterion).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark closure under the measurement loop.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            batch_means_ns: Vec::new(),
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let mut means = bencher.batch_means_ns;
+        means.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let result = BenchResult {
+            name: name.to_string(),
+            median_ns: means.get(means.len() / 2).copied().unwrap_or(f64::NAN),
+            min_ns: means.first().copied().unwrap_or(f64::NAN),
+            max_ns: means.last().copied().unwrap_or(f64::NAN),
+            iterations: bencher.iterations,
+        };
+        println!(
+            "{:<44} {:>12}   ({} .. {})  [{} iters]",
+            result.name,
+            format_ns(result.median_ns),
+            format_ns(result.min_ns),
+            format_ns(result.max_ns),
+            result.iterations
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// All results measured by this harness so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".to_string()
+    } else if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Minimal stand-in for `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    batch_means_ns: Vec<f64>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly: warm-up until the warm-up budget is spent,
+    /// then timed batches until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, also used to size a batch at roughly one millisecond.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((1e-3 / per_iter.max(1e-12)) as u64).clamp(1, 1_000_000);
+
+        let total_start = Instant::now();
+        while total_start.elapsed() < self.measurement || self.batch_means_ns.is_empty() {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.batch_means_ns.push(elapsed * 1e9 / batch as f64);
+            self.iterations += batch;
+        }
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert_eq!(r.name, "noop");
+        assert!(r.median_ns.is_finite() && r.median_ns >= 0.0);
+        assert!(r.iterations > 0);
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("us"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2.0e9).ends_with(" s"));
+    }
+}

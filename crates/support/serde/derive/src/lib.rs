@@ -1,0 +1,19 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The stand-in's `Serialize` / `Deserialize` traits are blanket-implemented
+//! for every type, so the derives have nothing to generate: they only need
+//! to exist so `#[derive(Serialize, Deserialize)]` attributes parse.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the stand-in trait is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the stand-in trait is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the smallest possible surface that keeps the source
+//! tree compatible with real serde: the two marker traits and the
+//! `#[derive(Serialize, Deserialize)]` attribute.  The traits are blanket
+//! implemented for every type and the derives expand to nothing, so swapping
+//! this crate for the real one (by pointing the workspace dependency back at
+//! crates.io) requires no source changes in the rest of the workspace.
+//!
+//! Nothing in the reproduction currently serialises data at runtime; the
+//! derives exist so report types stay ready for a future wire format.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.  The real trait has a lifetime parameter; code in this workspace
+/// only ever names the trait inside `#[derive(...)]`, so the simplified form
+/// suffices.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -170,6 +170,9 @@ mod tests {
     #[test]
     fn weights_are_deterministic() {
         let cfg = BertConfig::tiny(4, 1);
-        assert_eq!(EncoderWeights::random(&cfg, 5), EncoderWeights::random(&cfg, 5));
+        assert_eq!(
+            EncoderWeights::random(&cfg, 5),
+            EncoderWeights::random(&cfg, 5)
+        );
     }
 }

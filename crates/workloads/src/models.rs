@@ -30,7 +30,12 @@ pub enum ModelKind {
 impl ModelKind {
     /// All four models of Table 7, in the paper's column order.
     pub fn table7_models() -> [ModelKind; 4] {
-        [ModelKind::Bert, ModelKind::Vit, ModelKind::Ncf, ModelKind::Mlp]
+        [
+            ModelKind::Bert,
+            ModelKind::Vit,
+            ModelKind::Ncf,
+            ModelKind::Mlp,
+        ]
     }
 
     /// Display name.
@@ -217,7 +222,10 @@ mod tests {
     fn mlp_layers_are_uniform() {
         let mlp = ModelConfig::table7(ModelKind::Mlp);
         assert_eq!(mlp.layers.len(), 12);
-        assert!(mlp.layers.iter().all(|l| l.gemm == GemmShape::new(4096, 4096, 4096)));
+        assert!(mlp
+            .layers
+            .iter()
+            .all(|l| l.gemm == GemmShape::new(4096, 4096, 4096)));
     }
 
     #[test]

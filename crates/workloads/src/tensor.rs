@@ -4,9 +4,20 @@
 //! validated against — the reproduction's equivalent of the paper artifact's
 //! `python_gold` reference outputs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Deterministic 64-bit SplitMix generator used for reproducible test data.
+///
+/// Implemented inline (rather than via the `rand` crate) so the workspace
+/// builds in offline environments; the sequence is fixed by the seed and
+/// identical on every platform.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A dense, row-major FP32 matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,8 +56,14 @@ impl Matrix {
     /// Creates a matrix with uniformly random entries in `[-1, 1)`, seeded
     /// deterministically so tests and benches are reproducible.
     pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let data = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut state = seed;
+        let data = (0..rows * cols)
+            .map(|_| {
+                // 24 high bits give a uniform FP32 in [0, 1); map to [-1, 1).
+                let unit = (splitmix64(&mut state) >> 40) as f32 / (1u64 << 24) as f32;
+                2.0 * unit - 1.0
+            })
+            .collect();
         Self::from_vec(rows, cols, data)
     }
 
@@ -187,8 +204,8 @@ impl Matrix {
         assert_eq!(bias.len(), self.cols, "bias length mismatch");
         let mut out = self.clone();
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                *out.at_mut(r, c) += bias[c];
+            for (c, b) in bias.iter().enumerate() {
+                *out.at_mut(r, c) += b;
             }
         }
         out
@@ -196,7 +213,11 @@ impl Matrix {
 
     /// Scales every element by `s`.
     pub fn scale(&self, s: f32) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|v| v * s).collect())
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|v| v * s).collect(),
+        )
     }
 
     /// Row-wise softmax (the attention-score normalisation).
@@ -318,7 +339,12 @@ mod tests {
         let n = a.layer_norm(&gamma, &beta, 1e-5);
         for r in 0..3 {
             let mean: f32 = n.row(r).iter().sum::<f32>() / 64.0;
-            let var: f32 = n.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            let var: f32 = n
+                .row(r)
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 64.0;
             assert!(mean.abs() < 1e-4);
             assert!((var - 1.0).abs() < 1e-2);
         }

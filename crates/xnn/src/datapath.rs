@@ -128,7 +128,12 @@ impl XnnDatapath {
         ));
 
         // Scratchpads.
-        let mem_a = b.add_fu(MemFu::new("MemA0", "MemA", vec![s_ddr_to_mema], s_mema_to_mesha));
+        let mem_a = b.add_fu(MemFu::new(
+            "MemA0",
+            "MemA",
+            vec![s_ddr_to_mema],
+            s_mema_to_mesha,
+        ));
         let mem_b: Vec<_> = (0..g)
             .map(|i| {
                 b.add_fu(MemFu::new(

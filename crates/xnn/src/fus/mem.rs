@@ -139,7 +139,11 @@ impl FunctionalUnit for MemFu {
             // Send half of the ping-pong buffer.
             if xfer.send_remaining > 0 && !self.buffer.is_empty() && streams.can_push(self.out) {
                 let tile = self.buffer.pop_front().expect("buffer non-empty");
-                let tile = if xfer.transpose { tile.transposed() } else { tile };
+                let tile = if xfer.transpose {
+                    tile.transposed()
+                } else {
+                    tile
+                };
                 streams
                     .push(self.out, Token::Tile(tile))
                     .expect("capacity checked");

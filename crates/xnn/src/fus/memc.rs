@@ -361,10 +361,11 @@ mod tests {
         let tile = Tile::from_vec(2, cols, x.clone().into_vec());
         let res_tile = Tile::from_vec(2, cols, res.clone().into_vec());
         let out = fu.apply(&kernel, tile, Some(res_tile));
-        let expected = x
-            .add_bias(&vec![0.5; cols])
-            .add(&res)
-            .layer_norm(&vec![1.0; cols], &vec![0.0; cols], 1e-5);
+        let expected = x.add_bias(&vec![0.5; cols]).add(&res).layer_norm(
+            &vec![1.0; cols],
+            &vec![0.0; cols],
+            1e-5,
+        );
         let got = Matrix::from_vec(2, cols, out.into_vec());
         assert!(got.max_abs_diff(&expected) < 1e-5);
     }

@@ -365,8 +365,17 @@ mod tests {
         let s_out0 = b.add_stream("mesh->mme0", 4);
         let s_out1 = b.add_stream("mesh->mme1", 4);
         let tile = Tile::from_vec(1, 2, vec![1.0, 2.0]);
-        let src = b.add_fu(TileSourceFu::new("src", s_in, vec![tile.clone(), tile.clone()]));
-        let mesh = b.add_fu(MeshFu::new("MeshA", "MeshA", vec![s_in], vec![s_out0, s_out1]));
+        let src = b.add_fu(TileSourceFu::new(
+            "src",
+            s_in,
+            vec![tile.clone(), tile.clone()],
+        ));
+        let mesh = b.add_fu(MeshFu::new(
+            "MeshA",
+            "MeshA",
+            vec![s_in],
+            vec![s_out0, s_out1],
+        ));
         let sink0 = b.add_fu(TileSinkFu::new("sink0", s_out0));
         let sink1 = b.add_fu(TileSinkFu::new("sink1", s_out1));
         let mut engine = Engine::new(b.build().unwrap());
@@ -390,7 +399,12 @@ mod tests {
             .map(|i| Tile::from_vec(1, 1, vec![i as f32]))
             .collect();
         let src = b.add_fu(TileSourceFu::new("src", s_in, tiles));
-        let mesh = b.add_fu(MeshFu::new("MeshB", "MeshB", vec![s_in], vec![s_out0, s_out1]));
+        let mesh = b.add_fu(MeshFu::new(
+            "MeshB",
+            "MeshB",
+            vec![s_in],
+            vec![s_out0, s_out1],
+        ));
         let sink0 = b.add_fu(TileSinkFu::new("sink0", s_out0));
         let sink1 = b.add_fu(TileSinkFu::new("sink1", s_out1));
         let mut engine = Engine::new(b.build().unwrap());

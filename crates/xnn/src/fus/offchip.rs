@@ -127,14 +127,18 @@ impl OffchipFu {
             // Loading an unknown matrix streams zeros so a malformed program
             // fails validation numerically instead of wedging the engine.
             let tile = Tile::zeros(rows, cols);
-            streams.push(out, Token::Tile(tile)).expect("capacity checked");
+            streams
+                .push(out, Token::Tile(tile))
+                .expect("capacity checked");
             self.pending = None;
             return StepOutcome::progress();
         };
         let block = m.block(row0, col0, rows, cols);
         let tile = Tile::from_vec(rows, cols, block.into_vec());
         self.bytes_loaded += (rows * cols * 4) as u64;
-        streams.push(out, Token::Tile(tile)).expect("capacity checked");
+        streams
+            .push(out, Token::Tile(tile))
+            .expect("capacity checked");
         self.pending = None;
         StepOutcome::Progress {
             cycles: (rows * cols) as u64,

@@ -115,11 +115,7 @@ pub fn program_instr_stats(
         entry.1 += uops.iter().map(Uop::encoded_len).sum::<usize>();
     }
 
-    let mut types: Vec<String> = rsn_bytes
-        .keys()
-        .chain(uop_bytes.keys())
-        .cloned()
-        .collect();
+    let mut types: Vec<String> = rsn_bytes.keys().chain(uop_bytes.keys()).cloned().collect();
     types.sort();
     types.dedup();
     let per_type = types

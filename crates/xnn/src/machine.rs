@@ -13,7 +13,7 @@ use crate::datapath::{XnnDatapath, XnnHandles};
 use crate::fus::{MemCFu, MmeFu, OffchipFu};
 use rsn_core::error::RsnError;
 use rsn_core::program::Program;
-use rsn_core::sim::{Engine, RunReport};
+use rsn_core::sim::{Engine, RunReport, SchedulerKind};
 use rsn_workloads::Matrix;
 
 /// The RSN-XNN machine: datapath, engine and host-side configuration.
@@ -42,6 +42,17 @@ impl XnnMachine {
     /// The structural configuration.
     pub fn config(&self) -> &XnnConfig {
         &self.cfg
+    }
+
+    /// Selects the engine scheduling discipline (builder form).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.engine.set_scheduler(scheduler);
+        self
+    }
+
+    /// Selects the engine scheduling discipline.
+    pub fn set_scheduler(&mut self, scheduler: SchedulerKind) {
+        self.engine.set_scheduler(scheduler);
     }
 
     /// FU handles for program generation.
@@ -188,7 +199,11 @@ mod tests {
         let report = machine.run_program(&program).unwrap();
         assert_eq!(report.residual_tokens, 0);
         let got = machine.ddr_matrix(3).unwrap();
-        assert!(got.max_abs_diff(&expected) < 1e-3, "diff {}", got.max_abs_diff(&expected));
+        assert!(
+            got.max_abs_diff(&expected) < 1e-3,
+            "diff {}",
+            got.max_abs_diff(&expected)
+        );
         assert!(machine.total_mme_flops() > 0);
         assert!(machine.ddr_traffic_bytes() > 0);
     }

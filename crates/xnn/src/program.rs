@@ -69,7 +69,10 @@ impl PostOp {
     }
 
     fn needs_full_row_tile(&self) -> bool {
-        matches!(self, PostOp::ScaledSoftmax | PostOp::BiasResidualNorm { .. })
+        matches!(
+            self,
+            PostOp::ScaledSoftmax | PostOp::BiasResidualNorm { .. }
+        )
     }
 }
 
@@ -124,7 +127,10 @@ pub struct AttentionSpec {
 /// smaller than `n` (those operators need the whole row in one tile), or if
 /// any dimension is zero.
 pub fn gemm_program(cfg: &XnnConfig, handles: &XnnHandles, spec: &GemmSpec) -> Program {
-    assert!(spec.m > 0 && spec.k > 0 && spec.n > 0, "GEMM dims must be non-zero");
+    assert!(
+        spec.m > 0 && spec.k > 0 && spec.n > 0,
+        "GEMM dims must be non-zero"
+    );
     let tile_m = cfg.tile_m.min(spec.m);
     let tile_k = cfg.tile_k.min(spec.k);
     let tile_n = if spec.post.needs_full_row_tile() {
@@ -182,7 +188,10 @@ pub fn gemm_program(cfg: &XnnConfig, handles: &XnnHandles, spec: &GemmSpec) -> P
                 ],
             ),
         );
-        p.push(handles.mme[g], Uop::new("matmul", [outputs_per_mme, kt as i64]));
+        p.push(
+            handles.mme[g],
+            Uop::new("matmul", [outputs_per_mme, kt as i64]),
+        );
         p.push(
             handles.mem_c[g],
             Uop::new(
@@ -321,7 +330,10 @@ pub fn attention_program(cfg: &XnnConfig, handles: &XnnHandles, spec: &Attention
 
     // Steady-state uOPs for the on-chip FUs.
     let total_q_tiles = total_heads as i64;
-    p.push(handles.mem_a, Uop::new("xfer", [total_q_tiles, total_q_tiles, 0, 0]));
+    p.push(
+        handles.mem_a,
+        Uop::new("xfer", [total_q_tiles, total_q_tiles, 0, 0]),
+    );
     for g in 0..g_count {
         let my_heads = head_units
             .iter()
@@ -369,7 +381,14 @@ pub fn attention_program(cfg: &XnnConfig, handles: &XnnHandles, spec: &Attention
                 handles.ddr,
                 Uop::new(
                     "load",
-                    [spec.q, row0, col0, spec.seq_len as i64, spec.head_dim as i64, 0],
+                    [
+                        spec.q,
+                        row0,
+                        col0,
+                        spec.seq_len as i64,
+                        spec.head_dim as i64,
+                        0,
+                    ],
                 ),
             );
             p.push(handles.mesh_a, Uop::new("route", [0, g as i64, 1]));
@@ -383,19 +402,36 @@ pub fn attention_program(cfg: &XnnConfig, handles: &XnnHandles, spec: &Attention
                 handles.ddr,
                 Uop::new(
                     "load",
-                    [spec.k, row0, col0, spec.seq_len as i64, spec.head_dim as i64, to_memb],
+                    [
+                        spec.k,
+                        row0,
+                        col0,
+                        spec.seq_len as i64,
+                        spec.head_dim as i64,
+                        to_memb,
+                    ],
                 ),
             );
             p.push(
                 handles.ddr,
                 Uop::new(
                     "load",
-                    [spec.v, row0, col0, spec.seq_len as i64, spec.head_dim as i64, to_memb],
+                    [
+                        spec.v,
+                        row0,
+                        col0,
+                        spec.seq_len as i64,
+                        spec.head_dim as i64,
+                        to_memb,
+                    ],
                 ),
             );
             p.push(handles.mesh_b, Uop::new("route", [g as i64, g as i64, 2]));
             // Softmax output re-enters MeshA through the feedback port.
-            p.push(handles.mesh_a, Uop::new("route", [(1 + g) as i64, g as i64, 1]));
+            p.push(
+                handles.mesh_a,
+                Uop::new("route", [(1 + g) as i64, g as i64, 1]),
+            );
         }
         // Previous wave's context tiles drain while this wave computes.
         for store in pending_stores.drain(..) {

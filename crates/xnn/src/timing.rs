@@ -193,7 +193,11 @@ impl XnnTimingModel {
         lpddr_s: f64,
         phase_s: f64,
     ) -> SegmentTiming {
-        let compute_s = if self.infinite_compute { 0.0 } else { compute_s };
+        let compute_s = if self.infinite_compute {
+            0.0
+        } else {
+            compute_s
+        };
         let (ddr_s, lpddr_s, phase_s) = if self.infinite_bandwidth {
             (0.0, 0.0, 0.0)
         } else {
@@ -340,11 +344,7 @@ impl XnnTimingModel {
     /// Throughput in tasks per second when processing batches of
     /// `cfg.batch` sequences through one encoder layer (Fig. 18's
     /// throughput axis uses the first encoder as the unit of work).
-    pub fn encoder_throughput_tasks_per_s(
-        &self,
-        cfg: &BertConfig,
-        opts: OptimizationFlags,
-    ) -> f64 {
+    pub fn encoder_throughput_tasks_per_s(&self, cfg: &BertConfig, opts: OptimizationFlags) -> f64 {
         cfg.batch as f64 / self.encoder_latency_s(cfg, opts)
     }
 
@@ -520,7 +520,10 @@ mod tests {
         // Halving bandwidth hurts a lot; doubling helps only modestly
         // (Table 11: 0.63× / 1.15× / 1.19× speedups, 1.43× for infinite BW).
         assert!(half > 1.3 * base, "half {half} base {base}");
-        assert!(double < base && double > 0.72 * base, "double {double} base {base}");
+        assert!(
+            double < base && double > 0.72 * base,
+            "double {double} base {base}"
+        );
         assert!(triple <= double);
         assert!(inf_bw < double);
         assert!(inf_compute < base);

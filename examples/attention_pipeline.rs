@@ -2,48 +2,30 @@
 //! MM1 → softmax → MM2 on the RSN-XNN datapath with the intermediate score
 //! matrix travelling only over the on-chip MemC → MeshA feedback path, and
 //! compare the DDR traffic against executing the same math as two separate
-//! GEMMs with the intermediate spilled off-chip.
+//! GEMMs with the intermediate spilled off-chip.  The functional run goes
+//! through the unified evaluation layer's cycle backend.
 //!
 //! Run with: `cargo run --example attention_pipeline`
 
-use rsn::core::error::RsnError;
-use rsn::workloads::attention::multi_head_attention;
+use rsn::eval::{Backend, CycleEngineBackend, WorkloadSpec};
 use rsn::workloads::bert::BertConfig;
-use rsn::workloads::Matrix;
-use rsn::xnn::config::XnnConfig;
-use rsn::xnn::machine::XnnMachine;
-use rsn::xnn::program::{attention_program, AttentionSpec};
 
-fn main() -> Result<(), RsnError> {
+fn main() {
     let cfg = BertConfig::tiny(8, 2);
-    let xnn = XnnConfig::small();
-    let q = Matrix::random(cfg.tokens(), cfg.hidden, 1);
-    let k = Matrix::random(cfg.tokens(), cfg.hidden, 2);
-    let v = Matrix::random(cfg.tokens(), cfg.hidden, 3);
-    let reference = multi_head_attention(&cfg, &q, &k, &v);
+    let backend = CycleEngineBackend::new();
+    let report = backend
+        .evaluate(&WorkloadSpec::FunctionalAttention { cfg, seed: 1 })
+        .expect("tiny attention fits the simulator");
+    let stats = report.cycle.as_ref().expect("cycle statistics");
 
-    let mut machine = XnnMachine::new(xnn)?;
-    machine.load_ddr(1, q.clone());
-    machine.load_ddr(2, k.clone());
-    machine.load_ddr(3, v.clone());
-    machine.alloc_ddr(4, cfg.tokens(), cfg.hidden);
-    machine.set_softmax_scale(1.0 / (cfg.head_dim() as f32).sqrt());
-    let spec = AttentionSpec {
-        q: 1,
-        k: 2,
-        v: 3,
-        out: 4,
-        seq_len: cfg.seq_len,
-        batch: cfg.batch,
-        heads: cfg.heads,
-        head_dim: cfg.head_dim(),
-    };
-    let program = attention_program(&xnn, machine.handles(), &spec);
-    machine.run_program(&program)?;
-    let out = machine.ddr_matrix(4).expect("output allocated");
     println!("Pipelined attention on the RSN-XNN datapath:");
-    println!("  max |datapath - reference| = {:.2e}", out.max_abs_diff(&reference));
-    let pipelined_traffic = machine.ddr_traffic_bytes();
+    println!(
+        "  max |datapath - reference| = {:.2e}",
+        stats.max_abs_error.expect("reference comparison")
+    );
+    let pipelined_traffic = report
+        .metric("ddr_traffic_bytes")
+        .expect("traffic recorded");
     println!("  DDR traffic (pipelined, scores stay on-chip): {pipelined_traffic} bytes");
 
     // The spilled alternative: Q,K,V read + scores written and read back +
@@ -51,11 +33,14 @@ fn main() -> Result<(), RsnError> {
     let qkv = 3 * cfg.tokens() * cfg.hidden * 4;
     let scores = cfg.batch * cfg.heads * cfg.seq_len * cfg.seq_len * 4;
     let context = cfg.tokens() * cfg.hidden * 4;
-    let spilled = qkv + 2 * scores + context;
+    let spilled = (qkv + 2 * scores + context) as f64;
     println!("  DDR traffic if the scores spilled off-chip:  {spilled} bytes");
     println!(
         "  traffic saved by the dynamic pipeline: {:.0}%",
-        100.0 * (1.0 - pipelined_traffic as f64 / spilled as f64)
+        100.0 * (1.0 - pipelined_traffic / spilled)
     );
-    Ok(())
+    println!(
+        "  engine: {} scheduler steps, {} FU step calls ({:?})",
+        stats.steps, stats.fu_step_calls, stats.scheduler
+    );
 }

@@ -1,0 +1,60 @@
+//! The whole comparison in one sweep: every registered evaluation backend
+//! answers the same BERT-Large encoder-layer workload, and the functional
+//! workloads run on the cycle-level engine — the one-harness view the
+//! unified evaluation layer exists for.
+//!
+//! Run with: `cargo run --example backend_matrix`
+
+use rsn::eval::{Evaluator, WorkloadSpec};
+use rsn::workloads::bert::BertConfig;
+
+fn main() {
+    let evaluator = Evaluator::new();
+
+    // Model-level comparison: one workload, every backend that supports it.
+    let workload = WorkloadSpec::EncoderLayer {
+        cfg: BertConfig::bert_large(512, 6),
+    };
+    println!("BERT-Large 1st encoder (B=6, L=512) across all backends:");
+    println!("{:<28} {:>12} {:>16}", "backend", "latency(ms)", "tasks/s");
+    println!("{}", "-".repeat(58));
+    for (name, report) in evaluator.evaluate_supported(&workload) {
+        println!(
+            "{name:<28} {:>12.2} {:>16.1}",
+            report.latency_s.map(|l| l * 1e3).unwrap_or(f64::NAN),
+            report.throughput_tasks_per_s.unwrap_or(f64::NAN)
+        );
+    }
+    println!("(the cycle-level engine declines this size: it simulates every FP32 value)");
+
+    // Functional workloads: value-accurate execution with cycle statistics.
+    println!("\nFunctional workloads on the cycle-level engine:");
+    let functional = [
+        WorkloadSpec::FunctionalGemm {
+            m: 24,
+            k: 16,
+            n: 24,
+            seed: 7,
+        },
+        WorkloadSpec::FunctionalAttention {
+            cfg: BertConfig::tiny(8, 2),
+            seed: 9,
+        },
+        WorkloadSpec::EncoderLayer {
+            cfg: BertConfig::tiny(8, 2),
+        },
+    ];
+    for w in &functional {
+        for (name, report) in evaluator.evaluate_supported(w) {
+            if let Some(stats) = &report.cycle {
+                println!(
+                    "  {:<34} [{name}] err={:.1e}  uops={}  fu-steps={}",
+                    report.workload,
+                    stats.max_abs_error.unwrap_or(f64::NAN),
+                    stats.uops_retired,
+                    stats.fu_step_calls
+                );
+            }
+        }
+    }
+}

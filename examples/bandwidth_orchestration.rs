@@ -45,5 +45,7 @@ fn main() {
         );
     }
     println!("\nOnly the RSN-instruction ordering keeps the channel at its ideal busy time —");
-    println!("this is the fine-grained bandwidth orchestration behind Table 9's BW-optimised column.");
+    println!(
+        "this is the fine-grained bandwidth orchestration behind Table 9's BW-optimised column."
+    );
 }

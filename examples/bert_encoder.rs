@@ -1,43 +1,70 @@
 //! Run a (scaled-down) BERT encoder layer through the full RSN-XNN stream
 //! datapath and validate it against the pure-Rust reference, then report the
 //! calibrated timing model's prediction for the full-size BERT-Large
-//! encoder — the paper's headline 17.98 ms result.
+//! encoder — the paper's headline 17.98 ms result.  Both measurements run
+//! through the unified evaluation layer: the cycle-level backend executes
+//! the tiny functional configuration, the analytic and overlay-style
+//! backends model the full-size workload.
 //!
 //! Run with: `cargo run --example bert_encoder`
 
-use rsn::core::error::RsnError;
-use rsn::lib::api::EncoderHost;
-use rsn::workloads::attention::{encoder_layer_forward, EncoderWeights};
+use rsn::eval::{Backend, CycleEngineBackend, OverlayBackend, WorkloadSpec, XnnAnalyticBackend};
 use rsn::workloads::bert::BertConfig;
-use rsn::workloads::Matrix;
-use rsn::xnn::config::XnnConfig;
-use rsn::xnn::timing::{OptimizationFlags, XnnTimingModel};
 
-fn main() -> Result<(), RsnError> {
+fn main() {
     // Functional check on a tiny configuration (the simulator moves every
     // FP32 value through the stream network, so it is kept small).
-    let model_cfg = BertConfig::tiny(8, 2);
-    let x = Matrix::random(model_cfg.tokens(), model_cfg.hidden, 7);
-    let weights = EncoderWeights::random(&model_cfg, 11);
-    let mut host = EncoderHost::new(XnnConfig::small(), model_cfg)?;
-    let datapath_out = host.run_encoder_layer(&x, &weights)?;
-    let reference = encoder_layer_forward(&model_cfg, &x, &weights);
+    let cycle = CycleEngineBackend::new();
+    let tiny = cycle
+        .evaluate(&WorkloadSpec::EncoderLayer {
+            cfg: BertConfig::tiny(8, 2),
+        })
+        .expect("tiny encoder fits the simulator");
+    let stats = tiny.cycle.as_ref().expect("cycle statistics");
     println!("Functional check (tiny encoder on the simulated datapath):");
-    println!("  max |datapath - reference| = {:.2e}", datapath_out.max_abs_diff(&reference));
-    println!("  MME FLOPs executed: {}", host.machine().total_mme_flops());
-    println!("  DDR traffic: {} bytes", host.machine().ddr_traffic_bytes());
+    println!(
+        "  max |datapath - reference| = {:.2e}",
+        stats.max_abs_error.expect("reference comparison")
+    );
+    println!(
+        "  MME FLOPs executed: {}",
+        tiny.metric("mme_flops").unwrap_or(f64::NAN)
+    );
+    println!(
+        "  DDR traffic: {} bytes",
+        tiny.metric("ddr_traffic_bytes").unwrap_or(f64::NAN)
+    );
+    println!(
+        "  engine: {} scheduler steps, {} FU step calls ({:?})",
+        stats.steps, stats.fu_step_calls, stats.scheduler
+    );
 
     // Timing model for the full-size workload of Table 9.
-    let timing = XnnTimingModel::new();
-    let full = BertConfig::bert_large(512, 6);
-    let optimised = timing.encoder_latency_s(&full, OptimizationFlags::all());
-    let overlay_style = timing.encoder_latency_s(&full, OptimizationFlags::none());
+    let full = WorkloadSpec::EncoderLayer {
+        cfg: BertConfig::bert_large(512, 6),
+    };
+    let analytic = XnnAnalyticBackend::new()
+        .evaluate(&full)
+        .expect("analytic model");
+    let overlay = OverlayBackend::new()
+        .evaluate(&full)
+        .expect("overlay model");
+    let optimised = analytic.latency_s.expect("latency");
+    let overlay_style = overlay.latency_s.expect("latency");
     println!("\nCalibrated timing model, BERT-Large 1st encoder (B=6, L=512):");
-    for seg in timing.encoder_segment_timings(&full, OptimizationFlags::all()) {
+    for seg in &analytic.segments {
         println!("  {:<32} {:>7.3} ms", seg.name, seg.latency_s * 1e3);
     }
-    println!("  total (all optimisations):   {:>7.2} ms  (paper: 17.98 ms)", optimised * 1e3);
-    println!("  sequential overlay style:    {:>7.2} ms", overlay_style * 1e3);
-    println!("  speedup:                     {:>7.2}x  (paper: 2.47x)", overlay_style / optimised);
-    Ok(())
+    println!(
+        "  total (all optimisations):   {:>7.2} ms  (paper: 17.98 ms)",
+        optimised * 1e3
+    );
+    println!(
+        "  sequential overlay style:    {:>7.2} ms",
+        overlay_style * 1e3
+    );
+    println!(
+        "  speedup:                     {:>7.2}x  (paper: 2.47x)",
+        overlay_style / optimised
+    );
 }

@@ -17,7 +17,11 @@ fn rsn_beats_charm_on_every_table7_model() {
         let gain = charm_s / rsn_s;
         // Paper gains: 3.2x (BERT), 2.4x (ViT), 2.5x (NCF), 2.8x (MLP).
         assert!(gain > 1.5, "{}: gain only {gain:.2}x", kind.name());
-        assert!(gain < 8.0, "{}: gain implausibly large {gain:.2}x", kind.name());
+        assert!(
+            gain < 8.0,
+            "{}: gain implausibly large {gain:.2}x",
+            kind.name()
+        );
     }
     let bert_gain = charm[0].1 / rsn[0].1;
     assert!(bert_gain > 2.0, "BERT gain {bert_gain:.2}");
@@ -28,8 +32,8 @@ fn fig18_latency_advantage_at_equal_batch() {
     let rsn = XnnTimingModel::new();
     let charm = CharmModel::new();
     let cfg = BertConfig::bert_large(512, 6);
-    let ratio = charm.encoder_latency_s(&cfg)
-        / rsn.encoder_latency_s(&cfg, OptimizationFlags::all());
+    let ratio =
+        charm.encoder_latency_s(&cfg) / rsn.encoder_latency_s(&cfg, OptimizationFlags::all());
     // Paper: 6.1x at batch 6.
     assert!(ratio > 3.5 && ratio < 9.0, "ratio {ratio:.2}");
 }
@@ -38,10 +42,8 @@ fn fig18_latency_advantage_at_equal_batch() {
 fn fig18_throughput_advantage_at_saturation() {
     let rsn = XnnTimingModel::new();
     let charm = CharmModel::new();
-    let rsn_peak = rsn.encoder_throughput_tasks_per_s(
-        &BertConfig::bert_large(512, 6),
-        OptimizationFlags::all(),
-    );
+    let rsn_peak = rsn
+        .encoder_throughput_tasks_per_s(&BertConfig::bert_large(512, 6), OptimizationFlags::all());
     let charm_peak = charm.encoder_throughput_tasks_per_s(&BertConfig::bert_large(512, 24));
     let ratio = rsn_peak / charm_peak;
     // Paper: 3.25x better peak throughput.

@@ -1,29 +1,48 @@
-//! Property-based tests of the RSN instruction set: packet headers and
+//! Property-style tests of the RSN instruction set: packet headers and
 //! packet streams must round-trip through their byte encoding, and the
 //! window/reuse compression must always expand back to the original uOP
 //! sequence.
+//!
+//! The inputs are swept deterministically (the build environment has no
+//! crates.io access, so `proptest` is replaced by explicit seeded loops with
+//! the same coverage intent).
 
-use proptest::prelude::*;
 use rsn::core::fus::{MapFu, MemSinkFu, MemSourceFu};
 use rsn::core::isa::{decode_packets, encode_packets, OpcodeRegistry, PacketHeader};
 use rsn::core::network::DatapathBuilder;
 use rsn::core::program::Program;
 use rsn::core::uop::Uop;
 
-proptest! {
-    #[test]
-    fn header_roundtrips(opcode in 0u8..16, mask in any::<u8>(), last in any::<bool>(),
-                         window in 0u8..128, reuse in 0u16..4096) {
-        let header = PacketHeader { opcode, mask, last, window, reuse };
-        let packed = header.pack().unwrap();
-        prop_assert_eq!(PacketHeader::unpack(packed), header);
-    }
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 32
+}
 
-    #[test]
-    fn compression_expands_to_the_original_uop_count(
-        reps in 1usize..40,
-        count in 1usize..20,
-    ) {
+#[test]
+fn header_roundtrips() {
+    let mut state = 0xC0FF_EE00u64;
+    for _ in 0..256 {
+        let header = PacketHeader {
+            opcode: (lcg(&mut state) % 16) as u8,
+            mask: (lcg(&mut state) & 0xFF) as u8,
+            last: lcg(&mut state).is_multiple_of(2),
+            window: (lcg(&mut state) % 128) as u8,
+            reuse: (lcg(&mut state) % 4096) as u16,
+        };
+        let packed = header.pack().unwrap();
+        assert_eq!(PacketHeader::unpack(packed), header);
+    }
+}
+
+#[test]
+fn compression_expands_to_the_original_uop_count() {
+    let mut state = 0xDEC0_DE01u64;
+    for _ in 0..32 {
+        let reps = 1 + (lcg(&mut state) % 39) as usize;
+        let count = 1 + (lcg(&mut state) % 19) as usize;
+
         let mut b = DatapathBuilder::new();
         let s1 = b.add_stream("s1", 4);
         let s2 = b.add_stream("s2", 4);
@@ -38,15 +57,15 @@ proptest! {
         }
         let packets = p.compress(&dp).unwrap();
         let expanded: usize = packets.iter().map(|pk| pk.expanded_uop_count()).sum();
-        prop_assert_eq!(expanded, p.uop_count());
+        assert_eq!(expanded, p.uop_count(), "reps={reps} count={count}");
         // Packets must never be larger than the uOPs they encode by more
         // than the per-packet header overhead.
         let rsn_bytes: usize = packets.iter().map(|pk| pk.encoded_len()).sum();
-        prop_assert!(rsn_bytes <= p.uop_bytes() + 4 * packets.len());
+        assert!(rsn_bytes <= p.uop_bytes() + 4 * packets.len());
 
         let mut registry = OpcodeRegistry::new();
         let bytes = encode_packets(&packets, &mut registry).unwrap();
         let decoded = decode_packets(bytes, &registry).unwrap();
-        prop_assert_eq!(decoded, packets);
+        assert_eq!(decoded, packets, "reps={reps} count={count}");
     }
 }
