@@ -1,0 +1,186 @@
+//! Benchmark of the batched evaluation service (`rsn-serve`): end-to-end
+//! throughput of mixed-scenario request streams at micro-batch sizes 1, 8
+//! and 64, plus a criterion measurement of the single-request round trip.
+//!
+//! After the timed runs the harness writes `BENCH_serve.json` (repo root
+//! when run via `cargo bench`): reports/s per batch size for a
+//! cache-hitting mixed workload, so future serving-path changes have a
+//! recorded trajectory to beat.  The document is emitted through the
+//! service's own hand-rolled JSON layer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rsn_eval::{CharmBackend, Evaluator, RooflineBackend, WorkloadSpec, XnnAnalyticBackend};
+use rsn_serve::json::JsonValue;
+use rsn_serve::{BackendSelector, EvalService, Priority, ResponseHandle, ServiceConfig};
+use rsn_workloads::bert::BertConfig;
+use rsn_workloads::models::ModelKind;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The mixed scenario pool: encoder layers across batch sizes, full models,
+/// square GEMMs and zoo models — 16 distinct specs, every one supported by
+/// every bench backend, so after warm-up a long request stream is served
+/// entirely from the report cache (the regime the cache exists for; errors
+/// are deliberately not cached, so unsupported combinations would re-run).
+fn scenario_pool() -> Vec<WorkloadSpec> {
+    let mut pool = Vec::new();
+    for batch in [1usize, 2, 4, 6, 8, 12] {
+        pool.push(WorkloadSpec::EncoderLayer {
+            cfg: BertConfig::bert_large(512, batch),
+        });
+    }
+    for batch in [1usize, 4, 8] {
+        pool.push(WorkloadSpec::FullModel {
+            cfg: BertConfig::bert_large(384, batch),
+        });
+    }
+    for n in [512usize, 1024, 2048, 4096] {
+        pool.push(WorkloadSpec::SquareGemm { n });
+    }
+    for kind in [ModelKind::Bert, ModelKind::Vit, ModelKind::Ncf] {
+        pool.push(WorkloadSpec::ZooModel { kind });
+    }
+    pool
+}
+
+fn backends() -> Evaluator {
+    Evaluator::empty()
+        .with_backend(Box::new(XnnAnalyticBackend::new()))
+        .with_backend(Box::new(CharmBackend::new()))
+        .with_backend(Box::new(RooflineBackend::new()))
+}
+
+/// One throughput measurement: `requests` mixed-scenario specs streamed
+/// from `producers` threads through a service batching at `batch`, with the
+/// stream arriving in coalesced bursts of the same size (`submit_batch`).
+/// Returns `(wall seconds, reports delivered, stats snapshot)`.
+fn stream_throughput(
+    batch: usize,
+    requests: usize,
+    producers: usize,
+) -> (f64, u64, rsn_serve::ServiceStats) {
+    let service = Arc::new(EvalService::with_config(
+        backends(),
+        ServiceConfig {
+            max_batch: batch,
+            batch_deadline: Duration::from_micros(200),
+            workers_per_backend: 2,
+        },
+    ));
+    let pool = Arc::new(scenario_pool());
+    // Warm the report cache so the timed region measures the serving path
+    // (batching, dedup, response delivery), not the 48 one-off backend
+    // evaluations that every configuration shares.
+    service.evaluate_grid(&pool);
+    let start = Instant::now();
+    let mut joins = Vec::new();
+    for producer in 0..producers {
+        let service = Arc::clone(&service);
+        let pool = Arc::clone(&pool);
+        joins.push(std::thread::spawn(move || {
+            let share = requests / producers;
+            // Open-loop: submit the whole share as bursts of `batch` specs,
+            // then drain the responses.
+            let handles: Vec<ResponseHandle> = (0..share.div_ceil(batch))
+                .map(|burst| {
+                    let specs: Vec<WorkloadSpec> = (0..batch.min(share - burst * batch))
+                        .map(|i| pool[(producer + (burst * batch + i) * 7) % pool.len()].clone())
+                        .collect();
+                    service.submit_batch(specs, BackendSelector::All, Priority::Normal)
+                })
+                .collect();
+            let mut reports = 0u64;
+            for handle in handles {
+                reports += handle.wait().results.len() as u64;
+            }
+            reports
+        }));
+    }
+    let reports: u64 = joins.into_iter().map(|j| j.join().expect("producer")).sum();
+    let wall = start.elapsed().as_secs_f64();
+    (wall, reports, service.stats())
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    // max_batch 1: a lone request never waits out the batch deadline, so
+    // this measures the pure submit → cache hit → respond overhead.
+    let service = EvalService::with_config(backends(), ServiceConfig::with_max_batch(1));
+    // Warm the cache so the measured path is the serving overhead itself.
+    let spec = WorkloadSpec::SquareGemm { n: 1024 };
+    service.evaluate(&spec);
+    c.bench_function("serve_round_trip_cached_request", |b| {
+        b.iter(|| black_box(service.evaluate(&spec).len()))
+    });
+}
+
+/// Emits the serving-throughput trajectory file.
+fn emit_bench_json() {
+    let requests = 8192usize;
+    let producers = 4usize;
+    let batch_sizes = [1usize, 8, 64];
+    let mut sections: Vec<(String, JsonValue)> = vec![
+        (
+            "benchmark".to_string(),
+            JsonValue::Str("serve_throughput".to_string()),
+        ),
+        (
+            "workload".to_string(),
+            JsonValue::Str(format!(
+                "{requests} cache-hitting mixed-scenario specs ({} distinct, {producers} producers) \
+                 streamed in bursts of the batch size across rsn-xnn + charm + roofline-bound",
+                scenario_pool().len()
+            )),
+        ),
+        ("requests".to_string(), JsonValue::Int(requests as u64)),
+    ];
+    let mut per_batch = Vec::new();
+    for &max_batch in &batch_sizes {
+        // Median of three runs: stream throughput is scheduler-sensitive.
+        let mut runs: Vec<(f64, u64, rsn_serve::ServiceStats)> = (0..3)
+            .map(|_| stream_throughput(max_batch, requests, producers))
+            .collect();
+        runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let (wall, reports, stats) = runs.swap_remove(1);
+        let reports_per_s = reports as f64 / wall;
+        println!(
+            "serve stream: max_batch={max_batch:<3} {reports_per_s:>12.0} reports/s  \
+             (mean batch {:.1}, dedup {:.3})",
+            stats.mean_batch_size(),
+            stats.dedup_ratio()
+        );
+        per_batch.push(reports_per_s);
+        sections.push((
+            format!("batch_{max_batch}"),
+            JsonValue::obj([
+                ("wall_seconds", JsonValue::Num(wall)),
+                ("reports", JsonValue::Int(reports)),
+                ("reports_per_s", JsonValue::Num(reports_per_s)),
+                ("mean_batch_size", JsonValue::Num(stats.mean_batch_size())),
+                ("dedup_ratio", JsonValue::Num(stats.dedup_ratio())),
+                ("evaluations", JsonValue::Int(stats.evaluations)),
+            ]),
+        ));
+    }
+    sections.push((
+        "batch64_vs_batch1".to_string(),
+        JsonValue::Num(per_batch[2] / per_batch[0]),
+    ));
+    let json = JsonValue::Obj(sections).to_pretty();
+    // Anchor to the workspace root regardless of the invocation CWD.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn bench_all(c: &mut Criterion) {
+    bench_round_trip(c);
+    emit_bench_json();
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

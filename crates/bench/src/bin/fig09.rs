@@ -1,43 +1,9 @@
 //! Regenerates Fig. 9: RSN instruction bytes vs expanded uOP bytes per FU
 //! type, for a generated GEMM-heavy program on the RSN-XNN datapath —
 //! obtained through the unified evaluation layer's instruction-footprint
-//! workload.
-
-use rsn_bench::print_header;
-use rsn_eval::{Backend, CycleEngineBackend, WorkloadSpec};
+//! workload (`rsn_bench::tables::fig09_text`, snapshot-pinned by the golden
+//! tests).
 
 fn main() {
-    // A BERT-like projection layer scaled to the functional simulator's tile
-    // size: the instruction-count *pattern* per FU type is what Fig. 9 shows.
-    let (m, k, n) = (384, 256, 384);
-    let backend = CycleEngineBackend::new();
-    let report = backend
-        .evaluate(&WorkloadSpec::InstructionFootprint { m, k, n })
-        .expect("footprint analysis");
-
-    print_header(
-        "Fig. 9 — RSN instruction footprint vs expanded uOPs per FU type",
-        "FU type   packets   RSN bytes   uOPs    uOP bytes   compression",
-    );
-    for row in &report.breakdown {
-        println!(
-            "{:<9} {:>6}    {:>8}   {:>6}   {:>8}     {:>5.1}x",
-            row.name,
-            row.value("rsn_packets").unwrap_or(f64::NAN),
-            row.value("rsn_bytes").unwrap_or(f64::NAN),
-            row.value("expanded_uops").unwrap_or(f64::NAN),
-            row.value("uop_bytes").unwrap_or(f64::NAN),
-            row.value("compression").unwrap_or(f64::NAN)
-        );
-    }
-    println!(
-        "\nOverall compression: {:.1}x; compute per RSN instruction byte: {:.2} KFLOP/byte",
-        report.metric("overall_compression").unwrap_or(f64::NAN),
-        report
-            .metric("flops_per_instruction_byte")
-            .unwrap_or(f64::NAN)
-            / 1e3
-    );
-    println!("Paper: off-chip FUs (DDR/LPDDR) compress 2-4.2x, on-chip streaming FUs 6.8-22.7x;");
-    println!("       1685 RSN instructions drive the PL side of one BERT-Large encoder at 1.6 GFLOP/byte.");
+    print!("{}", rsn_bench::tables::fig09_text());
 }

@@ -1,99 +1,9 @@
 //! Regenerates Table 10: BERT-Large (sequence length 384) latency and
 //! energy-efficiency comparison against the T4, V100, A100 and L4 GPUs —
-//! every device and the VCK190 evaluated through the unified evaluation
-//! layer.
-
-use rsn_bench::{ms, print_header};
-use rsn_eval::{Evaluator, GpuBackend, WorkloadSpec, XnnAnalyticBackend};
-use rsn_hw::gpu::GpuModel;
-use rsn_workloads::bert::BertConfig;
-
-const GPUS: [GpuModel; 5] = [
-    GpuModel::T4,
-    GpuModel::V100,
-    GpuModel::A100Fp32,
-    GpuModel::A100Fp16,
-    GpuModel::L4,
-];
+//! every device and the VCK190 evaluated through the batched evaluation
+//! service (`rsn_bench::tables::table10_text`, snapshot-pinned by the
+//! golden tests).
 
 fn main() {
-    let mut evaluator = Evaluator::empty();
-    for model in GPUS {
-        evaluator.register(Box::new(GpuBackend::new(model)));
-    }
-    evaluator.register(Box::new(XnnAnalyticBackend::new()));
-
-    let batches = [1usize, 2, 4, 8];
-    let workloads: Vec<WorkloadSpec> = batches
-        .iter()
-        .map(|&b| WorkloadSpec::FullModel {
-            cfg: BertConfig::bert_large(384, b),
-        })
-        .collect();
-    let grid = evaluator.evaluate_grid(&workloads);
-    // Grid rows follow registration order: the GPUs, then the VCK190 model.
-    let vck_row = GPUS.len();
-    let a100_row = GPUS
-        .iter()
-        .position(|&m| m == GpuModel::A100Fp32)
-        .expect("A100 FP32 registered");
-
-    print_header(
-        "Table 10 — BERT-Large latency (ms) by batch size, sequence length 384",
-        "batch   T4(pub)  V100(pub)  A100(pub)  A100-FP16(pub)  L4(pub)  VCK190(model)  VCK190(paper)",
-    );
-    let paper_vck = [95.0, 122.0, 220.0, 444.0];
-    for (i, (batch, vck_paper)) in batches.iter().zip(paper_vck).enumerate() {
-        let pubms = |g: usize| {
-            grid[g][i]
-                .as_ref()
-                .expect("gpu model")
-                .metric("published_latency_s")
-                .map(|s| format!("{:>7.0}", s * 1e3))
-                .unwrap_or_else(|| "    n/a".to_string())
-        };
-        let vck = grid[vck_row][i]
-            .as_ref()
-            .expect("vck model")
-            .latency_s
-            .expect("latency");
-        println!(
-            "{batch:>4}   {}   {}    {}       {}      {}      {:>8}        {vck_paper:>6.0}",
-            pubms(0),
-            pubms(1),
-            pubms(2),
-            pubms(3),
-            pubms(4),
-            ms(vck)
-        );
-    }
-
-    print_header(
-        "Table 10 — energy efficiency at batch 8 (seq/J)",
-        "device        operating seq/J   dynamic seq/J",
-    );
-    // Batch 8 is the last workload of the grid.
-    let b8 = batches.len() - 1;
-    for (g, _) in GPUS.iter().enumerate() {
-        let r = grid[g][b8].as_ref().expect("gpu model");
-        println!(
-            "{:<13} {:>10.2}        {:>10.2}",
-            r.backend.trim_start_matches("gpu "),
-            r.metric("operating_seq_per_j").unwrap_or(f64::NAN),
-            r.metric("dynamic_seq_per_j").unwrap_or(f64::NAN)
-        );
-    }
-    let vck = grid[vck_row][b8].as_ref().expect("vck model");
-    let vck_operating = vck.metric("operating_seq_per_j").unwrap_or(f64::NAN);
-    println!(
-        "{:<13} {:>10.2}        {:>10.2}   (paper: 0.40 / 0.99)",
-        "VCK190",
-        vck_operating,
-        vck.metric("dynamic_seq_per_j").unwrap_or(f64::NAN)
-    );
-    let a100 = grid[a100_row][b8].as_ref().expect("a100 model");
-    println!(
-        "\nVCK190 vs A100 (FP32) operating-efficiency ratio: {:.1}x (paper 2.1x)",
-        vck_operating / a100.metric("operating_seq_per_j").unwrap_or(f64::NAN)
-    );
+    print!("{}", rsn_bench::tables::table10_text());
 }

@@ -2,59 +2,9 @@
 //! types for the BERT-Large attention layer (batch 6, sequence length 512).
 //!
 //! The four mapping analyses run as one workload grid through the RSN-XNN
-//! analytic backend of the unified evaluation layer.
-
-use rsn_bench::{ms, print_header};
-use rsn_eval::{evaluate_grid, Backend, WorkloadSpec, XnnAnalyticBackend};
-use rsn_lib::mapping::MappingType;
-use rsn_workloads::bert::BertConfig;
+//! analytic backend (`rsn_bench::tables::table3_text`, snapshot-pinned by
+//! the golden tests).
 
 fn main() {
-    let cfg = BertConfig::bert_large(512, 6);
-    let backend = XnnAnalyticBackend::new();
-    let workloads: Vec<WorkloadSpec> = MappingType::all()
-        .iter()
-        .map(|&mapping| WorkloadSpec::AttentionMapping { cfg, mapping })
-        .collect();
-    let reports = evaluate_grid(&backend, &workloads);
-
-    print_header(
-        "Table 3 — mapping types for the BERT-Large attention layer",
-        "type  used-AIE  mem-bound(ms)  compute-bound(ms)  final(ms)  paper-final(ms)",
-    );
-    let paper = [2.43, 10.9, 10.9, 2.24];
-    let mut best: Option<(MappingType, f64)> = None;
-    for ((mapping, report), paper_ms) in MappingType::all()
-        .iter()
-        .zip(reports.iter().map(|r| r.as_ref().expect("analytic model")))
-        .zip(paper)
-    {
-        let latency = report.latency_s.expect("latency modelled");
-        println!(
-            "{}     {:>4.0}%     {:>8}       {:>8}          {:>8}   {:>8.2}",
-            mapping.letter(),
-            report.metric("aie_utilization").unwrap_or(0.0) * 100.0,
-            ms(report.metric("memory_time_s").unwrap_or(f64::NAN)),
-            ms(report.metric("compute_time_s").unwrap_or(f64::NAN)),
-            ms(latency),
-            paper_ms
-        );
-        // Prefer the pipeline mapping on ties, matching the paper's choice.
-        let better = match best {
-            None => true,
-            Some((_, best_latency)) => {
-                latency < best_latency
-                    || (latency == best_latency && *mapping == MappingType::Pipeline)
-            }
-        };
-        if better {
-            best = Some((*mapping, latency));
-        }
-    }
-    let (best, _) = best.expect("four rows");
-    println!(
-        "\nBest mapping: {best:?} (type {}) — the paper selects the pipeline mapping (D) for attention. [backend: {}]",
-        best.letter(),
-        backend.name()
-    );
+    print!("{}", rsn_bench::tables::table3_text());
 }

@@ -3,71 +3,10 @@
 //! ablation — no optimisation, bandwidth interleaving, attention
 //! pipelining, prolog/epilog overlap.
 //!
-//! Each ablation column is its own backend variant in the unified
-//! evaluation layer; all three evaluate the same workload.
-
-use rsn_bench::{ms, print_header, times};
-use rsn_eval::{Evaluator, WorkloadSpec, XnnAnalyticBackend};
-use rsn_workloads::bert::BertConfig;
-use rsn_xnn::timing::OptimizationFlags;
+//! Each ablation column is its own backend variant, and all three answer
+//! the same workload through the batched evaluation service
+//! (`rsn_bench::tables::table9_text`, snapshot-pinned by the golden tests).
 
 fn main() {
-    let cfg = BertConfig::bert_large(512, 6);
-    let workload = WorkloadSpec::EncoderLayer { cfg };
-    let evaluator = Evaluator::empty()
-        .with_backend(Box::new(XnnAnalyticBackend::with_opts(
-            "no-opt",
-            OptimizationFlags::none(),
-        )))
-        .with_backend(Box::new(XnnAnalyticBackend::with_opts(
-            "bw-only",
-            OptimizationFlags::bandwidth_only(),
-        )))
-        .with_backend(Box::new(XnnAnalyticBackend::new()));
-    let reports = evaluator.evaluate(&workload);
-    let no_opt = reports[0].as_ref().expect("no-opt model");
-    let bw_opt = reports[1].as_ref().expect("bw-only model");
-    let fully = reports[2].as_ref().expect("fully optimised model");
-
-    print_header(
-        "Table 9 — per-segment latency (ms), BERT-Large 1st encoder, B=6, L=512",
-        "segment                         no-opt    bw-opt    paper(no-opt)  paper(bw-opt)",
-    );
-    let paper_no_opt = [1.667, 1.667, 1.667, 10.55, 11.75, 2.913, 8.492, 5.764];
-    let paper_bw = [1.276, 1.276, 1.276, f64::NAN, f64::NAN, 2.035, 5.501, 4.811];
-    for (i, (a, b)) in no_opt
-        .segments
-        .iter()
-        .zip(bw_opt.segments.iter())
-        .enumerate()
-    {
-        println!(
-            "{:<30} {:>8}  {:>8}      {:>8.3}       {:>8.3}",
-            a.name,
-            ms(a.latency_s),
-            ms(b.latency_s),
-            paper_no_opt.get(i).copied().unwrap_or(f64::NAN),
-            paper_bw.get(i).copied().unwrap_or(f64::NAN)
-        );
-    }
-
-    let attn_row = fully
-        .segments
-        .iter()
-        .find(|t| t.name.contains("pipelined"))
-        .expect("pipelined attention row");
-    let fully_latency = fully.latency_s.expect("latency modelled");
-    let overlay_style = no_opt.latency_s.expect("latency modelled");
-    println!(
-        "\nPipelined attention MM1+MM2: {} ms (paper 2.618 ms)",
-        ms(attn_row.latency_s)
-    );
-    println!(
-        "Final encoder latency (all optimisations): {} ms (paper 17.98 ms)",
-        ms(fully_latency)
-    );
-    println!(
-        "Speedup over sequential overlay style: {} (paper 2.47x)",
-        times(overlay_style / fully_latency)
-    );
+    print!("{}", rsn_bench::tables::table9_text());
 }

@@ -9,6 +9,8 @@
 //! binary prints the paper's reference values next to the reproduction's
 //! modelled/measured values so the shape comparison is immediate.
 
+pub mod tables;
+
 /// Prints a table header followed by a separator line sized to it.
 pub fn print_header(title: &str, columns: &str) {
     println!("\n=== {title} ===");

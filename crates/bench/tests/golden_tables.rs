@@ -1,0 +1,79 @@
+//! Golden-file tests for the table binaries.
+//!
+//! Each test renders a table through the same library function its binary
+//! prints (`rsn_bench::tables`, no subprocess) and compares the bytes
+//! against a checked-in snapshot under `tests/golden/`.  The snapshots pin
+//! the exact table text across refactors — in particular, rewiring `table9`
+//! and `table10` through the batched evaluation service must not change a
+//! byte.
+//!
+//! To regenerate after an intentional model change:
+//!
+//! ```sh
+//! GOLDEN_UPDATE=1 cargo test -p rsn-bench --test golden_tables
+//! ```
+//!
+//! On mismatch the test writes the rendered text next to the snapshot as
+//! `<name>.actual.txt` so CI can upload both for diffing.
+
+use rsn_bench::tables;
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("GOLDEN_UPDATE").as_deref() == Ok("1") {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        fs::write(&path, actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with \
+             GOLDEN_UPDATE=1 cargo test -p rsn-bench --test golden_tables",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let actual_path = path.with_extension("actual.txt");
+        fs::write(&actual_path, actual).expect("write actual text");
+        let first_diff = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map_or("line count".to_string(), |i| format!("line {}", i + 1));
+        panic!(
+            "{name} table text differs from {} (first difference: {first_diff}); \
+             rendered text written to {}; if the change is intentional, regenerate \
+             with GOLDEN_UPDATE=1 cargo test -p rsn-bench --test golden_tables",
+            path.display(),
+            actual_path.display()
+        );
+    }
+}
+
+#[test]
+fn golden_table3() {
+    check_golden("table3", &tables::table3_text());
+}
+
+#[test]
+fn golden_table9() {
+    check_golden("table9", &tables::table9_text());
+}
+
+#[test]
+fn golden_table10() {
+    check_golden("table10", &tables::table10_text());
+}
+
+#[test]
+fn golden_fig09() {
+    check_golden("fig09", &tables::fig09_text());
+}

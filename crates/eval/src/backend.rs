@@ -30,6 +30,17 @@ pub enum EvalError {
     /// The underlying engine failed (deadlock, step limit, malformed
     /// datapath).
     Engine(RsnError),
+    /// The backend panicked while evaluating.  Produced by supervising
+    /// layers (the serving worker pool catches panics so one poisoned
+    /// backend fails only its own requests instead of killing a worker).
+    Panicked {
+        /// Backend name.
+        backend: String,
+        /// Workload label.
+        workload: String,
+        /// Panic payload, when it was a string.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for EvalError {
@@ -50,6 +61,14 @@ impl std::fmt::Display for EvalError {
                 "workload `{workload}` exceeds backend `{backend}` bound: {limit}"
             ),
             EvalError::Engine(e) => write!(f, "engine error: {e}"),
+            EvalError::Panicked {
+                backend,
+                workload,
+                reason,
+            } => write!(
+                f,
+                "backend `{backend}` panicked while evaluating `{workload}`: {reason}"
+            ),
         }
     }
 }

@@ -17,16 +17,28 @@ use std::sync::Mutex;
 
 /// Runs `jobs` closures across all available cores, preserving order.
 fn run_jobs<T: Send>(jobs: Vec<Box<dyn Fn() -> T + Send + Sync + '_>>) -> Vec<T> {
-    let n = jobs.len();
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n.max(1));
+        .unwrap_or(1);
+    run_jobs_on(jobs, threads)
+}
+
+/// Runs `jobs` closures across `threads` worker threads, preserving order.
+///
+/// Results land in one pre-allocated slot per job — each slot is owned by
+/// whichever worker claimed that job index, so there is no shared result
+/// vector to contend on and no way for slot `i` to receive job `j`'s output.
+fn run_jobs_on<T: Send>(
+    jobs: Vec<Box<dyn Fn() -> T + Send + Sync + '_>>,
+    threads: usize,
+) -> Vec<T> {
+    let n = jobs.len();
+    let threads = threads.max(1).min(n.max(1));
     if threads <= 1 || n <= 1 {
         return jobs.into_iter().map(|j| j()).collect();
     }
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -35,15 +47,18 @@ fn run_jobs<T: Send>(jobs: Vec<Box<dyn Fn() -> T + Send + Sync + '_>>) -> Vec<T>
                     break;
                 }
                 let out = jobs[i]();
-                results.lock().expect("result lock")[i] = Some(out);
+                *slots[i].lock().expect("slot lock") = Some(out);
             });
         }
     });
-    results
-        .into_inner()
-        .expect("result lock")
+    slots
         .into_iter()
-        .map(|r| r.expect("every job ran"))
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("slot lock")
+                .unwrap_or_else(|| panic!("job {i} never ran"))
+        })
         .collect()
 }
 
@@ -99,6 +114,12 @@ impl Evaluator {
     /// The registered backends, in registration order.
     pub fn backends(&self) -> &[Box<dyn Backend>] {
         &self.backends
+    }
+
+    /// Consumes the evaluator, yielding its backends in registration order
+    /// (used by the serving layer to move them into long-running workers).
+    pub fn into_backends(self) -> Vec<Box<dyn Backend>> {
+        self.backends
     }
 
     /// Finds a backend by its display name.
@@ -192,6 +213,30 @@ mod tests {
         for pair in latencies.windows(2) {
             assert!(pair[1] > pair[0], "latencies not monotone: {latencies:?}");
         }
+    }
+
+    #[test]
+    fn many_jobs_on_two_threads_preserve_order() {
+        // n ≫ threads: with 2 workers racing over 64 jobs whose run times
+        // are deliberately uneven, every result must still land in its own
+        // slot.  (Regression test for the result-collection rewrite: the
+        // previous global `Mutex<Vec<Option<T>>>` funnelled every write
+        // through one lock; slot `i` must hold job `i`'s output regardless
+        // of completion order.)
+        let n = 64usize;
+        let jobs: Vec<Box<dyn Fn() -> usize + Send + Sync>> = (0..n)
+            .map(|i| {
+                let job: Box<dyn Fn() -> usize + Send + Sync> = Box::new(move || {
+                    // Stagger run times so claim order and completion order
+                    // diverge between the two workers.
+                    std::thread::sleep(std::time::Duration::from_micros(((i * 7) % 13) as u64));
+                    i
+                });
+                job
+            })
+            .collect();
+        let results = run_jobs_on(jobs, 2);
+        assert_eq!(results, (0..n).collect::<Vec<_>>());
     }
 
     #[test]

@@ -12,7 +12,13 @@ use rsn_workloads::models::ModelKind;
 use serde::{Deserialize, Serialize};
 
 /// One unit of evaluation work.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Specs are value types: `Eq` and `Hash` make them usable as cache keys
+/// (the serving layer deduplicates identical in-flight specs through a
+/// `WorkloadSpec → EvalReport` report cache).  Every field that changes the
+/// evaluation result — including the `seed` of the functional workloads —
+/// participates in equality and hashing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum WorkloadSpec {
     /// One transformer encoder layer of `cfg` (Tables 3/9, Fig. 18).
     EncoderLayer {

@@ -1,0 +1,153 @@
+//! Cache-key semantics of [`WorkloadSpec`].
+//!
+//! The serving layer deduplicates identical in-flight specs through a
+//! `WorkloadSpec → EvalReport` report cache, so `Eq`/`Hash` must agree with
+//! `PartialEq`, distinct specs must never collide in a hash map, and every
+//! result-affecting field — notably the functional workloads' seeds — must
+//! participate in the key.
+
+use rsn_eval::WorkloadSpec;
+use rsn_lib::mapping::MappingType;
+use rsn_workloads::bert::BertConfig;
+use rsn_workloads::models::ModelKind;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+fn hash_of(spec: &WorkloadSpec) -> u64 {
+    let mut h = DefaultHasher::new();
+    spec.hash(&mut h);
+    h.finish()
+}
+
+/// A corpus of pairwise-distinct specs spanning every variant, including
+/// same-variant near-misses (one field differing).
+fn distinct_specs() -> Vec<WorkloadSpec> {
+    let large = BertConfig::bert_large(512, 6);
+    let tiny = BertConfig::tiny(8, 2);
+    vec![
+        WorkloadSpec::EncoderLayer { cfg: large },
+        WorkloadSpec::EncoderLayer {
+            cfg: large.with_batch(8),
+        },
+        WorkloadSpec::EncoderLayer { cfg: tiny },
+        WorkloadSpec::FullModel { cfg: large },
+        WorkloadSpec::SquareGemm { n: 1024 },
+        WorkloadSpec::SquareGemm { n: 2048 },
+        WorkloadSpec::ZooModel {
+            kind: ModelKind::Bert,
+        },
+        WorkloadSpec::ZooModel {
+            kind: ModelKind::Vit,
+        },
+        WorkloadSpec::AttentionMapping {
+            cfg: large,
+            mapping: MappingType::Pipeline,
+        },
+        WorkloadSpec::AttentionMapping {
+            cfg: large,
+            mapping: MappingType::LayerByLayer,
+        },
+        WorkloadSpec::PowerBreakdown,
+        WorkloadSpec::DatapathProperties,
+        WorkloadSpec::InstructionFootprint {
+            m: 384,
+            k: 256,
+            n: 384,
+        },
+        WorkloadSpec::InstructionFootprint {
+            m: 384,
+            k: 256,
+            n: 385,
+        },
+        WorkloadSpec::FunctionalGemm {
+            m: 24,
+            k: 16,
+            n: 24,
+            seed: 7,
+        },
+        WorkloadSpec::FunctionalGemm {
+            m: 24,
+            k: 16,
+            n: 24,
+            seed: 8,
+        },
+        WorkloadSpec::FunctionalAttention { cfg: tiny, seed: 9 },
+        WorkloadSpec::FunctionalAttention {
+            cfg: tiny,
+            seed: 10,
+        },
+        WorkloadSpec::ScalarPipeline { elements: 300 },
+        WorkloadSpec::ScalarPipeline { elements: 301 },
+    ]
+}
+
+#[test]
+fn eq_and_hash_agree_with_partial_eq() {
+    let specs = distinct_specs();
+    for a in &specs {
+        // Reflexivity, and a clone is equal and hashes identically.
+        let c = a.clone();
+        assert_eq!(a, &c);
+        assert_eq!(hash_of(a), hash_of(&c));
+    }
+    for (i, a) in specs.iter().enumerate() {
+        for (j, b) in specs.iter().enumerate() {
+            assert_eq!(i == j, a == b, "PartialEq disagrees at ({i}, {j})");
+        }
+    }
+}
+
+#[test]
+fn distinct_specs_never_collide_in_a_cache() {
+    let specs = distinct_specs();
+    let mut cache: HashMap<WorkloadSpec, usize> = HashMap::new();
+    for (i, spec) in specs.iter().enumerate() {
+        assert_eq!(cache.insert(spec.clone(), i), None, "spec {i} collided");
+    }
+    assert_eq!(cache.len(), specs.len());
+    // Re-inserting any key overwrites its own entry, nobody else's.
+    for (i, spec) in specs.iter().enumerate() {
+        assert_eq!(cache.insert(spec.clone(), i), Some(i));
+    }
+    assert_eq!(cache.len(), specs.len());
+    // Hashes are pairwise distinct for this corpus (DefaultHasher is
+    // deterministic within a process, so equal hashes here would mean the
+    // derive ignored a field).
+    let hashes: HashSet<u64> = specs.iter().map(hash_of).collect();
+    assert_eq!(hashes.len(), specs.len(), "hash collision in spec corpus");
+}
+
+#[test]
+fn functional_seeds_are_part_of_the_key() {
+    let gemm7 = WorkloadSpec::FunctionalGemm {
+        m: 24,
+        k: 16,
+        n: 24,
+        seed: 7,
+    };
+    let gemm8 = WorkloadSpec::FunctionalGemm {
+        m: 24,
+        k: 16,
+        n: 24,
+        seed: 8,
+    };
+    assert_ne!(gemm7, gemm8);
+    assert_ne!(hash_of(&gemm7), hash_of(&gemm8));
+
+    let tiny = BertConfig::tiny(8, 2);
+    let attn9 = WorkloadSpec::FunctionalAttention { cfg: tiny, seed: 9 };
+    let attn10 = WorkloadSpec::FunctionalAttention {
+        cfg: tiny,
+        seed: 10,
+    };
+    assert_ne!(attn9, attn10);
+    assert_ne!(hash_of(&attn9), hash_of(&attn10));
+
+    // The display name deliberately omits the seed (it labels table rows);
+    // the cache must therefore key on the spec value, never on the name.
+    assert_eq!(gemm7.name(), gemm8.name());
+    let mut cache: HashSet<WorkloadSpec> = HashSet::new();
+    assert!(cache.insert(gemm7));
+    assert!(cache.insert(gemm8), "seed ignored by the cache key");
+}

@@ -1,0 +1,194 @@
+//! The keyed report cache with in-flight deduplication.
+//!
+//! Keys are `(backend shard, WorkloadSpec)` — the same spec evaluated by two
+//! backends is two cache lines.  A lookup either returns a completed result,
+//! merges the caller onto an identical evaluation that is already running,
+//! or reserves the key so exactly one worker computes it.  Evaluation is
+//! deterministic, so successful entries never expire; a deduplicated caller
+//! shares the very report every other caller of that key receives.  Failed
+//! evaluations are *not* retained (see [`ReportCache::complete`]).
+
+use rsn_eval::{EvalError, EvalReport, WorkloadSpec};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cached results are shared, not copied: a hit hands out an `Arc` clone
+/// (~one refcount bump), so serving a cached report costs the same whether
+/// the report holds two scalars or a thousand segment rows.
+pub(crate) type CachedResult = Arc<Result<EvalReport, EvalError>>;
+
+enum Entry<W> {
+    /// Scheduled but not finished; holds every caller awaiting the result
+    /// (including the one that reserved the key).
+    InFlight(Vec<W>),
+    /// Finished; served to all future lookups without re-evaluating.
+    Ready(CachedResult),
+}
+
+/// Outcome of [`ReportCache::lookup_or_reserve`].
+pub(crate) enum Lookup {
+    /// The key was already computed; here is the cached result.
+    Ready(CachedResult),
+    /// The key is being computed; the waiter was queued onto it.
+    Merged,
+    /// The key was vacant; the caller must schedule the evaluation, and the
+    /// waiter was queued to receive it.
+    Reserved,
+}
+
+/// `WorkloadSpec → EvalReport` cache, sharded by backend index, generic over
+/// the waiter bookkeeping the service attaches to in-flight keys.
+pub(crate) struct ReportCache<W> {
+    map: Mutex<HashMap<(usize, WorkloadSpec), Entry<W>>>,
+}
+
+impl<W> ReportCache<W> {
+    pub fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Opens a transaction that holds the cache lock across many lookups —
+    /// the micro-batcher dispatches a whole batch under one acquisition, so
+    /// the per-report locking cost shrinks with batch size.
+    pub fn begin(&self) -> CacheTxn<'_, W> {
+        CacheTxn {
+            map: self.map.lock().expect("cache lock"),
+        }
+    }
+
+    /// Publishes the result for a reserved key, returning the shared result
+    /// plus every waiter that merged onto it (in arrival order, the
+    /// reserver first).
+    ///
+    /// Only successful reports are retained: an error is delivered to every
+    /// caller that raced with the evaluation but the key is vacated, so a
+    /// transient failure (a panic, a resource hiccup) never poisons a
+    /// `(backend, spec)` pair for the life of the service — the next request
+    /// re-evaluates.  Deterministic errors (unsupported/too-large) are cheap
+    /// for backends to re-produce, so losing negative caching costs little.
+    pub fn complete(
+        &self,
+        backend: usize,
+        spec: &WorkloadSpec,
+        result: Result<EvalReport, EvalError>,
+    ) -> (CachedResult, Vec<W>) {
+        let result = Arc::new(result);
+        let mut map = self.map.lock().expect("cache lock");
+        let previous = if result.is_ok() {
+            map.insert((backend, spec.clone()), Entry::Ready(Arc::clone(&result)))
+        } else {
+            map.remove(&(backend, spec.clone()))
+        };
+        let waiters = match previous {
+            Some(Entry::InFlight(waiters)) => waiters,
+            _ => Vec::new(),
+        };
+        (result, waiters)
+    }
+
+    /// Number of cached keys (both in-flight and ready).
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+}
+
+/// A batch-scoped cache transaction (holds the lock until dropped).
+pub(crate) struct CacheTxn<'a, W> {
+    map: std::sync::MutexGuard<'a, HashMap<(usize, WorkloadSpec), Entry<W>>>,
+}
+
+impl<W> CacheTxn<'_, W> {
+    /// Looks up / reserves one `(backend, spec)` slot inside the
+    /// transaction.
+    pub fn lookup_or_reserve(&mut self, backend: usize, spec: &WorkloadSpec, waiter: W) -> Lookup {
+        match self.map.get_mut(&(backend, spec.clone())) {
+            Some(Entry::Ready(result)) => Lookup::Ready(Arc::clone(result)),
+            Some(Entry::InFlight(waiters)) => {
+                waiters.push(waiter);
+                Lookup::Merged
+            }
+            None => {
+                self.map
+                    .insert((backend, spec.clone()), Entry::InFlight(vec![waiter]));
+                Lookup::Reserved
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_eval::EvalReport;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::SquareGemm { n: 64 }
+    }
+
+    #[test]
+    fn reserve_merge_complete_cycle() {
+        let cache: ReportCache<u32> = ReportCache::new();
+        {
+            let mut txn = cache.begin();
+            assert!(matches!(
+                txn.lookup_or_reserve(0, &spec(), 1),
+                Lookup::Reserved
+            ));
+            assert!(matches!(
+                txn.lookup_or_reserve(0, &spec(), 2),
+                Lookup::Merged
+            ));
+            // A different backend shard is a different cache line.
+            assert!(matches!(
+                txn.lookup_or_reserve(1, &spec(), 3),
+                Lookup::Reserved
+            ));
+        }
+        let (result, waiters) = cache.complete(0, &spec(), Ok(EvalReport::new("b", "w")));
+        assert!(result.is_ok());
+        assert_eq!(waiters, vec![1, 2]);
+        let hit = |waiter| match cache.begin().lookup_or_reserve(0, &spec(), waiter) {
+            Lookup::Ready(result) => result,
+            _ => panic!("expected ready entry"),
+        };
+        let (first, second) = (hit(4), hit(5));
+        assert!(first.is_ok());
+        // Hits share the published result, they do not copy it.
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_delivered_but_not_retained() {
+        let cache: ReportCache<u32> = ReportCache::new();
+        assert!(matches!(
+            cache.begin().lookup_or_reserve(0, &spec(), 1),
+            Lookup::Reserved
+        ));
+        assert!(matches!(
+            cache.begin().lookup_or_reserve(0, &spec(), 2),
+            Lookup::Merged
+        ));
+        let (result, waiters) = cache.complete(
+            0,
+            &spec(),
+            Err(EvalError::Panicked {
+                backend: "b".to_string(),
+                workload: "w".to_string(),
+                reason: "transient".to_string(),
+            }),
+        );
+        // Racing waiters get the error...
+        assert!(result.is_err());
+        assert_eq!(waiters, vec![1, 2]);
+        // ...but the key is vacated: the next lookup re-reserves instead of
+        // serving a permanently poisoned entry.
+        assert_eq!(cache.len(), 0);
+        assert!(matches!(
+            cache.begin().lookup_or_reserve(0, &spec(), 3),
+            Lookup::Reserved
+        ));
+    }
+}

@@ -1,0 +1,63 @@
+//! Service tuning knobs.
+
+use std::time::Duration;
+
+/// Configuration of an [`EvalService`](crate::EvalService).
+///
+/// The two batching knobs bound the micro-batcher from both sides: a batch
+/// is dispatched as soon as it holds [`max_batch`](Self::max_batch) requests
+/// *or* as soon as [`batch_deadline`](Self::batch_deadline) has elapsed since
+/// its first request arrived, whichever comes first.  Small deadlines favour
+/// latency, large batches favour throughput (fewer queue and cache
+/// transactions per report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Maximum requests coalesced into one batch (size bound).
+    pub max_batch: usize,
+    /// Maximum time a batch waits for more requests (deadline bound).
+    pub batch_deadline: Duration,
+    /// Worker threads per backend shard.  Each worker owns a handle to one
+    /// backend and serves only that backend's work queue, so a slow or
+    /// poisoned backend can never stall another backend's requests.
+    pub workers_per_backend: usize,
+}
+
+impl ServiceConfig {
+    /// A configuration with the given batch size bound and the default
+    /// deadline/worker settings.
+    pub fn with_max_batch(max_batch: usize) -> Self {
+        Self {
+            max_batch: max_batch.max(1),
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            batch_deadline: Duration::from_millis(1),
+            workers_per_backend: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let cfg = ServiceConfig::default();
+        assert!(cfg.max_batch >= 1);
+        assert!(cfg.workers_per_backend >= 1);
+        assert!(cfg.batch_deadline > Duration::ZERO);
+    }
+
+    #[test]
+    fn with_max_batch_clamps_zero() {
+        assert_eq!(ServiceConfig::with_max_batch(0).max_batch, 1);
+        assert_eq!(ServiceConfig::with_max_batch(64).max_batch, 64);
+    }
+}

@@ -1,0 +1,329 @@
+//! Hand-rolled JSON emission for reports, grids and service statistics.
+//!
+//! The build environment has no crates.io access, so the workspace's `serde`
+//! is a no-op stand-in (see `crates/support/serde`) and report types cannot
+//! derive a real serialiser.  This module is the working replacement until
+//! the registry is reachable: a tiny JSON document model plus converters for
+//! [`EvalReport`], evaluation grids, and [`ServiceStats`].  Emission is
+//! deterministic — object keys keep insertion order, metric maps are
+//! `BTreeMap`-sorted, and floats print in Rust's shortest round-trip form —
+//! so emitted documents are directly diffable and snapshot-testable.
+
+use crate::stats::ServiceStats;
+use rsn_eval::{EvalError, EvalReport, WorkloadSpec};
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer (kept apart from `Num` so counters never pick up
+    /// a fractional representation).
+    Int(u64),
+    /// A float; non-finite values emit as `null` (JSON has no NaN/Inf).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An object node from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, JsonValue)>) -> Self {
+        JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// An optional float: `None` (and non-finite values) emit as `null`.
+    pub fn num_opt(value: Option<f64>) -> Self {
+        value.map_or(JsonValue::Null, JsonValue::Num)
+    }
+
+    /// Renders the document with two-space indentation and a trailing
+    /// newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => out.push_str(&i.to_string()),
+            JsonValue::Num(v) => {
+                if v.is_finite() {
+                    out.push_str(&v.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    out.push('"');
+                    out.push_str(&escape(key));
+                    out.push_str("\": ");
+                    value.write(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Escapes a string for a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Converts one report into a JSON document node.
+pub fn report_json(report: &EvalReport) -> JsonValue {
+    JsonValue::obj([
+        ("backend", JsonValue::Str(report.backend.clone())),
+        ("workload", JsonValue::Str(report.workload.clone())),
+        ("latency_s", JsonValue::num_opt(report.latency_s)),
+        (
+            "throughput_tasks_per_s",
+            JsonValue::num_opt(report.throughput_tasks_per_s),
+        ),
+        ("achieved_flops", JsonValue::num_opt(report.achieved_flops)),
+        (
+            "segments",
+            JsonValue::Arr(
+                report
+                    .segments
+                    .iter()
+                    .map(|s| {
+                        JsonValue::obj([
+                            ("name", JsonValue::Str(s.name.clone())),
+                            ("latency_s", JsonValue::Num(s.latency_s)),
+                            ("compute_s", JsonValue::Num(s.compute_s)),
+                            ("ddr_s", JsonValue::Num(s.ddr_s)),
+                            ("lpddr_s", JsonValue::Num(s.lpddr_s)),
+                            ("phase_s", JsonValue::Num(s.phase_s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "breakdown",
+            JsonValue::Arr(
+                report
+                    .breakdown
+                    .iter()
+                    .map(|row| {
+                        JsonValue::obj([
+                            ("name", JsonValue::Str(row.name.clone())),
+                            (
+                                "values",
+                                JsonValue::Obj(
+                                    row.values
+                                        .iter()
+                                        .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "cycle",
+            report.cycle.as_ref().map_or(JsonValue::Null, |c| {
+                JsonValue::obj([
+                    ("scheduler", JsonValue::Str(format!("{:?}", c.scheduler))),
+                    ("steps", JsonValue::Int(c.steps)),
+                    ("fu_step_calls", JsonValue::Int(c.fu_step_calls)),
+                    ("makespan_cycles", JsonValue::Int(c.makespan_cycles)),
+                    ("uops_retired", JsonValue::Int(c.uops_retired)),
+                    ("words_transferred", JsonValue::Int(c.words_transferred)),
+                    ("max_abs_error", JsonValue::num_opt(c.max_abs_error)),
+                ])
+            }),
+        ),
+        (
+            "metrics",
+            JsonValue::Obj(
+                report
+                    .metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Converts one evaluation result (report or error) into a node; errors emit
+/// as `{"error": "..."}` so grids stay rectangular.
+pub fn result_json(result: &Result<EvalReport, EvalError>) -> JsonValue {
+    match result {
+        Ok(report) => report_json(report),
+        Err(e) => JsonValue::obj([("error", JsonValue::Str(e.to_string()))]),
+    }
+}
+
+/// Converts an `Evaluator`/`EvalService` grid (outer index: backend, inner:
+/// workload) into a self-describing JSON document.
+pub fn grid_json(
+    backends: &[String],
+    workloads: &[WorkloadSpec],
+    grid: &[Vec<Result<EvalReport, EvalError>>],
+) -> JsonValue {
+    JsonValue::obj([
+        (
+            "backends",
+            JsonValue::Arr(backends.iter().map(|b| JsonValue::Str(b.clone())).collect()),
+        ),
+        (
+            "workloads",
+            JsonValue::Arr(workloads.iter().map(|w| JsonValue::Str(w.name())).collect()),
+        ),
+        (
+            "reports",
+            JsonValue::Arr(
+                grid.iter()
+                    .map(|row| JsonValue::Arr(row.iter().map(result_json).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Converts a stats snapshot into a JSON document node.
+pub fn stats_json(stats: &ServiceStats) -> JsonValue {
+    JsonValue::obj([
+        ("submitted", JsonValue::Int(stats.submitted)),
+        ("completed", JsonValue::Int(stats.completed)),
+        ("batches", JsonValue::Int(stats.batches)),
+        ("batched_requests", JsonValue::Int(stats.batched_requests)),
+        ("cache_hits", JsonValue::Int(stats.cache_hits)),
+        ("cache_misses", JsonValue::Int(stats.cache_misses)),
+        ("inflight_merged", JsonValue::Int(stats.inflight_merged)),
+        ("evaluations", JsonValue::Int(stats.evaluations)),
+        ("eval_errors", JsonValue::Int(stats.eval_errors)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_eval::{BreakdownRow, EvalReport};
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain ×"), "plain ×");
+    }
+
+    #[test]
+    fn floats_round_trip_and_non_finite_is_null() {
+        assert_eq!(JsonValue::Num(0.01798).to_pretty(), "0.01798\n");
+        assert_eq!(JsonValue::Num(24.0).to_pretty(), "24\n");
+        assert_eq!(JsonValue::Num(f64::NAN).to_pretty(), "null\n");
+        assert_eq!(JsonValue::num_opt(None).to_pretty(), "null\n");
+        assert_eq!(
+            JsonValue::Int(u64::MAX).to_pretty(),
+            format!("{}\n", u64::MAX)
+        );
+    }
+
+    #[test]
+    fn report_document_shape() {
+        let mut report = EvalReport::new("rsn-xnn", "encoder-layer L=512 B=6");
+        report.latency_s = Some(17.98e-3);
+        report.breakdown.push(BreakdownRow {
+            name: "MME".to_string(),
+            values: vec![("watts".to_string(), 60.8)],
+        });
+        report.metrics.insert("speedup".to_string(), 2.47);
+        let text = report_json(&report).to_pretty();
+        assert!(text.contains("\"backend\": \"rsn-xnn\""));
+        assert!(text.contains("\"latency_s\": 0.01798"));
+        assert!(text.contains("\"throughput_tasks_per_s\": null"));
+        assert!(text.contains("\"watts\": 60.8"));
+        assert!(text.contains("\"speedup\": 2.47"));
+        // Deterministic: the same report always renders the same bytes.
+        assert_eq!(text, report_json(&report).to_pretty());
+    }
+
+    #[test]
+    fn grid_document_is_rectangular_with_errors() {
+        let report = EvalReport::new("a", "w");
+        let err = EvalError::Unsupported {
+            backend: "a".to_string(),
+            workload: "w".to_string(),
+        };
+        let grid = vec![vec![Ok(report), Err(err)]];
+        let doc = grid_json(
+            &["a".to_string()],
+            &[
+                WorkloadSpec::SquareGemm { n: 1 },
+                WorkloadSpec::SquareGemm { n: 2 },
+            ],
+            &grid,
+        );
+        let text = doc.to_pretty();
+        assert!(text.contains("\"error\": \"backend `a` does not support workload `w`\""));
+        assert!(text.contains("\"workloads\""));
+    }
+}

@@ -1,0 +1,170 @@
+//! Request and response types of the evaluation service.
+
+use rsn_eval::{EvalError, EvalReport, WorkloadSpec};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Which backends a request wants answers from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendSelector {
+    /// Every registered backend, in registration order.
+    All,
+    /// The named backends, in the given order.  Unknown names fail that
+    /// entry with [`EvalError::Unsupported`] instead of failing the request.
+    Named(Vec<String>),
+}
+
+/// Scheduling class of a request.  The micro-batcher drains higher classes
+/// first; within a class requests stay first-in-first-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Served before everything else (interactive comparisons).
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Served when nothing more urgent is queued (bulk sweeps).
+    Low,
+}
+
+impl Priority {
+    /// All classes, most urgent first — the batcher's drain order.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Queue index of this class (0 = most urgent).
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// One evaluation request: *what* to evaluate, *who* should answer, and how
+/// urgently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRequest {
+    /// The workload to evaluate.
+    pub spec: WorkloadSpec,
+    /// Which backends should answer.
+    pub backends: BackendSelector,
+    /// Scheduling class.
+    pub priority: Priority,
+}
+
+impl EvalRequest {
+    /// A normal-priority request for every backend.
+    pub fn all(spec: WorkloadSpec) -> Self {
+        Self {
+            spec,
+            backends: BackendSelector::All,
+            priority: Priority::Normal,
+        }
+    }
+
+    /// A normal-priority request for the named backends.
+    pub fn named(spec: WorkloadSpec, backends: Vec<String>) -> Self {
+        Self {
+            spec,
+            backends: BackendSelector::Named(backends),
+            priority: Priority::Normal,
+        }
+    }
+
+    /// Returns the request with a different scheduling class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// The answer to one [`EvalRequest`]: one `(backend name, result)` entry per
+/// selected backend, in selection order.
+///
+/// Results are `Arc`-shared with the service's report cache: answering a
+/// cache-deduplicated request hands out the *same* report every other caller
+/// of that key received, at refcount-bump cost.  Call
+/// `Result::clone` on the dereferenced value when an owned report is needed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResponse {
+    /// Per-backend results, aligned with the request's backend selection.
+    pub results: Vec<(String, Arc<Result<EvalReport, EvalError>>)>,
+}
+
+impl EvalResponse {
+    /// The result of the named backend, if it was part of the selection.
+    pub fn result(&self, backend: &str) -> Option<&Result<EvalReport, EvalError>> {
+        self.results
+            .iter()
+            .find(|(name, _)| name == backend)
+            .map(|(_, r)| r.as_ref())
+    }
+
+    /// The successful reports, in selection order.
+    pub fn reports(&self) -> impl Iterator<Item = (&str, &EvalReport)> {
+        self.results
+            .iter()
+            .filter_map(|(name, r)| (**r).as_ref().ok().map(|r| (name.as_str(), r)))
+    }
+}
+
+/// A handle on an in-flight request; resolves to its [`EvalResponse`].
+#[derive(Debug)]
+pub struct ResponseHandle {
+    pub(crate) rx: mpsc::Receiver<EvalResponse>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the response arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service was dropped before answering — every request
+    /// accepted by a live service is answered exactly once.
+    pub fn wait(self) -> EvalResponse {
+        self.rx.recv().expect("service dropped before responding")
+    }
+
+    /// Blocks until the response arrives or `timeout` elapses.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<EvalResponse> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_eval::EvalReport;
+
+    #[test]
+    fn priority_drain_order_is_urgent_first() {
+        assert_eq!(Priority::High.index(), 0);
+        assert_eq!(Priority::Normal.index(), 1);
+        assert_eq!(Priority::Low.index(), 2);
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert!(Priority::ALL
+            .windows(2)
+            .all(|w| w[0].index() < w[1].index()));
+    }
+
+    #[test]
+    fn response_lookup_by_backend_name() {
+        let response = EvalResponse {
+            results: vec![
+                ("a".to_string(), Arc::new(Ok(EvalReport::new("a", "w")))),
+                (
+                    "b".to_string(),
+                    Arc::new(Err(EvalError::Unsupported {
+                        backend: "b".to_string(),
+                        workload: "w".to_string(),
+                    })),
+                ),
+            ],
+        };
+        assert!(response.result("a").unwrap().is_ok());
+        assert!(response.result("b").unwrap().is_err());
+        assert!(response.result("c").is_none());
+        assert_eq!(response.reports().count(), 1);
+    }
+}

@@ -1,0 +1,816 @@
+//! The service engine: a deadline/size-bounded micro-batcher in front of
+//! per-backend sharded worker pools.
+//!
+//! ```text
+//! submit() ──► priority queues ──► batcher thread ──► report cache
+//!                                                      │ hit: answer now
+//!                                                      │ in-flight: merge
+//!                                                      ▼ miss: schedule
+//!                                      per-backend work queues
+//!                                  ┌────────┴─────────┐
+//!                              workers (backend 0) ... workers (backend N)
+//! ```
+//!
+//! Each worker thread owns a handle to exactly one backend and serves only
+//! that backend's queue, so backends are isolated shards: a slow or
+//! panicking backend delays or fails only requests that selected it.  This
+//! replaces the per-call `thread::scope` fan-out of
+//! [`Evaluator::evaluate_grid`] on the serving path with long-running
+//! threads that amortise across every batch.
+
+use crate::cache::{CachedResult, Lookup, ReportCache};
+use crate::config::ServiceConfig;
+use crate::request::{BackendSelector, EvalRequest, EvalResponse, Priority, ResponseHandle};
+use crate::stats::{ServiceStats, StatsCounters};
+use rsn_eval::{Backend, EvalError, EvalReport, Evaluator, WorkloadSpec};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Per-backend result slot of one request (the result is `Arc`-shared with
+/// the report cache, so filling a slot never deep-copies a report).
+type SlotResult = (String, CachedResult);
+
+/// Shared completion state of one accepted request.
+struct RequestState {
+    /// One slot per selected backend, in selection order.
+    slots: Mutex<Vec<Option<SlotResult>>>,
+    /// Unfilled slots; the request responds when this reaches zero.
+    remaining: AtomicUsize,
+    /// Response channel, consumed by whichever fill completes the request.
+    tx: Mutex<Option<mpsc::Sender<EvalResponse>>>,
+}
+
+/// A queued request slot awaiting one backend's report.
+struct Waiter {
+    state: Arc<RequestState>,
+    slot: usize,
+}
+
+/// A request after backend resolution, parked in the priority queues.
+struct QueuedItem {
+    spec: WorkloadSpec,
+    /// `(slot index, backend shard)` pairs still needing evaluation.
+    targets: Vec<(usize, usize)>,
+    state: Arc<RequestState>,
+}
+
+/// One unit of backend work produced by a cache miss.
+struct WorkTask {
+    spec: WorkloadSpec,
+    backend: usize,
+}
+
+/// The priority-ordered submission queues.
+#[derive(Default)]
+struct PendingQueues {
+    queues: [VecDeque<QueuedItem>; 3],
+    /// Set by burst submissions (`submit_batch`): the client already
+    /// coalesced its specs, so once the queue drains the batcher dispatches
+    /// without waiting out the batch deadline for stragglers.  Streamed
+    /// single submits leave this unset and coalesce under the deadline.
+    flush: bool,
+    shutdown: bool,
+}
+
+impl PendingQueues {
+    fn len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Pops the most urgent queued request (FIFO within a class).
+    fn pop(&mut self) -> Option<QueuedItem> {
+        self.queues.iter_mut().find_map(VecDeque::pop_front)
+    }
+}
+
+/// State shared between the front end, the batcher and every worker.
+struct ServiceInner {
+    config: ServiceConfig,
+    backends: Vec<Arc<dyn Backend>>,
+    names: Vec<String>,
+    pending: Mutex<PendingQueues>,
+    pending_cv: Condvar,
+    cache: ReportCache<Waiter>,
+    counters: StatsCounters,
+}
+
+/// A batched, cached, sharded evaluation service over an
+/// [`Evaluator`]'s backends.
+///
+/// See the [crate docs](crate) for the full request lifecycle; in short,
+/// [`submit`](Self::submit) coalesces requests into micro-batches,
+/// deduplicates identical `(backend, spec)` work through the report cache,
+/// and shards fresh evaluations across per-backend worker pools.  The
+/// synchronous [`evaluate_grid`](Self::evaluate_grid) wrapper makes the
+/// service a drop-in replacement for `Evaluator::evaluate_grid` in the table
+/// binaries.
+pub struct EvalService {
+    inner: Arc<ServiceInner>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EvalService {
+    /// A service over the evaluator's backends with the default
+    /// [`ServiceConfig`].
+    pub fn new(evaluator: Evaluator) -> Self {
+        Self::with_config(evaluator, ServiceConfig::default())
+    }
+
+    /// A service over the evaluator's backends with explicit tuning knobs.
+    /// The backends move into long-running worker threads (one pool per
+    /// backend, [`ServiceConfig::workers_per_backend`] threads each).
+    pub fn with_config(evaluator: Evaluator, config: ServiceConfig) -> Self {
+        let backends: Vec<Arc<dyn Backend>> = evaluator
+            .into_backends()
+            .into_iter()
+            .map(Arc::from)
+            .collect();
+        let names: Vec<String> = backends.iter().map(|b| b.name().to_string()).collect();
+        let inner = Arc::new(ServiceInner {
+            config,
+            backends,
+            names,
+            pending: Mutex::new(PendingQueues::default()),
+            pending_cv: Condvar::new(),
+            cache: ReportCache::new(),
+            counters: StatsCounters::default(),
+        });
+
+        let mut senders = Vec::with_capacity(inner.backends.len());
+        let mut workers = Vec::new();
+        for backend_idx in 0..inner.backends.len() {
+            let (tx, rx) = mpsc::channel::<Vec<WorkTask>>();
+            let rx = Arc::new(Mutex::new(rx));
+            senders.push(tx);
+            for _ in 0..inner.config.workers_per_backend.max(1) {
+                let inner = Arc::clone(&inner);
+                let rx = Arc::clone(&rx);
+                workers.push(std::thread::spawn(move || {
+                    worker_loop(&inner, backend_idx, &rx)
+                }));
+            }
+        }
+        let batcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || batcher_loop(&inner, senders))
+        };
+        Self {
+            inner,
+            batcher: Some(batcher),
+            workers,
+        }
+    }
+
+    /// Display names of the backend shards, in registration order.
+    pub fn backend_names(&self) -> &[String] {
+        &self.inner.names
+    }
+
+    /// A point-in-time activity snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.counters.snapshot()
+    }
+
+    /// Number of `(backend, spec)` keys in the report cache (in-flight and
+    /// completed).
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    /// Accepts a request; the returned handle resolves to exactly one
+    /// [`EvalResponse`] with one entry per selected backend.  A single
+    /// submit is a one-spec burst, except that it does *not* flush the
+    /// micro-batcher: streamed submits coalesce under the batch deadline.
+    pub fn submit(&self, request: EvalRequest) -> ResponseHandle {
+        self.submit_burst(
+            vec![request.spec],
+            request.backends,
+            request.priority,
+            false,
+        )
+    }
+
+    /// Accepts a coalesced batch of specs sharing one backend selection and
+    /// one response: the returned handle resolves to a single
+    /// [`EvalResponse`] whose `results` are spec-major — for `specs[i]` and
+    /// selected backend `j`, the entry is `results[i * selected + j]`.
+    ///
+    /// A burst of `n` specs costs one response channel, one completion state
+    /// and one queue transaction instead of `n` of each, so clients with
+    /// ready-made scenario sets (every table binary, bulk sweep producers)
+    /// should prefer this over `n` single submits.  The micro-batcher and
+    /// the report cache still see per-spec granularity: members are batched,
+    /// deduplicated and sharded individually.  Because the caller already
+    /// coalesced its specs, a burst also *flushes* the batcher: once the
+    /// queue drains, dispatch happens immediately instead of waiting out
+    /// [`ServiceConfig::batch_deadline`] for stragglers — a lone synchronous
+    /// `evaluate_grid` call pays no deadline latency floor.
+    pub fn submit_batch(
+        &self,
+        specs: Vec<WorkloadSpec>,
+        backends: BackendSelector,
+        priority: Priority,
+    ) -> ResponseHandle {
+        self.submit_burst(specs, backends, priority, true)
+    }
+
+    fn submit_burst(
+        &self,
+        specs: Vec<WorkloadSpec>,
+        backends: BackendSelector,
+        priority: Priority,
+        flush: bool,
+    ) -> ResponseHandle {
+        let inner = &self.inner;
+        inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let selection: Vec<Result<usize, String>> = match &backends {
+            BackendSelector::All => (0..inner.names.len()).map(Ok).collect(),
+            BackendSelector::Named(names) => names
+                .iter()
+                .map(|name| {
+                    inner
+                        .names
+                        .iter()
+                        .position(|n| n == name)
+                        .ok_or_else(|| name.clone())
+                })
+                .collect(),
+        };
+        let total_slots = specs.len() * selection.len();
+        if total_slots == 0 {
+            inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(EvalResponse {
+                results: Vec::new(),
+            });
+            return ResponseHandle { rx };
+        }
+        let state = Arc::new(RequestState {
+            slots: Mutex::new(vec![None; total_slots]),
+            remaining: AtomicUsize::new(total_slots),
+            tx: Mutex::new(Some(tx)),
+        });
+        let mut items = Vec::with_capacity(specs.len());
+        for (index, spec) in specs.into_iter().enumerate() {
+            let base = index * selection.len();
+            let mut targets = Vec::with_capacity(selection.len());
+            for (offset, resolved) in selection.iter().enumerate() {
+                match resolved {
+                    Ok(backend) => targets.push((base + offset, *backend)),
+                    Err(name) => fulfill(
+                        inner,
+                        &state,
+                        base + offset,
+                        name.clone(),
+                        Arc::new(Err(EvalError::Unsupported {
+                            backend: name.clone(),
+                            workload: spec.name(),
+                        })),
+                    ),
+                }
+            }
+            if !targets.is_empty() {
+                items.push(QueuedItem {
+                    spec,
+                    targets,
+                    state: Arc::clone(&state),
+                });
+            }
+        }
+        if !items.is_empty() {
+            // One queue transaction for the whole burst.
+            let mut pending = inner.pending.lock().expect("pending lock");
+            pending.queues[priority.index()].extend(items);
+            pending.flush |= flush;
+            drop(pending);
+            inner.pending_cv.notify_all();
+        }
+        ResponseHandle { rx }
+    }
+
+    /// Evaluates one workload on every backend shard; results align with
+    /// [`backend_names`](Self::backend_names).  Synchronous wrapper over a
+    /// one-spec [`submit_batch`](Self::submit_batch) — the caller blocks, so
+    /// the batcher is flushed rather than waiting out the batch deadline.
+    pub fn evaluate(&self, spec: &WorkloadSpec) -> Vec<Result<EvalReport, EvalError>> {
+        self.submit_batch(vec![spec.clone()], BackendSelector::All, Priority::Normal)
+            .wait()
+            .results
+            .into_iter()
+            .map(|(_, result)| (*result).clone())
+            .collect()
+    }
+
+    /// Evaluates one workload on the shards that support it, returning
+    /// `(backend name, report)` pairs — the service-side equivalent of
+    /// `Evaluator::evaluate_supported`.  Unsupported shards are filtered
+    /// *before* submission (their results would be discarded anyway, and
+    /// errors are not cached, so evaluating them would be repeated waste).
+    pub fn evaluate_supported(&self, spec: &WorkloadSpec) -> Vec<(String, EvalReport)> {
+        let supported: Vec<String> = self
+            .inner
+            .backends
+            .iter()
+            .filter(|b| b.supports(spec))
+            .map(|b| b.name().to_string())
+            .collect();
+        self.submit_batch(
+            vec![spec.clone()],
+            BackendSelector::Named(supported),
+            Priority::Normal,
+        )
+        .wait()
+        .results
+        .into_iter()
+        .filter_map(|(name, result)| (*result).as_ref().ok().map(|r| (name, r.clone())))
+        .collect()
+    }
+
+    /// Evaluates a workload grid through the batching/caching path.  The
+    /// outer result is indexed like [`backend_names`](Self::backend_names),
+    /// the inner like `workloads` — the exact shape of
+    /// `Evaluator::evaluate_grid`, so table binaries can swap the call site
+    /// without touching their formatting.
+    pub fn evaluate_grid(
+        &self,
+        workloads: &[WorkloadSpec],
+    ) -> Vec<Vec<Result<EvalReport, EvalError>>> {
+        let backends = self.inner.names.len();
+        let response = self
+            .submit_batch(workloads.to_vec(), BackendSelector::All, Priority::Normal)
+            .wait();
+        let mut grid: Vec<Vec<Result<EvalReport, EvalError>>> = (0..backends)
+            .map(|_| Vec::with_capacity(workloads.len()))
+            .collect();
+        // Batch results are spec-major; de-interleave into backend rows and
+        // deep-clone at the compatibility boundary (on the caller's thread),
+        // keeping the serving hot path share-only.
+        for (i, (_, result)) in response.results.into_iter().enumerate() {
+            grid[i % backends].push((*result).clone());
+        }
+        grid
+    }
+}
+
+impl Drop for EvalService {
+    fn drop(&mut self) {
+        {
+            let mut pending = self.inner.pending.lock().expect("pending lock");
+            pending.shutdown = true;
+        }
+        self.inner.pending_cv.notify_all();
+        // The batcher drains every queued request before exiting, then drops
+        // the work senders, which lets the workers drain and exit.
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Records one backend's answer into its request slot; the last slot filled
+/// sends the response.
+fn fulfill(
+    inner: &ServiceInner,
+    state: &RequestState,
+    slot: usize,
+    name: String,
+    result: CachedResult,
+) {
+    {
+        let mut slots = state.slots.lock().expect("slots lock");
+        debug_assert!(slots[slot].is_none(), "slot {slot} filled twice");
+        slots[slot] = Some((name, result));
+    }
+    if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let results = state
+            .slots
+            .lock()
+            .expect("slots lock")
+            .drain(..)
+            .map(|s| s.expect("every slot filled"))
+            .collect();
+        // Count before sending so a caller that has its response always
+        // observes the completion in `stats()`.
+        inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+        if let Some(tx) = state.tx.lock().expect("tx lock").take() {
+            let _ = tx.send(EvalResponse { results });
+        }
+    }
+}
+
+/// The micro-batcher: forms size/deadline-bounded batches and dispatches
+/// them through the cache onto the per-backend work queues.
+fn batcher_loop(inner: &ServiceInner, senders: Vec<mpsc::Sender<Vec<WorkTask>>>) {
+    while let Some(batch) = collect_batch(inner) {
+        if !batch.is_empty() {
+            dispatch(inner, &senders, batch);
+        }
+    }
+}
+
+/// Blocks for the next batch; `None` means shutdown with nothing left.
+fn collect_batch(inner: &ServiceInner) -> Option<Vec<QueuedItem>> {
+    let max_batch = inner.config.max_batch.max(1);
+    let mut pending = inner.pending.lock().expect("pending lock");
+    while pending.len() == 0 {
+        if pending.shutdown {
+            return None;
+        }
+        pending = inner.pending_cv.wait(pending).expect("pending lock");
+    }
+    let mut batch = Vec::with_capacity(max_batch.min(pending.len()));
+    let deadline = Instant::now() + inner.config.batch_deadline;
+    loop {
+        while batch.len() < max_batch {
+            match pending.pop() {
+                Some(item) => batch.push(item),
+                None => break,
+            }
+        }
+        if batch.len() >= max_batch || pending.shutdown {
+            // Consume the flush hint together with the last of its items so
+            // a burst of exactly `max_batch` specs cannot leave a stale flag
+            // that would stop the *next* streamed submit from coalescing.
+            if pending.len() == 0 {
+                pending.flush = false;
+            }
+            break;
+        }
+        // A drained flush burst dispatches immediately: the submitter
+        // already coalesced everything it had, so waiting out the deadline
+        // would only add latency.
+        if pending.flush && pending.len() == 0 {
+            pending.flush = false;
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (guard, _) = inner
+            .pending_cv
+            .wait_timeout(pending, deadline - now)
+            .expect("pending lock");
+        pending = guard;
+    }
+    Some(batch)
+}
+
+/// Runs one batch through the report cache: hits answer immediately,
+/// in-flight keys merge, misses become sharded work tasks.
+fn dispatch(inner: &ServiceInner, senders: &[mpsc::Sender<Vec<WorkTask>>], batch: Vec<QueuedItem>) {
+    inner.counters.batches.fetch_add(1, Ordering::Relaxed);
+    inner
+        .counters
+        .batched_requests
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    let mut per_backend: Vec<Vec<WorkTask>> =
+        (0..inner.backends.len()).map(|_| Vec::new()).collect();
+    // One cache transaction (one lock acquisition) covers the whole batch —
+    // the per-report synchronisation cost shrinks with batch size, which is
+    // what micro-batching is for.  Hits are recorded and fulfilled after the
+    // lock drops so responses are never sent while holding the cache.
+    let mut hits: Vec<(Arc<RequestState>, usize, usize, CachedResult)> = Vec::new();
+    let (mut hit_count, mut merged_count, mut miss_count) = (0u64, 0u64, 0u64);
+    {
+        let mut txn = inner.cache.begin();
+        for item in &batch {
+            for &(slot, backend) in &item.targets {
+                let waiter = Waiter {
+                    state: Arc::clone(&item.state),
+                    slot,
+                };
+                match txn.lookup_or_reserve(backend, &item.spec, waiter) {
+                    Lookup::Ready(result) => {
+                        hit_count += 1;
+                        hits.push((Arc::clone(&item.state), slot, backend, result));
+                    }
+                    Lookup::Merged => merged_count += 1,
+                    Lookup::Reserved => {
+                        miss_count += 1;
+                        per_backend[backend].push(WorkTask {
+                            spec: item.spec.clone(),
+                            backend,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    inner
+        .counters
+        .cache_hits
+        .fetch_add(hit_count, Ordering::Relaxed);
+    inner
+        .counters
+        .inflight_merged
+        .fetch_add(merged_count, Ordering::Relaxed);
+    inner
+        .counters
+        .cache_misses
+        .fetch_add(miss_count, Ordering::Relaxed);
+    for (state, slot, backend, result) in hits {
+        fulfill(inner, &state, slot, inner.names[backend].clone(), result);
+    }
+    let workers = inner.config.workers_per_backend.max(1);
+    for (backend, mut tasks) in per_backend.into_iter().enumerate() {
+        if tasks.is_empty() {
+            continue;
+        }
+        // Split this backend's share of the batch across its worker pool so
+        // one worker never serialises a whole batch.
+        let chunk = tasks.len().div_ceil(workers);
+        while !tasks.is_empty() {
+            let tail = tasks.split_off(chunk.min(tasks.len()));
+            let _ = senders[backend].send(std::mem::replace(&mut tasks, tail));
+        }
+    }
+}
+
+/// One worker thread of a backend shard: drains work, evaluates with panic
+/// isolation, publishes through the cache.
+fn worker_loop(
+    inner: &ServiceInner,
+    backend_idx: usize,
+    rx: &Mutex<mpsc::Receiver<Vec<WorkTask>>>,
+) {
+    let backend = Arc::clone(&inner.backends[backend_idx]);
+    loop {
+        // Hold the queue lock only while receiving, never while evaluating.
+        let tasks = {
+            let queue = rx.lock().expect("worker queue lock");
+            queue.recv()
+        };
+        let Ok(tasks) = tasks else {
+            break;
+        };
+        for task in tasks {
+            let result = catch_unwind(AssertUnwindSafe(|| backend.evaluate(&task.spec)))
+                .unwrap_or_else(|payload| {
+                    Err(EvalError::Panicked {
+                        backend: backend.name().to_string(),
+                        workload: task.spec.name(),
+                        reason: panic_message(payload.as_ref()),
+                    })
+                });
+            inner.counters.evaluations.fetch_add(1, Ordering::Relaxed);
+            if result.is_err() {
+                inner.counters.eval_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            let (result, waiters) = inner.cache.complete(task.backend, &task.spec, result);
+            for waiter in waiters {
+                fulfill(
+                    inner,
+                    &waiter.state,
+                    waiter.slot,
+                    inner.names[task.backend].clone(),
+                    Arc::clone(&result),
+                );
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Priority;
+    use rsn_eval::EvalReport;
+    use std::time::Duration;
+
+    /// A deterministic test backend: answers `SquareGemm { n }` with latency
+    /// `n` nanoseconds and fails everything else.
+    struct SquareOnly {
+        name: &'static str,
+    }
+
+    impl Backend for SquareOnly {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn supports(&self, w: &WorkloadSpec) -> bool {
+            matches!(w, WorkloadSpec::SquareGemm { .. })
+        }
+        fn evaluate(&self, w: &WorkloadSpec) -> Result<EvalReport, EvalError> {
+            match w {
+                WorkloadSpec::SquareGemm { n } => {
+                    let mut report = EvalReport::new(self.name, w.name());
+                    report.latency_s = Some(*n as f64 * 1e-9);
+                    Ok(report)
+                }
+                _ => Err(EvalError::Unsupported {
+                    backend: self.name.to_string(),
+                    workload: w.name(),
+                }),
+            }
+        }
+    }
+
+    fn two_shard_service() -> EvalService {
+        EvalService::new(
+            Evaluator::empty()
+                .with_backend(Box::new(SquareOnly { name: "alpha" }))
+                .with_backend(Box::new(SquareOnly { name: "beta" })),
+        )
+    }
+
+    #[test]
+    fn all_selector_answers_in_registration_order() {
+        let service = two_shard_service();
+        let response = service
+            .submit(EvalRequest::all(WorkloadSpec::SquareGemm { n: 64 }))
+            .wait();
+        let names: Vec<&str> = response.results.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta"]);
+        assert!(response.results.iter().all(|(_, r)| r.is_ok()));
+    }
+
+    #[test]
+    fn named_selector_preserves_order_and_flags_unknowns() {
+        let service = two_shard_service();
+        let response = service
+            .submit(EvalRequest::named(
+                WorkloadSpec::SquareGemm { n: 32 },
+                vec![
+                    "beta".to_string(),
+                    "missing".to_string(),
+                    "alpha".to_string(),
+                ],
+            ))
+            .wait();
+        assert_eq!(response.results.len(), 3);
+        assert_eq!(response.results[0].0, "beta");
+        assert!(response.results[0].1.is_ok());
+        assert!(matches!(
+            *response.results[1].1,
+            Err(EvalError::Unsupported { .. })
+        ));
+        assert_eq!(response.results[2].0, "alpha");
+    }
+
+    #[test]
+    fn empty_selection_answers_immediately() {
+        let service = two_shard_service();
+        let response = service
+            .submit(EvalRequest::named(
+                WorkloadSpec::SquareGemm { n: 8 },
+                Vec::new(),
+            ))
+            .wait();
+        assert!(response.results.is_empty());
+        assert_eq!(service.stats().completed, 1);
+    }
+
+    #[test]
+    fn identical_specs_deduplicate_through_the_cache() {
+        let service = two_shard_service();
+        let first = service.evaluate(&WorkloadSpec::SquareGemm { n: 128 });
+        let second = service.evaluate(&WorkloadSpec::SquareGemm { n: 128 });
+        assert_eq!(first, second);
+        let stats = service.stats();
+        // Two backends: the first evaluation misses twice, the repeat is
+        // served from the cache (hit or in-flight merge, depending on how
+        // the two submissions were batched).
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.cache_hits + stats.inflight_merged, 2);
+        assert_eq!(stats.evaluations, 2);
+        assert_eq!(service.cache_len(), 2);
+    }
+
+    #[test]
+    fn batch_submission_is_spec_major_and_deduplicated() {
+        let service = two_shard_service();
+        let specs = vec![
+            WorkloadSpec::SquareGemm { n: 16 },
+            WorkloadSpec::SquareGemm { n: 32 },
+            WorkloadSpec::SquareGemm { n: 16 }, // duplicate of the first
+        ];
+        let response = service
+            .submit_batch(specs.clone(), BackendSelector::All, Priority::Normal)
+            .wait();
+        // Spec-major: [s0·alpha, s0·beta, s1·alpha, s1·beta, s2·alpha, ...].
+        assert_eq!(response.results.len(), 6);
+        for (i, (name, result)) in response.results.iter().enumerate() {
+            assert_eq!(name, if i % 2 == 0 { "alpha" } else { "beta" });
+            let expected_n = match specs[i / 2] {
+                WorkloadSpec::SquareGemm { n } => n,
+                _ => unreachable!(),
+            };
+            let report = result.as_ref().as_ref().expect("square gemm evaluates");
+            assert_eq!(report.latency_s, Some(expected_n as f64 * 1e-9));
+        }
+        // The duplicated member shares its backend answers with the first.
+        assert!(Arc::ptr_eq(&response.results[0].1, &response.results[4].1));
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.evaluations, 4); // 2 distinct specs × 2 backends
+        assert_eq!(stats.cache_hits + stats.inflight_merged, 2);
+    }
+
+    #[test]
+    fn synchronous_bursts_skip_the_batch_deadline() {
+        // With a pathologically long deadline, a lone evaluate() must still
+        // return promptly: bursts flush the batcher once the queue drains.
+        let service = EvalService::with_config(
+            Evaluator::empty().with_backend(Box::new(SquareOnly { name: "alpha" })),
+            ServiceConfig {
+                max_batch: 16,
+                batch_deadline: Duration::from_secs(30),
+                workers_per_backend: 1,
+            },
+        );
+        let start = std::time::Instant::now();
+        let results = service.evaluate(&WorkloadSpec::SquareGemm { n: 9 });
+        assert_eq!(results.len(), 1);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "evaluate() waited out the batch deadline"
+        );
+    }
+
+    #[test]
+    fn empty_batch_answers_immediately() {
+        let service = two_shard_service();
+        let response = service
+            .submit_batch(Vec::new(), BackendSelector::All, Priority::Normal)
+            .wait();
+        assert!(response.results.is_empty());
+        assert_eq!(service.stats().completed, 1);
+    }
+
+    #[test]
+    fn priorities_drain_urgent_first() {
+        // One queue inspection: park requests behind a saturated batcher by
+        // submitting them before any worker can drain (batch deadline is
+        // generous), then check the queue pop order directly.
+        let mut queues = PendingQueues::default();
+        for (priority, tag) in [
+            (Priority::Low, 0usize),
+            (Priority::Normal, 1),
+            (Priority::High, 2),
+        ] {
+            queues.queues[priority.index()].push_back(QueuedItem {
+                spec: WorkloadSpec::SquareGemm { n: tag },
+                targets: Vec::new(),
+                state: Arc::new(RequestState {
+                    slots: Mutex::new(Vec::new()),
+                    remaining: AtomicUsize::new(0),
+                    tx: Mutex::new(None),
+                }),
+            });
+        }
+        let order: Vec<WorkloadSpec> = std::iter::from_fn(|| queues.pop())
+            .map(|item| item.spec)
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                WorkloadSpec::SquareGemm { n: 2 },
+                WorkloadSpec::SquareGemm { n: 1 },
+                WorkloadSpec::SquareGemm { n: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn service_batches_under_load() {
+        let service = EvalService::with_config(
+            Evaluator::empty().with_backend(Box::new(SquareOnly { name: "alpha" })),
+            ServiceConfig {
+                max_batch: 8,
+                batch_deadline: Duration::from_millis(5),
+                workers_per_backend: 2,
+            },
+        );
+        let handles: Vec<ResponseHandle> = (0..32)
+            .map(|i| service.submit(EvalRequest::all(WorkloadSpec::SquareGemm { n: i })))
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.wait().results.len(), 1);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 32);
+        assert_eq!(stats.completed, 32);
+        assert!(stats.batches <= 32);
+        assert_eq!(stats.batched_requests, 32);
+        assert!(stats.mean_batch_size() >= 1.0);
+    }
+}

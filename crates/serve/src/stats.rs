@@ -1,0 +1,91 @@
+//! Service observability: lock-free counters and their snapshot type.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters; incremented on the hot paths, read only by
+/// [`StatsCounters::snapshot`].
+#[derive(Debug, Default)]
+pub(crate) struct StatsCounters {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub batches: AtomicU64,
+    pub batched_requests: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub inflight_merged: AtomicU64,
+    pub evaluations: AtomicU64,
+    pub eval_errors: AtomicU64,
+}
+
+impl StatsCounters {
+    pub fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            inflight_merged: self.inflight_merged.load(Ordering::Relaxed),
+            evaluations: self.evaluations.load(Ordering::Relaxed),
+            eval_errors: self.eval_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of service activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Submissions accepted (`submit` and `submit_batch` each count one).
+    pub submitted: u64,
+    /// Submissions answered (exactly one response each).
+    pub completed: u64,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Requests carried by those batches (`batched_requests / batches` is
+    /// the achieved mean batch size).
+    pub batched_requests: u64,
+    /// Backend-slot lookups answered from a completed cache entry.
+    pub cache_hits: u64,
+    /// Backend-slot lookups that scheduled a fresh evaluation.
+    pub cache_misses: u64,
+    /// Backend-slot lookups merged onto an identical in-flight evaluation.
+    pub inflight_merged: u64,
+    /// `Backend::evaluate` calls executed by the worker pools.
+    pub evaluations: u64,
+    /// Of those, how many returned an error (or panicked).
+    pub eval_errors: u64,
+}
+
+impl ServiceStats {
+    /// Achieved mean batch size, `NaN` before the first batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        self.batched_requests as f64 / self.batches as f64
+    }
+
+    /// Fraction of backend-slot lookups served without a fresh evaluation
+    /// (completed hits plus in-flight merges), `NaN` before the first lookup.
+    pub fn dedup_ratio(&self) -> f64 {
+        let served = self.cache_hits + self.inflight_merged;
+        served as f64 / (served + self.cache_misses) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let counters = StatsCounters::default();
+        counters.submitted.fetch_add(5, Ordering::Relaxed);
+        counters.batches.fetch_add(2, Ordering::Relaxed);
+        counters.batched_requests.fetch_add(5, Ordering::Relaxed);
+        counters.cache_hits.fetch_add(3, Ordering::Relaxed);
+        counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let stats = counters.snapshot();
+        assert_eq!(stats.submitted, 5);
+        assert!((stats.mean_batch_size() - 2.5).abs() < 1e-12);
+        assert!((stats.dedup_ratio() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,15 +1,19 @@
 //! The whole comparison in one sweep: every registered evaluation backend
 //! answers the same BERT-Large encoder-layer workload, and the functional
-//! workloads run on the cycle-level engine — the one-harness view the
-//! unified evaluation layer exists for.
+//! workloads run on the cycle-level engine — served through the batched
+//! evaluation service (`rsn::serve`), which coalesces the submissions into
+//! micro-batches, shards them across per-backend worker pools, and
+//! deduplicates repeated specs through its report cache.
 //!
 //! Run with: `cargo run --example backend_matrix`
 
 use rsn::eval::{Evaluator, WorkloadSpec};
+use rsn::serve::json::stats_json;
+use rsn::serve::EvalService;
 use rsn::workloads::bert::BertConfig;
 
 fn main() {
-    let evaluator = Evaluator::new();
+    let service = EvalService::new(Evaluator::new());
 
     // Model-level comparison: one workload, every backend that supports it.
     let workload = WorkloadSpec::EncoderLayer {
@@ -18,7 +22,7 @@ fn main() {
     println!("BERT-Large 1st encoder (B=6, L=512) across all backends:");
     println!("{:<28} {:>12} {:>16}", "backend", "latency(ms)", "tasks/s");
     println!("{}", "-".repeat(58));
-    for (name, report) in evaluator.evaluate_supported(&workload) {
+    for (name, report) in service.evaluate_supported(&workload) {
         println!(
             "{name:<28} {:>12.2} {:>16.1}",
             report.latency_s.map(|l| l * 1e3).unwrap_or(f64::NAN),
@@ -45,7 +49,7 @@ fn main() {
         },
     ];
     for w in &functional {
-        for (name, report) in evaluator.evaluate_supported(w) {
+        for (name, report) in service.evaluate_supported(w) {
             if let Some(stats) = &report.cycle {
                 println!(
                     "  {:<34} [{name}] err={:.1e}  uops={}  fu-steps={}",
@@ -57,4 +61,8 @@ fn main() {
             }
         }
     }
+
+    // What the service did on our behalf: batching, caching, dedup.
+    println!("\nService statistics:");
+    print!("{}", stats_json(&service.stats()).to_pretty());
 }
