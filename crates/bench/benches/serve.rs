@@ -65,6 +65,7 @@ fn stream_throughput(
             max_batch: batch,
             batch_deadline: Duration::from_micros(200),
             workers_per_backend: 2,
+            ..ServiceConfig::default()
         },
     ));
     let pool = Arc::new(scenario_pool());

@@ -1,31 +1,9 @@
 //! Regenerates Fig. 16: the per-FU compute / memory / bandwidth properties
 //! that make the RSN-XNN datapath coarse-grained and heterogeneous —
 //! obtained through the unified evaluation layer's datapath-properties
-//! workload.
-
-use rsn_bench::print_header;
-use rsn_eval::{Backend, CycleEngineBackend, WorkloadSpec};
+//! workload (`rsn_bench::tables::fig16_text`, snapshot-pinned by the golden
+//! tests).
 
 fn main() {
-    let backend = CycleEngineBackend::new();
-    let report = backend
-        .evaluate(&WorkloadSpec::DatapathProperties)
-        .expect("datapath properties");
-    print_header(
-        "Fig. 16 — FU properties of the RSN-XNN datapath",
-        "FU type   instances   TFLOPS/inst   memory MB/inst   aggregate BW GB/s",
-    );
-    for row in &report.breakdown {
-        println!(
-            "{:<9} {:>6}      {:>8.3}       {:>8.2}          {:>8.0}",
-            row.name,
-            row.value("instances").unwrap_or(f64::NAN),
-            row.value("tflops").unwrap_or(f64::NAN),
-            row.value("memory_mb").unwrap_or(f64::NAN),
-            row.value("bandwidth_gb_s").unwrap_or(f64::NAN)
-        );
-    }
-    println!("\nThe MMEs provide all the compute (6 x 1.1 TFLOPS), the meshes only route,");
-    println!("and the off-chip FUs sit at two orders of magnitude less bandwidth — the");
-    println!("coarse-grained heterogeneity RSN virtualises behind one FU abstraction.");
+    print!("{}", rsn_bench::tables::fig16_text());
 }

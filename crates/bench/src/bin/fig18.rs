@@ -1,47 +1,9 @@
 //! Regenerates Fig. 18: latency and throughput of the BERT-Large first
-//! encoder versus batch size, RSN-XNN against CHARM.
-//!
-//! The batch sweep is a workload grid evaluated by the RSN-XNN and CHARM
-//! backends in parallel through the unified evaluation layer.
-
-use rsn_bench::{ms, print_header, times};
-use rsn_eval::{CharmBackend, Evaluator, WorkloadSpec, XnnAnalyticBackend};
-use rsn_workloads::bert::BertConfig;
+//! encoder versus batch size, RSN-XNN against CHARM — a workload grid
+//! evaluated by both backends in parallel through the unified evaluation
+//! layer (`rsn_bench::tables::fig18_text`, snapshot-pinned by the golden
+//! tests).
 
 fn main() {
-    let batches = [1usize, 2, 3, 6, 12, 24];
-    let workloads: Vec<WorkloadSpec> = batches
-        .iter()
-        .map(|&b| WorkloadSpec::EncoderLayer {
-            cfg: BertConfig::bert_large(512, b),
-        })
-        .collect();
-    let evaluator = Evaluator::empty()
-        .with_backend(Box::new(XnnAnalyticBackend::new()))
-        .with_backend(Box::new(CharmBackend::new()));
-    let grid = evaluator.evaluate_grid(&workloads);
-
-    print_header(
-        "Fig. 18 — BERT-Large 1st encoder vs batch size",
-        "batch   RSN latency(ms)  RSN thr(tasks/s)  CHARM latency(ms)  CHARM thr(tasks/s)  speedup",
-    );
-    for (i, batch) in batches.iter().enumerate() {
-        let rsn = grid[0][i].as_ref().expect("rsn model");
-        let charm = grid[1][i].as_ref().expect("charm model");
-        let r_lat = rsn.latency_s.expect("latency");
-        let c_lat = charm.latency_s.expect("latency");
-        println!(
-            "{batch:>4}    {:>10}       {:>8.1}          {:>10}         {:>8.1}         {:>6}",
-            ms(r_lat),
-            rsn.throughput_tasks_per_s.expect("throughput"),
-            ms(c_lat),
-            charm.throughput_tasks_per_s.expect("throughput"),
-            times(c_lat / r_lat)
-        );
-    }
-    println!(
-        "\nPaper reference points: RSN best latency 5 ms at B=1 (22x better than CHARM's best),"
-    );
-    println!("RSN peak throughput 333.76 tasks/s at B=6 (3.25x CHARM's best at B=24),");
-    println!("6.1x latency advantage at equal batch size B=6.");
+    print!("{}", rsn_bench::tables::fig18_text());
 }

@@ -1,51 +1,8 @@
 //! Regenerates Table 11: sensitivity of BERT-Large latency (sequence length
-//! 384, batch 8) to off-chip bandwidth.
-//!
-//! Every sweep point is a bandwidth-scaled variant of the RSN-XNN analytic
-//! backend; the whole sweep evaluates one workload across all variants in
-//! parallel through the unified evaluation layer.
-
-use rsn_bench::{ms, print_header, times};
-use rsn_eval::{Evaluator, WorkloadSpec, XnnAnalyticBackend};
-use rsn_workloads::bert::BertConfig;
+//! 384, batch 8) to off-chip bandwidth.  Every sweep point is a
+//! bandwidth-scaled variant of the RSN-XNN analytic backend
+//! (`rsn_bench::tables::table11_text`, snapshot-pinned by the golden tests).
 
 fn main() {
-    let cfg = BertConfig::bert_large(384, 8);
-    let workload = WorkloadSpec::FullModel { cfg };
-    let evaluator = Evaluator::empty()
-        .with_backend(Box::new(XnnAnalyticBackend::with_infinite_bandwidth()))
-        .with_backend(Box::new(XnnAnalyticBackend::with_infinite_compute()))
-        .with_backend(Box::new(XnnAnalyticBackend::with_bandwidth_scale(0.5)))
-        .with_backend(Box::new(XnnAnalyticBackend::new()))
-        .with_backend(Box::new(XnnAnalyticBackend::with_bandwidth_scale(2.0)))
-        .with_backend(Box::new(XnnAnalyticBackend::with_bandwidth_scale(3.0)));
-    let reports = evaluator.evaluate(&workload);
-    let latency = |i: usize| {
-        reports[i]
-            .as_ref()
-            .expect("analytic model")
-            .latency_s
-            .expect("latency modelled")
-    };
-    let base = latency(3);
-
-    print_header(
-        "Table 11 — bandwidth sweep, BERT-Large L=384 B=8 (paper base 444 ms)",
-        "scenario            latency(ms)   speedup vs 1x   paper speedup",
-    );
-    let rows = [
-        ("infinite BW", 0, 1.43),
-        ("infinite compute", 1, 1.27),
-        ("0.5x BW", 2, 0.63),
-        ("1x BW", 3, 1.0),
-        ("2x BW", 4, 1.15),
-        ("3x BW", 5, 1.19),
-    ];
-    for (name, idx, paper) in rows {
-        println!(
-            "{name:<19} {:>9}      {:>8}        {paper:>6.2}",
-            ms(latency(idx)),
-            times(base / latency(idx))
-        );
-    }
+    print!("{}", rsn_bench::tables::table11_text());
 }

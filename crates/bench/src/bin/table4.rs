@@ -1,34 +1,7 @@
 //! Regenerates Table 4 / Fig. 15: estimated power breakdown per FU type,
-//! obtained through the unified evaluation layer's power workload.
-
-use rsn_bench::print_header;
-use rsn_eval::{Backend, WorkloadSpec, XnnAnalyticBackend};
+//! obtained through the unified evaluation layer's power workload
+//! (`rsn_bench::tables::table4_text`, snapshot-pinned by the golden tests).
 
 fn main() {
-    let backend = XnnAnalyticBackend::new();
-    let report = backend
-        .evaluate(&WorkloadSpec::PowerBreakdown)
-        .expect("power model");
-    print_header(
-        "Table 4 — estimated power breakdown (paper: AIE 60.8 W, MemC 22.9 W, decoder 0.08 W)",
-        "component     instances   watts    share",
-    );
-    for row in &report.breakdown {
-        println!(
-            "{:<13} {:>6}     {:>6.2}   {:>5.1}%",
-            row.name,
-            "",
-            row.value("watts").unwrap_or(f64::NAN),
-            row.value("share").unwrap_or(f64::NAN) * 100.0
-        );
-    }
-    println!(
-        "\nTotal estimated dynamic component power: {:.2} W (paper total estimate 98.66 W includes static rails)",
-        report.metric("total_watts").unwrap_or(f64::NAN)
-    );
-    println!(
-        "Board measurements used for Table 10: operating {:.1} W, dynamic {:.1} W",
-        report.metric("board_operating_w").unwrap_or(f64::NAN),
-        report.metric("board_dynamic_w").unwrap_or(f64::NAN)
-    );
+    print!("{}", rsn_bench::tables::table4_text());
 }

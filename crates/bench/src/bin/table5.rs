@@ -1,57 +1,9 @@
 //! Regenerates Table 5: instruction-decoder area overhead (published FPGA
 //! place-and-route numbers) and compute utilization comparison, with the
 //! modelled RSN-XNN achieved-throughput row obtained through the unified
-//! evaluation layer.
-
-use rsn_bench::print_header;
-use rsn_eval::{Backend, WorkloadSpec, XnnAnalyticBackend};
-use rsn_hw::area::AreaModel;
-use rsn_workloads::bert::BertConfig;
+//! evaluation layer (`rsn_bench::tables::table5_text`, snapshot-pinned by
+//! the golden tests).
 
 fn main() {
-    print_header(
-        "Table 5a — decoder area overhead",
-        "design    device    LUT        FF         DSP   BRAM   (% of total design where reported)",
-    );
-    for (design, device, dec, total) in AreaModel::decoder_overhead_rows() {
-        match total {
-            Some(t) => {
-                let (lut, ff, dsp, bram) = dec.percent_of(&t);
-                println!(
-                    "{design:<9} {device:<9} {:<7}({lut:.1}%) {:<7}({ff:.1}%) {:>3}({dsp:.1}%) {:>3}({bram:.1}%)",
-                    dec.lut, dec.ff, dec.dsp, dec.bram
-                );
-            }
-            None => println!(
-                "{design:<9} {device:<9} {:<7}        {:<7}        {:>3}      {:>3}    (total design area unreported)",
-                dec.lut, dec.ff, dec.dsp, dec.bram
-            ),
-        }
-    }
-
-    let backend = XnnAnalyticBackend::new();
-    let report = backend
-        .evaluate(&WorkloadSpec::FullModel {
-            cfg: BertConfig::bert_large(512, 6),
-        })
-        .expect("analytic model");
-    let achieved = report.achieved_flops.expect("achieved FLOP/s modelled");
-    print_header(
-        "Table 5b — computation resource utilization",
-        "design    precision  peak(TFLOPS)  off-chip BW(GB/s)  achieved(TFLOPS)  utilization",
-    );
-    for row in AreaModel::utilization_rows(achieved) {
-        println!(
-            "{:<9} {:<10} {:>8.1}       {:>8.1}            {:>8.2}        {:>5.1}%",
-            row.design,
-            row.precision,
-            row.peak_flops / 1e12,
-            row.offchip_bw / 1e9,
-            row.achieved_flops / 1e12,
-            row.utilization() * 100.0
-        );
-    }
-    println!(
-        "\nPaper: RSN-XNN 4.7 TFLOPS achieved (59% of 8 TFLOPS); DFX 0.19 of 1.2 TFLOPS (16%)."
-    );
+    print!("{}", rsn_bench::tables::table5_text());
 }

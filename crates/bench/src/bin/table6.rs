@@ -1,66 +1,8 @@
 //! Regenerates Table 6: AIE-only GEMM throughput (a, published kernel
 //! models) and end-to-end GEMM throughput with DRAM (b), RSN-XNN vs CHARM —
-//! the end-to-end comparison running through the unified evaluation layer.
-
-use rsn_bench::print_header;
-use rsn_eval::{CharmBackend, Evaluator, WorkloadSpec, XnnAnalyticBackend};
-use rsn_hw::aie::GemmKernelModel;
-use rsn_hw::versal::Vck190Spec;
+//! the end-to-end comparison running through the unified evaluation layer
+//! (`rsn_bench::tables::table6_text`, snapshot-pinned by the golden tests).
 
 fn main() {
-    let spec = Vck190Spec::new();
-    print_header(
-        "Table 6a — AIE GEMM throughput, data generated on the PL side (no DRAM)",
-        "method    tile(MxKxN)   used-AIE   modelled GFLOPS   paper GFLOPS",
-    );
-    let rows = [
-        (GemmKernelModel::charm(), (32, 32, 32), 4504.46),
-        (GemmKernelModel::maxeva(), (32, 32, 32), 5442.11),
-        (GemmKernelModel::ama(), (32, 32, 32), 5867.29),
-        (GemmKernelModel::rsn_xnn(), (32, 16, 32), 6095.64),
-        (GemmKernelModel::rsn_xnn(), (32, 32, 16), 6306.02),
-        (GemmKernelModel::rsn_xnn(), (32, 32, 32), 6784.96),
-    ];
-    for (kernel, (m, k, n), paper) in rows {
-        println!(
-            "{:<9} {m}x{k}x{n}      {:>4}      {:>10.1}        {paper:>8.2}",
-            kernel.name,
-            kernel.tiles_used,
-            kernel.achieved_flops(&spec, m, k, n) / 1e9
-        );
-    }
-
-    let sizes = [1024usize, 3072, 6144];
-    let workloads: Vec<WorkloadSpec> = sizes
-        .iter()
-        .map(|&n| WorkloadSpec::SquareGemm { n })
-        .collect();
-    let evaluator = Evaluator::empty()
-        .with_backend(Box::new(CharmBackend::new()))
-        .with_backend(Box::new(XnnAnalyticBackend::new()));
-    let grid = evaluator.evaluate_grid(&workloads);
-
-    print_header(
-        "Table 6b — end-to-end square GEMM throughput with DRAM (GFLOPS)",
-        "size    CHARM(model)  CHARM(paper)  RSN-XNN(model)  RSN-XNN(paper)  gain",
-    );
-    let paper = [(1103.46, 2982.62), (2850.13, 6600.12), (3277.99, 6750.93)];
-    for (i, (n, (charm_paper, rsn_paper))) in sizes.iter().zip(paper).enumerate() {
-        let c = grid[0][i]
-            .as_ref()
-            .expect("charm model")
-            .achieved_flops
-            .expect("flops")
-            / 1e9;
-        let r = grid[1][i]
-            .as_ref()
-            .expect("rsn model")
-            .achieved_flops
-            .expect("flops")
-            / 1e9;
-        println!(
-            "{n:<7} {c:>10.1}    {charm_paper:>10.2}   {r:>10.1}      {rsn_paper:>10.2}    +{:.0}%",
-            100.0 * (r / c - 1.0)
-        );
-    }
+    print!("{}", rsn_bench::tables::table6_text());
 }

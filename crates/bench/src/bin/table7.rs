@@ -1,49 +1,8 @@
 //! Regenerates Table 7: latency per task at maximum throughput for BERT,
 //! ViT, NCF and MLP — RSN-XNN vs CHARM, through the unified evaluation
-//! layer's model-zoo workloads.
-
-use rsn_bench::{ms, print_header, times};
-use rsn_eval::{CharmBackend, Evaluator, WorkloadSpec, XnnAnalyticBackend};
-use rsn_workloads::models::ModelKind;
+//! layer's model-zoo workloads (`rsn_bench::tables::table7_text`,
+//! snapshot-pinned by the golden tests).
 
 fn main() {
-    let kinds = ModelKind::table7_models();
-    let workloads: Vec<WorkloadSpec> = kinds
-        .iter()
-        .map(|&kind| WorkloadSpec::ZooModel { kind })
-        .collect();
-    let evaluator = Evaluator::empty()
-        .with_backend(Box::new(XnnAnalyticBackend::new()))
-        .with_backend(Box::new(CharmBackend::new()));
-    let grid = evaluator.evaluate_grid(&workloads);
-
-    let paper = [
-        (57.2, 17.98, 3.2),
-        (57.7, 23.7, 2.4),
-        (40.4, 16.1, 2.5),
-        (119.0, 42.6, 2.8),
-    ];
-    print_header(
-        "Table 7 — latency per task at maximum throughput",
-        "model  CHARM(model ms)  CHARM(paper ms)  RSN(model ms)  RSN(paper ms)  gain(model)  gain(paper)",
-    );
-    for (i, (kind, (charm_paper, rsn_paper, gain_paper))) in kinds.iter().zip(paper).enumerate() {
-        let rsn_s = grid[0][i]
-            .as_ref()
-            .expect("rsn model")
-            .latency_s
-            .expect("latency");
-        let charm_s = grid[1][i]
-            .as_ref()
-            .expect("charm model")
-            .latency_s
-            .expect("latency");
-        println!(
-            "{:<6} {:>10}        {charm_paper:>8.1}        {:>8}       {rsn_paper:>8.2}      {:>8}     {gain_paper:.1}x",
-            kind.name(),
-            ms(charm_s),
-            ms(rsn_s),
-            times(charm_s / rsn_s)
-        );
-    }
+    print!("{}", rsn_bench::tables::table7_text());
 }

@@ -1,36 +1,8 @@
 //! Regenerates Table 8: maximum-throughput comparison of FPGA-based
 //! transformer accelerators (published designs plus this reproduction's
-//! modelled RSN-XNN row, obtained through the unified evaluation layer).
-
-use rsn_bench::print_header;
-use rsn_eval::{Backend, WorkloadSpec, XnnAnalyticBackend};
-use rsn_workloads::bert::BertConfig;
+//! modelled RSN-XNN row, obtained through the unified evaluation layer —
+//! `rsn_bench::tables::table8_text`, snapshot-pinned by the golden tests).
 
 fn main() {
-    let backend = XnnAnalyticBackend::new();
-    let report = backend
-        .evaluate(&WorkloadSpec::FullModel {
-            cfg: BertConfig::bert_large(512, 6),
-        })
-        .expect("analytic model");
-    let achieved = report.achieved_flops.expect("achieved FLOP/s modelled") / 1e12;
-    print_header(
-        "Table 8 — SOTA FPGA transformer accelerators (published rows + modelled RSN-XNN)",
-        "design      board    precision  peak TOPS  achieved TOPS  utilization  model",
-    );
-    let rows: Vec<(&str, &str, &str, f64, f64, &str)> = vec![
-        ("RSN-XNN", "VCK190", "FP32", 8.0, achieved, "BERT-L"),
-        ("SSR", "VCK190", "INT8", 102.0, 26.7, "DeiT-T"),
-        ("FET-OPU", "U280", "INT8", 7.2, 1.64, "BERT-B"),
-        ("DFX", "U280", "FP16", 1.2, 0.19, "GPT2 Prefill"),
-        ("VIA", "U50", "FP16", 1.2, 0.31, "Swin-T"),
-        ("FTRANS", "VCU118", "INT16", 2.7, 1.05, "RoBERTa-B"),
-    ];
-    for (design, board, prec, peak, achieved, model) in rows {
-        println!(
-            "{design:<11} {board:<8} {prec:<9} {peak:>7.1}    {achieved:>8.2}        {:>5.1}%     {model}",
-            100.0 * achieved / peak
-        );
-    }
-    println!("\nPaper RSN-XNN row: 4.7 achieved TOPS, 59% utilization — the highest utilization in the table.");
+    print!("{}", rsn_bench::tables::table8_text());
 }

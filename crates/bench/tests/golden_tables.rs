@@ -2,9 +2,11 @@
 //!
 //! Each test renders a table through the same library function its binary
 //! prints (`rsn_bench::tables`, no subprocess) and compares the bytes
-//! against a checked-in snapshot under `tests/golden/`.  The snapshots pin
-//! the exact table text across refactors — in particular, rewiring `table9`
-//! and `table10` through the batched evaluation service must not change a
+//! against a checked-in snapshot under `tests/golden/`.  All twelve paper
+//! binaries (table3–table11, fig09, fig16, fig18) are pinned.  The
+//! snapshots fix the exact table text across refactors — in particular,
+//! rewiring `table9`/`table10` through the batched evaluation service (or
+//! through remote shards, see `tests/remote_tables.rs`) must not change a
 //! byte.
 //!
 //! To regenerate after an intentional model change:
@@ -76,4 +78,44 @@ fn golden_table10() {
 #[test]
 fn golden_fig09() {
     check_golden("fig09", &tables::fig09_text());
+}
+
+#[test]
+fn golden_table4() {
+    check_golden("table4", &tables::table4_text());
+}
+
+#[test]
+fn golden_table5() {
+    check_golden("table5", &tables::table5_text());
+}
+
+#[test]
+fn golden_table6() {
+    check_golden("table6", &tables::table6_text());
+}
+
+#[test]
+fn golden_table7() {
+    check_golden("table7", &tables::table7_text());
+}
+
+#[test]
+fn golden_table8() {
+    check_golden("table8", &tables::table8_text());
+}
+
+#[test]
+fn golden_table11() {
+    check_golden("table11", &tables::table11_text());
+}
+
+#[test]
+fn golden_fig16() {
+    check_golden("fig16", &tables::fig16_text());
+}
+
+#[test]
+fn golden_fig18() {
+    check_golden("fig18", &tables::fig18_text());
 }

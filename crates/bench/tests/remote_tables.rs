@@ -1,0 +1,40 @@
+//! Paper tables rendered through cross-process backend shards.
+//!
+//! A loopback shard server hosts the exact backends a table binary uses;
+//! the table text is then rendered through `RemoteBackend`s and must be
+//! byte-identical to the in-process rendering (which the golden snapshots
+//! under `tests/golden/` pin).  This is the end-to-end guarantee of the
+//! remote layer: a table does not change by a byte no matter where its
+//! backends run.
+
+use rsn_bench::tables;
+use rsn_serve::remote::ShardServer;
+use rsn_serve::{EvalService, ShardRouter};
+
+/// Renders a table through a service whose every backend lives behind a
+/// loopback shard server.
+fn render_remotely(
+    backends: rsn_eval::Evaluator,
+    render: impl Fn(&EvalService) -> String,
+) -> String {
+    let server =
+        ShardServer::bind("127.0.0.1:0", EvalService::new(backends)).expect("bind loopback shard");
+    let service = ShardRouter::new()
+        .remote(&server.local_addr().to_string())
+        .expect("loopback shard reachable")
+        .build()
+        .expect("unique shard names");
+    render(&service)
+}
+
+#[test]
+fn table9_is_byte_identical_through_remote_shards() {
+    let remote = render_remotely(tables::table9_backends(), tables::table9_text_with);
+    assert_eq!(remote, tables::table9_text());
+}
+
+#[test]
+fn table10_is_byte_identical_through_remote_shards() {
+    let remote = render_remotely(tables::table10_backends(), tables::table10_text_with);
+    assert_eq!(remote, tables::table10_text());
+}

@@ -41,6 +41,24 @@ pub enum EvalError {
         /// Panic payload, when it was a string.
         reason: String,
     },
+    /// Reaching a remote backend shard failed (connection refused, a dead
+    /// peer, a malformed frame).  Produced by the cross-process serving
+    /// layer; like `Panicked`, transport errors are never cached, so a
+    /// restarted shard serves the next request normally.
+    Transport {
+        /// Backend (shard) name.
+        backend: String,
+        /// Transport-level failure description.
+        detail: String,
+    },
+    /// An error a remote shard reported whose structured payload does not
+    /// cross the wire (engine errors carry `rsn-core` types).  Displays the
+    /// remote error text verbatim, so re-emitted documents stay
+    /// byte-identical to what the shard produced.
+    Remote {
+        /// The remote error's display text.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for EvalError {
@@ -69,6 +87,10 @@ impl std::fmt::Display for EvalError {
                 f,
                 "backend `{backend}` panicked while evaluating `{workload}`: {reason}"
             ),
+            EvalError::Transport { backend, detail } => {
+                write!(f, "transport to backend shard `{backend}` failed: {detail}")
+            }
+            EvalError::Remote { message } => write!(f, "{message}"),
         }
     }
 }

@@ -1,0 +1,112 @@
+//! `shardd` — hosts backend worker pools as a remote evaluation shard.
+//!
+//! ```sh
+//! shardd --listen 127.0.0.1:7070 --backends rsn-xnn,charm --workers 2
+//! ```
+//!
+//! The first stdout line is always `shardd listening on <addr>` (with the
+//! real port when `--listen` used port 0), so launchers can scrape the
+//! address; everything else goes to stderr.  The process serves until
+//! killed — clients reconnect per request, so restarting a shard is
+//! transparent to them.
+
+use rsn_eval::{default_backends, Evaluator};
+use rsn_serve::remote::ShardServer;
+use rsn_serve::{EvalService, ServiceConfig};
+use std::io::Write as _;
+
+const USAGE: &str = "usage: shardd [--listen ADDR] [--backends NAME,NAME,...] \
+                     [--workers N] [--cache-capacity N]\n\
+                     \n\
+                     --listen ADDR        bind address (default 127.0.0.1:7070; port 0 picks one)\n\
+                     --backends NAMES     comma-separated backend names to host (default: all)\n\
+                     --workers N          worker threads per hosted backend (default 2)\n\
+                     --cache-capacity N   bound the report cache to N completed entries\n";
+
+fn fail(message: &str) -> ! {
+    eprintln!("shardd: {message}");
+    eprint!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:7070".to_string();
+    let mut backend_names: Option<Vec<String>> = None;
+    let mut config = ServiceConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--listen" => listen = value("--listen"),
+            "--backends" => {
+                backend_names = Some(
+                    value("--backends")
+                        .split(',')
+                        .map(|name| name.trim().to_string())
+                        .filter(|name| !name.is_empty())
+                        .collect(),
+                );
+            }
+            "--workers" => {
+                config.workers_per_backend = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--workers needs an integer"));
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = Some(
+                    value("--cache-capacity")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--cache-capacity needs an integer")),
+                );
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let mut evaluator = Evaluator::empty();
+    let mut available = Vec::new();
+    for backend in default_backends() {
+        available.push(backend.name().to_string());
+        let wanted = backend_names
+            .as_ref()
+            .is_none_or(|names| names.iter().any(|n| n == backend.name()));
+        if wanted {
+            evaluator.register(backend);
+        }
+    }
+    if let Some(names) = &backend_names {
+        for name in names {
+            if !available.contains(name) {
+                fail(&format!(
+                    "unknown backend `{name}` (available: {})",
+                    available.join(", ")
+                ));
+            }
+        }
+    }
+    if evaluator.backends().is_empty() {
+        fail("no backends selected");
+    }
+
+    let service = EvalService::with_config(evaluator, config);
+    let server = match ShardServer::bind(&listen, service) {
+        Ok(server) => server,
+        Err(e) => fail(&format!("binding {listen} failed: {e}")),
+    };
+    println!("shardd listening on {}", server.local_addr());
+    std::io::stdout().flush().expect("flush listen line");
+    eprintln!("shardd hosting: {}", server.backend_names().join(", "));
+
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,12 +1,22 @@
-//! The keyed report cache with in-flight deduplication.
+//! The keyed report cache with in-flight deduplication and an optional
+//! capacity bound.
 //!
 //! Keys are `(backend shard, WorkloadSpec)` — the same spec evaluated by two
 //! backends is two cache lines.  A lookup either returns a completed result,
 //! merges the caller onto an identical evaluation that is already running,
 //! or reserves the key so exactly one worker computes it.  Evaluation is
-//! deterministic, so successful entries never expire; a deduplicated caller
+//! deterministic, so successful entries never go stale; with the default
+//! unbounded capacity they never expire either, and a deduplicated caller
 //! shares the very report every other caller of that key receives.  Failed
 //! evaluations are *not* retained (see [`ReportCache::complete`]).
+//!
+//! With a capacity bound (`ServiceConfig::cache_capacity`), publishing a
+//! result beyond the bound evicts the least-recently-used *completed* entry
+//! (in-flight entries are owed to waiters and never evicted).  Recency is a
+//! monotone tick bumped on every hit, so the policy is true LRU over
+//! completed entries; the eviction scan is `O(entries)`, which is fine for
+//! the few-thousand-entry capacities the service uses and keeps hits
+//! allocation-free.
 
 use rsn_eval::{EvalError, EvalReport, WorkloadSpec};
 use std::collections::HashMap;
@@ -22,10 +32,14 @@ enum Entry<W> {
     /// (including the one that reserved the key).
     InFlight(Vec<W>),
     /// Finished; served to all future lookups without re-evaluating.
-    Ready(CachedResult),
+    /// `last_used` is the recency tick of the latest hit (or the insert).
+    Ready {
+        result: CachedResult,
+        last_used: u64,
+    },
 }
 
-/// Outcome of [`ReportCache::lookup_or_reserve`].
+/// Outcome of [`CacheTxn::lookup_or_reserve`].
 pub(crate) enum Lookup {
     /// The key was already computed; here is the cached result.
     Ready(CachedResult),
@@ -36,16 +50,41 @@ pub(crate) enum Lookup {
     Reserved,
 }
 
+struct CacheState<W> {
+    entries: HashMap<(usize, WorkloadSpec), Entry<W>>,
+    /// Completed entries resident (in-flight entries do not count toward
+    /// the capacity bound).
+    ready: usize,
+    /// Monotone recency clock; bumped on every hit and publish.
+    tick: u64,
+}
+
 /// `WorkloadSpec → EvalReport` cache, sharded by backend index, generic over
 /// the waiter bookkeeping the service attaches to in-flight keys.
 pub(crate) struct ReportCache<W> {
-    map: Mutex<HashMap<(usize, WorkloadSpec), Entry<W>>>,
+    state: Mutex<CacheState<W>>,
+    /// Maximum completed entries; `None` is unbounded.
+    capacity: Option<usize>,
 }
 
 impl<W> ReportCache<W> {
+    /// An unbounded cache (entries never expire).
+    #[cfg(test)]
     pub fn new() -> Self {
+        Self::with_capacity(None)
+    }
+
+    /// A cache bounded to `capacity` completed entries; `Some(0)` is
+    /// clamped to one entry so a publish is always observable by the
+    /// waiters that raced with it.
+    pub fn with_capacity(capacity: Option<usize>) -> Self {
         Self {
-            map: Mutex::new(HashMap::new()),
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                ready: 0,
+                tick: 0,
+            }),
+            capacity: capacity.map(|c| c.max(1)),
         }
     }
 
@@ -54,63 +93,102 @@ impl<W> ReportCache<W> {
     /// the per-report locking cost shrinks with batch size.
     pub fn begin(&self) -> CacheTxn<'_, W> {
         CacheTxn {
-            map: self.map.lock().expect("cache lock"),
+            state: self.state.lock().expect("cache lock"),
         }
     }
 
-    /// Publishes the result for a reserved key, returning the shared result
-    /// plus every waiter that merged onto it (in arrival order, the
-    /// reserver first).
+    /// Publishes the result for a reserved key, returning the shared result,
+    /// every waiter that merged onto it (in arrival order, the reserver
+    /// first), and how many completed entries the capacity bound evicted.
     ///
     /// Only successful reports are retained: an error is delivered to every
     /// caller that raced with the evaluation but the key is vacated, so a
-    /// transient failure (a panic, a resource hiccup) never poisons a
-    /// `(backend, spec)` pair for the life of the service — the next request
-    /// re-evaluates.  Deterministic errors (unsupported/too-large) are cheap
-    /// for backends to re-produce, so losing negative caching costs little.
+    /// transient failure (a panic, a resource hiccup, a dead remote shard)
+    /// never poisons a `(backend, spec)` pair for the life of the service —
+    /// the next request re-evaluates.  Deterministic errors
+    /// (unsupported/too-large) are cheap for backends to re-produce, so
+    /// losing negative caching costs little.
     pub fn complete(
         &self,
         backend: usize,
         spec: &WorkloadSpec,
         result: Result<EvalReport, EvalError>,
-    ) -> (CachedResult, Vec<W>) {
+    ) -> (CachedResult, Vec<W>, u64) {
         let result = Arc::new(result);
-        let mut map = self.map.lock().expect("cache lock");
+        let mut state = self.state.lock().expect("cache lock");
+        state.tick += 1;
+        let tick = state.tick;
         let previous = if result.is_ok() {
-            map.insert((backend, spec.clone()), Entry::Ready(Arc::clone(&result)))
+            state.entries.insert(
+                (backend, spec.clone()),
+                Entry::Ready {
+                    result: Arc::clone(&result),
+                    last_used: tick,
+                },
+            )
         } else {
-            map.remove(&(backend, spec.clone()))
+            state.entries.remove(&(backend, spec.clone()))
         };
+        match (&previous, result.is_ok()) {
+            (Some(Entry::Ready { .. }), true) => {} // replaced in place
+            (Some(Entry::Ready { .. }), false) => state.ready -= 1, // removed
+            (_, true) => state.ready += 1,
+            (_, false) => {}
+        }
         let waiters = match previous {
             Some(Entry::InFlight(waiters)) => waiters,
             _ => Vec::new(),
         };
-        (result, waiters)
+        let mut evicted = 0;
+        if let Some(capacity) = self.capacity {
+            while state.ready > capacity {
+                let victim = state
+                    .entries
+                    .iter()
+                    .filter_map(|(key, entry)| match entry {
+                        Entry::Ready { last_used, .. } => Some((*last_used, key.clone())),
+                        Entry::InFlight(_) => None,
+                    })
+                    .min_by_key(|(last_used, _)| *last_used)
+                    .map(|(_, key)| key)
+                    .expect("ready count > 0 implies a ready entry");
+                state.entries.remove(&victim);
+                state.ready -= 1;
+                evicted += 1;
+            }
+        }
+        (result, waiters, evicted)
     }
 
     /// Number of cached keys (both in-flight and ready).
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
+        self.state.lock().expect("cache lock").entries.len()
     }
 }
 
 /// A batch-scoped cache transaction (holds the lock until dropped).
 pub(crate) struct CacheTxn<'a, W> {
-    map: std::sync::MutexGuard<'a, HashMap<(usize, WorkloadSpec), Entry<W>>>,
+    state: std::sync::MutexGuard<'a, CacheState<W>>,
 }
 
 impl<W> CacheTxn<'_, W> {
     /// Looks up / reserves one `(backend, spec)` slot inside the
     /// transaction.
     pub fn lookup_or_reserve(&mut self, backend: usize, spec: &WorkloadSpec, waiter: W) -> Lookup {
-        match self.map.get_mut(&(backend, spec.clone())) {
-            Some(Entry::Ready(result)) => Lookup::Ready(Arc::clone(result)),
+        self.state.tick += 1;
+        let tick = self.state.tick;
+        match self.state.entries.get_mut(&(backend, spec.clone())) {
+            Some(Entry::Ready { result, last_used }) => {
+                *last_used = tick;
+                Lookup::Ready(Arc::clone(result))
+            }
             Some(Entry::InFlight(waiters)) => {
                 waiters.push(waiter);
                 Lookup::Merged
             }
             None => {
-                self.map
+                self.state
+                    .entries
                     .insert((backend, spec.clone()), Entry::InFlight(vec![waiter]));
                 Lookup::Reserved
             }
@@ -125,6 +203,10 @@ mod tests {
 
     fn spec() -> WorkloadSpec {
         WorkloadSpec::SquareGemm { n: 64 }
+    }
+
+    fn sized_spec(n: usize) -> WorkloadSpec {
+        WorkloadSpec::SquareGemm { n }
     }
 
     #[test]
@@ -146,9 +228,10 @@ mod tests {
                 Lookup::Reserved
             ));
         }
-        let (result, waiters) = cache.complete(0, &spec(), Ok(EvalReport::new("b", "w")));
+        let (result, waiters, evicted) = cache.complete(0, &spec(), Ok(EvalReport::new("b", "w")));
         assert!(result.is_ok());
         assert_eq!(waiters, vec![1, 2]);
+        assert_eq!(evicted, 0);
         let hit = |waiter| match cache.begin().lookup_or_reserve(0, &spec(), waiter) {
             Lookup::Ready(result) => result,
             _ => panic!("expected ready entry"),
@@ -171,7 +254,7 @@ mod tests {
             cache.begin().lookup_or_reserve(0, &spec(), 2),
             Lookup::Merged
         ));
-        let (result, waiters) = cache.complete(
+        let (result, waiters, evicted) = cache.complete(
             0,
             &spec(),
             Err(EvalError::Panicked {
@@ -183,12 +266,90 @@ mod tests {
         // Racing waiters get the error...
         assert!(result.is_err());
         assert_eq!(waiters, vec![1, 2]);
+        assert_eq!(evicted, 0);
         // ...but the key is vacated: the next lookup re-reserves instead of
         // serving a permanently poisoned entry.
         assert_eq!(cache.len(), 0);
         assert!(matches!(
             cache.begin().lookup_or_reserve(0, &spec(), 3),
             Lookup::Reserved
+        ));
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used_completed_entry() {
+        let cache: ReportCache<u32> = ReportCache::with_capacity(Some(2));
+        for n in 1..=2usize {
+            assert!(matches!(
+                cache.begin().lookup_or_reserve(0, &sized_spec(n), n as u32),
+                Lookup::Reserved
+            ));
+            let (_, _, evicted) = cache.complete(0, &sized_spec(n), Ok(EvalReport::new("b", "w")));
+            assert_eq!(evicted, 0);
+        }
+        // Touch entry 1 so entry 2 becomes the LRU victim.
+        assert!(matches!(
+            cache.begin().lookup_or_reserve(0, &sized_spec(1), 9),
+            Lookup::Ready(_)
+        ));
+        assert!(matches!(
+            cache.begin().lookup_or_reserve(0, &sized_spec(3), 10),
+            Lookup::Reserved
+        ));
+        let (_, _, evicted) = cache.complete(0, &sized_spec(3), Ok(EvalReport::new("b", "w")));
+        assert_eq!(evicted, 1);
+        assert_eq!(cache.len(), 2);
+        // Entry 2 was evicted; entries 1 and 3 remain ready.
+        assert!(matches!(
+            cache.begin().lookup_or_reserve(0, &sized_spec(2), 11),
+            Lookup::Reserved
+        ));
+        assert!(matches!(
+            cache.begin().lookup_or_reserve(0, &sized_spec(1), 12),
+            Lookup::Ready(_)
+        ));
+        assert!(matches!(
+            cache.begin().lookup_or_reserve(0, &sized_spec(3), 13),
+            Lookup::Ready(_)
+        ));
+    }
+
+    #[test]
+    fn inflight_entries_are_never_evicted() {
+        let cache: ReportCache<u32> = ReportCache::with_capacity(Some(1));
+        // Three reservations in flight at once — all must survive even
+        // though the completed-entry capacity is one.
+        for n in 1..=3usize {
+            assert!(matches!(
+                cache.begin().lookup_or_reserve(0, &sized_spec(n), n as u32),
+                Lookup::Reserved
+            ));
+        }
+        assert_eq!(cache.len(), 3);
+        let mut total_evicted = 0;
+        for n in 1..=3usize {
+            let (_, waiters, evicted) =
+                cache.complete(0, &sized_spec(n), Ok(EvalReport::new("b", "w")));
+            assert_eq!(waiters, vec![n as u32]);
+            total_evicted += evicted;
+        }
+        // Each publish beyond the first displaced the previous survivor.
+        assert_eq!(total_evicted, 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let cache: ReportCache<u32> = ReportCache::with_capacity(Some(0));
+        assert!(matches!(
+            cache.begin().lookup_or_reserve(0, &spec(), 1),
+            Lookup::Reserved
+        ));
+        let (_, _, evicted) = cache.complete(0, &spec(), Ok(EvalReport::new("b", "w")));
+        assert_eq!(evicted, 0);
+        assert!(matches!(
+            cache.begin().lookup_or_reserve(0, &spec(), 2),
+            Lookup::Ready(_)
         ));
     }
 }

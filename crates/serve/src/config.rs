@@ -20,6 +20,14 @@ pub struct ServiceConfig {
     /// backend and serves only that backend's work queue, so a slow or
     /// poisoned backend can never stall another backend's requests.
     pub workers_per_backend: usize,
+    /// Optional bound on completed report-cache entries.  `None` (the
+    /// default) keeps the cache append-only — correct for deterministic
+    /// backends but unbounded in memory when the spec stream churns.
+    /// `Some(n)` evicts the least-recently-used *completed* entry once more
+    /// than `n` are resident (in-flight entries are never evicted; they are
+    /// owed to waiters).  Evictions are counted in
+    /// [`ServiceStats::evictions`](crate::ServiceStats::evictions).
+    pub cache_capacity: Option<usize>,
 }
 
 impl ServiceConfig {
@@ -39,6 +47,7 @@ impl Default for ServiceConfig {
             max_batch: 16,
             batch_deadline: Duration::from_millis(1),
             workers_per_backend: 2,
+            cache_capacity: None,
         }
     }
 }

@@ -76,14 +76,31 @@
 //! assert_eq!(response.results.len(), 1);
 //! ```
 
+//! ## Cross-process shards
+//!
+//! [`remote`] scales the service past one process: a
+//! [`ShardServer`](remote::ShardServer) hosts an `EvalService`'s worker
+//! pools behind a TCP listener speaking the length-prefixed JSON protocol
+//! of [`wire`], and a [`RemoteBackend`](remote::RemoteBackend) implements
+//! [`Backend`](rsn_eval::Backend) over that protocol, so remote pools slot
+//! into an [`EvalService`] (or a bare `Evaluator`) exactly like local ones.
+//! [`ShardRouter`] assembles mixed local/remote services and rejects
+//! ambiguous (duplicate-name) mixes; `ServiceStats::per_shard` attributes
+//! work and failures to each shard.  Evaluation is deterministic wherever
+//! it runs, so grids and rendered tables are byte-identical either way —
+//! the loopback integration tests pin this.
+
 mod cache;
 pub mod config;
 pub mod json;
+pub mod remote;
 pub mod request;
 pub mod service;
 pub mod stats;
+pub mod wire;
 
 pub use config::ServiceConfig;
+pub use remote::{RemoteBackend, ShardServer};
 pub use request::{BackendSelector, EvalRequest, EvalResponse, Priority, ResponseHandle};
-pub use service::EvalService;
-pub use stats::ServiceStats;
+pub use service::{EvalService, RouterError, ShardRouter};
+pub use stats::{ServiceStats, ShardStats};

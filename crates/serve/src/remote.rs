@@ -1,0 +1,321 @@
+//! Cross-process backend shards: a TCP server hosting an [`EvalService`]'s
+//! worker pools, and a [`RemoteBackend`] client that makes a remote shard
+//! look like any other [`Backend`].
+//!
+//! ```text
+//!  client process                         shard process (shardd)
+//!  ───────────────                        ──────────────────────
+//!  EvalService                            ShardServer
+//!    ├─ local backend pools                 └─ EvalService
+//!    └─ RemoteBackend ── tcp frames ──────►     ├─ backend pools
+//!         (one per remote pool)                 └─ report cache
+//! ```
+//!
+//! Because [`RemoteBackend`] implements the [`Backend`] trait, remote shards
+//! slot transparently into everything built on the evaluation layer: the
+//! sweep runner, [`EvalService`] batching/caching, and the table binaries.
+//! Evaluation stays deterministic wherever it runs, so a grid computed
+//! through a remote shard is byte-identical (through the `crate::json`
+//! emitters and the rendered table text) to the same grid computed
+//! in-process — the loopback integration tests pin exactly that.
+//!
+//! # Failure semantics
+//!
+//! Transport failures (dead shard, malformed frame, timeout) surface as
+//! [`EvalError::Transport`] — a domain *result*, not a panic, so one dead
+//! shard fails only the requests routed to it.  Like every error, transport
+//! failures are never retained by the report cache: a restarted shard
+//! serves the next request for the same spec normally.
+
+use crate::service::EvalService;
+use crate::stats::ServiceStats;
+use crate::wire::{read_frame, write_frame, ShardRequest, ShardResponse, WireError};
+use rsn_eval::{Backend, EvalError, EvalReport, WorkloadSpec};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default bound on a remote exchange (connect, send, evaluate, receive).
+pub const DEFAULT_REMOTE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A TCP server hosting one [`EvalService`] as a backend shard.
+///
+/// Each accepted connection is served by its own thread; one connection
+/// carries any number of sequential request/response exchanges (see
+/// [`crate::wire`] for the protocol).  Dropping the server stops accepting
+/// and unblocks the listener; connections already answering finish their
+/// in-flight exchange and die with their sockets.
+pub struct ShardServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    service: Arc<EvalService>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ShardServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// serving the given service's backends.
+    pub fn bind(addr: &str, service: EvalService) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let service = Arc::new(service);
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let service = Arc::clone(&service);
+                    std::thread::spawn(move || serve_connection(stream, &service));
+                }
+            })
+        };
+        Ok(Self {
+            local_addr,
+            shutdown,
+            service,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The hosted service's statistics (includes per-shard counters for the
+    /// backends this server hosts).
+    pub fn stats(&self) -> ServiceStats {
+        self.service.stats()
+    }
+
+    /// Names of the backends this server hosts, in registration order.
+    pub fn backend_names(&self) -> &[String] {
+        self.service.backend_names()
+    }
+}
+
+impl Drop for ShardServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// How long a connection may sit idle between requests before the server
+/// reaps it.  Clients open a fresh connection per exchange and never idle
+/// mid-exchange, so only abandoned sockets (a peer that vanished without a
+/// FIN) hit this — without it, each one would pin a server thread forever.
+const SERVER_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Serves one connection: frames in, frames out, until EOF, an idle
+/// timeout, or a socket error.  Malformed frames are answered with a
+/// protocol-level rejection (id 0, since the request id never decoded) and
+/// the connection closes — after a framing error the stream position can
+/// no longer be trusted.
+fn serve_connection(mut stream: TcpStream, service: &EvalService) {
+    if stream.set_read_timeout(Some(SERVER_IDLE_TIMEOUT)).is_err() {
+        return;
+    }
+    loop {
+        let doc = match read_frame(&mut stream) {
+            Ok(Some(doc)) => doc,
+            Ok(None) => return,
+            // Idle reap: the peer went quiet, there is nobody to answer.
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return;
+            }
+            Err(error) => {
+                let rejection = ShardResponse::Rejected(error.to_string());
+                let _ = write_frame(&mut stream, &rejection.to_json(0));
+                return;
+            }
+        };
+        let (id, response) = match ShardRequest::from_json(&doc) {
+            Ok((id, request)) => (id, answer(service, request)),
+            Err(error) => (0, ShardResponse::Rejected(error.to_string())),
+        };
+        if write_frame(&mut stream, &response.to_json(id)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Answers one decoded request against the hosted service.
+fn answer(service: &EvalService, request: ShardRequest) -> ShardResponse {
+    match request {
+        ShardRequest::Hello => ShardResponse::Backends(service.backend_names().to_vec()),
+        ShardRequest::Supports { backend, spec } => {
+            match service.backend_supports(&backend, &spec) {
+                Some(supported) => ShardResponse::Supported(supported),
+                None => ShardResponse::Rejected(format!("unknown backend `{backend}`")),
+            }
+        }
+        ShardRequest::Evaluate { backend, spec } => {
+            if !service.backend_names().contains(&backend) {
+                return ShardResponse::Rejected(format!("unknown backend `{backend}`"));
+            }
+            let response = service
+                .submit_batch(
+                    vec![spec],
+                    crate::request::BackendSelector::Named(vec![backend]),
+                    crate::request::Priority::Normal,
+                )
+                .wait();
+            let result = response
+                .results
+                .into_iter()
+                .next()
+                .map(|(_, result)| (*result).clone())
+                .unwrap_or_else(|| {
+                    Err(EvalError::Remote {
+                        message: "shard produced no result slot".to_string(),
+                    })
+                });
+            ShardResponse::Evaluated(result)
+        }
+        ShardRequest::Stats => ShardResponse::Stats(service.stats()),
+    }
+}
+
+/// A [`Backend`] whose evaluations run in a shard server across a TCP
+/// connection.
+///
+/// Each call opens a fresh connection, so concurrent evaluations (the
+/// service worker pools, the sweep runner's thread fan-out) never serialise
+/// on a shared socket, and a shard restart between calls is transparent.
+/// All socket operations carry a timeout ([`DEFAULT_REMOTE_TIMEOUT`] unless
+/// overridden with [`with_timeout`](Self::with_timeout)), so a hung shard
+/// yields [`EvalError::Transport`], never a stuck worker.
+#[derive(Debug, Clone)]
+pub struct RemoteBackend {
+    addr: String,
+    name: String,
+    timeout: Duration,
+}
+
+impl RemoteBackend {
+    /// Performs the `hello` handshake against a shard server and returns
+    /// one `RemoteBackend` per backend it hosts, in the server's
+    /// registration order.
+    pub fn connect_all(addr: &str) -> Result<Vec<RemoteBackend>, WireError> {
+        let probe = RemoteBackend::named(addr, "");
+        match probe.exchange(&ShardRequest::Hello)? {
+            ShardResponse::Backends(names) => Ok(names
+                .into_iter()
+                .map(|name| RemoteBackend::named(addr, &name))
+                .collect()),
+            ShardResponse::Rejected(message) => Err(WireError::Rejected(message)),
+            _ => Err(WireError::Rejected(
+                "shard answered hello with an unexpected payload".to_string(),
+            )),
+        }
+    }
+
+    /// A client for one named backend on a shard server (no handshake; the
+    /// name is trusted).
+    pub fn named(addr: &str, name: &str) -> RemoteBackend {
+        RemoteBackend {
+            addr: addr.to_string(),
+            name: name.to_string(),
+            timeout: DEFAULT_REMOTE_TIMEOUT,
+        }
+    }
+
+    /// Returns the backend with a different exchange timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The shard server address this backend evaluates on.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// One request/response exchange over a fresh connection.  Connect,
+    /// read and write all carry the exchange timeout — a blackholed shard
+    /// host (dropped SYNs, no RST) fails within `self.timeout`, not the
+    /// OS's multi-minute TCP default, so no worker thread ever hangs on a
+    /// dead peer.
+    fn exchange(&self, request: &ShardRequest) -> Result<ShardResponse, WireError> {
+        use std::net::ToSocketAddrs;
+        let resolved = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                format!("`{}` resolves to no address", self.addr),
+            ))
+        })?;
+        let mut stream = TcpStream::connect_timeout(&resolved, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        write_frame(&mut stream, &request.to_json(1))?;
+        let doc = read_frame(&mut stream)?.ok_or_else(|| {
+            WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "shard closed the connection before answering",
+            ))
+        })?;
+        let (_, response) = ShardResponse::from_json(&doc)?;
+        Ok(response)
+    }
+
+    fn transport_error(&self, error: &WireError) -> EvalError {
+        EvalError::Transport {
+            backend: self.name.clone(),
+            detail: error.to_string(),
+        }
+    }
+}
+
+impl Backend for RemoteBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Probes the shard; an unreachable shard reports `false` (the
+    /// `supports` contract has no error channel — `evaluate` will surface
+    /// the [`EvalError::Transport`] if the caller proceeds anyway).
+    fn supports(&self, workload: &WorkloadSpec) -> bool {
+        matches!(
+            self.exchange(&ShardRequest::Supports {
+                backend: self.name.clone(),
+                spec: workload.clone(),
+            }),
+            Ok(ShardResponse::Supported(true))
+        )
+    }
+
+    fn evaluate(&self, workload: &WorkloadSpec) -> Result<EvalReport, EvalError> {
+        match self.exchange(&ShardRequest::Evaluate {
+            backend: self.name.clone(),
+            spec: workload.clone(),
+        }) {
+            Ok(ShardResponse::Evaluated(result)) => result,
+            Ok(ShardResponse::Rejected(message)) => Err(EvalError::Transport {
+                backend: self.name.clone(),
+                detail: format!("shard rejected the request: {message}"),
+            }),
+            Ok(_) => Err(EvalError::Transport {
+                backend: self.name.clone(),
+                detail: "shard answered with an unexpected payload".to_string(),
+            }),
+            Err(error) => Err(self.transport_error(&error)),
+        }
+    }
+}

@@ -132,13 +132,13 @@ impl EvalService {
             .collect();
         let names: Vec<String> = backends.iter().map(|b| b.name().to_string()).collect();
         let inner = Arc::new(ServiceInner {
-            config,
             backends,
-            names,
             pending: Mutex::new(PendingQueues::default()),
             pending_cv: Condvar::new(),
-            cache: ReportCache::new(),
-            counters: StatsCounters::default(),
+            cache: ReportCache::with_capacity(config.cache_capacity),
+            counters: StatsCounters::for_shards(&names),
+            names,
+            config,
         });
 
         let mut senders = Vec::with_capacity(inner.backends.len());
@@ -180,6 +180,14 @@ impl EvalService {
     /// completed).
     pub fn cache_len(&self) -> usize {
         self.inner.cache.len()
+    }
+
+    /// Whether the named backend structurally supports `spec`; `None` when
+    /// no such backend is registered.  Used by the shard server to answer
+    /// remote `supports` probes without scheduling an evaluation.
+    pub fn backend_supports(&self, name: &str, spec: &WorkloadSpec) -> Option<bool> {
+        let index = self.inner.names.iter().position(|n| n == name)?;
+        Some(self.inner.backends[index].supports(spec))
     }
 
     /// Accepts a request; the returned handle resolves to exactly one
@@ -562,10 +570,19 @@ fn worker_loop(
                     })
                 });
             inner.counters.evaluations.fetch_add(1, Ordering::Relaxed);
+            let shard = &inner.counters.per_shard[task.backend];
+            shard.evaluations.fetch_add(1, Ordering::Relaxed);
             if result.is_err() {
                 inner.counters.eval_errors.fetch_add(1, Ordering::Relaxed);
+                shard.errors.fetch_add(1, Ordering::Relaxed);
             }
-            let (result, waiters) = inner.cache.complete(task.backend, &task.spec, result);
+            let (result, waiters, evicted) = inner.cache.complete(task.backend, &task.spec, result);
+            if evicted > 0 {
+                inner
+                    .counters
+                    .evictions
+                    .fetch_add(evicted, Ordering::Relaxed);
+            }
             for waiter in waiters {
                 fulfill(
                     inner,
@@ -576,6 +593,124 @@ fn worker_loop(
                 );
             }
         }
+    }
+}
+
+/// Why a [`ShardRouter`] could not assemble its service.
+#[derive(Debug)]
+pub enum RouterError {
+    /// Two pools (local or remote) advertise the same backend name; the
+    /// `BackendSelector::Named` path routes by name, so the mix would be
+    /// ambiguous.
+    DuplicateBackend(String),
+    /// Connecting to a remote shard server failed.
+    Connect {
+        /// The shard address that failed.
+        addr: String,
+        /// The transport failure.
+        source: crate::wire::WireError,
+    },
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::DuplicateBackend(name) => {
+                write!(f, "duplicate backend shard name `{name}`")
+            }
+            RouterError::Connect { addr, source } => {
+                write!(f, "connecting to shard server {addr} failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// Assembles an [`EvalService`] whose backend shards mix in-process pools
+/// and remote shard servers.
+///
+/// Local backends register directly; [`remote`](Self::remote) performs the
+/// `hello` handshake against a shard server and registers one
+/// [`RemoteBackend`](crate::remote::RemoteBackend) per backend the server
+/// hosts, in the server's registration order.  Because a remote shard is
+/// just another [`Backend`], the built service batches, caches and
+/// deduplicates across the mix transparently; per-shard activity (including
+/// transport failures, which count as that shard's errors) is surfaced in
+/// [`ServiceStats::per_shard`](crate::ServiceStats::per_shard).
+///
+/// Shard names must be unique across the mix — named routing would
+/// otherwise be ambiguous — so [`build`](Self::build) rejects duplicates.
+pub struct ShardRouter {
+    backends: Vec<Box<dyn Backend>>,
+    config: ServiceConfig,
+}
+
+impl Default for ShardRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardRouter {
+    /// An empty router with the default [`ServiceConfig`].
+    pub fn new() -> Self {
+        Self::with_config(ServiceConfig::default())
+    }
+
+    /// An empty router with explicit service tuning knobs.
+    pub fn with_config(config: ServiceConfig) -> Self {
+        Self {
+            backends: Vec::new(),
+            config,
+        }
+    }
+
+    /// Adds one in-process backend pool.
+    pub fn local(mut self, backend: Box<dyn Backend>) -> Self {
+        self.backends.push(backend);
+        self
+    }
+
+    /// Adds every backend of an [`Evaluator`] as in-process pools.
+    pub fn local_evaluator(mut self, evaluator: Evaluator) -> Self {
+        self.backends.extend(evaluator.into_backends());
+        self
+    }
+
+    /// Connects to a shard server and adds one remote pool per backend it
+    /// hosts (in the server's registration order).
+    pub fn remote(mut self, addr: &str) -> Result<Self, RouterError> {
+        let remotes = crate::remote::RemoteBackend::connect_all(addr).map_err(|source| {
+            RouterError::Connect {
+                addr: addr.to_string(),
+                source,
+            }
+        })?;
+        for remote in remotes {
+            self.backends.push(Box::new(remote));
+        }
+        Ok(self)
+    }
+
+    /// Backend shard names registered so far, in routing order.
+    pub fn backend_names(&self) -> Vec<String> {
+        self.backends.iter().map(|b| b.name().to_string()).collect()
+    }
+
+    /// Builds the service, rejecting duplicate shard names.
+    pub fn build(self) -> Result<EvalService, RouterError> {
+        let mut seen = std::collections::HashSet::new();
+        for backend in &self.backends {
+            if !seen.insert(backend.name().to_string()) {
+                return Err(RouterError::DuplicateBackend(backend.name().to_string()));
+            }
+        }
+        let mut evaluator = Evaluator::empty();
+        for backend in self.backends {
+            evaluator.register(backend);
+        }
+        Ok(EvalService::with_config(evaluator, self.config))
     }
 }
 
@@ -735,6 +870,7 @@ mod tests {
                 max_batch: 16,
                 batch_deadline: Duration::from_secs(30),
                 workers_per_backend: 1,
+                ..ServiceConfig::default()
             },
         );
         let start = std::time::Instant::now();
@@ -791,6 +927,74 @@ mod tests {
     }
 
     #[test]
+    fn capped_cache_stays_bounded_under_spec_churn() {
+        // A never-repeating spec stream: with an unbounded cache this grows
+        // one entry per spec; with a capacity it must plateau and count
+        // every displaced entry.
+        let capacity = 8usize;
+        let service = EvalService::with_config(
+            Evaluator::empty().with_backend(Box::new(SquareOnly { name: "alpha" })),
+            ServiceConfig {
+                cache_capacity: Some(capacity),
+                ..ServiceConfig::default()
+            },
+        );
+        let churn = 100usize;
+        for n in 0..churn {
+            let results = service.evaluate(&WorkloadSpec::SquareGemm { n });
+            assert!(results[0].is_ok());
+            assert!(
+                service.cache_len() <= capacity,
+                "cache grew past its capacity: {} > {capacity}",
+                service.cache_len()
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.evaluations, churn as u64);
+        assert_eq!(stats.evictions, (churn - capacity) as u64);
+        // The surviving tail is still served from the cache.
+        let before = service.stats().cache_hits + service.stats().inflight_merged;
+        service.evaluate(&WorkloadSpec::SquareGemm { n: churn - 1 });
+        let after = service.stats().cache_hits + service.stats().inflight_merged;
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn per_shard_counters_attribute_work_and_errors() {
+        let service = two_shard_service();
+        // Supported: both shards evaluate.  Unsupported: both shards error.
+        service.evaluate(&WorkloadSpec::SquareGemm { n: 4 });
+        service.evaluate(&WorkloadSpec::PowerBreakdown);
+        let stats = service.stats();
+        assert_eq!(stats.per_shard.len(), 2);
+        for name in ["alpha", "beta"] {
+            let shard = stats.shard(name).expect("registered shard");
+            assert_eq!(shard.evaluations, 2);
+            assert_eq!(shard.errors, 1);
+        }
+        assert_eq!(stats.evaluations, 4);
+        assert_eq!(stats.eval_errors, 2);
+    }
+
+    #[test]
+    fn router_rejects_duplicate_shard_names() {
+        let router = ShardRouter::new()
+            .local(Box::new(SquareOnly { name: "alpha" }))
+            .local(Box::new(SquareOnly { name: "alpha" }));
+        match router.build() {
+            Err(RouterError::DuplicateBackend(name)) => assert_eq!(name, "alpha"),
+            Err(other) => panic!("unexpected router error: {other}"),
+            Ok(_) => panic!("expected duplicate-name rejection"),
+        }
+        let service = ShardRouter::new()
+            .local(Box::new(SquareOnly { name: "alpha" }))
+            .local(Box::new(SquareOnly { name: "beta" }))
+            .build()
+            .expect("distinct names build");
+        assert_eq!(service.backend_names(), ["alpha", "beta"]);
+    }
+
+    #[test]
     fn service_batches_under_load() {
         let service = EvalService::with_config(
             Evaluator::empty().with_backend(Box::new(SquareOnly { name: "alpha" })),
@@ -798,6 +1002,7 @@ mod tests {
                 max_batch: 8,
                 batch_deadline: Duration::from_millis(5),
                 workers_per_backend: 2,
+                ..ServiceConfig::default()
             },
         );
         let handles: Vec<ResponseHandle> = (0..32)

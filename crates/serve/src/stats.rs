@@ -2,6 +2,15 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Per-backend-shard atomic counters (one set per registered backend, local
+/// or remote).
+#[derive(Debug)]
+pub(crate) struct ShardCounters {
+    pub name: String,
+    pub evaluations: AtomicU64,
+    pub errors: AtomicU64,
+}
+
 /// Internal atomic counters; incremented on the hot paths, read only by
 /// [`StatsCounters::snapshot`].
 #[derive(Debug, Default)]
@@ -15,9 +24,27 @@ pub(crate) struct StatsCounters {
     pub inflight_merged: AtomicU64,
     pub evaluations: AtomicU64,
     pub eval_errors: AtomicU64,
+    pub evictions: AtomicU64,
+    pub per_shard: Vec<ShardCounters>,
 }
 
 impl StatsCounters {
+    /// Counters with one per-shard slot per backend name, in registration
+    /// order.
+    pub fn for_shards(names: &[String]) -> Self {
+        Self {
+            per_shard: names
+                .iter()
+                .map(|name| ShardCounters {
+                    name: name.clone(),
+                    evaluations: AtomicU64::new(0),
+                    errors: AtomicU64::new(0),
+                })
+                .collect(),
+            ..Self::default()
+        }
+    }
+
     pub fn snapshot(&self) -> ServiceStats {
         ServiceStats {
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -29,12 +56,35 @@ impl StatsCounters {
             inflight_merged: self.inflight_merged.load(Ordering::Relaxed),
             evaluations: self.evaluations.load(Ordering::Relaxed),
             eval_errors: self.eval_errors.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            per_shard: self
+                .per_shard
+                .iter()
+                .map(|shard| ShardStats {
+                    backend: shard.name.clone(),
+                    evaluations: shard.evaluations.load(Ordering::Relaxed),
+                    errors: shard.errors.load(Ordering::Relaxed),
+                })
+                .collect(),
         }
     }
 }
 
+/// Activity of one backend shard (a per-backend worker pool, local or
+/// behind a remote connection).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// The shard's backend display name.
+    pub backend: String,
+    /// `Backend::evaluate` calls this shard's workers executed.
+    pub evaluations: u64,
+    /// Of those, how many returned an error (or panicked, or failed in
+    /// transport for remote shards).
+    pub errors: u64,
+}
+
 /// A point-in-time snapshot of service activity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServiceStats {
     /// Submissions accepted (`submit` and `submit_batch` each count one).
     pub submitted: u64,
@@ -55,6 +105,12 @@ pub struct ServiceStats {
     pub evaluations: u64,
     /// Of those, how many returned an error (or panicked).
     pub eval_errors: u64,
+    /// Completed cache entries dropped by the capacity bound
+    /// ([`ServiceConfig::cache_capacity`](crate::ServiceConfig::cache_capacity));
+    /// zero while the cache is unbounded.
+    pub evictions: u64,
+    /// Per-backend-shard activity, in backend registration order.
+    pub per_shard: Vec<ShardStats>,
 }
 
 impl ServiceStats {
@@ -68,6 +124,11 @@ impl ServiceStats {
     pub fn dedup_ratio(&self) -> f64 {
         let served = self.cache_hits + self.inflight_merged;
         served as f64 / (served + self.cache_misses) as f64
+    }
+
+    /// The named shard's counters, if such a shard is registered.
+    pub fn shard(&self, backend: &str) -> Option<&ShardStats> {
+        self.per_shard.iter().find(|s| s.backend == backend)
     }
 }
 
@@ -87,5 +148,22 @@ mod tests {
         assert_eq!(stats.submitted, 5);
         assert!((stats.mean_batch_size() - 2.5).abs() < 1e-12);
         assert!((stats.dedup_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(stats.evictions, 0);
+        assert!(stats.per_shard.is_empty());
+    }
+
+    #[test]
+    fn per_shard_counters_snapshot_by_name() {
+        let counters = StatsCounters::for_shards(&["alpha".to_string(), "beta".to_string()]);
+        counters.per_shard[1]
+            .evaluations
+            .fetch_add(4, Ordering::Relaxed);
+        counters.per_shard[1].errors.fetch_add(1, Ordering::Relaxed);
+        let stats = counters.snapshot();
+        assert_eq!(stats.per_shard.len(), 2);
+        assert_eq!(stats.shard("alpha").unwrap().evaluations, 0);
+        let beta = stats.shard("beta").unwrap();
+        assert_eq!((beta.evaluations, beta.errors), (4, 1));
+        assert!(stats.shard("missing").is_none());
     }
 }

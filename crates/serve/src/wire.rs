@@ -1,0 +1,458 @@
+//! The shard wire protocol: length-prefixed JSON frames and the typed
+//! request/response messages that cross them.
+//!
+//! # Framing
+//!
+//! One frame is a 4-byte big-endian payload length followed by exactly that
+//! many bytes of UTF-8 JSON (the [`crate::json`] emitter's pretty form —
+//! deterministic, so a frame for a given message is byte-stable).  Frames
+//! larger than [`MAX_FRAME_BYTES`] are rejected on both sides, bounding
+//! what a malformed or hostile peer can make the other side allocate.
+//!
+//! # Messages
+//!
+//! Requests carry a client-chosen `id` that the response echoes, so a
+//! connection can be used for many sequential request/response exchanges:
+//!
+//! ```text
+//! {"id": 1, "kind": "hello"}                      → backends the shard hosts
+//! {"id": 2, "kind": "supports", "backend", "spec"} → {"supported": bool}
+//! {"id": 3, "kind": "evaluate", "backend", "spec"} → {"report"} | {"error"}
+//! {"id": 4, "kind": "stats"}                       → {"stats": {...}}
+//! ```
+//!
+//! An `"ok": false` response with a `"message"` reports a protocol-level
+//! failure (unparseable frame, unknown request kind, unknown backend name);
+//! evaluation failures are *domain* results and travel as structured
+//! [`EvalError`] documents inside an `"ok": true` response.
+
+use crate::json::{self, DecodeError, JsonParseError, JsonValue};
+use crate::stats::ServiceStats;
+use rsn_eval::{EvalError, EvalReport, WorkloadSpec};
+use std::io::{Read, Write};
+
+/// Upper bound on one frame's payload, sized generously above the largest
+/// document the service emits (a full-model report is a few tens of KiB).
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// A transport-layer failure: the connection died, a frame was malformed,
+/// or a peer spoke something that is not the shard protocol.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed (includes clean EOF mid-frame).
+    Io(std::io::Error),
+    /// A frame exceeded [`MAX_FRAME_BYTES`].
+    FrameTooLarge(u32),
+    /// A frame's payload was not valid JSON.
+    Parse(JsonParseError),
+    /// A frame's JSON did not decode into the expected message.
+    Decode(DecodeError),
+    /// The peer answered with a protocol-level failure.
+    Rejected(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::FrameTooLarge(len) => {
+                write!(
+                    f,
+                    "frame of {len} bytes exceeds the {MAX_FRAME_BYTES} byte bound"
+                )
+            }
+            WireError::Parse(e) => write!(f, "malformed frame: {e}"),
+            WireError::Decode(e) => write!(f, "unexpected frame: {e}"),
+            WireError::Rejected(message) => write!(f, "peer rejected the request: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<JsonParseError> for WireError {
+    fn from(e: JsonParseError) -> Self {
+        WireError::Parse(e)
+    }
+}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> Self {
+        WireError::Decode(e)
+    }
+}
+
+/// Writes one length-prefixed JSON frame.
+pub fn write_frame(writer: &mut impl Write, doc: &JsonValue) -> Result<(), WireError> {
+    let payload = doc.to_pretty();
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::FrameTooLarge(u32::MAX))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload.as_bytes())?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed JSON frame.  A clean EOF *before* the length
+/// prefix returns `Ok(None)` (the peer closed an idle connection); EOF
+/// mid-frame is an error.
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<JsonValue>, WireError> {
+    let mut prefix = [0u8; 4];
+    match reader.read(&mut prefix)? {
+        0 => return Ok(None),
+        mut filled => {
+            while filled < prefix.len() {
+                let n = reader.read(&mut prefix[filled..])?;
+                if n == 0 {
+                    return Err(WireError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed inside a frame length prefix",
+                    )));
+                }
+                filled += n;
+            }
+        }
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload)
+        .map_err(|e| WireError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e)))?;
+    Ok(Some(json::parse(&text)?))
+}
+
+/// One request a client can make of a shard server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardRequest {
+    /// "Which backends do you host?"
+    Hello,
+    /// "Can `backend` structurally evaluate `spec`?"
+    Supports {
+        /// Backend shard name.
+        backend: String,
+        /// The workload in question.
+        spec: WorkloadSpec,
+    },
+    /// "Evaluate `spec` on `backend`."
+    Evaluate {
+        /// Backend shard name.
+        backend: String,
+        /// The workload to evaluate.
+        spec: WorkloadSpec,
+    },
+    /// "How busy have you been?"
+    Stats,
+}
+
+impl ShardRequest {
+    /// Encodes the request with its exchange id.
+    pub fn to_json(&self, id: u64) -> JsonValue {
+        let mut pairs = vec![("id".to_string(), JsonValue::Int(id))];
+        match self {
+            ShardRequest::Hello => {
+                pairs.push(("kind".to_string(), JsonValue::Str("hello".to_string())));
+            }
+            ShardRequest::Supports { backend, spec } => {
+                pairs.push(("kind".to_string(), JsonValue::Str("supports".to_string())));
+                pairs.push(("backend".to_string(), JsonValue::Str(backend.clone())));
+                pairs.push(("spec".to_string(), json::workload_spec_json(spec)));
+            }
+            ShardRequest::Evaluate { backend, spec } => {
+                pairs.push(("kind".to_string(), JsonValue::Str("evaluate".to_string())));
+                pairs.push(("backend".to_string(), JsonValue::Str(backend.clone())));
+                pairs.push(("spec".to_string(), json::workload_spec_json(spec)));
+            }
+            ShardRequest::Stats => {
+                pairs.push(("kind".to_string(), JsonValue::Str("stats".to_string())));
+            }
+        }
+        JsonValue::Obj(pairs)
+    }
+
+    /// Decodes a request frame into `(id, request)`.
+    pub fn from_json(doc: &JsonValue) -> Result<(u64, Self), DecodeError> {
+        const CTX: &str = "ShardRequest";
+        let id = match doc.get("id") {
+            Some(JsonValue::Int(id)) => *id,
+            _ => {
+                return Err(DecodeError {
+                    context: CTX.to_string(),
+                    message: "missing integer `id`".to_string(),
+                })
+            }
+        };
+        let kind = match doc.get("kind") {
+            Some(JsonValue::Str(kind)) => kind.as_str(),
+            _ => {
+                return Err(DecodeError {
+                    context: CTX.to_string(),
+                    message: "missing string `kind`".to_string(),
+                })
+            }
+        };
+        let backend_and_spec = || -> Result<(String, WorkloadSpec), DecodeError> {
+            let backend = match doc.get("backend") {
+                Some(JsonValue::Str(name)) => name.clone(),
+                _ => {
+                    return Err(DecodeError {
+                        context: CTX.to_string(),
+                        message: "missing string `backend`".to_string(),
+                    })
+                }
+            };
+            let spec = doc.get("spec").ok_or_else(|| DecodeError {
+                context: CTX.to_string(),
+                message: "missing `spec`".to_string(),
+            })?;
+            Ok((backend, json::workload_spec_from_json(spec)?))
+        };
+        let request = match kind {
+            "hello" => ShardRequest::Hello,
+            "supports" => {
+                let (backend, spec) = backend_and_spec()?;
+                ShardRequest::Supports { backend, spec }
+            }
+            "evaluate" => {
+                let (backend, spec) = backend_and_spec()?;
+                ShardRequest::Evaluate { backend, spec }
+            }
+            "stats" => ShardRequest::Stats,
+            other => {
+                return Err(DecodeError {
+                    context: CTX.to_string(),
+                    message: format!("unknown request kind `{other}`"),
+                })
+            }
+        };
+        Ok((id, request))
+    }
+}
+
+/// One answer a shard server sends back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardResponse {
+    /// The backends this shard hosts, in registration order.
+    Backends(Vec<String>),
+    /// Whether the asked backend supports the asked spec.
+    Supported(bool),
+    /// The evaluation's domain result.
+    Evaluated(Result<EvalReport, EvalError>),
+    /// The shard's service statistics.
+    Stats(ServiceStats),
+    /// A protocol-level rejection (unknown backend/kind, malformed frame).
+    Rejected(String),
+}
+
+impl ShardResponse {
+    /// Encodes the response, echoing the request's exchange id.
+    pub fn to_json(&self, id: u64) -> JsonValue {
+        let ok = !matches!(self, ShardResponse::Rejected(_));
+        let mut pairs = vec![
+            ("id".to_string(), JsonValue::Int(id)),
+            ("ok".to_string(), JsonValue::Bool(ok)),
+        ];
+        match self {
+            ShardResponse::Backends(names) => pairs.push((
+                "backends".to_string(),
+                JsonValue::Arr(names.iter().map(|n| JsonValue::Str(n.clone())).collect()),
+            )),
+            ShardResponse::Supported(supported) => {
+                pairs.push(("supported".to_string(), JsonValue::Bool(*supported)));
+            }
+            ShardResponse::Evaluated(Ok(report)) => {
+                pairs.push(("report".to_string(), json::report_json(report)));
+            }
+            ShardResponse::Evaluated(Err(error)) => {
+                pairs.push(("error".to_string(), json::error_json(error)));
+            }
+            ShardResponse::Stats(stats) => {
+                pairs.push(("stats".to_string(), json::stats_json(stats)));
+            }
+            ShardResponse::Rejected(message) => {
+                pairs.push(("message".to_string(), JsonValue::Str(message.clone())));
+            }
+        }
+        JsonValue::Obj(pairs)
+    }
+
+    /// Decodes a response frame into `(id, response)`.
+    pub fn from_json(doc: &JsonValue) -> Result<(u64, Self), DecodeError> {
+        const CTX: &str = "ShardResponse";
+        let id = match doc.get("id") {
+            Some(JsonValue::Int(id)) => *id,
+            _ => {
+                return Err(DecodeError {
+                    context: CTX.to_string(),
+                    message: "missing integer `id`".to_string(),
+                })
+            }
+        };
+        if let Some(JsonValue::Bool(false)) = doc.get("ok") {
+            let message = match doc.get("message") {
+                Some(JsonValue::Str(m)) => m.clone(),
+                _ => "unspecified peer failure".to_string(),
+            };
+            return Ok((id, ShardResponse::Rejected(message)));
+        }
+        let response = if let Some(backends) = doc.get("backends") {
+            let names = match backends {
+                JsonValue::Arr(items) => items
+                    .iter()
+                    .map(|item| match item {
+                        JsonValue::Str(s) => Ok(s.clone()),
+                        _ => Err(DecodeError {
+                            context: CTX.to_string(),
+                            message: "backend names must be strings".to_string(),
+                        }),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => {
+                    return Err(DecodeError {
+                        context: CTX.to_string(),
+                        message: "`backends` must be an array".to_string(),
+                    })
+                }
+            };
+            ShardResponse::Backends(names)
+        } else if let Some(JsonValue::Bool(supported)) = doc.get("supported") {
+            ShardResponse::Supported(*supported)
+        } else if let Some(report) = doc.get("report") {
+            ShardResponse::Evaluated(Ok(json::report_from_json(report)?))
+        } else if let Some(error) = doc.get("error") {
+            ShardResponse::Evaluated(Err(json::error_from_json(error)?))
+        } else if let Some(stats) = doc.get("stats") {
+            ShardResponse::Stats(json::stats_from_json(stats)?)
+        } else {
+            return Err(DecodeError {
+                context: CTX.to_string(),
+                message: "response carries no recognised payload".to_string(),
+            });
+        };
+        Ok((id, response))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let doc = ShardRequest::Evaluate {
+            backend: "rsn-xnn".to_string(),
+            spec: WorkloadSpec::SquareGemm { n: 1024 },
+        }
+        .to_json(7);
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, &doc).expect("write frame");
+        // 4-byte prefix holds the payload length.
+        let payload_len = u32::from_be_bytes(buffer[..4].try_into().unwrap());
+        assert_eq!(payload_len as usize, buffer.len() - 4);
+        let read = read_frame(&mut Cursor::new(&buffer)).expect("read frame");
+        assert_eq!(read, Some(doc.clone()));
+        // Exchange round trip.
+        let (id, request) = ShardRequest::from_json(&doc).expect("decode request");
+        assert_eq!(id, 7);
+        assert!(matches!(request, ShardRequest::Evaluate { .. }));
+    }
+
+    #[test]
+    fn clean_eof_is_none_but_midframe_eof_is_an_error() {
+        assert!(matches!(read_frame(&mut Cursor::new(&[])), Ok(None)));
+        // A length prefix promising more bytes than follow.
+        let mut truncated = Vec::new();
+        truncated.extend_from_slice(&100u32.to_be_bytes());
+        truncated.extend_from_slice(b"short");
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&truncated)),
+            Err(WireError::Io(_))
+        ));
+        // Prefix itself truncated.
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&[0u8, 0])),
+            Err(WireError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocating() {
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_be_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&huge)),
+            Err(WireError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_payload_is_a_parse_error_with_position() {
+        let payload = b"{\"id\": oops}";
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        buffer.extend_from_slice(payload);
+        match read_frame(&mut Cursor::new(&buffer)) {
+            Err(WireError::Parse(e)) => {
+                assert_eq!((e.line, e.column), (1, 8));
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_request_and_response_round_trips() {
+        let requests = [
+            ShardRequest::Hello,
+            ShardRequest::Supports {
+                backend: "alpha".to_string(),
+                spec: WorkloadSpec::PowerBreakdown,
+            },
+            ShardRequest::Evaluate {
+                backend: "beta".to_string(),
+                spec: WorkloadSpec::FunctionalGemm {
+                    m: 8,
+                    k: 4,
+                    n: 8,
+                    seed: 3,
+                },
+            },
+            ShardRequest::Stats,
+        ];
+        for (id, request) in requests.into_iter().enumerate() {
+            let doc = request.to_json(id as u64);
+            assert_eq!(
+                ShardRequest::from_json(&doc).expect("request decodes"),
+                (id as u64, request)
+            );
+        }
+        let responses = [
+            ShardResponse::Backends(vec!["a".to_string(), "b".to_string()]),
+            ShardResponse::Supported(true),
+            ShardResponse::Evaluated(Ok(EvalReport::new("a", "w"))),
+            ShardResponse::Evaluated(Err(EvalError::Unsupported {
+                backend: "a".to_string(),
+                workload: "w".to_string(),
+            })),
+            ShardResponse::Stats(ServiceStats::default()),
+            ShardResponse::Rejected("unknown backend `zeta`".to_string()),
+        ];
+        for (id, response) in responses.into_iter().enumerate() {
+            let doc = response.to_json(id as u64);
+            assert_eq!(
+                ShardResponse::from_json(&doc).expect("response decodes"),
+                (id as u64, response)
+            );
+        }
+    }
+}

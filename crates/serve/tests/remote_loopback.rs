@@ -1,0 +1,270 @@
+//! Loopback integration tests of the cross-process shard layer.
+//!
+//! A shard server on `127.0.0.1:0` hosts real evaluation backends; a
+//! client-side service routes to it through [`RemoteBackend`]s.  The tests
+//! pin the contract the whole layer exists for:
+//!
+//! * results and emitted JSON are **byte-identical** to the in-process path;
+//! * killing the shard yields [`EvalError::Transport`] promptly — no hang,
+//!   and no poisoned cache entry (each retry re-evaluates);
+//! * the `shardd` binary speaks the same protocol as the in-process server
+//!   (spawned as a child process, its logs kept for CI upload on failure).
+
+use rsn_eval::{Backend, CharmBackend, EvalError, Evaluator, WorkloadSpec, XnnAnalyticBackend};
+use rsn_serve::json::{grid_json, stats_json};
+use rsn_serve::remote::{RemoteBackend, ShardServer};
+use rsn_serve::{EvalService, ServiceConfig, ShardRouter};
+use rsn_workloads::bert::BertConfig;
+use std::time::Duration;
+
+fn paper_backends() -> Evaluator {
+    Evaluator::empty()
+        .with_backend(Box::new(XnnAnalyticBackend::new()))
+        .with_backend(Box::new(CharmBackend::new()))
+}
+
+fn paper_workloads() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::EncoderLayer {
+            cfg: BertConfig::bert_large(512, 6),
+        },
+        WorkloadSpec::FullModel {
+            cfg: BertConfig::bert_large(384, 8),
+        },
+        WorkloadSpec::SquareGemm { n: 1024 },
+        // Unsupported by both backends: error entries must cross the wire
+        // and re-emit identically too.
+        WorkloadSpec::DatapathProperties,
+    ]
+}
+
+/// A service whose every backend is a remote shard on `server`.
+fn remote_service(server: &ShardServer) -> EvalService {
+    ShardRouter::new()
+        .remote(&server.local_addr().to_string())
+        .expect("loopback shard reachable")
+        .build()
+        .expect("unique shard names")
+}
+
+#[test]
+fn remote_grid_is_byte_identical_to_in_process() {
+    let server = ShardServer::bind("127.0.0.1:0", EvalService::new(paper_backends()))
+        .expect("bind loopback shard");
+    let remote = remote_service(&server);
+
+    // Backend discovery preserves the shard's registration order.
+    assert_eq!(remote.backend_names(), ["rsn-xnn", "charm"]);
+
+    let workloads = paper_workloads();
+    let local_grid = paper_backends().evaluate_grid(&workloads);
+    let remote_grid = remote.evaluate_grid(&workloads);
+
+    // Typed equality of every Ok cell...
+    for (local_row, remote_row) in local_grid.iter().zip(&remote_grid) {
+        for (local, remote) in local_row.iter().zip(remote_row) {
+            match (local, remote) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+                (a, b) => panic!("result shape diverged: {a:?} vs {b:?}"),
+            }
+        }
+    }
+    // ...and byte-identical JSON emission of the whole grid document.
+    let names: Vec<String> = remote.backend_names().to_vec();
+    assert_eq!(
+        grid_json(&names, &workloads, &remote_grid).to_pretty(),
+        grid_json(&names, &workloads, &local_grid).to_pretty()
+    );
+
+    // The shard did the evaluating; the client service attributed the work
+    // to its remote shards.
+    let server_stats = server.stats();
+    assert!(server_stats.evaluations > 0);
+    let client_stats = remote.stats();
+    assert_eq!(
+        client_stats
+            .per_shard
+            .iter()
+            .map(|s| s.evaluations)
+            .sum::<u64>(),
+        client_stats.evaluations
+    );
+    // Stats documents cross the wire too (exercised via the emitters).
+    assert!(stats_json(&server_stats).to_pretty().contains("per_shard"));
+}
+
+#[test]
+fn mixed_local_and_remote_shards_serve_one_grid() {
+    let server = ShardServer::bind(
+        "127.0.0.1:0",
+        EvalService::new(Evaluator::empty().with_backend(Box::new(CharmBackend::new()))),
+    )
+    .expect("bind loopback shard");
+    let service = ShardRouter::new()
+        .local(Box::new(XnnAnalyticBackend::new()))
+        .remote(&server.local_addr().to_string())
+        .expect("loopback shard reachable")
+        .build()
+        .expect("unique names across local and remote");
+    assert_eq!(service.backend_names(), ["rsn-xnn", "charm"]);
+
+    let workload = WorkloadSpec::EncoderLayer {
+        cfg: BertConfig::bert_large(512, 6),
+    };
+    let results = service.evaluate(&workload);
+    let rsn = results[0]
+        .as_ref()
+        .expect("local rsn-xnn")
+        .latency_s
+        .unwrap();
+    let charm = results[1]
+        .as_ref()
+        .expect("remote charm")
+        .latency_s
+        .unwrap();
+    assert!(charm > rsn, "paper headline must hold across the mix");
+
+    // The remote shard's counters live on the shard server; the client
+    // counts one evaluation per shard either way.
+    let stats = service.stats();
+    assert_eq!(stats.shard("rsn-xnn").unwrap().evaluations, 1);
+    assert_eq!(stats.shard("charm").unwrap().evaluations, 1);
+    assert_eq!(server.stats().evaluations, 1);
+}
+
+#[test]
+fn remote_supports_probe_matches_local() {
+    let server = ShardServer::bind("127.0.0.1:0", EvalService::new(paper_backends()))
+        .expect("bind loopback shard");
+    let remotes =
+        RemoteBackend::connect_all(&server.local_addr().to_string()).expect("hello handshake");
+    let local = paper_backends();
+    for (remote, local) in remotes.iter().zip(local.backends()) {
+        assert_eq!(remote.name(), local.name());
+        for workload in paper_workloads() {
+            assert_eq!(
+                remote.supports(&workload),
+                local.supports(&workload),
+                "supports({}) diverged on {}",
+                workload.name(),
+                remote.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn killed_shard_yields_transport_errors_not_hangs_or_poison() {
+    let server = ShardServer::bind(
+        "127.0.0.1:0",
+        EvalService::new(Evaluator::empty().with_backend(Box::new(XnnAnalyticBackend::new()))),
+    )
+    .expect("bind loopback shard");
+    let addr = server.local_addr().to_string();
+    let service = ShardRouter::with_config(ServiceConfig::default())
+        .remote(&addr)
+        .expect("loopback shard reachable")
+        .build()
+        .expect("unique names");
+
+    let spec = WorkloadSpec::SquareGemm { n: 512 };
+    assert!(
+        service.evaluate(&spec)[0].is_ok(),
+        "shard alive: evaluation works"
+    );
+
+    // Kill the shard mid-stream.
+    drop(server);
+
+    let deadline = Duration::from_secs(10);
+    let start = std::time::Instant::now();
+    let first = service.evaluate(&WorkloadSpec::SquareGemm { n: 513 });
+    assert!(
+        start.elapsed() < deadline,
+        "dead shard must fail fast, not hang"
+    );
+    match &first[0] {
+        Err(EvalError::Transport { backend, .. }) => assert_eq!(backend, "rsn-xnn"),
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+
+    // Not cached poison: the same spec re-evaluates (and fails afresh)
+    // instead of being served a retained error.
+    let evals_after_first = service.stats().shard("rsn-xnn").unwrap().evaluations;
+    let second = service.evaluate(&WorkloadSpec::SquareGemm { n: 513 });
+    assert!(matches!(&second[0], Err(EvalError::Transport { .. })));
+    assert_eq!(
+        service.stats().shard("rsn-xnn").unwrap().evaluations,
+        evals_after_first + 1,
+        "errors must not be served from the cache"
+    );
+
+    // The pre-kill success *is* served from the cache (successes persist).
+    assert!(service.evaluate(&spec)[0].is_ok());
+}
+
+#[test]
+fn shardd_binary_speaks_the_protocol() {
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+
+    // Keep the child's output as a log file for CI to upload on failure.
+    let log_dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("shard-logs");
+    std::fs::create_dir_all(&log_dir).expect("create shard log dir");
+    let log_path = log_dir.join("shardd.log");
+    let log = std::fs::File::create(&log_path).expect("create shard log");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_shardd"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--backends",
+            "rsn-xnn",
+            "--workers",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(log)
+        .spawn()
+        .expect("spawn shardd");
+
+    // First stdout line announces the bound address.
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("shardd listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line: {line:?}"))
+        .to_string();
+
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let remotes = RemoteBackend::connect_all(&addr).expect("hello against shardd");
+        assert_eq!(remotes.len(), 1);
+        assert_eq!(remotes[0].name(), "rsn-xnn");
+        let report = remotes[0]
+            .evaluate(&WorkloadSpec::SquareGemm { n: 1024 })
+            .expect("evaluate through the process boundary");
+        // Same numbers as in-process.
+        let local = XnnAnalyticBackend::new()
+            .evaluate(&WorkloadSpec::SquareGemm { n: 1024 })
+            .expect("local evaluation");
+        assert_eq!(report, local);
+
+        // Kill the process: the next call is a transport error.
+        child.kill().expect("kill shardd");
+        child.wait().expect("reap shardd");
+        match remotes[0].evaluate(&WorkloadSpec::SquareGemm { n: 2048 }) {
+            Err(EvalError::Transport { .. }) => {}
+            other => panic!("expected transport error after kill, got {other:?}"),
+        }
+    }));
+    // Whatever happened, don't leak the child.
+    let _ = child.kill();
+    let _ = child.wait();
+    if let Err(panic) = result {
+        eprintln!("shardd log kept at {}", log_path.display());
+        std::panic::resume_unwind(panic);
+    }
+}

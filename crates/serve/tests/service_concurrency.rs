@@ -103,6 +103,7 @@ fn every_request_gets_exactly_one_response() {
             max_batch: 8,
             batch_deadline: Duration::from_millis(1),
             workers_per_backend: 2,
+            ..ServiceConfig::default()
         },
     ));
     let producers = 8usize;
@@ -173,6 +174,7 @@ fn deduplicated_requests_return_byte_identical_reports() {
             max_batch: 32,
             batch_deadline: Duration::from_millis(2),
             workers_per_backend: 2,
+            ..ServiceConfig::default()
         },
     ));
     let submitters = 24usize;
@@ -215,6 +217,7 @@ fn poisoned_backend_fails_only_its_own_requests() {
             max_batch: 4,
             batch_deadline: Duration::from_millis(1),
             workers_per_backend: 1,
+            ..ServiceConfig::default()
         },
     );
     // Sizes 1..=15 hit the panic path (3,6,9,12,15), the error path (5,10)

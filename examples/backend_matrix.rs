@@ -9,7 +9,8 @@
 
 use rsn::eval::{Evaluator, WorkloadSpec};
 use rsn::serve::json::stats_json;
-use rsn::serve::EvalService;
+use rsn::serve::remote::ShardServer;
+use rsn::serve::{EvalService, ShardRouter};
 use rsn::workloads::bert::BertConfig;
 
 fn main() {
@@ -62,7 +63,33 @@ fn main() {
         }
     }
 
-    // What the service did on our behalf: batching, caching, dedup.
+    // The same comparison with every backend behind a loopback shard
+    // server: `RemoteBackend`s speak the length-prefixed JSON protocol to a
+    // `ShardServer` in this very process, and the reports that come back
+    // are identical to the in-process ones — evaluation is deterministic no
+    // matter where the backend pool lives.
+    let server =
+        ShardServer::bind("127.0.0.1:0", EvalService::new(Evaluator::new())).expect("bind shard");
+    println!(
+        "\nSame comparison through a loopback shard at {}:",
+        server.local_addr()
+    );
+    let remote = ShardRouter::new()
+        .remote(&server.local_addr().to_string())
+        .expect("connect to loopback shard")
+        .build()
+        .expect("unique shard names");
+    for ((name, local), (remote_name, remote_report)) in service
+        .evaluate_supported(&workload)
+        .into_iter()
+        .zip(remote.evaluate_supported(&workload))
+    {
+        assert_eq!((&name, &local), (&remote_name, &remote_report));
+        println!("  {name:<28} remote == local ✓");
+    }
+
+    // What the service did on our behalf: batching, caching, dedup — and,
+    // per backend shard, who did the work.
     println!("\nService statistics:");
     print!("{}", stats_json(&service.stats()).to_pretty());
 }
