@@ -1,17 +1,24 @@
 //! Benchmark of the batched evaluation service (`rsn-serve`): end-to-end
 //! throughput of mixed-scenario request streams at micro-batch sizes 1, 8
-//! and 64, plus a criterion measurement of the single-request round trip.
+//! and 64, a remote-shard pooled-vs-unpooled comparison, plus a criterion
+//! measurement of the single-request round trip.
 //!
 //! After the timed runs the harness writes `BENCH_serve.json` (repo root
 //! when run via `cargo bench`): reports/s per batch size for a
-//! cache-hitting mixed workload, so future serving-path changes have a
-//! recorded trajectory to beat.  The document is emitted through the
-//! service's own hand-rolled JSON layer.
+//! cache-hitting mixed workload, and reports/s for a **cache-missing**
+//! stream through a loopback shard server under three transports —
+//! connect-per-call (the pre-pooling behaviour), pooled + pipelined
+//! connections, and the in-process baseline — so future serving-path
+//! changes have a recorded trajectory to beat.  The document is emitted
+//! through the service's own hand-rolled JSON layer.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rsn_eval::{CharmBackend, Evaluator, RooflineBackend, WorkloadSpec, XnnAnalyticBackend};
 use rsn_serve::json::JsonValue;
-use rsn_serve::{BackendSelector, EvalService, Priority, ResponseHandle, ServiceConfig};
+use rsn_serve::remote::{RemoteBackend, ShardServer};
+use rsn_serve::{
+    BackendSelector, EvalService, Priority, RemoteConfig, ResponseHandle, ServiceConfig,
+};
 use rsn_workloads::bert::BertConfig;
 use rsn_workloads::models::ModelKind;
 use std::sync::Arc;
@@ -102,6 +109,82 @@ fn stream_throughput(
     (wall, reports, service.stats())
 }
 
+/// How the remote-stream measurement reaches its shard.
+#[derive(Clone, Copy, PartialEq)]
+enum RemoteMode {
+    /// Fresh TCP connect + one per-spec exchange per evaluation — the
+    /// pre-pooling transport, kept measurable as the baseline.
+    ConnectPerCall,
+    /// Pooled connections + pipelined `evaluate_batch` exchanges.
+    PooledPipelined,
+    /// No wire at all: the same backend evaluated in-process.
+    InProcess,
+}
+
+/// One remote throughput measurement: `requests` *distinct* cheap specs —
+/// a pure cache-miss stream, so every report pays the transport — pushed
+/// through a client service whose single backend lives behind a loopback
+/// shard server (or in-process for the baseline).  Returns `(wall seconds,
+/// reports, client stats)`.
+fn remote_stream(mode: RemoteMode, requests: usize) -> (f64, u64, rsn_serve::ServiceStats) {
+    let shard_backends = || Evaluator::empty().with_backend(Box::new(XnnAnalyticBackend::new()));
+    let client_config = ServiceConfig {
+        max_batch: 64,
+        batch_deadline: Duration::from_micros(200),
+        workers_per_backend: 2,
+        ..ServiceConfig::default()
+    };
+    // Bind a shard even for the in-process baseline so every mode pays the
+    // same setup, then build the mode's client service.
+    let server = ShardServer::bind("127.0.0.1:0", EvalService::new(shard_backends()))
+        .expect("bind loopback shard");
+    let addr = server.local_addr().to_string();
+    let service = match mode {
+        RemoteMode::InProcess => EvalService::with_config(shard_backends(), client_config),
+        RemoteMode::ConnectPerCall | RemoteMode::PooledPipelined => {
+            let remote_config = RemoteConfig {
+                pool_size: if mode == RemoteMode::ConnectPerCall {
+                    0
+                } else {
+                    RemoteConfig::default().pool_size
+                },
+                ..RemoteConfig::default()
+            };
+            let remotes = RemoteBackend::connect_all_with(&addr, remote_config)
+                .expect("loopback shard reachable");
+            // One shared pool per shard address — register it once, like
+            // ShardRouter does, not once per backend.
+            let pool = remotes.first().map(|r| Arc::clone(r.pool()));
+            let mut evaluator = Evaluator::empty();
+            for remote in remotes {
+                let remote = remote.with_pipelining(mode == RemoteMode::PooledPipelined);
+                evaluator.register(Box::new(remote));
+            }
+            let service = EvalService::with_config(evaluator, client_config);
+            if let Some(pool) = pool {
+                service.register_pool(pool);
+            }
+            service
+        }
+    };
+    // Distinct sizes: the client cache never hits, the stream is all
+    // transport + evaluation.
+    let specs: Vec<WorkloadSpec> = (0..requests)
+        .map(|i| WorkloadSpec::SquareGemm { n: 64 + i })
+        .collect();
+    let start = Instant::now();
+    let mut reports = 0u64;
+    for chunk in specs.chunks(256) {
+        reports += service
+            .submit_batch(chunk.to_vec(), BackendSelector::All, Priority::Normal)
+            .wait()
+            .results
+            .len() as u64;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    (wall, reports, service.stats())
+}
+
 fn bench_round_trip(c: &mut Criterion) {
     // max_batch 1: a lone request never waits out the batch deadline, so
     // this measures the pure submit → cache hit → respond overhead.
@@ -128,7 +211,9 @@ fn emit_bench_json() {
             "workload".to_string(),
             JsonValue::Str(format!(
                 "{requests} cache-hitting mixed-scenario specs ({} distinct, {producers} producers) \
-                 streamed in bursts of the batch size across rsn-xnn + charm + roofline-bound",
+                 streamed in bursts of the batch size across rsn-xnn + charm + roofline-bound; \
+                 remote sections: 2048 distinct (cache-missing) square GEMMs through a loopback \
+                 rsn-xnn shard per transport mode",
                 scenario_pool().len()
             )),
         ),
@@ -166,6 +251,54 @@ fn emit_bench_json() {
         "batch64_vs_batch1".to_string(),
         JsonValue::Num(per_batch[2] / per_batch[0]),
     ));
+
+    // Remote transport comparison: the same cache-missing stream through a
+    // loopback shard, connect-per-call vs pooled+pipelined, with the
+    // in-process path as the ceiling.
+    let remote_requests = 2048usize;
+    let mut per_mode = Vec::new();
+    for (label, mode) in [
+        ("remote_unpooled", RemoteMode::ConnectPerCall),
+        ("remote_pooled", RemoteMode::PooledPipelined),
+        ("remote_inprocess_baseline", RemoteMode::InProcess),
+    ] {
+        let mut runs: Vec<(f64, u64, rsn_serve::ServiceStats)> = (0..3)
+            .map(|_| remote_stream(mode, remote_requests))
+            .collect();
+        runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let (wall, reports, stats) = runs.swap_remove(1);
+        let reports_per_s = reports as f64 / wall;
+        let pool = stats.remote_pools.first().cloned().unwrap_or_default();
+        println!(
+            "remote stream: {label:<26} {reports_per_s:>12.0} reports/s  \
+             (dials {}, reuse {:.3}, pipeline depth {:.1})",
+            pool.dials,
+            pool.reuse_ratio(),
+            pool.mean_pipeline_depth()
+        );
+        per_mode.push(reports_per_s);
+        sections.push((
+            label.to_string(),
+            JsonValue::obj([
+                ("wall_seconds", JsonValue::Num(wall)),
+                ("reports", JsonValue::Int(reports)),
+                ("reports_per_s", JsonValue::Num(reports_per_s)),
+                ("dials", JsonValue::Int(pool.dials)),
+                ("reused", JsonValue::Int(pool.reused)),
+                ("pipelined_batches", JsonValue::Int(pool.pipelined_batches)),
+                ("pipelined_specs", JsonValue::Int(pool.pipelined_specs)),
+            ]),
+        ));
+    }
+    sections.push((
+        "remote_pooled_vs_unpooled".to_string(),
+        JsonValue::Num(per_mode[1] / per_mode[0]),
+    ));
+    sections.push((
+        "remote_pooled_vs_inprocess".to_string(),
+        JsonValue::Num(per_mode[1] / per_mode[2]),
+    ));
+
     let json = JsonValue::Obj(sections).to_pretty();
     // Anchor to the workspace root regardless of the invocation CWD.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

@@ -2,8 +2,20 @@
 //! energy-efficiency comparison against the T4, V100, A100 and L4 GPUs —
 //! every device and the VCK190 evaluated through the batched evaluation
 //! service (`rsn_bench::tables::table10_text`, snapshot-pinned by the
-//! golden tests).
+//! golden tests).  With `--topology FILE` the service is assembled from a
+//! topology file instead (local pools and/or remote shards); the rendered
+//! text is byte-identical no matter where the comparison backends live.
+
+use rsn_bench::tables;
 
 fn main() {
-    print!("{}", rsn_bench::tables::table10_text());
+    let expected: Vec<String> = tables::table10_backends()
+        .backends()
+        .iter()
+        .map(|b| b.name().to_string())
+        .collect();
+    match rsn_bench::service_from_args("table10", tables::table10_backends(), &expected) {
+        Some(service) => print!("{}", tables::table10_text_with(&service)),
+        None => print!("{}", tables::table10_text()),
+    }
 }

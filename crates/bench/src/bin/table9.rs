@@ -6,7 +6,20 @@
 //! Each ablation column is its own backend variant, and all three answer
 //! the same workload through the batched evaluation service
 //! (`rsn_bench::tables::table9_text`, snapshot-pinned by the golden tests).
+//! With `--topology FILE` the service is assembled from a topology file
+//! instead (local pools and/or remote shards); the rendered text is
+//! byte-identical no matter where the ablation backends live.
+
+use rsn_bench::tables;
 
 fn main() {
-    print!("{}", rsn_bench::tables::table9_text());
+    let expected: Vec<String> = tables::table9_backends()
+        .backends()
+        .iter()
+        .map(|b| b.name().to_string())
+        .collect();
+    match rsn_bench::service_from_args("table9", tables::table9_backends(), &expected) {
+        Some(service) => print!("{}", tables::table9_text_with(&service)),
+        None => print!("{}", tables::table9_text()),
+    }
 }

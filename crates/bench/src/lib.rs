@@ -11,6 +11,65 @@
 
 pub mod tables;
 
+/// Handles the table binaries' `--topology FILE` flag: with no arguments
+/// returns `None` (the caller renders in-process as always); with
+/// `--topology` it assembles the service from the topology file — `local`
+/// entries resolved against the table's own backend `catalogue`, `remotes`
+/// autodiscovered via the shard `hello` handshake — and validates that the
+/// assembled shard names match `expected` *in order* (table renderers index
+/// result rows positionally, so order is part of the contract).
+///
+/// Exits with a diagnostic on a malformed file, unreachable shard, or a
+/// backend mismatch; table output must never be silently wrong.
+pub fn service_from_args(
+    binary: &str,
+    catalogue: rsn_eval::Evaluator,
+    expected: &[String],
+) -> Option<rsn_serve::EvalService> {
+    let mut args = std::env::args().skip(1);
+    let mut topology_path: Option<String> = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--topology" => {
+                topology_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail_usage(binary, "--topology needs a file path")),
+                );
+            }
+            "--help" | "-h" => {
+                println!("usage: {binary} [--topology FILE]");
+                println!("  --topology FILE  render through a topology-file-assembled service");
+                println!("                   (shards must provide, in order: {expected:?})");
+                std::process::exit(0);
+            }
+            other => fail_usage(binary, &format!("unknown flag `{other}`")),
+        }
+    }
+    let path = topology_path?;
+    let topology = rsn_serve::Topology::from_file(std::path::Path::new(&path))
+        .unwrap_or_else(|e| fail_usage(binary, &e.to_string()));
+    let service = rsn_serve::ShardRouter::from_topology_with(&topology, catalogue)
+        .and_then(rsn_serve::ShardRouter::build)
+        .unwrap_or_else(|e| fail_usage(binary, &e.to_string()));
+    if service.backend_names() != expected {
+        fail_usage(
+            binary,
+            &format!(
+                "topology assembled shards {:?} but this table needs exactly {expected:?} \
+                 (order matters: rows are positional)",
+                service.backend_names()
+            ),
+        );
+    }
+    Some(service)
+}
+
+fn fail_usage(binary: &str, message: &str) -> ! {
+    eprintln!("{binary}: {message}");
+    eprintln!("usage: {binary} [--topology FILE]");
+    std::process::exit(2);
+}
+
 /// Prints a table header followed by a separator line sized to it.
 pub fn print_header(title: &str, columns: &str) {
     println!("\n=== {title} ===");

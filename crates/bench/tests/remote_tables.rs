@@ -9,10 +9,12 @@
 
 use rsn_bench::tables;
 use rsn_serve::remote::ShardServer;
-use rsn_serve::{EvalService, ShardRouter};
+use rsn_serve::topology::{topology_json, Topology};
+use rsn_serve::{EvalService, RemoteShardDecl, ShardRouter};
 
 /// Renders a table through a service whose every backend lives behind a
-/// loopback shard server.
+/// loopback shard server (reached over pooled, pipelined connections —
+/// the only transport the remote layer has).
 fn render_remotely(
     backends: rsn_eval::Evaluator,
     render: impl Fn(&EvalService) -> String,
@@ -27,6 +29,36 @@ fn render_remotely(
     render(&service)
 }
 
+/// Renders a table through a service assembled from a topology *file* on
+/// disk — the `--topology` deployment path of the table binaries — whose
+/// single remote entry is a loopback shard hosting the table's backends.
+fn render_via_topology_file(
+    label: &str,
+    backends: rsn_eval::Evaluator,
+    render: impl Fn(&EvalService) -> String,
+) -> String {
+    let server =
+        ShardServer::bind("127.0.0.1:0", EvalService::new(backends)).expect("bind loopback shard");
+    let topology = Topology {
+        remotes: vec![RemoteShardDecl {
+            addr: server.local_addr().to_string(),
+            weight: 1,
+            pool_size: Some(2),
+        }],
+        ..Topology::default()
+    };
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("topologies");
+    std::fs::create_dir_all(&dir).expect("topology dir");
+    let path = dir.join(format!("{label}.json"));
+    std::fs::write(&path, topology_json(&topology).to_pretty()).expect("write topology");
+    let loaded = Topology::from_file(&path).expect("load topology");
+    let service = ShardRouter::from_topology(&loaded)
+        .expect("assemble from topology")
+        .build()
+        .expect("unique shard names");
+    render(&service)
+}
+
 #[test]
 fn table9_is_byte_identical_through_remote_shards() {
     let remote = render_remotely(tables::table9_backends(), tables::table9_text_with);
@@ -36,5 +68,21 @@ fn table9_is_byte_identical_through_remote_shards() {
 #[test]
 fn table10_is_byte_identical_through_remote_shards() {
     let remote = render_remotely(tables::table10_backends(), tables::table10_text_with);
+    assert_eq!(remote, tables::table10_text());
+}
+
+#[test]
+fn table9_is_byte_identical_through_a_topology_configured_router() {
+    let remote = render_via_topology_file("table9", tables::table9_backends(), |service| {
+        tables::table9_text_with(service)
+    });
+    assert_eq!(remote, tables::table9_text());
+}
+
+#[test]
+fn table10_is_byte_identical_through_a_topology_configured_router() {
+    let remote = render_via_topology_file("table10", tables::table10_backends(), |service| {
+        tables::table10_text_with(service)
+    });
     assert_eq!(remote, tables::table10_text());
 }

@@ -125,6 +125,17 @@ pub trait Backend: Send + Sync {
     /// * [`EvalError::TooLarge`] when a size bound is exceeded,
     /// * [`EvalError::Engine`] when the underlying simulation fails.
     fn evaluate(&self, workload: &WorkloadSpec) -> Result<EvalReport, EvalError>;
+
+    /// Evaluates a slice of workloads, returning one result per workload in
+    /// order.  The default simply loops over [`evaluate`](Self::evaluate) —
+    /// correct for every in-process backend — but backends with per-call
+    /// overhead (a remote shard paying a wire exchange per evaluation) can
+    /// override it to amortise that overhead across the whole slice.  The
+    /// serving worker pools hand each backend its share of a micro-batch
+    /// through this method, so an override sees genuine batches.
+    fn evaluate_many(&self, workloads: &[WorkloadSpec]) -> Vec<Result<EvalReport, EvalError>> {
+        workloads.iter().map(|w| self.evaluate(w)).collect()
+    }
 }
 
 /// Convenience constructor for the `Unsupported` error.

@@ -106,6 +106,12 @@ impl Evaluator {
         self
     }
 
+    /// Adds many backends in order (builder form).
+    pub fn with_backends(mut self, backends: impl IntoIterator<Item = Box<dyn Backend>>) -> Self {
+        self.backends.extend(backends);
+        self
+    }
+
     /// Adds a backend.
     pub fn register(&mut self, backend: Box<dyn Backend>) {
         self.backends.push(backend);

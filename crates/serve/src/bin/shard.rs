@@ -2,22 +2,31 @@
 //!
 //! ```sh
 //! shardd --listen 127.0.0.1:7070 --backends rsn-xnn,charm --workers 2
+//! shardd --topology deploy/shard-a.json
 //! ```
 //!
+//! With `--topology` the shard loads everything (bind address via the
+//! file's `"listen"` field, hosted backends via `"local"`, service and
+//! transport tuning via `"service"`) from a topology file — see
+//! [`rsn_serve::topology`] — and individual flags override the file.
 //! The first stdout line is always `shardd listening on <addr>` (with the
 //! real port when `--listen` used port 0), so launchers can scrape the
 //! address; everything else goes to stderr.  The process serves until
-//! killed — clients reconnect per request, so restarting a shard is
-//! transparent to them.
+//! killed — pooled clients re-dial transparently, so restarting a shard
+//! costs its clients one transport error per in-flight request and
+//! nothing after.
 
 use rsn_eval::{default_backends, Evaluator};
 use rsn_serve::remote::ShardServer;
-use rsn_serve::{EvalService, ServiceConfig};
+use rsn_serve::topology::Topology;
+use rsn_serve::EvalService;
 use std::io::Write as _;
 
-const USAGE: &str = "usage: shardd [--listen ADDR] [--backends NAME,NAME,...] \
+const USAGE: &str = "usage: shardd [--topology FILE] [--listen ADDR] [--backends NAME,NAME,...] \
                      [--workers N] [--cache-capacity N]\n\
                      \n\
+                     --topology FILE      load listen address, hosted backends and service\n\
+                     \x20                    tuning from a topology file (flags override it)\n\
                      --listen ADDR        bind address (default 127.0.0.1:7070; port 0 picks one)\n\
                      --backends NAMES     comma-separated backend names to host (default: all)\n\
                      --workers N          worker threads per hosted backend (default 2)\n\
@@ -30,9 +39,11 @@ fn fail(message: &str) -> ! {
 }
 
 fn main() {
-    let mut listen = "127.0.0.1:7070".to_string();
+    let mut listen: Option<String> = None;
     let mut backend_names: Option<Vec<String>> = None;
-    let mut config = ServiceConfig::default();
+    let mut workers: Option<usize> = None;
+    let mut cache_capacity: Option<usize> = None;
+    let mut topology: Option<Topology> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -41,7 +52,14 @@ fn main() {
                 .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
         };
         match flag.as_str() {
-            "--listen" => listen = value("--listen"),
+            "--topology" => {
+                let path = value("--topology");
+                topology = Some(
+                    Topology::from_file(std::path::Path::new(&path))
+                        .unwrap_or_else(|e| fail(&e.to_string())),
+                );
+            }
+            "--listen" => listen = Some(value("--listen")),
             "--backends" => {
                 backend_names = Some(
                     value("--backends")
@@ -52,12 +70,14 @@ fn main() {
                 );
             }
             "--workers" => {
-                config.workers_per_backend = value("--workers")
-                    .parse()
-                    .unwrap_or_else(|_| fail("--workers needs an integer"));
+                workers = Some(
+                    value("--workers")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--workers needs an integer")),
+                );
             }
             "--cache-capacity" => {
-                config.cache_capacity = Some(
+                cache_capacity = Some(
                     value("--cache-capacity")
                         .parse()
                         .unwrap_or_else(|_| fail("--cache-capacity needs an integer")),
@@ -68,6 +88,34 @@ fn main() {
                 return;
             }
             other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    // Resolution order: explicit flag > topology file > built-in default.
+    let mut config = topology
+        .as_ref()
+        .map(|t| t.service.clone())
+        .unwrap_or_default();
+    if let Some(workers) = workers {
+        config.workers_per_backend = workers;
+    }
+    if let Some(capacity) = cache_capacity {
+        config.cache_capacity = Some(capacity);
+    }
+    let listen = listen
+        .or_else(|| topology.as_ref().and_then(|t| t.listen.clone()))
+        .unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    if backend_names.is_none() {
+        if let Some(topology) = &topology {
+            if !topology.local.is_empty() {
+                backend_names = Some(topology.local.clone());
+            }
+            if !topology.remotes.is_empty() {
+                eprintln!(
+                    "shardd: note: topology `remotes` entries are ignored — a shard hosts \
+                     local pools; point clients (table binaries, routers) at this shard instead"
+                );
+            }
         }
     }
 

@@ -10,7 +10,7 @@ use std::time::Duration;
 /// its first request arrived, whichever comes first.  Small deadlines favour
 /// latency, large batches favour throughput (fewer queue and cache
 /// transactions per report).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Maximum requests coalesced into one batch (size bound).
     pub max_batch: usize,
@@ -28,6 +28,45 @@ pub struct ServiceConfig {
     /// owed to waiters).  Evictions are counted in
     /// [`ServiceStats::evictions`](crate::ServiceStats::evictions).
     pub cache_capacity: Option<usize>,
+    /// Transport tuning of remote backend shards (connection pooling,
+    /// timeouts).  Ignored by services with no remote shards.
+    pub remote: RemoteConfig,
+}
+
+/// Transport tuning of the cross-process shard layer: every timeout the
+/// remote path applies, plus the per-shard connection-pool bound.  One
+/// place instead of scattered constants, so deployments (and the topology
+/// file) can tune them together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteConfig {
+    /// Bound on establishing a TCP connection to a shard server.  A
+    /// blackholed shard host (dropped SYNs, no RST) fails within this,
+    /// not the OS's multi-minute TCP default.
+    pub connect_timeout: Duration,
+    /// Bound on each socket read and write of an exchange, so a hung shard
+    /// yields [`EvalError::Transport`](rsn_eval::EvalError::Transport),
+    /// never a stuck worker.
+    pub io_timeout: Duration,
+    /// Idle connections retained per shard connection pool.  `0` disables
+    /// pooling entirely: every exchange dials a fresh connection (the
+    /// pre-pool behaviour, kept measurable for the serve benchmark's
+    /// pooled-vs-unpooled comparison).
+    pub pool_size: usize,
+    /// How long a shard *server* lets a connection sit idle between
+    /// requests before reaping it.  Pooled clients re-dial transparently
+    /// when a reaped connection is found dead at checkout.
+    pub server_idle_timeout: Duration,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(10),
+            io_timeout: Duration::from_secs(30),
+            pool_size: 4,
+            server_idle_timeout: Duration::from_secs(60),
+        }
+    }
 }
 
 impl ServiceConfig {
@@ -48,6 +87,7 @@ impl Default for ServiceConfig {
             batch_deadline: Duration::from_millis(1),
             workers_per_backend: 2,
             cache_capacity: None,
+            remote: RemoteConfig::default(),
         }
     }
 }
@@ -62,6 +102,19 @@ mod tests {
         assert!(cfg.max_batch >= 1);
         assert!(cfg.workers_per_backend >= 1);
         assert!(cfg.batch_deadline > Duration::ZERO);
+    }
+
+    #[test]
+    fn remote_defaults_are_ordered_sensibly() {
+        let remote = RemoteConfig::default();
+        // Connect must give up well before an exchange does, and a pooled
+        // connection must be reusable by default.
+        assert!(remote.connect_timeout <= remote.io_timeout);
+        assert!(remote.pool_size >= 1);
+        // The server reaps idle connections no sooner than a client-side
+        // exchange may legitimately take, so a pooled connection is never
+        // reaped out from under an in-flight request.
+        assert!(remote.server_idle_timeout >= remote.io_timeout);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! structurally required floats, so a non-finite value survives a round
 //! trip as "absent", never as a parse error.
 
-use crate::stats::{ServiceStats, ShardStats};
+use crate::stats::{PoolStats, ServiceStats, ShardStats};
 use rsn_eval::{BreakdownRow, CycleStats, SegmentMetric};
 use rsn_eval::{EvalError, EvalReport, SchedulerKind, WorkloadSpec};
 use rsn_lib::mapping::MappingType;
@@ -571,7 +571,7 @@ fn expect_str<'a>(value: &'a JsonValue, ctx: &str) -> Result<&'a str, DecodeErro
     }
 }
 
-fn expect_u64(value: &JsonValue, ctx: &str) -> Result<u64, DecodeError> {
+pub(crate) fn expect_u64(value: &JsonValue, ctx: &str) -> Result<u64, DecodeError> {
     match value {
         JsonValue::Int(i) => Ok(*i),
         JsonValue::Num(v) if v.fract() == 0.0 && *v >= 0.0 && *v <= u64::MAX as f64 => {
@@ -584,7 +584,7 @@ fn expect_u64(value: &JsonValue, ctx: &str) -> Result<u64, DecodeError> {
     }
 }
 
-fn expect_usize(value: &JsonValue, ctx: &str) -> Result<usize, DecodeError> {
+pub(crate) fn expect_usize(value: &JsonValue, ctx: &str) -> Result<usize, DecodeError> {
     let v = expect_u64(value, ctx)?;
     usize::try_from(v).map_err(|_| DecodeError::new(ctx, format!("{v} does not fit in usize")))
 }
@@ -1158,6 +1158,27 @@ pub fn stats_json(stats: &ServiceStats) -> JsonValue {
                     .collect(),
             ),
         ),
+        (
+            "remote_pools",
+            JsonValue::Arr(
+                stats
+                    .remote_pools
+                    .iter()
+                    .map(|pool| {
+                        JsonValue::obj([
+                            ("addr", JsonValue::Str(pool.addr.clone())),
+                            ("checkouts", JsonValue::Int(pool.checkouts)),
+                            ("reused", JsonValue::Int(pool.reused)),
+                            ("dials", JsonValue::Int(pool.dials)),
+                            ("redials", JsonValue::Int(pool.redials)),
+                            ("discarded", JsonValue::Int(pool.discarded)),
+                            ("pipelined_batches", JsonValue::Int(pool.pipelined_batches)),
+                            ("pipelined_specs", JsonValue::Int(pool.pipelined_specs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -1176,6 +1197,29 @@ pub fn stats_from_json(value: &JsonValue) -> Result<ServiceStats, DecodeError> {
             })
         })
         .collect::<Result<Vec<_>, DecodeError>>()?;
+    // Version-1 shards predate the pool counters; a missing field decodes
+    // as "no pools" so mixed-version stats exchanges keep working.
+    let remote_pools = match value.get("remote_pools") {
+        None => Vec::new(),
+        Some(pools) => expect_arr(pools, CTX)?
+            .iter()
+            .map(|pool| {
+                let pool_int = |key: &str| -> Result<u64, DecodeError> {
+                    expect_u64(field(pool, key, CTX)?, CTX)
+                };
+                Ok(PoolStats {
+                    addr: expect_str(field(pool, "addr", CTX)?, CTX)?.to_string(),
+                    checkouts: pool_int("checkouts")?,
+                    reused: pool_int("reused")?,
+                    dials: pool_int("dials")?,
+                    redials: pool_int("redials")?,
+                    discarded: pool_int("discarded")?,
+                    pipelined_batches: pool_int("pipelined_batches")?,
+                    pipelined_specs: pool_int("pipelined_specs")?,
+                })
+            })
+            .collect::<Result<Vec<_>, DecodeError>>()?,
+    };
     Ok(ServiceStats {
         submitted: int_field("submitted")?,
         completed: int_field("completed")?,
@@ -1188,6 +1232,7 @@ pub fn stats_from_json(value: &JsonValue) -> Result<ServiceStats, DecodeError> {
         eval_errors: int_field("eval_errors")?,
         evictions: int_field("evictions")?,
         per_shard,
+        remote_pools,
     })
 }
 

@@ -93,14 +93,18 @@
 mod cache;
 pub mod config;
 pub mod json;
+pub mod pool;
 pub mod remote;
 pub mod request;
 pub mod service;
 pub mod stats;
+pub mod topology;
 pub mod wire;
 
-pub use config::ServiceConfig;
+pub use config::{RemoteConfig, ServiceConfig};
+pub use pool::ConnectionPool;
 pub use remote::{RemoteBackend, ShardServer};
 pub use request::{BackendSelector, EvalRequest, EvalResponse, Priority, ResponseHandle};
 pub use service::{EvalService, RouterError, ShardRouter};
-pub use stats::{ServiceStats, ShardStats};
+pub use stats::{PoolStats, ServiceStats, ShardStats};
+pub use topology::{RemoteShardDecl, Topology, TopologyError};

@@ -1,0 +1,423 @@
+//! Bounded per-shard connection pooling for the remote backend layer.
+//!
+//! Before this module every remote evaluation paid a fresh TCP connect and
+//! a full exchange set-up — simple and parallel-safe, but a per-call
+//! handshake tax on the serving hot path.  A [`ConnectionPool`] amortises
+//! that tax: framed connections to one shard address are kept idle between
+//! exchanges and handed out again, bounded by
+//! [`RemoteConfig::pool_size`](crate::config::RemoteConfig::pool_size).
+//!
+//! # Invariants
+//!
+//! * **Health-checked checkout** — an idle connection is probed before
+//!   reuse (a closed or desynchronised socket is discarded, never handed
+//!   out), so a shard restart between exchanges costs one re-dial, not an
+//!   error.
+//! * **Poison-free check-in** — a connection returns to the pool only
+//!   after a fully clean exchange (frame written, response frame read and
+//!   decoded, not a protocol rejection).  Any transport error discards the
+//!   connection on the spot.
+//! * **One retry over a fresh dial** — an exchange that fails on a
+//!   *reused* connection is retried exactly once on a freshly dialled one
+//!   (the shard may have legitimately reaped the idle connection).
+//!   Evaluations are deterministic and side-effect-free, so the retry is
+//!   idempotent; a failure on a fresh connection is a genuine shard
+//!   failure and surfaces immediately.
+//! * **Bounded** — at most `pool_size` idle connections are retained;
+//!   a `pool_size` of zero disables pooling entirely (every exchange
+//!   dials, the pre-pool behaviour, kept measurable for the serve
+//!   benchmark's pooled-vs-unpooled comparison).
+//!
+//! The pool also owns the shard-protocol negotiation state: the `hello`
+//! handshake records the peer's [`PROTOCOL_VERSION`](crate::wire::PROTOCOL_VERSION)
+//! so [`RemoteBackend`](crate::remote::RemoteBackend)s sharing the pool
+//! know whether the shard speaks `evaluate_batch` (pipelined micro-batch
+//! exchanges) or needs the per-spec fallback.
+
+use crate::config::RemoteConfig;
+use crate::stats::PoolStats;
+use crate::wire::{read_frame, write_frame, ShardRequest, ShardResponse, WireError};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Lock-free transport counters of one shard pool, surfaced through
+/// [`ServiceStats::remote_pools`](crate::ServiceStats::remote_pools).
+#[derive(Debug, Default)]
+pub(crate) struct PoolCounters {
+    /// Connections requested from the pool (one per exchange).
+    pub checkouts: AtomicU64,
+    /// Checkouts served by a healthy idle connection (no dial paid).
+    pub reused: AtomicU64,
+    /// Fresh TCP dials (pool empty, pooling disabled, or retry).
+    pub dials: AtomicU64,
+    /// Of those dials, how many were the retry of an exchange that failed
+    /// on a reused connection.
+    pub redials: AtomicU64,
+    /// Idle connections found dead (or desynchronised) at checkout and
+    /// thrown away.
+    pub discarded: AtomicU64,
+    /// `evaluate_batch` exchanges sent (one frame per micro-batch).
+    pub pipelined_batches: AtomicU64,
+    /// Specs carried by those exchanges (`pipelined_specs /
+    /// pipelined_batches` is the achieved pipeline depth).
+    pub pipelined_specs: AtomicU64,
+}
+
+/// A bounded pool of framed connections to one shard server address.
+///
+/// Shared (via `Arc`) by every [`RemoteBackend`](crate::remote::RemoteBackend)
+/// pointing at the same shard, so concurrent evaluations across backends
+/// reuse one warm connection set instead of keeping one per backend.
+#[derive(Debug)]
+pub struct ConnectionPool {
+    addr: String,
+    config: RemoteConfig,
+    idle: Mutex<Vec<TcpStream>>,
+    counters: PoolCounters,
+    /// Negotiated shard protocol version; 0 until a `hello` has answered.
+    protocol: AtomicU64,
+    /// Monotonic exchange ids (diagnostic only — exchanges on one
+    /// connection are strictly sequential).
+    next_id: AtomicU64,
+}
+
+impl ConnectionPool {
+    /// A pool for `addr` with the given transport tuning.
+    pub fn new(addr: &str, config: RemoteConfig) -> Self {
+        Self {
+            addr: addr.to_string(),
+            config,
+            idle: Mutex::new(Vec::new()),
+            counters: PoolCounters::default(),
+            protocol: AtomicU64::new(0),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The shard server address this pool dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The pool's transport tuning.
+    pub fn config(&self) -> &RemoteConfig {
+        &self.config
+    }
+
+    /// The negotiated shard protocol version (`None` before any `hello`
+    /// has answered).
+    pub fn protocol(&self) -> Option<u64> {
+        match self.protocol.load(Ordering::Acquire) {
+            0 => None,
+            version => Some(version),
+        }
+    }
+
+    /// Whether the shard behind this pool speaks `evaluate_batch`
+    /// (protocol ≥ 2).  `false` until negotiated.
+    pub fn supports_batch(&self) -> bool {
+        self.protocol().is_some_and(|v| v >= 2)
+    }
+
+    /// Idle connections currently parked in the pool.
+    pub fn idle_connections(&self) -> usize {
+        self.idle.lock().expect("pool idle lock").len()
+    }
+
+    /// A point-in-time snapshot of the pool's transport counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            addr: self.addr.clone(),
+            checkouts: self.counters.checkouts.load(Ordering::Relaxed),
+            reused: self.counters.reused.load(Ordering::Relaxed),
+            dials: self.counters.dials.load(Ordering::Relaxed),
+            redials: self.counters.redials.load(Ordering::Relaxed),
+            discarded: self.counters.discarded.load(Ordering::Relaxed),
+            pipelined_batches: self.counters.pipelined_batches.load(Ordering::Relaxed),
+            pipelined_specs: self.counters.pipelined_specs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Performs the `hello` handshake, recording the shard's protocol
+    /// version for [`supports_batch`](Self::supports_batch), and returns
+    /// the hosted backend names in registration order.
+    pub fn hello(&self) -> Result<Vec<String>, WireError> {
+        match self.exchange(&ShardRequest::Hello)? {
+            ShardResponse::Backends { names, protocol } => {
+                self.protocol.store(protocol.max(1), Ordering::Release);
+                Ok(names)
+            }
+            ShardResponse::Rejected(message) => Err(WireError::Rejected(message)),
+            _ => Err(WireError::Rejected(
+                "shard answered hello with an unexpected payload".to_string(),
+            )),
+        }
+    }
+
+    /// Records one pipelined micro-batch exchange of `specs` specs in the
+    /// pool counters.
+    pub(crate) fn count_pipelined(&self, specs: usize) {
+        self.counters
+            .pipelined_batches
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .pipelined_specs
+            .fetch_add(specs as u64, Ordering::Relaxed);
+    }
+
+    /// One request/response exchange over a pooled connection.
+    ///
+    /// Checkout (reuse or dial), write the frame, read and decode the
+    /// response, check the connection back in on clean success.  An
+    /// exchange that fails on a *reused* connection is retried once over a
+    /// fresh dial (see module docs for why that is safe); every other
+    /// failure surfaces immediately.
+    pub fn exchange(&self, request: &ShardRequest) -> Result<ShardResponse, WireError> {
+        self.counters.checkouts.fetch_add(1, Ordering::Relaxed);
+        if let Some(stream) = self.checkout_idle() {
+            match self.exchange_on(stream, request) {
+                Ok(response) => {
+                    // Counted only on success: a checkout whose reused
+                    // connection turned out stale pays a redial below and
+                    // must not also inflate the reuse ratio.
+                    self.counters.reused.fetch_add(1, Ordering::Relaxed);
+                    return Ok(response);
+                }
+                Err(_) => {
+                    // The shard may have reaped this idle connection;
+                    // retry exactly once on a fresh dial.
+                    self.counters.redials.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let stream = self.dial()?;
+        self.exchange_on(stream, request)
+    }
+
+    /// Pops the first *healthy* idle connection, discarding dead ones.
+    fn checkout_idle(&self) -> Option<TcpStream> {
+        loop {
+            let candidate = self.idle.lock().expect("pool idle lock").pop()?;
+            if connection_is_idle_and_live(&candidate) {
+                return Some(candidate);
+            }
+            self.counters.discarded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Dials a fresh connection with the configured timeouts.
+    fn dial(&self) -> Result<TcpStream, WireError> {
+        self.counters.dials.fetch_add(1, Ordering::Relaxed);
+        let resolved = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                format!("`{}` resolves to no address", self.addr),
+            ))
+        })?;
+        let stream = TcpStream::connect_timeout(&resolved, self.config.connect_timeout)?;
+        stream.set_read_timeout(Some(self.config.io_timeout))?;
+        stream.set_write_timeout(Some(self.config.io_timeout))?;
+        // Frames are small and every exchange is write→read: without
+        // TCP_NODELAY, Nagle holds the second and later exchanges of a
+        // *reused* connection hostage to the peer's delayed ACK (~40 ms a
+        // round trip) — the one pathology connect-per-call never saw,
+        // because a fresh socket has no unacknowledged data.
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    /// Runs one framed exchange on `stream`; on clean success the stream
+    /// goes back to the pool, on any failure (or protocol rejection) it is
+    /// dropped with the socket.
+    ///
+    /// The response read is bounded by `io_timeout` — scaled by the spec
+    /// count for `evaluate_batch` exchanges, since the shard evaluates the
+    /// whole batch before its single answer frame: a batch of `n` specs
+    /// gets the same per-evaluation time budget the per-spec path gives.
+    fn exchange_on(
+        &self,
+        mut stream: TcpStream,
+        request: &ShardRequest,
+    ) -> Result<ShardResponse, WireError> {
+        let read_budget = match request {
+            ShardRequest::EvaluateBatch { specs, .. } => self
+                .config
+                .io_timeout
+                .saturating_mul(specs.len().max(1).min(u32::MAX as usize) as u32),
+            _ => self.config.io_timeout,
+        };
+        stream.set_read_timeout(Some(read_budget))?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        write_frame(&mut stream, &request.to_json(id))?;
+        let doc = read_frame(&mut stream)?.ok_or_else(|| {
+            WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "shard closed the connection before answering",
+            ))
+        })?;
+        let (_, response) = ShardResponse::from_json(&doc)?;
+        // A protocol-level rejection may leave the server about to close
+        // the connection (framing failures do); never pool it.
+        if !matches!(response, ShardResponse::Rejected(_)) {
+            self.checkin(stream);
+        }
+        Ok(response)
+    }
+
+    /// Returns a connection to the pool, bounded by the configured size.
+    fn checkin(&self, stream: TcpStream) {
+        let mut idle = self.idle.lock().expect("pool idle lock");
+        if idle.len() < self.config.pool_size {
+            idle.push(stream);
+        }
+        // Over the bound (or pool_size 0): drop, closing the socket.
+    }
+}
+
+/// Probes an idle pooled connection: healthy means "no pending bytes, no
+/// error" — a non-blocking 1-byte peek must say `WouldBlock`.  `Ok(0)` is
+/// the peer's FIN (a reaped or restarted shard), `Ok(_)` is a protocol
+/// desynchronisation (the peer sent bytes we never asked for); both make
+/// the connection unusable.
+fn connection_is_idle_and_live(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let mut probe = [0u8; 1];
+    let live = matches!(
+        stream.peek(&mut probe),
+        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock
+    );
+    live && stream.set_nonblocking(false).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    /// A raw echo-ish peer: accepts connections and answers every frame
+    /// with a fixed rejection, counting connections accepted.
+    fn rejecting_peer() -> (String, std::sync::Arc<AtomicU64>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind peer");
+        let addr = listener.local_addr().expect("peer addr").to_string();
+        let accepted = std::sync::Arc::new(AtomicU64::new(0));
+        let count = std::sync::Arc::clone(&accepted);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { break };
+                count.fetch_add(1, Ordering::SeqCst);
+                std::thread::spawn(move || {
+                    let mut prefix = [0u8; 4];
+                    while stream.read_exact(&mut prefix).is_ok() {
+                        let len = u32::from_be_bytes(prefix) as usize;
+                        let mut payload = vec![0u8; len];
+                        if stream.read_exact(&mut payload).is_err() {
+                            return;
+                        }
+                        let body = br#"{"id": 0, "ok": true, "supported": true}"#;
+                        let frame_len = (body.len() as u32).to_be_bytes();
+                        if stream.write_all(&frame_len).is_err() || stream.write_all(body).is_err()
+                        {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, accepted)
+    }
+
+    fn probe_request() -> ShardRequest {
+        ShardRequest::Supports {
+            backend: "any".to_string(),
+            spec: rsn_eval::WorkloadSpec::PowerBreakdown,
+        }
+    }
+
+    #[test]
+    fn pooled_exchanges_reuse_one_connection() {
+        let (addr, accepted) = rejecting_peer();
+        let pool = ConnectionPool::new(&addr, RemoteConfig::default());
+        for _ in 0..5 {
+            let response = pool.exchange(&probe_request()).expect("exchange");
+            assert_eq!(response, ShardResponse::Supported(true));
+        }
+        let stats = pool.stats();
+        assert_eq!(accepted.load(Ordering::SeqCst), 1, "one dial serves all");
+        assert_eq!(stats.checkouts, 5);
+        assert_eq!(stats.dials, 1);
+        assert_eq!(stats.reused, 4);
+        assert_eq!(stats.redials, 0);
+        assert_eq!(pool.idle_connections(), 1);
+    }
+
+    #[test]
+    fn pool_size_zero_dials_every_exchange() {
+        let (addr, accepted) = rejecting_peer();
+        let pool = ConnectionPool::new(
+            &addr,
+            RemoteConfig {
+                pool_size: 0,
+                ..RemoteConfig::default()
+            },
+        );
+        for _ in 0..3 {
+            pool.exchange(&probe_request()).expect("exchange");
+        }
+        // Give the peer threads a beat to register the accepts.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(accepted.load(Ordering::SeqCst), 3);
+        let stats = pool.stats();
+        assert_eq!(stats.dials, 3);
+        assert_eq!(stats.reused, 0);
+        assert_eq!(pool.idle_connections(), 0);
+    }
+
+    #[test]
+    fn dead_idle_connections_are_discarded_then_redialled() {
+        let (addr, _accepted) = rejecting_peer();
+        let pool = ConnectionPool::new(&addr, RemoteConfig::default());
+        pool.exchange(&probe_request()).expect("warm the pool");
+        assert_eq!(pool.idle_connections(), 1);
+        // Sabotage the idle connection from our side: close it so the
+        // health probe sees a dead socket at the next checkout.
+        {
+            let idle = pool.idle.lock().expect("idle lock");
+            idle[0]
+                .shutdown(std::net::Shutdown::Both)
+                .expect("shutdown idle conn");
+        }
+        let response = pool.exchange(&probe_request()).expect("exchange survives");
+        assert_eq!(response, ShardResponse::Supported(true));
+        let stats = pool.stats();
+        assert_eq!(stats.discarded + stats.redials, 1, "dead conn was noticed");
+        assert_eq!(stats.dials, 2, "a fresh dial replaced it");
+        assert_eq!(pool.idle_connections(), 1, "the pool refilled");
+    }
+
+    #[test]
+    fn unreachable_address_fails_with_io_error_not_a_hang() {
+        // A bound-then-dropped listener: nobody is listening there now.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").to_string()
+        };
+        let pool = ConnectionPool::new(
+            &addr,
+            RemoteConfig {
+                connect_timeout: std::time::Duration::from_millis(500),
+                ..RemoteConfig::default()
+            },
+        );
+        let started = std::time::Instant::now();
+        match pool.exchange(&probe_request()) {
+            Err(WireError::Io(_)) => {}
+            other => panic!("expected an I/O error, got {other:?}"),
+        }
+        assert!(started.elapsed() < std::time::Duration::from_secs(5));
+        assert_eq!(pool.stats().dials, 1);
+    }
+}

@@ -7,8 +7,8 @@
 //!  ───────────────                        ──────────────────────
 //!  EvalService                            ShardServer
 //!    ├─ local backend pools                 └─ EvalService
-//!    └─ RemoteBackend ── tcp frames ──────►     ├─ backend pools
-//!         (one per remote pool)                 └─ report cache
+//!    └─ RemoteBackend ── pooled framed ──►      ├─ backend pools
+//!         (shared ConnectionPool)               └─ report cache
 //! ```
 //!
 //! Because [`RemoteBackend`] implements the [`Backend`] trait, remote shards
@@ -19,6 +19,20 @@
 //! emitters and the rendered table text) to the same grid computed
 //! in-process — the loopback integration tests pin exactly that.
 //!
+//! # Pooling and pipelining
+//!
+//! Exchanges run over a shared [`ConnectionPool`]: connections are reused
+//! across evaluations (health-checked at checkout, re-dialled on transport
+//! error, never returned poisoned — see [`crate::pool`]), so the per-call
+//! TCP connect the first version of this layer paid is gone from the hot
+//! path.  On protocol ≥ 2 shards, [`RemoteBackend::evaluate_many`] sends a
+//! whole micro-batch of specs as **one** `evaluate_batch` wire exchange
+//! and the shard answers with one frame of results — the serving worker
+//! pools call `evaluate_many` with their share of each micro-batch, so
+//! batches formed by the client-side batcher cross the wire intact.
+//! Against version-1 shards the backend transparently falls back to
+//! per-spec exchanges (still pooled).
+//!
 //! # Failure semantics
 //!
 //! Transport failures (dead shard, malformed frame, timeout) surface as
@@ -27,30 +41,39 @@
 //! failures are never retained by the report cache: a restarted shard
 //! serves the next request for the same spec normally.
 
+use crate::config::RemoteConfig;
+use crate::pool::ConnectionPool;
 use crate::service::EvalService;
 use crate::stats::ServiceStats;
-use crate::wire::{read_frame, write_frame, ShardRequest, ShardResponse, WireError};
+use crate::wire::{
+    read_frame, write_frame, ShardRequest, ShardResponse, WireError, PROTOCOL_VERSION,
+};
 use rsn_eval::{Backend, EvalError, EvalReport, WorkloadSpec};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Default bound on a remote exchange (connect, send, evaluate, receive).
-pub const DEFAULT_REMOTE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Live connections of a [`ShardServer`], so dropping the server can sever
+/// them (pooled clients hold connections open between exchanges; without
+/// this a "killed" server would keep answering on them).
+type ConnectionRegistry = Mutex<HashMap<u64, TcpStream>>;
 
 /// A TCP server hosting one [`EvalService`] as a backend shard.
 ///
 /// Each accepted connection is served by its own thread; one connection
 /// carries any number of sequential request/response exchanges (see
-/// [`crate::wire`] for the protocol).  Dropping the server stops accepting
-/// and unblocks the listener; connections already answering finish their
-/// in-flight exchange and die with their sockets.
+/// [`crate::wire`] for the protocol).  Dropping the server stops
+/// accepting, severs every live connection (in-flight exchanges die with
+/// their sockets — pooled clients re-dial and surface
+/// [`EvalError::Transport`]), and unblocks the listener.
 pub struct ShardServer {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     service: Arc<EvalService>,
+    connections: Arc<ConnectionRegistry>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -62,17 +85,34 @@ impl ShardServer {
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let service = Arc::new(service);
+        let connections: Arc<ConnectionRegistry> = Arc::new(Mutex::new(HashMap::new()));
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
             let service = Arc::clone(&service);
+            let connections = Arc::clone(&connections);
             std::thread::spawn(move || {
+                let next_id = AtomicU64::new(0);
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::Acquire) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    let id = next_id.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(clone) = stream.try_clone() {
+                        connections
+                            .lock()
+                            .expect("connection registry lock")
+                            .insert(id, clone);
+                    }
                     let service = Arc::clone(&service);
-                    std::thread::spawn(move || serve_connection(stream, &service));
+                    let connections = Arc::clone(&connections);
+                    std::thread::spawn(move || {
+                        serve_connection(stream, &service);
+                        connections
+                            .lock()
+                            .expect("connection registry lock")
+                            .remove(&id);
+                    });
                 }
             })
         };
@@ -80,6 +120,7 @@ impl ShardServer {
             local_addr,
             shutdown,
             service,
+            connections,
             accept_thread: Some(accept_thread),
         })
     }
@@ -104,29 +145,46 @@ impl ShardServer {
 impl Drop for ShardServer {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Release);
-        // Unblock the accept loop with a throwaway connection.
+        // Unblock the accept loop with a throwaway connection and join it
+        // *before* severing: a connection accepted concurrently with this
+        // drop registers from the accept thread, so only after the join is
+        // the registry complete (serving threads only ever remove).
         let _ = TcpStream::connect(self.local_addr);
         if let Some(thread) = self.accept_thread.take() {
             let _ = thread.join();
         }
+        // Sever live connections: pooled clients keep sockets open between
+        // exchanges, and their serving threads hold the service alive —
+        // a dead server must stop answering, not linger on old sockets.
+        for (_, connection) in self
+            .connections
+            .lock()
+            .expect("connection registry lock")
+            .drain()
+        {
+            let _ = connection.shutdown(Shutdown::Both);
+        }
     }
 }
-
-/// How long a connection may sit idle between requests before the server
-/// reaps it.  Clients open a fresh connection per exchange and never idle
-/// mid-exchange, so only abandoned sockets (a peer that vanished without a
-/// FIN) hit this — without it, each one would pin a server thread forever.
-const SERVER_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Serves one connection: frames in, frames out, until EOF, an idle
 /// timeout, or a socket error.  Malformed frames are answered with a
 /// protocol-level rejection (id 0, since the request id never decoded) and
 /// the connection closes — after a framing error the stream position can
-/// no longer be trusted.
+/// no longer be trusted.  The idle bound
+/// ([`RemoteConfig::server_idle_timeout`]) reaps abandoned sockets (a peer
+/// that vanished without a FIN) so they cannot pin a server thread
+/// forever; pooled clients that idle past it transparently re-dial.
 fn serve_connection(mut stream: TcpStream, service: &EvalService) {
-    if stream.set_read_timeout(Some(SERVER_IDLE_TIMEOUT)).is_err() {
+    let idle_timeout = service.config().remote.server_idle_timeout;
+    if stream.set_read_timeout(Some(idle_timeout)).is_err() {
         return;
     }
+    // Answers must leave immediately: a pooled client runs sequential
+    // exchanges on this connection, and Nagle would stall each response
+    // behind the client's delayed ACK (see the matching client-side note
+    // in `crate::pool`).
+    let _ = stream.set_nodelay(true);
     loop {
         let doc = match read_frame(&mut stream) {
             Ok(Some(doc)) => doc,
@@ -159,7 +217,10 @@ fn serve_connection(mut stream: TcpStream, service: &EvalService) {
 /// Answers one decoded request against the hosted service.
 fn answer(service: &EvalService, request: ShardRequest) -> ShardResponse {
     match request {
-        ShardRequest::Hello => ShardResponse::Backends(service.backend_names().to_vec()),
+        ShardRequest::Hello => ShardResponse::Backends {
+            names: service.backend_names().to_vec(),
+            protocol: PROTOCOL_VERSION,
+        },
         ShardRequest::Supports { backend, spec } => {
             match service.backend_supports(&backend, &spec) {
                 Some(supported) => ShardResponse::Supported(supported),
@@ -167,118 +228,164 @@ fn answer(service: &EvalService, request: ShardRequest) -> ShardResponse {
             }
         }
         ShardRequest::Evaluate { backend, spec } => {
-            if !service.backend_names().contains(&backend) {
-                return ShardResponse::Rejected(format!("unknown backend `{backend}`"));
+            match evaluate_on(service, backend, vec![spec]) {
+                Ok(mut results) => ShardResponse::Evaluated(results.remove(0)),
+                Err(rejection) => ShardResponse::Rejected(rejection),
             }
-            let response = service
-                .submit_batch(
-                    vec![spec],
-                    crate::request::BackendSelector::Named(vec![backend]),
-                    crate::request::Priority::Normal,
-                )
-                .wait();
-            let result = response
-                .results
-                .into_iter()
-                .next()
-                .map(|(_, result)| (*result).clone())
-                .unwrap_or_else(|| {
-                    Err(EvalError::Remote {
-                        message: "shard produced no result slot".to_string(),
-                    })
-                });
-            ShardResponse::Evaluated(result)
+        }
+        ShardRequest::EvaluateBatch { backend, specs } => {
+            match evaluate_on(service, backend, specs) {
+                Ok(results) => ShardResponse::EvaluatedBatch(results),
+                Err(rejection) => ShardResponse::Rejected(rejection),
+            }
         }
         ShardRequest::Stats => ShardResponse::Stats(service.stats()),
     }
 }
 
-/// A [`Backend`] whose evaluations run in a shard server across a TCP
-/// connection.
+/// Runs `specs` through the hosted service on one named backend, returning
+/// one result per spec in order (the whole batch is submitted as one burst,
+/// so the shard's own micro-batcher and cache see it intact).  `Err` is a
+/// protocol-level rejection message.
+fn evaluate_on(
+    service: &EvalService,
+    backend: String,
+    specs: Vec<WorkloadSpec>,
+) -> Result<Vec<Result<EvalReport, EvalError>>, String> {
+    if !service.backend_names().contains(&backend) {
+        return Err(format!("unknown backend `{backend}`"));
+    }
+    let expected = specs.len();
+    let response = service
+        .submit_batch(
+            specs,
+            crate::request::BackendSelector::Named(vec![backend]),
+            crate::request::Priority::Normal,
+        )
+        .wait();
+    let mut results: Vec<Result<EvalReport, EvalError>> = response
+        .results
+        .into_iter()
+        .map(|(_, result)| (*result).clone())
+        .collect();
+    // One selected backend: results are one per spec.  Pad defensively so
+    // a shape mismatch surfaces as a domain error, never a desync.
+    while results.len() < expected {
+        results.push(Err(EvalError::Remote {
+            message: "shard produced no result slot".to_string(),
+        }));
+    }
+    results.truncate(expected.max(1));
+    Ok(results)
+}
+
+/// A [`Backend`] whose evaluations run in a shard server across pooled TCP
+/// connections.
 ///
-/// Each call opens a fresh connection, so concurrent evaluations (the
-/// service worker pools, the sweep runner's thread fan-out) never serialise
-/// on a shared socket, and a shard restart between calls is transparent.
-/// All socket operations carry a timeout ([`DEFAULT_REMOTE_TIMEOUT`] unless
-/// overridden with [`with_timeout`](Self::with_timeout)), so a hung shard
-/// yields [`EvalError::Transport`], never a stuck worker.
+/// All backends returned by one [`connect_all`](Self::connect_all) share a
+/// single [`ConnectionPool`], so concurrent evaluations reuse one warm
+/// connection set; the pool bound keeps a shard from hoarding sockets.  A
+/// shard restart between calls costs one transparent re-dial.  All socket
+/// operations carry the pool's configured timeouts
+/// ([`RemoteConfig`](crate::config::RemoteConfig)), so a hung shard yields
+/// [`EvalError::Transport`], never a stuck worker.
 #[derive(Debug, Clone)]
 pub struct RemoteBackend {
-    addr: String,
+    pool: Arc<ConnectionPool>,
     name: String,
-    timeout: Duration,
+    pipelining: bool,
 }
 
 impl RemoteBackend {
     /// Performs the `hello` handshake against a shard server and returns
     /// one `RemoteBackend` per backend it hosts, in the server's
-    /// registration order.
+    /// registration order, all sharing one connection pool.  The handshake
+    /// also negotiates the shard's protocol version, enabling pipelined
+    /// `evaluate_batch` exchanges on version ≥ 2 shards.
     pub fn connect_all(addr: &str) -> Result<Vec<RemoteBackend>, WireError> {
-        let probe = RemoteBackend::named(addr, "");
-        match probe.exchange(&ShardRequest::Hello)? {
-            ShardResponse::Backends(names) => Ok(names
-                .into_iter()
-                .map(|name| RemoteBackend::named(addr, &name))
-                .collect()),
-            ShardResponse::Rejected(message) => Err(WireError::Rejected(message)),
-            _ => Err(WireError::Rejected(
-                "shard answered hello with an unexpected payload".to_string(),
-            )),
-        }
+        Self::connect_all_with(addr, RemoteConfig::default())
+    }
+
+    /// [`connect_all`](Self::connect_all) with explicit transport tuning
+    /// (timeouts, pool bound).
+    pub fn connect_all_with(
+        addr: &str,
+        config: RemoteConfig,
+    ) -> Result<Vec<RemoteBackend>, WireError> {
+        let pool = Arc::new(ConnectionPool::new(addr, config));
+        let names = pool.hello()?;
+        Ok(names
+            .into_iter()
+            .map(|name| RemoteBackend {
+                pool: Arc::clone(&pool),
+                name,
+                pipelining: true,
+            })
+            .collect())
     }
 
     /// A client for one named backend on a shard server (no handshake; the
-    /// name is trusted).
+    /// name is trusted, and the protocol version is negotiated lazily on
+    /// the first batched evaluation).
     pub fn named(addr: &str, name: &str) -> RemoteBackend {
+        Self::named_with(addr, name, RemoteConfig::default())
+    }
+
+    /// [`named`](Self::named) with explicit transport tuning.
+    pub fn named_with(addr: &str, name: &str, config: RemoteConfig) -> RemoteBackend {
         RemoteBackend {
-            addr: addr.to_string(),
+            pool: Arc::new(ConnectionPool::new(addr, config)),
             name: name.to_string(),
-            timeout: DEFAULT_REMOTE_TIMEOUT,
+            pipelining: true,
         }
     }
 
-    /// Returns the backend with a different exchange timeout.
-    pub fn with_timeout(mut self, timeout: Duration) -> Self {
-        self.timeout = timeout;
+    /// Returns the backend with both transport timeouts (connect and
+    /// per-operation I/O) set to `timeout`, on a fresh private pool.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        let config = RemoteConfig {
+            connect_timeout: timeout,
+            io_timeout: timeout,
+            ..self.pool.config().clone()
+        };
+        RemoteBackend {
+            pool: Arc::new(ConnectionPool::new(self.pool.addr(), config)),
+            name: self.name,
+            pipelining: self.pipelining,
+        }
+    }
+
+    /// Returns the backend with pipelining forced on or off.  With
+    /// pipelining off, [`evaluate_many`](Backend::evaluate_many) always
+    /// falls back to per-spec exchanges — the serve benchmark uses this to
+    /// measure exactly what batching the wire exchanges is worth.
+    pub fn with_pipelining(mut self, pipelining: bool) -> Self {
+        self.pipelining = pipelining;
         self
     }
 
     /// The shard server address this backend evaluates on.
     pub fn addr(&self) -> &str {
-        &self.addr
+        self.pool.addr()
     }
 
-    /// One request/response exchange over a fresh connection.  Connect,
-    /// read and write all carry the exchange timeout — a blackholed shard
-    /// host (dropped SYNs, no RST) fails within `self.timeout`, not the
-    /// OS's multi-minute TCP default, so no worker thread ever hangs on a
-    /// dead peer.
-    fn exchange(&self, request: &ShardRequest) -> Result<ShardResponse, WireError> {
-        use std::net::ToSocketAddrs;
-        let resolved = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
-            WireError::Io(std::io::Error::new(
-                std::io::ErrorKind::AddrNotAvailable,
-                format!("`{}` resolves to no address", self.addr),
-            ))
-        })?;
-        let mut stream = TcpStream::connect_timeout(&resolved, self.timeout)?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.set_write_timeout(Some(self.timeout))?;
-        write_frame(&mut stream, &request.to_json(1))?;
-        let doc = read_frame(&mut stream)?.ok_or_else(|| {
-            WireError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "shard closed the connection before answering",
-            ))
-        })?;
-        let (_, response) = ShardResponse::from_json(&doc)?;
-        Ok(response)
+    /// The connection pool this backend exchanges over (shared with every
+    /// backend from the same [`connect_all`](Self::connect_all)).
+    pub fn pool(&self) -> &Arc<ConnectionPool> {
+        &self.pool
     }
 
     fn transport_error(&self, error: &WireError) -> EvalError {
         EvalError::Transport {
             backend: self.name.clone(),
             detail: error.to_string(),
+        }
+    }
+
+    fn unexpected(&self, what: &str) -> EvalError {
+        EvalError::Transport {
+            backend: self.name.clone(),
+            detail: format!("shard answered with an unexpected payload ({what})"),
         }
     }
 }
@@ -293,7 +400,7 @@ impl Backend for RemoteBackend {
     /// the [`EvalError::Transport`] if the caller proceeds anyway).
     fn supports(&self, workload: &WorkloadSpec) -> bool {
         matches!(
-            self.exchange(&ShardRequest::Supports {
+            self.pool.exchange(&ShardRequest::Supports {
                 backend: self.name.clone(),
                 spec: workload.clone(),
             }),
@@ -302,7 +409,7 @@ impl Backend for RemoteBackend {
     }
 
     fn evaluate(&self, workload: &WorkloadSpec) -> Result<EvalReport, EvalError> {
-        match self.exchange(&ShardRequest::Evaluate {
+        match self.pool.exchange(&ShardRequest::Evaluate {
             backend: self.name.clone(),
             spec: workload.clone(),
         }) {
@@ -311,11 +418,62 @@ impl Backend for RemoteBackend {
                 backend: self.name.clone(),
                 detail: format!("shard rejected the request: {message}"),
             }),
-            Ok(_) => Err(EvalError::Transport {
-                backend: self.name.clone(),
-                detail: "shard answered with an unexpected payload".to_string(),
-            }),
+            Ok(_) => Err(self.unexpected("evaluate")),
             Err(error) => Err(self.transport_error(&error)),
+        }
+    }
+
+    /// Pipelines a whole micro-batch into one `evaluate_batch` wire
+    /// exchange when the shard's protocol allows it, falling back to
+    /// per-spec exchanges (still pooled) against version-1 shards, when
+    /// pipelining is disabled, or for single-spec batches (where the
+    /// per-spec frame is the same size).
+    fn evaluate_many(&self, workloads: &[WorkloadSpec]) -> Vec<Result<EvalReport, EvalError>> {
+        let per_spec = || workloads.iter().map(|w| self.evaluate(w)).collect();
+        if !self.pipelining || workloads.len() < 2 {
+            return per_spec();
+        }
+        if self.pool.protocol().is_none() {
+            // `named` clients skip the construction-time handshake;
+            // negotiate on first use.  A failed hello falls through to the
+            // per-spec path, which surfaces the transport error per result.
+            let _ = self.pool.hello();
+        }
+        if !self.pool.supports_batch() {
+            return per_spec();
+        }
+        match self.pool.exchange(&ShardRequest::EvaluateBatch {
+            backend: self.name.clone(),
+            specs: workloads.to_vec(),
+        }) {
+            Ok(ShardResponse::EvaluatedBatch(results)) if results.len() == workloads.len() => {
+                self.pool.count_pipelined(workloads.len());
+                results
+            }
+            Ok(ShardResponse::EvaluatedBatch(results)) => {
+                let got = results.len();
+                workloads
+                    .iter()
+                    .map(|_| Err(self.unexpected(&format!("{got} results for batch"))))
+                    .collect()
+            }
+            Ok(ShardResponse::Rejected(message)) => workloads
+                .iter()
+                .map(|_| {
+                    Err(EvalError::Transport {
+                        backend: self.name.clone(),
+                        detail: format!("shard rejected the request: {message}"),
+                    })
+                })
+                .collect(),
+            Ok(_) => workloads
+                .iter()
+                .map(|_| Err(self.unexpected("evaluate_batch")))
+                .collect(),
+            Err(error) => workloads
+                .iter()
+                .map(|_| Err(self.transport_error(&error)))
+                .collect(),
         }
     }
 }

@@ -19,9 +19,11 @@
 //! threads that amortise across every batch.
 
 use crate::cache::{CachedResult, Lookup, ReportCache};
-use crate::config::ServiceConfig;
+use crate::config::{RemoteConfig, ServiceConfig};
+use crate::pool::ConnectionPool;
 use crate::request::{BackendSelector, EvalRequest, EvalResponse, Priority, ResponseHandle};
 use crate::stats::{ServiceStats, StatsCounters};
+use crate::topology::Topology;
 use rsn_eval::{Backend, EvalError, EvalReport, Evaluator, WorkloadSpec};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -96,6 +98,10 @@ struct ServiceInner {
     pending_cv: Condvar,
     cache: ReportCache<Waiter>,
     counters: StatsCounters,
+    /// Remote-shard connection pools registered by [`ShardRouter`] (or
+    /// [`EvalService::register_pool`]); their transport counters join
+    /// every [`stats`](EvalService::stats) snapshot.
+    pools: Mutex<Vec<Arc<ConnectionPool>>>,
 }
 
 /// A batched, cached, sharded evaluation service over an
@@ -125,6 +131,18 @@ impl EvalService {
     /// The backends move into long-running worker threads (one pool per
     /// backend, [`ServiceConfig::workers_per_backend`] threads each).
     pub fn with_config(evaluator: Evaluator, config: ServiceConfig) -> Self {
+        Self::with_weighted_config(evaluator, config, &[])
+    }
+
+    /// [`with_config`](Self::with_config) with per-backend worker weights:
+    /// backend `i` gets `workers_per_backend * weights[i].max(1)` worker
+    /// threads (missing entries weigh 1).  The topology file uses this to
+    /// give heavier shards proportionally more client-side concurrency.
+    pub fn with_weighted_config(
+        evaluator: Evaluator,
+        config: ServiceConfig,
+        weights: &[usize],
+    ) -> Self {
         let backends: Vec<Arc<dyn Backend>> = evaluator
             .into_backends()
             .into_iter()
@@ -139,6 +157,7 @@ impl EvalService {
             counters: StatsCounters::for_shards(&names),
             names,
             config,
+            pools: Mutex::new(Vec::new()),
         });
 
         let mut senders = Vec::with_capacity(inner.backends.len());
@@ -147,7 +166,8 @@ impl EvalService {
             let (tx, rx) = mpsc::channel::<Vec<WorkTask>>();
             let rx = Arc::new(Mutex::new(rx));
             senders.push(tx);
-            for _ in 0..inner.config.workers_per_backend.max(1) {
+            let weight = weights.get(backend_idx).copied().unwrap_or(1).max(1);
+            for _ in 0..inner.config.workers_per_backend.max(1) * weight {
                 let inner = Arc::clone(&inner);
                 let rx = Arc::clone(&rx);
                 workers.push(std::thread::spawn(move || {
@@ -166,14 +186,37 @@ impl EvalService {
         }
     }
 
+    /// The service's tuning knobs (as configured at construction).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// Registers a remote-shard connection pool so its transport counters
+    /// appear in [`stats`](Self::stats) snapshots
+    /// ([`ServiceStats::remote_pools`]).  [`ShardRouter`] does this for
+    /// every shard address it connects.
+    pub fn register_pool(&self, pool: Arc<ConnectionPool>) {
+        self.inner.pools.lock().expect("pools lock").push(pool);
+    }
+
     /// Display names of the backend shards, in registration order.
     pub fn backend_names(&self) -> &[String] {
         &self.inner.names
     }
 
-    /// A point-in-time activity snapshot.
+    /// A point-in-time activity snapshot, including the transport counters
+    /// of every registered remote connection pool.
     pub fn stats(&self) -> ServiceStats {
-        self.inner.counters.snapshot()
+        let mut stats = self.inner.counters.snapshot();
+        stats.remote_pools = self
+            .inner
+            .pools
+            .lock()
+            .expect("pools lock")
+            .iter()
+            .map(|pool| pool.stats())
+            .collect();
+        stats
     }
 
     /// Number of `(backend, spec)` keys in the report cache (in-flight and
@@ -545,6 +588,13 @@ fn dispatch(inner: &ServiceInner, senders: &[mpsc::Sender<Vec<WorkTask>>], batch
 
 /// One worker thread of a backend shard: drains work, evaluates with panic
 /// isolation, publishes through the cache.
+///
+/// Each received chunk (this worker's share of one micro-batch) goes
+/// through [`Backend::evaluate_many`] as a unit: in-process backends loop
+/// per spec (the trait default), remote backends pipeline the whole chunk
+/// as one wire exchange — so micro-batches formed by the batcher cross a
+/// process boundary intact instead of unravelling into per-spec round
+/// trips.
 fn worker_loop(
     inner: &ServiceInner,
     backend_idx: usize,
@@ -560,15 +610,41 @@ fn worker_loop(
         let Ok(tasks) = tasks else {
             break;
         };
-        for task in tasks {
-            let result = catch_unwind(AssertUnwindSafe(|| backend.evaluate(&task.spec)))
-                .unwrap_or_else(|payload| {
-                    Err(EvalError::Panicked {
-                        backend: backend.name().to_string(),
-                        workload: task.spec.name(),
-                        reason: panic_message(payload.as_ref()),
+        if tasks.is_empty() {
+            continue;
+        }
+        let specs: Vec<WorkloadSpec> = tasks.iter().map(|task| task.spec.clone()).collect();
+        let results = catch_unwind(AssertUnwindSafe(|| backend.evaluate_many(&specs)))
+            .unwrap_or_else(|_| {
+                // A panic mid-chunk aborted the remaining specs along with
+                // the offender.  Backends are deterministic, so re-run the
+                // chunk per spec with individual isolation: innocent specs
+                // get their real results and the panic is attributed to
+                // exactly the spec(s) that caused it.
+                specs
+                    .iter()
+                    .map(|spec| {
+                        catch_unwind(AssertUnwindSafe(|| backend.evaluate(spec))).unwrap_or_else(
+                            |payload| {
+                                Err(EvalError::Panicked {
+                                    backend: backend.name().to_string(),
+                                    workload: spec.name(),
+                                    reason: panic_message(payload.as_ref()),
+                                })
+                            },
+                        )
                     })
-                });
+                    .collect()
+            });
+        let mut results = results.into_iter();
+        for task in tasks {
+            // Guard against a misbehaving `evaluate_many` override: a
+            // short result list must fail its slots, never strand waiters.
+            let result = results.next().unwrap_or_else(|| {
+                Err(EvalError::Remote {
+                    message: "backend returned fewer results than workloads".to_string(),
+                })
+            });
             inner.counters.evaluations.fetch_add(1, Ordering::Relaxed);
             let shard = &inner.counters.per_shard[task.backend];
             shard.evaluations.fetch_add(1, Ordering::Relaxed);
@@ -610,6 +686,13 @@ pub enum RouterError {
         /// The transport failure.
         source: crate::wire::WireError,
     },
+    /// A topology's `local` entry names no known evaluation-layer backend.
+    UnknownBackend {
+        /// The name that resolved to nothing.
+        name: String,
+        /// The names that would have resolved.
+        available: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for RouterError {
@@ -620,6 +703,13 @@ impl std::fmt::Display for RouterError {
             }
             RouterError::Connect { addr, source } => {
                 write!(f, "connecting to shard server {addr} failed: {source}")
+            }
+            RouterError::UnknownBackend { name, available } => {
+                write!(
+                    f,
+                    "unknown local backend `{name}` (available: {})",
+                    available.join(", ")
+                )
             }
         }
     }
@@ -643,6 +733,8 @@ impl std::error::Error for RouterError {}
 /// otherwise be ambiguous — so [`build`](Self::build) rejects duplicates.
 pub struct ShardRouter {
     backends: Vec<Box<dyn Backend>>,
+    weights: Vec<usize>,
+    pools: Vec<Arc<ConnectionPool>>,
     config: ServiceConfig,
 }
 
@@ -662,33 +754,119 @@ impl ShardRouter {
     pub fn with_config(config: ServiceConfig) -> Self {
         Self {
             backends: Vec::new(),
+            weights: Vec::new(),
+            pools: Vec::new(),
             config,
         }
+    }
+
+    /// A router assembled from a deployment [`Topology`]: every `local`
+    /// entry resolved against [`rsn_eval::default_backends`], every
+    /// `remotes` entry autodiscovered via the `hello` handshake (with its
+    /// declared worker weight and pool bound), and the topology's service
+    /// tuning applied.  Call [`build`](Self::build) on the result.
+    pub fn from_topology(topology: &Topology) -> Result<Self, RouterError> {
+        Self::from_topology_with(
+            topology,
+            Evaluator::empty().with_backends(rsn_eval::default_backends()),
+        )
+    }
+
+    /// [`from_topology`](Self::from_topology) with an explicit catalogue
+    /// of resolvable local backends: `local` entries are taken from
+    /// `catalogue` by name (each at most once).  Table binaries pass their
+    /// own backend sets (ablation variants and GPU rows that are not in
+    /// the default catalogue), so one topology format drives every
+    /// process.
+    pub fn from_topology_with(
+        topology: &Topology,
+        catalogue: Evaluator,
+    ) -> Result<Self, RouterError> {
+        let mut router = Self::with_config(topology.service.clone());
+        let mut available = Vec::new();
+        let mut catalogue: Vec<Option<Box<dyn Backend>>> = catalogue
+            .into_backends()
+            .into_iter()
+            .map(|backend| {
+                available.push(backend.name().to_string());
+                Some(backend)
+            })
+            .collect();
+        for name in &topology.local {
+            let slot = available
+                .iter()
+                .position(|n| n == name)
+                .and_then(|idx| catalogue[idx].take());
+            match slot {
+                Some(backend) => router = router.local(backend),
+                None if available.contains(name) => {
+                    // Taken twice: surface as the duplicate it would
+                    // become at build time, with the clearer error now.
+                    return Err(RouterError::DuplicateBackend(name.clone()));
+                }
+                None => {
+                    return Err(RouterError::UnknownBackend {
+                        name: name.clone(),
+                        available,
+                    });
+                }
+            }
+        }
+        for decl in &topology.remotes {
+            let remote_config = RemoteConfig {
+                pool_size: decl.pool_size.unwrap_or(topology.service.remote.pool_size),
+                ..topology.service.remote.clone()
+            };
+            router = router.remote_with(&decl.addr, remote_config, decl.weight)?;
+        }
+        Ok(router)
     }
 
     /// Adds one in-process backend pool.
     pub fn local(mut self, backend: Box<dyn Backend>) -> Self {
         self.backends.push(backend);
+        self.weights.push(1);
         self
     }
 
     /// Adds every backend of an [`Evaluator`] as in-process pools.
     pub fn local_evaluator(mut self, evaluator: Evaluator) -> Self {
-        self.backends.extend(evaluator.into_backends());
+        for backend in evaluator.into_backends() {
+            self.backends.push(backend);
+            self.weights.push(1);
+        }
         self
     }
 
     /// Connects to a shard server and adds one remote pool per backend it
-    /// hosts (in the server's registration order).
-    pub fn remote(mut self, addr: &str) -> Result<Self, RouterError> {
-        let remotes = crate::remote::RemoteBackend::connect_all(addr).map_err(|source| {
-            RouterError::Connect {
+    /// hosts (in the server's registration order), with the router's
+    /// configured transport tuning and weight 1.
+    pub fn remote(self, addr: &str) -> Result<Self, RouterError> {
+        let remote_config = self.config.remote.clone();
+        self.remote_with(addr, remote_config, 1)
+    }
+
+    /// [`remote`](Self::remote) with explicit transport tuning and a
+    /// client-side worker weight: the shard's backends each get
+    /// `workers_per_backend × weight` worker threads in the built service.
+    pub fn remote_with(
+        mut self,
+        addr: &str,
+        remote_config: RemoteConfig,
+        weight: usize,
+    ) -> Result<Self, RouterError> {
+        let remotes = crate::remote::RemoteBackend::connect_all_with(addr, remote_config).map_err(
+            |source| RouterError::Connect {
                 addr: addr.to_string(),
                 source,
-            }
-        })?;
+            },
+        )?;
+        if let Some(first) = remotes.first() {
+            self.pools.push(Arc::clone(first.pool()));
+        }
         for remote in remotes {
             self.backends.push(Box::new(remote));
+            self.weights.push(weight.max(1));
         }
         Ok(self)
     }
@@ -698,7 +876,9 @@ impl ShardRouter {
         self.backends.iter().map(|b| b.name().to_string()).collect()
     }
 
-    /// Builds the service, rejecting duplicate shard names.
+    /// Builds the service, rejecting duplicate shard names.  Every shard
+    /// address's connection pool is registered with the service, so
+    /// [`EvalService::stats`] surfaces transport counters per pool.
     pub fn build(self) -> Result<EvalService, RouterError> {
         let mut seen = std::collections::HashSet::new();
         for backend in &self.backends {
@@ -710,7 +890,11 @@ impl ShardRouter {
         for backend in self.backends {
             evaluator.register(backend);
         }
-        Ok(EvalService::with_config(evaluator, self.config))
+        let service = EvalService::with_weighted_config(evaluator, self.config, &self.weights);
+        for pool in self.pools {
+            service.register_pool(pool);
+        }
+        Ok(service)
     }
 }
 

@@ -66,7 +66,45 @@ impl StatsCounters {
                     errors: shard.errors.load(Ordering::Relaxed),
                 })
                 .collect(),
+            remote_pools: Vec::new(),
         }
+    }
+}
+
+/// Transport activity of one remote-shard connection pool (see
+/// [`ConnectionPool`](crate::pool::ConnectionPool) for the semantics of
+/// each counter).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// The shard server address the pool dials.
+    pub addr: String,
+    /// Connections requested from the pool (one per exchange).
+    pub checkouts: u64,
+    /// Checkouts served by a healthy idle connection (no dial paid).
+    pub reused: u64,
+    /// Fresh TCP dials.
+    pub dials: u64,
+    /// Dials that were the one-shot retry of an exchange that failed on a
+    /// reused connection.
+    pub redials: u64,
+    /// Idle connections found dead at checkout and thrown away.
+    pub discarded: u64,
+    /// Pipelined `evaluate_batch` exchanges sent.
+    pub pipelined_batches: u64,
+    /// Specs carried by those exchanges.
+    pub pipelined_specs: u64,
+}
+
+impl PoolStats {
+    /// Fraction of checkouts that avoided a TCP dial, `NaN` before the
+    /// first checkout.
+    pub fn reuse_ratio(&self) -> f64 {
+        self.reused as f64 / self.checkouts as f64
+    }
+
+    /// Mean specs per pipelined exchange, `NaN` before the first batch.
+    pub fn mean_pipeline_depth(&self) -> f64 {
+        self.pipelined_specs as f64 / self.pipelined_batches as f64
     }
 }
 
@@ -111,6 +149,10 @@ pub struct ServiceStats {
     pub evictions: u64,
     /// Per-backend-shard activity, in backend registration order.
     pub per_shard: Vec<ShardStats>,
+    /// Transport counters of every remote-shard connection pool registered
+    /// with the service (one entry per shard address, in registration
+    /// order); empty for purely local services.
+    pub remote_pools: Vec<PoolStats>,
 }
 
 impl ServiceStats {
@@ -129,6 +171,12 @@ impl ServiceStats {
     /// The named shard's counters, if such a shard is registered.
     pub fn shard(&self, backend: &str) -> Option<&ShardStats> {
         self.per_shard.iter().find(|s| s.backend == backend)
+    }
+
+    /// The connection-pool counters for a shard address, if a pool for it
+    /// is registered.
+    pub fn pool(&self, addr: &str) -> Option<&PoolStats> {
+        self.remote_pools.iter().find(|p| p.addr == addr)
     }
 }
 

@@ -15,16 +15,26 @@
 //! connection can be used for many sequential request/response exchanges:
 //!
 //! ```text
-//! {"id": 1, "kind": "hello"}                      → backends the shard hosts
+//! {"id": 1, "kind": "hello"}                      → backends + protocol version
 //! {"id": 2, "kind": "supports", "backend", "spec"} → {"supported": bool}
 //! {"id": 3, "kind": "evaluate", "backend", "spec"} → {"report"} | {"error"}
-//! {"id": 4, "kind": "stats"}                       → {"stats": {...}}
+//! {"id": 4, "kind": "evaluate_batch", "backend", "specs"} → {"results": [...]}
+//! {"id": 5, "kind": "stats"}                       → {"stats": {...}}
 //! ```
 //!
 //! An `"ok": false` response with a `"message"` reports a protocol-level
 //! failure (unparseable frame, unknown request kind, unknown backend name);
 //! evaluation failures are *domain* results and travel as structured
 //! [`EvalError`] documents inside an `"ok": true` response.
+//!
+//! # Versioning
+//!
+//! The hello response advertises the shard's [`PROTOCOL_VERSION`]; a
+//! response without the field is a version-1 shard.  `evaluate_batch`
+//! (one frame carrying a whole micro-batch of specs, answered by one frame
+//! of results in order) exists from version 2 — clients that handshook a
+//! version-1 shard fall back to per-spec `evaluate` exchanges, so old and
+//! new peers interoperate in both directions.
 
 use crate::json::{self, DecodeError, JsonParseError, JsonValue};
 use crate::stats::ServiceStats;
@@ -34,6 +44,11 @@ use std::io::{Read, Write};
 /// Upper bound on one frame's payload, sized generously above the largest
 /// document the service emits (a full-model report is a few tens of KiB).
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// The shard protocol version this build speaks.  Version 2 added the
+/// `evaluate_batch` exchange; the hello response advertises the version so
+/// clients can negotiate per-spec fallback against older shards.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// A transport-layer failure: the connection died, a frame was malformed,
 /// or a peer spoke something that is not the shard protocol.
@@ -151,6 +166,15 @@ pub enum ShardRequest {
         /// The workload to evaluate.
         spec: WorkloadSpec,
     },
+    /// "Evaluate every spec on `backend`, answer once with every result."
+    /// One pipelined exchange per micro-batch instead of one per spec —
+    /// requires a version ≥ 2 shard (see [`PROTOCOL_VERSION`]).
+    EvaluateBatch {
+        /// Backend shard name.
+        backend: String,
+        /// The workloads to evaluate, answered in this order.
+        specs: Vec<WorkloadSpec>,
+    },
     /// "How busy have you been?"
     Stats,
 }
@@ -172,6 +196,17 @@ impl ShardRequest {
                 pairs.push(("kind".to_string(), JsonValue::Str("evaluate".to_string())));
                 pairs.push(("backend".to_string(), JsonValue::Str(backend.clone())));
                 pairs.push(("spec".to_string(), json::workload_spec_json(spec)));
+            }
+            ShardRequest::EvaluateBatch { backend, specs } => {
+                pairs.push((
+                    "kind".to_string(),
+                    JsonValue::Str("evaluate_batch".to_string()),
+                ));
+                pairs.push(("backend".to_string(), JsonValue::Str(backend.clone())));
+                pairs.push((
+                    "specs".to_string(),
+                    JsonValue::Arr(specs.iter().map(json::workload_spec_json).collect()),
+                ));
             }
             ShardRequest::Stats => {
                 pairs.push(("kind".to_string(), JsonValue::Str("stats".to_string())));
@@ -201,16 +236,17 @@ impl ShardRequest {
                 })
             }
         };
+        let backend_name = || -> Result<String, DecodeError> {
+            match doc.get("backend") {
+                Some(JsonValue::Str(name)) => Ok(name.clone()),
+                _ => Err(DecodeError {
+                    context: CTX.to_string(),
+                    message: "missing string `backend`".to_string(),
+                }),
+            }
+        };
         let backend_and_spec = || -> Result<(String, WorkloadSpec), DecodeError> {
-            let backend = match doc.get("backend") {
-                Some(JsonValue::Str(name)) => name.clone(),
-                _ => {
-                    return Err(DecodeError {
-                        context: CTX.to_string(),
-                        message: "missing string `backend`".to_string(),
-                    })
-                }
-            };
+            let backend = backend_name()?;
             let spec = doc.get("spec").ok_or_else(|| DecodeError {
                 context: CTX.to_string(),
                 message: "missing `spec`".to_string(),
@@ -227,6 +263,22 @@ impl ShardRequest {
                 let (backend, spec) = backend_and_spec()?;
                 ShardRequest::Evaluate { backend, spec }
             }
+            "evaluate_batch" => {
+                let backend = backend_name()?;
+                let specs = match doc.get("specs") {
+                    Some(JsonValue::Arr(items)) => items
+                        .iter()
+                        .map(json::workload_spec_from_json)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => {
+                        return Err(DecodeError {
+                            context: CTX.to_string(),
+                            message: "missing array `specs`".to_string(),
+                        })
+                    }
+                };
+                ShardRequest::EvaluateBatch { backend, specs }
+            }
             "stats" => ShardRequest::Stats,
             other => {
                 return Err(DecodeError {
@@ -242,12 +294,22 @@ impl ShardRequest {
 /// One answer a shard server sends back.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ShardResponse {
-    /// The backends this shard hosts, in registration order.
-    Backends(Vec<String>),
+    /// The backends this shard hosts, in registration order, and the
+    /// protocol version the shard speaks (1 when the peer predates the
+    /// version field).
+    Backends {
+        /// Hosted backend names, in registration order.
+        names: Vec<String>,
+        /// The shard's [`PROTOCOL_VERSION`].
+        protocol: u64,
+    },
     /// Whether the asked backend supports the asked spec.
     Supported(bool),
     /// The evaluation's domain result.
     Evaluated(Result<EvalReport, EvalError>),
+    /// One domain result per spec of an `evaluate_batch` request, in the
+    /// request's spec order.
+    EvaluatedBatch(Vec<Result<EvalReport, EvalError>>),
     /// The shard's service statistics.
     Stats(ServiceStats),
     /// A protocol-level rejection (unknown backend/kind, malformed frame).
@@ -263,10 +325,13 @@ impl ShardResponse {
             ("ok".to_string(), JsonValue::Bool(ok)),
         ];
         match self {
-            ShardResponse::Backends(names) => pairs.push((
-                "backends".to_string(),
-                JsonValue::Arr(names.iter().map(|n| JsonValue::Str(n.clone())).collect()),
-            )),
+            ShardResponse::Backends { names, protocol } => {
+                pairs.push((
+                    "backends".to_string(),
+                    JsonValue::Arr(names.iter().map(|n| JsonValue::Str(n.clone())).collect()),
+                ));
+                pairs.push(("protocol".to_string(), JsonValue::Int(*protocol)));
+            }
             ShardResponse::Supported(supported) => {
                 pairs.push(("supported".to_string(), JsonValue::Bool(*supported)));
             }
@@ -275,6 +340,26 @@ impl ShardResponse {
             }
             ShardResponse::Evaluated(Err(error)) => {
                 pairs.push(("error".to_string(), json::error_json(error)));
+            }
+            ShardResponse::EvaluatedBatch(results) => {
+                pairs.push((
+                    "results".to_string(),
+                    JsonValue::Arr(
+                        results
+                            .iter()
+                            .map(|result| match result {
+                                Ok(report) => JsonValue::Obj(vec![(
+                                    "report".to_string(),
+                                    json::report_json(report),
+                                )]),
+                                Err(error) => JsonValue::Obj(vec![(
+                                    "error".to_string(),
+                                    json::error_json(error),
+                                )]),
+                            })
+                            .collect(),
+                    ),
+                ));
             }
             ShardResponse::Stats(stats) => {
                 pairs.push(("stats".to_string(), json::stats_json(stats)));
@@ -324,13 +409,44 @@ impl ShardResponse {
                     })
                 }
             };
-            ShardResponse::Backends(names)
+            // Version-1 shards predate the `protocol` field.
+            let protocol = match doc.get("protocol") {
+                Some(JsonValue::Int(version)) => *version,
+                _ => 1,
+            };
+            ShardResponse::Backends { names, protocol }
         } else if let Some(JsonValue::Bool(supported)) = doc.get("supported") {
             ShardResponse::Supported(*supported)
         } else if let Some(report) = doc.get("report") {
             ShardResponse::Evaluated(Ok(json::report_from_json(report)?))
         } else if let Some(error) = doc.get("error") {
             ShardResponse::Evaluated(Err(json::error_from_json(error)?))
+        } else if let Some(results) = doc.get("results") {
+            let results = match results {
+                JsonValue::Arr(items) => items
+                    .iter()
+                    .map(|item| {
+                        if let Some(report) = item.get("report") {
+                            Ok(Ok(json::report_from_json(report)?))
+                        } else if let Some(error) = item.get("error") {
+                            Ok(Err(json::error_from_json(error)?))
+                        } else {
+                            Err(DecodeError {
+                                context: CTX.to_string(),
+                                message: "batch result carries neither `report` nor `error`"
+                                    .to_string(),
+                            })
+                        }
+                    })
+                    .collect::<Result<Vec<_>, DecodeError>>()?,
+                _ => {
+                    return Err(DecodeError {
+                        context: CTX.to_string(),
+                        message: "`results` must be an array".to_string(),
+                    })
+                }
+            };
+            ShardResponse::EvaluatedBatch(results)
         } else if let Some(stats) = doc.get("stats") {
             ShardResponse::Stats(json::stats_from_json(stats)?)
         } else {
@@ -427,6 +543,13 @@ mod tests {
                     seed: 3,
                 },
             },
+            ShardRequest::EvaluateBatch {
+                backend: "gamma".to_string(),
+                specs: vec![
+                    WorkloadSpec::SquareGemm { n: 64 },
+                    WorkloadSpec::PowerBreakdown,
+                ],
+            },
             ShardRequest::Stats,
         ];
         for (id, request) in requests.into_iter().enumerate() {
@@ -437,13 +560,23 @@ mod tests {
             );
         }
         let responses = [
-            ShardResponse::Backends(vec!["a".to_string(), "b".to_string()]),
+            ShardResponse::Backends {
+                names: vec!["a".to_string(), "b".to_string()],
+                protocol: PROTOCOL_VERSION,
+            },
             ShardResponse::Supported(true),
             ShardResponse::Evaluated(Ok(EvalReport::new("a", "w"))),
             ShardResponse::Evaluated(Err(EvalError::Unsupported {
                 backend: "a".to_string(),
                 workload: "w".to_string(),
             })),
+            ShardResponse::EvaluatedBatch(vec![
+                Ok(EvalReport::new("a", "w1")),
+                Err(EvalError::Unsupported {
+                    backend: "a".to_string(),
+                    workload: "w2".to_string(),
+                }),
+            ]),
             ShardResponse::Stats(ServiceStats::default()),
             ShardResponse::Rejected("unknown backend `zeta`".to_string()),
         ];
@@ -453,6 +586,26 @@ mod tests {
                 ShardResponse::from_json(&doc).expect("response decodes"),
                 (id as u64, response)
             );
+        }
+    }
+
+    #[test]
+    fn hello_without_protocol_field_is_a_version_one_shard() {
+        // What a pre-versioning shard emitted: backends, no protocol.
+        let doc = JsonValue::Obj(vec![
+            ("id".to_string(), JsonValue::Int(9)),
+            ("ok".to_string(), JsonValue::Bool(true)),
+            (
+                "backends".to_string(),
+                JsonValue::Arr(vec![JsonValue::Str("rsn-xnn".to_string())]),
+            ),
+        ]);
+        match ShardResponse::from_json(&doc).expect("legacy hello decodes") {
+            (9, ShardResponse::Backends { names, protocol }) => {
+                assert_eq!(names, ["rsn-xnn"]);
+                assert_eq!(protocol, 1, "missing field must mean version 1");
+            }
+            other => panic!("unexpected decode: {other:?}"),
         }
     }
 }

@@ -17,7 +17,10 @@ use rsn_serve::json::{
     self, error_json, grid_json, grid_json_named, parse, report_json, result_json, stats_json,
     workload_spec_json, JsonValue,
 };
-use rsn_serve::{ServiceStats, ShardStats};
+use rsn_serve::topology::{topology_from_json, topology_json};
+use rsn_serve::{
+    PoolStats, RemoteConfig, RemoteShardDecl, ServiceConfig, ServiceStats, ShardStats, Topology,
+};
 use rsn_workloads::bert::BertConfig;
 use rsn_workloads::models::ModelKind;
 
@@ -260,13 +263,77 @@ fn stats_round_trip_including_per_shard_counters() {
                 errors: 1,
             },
         ],
+        remote_pools: vec![PoolStats {
+            addr: "127.0.0.1:7070".to_string(),
+            checkouts: 9,
+            reused: 7,
+            dials: 2,
+            redials: 1,
+            discarded: 1,
+            pipelined_batches: 3,
+            pipelined_specs: 8,
+        }],
     };
     let parsed = assert_emit_stable(&stats_json(&stats));
     assert_eq!(json::stats_from_json(&parsed).expect("decodes"), stats);
-    // And the empty default (empty per_shard array).
+    // And the empty default (empty per_shard/remote_pools arrays).
     let empty = ServiceStats::default();
     let parsed = assert_emit_stable(&stats_json(&empty));
     assert_eq!(json::stats_from_json(&parsed).expect("decodes"), empty);
+}
+
+#[test]
+fn stats_without_pool_counters_decode_as_a_version_one_shard() {
+    // What a pre-pooling shard emits: no `remote_pools` field at all.
+    let legacy = r#"{
+  "submitted": 1,
+  "completed": 1,
+  "batches": 1,
+  "batched_requests": 1,
+  "cache_hits": 0,
+  "cache_misses": 1,
+  "inflight_merged": 0,
+  "evaluations": 1,
+  "eval_errors": 0,
+  "evictions": 0,
+  "per_shard": []
+}"#;
+    let decoded = json::stats_from_json(&parse(legacy).expect("parses")).expect("decodes");
+    assert!(decoded.remote_pools.is_empty());
+    assert_eq!(decoded.submitted, 1);
+}
+
+#[test]
+fn topology_round_trips_typed_and_textual() {
+    let topology = Topology {
+        listen: Some("0.0.0.0:7070".to_string()),
+        service: ServiceConfig {
+            max_batch: 32,
+            batch_deadline: std::time::Duration::from_micros(500),
+            workers_per_backend: 4,
+            cache_capacity: Some(1024),
+            remote: RemoteConfig {
+                connect_timeout: std::time::Duration::from_millis(2000),
+                io_timeout: std::time::Duration::from_millis(15000),
+                pool_size: 8,
+                server_idle_timeout: std::time::Duration::from_millis(30000),
+            },
+        },
+        local: vec!["rsn-xnn".to_string()],
+        remotes: vec![
+            RemoteShardDecl {
+                addr: "10.0.0.7:7070".to_string(),
+                weight: 2,
+                pool_size: Some(16),
+            },
+            RemoteShardDecl::new("10.0.0.8:7070"),
+        ],
+    };
+    let parsed = assert_emit_stable(&topology_json(&topology));
+    assert_eq!(
+        topology_from_json(&parsed).expect("topology decodes"),
+        topology
+    );
 }
 
 #[test]

@@ -13,7 +13,10 @@
 use rsn_eval::{Backend, CharmBackend, EvalError, Evaluator, WorkloadSpec, XnnAnalyticBackend};
 use rsn_serve::json::{grid_json, stats_json};
 use rsn_serve::remote::{RemoteBackend, ShardServer};
-use rsn_serve::{EvalService, ServiceConfig, ShardRouter};
+use rsn_serve::topology::{topology_json, Topology};
+use rsn_serve::{
+    BackendSelector, EvalService, Priority, RemoteShardDecl, ServiceConfig, ShardRouter,
+};
 use rsn_workloads::bert::BertConfig;
 use std::time::Duration;
 
@@ -202,6 +205,335 @@ fn killed_shard_yields_transport_errors_not_hangs_or_poison() {
 
     // The pre-kill success *is* served from the cache (successes persist).
     assert!(service.evaluate(&spec)[0].is_ok());
+}
+
+#[test]
+fn pooled_connections_amortise_dials_and_pipeline_micro_batches() {
+    let server = ShardServer::bind("127.0.0.1:0", EvalService::new(paper_backends()))
+        .expect("bind loopback shard");
+    let addr = server.local_addr().to_string();
+    let service = remote_service(&server);
+
+    // A grid of distinct cheap specs: every cell is a cache miss on the
+    // client, so each would have been a fresh TCP connect before pooling.
+    let specs: Vec<WorkloadSpec> = (1..=24usize)
+        .map(|n| WorkloadSpec::SquareGemm { n: n * 64 })
+        .collect();
+    let grid = service.evaluate_grid(&specs);
+    assert!(grid.iter().flatten().all(Result::is_ok));
+
+    let pool = service
+        .stats()
+        .pool(&addr)
+        .expect("pool registered")
+        .clone();
+    // 2 backends × 24 specs = 48 evaluations, but far fewer exchanges
+    // (pipelining) and far fewer dials than exchanges (pooling).
+    assert!(
+        pool.pipelined_batches > 0,
+        "micro-batches must cross the wire as batch exchanges: {pool:?}"
+    );
+    assert!(
+        pool.pipelined_specs > pool.pipelined_batches,
+        "pipelined exchanges must carry multiple specs: {pool:?}"
+    );
+    assert!(
+        pool.checkouts > pool.dials,
+        "pooling must amortise dials across exchanges: {pool:?}"
+    );
+    assert_eq!(pool.redials, 0, "healthy shard: no re-dials: {pool:?}");
+
+    // The negotiated protocol is modern on both ends.
+    let remotes = RemoteBackend::connect_all(&addr).expect("handshake");
+    assert!(remotes[0].pool().supports_batch());
+}
+
+/// A backend whose every evaluation sleeps: total batch time scales with
+/// the spec count, exposing any transport that bounds a whole batch by a
+/// single per-evaluation timeout.
+struct SlowSquare {
+    delay: Duration,
+}
+
+impl Backend for SlowSquare {
+    fn name(&self) -> &str {
+        "slow-square"
+    }
+    fn supports(&self, w: &WorkloadSpec) -> bool {
+        matches!(w, WorkloadSpec::SquareGemm { .. })
+    }
+    fn evaluate(&self, w: &WorkloadSpec) -> Result<rsn_eval::EvalReport, EvalError> {
+        std::thread::sleep(self.delay);
+        Ok(rsn_eval::EvalReport::new(self.name(), w.name()))
+    }
+}
+
+#[test]
+fn batch_exchanges_scale_the_read_budget_with_the_spec_count() {
+    // io_timeout 250 ms, 8 specs of ~100 ms each: the whole batch takes
+    // ~800 ms — over a single io_timeout, comfortably inside 8× it.  A
+    // transport that bounds the one batch-response read by a lone
+    // io_timeout would fail this against a perfectly healthy shard.
+    let delay = Duration::from_millis(100);
+    let server = ShardServer::bind(
+        "127.0.0.1:0",
+        EvalService::with_config(
+            Evaluator::empty().with_backend(Box::new(SlowSquare { delay })),
+            ServiceConfig {
+                workers_per_backend: 1,
+                ..ServiceConfig::default()
+            },
+        ),
+    )
+    .expect("bind loopback shard");
+    let remote_config = rsn_serve::RemoteConfig {
+        io_timeout: Duration::from_millis(250),
+        ..rsn_serve::RemoteConfig::default()
+    };
+    let remotes = RemoteBackend::connect_all_with(&server.local_addr().to_string(), remote_config)
+        .expect("handshake");
+    let specs: Vec<WorkloadSpec> = (1..=8usize)
+        .map(|n| WorkloadSpec::SquareGemm { n })
+        .collect();
+    let results = remotes[0].evaluate_many(&specs);
+    assert_eq!(results.len(), specs.len());
+    for (spec, result) in specs.iter().zip(&results) {
+        assert!(
+            result.is_ok(),
+            "slow batch must get a scaled read budget, got {result:?} for {}",
+            spec.name()
+        );
+    }
+    assert_eq!(remotes[0].pool().stats().pipelined_batches, 1);
+}
+
+#[test]
+fn killed_shard_fails_every_queued_request_then_pool_refills_after_restart() {
+    let server = ShardServer::bind(
+        "127.0.0.1:0",
+        EvalService::new(Evaluator::empty().with_backend(Box::new(XnnAnalyticBackend::new()))),
+    )
+    .expect("bind loopback shard");
+    let addr = server.local_addr().to_string();
+    let service = ShardRouter::new()
+        .remote(&addr)
+        .expect("loopback shard reachable")
+        .build()
+        .expect("unique names");
+
+    // Warm the pool with successful pooled traffic.
+    let warm: Vec<WorkloadSpec> = (1..=8usize)
+        .map(|n| WorkloadSpec::SquareGemm { n: n * 32 })
+        .collect();
+    assert!(service
+        .evaluate_grid(&warm)
+        .iter()
+        .flatten()
+        .all(Result::is_ok));
+    let dials_before_kill = service.stats().pool(&addr).expect("pool").dials;
+
+    // Kill the shard, then queue a burst of fresh (never-cached) specs:
+    // every one must resolve to a Transport error — queued work may not
+    // hang, and no half-dead pooled connection may fake an answer.
+    drop(server);
+    let fresh: Vec<WorkloadSpec> = (1..=16usize)
+        .map(|n| WorkloadSpec::SquareGemm { n: n * 32 + 7 })
+        .collect();
+    let started = std::time::Instant::now();
+    let response = service
+        .submit_batch(fresh.clone(), BackendSelector::All, Priority::Normal)
+        .wait_timeout(Duration::from_secs(30))
+        .expect("queued requests must resolve, not hang");
+    assert!(started.elapsed() < Duration::from_secs(30));
+    assert_eq!(response.results.len(), fresh.len());
+    for (slot, (backend, result)) in response.results.iter().enumerate() {
+        assert_eq!(backend, "rsn-xnn");
+        assert!(
+            matches!(**result, Err(EvalError::Transport { .. })),
+            "slot {slot} of the dead-shard burst resolved to {result:?}"
+        );
+    }
+    // The dead idle connections were discarded or failed into re-dials,
+    // never silently reused.
+    let pool = service.stats().pool(&addr).expect("pool").clone();
+    assert!(
+        pool.discarded + pool.redials > 0,
+        "dead pooled connections must be noticed: {pool:?}"
+    );
+
+    // Restart the shard on the very same address: the pool must refill
+    // with working connections and serve fresh evaluations again.
+    let revived = ShardServer::bind(
+        &addr,
+        EvalService::new(Evaluator::empty().with_backend(Box::new(XnnAnalyticBackend::new()))),
+    )
+    .expect("rebind the shard address");
+    assert_eq!(revived.local_addr().to_string(), addr);
+    let after: Vec<WorkloadSpec> = (1..=8usize)
+        .map(|n| WorkloadSpec::SquareGemm { n: n * 32 + 13 })
+        .collect();
+    assert!(
+        service
+            .evaluate_grid(&after)
+            .iter()
+            .flatten()
+            .all(Result::is_ok),
+        "restarted shard must serve through the same router"
+    );
+    let pool = service.stats().pool(&addr).expect("pool").clone();
+    assert!(
+        pool.dials > dials_before_kill,
+        "the refill must have dialled fresh connections: {pool:?}"
+    );
+    // And errors were never cached: one of the burst specs now succeeds.
+    assert!(service.evaluate(&fresh[0])[0].is_ok());
+}
+
+#[test]
+fn topology_file_assembles_a_mixed_local_remote_service() {
+    let server = ShardServer::bind(
+        "127.0.0.1:0",
+        EvalService::new(Evaluator::empty().with_backend(Box::new(CharmBackend::new()))),
+    )
+    .expect("bind loopback shard");
+
+    // Emit the topology to a real file and load it back — the deployment
+    // path, not just the in-memory one.
+    let topology = Topology {
+        listen: None,
+        service: ServiceConfig::default(),
+        local: vec!["rsn-xnn".to_string()],
+        remotes: vec![RemoteShardDecl {
+            addr: server.local_addr().to_string(),
+            weight: 2,
+            pool_size: Some(3),
+        }],
+    };
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("topologies");
+    std::fs::create_dir_all(&dir).expect("topology dir");
+    let path = dir.join("mixed.json");
+    std::fs::write(&path, topology_json(&topology).to_pretty()).expect("write topology");
+    let loaded = Topology::from_file(&path).expect("load topology");
+    assert_eq!(loaded, topology);
+
+    let service = ShardRouter::from_topology(&loaded)
+        .expect("assemble from topology")
+        .build()
+        .expect("unique names");
+    assert_eq!(service.backend_names(), ["rsn-xnn", "charm"]);
+
+    // Same grid, byte-identical to fully in-process evaluation.
+    let workloads = paper_workloads();
+    let names: Vec<String> = service.backend_names().to_vec();
+    assert_eq!(
+        grid_json(&names, &workloads, &service.evaluate_grid(&workloads)).to_pretty(),
+        grid_json(
+            &names,
+            &workloads,
+            &paper_backends().evaluate_grid(&workloads)
+        )
+        .to_pretty()
+    );
+    // The declared pool bound reached the shard's connection pool.
+    let pool = service
+        .stats()
+        .pool(&server.local_addr().to_string())
+        .cloned()
+        .expect("topology-declared pool registered");
+    assert!(pool.checkouts > 0);
+}
+
+#[test]
+fn topology_with_unknown_local_backend_is_rejected() {
+    let topology = Topology {
+        local: vec!["no-such-backend".to_string()],
+        ..Topology::default()
+    };
+    match ShardRouter::from_topology(&topology) {
+        Err(rsn_serve::RouterError::UnknownBackend { name, available }) => {
+            assert_eq!(name, "no-such-backend");
+            assert!(available.iter().any(|n| n == "rsn-xnn"));
+        }
+        Err(other) => panic!("expected UnknownBackend, got {other:?}"),
+        Ok(_) => panic!("expected UnknownBackend, got a router"),
+    }
+}
+
+#[test]
+fn version_one_shards_fall_back_to_per_spec_exchanges() {
+    // A protocol-1 shard: answers hello WITHOUT the protocol field and
+    // rejects evaluate_batch, exactly like the pre-pooling server did.
+    use rsn_serve::json::JsonValue;
+    use rsn_serve::wire::{read_frame, write_frame, ShardRequest, ShardResponse};
+    use std::net::TcpListener;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind legacy shard");
+    let addr = listener.local_addr().expect("addr").to_string();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { break };
+            std::thread::spawn(move || {
+                let backend = XnnAnalyticBackend::new();
+                while let Ok(Some(doc)) = read_frame(&mut stream) {
+                    let (id, request) = match ShardRequest::from_json(&doc) {
+                        Ok(decoded) => decoded,
+                        Err(e) => {
+                            // What an old server does with an unknown kind.
+                            let _ = write_frame(
+                                &mut stream,
+                                &ShardResponse::Rejected(e.to_string()).to_json(0),
+                            );
+                            continue;
+                        }
+                    };
+                    let response = match request {
+                        ShardRequest::Hello => {
+                            // Hand-built hello with no protocol field.
+                            let legacy = JsonValue::Obj(vec![
+                                ("id".to_string(), JsonValue::Int(id)),
+                                ("ok".to_string(), JsonValue::Bool(true)),
+                                (
+                                    "backends".to_string(),
+                                    JsonValue::Arr(vec![JsonValue::Str("rsn-xnn".to_string())]),
+                                ),
+                            ]);
+                            let _ = write_frame(&mut stream, &legacy);
+                            continue;
+                        }
+                        ShardRequest::Evaluate { spec, .. } => {
+                            ShardResponse::Evaluated(backend.evaluate(&spec))
+                        }
+                        _ => ShardResponse::Rejected("unsupported on protocol 1".to_string()),
+                    };
+                    if write_frame(&mut stream, &response.to_json(id)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    let remotes = RemoteBackend::connect_all(&addr).expect("hello against legacy shard");
+    assert_eq!(remotes.len(), 1);
+    assert_eq!(remotes[0].pool().protocol(), Some(1));
+    assert!(!remotes[0].pool().supports_batch());
+
+    // evaluate_many must fall back to per-spec exchanges and still answer
+    // every spec correctly (and identically to a local evaluation).
+    let specs: Vec<WorkloadSpec> = (1..=4usize)
+        .map(|n| WorkloadSpec::SquareGemm { n: n * 128 })
+        .collect();
+    let results = remotes[0].evaluate_many(&specs);
+    assert_eq!(results.len(), specs.len());
+    let local = XnnAnalyticBackend::new();
+    for (spec, result) in specs.iter().zip(&results) {
+        assert_eq!(
+            result.as_ref().expect("legacy shard evaluates"),
+            &local.evaluate(spec).expect("local evaluates")
+        );
+    }
+    // No batch exchange was attempted against the old shard.
+    assert_eq!(remotes[0].pool().stats().pipelined_batches, 0);
 }
 
 #[test]
