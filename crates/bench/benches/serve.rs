@@ -6,11 +6,12 @@
 //! After the timed runs the harness writes `BENCH_serve.json` (repo root
 //! when run via `cargo bench`): reports/s per batch size for a
 //! cache-hitting mixed workload, and reports/s for a **cache-missing**
-//! stream through a loopback shard server under three transports —
-//! connect-per-call (the pre-pooling behaviour), pooled + pipelined
-//! connections, and the in-process baseline — so future serving-path
-//! changes have a recorded trajectory to beat.  The document is emitted
-//! through the service's own hand-rolled JSON layer.
+//! stream through a loopback shard server under four transports —
+//! connect-per-call (the pre-pooling behaviour), pooled + pipelined JSON
+//! (the protocol-2 wire), pooled + pipelined **binary** (the protocol-3
+//! codec the `auto` default negotiates), and the in-process baseline — so
+//! future serving-path changes have a recorded trajectory to beat.  The
+//! document is emitted through the service's own hand-rolled JSON layer.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rsn_eval::{CharmBackend, Evaluator, RooflineBackend, WorkloadSpec, XnnAnalyticBackend};
@@ -115,8 +116,13 @@ enum RemoteMode {
     /// Fresh TCP connect + one per-spec exchange per evaluation — the
     /// pre-pooling transport, kept measurable as the baseline.
     ConnectPerCall,
-    /// Pooled connections + pipelined `evaluate_batch` exchanges.
+    /// Pooled connections + pipelined `evaluate_batch` exchanges, forced
+    /// onto the JSON encoding — the protocol-2 wire, kept measurable so
+    /// the binary codec has a recorded baseline to beat.
     PooledPipelined,
+    /// Pooled + pipelined over the protocol-3 binary codec (the `auto`
+    /// default against a v3 shard).
+    PooledBinary,
     /// No wire at all: the same backend evaluated in-process.
     InProcess,
 }
@@ -141,12 +147,20 @@ fn remote_stream(mode: RemoteMode, requests: usize) -> (f64, u64, rsn_serve::Ser
     let addr = server.local_addr().to_string();
     let service = match mode {
         RemoteMode::InProcess => EvalService::with_config(shard_backends(), client_config),
-        RemoteMode::ConnectPerCall | RemoteMode::PooledPipelined => {
+        RemoteMode::ConnectPerCall | RemoteMode::PooledPipelined | RemoteMode::PooledBinary => {
             let remote_config = RemoteConfig {
                 pool_size: if mode == RemoteMode::ConnectPerCall {
                     0
                 } else {
                     RemoteConfig::default().pool_size
+                },
+                // The unpooled and pooled baselines stay on the JSON wire
+                // (the protocol-2 trajectory); only the binary mode lets
+                // the v3 auto-negotiation pick the compact codec.
+                encoding: if mode == RemoteMode::PooledBinary {
+                    rsn_serve::EncodingPolicy::Auto
+                } else {
+                    rsn_serve::EncodingPolicy::Json
                 },
                 ..RemoteConfig::default()
             };
@@ -157,7 +171,7 @@ fn remote_stream(mode: RemoteMode, requests: usize) -> (f64, u64, rsn_serve::Ser
             let pool = remotes.first().map(|r| Arc::clone(r.pool()));
             let mut evaluator = Evaluator::empty();
             for remote in remotes {
-                let remote = remote.with_pipelining(mode == RemoteMode::PooledPipelined);
+                let remote = remote.with_pipelining(mode != RemoteMode::ConnectPerCall);
                 evaluator.register(Box::new(remote));
             }
             let service = EvalService::with_config(evaluator, client_config);
@@ -260,6 +274,7 @@ fn emit_bench_json() {
     for (label, mode) in [
         ("remote_unpooled", RemoteMode::ConnectPerCall),
         ("remote_pooled", RemoteMode::PooledPipelined),
+        ("remote_binary", RemoteMode::PooledBinary),
         ("remote_inprocess_baseline", RemoteMode::InProcess),
     ] {
         let mut runs: Vec<(f64, u64, rsn_serve::ServiceStats)> = (0..3)
@@ -271,10 +286,11 @@ fn emit_bench_json() {
         let pool = stats.remote_pools.first().cloned().unwrap_or_default();
         println!(
             "remote stream: {label:<26} {reports_per_s:>12.0} reports/s  \
-             (dials {}, reuse {:.3}, pipeline depth {:.1})",
+             (dials {}, reuse {:.3}, pipeline depth {:.1}, rx {} bytes)",
             pool.dials,
             pool.reuse_ratio(),
-            pool.mean_pipeline_depth()
+            pool.mean_pipeline_depth(),
+            pool.bytes_received
         );
         per_mode.push(reports_per_s);
         sections.push((
@@ -287,6 +303,8 @@ fn emit_bench_json() {
                 ("reused", JsonValue::Int(pool.reused)),
                 ("pipelined_batches", JsonValue::Int(pool.pipelined_batches)),
                 ("pipelined_specs", JsonValue::Int(pool.pipelined_specs)),
+                ("bytes_sent", JsonValue::Int(pool.bytes_sent)),
+                ("bytes_received", JsonValue::Int(pool.bytes_received)),
             ]),
         ));
     }
@@ -296,7 +314,15 @@ fn emit_bench_json() {
     ));
     sections.push((
         "remote_pooled_vs_inprocess".to_string(),
-        JsonValue::Num(per_mode[1] / per_mode[2]),
+        JsonValue::Num(per_mode[1] / per_mode[3]),
+    ));
+    sections.push((
+        "remote_binary_vs_json".to_string(),
+        JsonValue::Num(per_mode[2] / per_mode[1]),
+    ));
+    sections.push((
+        "remote_binary_vs_inprocess".to_string(),
+        JsonValue::Num(per_mode[2] / per_mode[3]),
     ));
 
     let json = JsonValue::Obj(sections).to_pretty();

@@ -44,6 +44,7 @@ fn render_via_topology_file(
             addr: server.local_addr().to_string(),
             weight: 1,
             pool_size: Some(2),
+            encoding: None,
         }],
         ..Topology::default()
     };

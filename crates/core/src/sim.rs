@@ -36,7 +36,7 @@ use crate::program::Program;
 use crate::stream::StreamStats;
 use crate::uop::Uop;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Default bound on engine scheduler steps before aborting a run.
 pub const DEFAULT_STEP_LIMIT: u64 = 50_000_000;
@@ -97,26 +97,59 @@ impl RunReport {
     }
 }
 
+/// Ready-queue scheduler state derived from the datapath's stream wiring
+/// (fixed at construction), built lazily on the first event-driven run and
+/// reused across runs.  A segmented workload (the encoder host runs one
+/// engine per machine, many segment programs through it) would otherwise
+/// pay one `Vec` allocation per FU per run just to rediscover the same
+/// topology.
+#[derive(Debug, Default)]
+struct SchedState {
+    /// Flattened wake lists: for FU `i`,
+    /// `wake_flat[wake_offsets[i]..wake_offsets[i + 1]]` are the FUs to
+    /// re-enqueue when `i` progresses (consumers of its outputs — new
+    /// tokens — and producers of its inputs — freed capacity).
+    wake_flat: Vec<usize>,
+    wake_offsets: Vec<usize>,
+    /// Per-slot "already in the ready queue" flags (last slot: decoder).
+    queued: Vec<bool>,
+    /// Per-FU "returned Blocked at last service" flags (deadlock report).
+    blocked: Vec<bool>,
+    /// The ready queue itself.
+    ready: VecDeque<usize>,
+}
+
 /// The RSN execution engine.
 #[derive(Debug)]
 pub struct Engine {
     datapath: Datapath,
     decoder: Option<DecoderSystem>,
-    backlog: BTreeMap<FuId, VecDeque<Uop>>,
+    /// Per-FU unbounded uOP backlogs, indexed by FU id.  A `Vec` rather
+    /// than a map: the scheduler probes one FU's backlog before every
+    /// step, so the probe must be an indexed load, not a tree walk.
+    backlog: Vec<VecDeque<Uop>>,
+    /// Total uOPs across all backlogs, so emptiness checks are one
+    /// comparison on the scheduler hot path.
+    backlog_pending: usize,
     step_limit: u64,
     scheduler: SchedulerKind,
+    /// Cached event-driven scheduler state (see [`SchedState`]).
+    sched: Option<SchedState>,
 }
 
 impl Engine {
     /// Creates an engine over a validated datapath, using the event-driven
     /// scheduler.
     pub fn new(datapath: Datapath) -> Self {
+        let backlog = (0..datapath.fu_count()).map(|_| VecDeque::new()).collect();
         Self {
             datapath,
             decoder: None,
-            backlog: BTreeMap::new(),
+            backlog,
+            backlog_pending: 0,
             step_limit: DEFAULT_STEP_LIMIT,
             scheduler: SchedulerKind::default(),
+            sched: None,
         }
     }
 
@@ -171,16 +204,15 @@ impl Engine {
     /// bounded uOP FIFO as space becomes available, which models an FU whose
     /// uOP sequence is stored locally (the paper's AIE MMEs).
     pub fn push_uop(&mut self, fu: FuId, uop: Uop) {
-        self.backlog.entry(fu).or_default().push_back(uop);
+        self.backlog[fu.index()].push_back(uop);
+        self.backlog_pending += 1;
     }
 
     /// Queues a whole per-FU program.
     pub fn load_program(&mut self, program: &Program) {
         for (fu, uops) in program.iter() {
-            self.backlog
-                .entry(fu)
-                .or_default()
-                .extend(uops.iter().cloned());
+            self.backlog[fu.index()].extend(uops.iter().cloned());
+            self.backlog_pending += uops.len();
         }
     }
 
@@ -202,29 +234,25 @@ impl Engine {
     }
 
     fn feed_backlogs(&mut self) -> u64 {
-        let mut moved = 0;
-        for (fu, queue) in self.backlog.iter_mut() {
-            while let Some(uop) = queue.front() {
-                let target = self.datapath.fu_mut(*fu);
-                if target.uop_queue().is_full() {
-                    break;
-                }
-                target
-                    .push_uop(uop.clone())
-                    .expect("queue space checked above");
-                queue.pop_front();
-                moved += 1;
-            }
+        if self.backlog_pending == 0 {
+            return 0;
         }
-        self.backlog.retain(|_, q| !q.is_empty());
+        let mut moved = 0;
+        for i in 0..self.backlog.len() {
+            moved += self.feed_backlog_for(FuId(i));
+        }
         moved
     }
 
     /// Tops up one FU's uOP FIFO from its backlog; returns uOPs delivered.
+    /// Called before every scheduler step of a serviced FU, so the common
+    /// cases are one comparison (no backlog anywhere) or one comparison
+    /// plus an indexed load (this FU's backlog is empty).
     fn feed_backlog_for(&mut self, fu: FuId) -> u64 {
-        let Some(queue) = self.backlog.get_mut(&fu) else {
+        if self.backlog_pending == 0 {
             return 0;
-        };
+        }
+        let queue = &mut self.backlog[fu.index()];
         let mut moved = 0;
         while let Some(uop) = queue.front() {
             let target = self.datapath.fu_mut(fu);
@@ -237,9 +265,7 @@ impl Engine {
             queue.pop_front();
             moved += 1;
         }
-        if self.backlog.get(&fu).is_some_and(VecDeque::is_empty) {
-            self.backlog.remove(&fu);
-        }
+        self.backlog_pending -= moved as usize;
         moved
     }
 
@@ -301,7 +327,7 @@ impl Engine {
             if self.feed_backlogs() > 0 {
                 progressed = true;
             }
-            if !self.backlog.is_empty() {
+            if self.backlog_pending > 0 {
                 any_pending = true;
             }
 
@@ -362,6 +388,153 @@ impl Engine {
     fn run_event_driven(&mut self) -> Result<RunReport, RsnError> {
         let fu_count = self.datapath.fu_count();
 
+        // Take the cached scheduler state (or build it on the first run) —
+        // the datapath's wiring is fixed, so the wake topology never
+        // changes and the per-run cost is a few `fill(false)` passes
+        // instead of one allocation per FU.
+        let mut sched = match self.sched.take() {
+            Some(state) if state.blocked.len() == fu_count => state,
+            _ => self.build_sched_state(),
+        };
+        let SchedState {
+            wake_flat,
+            wake_offsets,
+            queued,
+            blocked,
+            ready,
+        } = &mut sched;
+        queued.fill(false);
+        blocked.fill(false);
+        ready.clear();
+
+        // Ready queue over FU indices; `fu_count` is the decoder's slot.
+        let decoder_slot = fu_count;
+        let enqueue = |ready: &mut VecDeque<usize>, queued: &mut Vec<bool>, slot: usize| {
+            if !queued[slot] {
+                queued[slot] = true;
+                ready.push_back(slot);
+            }
+        };
+
+        let mut busy = vec![0u64; fu_count];
+        let mut steps = 0u64;
+        let mut fu_step_calls = 0u64;
+
+        // Seed: deliver initial backlogs, then give everything one chance.
+        self.feed_backlogs();
+        for i in 0..fu_count {
+            enqueue(ready, queued, i);
+        }
+        if self.decoder.is_some() {
+            enqueue(ready, queued, decoder_slot);
+        }
+
+        // Each queue service runs its FU (or the decoder) **to
+        // quiescence**: step until Blocked/Idle, then wake the neighbours
+        // once.  Compared with one-step-per-service this removes the
+        // dominant per-service overhead on dense datapaths — the
+        // self-re-enqueue after every productive step, plus a neighbour +
+        // decoder wake per step instead of per burst — while preserving
+        // the sparse-datapath win (idle FUs are still never serviced).
+        // Liveness is unchanged: an FU stops only when it genuinely cannot
+        // move, and everything that could unblock it (neighbour progress,
+        // decoder delivery, backlog feed) re-enqueues it.
+        let mut touched: Vec<FuId> = Vec::new();
+        while let Some(slot) = ready.pop_front() {
+            queued[slot] = false;
+
+            if slot == decoder_slot {
+                let mut progressed = false;
+                // Drain the decoder's in-order window in one service.
+                while let Some(decoder) = self.decoder.as_mut() {
+                    if steps >= self.step_limit {
+                        return Err(RsnError::StepLimitExceeded {
+                            limit: self.step_limit,
+                        });
+                    }
+                    steps += 1;
+                    match decoder.step_collect(&mut self.datapath, &mut touched) {
+                        StepOutcome::Progress { .. } => progressed = true,
+                        StepOutcome::Blocked | StepOutcome::Idle => break,
+                    }
+                }
+                if progressed {
+                    // `touched` may repeat FUs across the burst; `queued`
+                    // already deduplicates the enqueue.
+                    for id in touched.drain(..) {
+                        blocked[id.index()] = false;
+                        enqueue(ready, queued, id.index());
+                    }
+                } else {
+                    touched.clear();
+                }
+                continue;
+            }
+
+            let mut progressed = false;
+            loop {
+                if steps >= self.step_limit {
+                    return Err(RsnError::StepLimitExceeded {
+                        limit: self.step_limit,
+                    });
+                }
+                steps += 1;
+                // Top up the FU's uOP FIFO from its backlog before each
+                // step so a retire-then-refill sequence stays inside one
+                // service (an O(1) indexed probe — see `feed_backlog_for`).
+                self.feed_backlog_for(FuId(slot));
+                let (fus, streams) = self.datapath.split_mut();
+                fu_step_calls += 1;
+                match fus[slot].step(streams) {
+                    StepOutcome::Progress { cycles } => {
+                        busy[slot] += cycles;
+                        progressed = true;
+                    }
+                    StepOutcome::Blocked => {
+                        blocked[slot] = true;
+                        break;
+                    }
+                    StepOutcome::Idle => {
+                        blocked[slot] = false;
+                        break;
+                    }
+                }
+            }
+            if progressed {
+                for &neighbour in &wake_flat[wake_offsets[slot]..wake_offsets[slot + 1]] {
+                    blocked[neighbour] = false;
+                    enqueue(ready, queued, neighbour);
+                }
+                if self.decoder.is_some() {
+                    enqueue(ready, queued, decoder_slot);
+                }
+            }
+        }
+
+        // Queue drained: either everything completed or nothing can move.
+        let decoder_pending = self.decoder.as_ref().is_some_and(|d| !d.is_drained());
+        let work_remains = self.backlog_pending > 0
+            || decoder_pending
+            || (0..fu_count).any(|i| !self.datapath.fus[i].is_idle());
+        if work_remains {
+            let blocked_names = (0..fu_count)
+                .filter(|&i| blocked[i])
+                .map(|i| self.datapath.fus[i].name().to_string())
+                .collect();
+            return Err(RsnError::Deadlock {
+                step: steps,
+                blocked: blocked_names,
+            });
+        }
+        // Park the scheduler state for the next run (error paths rebuild).
+        self.sched = Some(sched);
+        Ok(self.finish_report(steps, fu_step_calls, busy))
+    }
+
+    /// Builds the event-driven scheduler's topology-derived state (see
+    /// [`SchedState`]) — two flat allocations instead of one `Vec` per FU.
+    fn build_sched_state(&self) -> SchedState {
+        let fu_count = self.datapath.fu_count();
         // Stream topology: who produces into / consumes from each edge.
         let stream_count = self.datapath.stream_count();
         let mut producer_of: Vec<Option<usize>> = vec![None; stream_count];
@@ -376,132 +549,34 @@ impl Engine {
         }
         // FUs to wake when FU `i` progresses: the consumers of its outputs
         // (new tokens) and the producers of its inputs (freed capacity).
-        let wake_list: Vec<Vec<usize>> = (0..fu_count)
-            .map(|i| {
-                let mut wake: Vec<usize> = Vec::new();
-                for s in self.datapath.fus[i].output_streams() {
-                    if let Some(c) = consumer_of[s.index()] {
-                        wake.push(c);
-                    }
-                }
-                for s in self.datapath.fus[i].input_streams() {
-                    if let Some(p) = producer_of[s.index()] {
-                        wake.push(p);
-                    }
-                }
-                wake.sort_unstable();
-                wake.dedup();
-                wake
-            })
-            .collect();
-
-        // Ready queue over FU indices; `fu_count` is the decoder's slot.
-        const NO_SLOT: usize = usize::MAX;
-        let decoder_slot = fu_count;
-        let mut queued = vec![false; fu_count + 1];
-        let mut blocked = vec![false; fu_count];
-        let mut ready: VecDeque<usize> = VecDeque::with_capacity(fu_count + 1);
-        let enqueue = |ready: &mut VecDeque<usize>, queued: &mut Vec<bool>, slot: usize| {
-            if slot != NO_SLOT && !queued[slot] {
-                queued[slot] = true;
-                ready.push_back(slot);
-            }
-        };
-
-        let mut busy = vec![0u64; fu_count];
-        let mut steps = 0u64;
-        let mut fu_step_calls = 0u64;
-
-        // Seed: deliver initial backlogs, then give everything one chance.
-        self.feed_backlogs();
+        let mut wake_flat = Vec::new();
+        let mut wake_offsets = Vec::with_capacity(fu_count + 1);
+        wake_offsets.push(0);
+        let mut wake: Vec<usize> = Vec::new();
         for i in 0..fu_count {
-            enqueue(&mut ready, &mut queued, i);
-        }
-        if self.decoder.is_some() {
-            enqueue(&mut ready, &mut queued, decoder_slot);
-        }
-
-        let mut touched: Vec<FuId> = Vec::new();
-        while let Some(slot) = ready.pop_front() {
-            if steps >= self.step_limit {
-                return Err(RsnError::StepLimitExceeded {
-                    limit: self.step_limit,
-                });
-            }
-            steps += 1;
-            queued[slot] = false;
-
-            if slot == decoder_slot {
-                let Some(decoder) = self.decoder.as_mut() else {
-                    continue;
-                };
-                touched.clear();
-                match decoder.step_collect(&mut self.datapath, &mut touched) {
-                    StepOutcome::Progress { .. } => {
-                        for id in touched.drain(..) {
-                            blocked[id.index()] = false;
-                            enqueue(&mut ready, &mut queued, id.index());
-                        }
-                        // The decoder may have more in-order work ready.
-                        enqueue(&mut ready, &mut queued, decoder_slot);
-                    }
-                    StepOutcome::Blocked | StepOutcome::Idle => {}
-                }
-                continue;
-            }
-
-            // Top up the FU's uOP FIFO from its backlog before stepping so a
-            // retire-then-refill sequence costs one service, not two.
-            let fed = self.feed_backlog_for(FuId(slot)) > 0;
-            let (fus, streams) = self.datapath.split_mut();
-            fu_step_calls += 1;
-            match fus[slot].step(streams) {
-                StepOutcome::Progress { cycles } => {
-                    busy[slot] += cycles;
-                    blocked[slot] = false;
-                    enqueue(&mut ready, &mut queued, slot);
-                    for &neighbour in &wake_list[slot] {
-                        blocked[neighbour] = false;
-                        enqueue(&mut ready, &mut queued, neighbour);
-                    }
-                    if self.decoder.is_some() {
-                        enqueue(&mut ready, &mut queued, decoder_slot);
-                    }
-                }
-                StepOutcome::Blocked => {
-                    blocked[slot] = true;
-                    if fed {
-                        // New uOPs arrived mid-service; retry once more so
-                        // they are not stranded if no neighbour ever wakes
-                        // this FU again.
-                        enqueue(&mut ready, &mut queued, slot);
-                    }
-                }
-                StepOutcome::Idle => {
-                    blocked[slot] = false;
-                    if fed {
-                        enqueue(&mut ready, &mut queued, slot);
-                    }
+            wake.clear();
+            for s in self.datapath.fus[i].output_streams() {
+                if let Some(c) = consumer_of[s.index()] {
+                    wake.push(c);
                 }
             }
+            for s in self.datapath.fus[i].input_streams() {
+                if let Some(p) = producer_of[s.index()] {
+                    wake.push(p);
+                }
+            }
+            wake.sort_unstable();
+            wake.dedup();
+            wake_flat.extend_from_slice(&wake);
+            wake_offsets.push(wake_flat.len());
         }
-
-        // Queue drained: either everything completed or nothing can move.
-        let decoder_pending = self.decoder.as_ref().is_some_and(|d| !d.is_drained());
-        let work_remains = !self.backlog.is_empty()
-            || decoder_pending
-            || (0..fu_count).any(|i| !self.datapath.fus[i].is_idle());
-        if work_remains {
-            let blocked_names = (0..fu_count)
-                .filter(|&i| blocked[i])
-                .map(|i| self.datapath.fus[i].name().to_string())
-                .collect();
-            return Err(RsnError::Deadlock {
-                step: steps,
-                blocked: blocked_names,
-            });
+        SchedState {
+            wake_flat,
+            wake_offsets,
+            queued: vec![false; fu_count + 1],
+            blocked: vec![false; fu_count],
+            ready: VecDeque::with_capacity(fu_count + 1),
         }
-        Ok(self.finish_report(steps, fu_step_calls, busy))
     }
 }
 

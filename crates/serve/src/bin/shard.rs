@@ -23,14 +23,17 @@ use rsn_serve::EvalService;
 use std::io::Write as _;
 
 const USAGE: &str = "usage: shardd [--topology FILE] [--listen ADDR] [--backends NAME,NAME,...] \
-                     [--workers N] [--cache-capacity N]\n\
+                     [--workers N] [--cache-capacity N] [--encoding auto|json|binary]\n\
                      \n\
                      --topology FILE      load listen address, hosted backends and service\n\
                      \x20                    tuning from a topology file (flags override it)\n\
                      --listen ADDR        bind address (default 127.0.0.1:7070; port 0 picks one)\n\
                      --backends NAMES     comma-separated backend names to host (default: all)\n\
                      --workers N          worker threads per hosted backend (default 2)\n\
-                     --cache-capacity N   bound the report cache to N completed entries\n";
+                     --cache-capacity N   bound the report cache to N completed entries\n\
+                     --encoding POLICY    answer encoding: auto mirrors each request (default),\n\
+                     \x20                    json forces readable frames for debugging, binary\n\
+                     \x20                    forces the compact codec (v3-only clients)\n";
 
 fn fail(message: &str) -> ! {
     eprintln!("shardd: {message}");
@@ -43,6 +46,7 @@ fn main() {
     let mut backend_names: Option<Vec<String>> = None;
     let mut workers: Option<usize> = None;
     let mut cache_capacity: Option<usize> = None;
+    let mut encoding: Option<rsn_serve::EncodingPolicy> = None;
     let mut topology: Option<Topology> = None;
 
     let mut args = std::env::args().skip(1);
@@ -83,6 +87,14 @@ fn main() {
                         .unwrap_or_else(|_| fail("--cache-capacity needs an integer")),
                 );
             }
+            "--encoding" => {
+                let text = value("--encoding");
+                encoding = Some(rsn_serve::EncodingPolicy::parse(&text).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown encoding `{text}` (expected auto, json or binary)"
+                    ))
+                }));
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return;
@@ -101,6 +113,9 @@ fn main() {
     }
     if let Some(capacity) = cache_capacity {
         config.cache_capacity = Some(capacity);
+    }
+    if let Some(encoding) = encoding {
+        config.remote.encoding = encoding;
     }
     let listen = listen
         .or_else(|| topology.as_ref().and_then(|t| t.listen.clone()))

@@ -1,0 +1,883 @@
+//! The compact binary wire codec (protocol version 3).
+//!
+//! The JSON wire format is self-describing and diffable, but building a
+//! pretty-printed `String` per frame — one allocation per key, a full
+//! recursive-descent parse on the receiving side — is what capped the
+//! remote path at ~10% of in-process throughput (see `BENCH_serve.json`).
+//! This module is the allocation-free replacement: every wire document
+//! (specs, reports, errors, results, batches, stats) encodes straight into
+//! a caller-owned `Vec<u8>` scratch buffer with no intermediate
+//! [`JsonValue`](crate::json::JsonValue) tree, and decodes straight out of
+//! the received payload bytes.
+//!
+//! # Layout
+//!
+//! A binary payload starts with [`MAGIC`] (`0xB3`) — a byte no JSON
+//! document of ours can start with, so receivers dispatch per frame and
+//! mixed-encoding fleets interoperate (see [`crate::wire`] for the
+//! negotiation rules).  After the magic byte:
+//!
+//! ```text
+//! magic  tag  varint(id)  body…
+//! ```
+//!
+//! * integers are unsigned LEB128 varints (7 bits per byte, high bit =
+//!   continue) — counters and ids are small, so most take one byte;
+//! * strings are a varint byte length followed by UTF-8 bytes;
+//! * floats are 8 little-endian bytes of their IEEE-754 bits (non-finite
+//!   values survive exactly, unlike JSON's `null` mapping);
+//! * options are a `0`/`1` presence byte, then the value;
+//! * sequences are a varint count, then the elements.
+//!
+//! Message `tag` bytes: requests use `0x01`–`0x05` (hello, supports,
+//! evaluate, evaluate_batch, stats), responses `0x81`–`0x85` in the same
+//! order plus `0x8F` for a protocol-level rejection.  Inner documents
+//! (specs, errors) carry their own one-byte variant tags.
+//!
+//! Encoding is deterministic (metric maps iterate in `BTreeMap` order), so
+//! a document's binary image is byte-stable — the round-trip tests pin
+//! `decode(encode(x)) == x` identity for every document type and semantic
+//! equality with the JSON codec.
+
+use crate::json::DecodeError;
+use crate::stats::{PoolStats, ServiceStats, ShardStats};
+use crate::wire::{ShardRequest, ShardResponse, SharedResult};
+use rsn_eval::{BreakdownRow, CycleStats, SegmentMetric};
+use rsn_eval::{EvalError, EvalReport, SchedulerKind, WorkloadSpec};
+use rsn_workloads::bert::BertConfig;
+use rsn_workloads::models::ModelKind;
+use std::sync::Arc;
+
+/// First byte of every binary payload.  The JSON emitter's documents start
+/// with `{`, `[`, `"`, a digit, `-`, `t`, `f` or `n` — all ASCII — so this
+/// byte unambiguously marks a binary frame.
+pub const MAGIC: u8 = 0xB3;
+
+// Message tags (requests 0x0_, responses 0x8_).
+const TAG_HELLO: u8 = 0x01;
+const TAG_SUPPORTS: u8 = 0x02;
+const TAG_EVALUATE: u8 = 0x03;
+const TAG_EVALUATE_BATCH: u8 = 0x04;
+const TAG_STATS: u8 = 0x05;
+const TAG_BACKENDS: u8 = 0x81;
+const TAG_SUPPORTED: u8 = 0x82;
+const TAG_EVALUATED: u8 = 0x83;
+const TAG_EVALUATED_BATCH: u8 = 0x84;
+const TAG_STATS_RESPONSE: u8 = 0x85;
+const TAG_REJECTED: u8 = 0x8F;
+
+// ---------------------------------------------------------------------------
+// Primitive writers
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_usize(out: &mut Vec<u8>, value: usize) {
+    put_varint(out, value as u64);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_usize(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, value: f64) {
+    out.extend_from_slice(&value.to_bits().to_le_bytes());
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, value: Option<f64>) {
+    match value {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_f64(out, v);
+        }
+    }
+}
+
+fn put_bool(out: &mut Vec<u8>, value: bool) {
+    out.push(u8::from(value));
+}
+
+// ---------------------------------------------------------------------------
+// Primitive reader
+// ---------------------------------------------------------------------------
+
+/// Walks a binary payload; every read is bounds-checked so a truncated or
+/// hostile frame decodes into a [`DecodeError`], never a panic.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+const CTX: &str = "binary frame";
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> DecodeError {
+        DecodeError {
+            context: CTX.to_string(),
+            message: format!("at byte {}: {}", self.pos, message.into()),
+        }
+    }
+
+    fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| self.error("unexpected end of payload"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| self.error(format!("payload truncated ({n} bytes promised)")))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut value = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.byte()?;
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(self.error("varint longer than 64 bits"))
+    }
+
+    /// A plain usize value (a dimension, a batch size) — unbounded.
+    fn usize_val(&mut self) -> Result<usize, DecodeError> {
+        let v = self.varint()?;
+        usize::try_from(v).map_err(|_| self.error("value does not fit in usize"))
+    }
+
+    /// A collection count.  A count can never promise more elements than
+    /// bytes remain (each element costs at least one byte); this caps what
+    /// a hostile length prefix can make collection decoders pre-allocate.
+    fn len(&mut self) -> Result<usize, DecodeError> {
+        let n = self.usize_val()?;
+        if n > self.bytes.len().saturating_sub(self.pos) {
+            return Err(self.error(format!("implausible collection length {n}")));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.error("string is not valid UTF-8"))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        let bytes = self.take(8)?;
+        Ok(f64::from_bits(u64::from_le_bytes(
+            bytes.try_into().expect("8 bytes taken"),
+        )))
+    }
+
+    fn opt_f64(&mut self) -> Result<Option<f64>, DecodeError> {
+        match self.byte()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            other => Err(self.error(format!("invalid option tag {other:#04x}"))),
+        }
+    }
+
+    fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(self.error(format!("invalid bool byte {other:#04x}"))),
+        }
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing bytes after the message"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadSpec
+// ---------------------------------------------------------------------------
+
+fn put_bert_config(out: &mut Vec<u8>, cfg: &BertConfig) {
+    put_usize(out, cfg.hidden);
+    put_usize(out, cfg.heads);
+    put_usize(out, cfg.ff_dim);
+    put_usize(out, cfg.seq_len);
+    put_usize(out, cfg.batch);
+    put_usize(out, cfg.layers);
+}
+
+fn read_bert_config(r: &mut Reader<'_>) -> Result<BertConfig, DecodeError> {
+    Ok(BertConfig {
+        hidden: r.usize_val()?,
+        heads: r.usize_val()?,
+        ff_dim: r.usize_val()?,
+        seq_len: r.usize_val()?,
+        batch: r.usize_val()?,
+        layers: r.usize_val()?,
+    })
+}
+
+/// Appends one workload spec (a one-byte variant tag, then its fields).
+pub fn encode_spec(out: &mut Vec<u8>, spec: &WorkloadSpec) {
+    match spec {
+        WorkloadSpec::EncoderLayer { cfg } => {
+            out.push(0);
+            put_bert_config(out, cfg);
+        }
+        WorkloadSpec::FullModel { cfg } => {
+            out.push(1);
+            put_bert_config(out, cfg);
+        }
+        WorkloadSpec::SquareGemm { n } => {
+            out.push(2);
+            put_usize(out, *n);
+        }
+        WorkloadSpec::ZooModel { kind } => {
+            out.push(3);
+            put_str(out, kind.name());
+        }
+        WorkloadSpec::AttentionMapping { cfg, mapping } => {
+            out.push(4);
+            put_bert_config(out, cfg);
+            put_str(out, &mapping.letter().to_string());
+        }
+        WorkloadSpec::PowerBreakdown => out.push(5),
+        WorkloadSpec::DatapathProperties => out.push(6),
+        WorkloadSpec::InstructionFootprint { m, k, n } => {
+            out.push(7);
+            put_usize(out, *m);
+            put_usize(out, *k);
+            put_usize(out, *n);
+        }
+        WorkloadSpec::FunctionalGemm { m, k, n, seed } => {
+            out.push(8);
+            put_usize(out, *m);
+            put_usize(out, *k);
+            put_usize(out, *n);
+            put_varint(out, *seed);
+        }
+        WorkloadSpec::FunctionalAttention { cfg, seed } => {
+            out.push(9);
+            put_bert_config(out, cfg);
+            put_varint(out, *seed);
+        }
+        WorkloadSpec::ScalarPipeline { elements } => {
+            out.push(10);
+            put_usize(out, *elements);
+        }
+    }
+}
+
+fn read_spec(r: &mut Reader<'_>) -> Result<WorkloadSpec, DecodeError> {
+    match r.byte()? {
+        0 => Ok(WorkloadSpec::EncoderLayer {
+            cfg: read_bert_config(r)?,
+        }),
+        1 => Ok(WorkloadSpec::FullModel {
+            cfg: read_bert_config(r)?,
+        }),
+        2 => Ok(WorkloadSpec::SquareGemm { n: r.usize_val()? }),
+        3 => {
+            let name = r.str()?;
+            let kind = ModelKind::table7_models()
+                .into_iter()
+                .find(|k| k.name() == name)
+                .ok_or_else(|| r.error(format!("unknown zoo model `{name}`")))?;
+            Ok(WorkloadSpec::ZooModel { kind })
+        }
+        4 => {
+            let cfg = read_bert_config(r)?;
+            let letter = r.str()?;
+            let mapping = rsn_lib::mapping::MappingType::all()
+                .into_iter()
+                .find(|m| m.letter().to_string() == letter)
+                .ok_or_else(|| r.error(format!("unknown mapping type `{letter}`")))?;
+            Ok(WorkloadSpec::AttentionMapping { cfg, mapping })
+        }
+        5 => Ok(WorkloadSpec::PowerBreakdown),
+        6 => Ok(WorkloadSpec::DatapathProperties),
+        7 => Ok(WorkloadSpec::InstructionFootprint {
+            m: r.usize_val()?,
+            k: r.usize_val()?,
+            n: r.usize_val()?,
+        }),
+        8 => Ok(WorkloadSpec::FunctionalGemm {
+            m: r.usize_val()?,
+            k: r.usize_val()?,
+            n: r.usize_val()?,
+            seed: r.varint()?,
+        }),
+        9 => Ok(WorkloadSpec::FunctionalAttention {
+            cfg: read_bert_config(r)?,
+            seed: r.varint()?,
+        }),
+        10 => Ok(WorkloadSpec::ScalarPipeline {
+            elements: r.usize_val()?,
+        }),
+        other => Err(r.error(format!("unknown workload tag {other:#04x}"))),
+    }
+}
+
+/// Decodes one standalone workload-spec document (used by tests; on the
+/// wire specs travel inside request bodies).
+pub fn decode_spec(bytes: &[u8]) -> Result<WorkloadSpec, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let spec = read_spec(&mut r)?;
+    r.finish()?;
+    Ok(spec)
+}
+
+// ---------------------------------------------------------------------------
+// EvalReport / EvalError / results
+// ---------------------------------------------------------------------------
+
+/// Appends one evaluation report.
+pub fn encode_report(out: &mut Vec<u8>, report: &EvalReport) {
+    put_str(out, &report.backend);
+    put_str(out, &report.workload);
+    put_opt_f64(out, report.latency_s);
+    put_opt_f64(out, report.throughput_tasks_per_s);
+    put_opt_f64(out, report.achieved_flops);
+    put_usize(out, report.segments.len());
+    for s in &report.segments {
+        put_str(out, &s.name);
+        put_f64(out, s.latency_s);
+        put_f64(out, s.compute_s);
+        put_f64(out, s.ddr_s);
+        put_f64(out, s.lpddr_s);
+        put_f64(out, s.phase_s);
+    }
+    put_usize(out, report.breakdown.len());
+    for row in &report.breakdown {
+        put_str(out, &row.name);
+        put_usize(out, row.values.len());
+        for (key, value) in &row.values {
+            put_str(out, key);
+            put_f64(out, *value);
+        }
+    }
+    match &report.cycle {
+        None => out.push(0),
+        Some(c) => {
+            out.push(1);
+            out.push(match c.scheduler {
+                SchedulerKind::EventDriven => 0,
+                SchedulerKind::RoundRobin => 1,
+            });
+            put_varint(out, c.steps);
+            put_varint(out, c.fu_step_calls);
+            put_varint(out, c.makespan_cycles);
+            put_varint(out, c.uops_retired);
+            put_varint(out, c.words_transferred);
+            put_opt_f64(out, c.max_abs_error);
+        }
+    }
+    put_usize(out, report.metrics.len());
+    for (key, value) in &report.metrics {
+        put_str(out, key);
+        put_f64(out, *value);
+    }
+}
+
+fn read_report(r: &mut Reader<'_>) -> Result<EvalReport, DecodeError> {
+    let backend = r.str()?;
+    let workload = r.str()?;
+    let mut report = EvalReport::new(backend, workload);
+    report.latency_s = r.opt_f64()?;
+    report.throughput_tasks_per_s = r.opt_f64()?;
+    report.achieved_flops = r.opt_f64()?;
+    for _ in 0..r.len()? {
+        report.segments.push(SegmentMetric {
+            name: r.str()?,
+            latency_s: r.f64()?,
+            compute_s: r.f64()?,
+            ddr_s: r.f64()?,
+            lpddr_s: r.f64()?,
+            phase_s: r.f64()?,
+        });
+    }
+    for _ in 0..r.len()? {
+        let name = r.str()?;
+        let mut values = Vec::new();
+        for _ in 0..r.len()? {
+            values.push((r.str()?, r.f64()?));
+        }
+        report.breakdown.push(BreakdownRow { name, values });
+    }
+    if r.bool()? {
+        let scheduler = match r.byte()? {
+            0 => SchedulerKind::EventDriven,
+            1 => SchedulerKind::RoundRobin,
+            other => return Err(r.error(format!("unknown scheduler tag {other:#04x}"))),
+        };
+        report.cycle = Some(CycleStats {
+            scheduler,
+            steps: r.varint()?,
+            fu_step_calls: r.varint()?,
+            makespan_cycles: r.varint()?,
+            uops_retired: r.varint()?,
+            words_transferred: r.varint()?,
+            max_abs_error: r.opt_f64()?,
+        });
+    }
+    for _ in 0..r.len()? {
+        let key = r.str()?;
+        let value = r.f64()?;
+        report.metrics.insert(key, value);
+    }
+    Ok(report)
+}
+
+/// Decodes one standalone report document (used by tests).
+pub fn decode_report(bytes: &[u8]) -> Result<EvalReport, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let report = read_report(&mut r)?;
+    r.finish()?;
+    Ok(report)
+}
+
+/// Appends one evaluation error.  Like the JSON codec, engine errors encode
+/// by display text (their payload types do not cross the wire) and decode
+/// as [`EvalError::Remote`].
+pub fn encode_error(out: &mut Vec<u8>, error: &EvalError) {
+    match error {
+        EvalError::Unsupported { backend, workload } => {
+            out.push(0);
+            put_str(out, backend);
+            put_str(out, workload);
+        }
+        EvalError::TooLarge {
+            backend,
+            workload,
+            limit,
+        } => {
+            out.push(1);
+            put_str(out, backend);
+            put_str(out, workload);
+            put_str(out, limit);
+        }
+        EvalError::Engine(_) | EvalError::Remote { .. } => {
+            out.push(2);
+            put_str(out, &error.to_string());
+        }
+        EvalError::Panicked {
+            backend,
+            workload,
+            reason,
+        } => {
+            out.push(3);
+            put_str(out, backend);
+            put_str(out, workload);
+            put_str(out, reason);
+        }
+        EvalError::Transport { backend, detail } => {
+            out.push(4);
+            put_str(out, backend);
+            put_str(out, detail);
+        }
+    }
+}
+
+fn read_error(r: &mut Reader<'_>) -> Result<EvalError, DecodeError> {
+    match r.byte()? {
+        0 => Ok(EvalError::Unsupported {
+            backend: r.str()?,
+            workload: r.str()?,
+        }),
+        1 => Ok(EvalError::TooLarge {
+            backend: r.str()?,
+            workload: r.str()?,
+            limit: r.str()?,
+        }),
+        2 => Ok(EvalError::Remote { message: r.str()? }),
+        3 => Ok(EvalError::Panicked {
+            backend: r.str()?,
+            workload: r.str()?,
+            reason: r.str()?,
+        }),
+        4 => Ok(EvalError::Transport {
+            backend: r.str()?,
+            detail: r.str()?,
+        }),
+        other => Err(r.error(format!("unknown error tag {other:#04x}"))),
+    }
+}
+
+/// Decodes one standalone error document (used by tests).
+pub fn decode_error(bytes: &[u8]) -> Result<EvalError, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let error = read_error(&mut r)?;
+    r.finish()?;
+    Ok(error)
+}
+
+/// Appends one domain result (`0` = report, `1` = error).
+pub fn encode_result(out: &mut Vec<u8>, result: &Result<EvalReport, EvalError>) {
+    match result {
+        Ok(report) => {
+            out.push(0);
+            encode_report(out, report);
+        }
+        Err(error) => {
+            out.push(1);
+            encode_error(out, error);
+        }
+    }
+}
+
+fn read_result(r: &mut Reader<'_>) -> Result<Result<EvalReport, EvalError>, DecodeError> {
+    match r.byte()? {
+        0 => Ok(Ok(read_report(r)?)),
+        1 => Ok(Err(read_error(r)?)),
+        other => Err(r.error(format!("unknown result tag {other:#04x}"))),
+    }
+}
+
+/// Decodes one standalone result document (used by tests).
+pub fn decode_result(bytes: &[u8]) -> Result<Result<EvalReport, EvalError>, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let result = read_result(&mut r)?;
+    r.finish()?;
+    Ok(result)
+}
+
+// ---------------------------------------------------------------------------
+// ServiceStats
+// ---------------------------------------------------------------------------
+
+/// Appends one service-statistics snapshot.
+pub fn encode_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
+    put_varint(out, stats.submitted);
+    put_varint(out, stats.completed);
+    put_varint(out, stats.batches);
+    put_varint(out, stats.batched_requests);
+    put_varint(out, stats.cache_hits);
+    put_varint(out, stats.cache_misses);
+    put_varint(out, stats.inflight_merged);
+    put_varint(out, stats.evaluations);
+    put_varint(out, stats.eval_errors);
+    put_varint(out, stats.evictions);
+    put_usize(out, stats.per_shard.len());
+    for shard in &stats.per_shard {
+        put_str(out, &shard.backend);
+        put_varint(out, shard.evaluations);
+        put_varint(out, shard.errors);
+    }
+    put_usize(out, stats.remote_pools.len());
+    for pool in &stats.remote_pools {
+        put_str(out, &pool.addr);
+        put_varint(out, pool.checkouts);
+        put_varint(out, pool.reused);
+        put_varint(out, pool.dials);
+        put_varint(out, pool.redials);
+        put_varint(out, pool.discarded);
+        put_varint(out, pool.pipelined_batches);
+        put_varint(out, pool.pipelined_specs);
+        put_varint(out, pool.bytes_sent);
+        put_varint(out, pool.bytes_received);
+    }
+}
+
+fn read_stats(r: &mut Reader<'_>) -> Result<ServiceStats, DecodeError> {
+    let mut stats = ServiceStats {
+        submitted: r.varint()?,
+        completed: r.varint()?,
+        batches: r.varint()?,
+        batched_requests: r.varint()?,
+        cache_hits: r.varint()?,
+        cache_misses: r.varint()?,
+        inflight_merged: r.varint()?,
+        evaluations: r.varint()?,
+        eval_errors: r.varint()?,
+        evictions: r.varint()?,
+        ..ServiceStats::default()
+    };
+    for _ in 0..r.len()? {
+        stats.per_shard.push(ShardStats {
+            backend: r.str()?,
+            evaluations: r.varint()?,
+            errors: r.varint()?,
+        });
+    }
+    for _ in 0..r.len()? {
+        stats.remote_pools.push(PoolStats {
+            addr: r.str()?,
+            checkouts: r.varint()?,
+            reused: r.varint()?,
+            dials: r.varint()?,
+            redials: r.varint()?,
+            discarded: r.varint()?,
+            pipelined_batches: r.varint()?,
+            pipelined_specs: r.varint()?,
+            bytes_sent: r.varint()?,
+            bytes_received: r.varint()?,
+        });
+    }
+    Ok(stats)
+}
+
+/// Decodes one standalone stats document (used by tests).
+pub fn decode_stats(bytes: &[u8]) -> Result<ServiceStats, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let stats = read_stats(&mut r)?;
+    r.finish()?;
+    Ok(stats)
+}
+
+// ---------------------------------------------------------------------------
+// Requests and responses
+// ---------------------------------------------------------------------------
+
+/// Encodes one request payload (magic, tag, id, body), **appending** to
+/// `out` — the frame writer reserves its length-prefix placeholder in the
+/// same buffer first, so the whole frame leaves in one `write`.
+pub fn encode_request(out: &mut Vec<u8>, id: u64, request: &ShardRequest) {
+    out.push(MAGIC);
+    match request {
+        ShardRequest::Hello => {
+            out.push(TAG_HELLO);
+            put_varint(out, id);
+        }
+        ShardRequest::Supports { backend, spec } => {
+            out.push(TAG_SUPPORTS);
+            put_varint(out, id);
+            put_str(out, backend);
+            encode_spec(out, spec);
+        }
+        ShardRequest::Evaluate { backend, spec } => {
+            out.push(TAG_EVALUATE);
+            put_varint(out, id);
+            put_str(out, backend);
+            encode_spec(out, spec);
+        }
+        ShardRequest::EvaluateBatch { backend, specs } => {
+            out.push(TAG_EVALUATE_BATCH);
+            put_varint(out, id);
+            put_str(out, backend);
+            put_usize(out, specs.len());
+            for spec in specs {
+                encode_spec(out, spec);
+            }
+        }
+        ShardRequest::Stats => {
+            out.push(TAG_STATS);
+            put_varint(out, id);
+        }
+    }
+}
+
+/// Decodes one request payload (including the magic byte).
+pub fn decode_request(bytes: &[u8]) -> Result<(u64, ShardRequest), DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.byte()? != MAGIC {
+        return Err(r.error("payload does not start with the binary magic byte"));
+    }
+    let tag = r.byte()?;
+    let id = r.varint()?;
+    let request = match tag {
+        TAG_HELLO => ShardRequest::Hello,
+        TAG_SUPPORTS => ShardRequest::Supports {
+            backend: r.str()?,
+            spec: read_spec(&mut r)?,
+        },
+        TAG_EVALUATE => ShardRequest::Evaluate {
+            backend: r.str()?,
+            spec: read_spec(&mut r)?,
+        },
+        TAG_EVALUATE_BATCH => {
+            let backend = r.str()?;
+            let count = r.len()?;
+            let mut specs = Vec::with_capacity(count);
+            for _ in 0..count {
+                specs.push(read_spec(&mut r)?);
+            }
+            ShardRequest::EvaluateBatch { backend, specs }
+        }
+        TAG_STATS => ShardRequest::Stats,
+        other => return Err(r.error(format!("unknown request tag {other:#04x}"))),
+    };
+    r.finish()?;
+    Ok((id, request))
+}
+
+/// Encodes one response payload (magic, tag, id, body), **appending** to
+/// `out` (see [`encode_request`]).
+pub fn encode_response(out: &mut Vec<u8>, id: u64, response: &ShardResponse) {
+    out.push(MAGIC);
+    match response {
+        ShardResponse::Backends { names, protocol } => {
+            out.push(TAG_BACKENDS);
+            put_varint(out, id);
+            put_usize(out, names.len());
+            for name in names {
+                put_str(out, name);
+            }
+            put_varint(out, *protocol);
+        }
+        ShardResponse::Supported(supported) => {
+            out.push(TAG_SUPPORTED);
+            put_varint(out, id);
+            put_bool(out, *supported);
+        }
+        ShardResponse::Evaluated(result) => {
+            out.push(TAG_EVALUATED);
+            put_varint(out, id);
+            encode_result(out, result);
+        }
+        ShardResponse::EvaluatedBatch(results) => {
+            out.push(TAG_EVALUATED_BATCH);
+            put_varint(out, id);
+            put_usize(out, results.len());
+            for result in results {
+                encode_result(out, result);
+            }
+        }
+        ShardResponse::Stats(stats) => {
+            out.push(TAG_STATS_RESPONSE);
+            put_varint(out, id);
+            encode_stats(out, stats);
+        }
+        ShardResponse::Rejected(message) => {
+            out.push(TAG_REJECTED);
+            put_varint(out, id);
+            put_str(out, message);
+        }
+    }
+}
+
+/// Decodes one response payload (including the magic byte).
+pub fn decode_response(bytes: &[u8]) -> Result<(u64, ShardResponse), DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.byte()? != MAGIC {
+        return Err(r.error("payload does not start with the binary magic byte"));
+    }
+    let tag = r.byte()?;
+    let id = r.varint()?;
+    let response = match tag {
+        TAG_BACKENDS => {
+            let count = r.len()?;
+            let mut names = Vec::with_capacity(count);
+            for _ in 0..count {
+                names.push(r.str()?);
+            }
+            ShardResponse::Backends {
+                names,
+                protocol: r.varint()?,
+            }
+        }
+        TAG_SUPPORTED => ShardResponse::Supported(r.bool()?),
+        TAG_EVALUATED => ShardResponse::Evaluated(Arc::new(read_result(&mut r)?)),
+        TAG_EVALUATED_BATCH => {
+            let count = r.len()?;
+            let mut results: Vec<SharedResult> = Vec::with_capacity(count);
+            for _ in 0..count {
+                results.push(Arc::new(read_result(&mut r)?));
+            }
+            ShardResponse::EvaluatedBatch(results)
+        }
+        TAG_STATS_RESPONSE => ShardResponse::Stats(read_stats(&mut r)?),
+        TAG_REJECTED => ShardResponse::Rejected(r.str()?),
+        other => return Err(r.error(format!("unknown response tag {other:#04x}"))),
+    };
+    r.finish()?;
+    Ok((id, response))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_round_trip_across_widths() {
+        let mut out = Vec::new();
+        for value in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            out.clear();
+            put_varint(&mut out, value);
+            let mut r = Reader::new(&out);
+            assert_eq!(r.varint().expect("decodes"), value);
+            r.finish().expect("consumed exactly");
+        }
+        // Single-byte encodings for the common small counters.
+        out.clear();
+        put_varint(&mut out, 42);
+        assert_eq!(out, [42]);
+    }
+
+    #[test]
+    fn floats_survive_non_finite_values() {
+        let mut out = Vec::new();
+        for value in [0.0f64, -1.5, f64::INFINITY, f64::NEG_INFINITY] {
+            out.clear();
+            put_f64(&mut out, value);
+            assert_eq!(Reader::new(&out).f64().expect("decodes"), value);
+        }
+        out.clear();
+        put_f64(&mut out, f64::NAN);
+        assert!(Reader::new(&out).f64().expect("decodes").is_nan());
+    }
+
+    #[test]
+    fn truncated_payloads_decode_to_errors_not_panics() {
+        let mut out = Vec::new();
+        encode_request(
+            &mut out,
+            9,
+            &ShardRequest::Evaluate {
+                backend: "rsn-xnn".to_string(),
+                spec: WorkloadSpec::SquareGemm { n: 4096 },
+            },
+        );
+        for cut in 0..out.len() {
+            assert!(
+                decode_request(&out[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        assert!(decode_request(&out).is_ok());
+    }
+
+    #[test]
+    fn hostile_collection_lengths_are_rejected_before_allocation() {
+        // An evaluate_batch frame promising u64::MAX specs in 4 bytes.
+        let mut out = vec![MAGIC, TAG_EVALUATE_BATCH];
+        put_varint(&mut out, 1); // id
+        put_str(&mut out, "b");
+        put_varint(&mut out, u64::MAX); // spec count
+        let err = decode_request(&out).expect_err("must reject");
+        assert!(err.message.contains("implausible"), "{err}");
+    }
+
+    #[test]
+    fn json_frames_cannot_be_mistaken_for_binary() {
+        assert!(decode_request(b"{\n  \"id\": 1\n}").is_err());
+        assert!(decode_response(b"[1, 2]").is_err());
+    }
+}

@@ -10,6 +10,13 @@
 //! shares the very report every other caller of that key receives.  Failed
 //! evaluations are *not* retained (see [`ReportCache::complete`]).
 //!
+//! The hot path is allocation-free: specs are stored as
+//! `Arc<WorkloadSpec>` and looked up **by borrow** (`Arc<T>:
+//! Borrow<T>` lets the map hash the spec itself), so neither a hit, nor a
+//! merge, nor a publish clones a spec; reserving a vacant key bumps the
+//! caller's `Arc` refcount.  Results are `Arc`-shared the same way — a hit
+//! is two refcount bumps, whatever the report holds.
+//!
 //! With a capacity bound (`ServiceConfig::cache_capacity`), publishing a
 //! result beyond the bound evicts the least-recently-used *completed* entry
 //! (in-flight entries are owed to waiters and never evicted).  Recency is a
@@ -18,6 +25,7 @@
 //! the few-thousand-entry capacities the service uses and keeps hits
 //! allocation-free.
 
+use crate::wire::SharedResult;
 use rsn_eval::{EvalError, EvalReport, WorkloadSpec};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -25,7 +33,7 @@ use std::sync::{Arc, Mutex};
 /// Cached results are shared, not copied: a hit hands out an `Arc` clone
 /// (~one refcount bump), so serving a cached report costs the same whether
 /// the report holds two scalars or a thousand segment rows.
-pub(crate) type CachedResult = Arc<Result<EvalReport, EvalError>>;
+pub(crate) type CachedResult = SharedResult;
 
 enum Entry<W> {
     /// Scheduled but not finished; holds every caller awaiting the result
@@ -51,12 +59,24 @@ pub(crate) enum Lookup {
 }
 
 struct CacheState<W> {
-    entries: HashMap<(usize, WorkloadSpec), Entry<W>>,
+    /// Per-backend-shard key spaces, indexed by backend and grown lazily.
+    /// Splitting by backend keeps the map key a bare `Arc<WorkloadSpec>`,
+    /// which is what allows borrowed (clone-free) lookups by `&WorkloadSpec`.
+    shards: Vec<HashMap<Arc<WorkloadSpec>, Entry<W>>>,
     /// Completed entries resident (in-flight entries do not count toward
     /// the capacity bound).
     ready: usize,
     /// Monotone recency clock; bumped on every hit and publish.
     tick: u64,
+}
+
+impl<W> CacheState<W> {
+    fn shard_mut(&mut self, backend: usize) -> &mut HashMap<Arc<WorkloadSpec>, Entry<W>> {
+        if backend >= self.shards.len() {
+            self.shards.resize_with(backend + 1, HashMap::new);
+        }
+        &mut self.shards[backend]
+    }
 }
 
 /// `WorkloadSpec → EvalReport` cache, sharded by backend index, generic over
@@ -80,7 +100,7 @@ impl<W> ReportCache<W> {
     pub fn with_capacity(capacity: Option<usize>) -> Self {
         Self {
             state: Mutex::new(CacheState {
-                entries: HashMap::new(),
+                shards: Vec::new(),
                 ready: 0,
                 tick: 0,
             }),
@@ -111,23 +131,25 @@ impl<W> ReportCache<W> {
     pub fn complete(
         &self,
         backend: usize,
-        spec: &WorkloadSpec,
+        spec: &Arc<WorkloadSpec>,
         result: Result<EvalReport, EvalError>,
     ) -> (CachedResult, Vec<W>, u64) {
         let result = Arc::new(result);
         let mut state = self.state.lock().expect("cache lock");
         state.tick += 1;
         let tick = state.tick;
+        let shard = state.shard_mut(backend);
         let previous = if result.is_ok() {
-            state.entries.insert(
-                (backend, spec.clone()),
+            shard.insert(
+                Arc::clone(spec),
                 Entry::Ready {
                     result: Arc::clone(&result),
                     last_used: tick,
                 },
             )
         } else {
-            state.entries.remove(&(backend, spec.clone()))
+            // Borrowed removal: the key hashes through the spec itself.
+            shard.remove(spec.as_ref())
         };
         match (&previous, result.is_ok()) {
             (Some(Entry::Ready { .. }), true) => {} // replaced in place
@@ -143,16 +165,21 @@ impl<W> ReportCache<W> {
         if let Some(capacity) = self.capacity {
             while state.ready > capacity {
                 let victim = state
-                    .entries
+                    .shards
                     .iter()
-                    .filter_map(|(key, entry)| match entry {
-                        Entry::Ready { last_used, .. } => Some((*last_used, key.clone())),
-                        Entry::InFlight(_) => None,
+                    .enumerate()
+                    .flat_map(|(shard_idx, shard)| {
+                        shard.iter().filter_map(move |(key, entry)| match entry {
+                            Entry::Ready { last_used, .. } => {
+                                Some((*last_used, shard_idx, Arc::clone(key)))
+                            }
+                            Entry::InFlight(_) => None,
+                        })
                     })
-                    .min_by_key(|(last_used, _)| *last_used)
-                    .map(|(_, key)| key)
+                    .min_by_key(|(last_used, _, _)| *last_used)
+                    .map(|(_, shard_idx, key)| (shard_idx, key))
                     .expect("ready count > 0 implies a ready entry");
-                state.entries.remove(&victim);
+                state.shards[victim.0].remove(victim.1.as_ref());
                 state.ready -= 1;
                 evicted += 1;
             }
@@ -162,7 +189,13 @@ impl<W> ReportCache<W> {
 
     /// Number of cached keys (both in-flight and ready).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("cache lock").entries.len()
+        self.state
+            .lock()
+            .expect("cache lock")
+            .shards
+            .iter()
+            .map(HashMap::len)
+            .sum()
     }
 }
 
@@ -173,11 +206,18 @@ pub(crate) struct CacheTxn<'a, W> {
 
 impl<W> CacheTxn<'_, W> {
     /// Looks up / reserves one `(backend, spec)` slot inside the
-    /// transaction.
-    pub fn lookup_or_reserve(&mut self, backend: usize, spec: &WorkloadSpec, waiter: W) -> Lookup {
+    /// transaction.  Hits and merges never clone the spec (the lookup
+    /// borrows it); a reservation stores an `Arc` clone of the caller's.
+    pub fn lookup_or_reserve(
+        &mut self,
+        backend: usize,
+        spec: &Arc<WorkloadSpec>,
+        waiter: W,
+    ) -> Lookup {
         self.state.tick += 1;
         let tick = self.state.tick;
-        match self.state.entries.get_mut(&(backend, spec.clone())) {
+        let shard = self.state.shard_mut(backend);
+        match shard.get_mut(spec.as_ref()) {
             Some(Entry::Ready { result, last_used }) => {
                 *last_used = tick;
                 Lookup::Ready(Arc::clone(result))
@@ -187,9 +227,7 @@ impl<W> CacheTxn<'_, W> {
                 Lookup::Merged
             }
             None => {
-                self.state
-                    .entries
-                    .insert((backend, spec.clone()), Entry::InFlight(vec![waiter]));
+                shard.insert(Arc::clone(spec), Entry::InFlight(vec![waiter]));
                 Lookup::Reserved
             }
         }
@@ -201,12 +239,12 @@ mod tests {
     use super::*;
     use rsn_eval::EvalReport;
 
-    fn spec() -> WorkloadSpec {
-        WorkloadSpec::SquareGemm { n: 64 }
+    fn spec() -> Arc<WorkloadSpec> {
+        Arc::new(WorkloadSpec::SquareGemm { n: 64 })
     }
 
-    fn sized_spec(n: usize) -> WorkloadSpec {
-        WorkloadSpec::SquareGemm { n }
+    fn sized_spec(n: usize) -> Arc<WorkloadSpec> {
+        Arc::new(WorkloadSpec::SquareGemm { n })
     }
 
     #[test]
@@ -241,6 +279,27 @@ mod tests {
         // Hits share the published result, they do not copy it.
         assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn distinct_arcs_of_equal_specs_share_one_cache_line() {
+        // Lookups hash the spec *value*, not the Arc pointer: two callers
+        // holding different allocations of the same spec must deduplicate.
+        let cache: ReportCache<u32> = ReportCache::new();
+        let a = Arc::new(WorkloadSpec::SquareGemm { n: 256 });
+        let b = Arc::new(WorkloadSpec::SquareGemm { n: 256 });
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(matches!(
+            cache.begin().lookup_or_reserve(0, &a, 1),
+            Lookup::Reserved
+        ));
+        assert!(matches!(
+            cache.begin().lookup_or_reserve(0, &b, 2),
+            Lookup::Merged
+        ));
+        let (_, waiters, _) = cache.complete(0, &b, Ok(EvalReport::new("b", "w")));
+        assert_eq!(waiters, vec![1, 2]);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -2,6 +2,55 @@
 
 use std::time::Duration;
 
+/// Which wire encoding the remote layer uses (see [`crate::binary`] and
+/// the negotiation rules in [`crate::wire`]).
+///
+/// On the client side this decides what a connection pool *sends*: `Auto`
+/// sends JSON until the hello handshake has learned the shard speaks
+/// protocol ≥ 3, then switches to binary.  On the server side it decides
+/// what a shard *answers with*: `Auto` mirrors each request's encoding (so
+/// old JSON clients keep working), `Json` forces readable frames for
+/// debugging (`shardd --encoding json`, or the topology's `encoding`
+/// knob), and `Binary` forces the compact codec even for JSON requests —
+/// only useful when every client is known to be version ≥ 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EncodingPolicy {
+    /// Negotiate per peer: binary with v3 peers, JSON otherwise.
+    #[default]
+    Auto,
+    /// Always JSON (the debugging / archaeology setting).
+    Json,
+    /// Always binary (requires every peer to speak protocol ≥ 3).
+    Binary,
+}
+
+impl EncodingPolicy {
+    /// The policy's topology-file / CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EncodingPolicy::Auto => "auto",
+            EncodingPolicy::Json => "json",
+            EncodingPolicy::Binary => "binary",
+        }
+    }
+
+    /// Parses the topology-file / CLI spelling.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "auto" => Some(EncodingPolicy::Auto),
+            "json" => Some(EncodingPolicy::Json),
+            "binary" => Some(EncodingPolicy::Binary),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EncodingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Configuration of an [`EvalService`](crate::EvalService).
 ///
 /// The two batching knobs bound the micro-batcher from both sides: a batch
@@ -56,6 +105,10 @@ pub struct RemoteConfig {
     /// requests before reaping it.  Pooled clients re-dial transparently
     /// when a reaped connection is found dead at checkout.
     pub server_idle_timeout: Duration,
+    /// Which wire encoding to speak (client: what pools send; server: what
+    /// shards answer with).  The default `Auto` negotiates binary with v3
+    /// peers and falls back to JSON against older ones.
+    pub encoding: EncodingPolicy,
 }
 
 impl Default for RemoteConfig {
@@ -65,6 +118,7 @@ impl Default for RemoteConfig {
             io_timeout: Duration::from_secs(30),
             pool_size: 4,
             server_idle_timeout: Duration::from_secs(60),
+            encoding: EncodingPolicy::Auto,
         }
     }
 }
@@ -121,5 +175,18 @@ mod tests {
     fn with_max_batch_clamps_zero() {
         assert_eq!(ServiceConfig::with_max_batch(0).max_batch, 1);
         assert_eq!(ServiceConfig::with_max_batch(64).max_batch, 64);
+    }
+
+    #[test]
+    fn encoding_policy_spellings_round_trip() {
+        for policy in [
+            EncodingPolicy::Auto,
+            EncodingPolicy::Json,
+            EncodingPolicy::Binary,
+        ] {
+            assert_eq!(EncodingPolicy::parse(policy.as_str()), Some(policy));
+        }
+        assert_eq!(EncodingPolicy::parse("yaml"), None);
+        assert_eq!(RemoteConfig::default().encoding, EncodingPolicy::Auto);
     }
 }

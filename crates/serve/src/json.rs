@@ -1174,6 +1174,8 @@ pub fn stats_json(stats: &ServiceStats) -> JsonValue {
                             ("discarded", JsonValue::Int(pool.discarded)),
                             ("pipelined_batches", JsonValue::Int(pool.pipelined_batches)),
                             ("pipelined_specs", JsonValue::Int(pool.pipelined_specs)),
+                            ("bytes_sent", JsonValue::Int(pool.bytes_sent)),
+                            ("bytes_received", JsonValue::Int(pool.bytes_received)),
                         ])
                     })
                     .collect(),
@@ -1207,6 +1209,14 @@ pub fn stats_from_json(value: &JsonValue) -> Result<ServiceStats, DecodeError> {
                 let pool_int = |key: &str| -> Result<u64, DecodeError> {
                     expect_u64(field(pool, key, CTX)?, CTX)
                 };
+                // Version-2 peers predate the byte counters; a missing
+                // field decodes as zero.
+                let pool_int_opt = |key: &str| -> Result<u64, DecodeError> {
+                    match pool.get(key) {
+                        None => Ok(0),
+                        Some(v) => expect_u64(v, CTX),
+                    }
+                };
                 Ok(PoolStats {
                     addr: expect_str(field(pool, "addr", CTX)?, CTX)?.to_string(),
                     checkouts: pool_int("checkouts")?,
@@ -1216,6 +1226,8 @@ pub fn stats_from_json(value: &JsonValue) -> Result<ServiceStats, DecodeError> {
                     discarded: pool_int("discarded")?,
                     pipelined_batches: pool_int("pipelined_batches")?,
                     pipelined_specs: pool_int("pipelined_specs")?,
+                    bytes_sent: pool_int_opt("bytes_sent")?,
+                    bytes_received: pool_int_opt("bytes_received")?,
                 })
             })
             .collect::<Result<Vec<_>, DecodeError>>()?,

@@ -34,7 +34,10 @@
 //!   ([`EvalError::Panicked`](rsn_eval::EvalError));
 //! * [`json`] is the offline-friendly emitter for reports, grids and stats
 //!   (the workspace `serde` is a no-op stand-in, so this is the real wire
-//!   format until the registry is reachable).
+//!   format until the registry is reachable); [`binary`] is its compact
+//!   protocol-3 sibling for the shard wire — allocation-free encoding into
+//!   reusable scratch buffers, negotiated per peer with transparent JSON
+//!   fallback (see [`wire`]).
 //!
 //! ## Synchronous use
 //!
@@ -90,6 +93,7 @@
 //! it runs, so grids and rendered tables are byte-identical either way —
 //! the loopback integration tests pin this.
 
+pub mod binary;
 mod cache;
 pub mod config;
 pub mod json;
@@ -101,7 +105,7 @@ pub mod stats;
 pub mod topology;
 pub mod wire;
 
-pub use config::{RemoteConfig, ServiceConfig};
+pub use config::{EncodingPolicy, RemoteConfig, ServiceConfig};
 pub use pool::ConnectionPool;
 pub use remote::{RemoteBackend, ShardServer};
 pub use request::{BackendSelector, EvalRequest, EvalResponse, Priority, ResponseHandle};

@@ -32,14 +32,28 @@
 //! handshake records the peer's [`PROTOCOL_VERSION`](crate::wire::PROTOCOL_VERSION)
 //! so [`RemoteBackend`](crate::remote::RemoteBackend)s sharing the pool
 //! know whether the shard speaks `evaluate_batch` (pipelined micro-batch
-//! exchanges) or needs the per-spec fallback.
+//! exchanges, protocol ≥ 2) and the binary codec (protocol ≥ 3) or needs
+//! the per-spec / JSON fallbacks.  Because the state lives on the pool —
+//! not on individual connections — it survives connection check-in and is
+//! shared by every backend routed through this shard address.
 
-use crate::config::RemoteConfig;
+use crate::config::{EncodingPolicy, RemoteConfig};
 use crate::stats::PoolStats;
-use crate::wire::{read_frame, write_frame, ShardRequest, ShardResponse, WireError};
+use crate::wire::{
+    read_response_frame, write_request_frame, ShardRequest, ShardResponse, WireEncoding, WireError,
+};
+use std::cell::RefCell;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+thread_local! {
+    /// Per-thread frame scratch: binary images are built here and received
+    /// payloads land here, so the steady-state exchange path allocates no
+    /// per-frame buffers (the buffer grows once to the working-set frame
+    /// size and is reused).
+    static FRAME_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Lock-free transport counters of one shard pool, surfaced through
 /// [`ServiceStats::remote_pools`](crate::ServiceStats::remote_pools).
@@ -62,6 +76,10 @@ pub(crate) struct PoolCounters {
     /// Specs carried by those exchanges (`pipelined_specs /
     /// pipelined_batches` is the achieved pipeline depth).
     pub pipelined_specs: AtomicU64,
+    /// Bytes put on the wire by this pool (length prefixes included).
+    pub bytes_sent: AtomicU64,
+    /// Bytes taken off the wire by this pool (length prefixes included).
+    pub bytes_received: AtomicU64,
 }
 
 /// A bounded pool of framed connections to one shard server address.
@@ -120,6 +138,30 @@ impl ConnectionPool {
         self.protocol().is_some_and(|v| v >= 2)
     }
 
+    /// Whether the shard behind this pool speaks the binary codec
+    /// (protocol ≥ 3).  `false` until negotiated.
+    pub fn supports_binary(&self) -> bool {
+        self.protocol().is_some_and(|v| v >= 3)
+    }
+
+    /// The encoding the next frame to this shard should use, combining the
+    /// configured [`EncodingPolicy`] with the negotiated protocol.  The
+    /// negotiated state lives on the pool, so it survives connection
+    /// check-in/checkout and is shared by every backend on this pool.
+    pub fn frame_encoding(&self) -> WireEncoding {
+        match self.config.encoding {
+            EncodingPolicy::Json => WireEncoding::Json,
+            EncodingPolicy::Binary => WireEncoding::Binary,
+            EncodingPolicy::Auto => {
+                if self.supports_binary() {
+                    WireEncoding::Binary
+                } else {
+                    WireEncoding::Json
+                }
+            }
+        }
+    }
+
     /// Idle connections currently parked in the pool.
     pub fn idle_connections(&self) -> usize {
         self.idle.lock().expect("pool idle lock").len()
@@ -136,6 +178,8 @@ impl ConnectionPool {
             discarded: self.counters.discarded.load(Ordering::Relaxed),
             pipelined_batches: self.counters.pipelined_batches.load(Ordering::Relaxed),
             pipelined_specs: self.counters.pipelined_specs.load(Ordering::Relaxed),
+            bytes_sent: self.counters.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.counters.bytes_received.load(Ordering::Relaxed),
         }
     }
 
@@ -249,14 +293,23 @@ impl ConnectionPool {
         };
         stream.set_read_timeout(Some(read_budget))?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        write_frame(&mut stream, &request.to_json(id))?;
-        let doc = read_frame(&mut stream)?.ok_or_else(|| {
-            WireError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "shard closed the connection before answering",
-            ))
+        let encoding = self.frame_encoding();
+        let response = FRAME_SCRATCH.with(|cell| {
+            let scratch = &mut cell.borrow_mut();
+            let sent = write_request_frame(&mut stream, id, request, encoding, scratch)?;
+            self.counters.bytes_sent.fetch_add(sent, Ordering::Relaxed);
+            let (_, response, received) =
+                read_response_frame(&mut stream, scratch)?.ok_or_else(|| {
+                    WireError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "shard closed the connection before answering",
+                    ))
+                })?;
+            self.counters
+                .bytes_received
+                .fetch_add(received, Ordering::Relaxed);
+            Ok::<ShardResponse, WireError>(response)
         })?;
-        let (_, response) = ShardResponse::from_json(&doc)?;
         // A protocol-level rejection may leave the server about to close
         // the connection (framing failures do); never pool it.
         if !matches!(response, ShardResponse::Rejected(_)) {

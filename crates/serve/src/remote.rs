@@ -41,12 +41,13 @@
 //! failures are never retained by the report cache: a restarted shard
 //! serves the next request for the same spec normally.
 
-use crate::config::RemoteConfig;
+use crate::config::{EncodingPolicy, RemoteConfig};
 use crate::pool::ConnectionPool;
 use crate::service::EvalService;
 use crate::stats::ServiceStats;
 use crate::wire::{
-    read_frame, write_frame, ShardRequest, ShardResponse, WireError, PROTOCOL_VERSION,
+    read_request_frame, write_response_frame, ShardRequest, ShardResponse, SharedResult,
+    WireEncoding, WireError, PROTOCOL_VERSION,
 };
 use rsn_eval::{Backend, EvalError, EvalReport, WorkloadSpec};
 use std::collections::HashMap;
@@ -177,6 +178,7 @@ impl Drop for ShardServer {
 /// forever; pooled clients that idle past it transparently re-dial.
 fn serve_connection(mut stream: TcpStream, service: &EvalService) {
     let idle_timeout = service.config().remote.server_idle_timeout;
+    let policy = service.config().remote.encoding;
     if stream.set_read_timeout(Some(idle_timeout)).is_err() {
         return;
     }
@@ -185,9 +187,13 @@ fn serve_connection(mut stream: TcpStream, service: &EvalService) {
     // behind the client's delayed ACK (see the matching client-side note
     // in `crate::pool`).
     let _ = stream.set_nodelay(true);
+    // One scratch buffer per connection, reused for every received payload
+    // and every binary response image — the steady state allocates no
+    // per-frame buffers.
+    let mut scratch = Vec::new();
     loop {
-        let doc = match read_frame(&mut stream) {
-            Ok(Some(doc)) => doc,
+        let (id, request, request_encoding) = match read_request_frame(&mut stream, &mut scratch) {
+            Ok(Some((id, request, encoding, _bytes))) => (id, request, encoding),
             Ok(None) => return,
             // Idle reap: the peer went quiet, there is nobody to answer.
             Err(WireError::Io(e))
@@ -199,16 +205,31 @@ fn serve_connection(mut stream: TcpStream, service: &EvalService) {
                 return;
             }
             Err(error) => {
+                // The request never decoded, so its encoding is unknown;
+                // reject in JSON, which every protocol version reads.
                 let rejection = ShardResponse::Rejected(error.to_string());
-                let _ = write_frame(&mut stream, &rejection.to_json(0));
+                let _ = write_response_frame(
+                    &mut stream,
+                    0,
+                    &rejection,
+                    WireEncoding::Json,
+                    &mut scratch,
+                );
                 return;
             }
         };
-        let (id, response) = match ShardRequest::from_json(&doc) {
-            Ok((id, request)) => (id, answer(service, request)),
-            Err(error) => (0, ShardResponse::Rejected(error.to_string())),
+        // `Auto` mirrors the request's encoding, so v1/v2 JSON clients and
+        // v3 binary clients are both answered in what they speak; forcing
+        // `json` keeps a shard's answers human-readable for debugging.
+        let response_encoding = match policy {
+            EncodingPolicy::Auto => request_encoding,
+            EncodingPolicy::Json => WireEncoding::Json,
+            EncodingPolicy::Binary => WireEncoding::Binary,
         };
-        if write_frame(&mut stream, &response.to_json(id)).is_err() {
+        let response = answer(service, request);
+        if write_response_frame(&mut stream, id, &response, response_encoding, &mut scratch)
+            .is_err()
+        {
             return;
         }
     }
@@ -245,13 +266,15 @@ fn answer(service: &EvalService, request: ShardRequest) -> ShardResponse {
 
 /// Runs `specs` through the hosted service on one named backend, returning
 /// one result per spec in order (the whole batch is submitted as one burst,
-/// so the shard's own micro-batcher and cache see it intact).  `Err` is a
+/// so the shard's own micro-batcher and cache see it intact).  Results stay
+/// `Arc`-shared with the shard's report cache all the way into the response
+/// encoder — answering a cached spec copies nothing.  `Err` is a
 /// protocol-level rejection message.
 fn evaluate_on(
     service: &EvalService,
     backend: String,
     specs: Vec<WorkloadSpec>,
-) -> Result<Vec<Result<EvalReport, EvalError>>, String> {
+) -> Result<Vec<SharedResult>, String> {
     if !service.backend_names().contains(&backend) {
         return Err(format!("unknown backend `{backend}`"));
     }
@@ -263,17 +286,17 @@ fn evaluate_on(
             crate::request::Priority::Normal,
         )
         .wait();
-    let mut results: Vec<Result<EvalReport, EvalError>> = response
+    let mut results: Vec<SharedResult> = response
         .results
         .into_iter()
-        .map(|(_, result)| (*result).clone())
+        .map(|(_, result)| result)
         .collect();
     // One selected backend: results are one per spec.  Pad defensively so
     // a shape mismatch surfaces as a domain error, never a desync.
     while results.len() < expected {
-        results.push(Err(EvalError::Remote {
+        results.push(Arc::new(Err(EvalError::Remote {
             message: "shard produced no result slot".to_string(),
-        }));
+        })));
     }
     results.truncate(expected.max(1));
     Ok(results)
@@ -390,6 +413,13 @@ impl RemoteBackend {
     }
 }
 
+/// Takes ownership of a decoded wire result.  Freshly decoded results are
+/// sole owners of their `Arc`, so this is a move, not a copy; the clone
+/// fallback only runs if a caller shared the response first.
+fn unshare(result: SharedResult) -> Result<EvalReport, EvalError> {
+    Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone())
+}
+
 impl Backend for RemoteBackend {
     fn name(&self) -> &str {
         &self.name
@@ -413,7 +443,7 @@ impl Backend for RemoteBackend {
             backend: self.name.clone(),
             spec: workload.clone(),
         }) {
-            Ok(ShardResponse::Evaluated(result)) => result,
+            Ok(ShardResponse::Evaluated(result)) => unshare(result),
             Ok(ShardResponse::Rejected(message)) => Err(EvalError::Transport {
                 backend: self.name.clone(),
                 detail: format!("shard rejected the request: {message}"),
@@ -448,7 +478,7 @@ impl Backend for RemoteBackend {
         }) {
             Ok(ShardResponse::EvaluatedBatch(results)) if results.len() == workloads.len() => {
                 self.pool.count_pipelined(workloads.len());
-                results
+                results.into_iter().map(unshare).collect()
             }
             Ok(ShardResponse::EvaluatedBatch(results)) => {
                 let got = results.len();

@@ -82,14 +82,17 @@ impl EvalRequest {
 /// The answer to one [`EvalRequest`]: one `(backend name, result)` entry per
 /// selected backend, in selection order.
 ///
-/// Results are `Arc`-shared with the service's report cache: answering a
-/// cache-deduplicated request hands out the *same* report every other caller
-/// of that key received, at refcount-bump cost.  Call
-/// `Result::clone` on the dereferenced value when an owned report is needed.
+/// Both halves of an entry are shared, not copied: results are `Arc`-shared
+/// with the service's report cache (answering a cache-deduplicated request
+/// hands out the *same* report every other caller of that key received),
+/// and backend names are `Arc<str>` clones of the service's registration
+/// table — filling a response slot is two refcount bumps, never a string or
+/// report copy.  Call `Result::clone` on the dereferenced value when an
+/// owned report is needed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalResponse {
     /// Per-backend results, aligned with the request's backend selection.
-    pub results: Vec<(String, Arc<Result<EvalReport, EvalError>>)>,
+    pub results: Vec<(Arc<str>, crate::wire::SharedResult)>,
 }
 
 impl EvalResponse {
@@ -97,7 +100,7 @@ impl EvalResponse {
     pub fn result(&self, backend: &str) -> Option<&Result<EvalReport, EvalError>> {
         self.results
             .iter()
-            .find(|(name, _)| name == backend)
+            .find(|(name, _)| name.as_ref() == backend)
             .map(|(_, r)| r.as_ref())
     }
 
@@ -105,7 +108,7 @@ impl EvalResponse {
     pub fn reports(&self) -> impl Iterator<Item = (&str, &EvalReport)> {
         self.results
             .iter()
-            .filter_map(|(name, r)| (**r).as_ref().ok().map(|r| (name.as_str(), r)))
+            .filter_map(|(name, r)| (**r).as_ref().ok().map(|r| (name.as_ref(), r)))
     }
 }
 
@@ -152,9 +155,9 @@ mod tests {
     fn response_lookup_by_backend_name() {
         let response = EvalResponse {
             results: vec![
-                ("a".to_string(), Arc::new(Ok(EvalReport::new("a", "w")))),
+                (Arc::from("a"), Arc::new(Ok(EvalReport::new("a", "w")))),
                 (
-                    "b".to_string(),
+                    Arc::from("b"),
                     Arc::new(Err(EvalError::Unsupported {
                         backend: "b".to_string(),
                         workload: "w".to_string(),

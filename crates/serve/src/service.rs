@@ -32,9 +32,11 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Per-backend result slot of one request (the result is `Arc`-shared with
-/// the report cache, so filling a slot never deep-copies a report).
-type SlotResult = (String, CachedResult);
+/// Per-backend result slot of one request.  Both halves are `Arc`-shared —
+/// the result with the report cache, the backend name with the service's
+/// registration table — so filling a slot never copies a report or a
+/// string.
+type SlotResult = (Arc<str>, CachedResult);
 
 /// Shared completion state of one accepted request.
 struct RequestState {
@@ -53,8 +55,10 @@ struct Waiter {
 }
 
 /// A request after backend resolution, parked in the priority queues.
+/// The spec is `Arc`-shared from submission through cache keys and work
+/// tasks, so the batching/caching path never deep-clones it.
 struct QueuedItem {
-    spec: WorkloadSpec,
+    spec: Arc<WorkloadSpec>,
     /// `(slot index, backend shard)` pairs still needing evaluation.
     targets: Vec<(usize, usize)>,
     state: Arc<RequestState>,
@@ -62,7 +66,7 @@ struct QueuedItem {
 
 /// One unit of backend work produced by a cache miss.
 struct WorkTask {
-    spec: WorkloadSpec,
+    spec: Arc<WorkloadSpec>,
     backend: usize,
 }
 
@@ -94,6 +98,9 @@ struct ServiceInner {
     config: ServiceConfig,
     backends: Vec<Arc<dyn Backend>>,
     names: Vec<String>,
+    /// `names` as shared slices, cloned (refcount-bumped) into every
+    /// response slot instead of copying the string per result.
+    name_refs: Vec<Arc<str>>,
     pending: Mutex<PendingQueues>,
     pending_cv: Condvar,
     cache: ReportCache<Waiter>,
@@ -149,6 +156,7 @@ impl EvalService {
             .map(Arc::from)
             .collect();
         let names: Vec<String> = backends.iter().map(|b| b.name().to_string()).collect();
+        let name_refs: Vec<Arc<str>> = names.iter().map(|n| Arc::from(n.as_str())).collect();
         let inner = Arc::new(ServiceInner {
             backends,
             pending: Mutex::new(PendingQueues::default()),
@@ -156,6 +164,7 @@ impl EvalService {
             cache: ReportCache::with_capacity(config.cache_capacity),
             counters: StatsCounters::for_shards(&names),
             names,
+            name_refs,
             config,
             pools: Mutex::new(Vec::new()),
         });
@@ -317,7 +326,7 @@ impl EvalService {
                         inner,
                         &state,
                         base + offset,
-                        name.clone(),
+                        Arc::from(name.as_str()),
                         Arc::new(Err(EvalError::Unsupported {
                             backend: name.clone(),
                             workload: spec.name(),
@@ -327,7 +336,9 @@ impl EvalService {
             }
             if !targets.is_empty() {
                 items.push(QueuedItem {
-                    spec,
+                    // The one Arc allocation per (spec, request); everything
+                    // downstream (cache keys, work tasks) shares it.
+                    spec: Arc::new(spec),
                     targets,
                     state: Arc::clone(&state),
                 });
@@ -378,7 +389,12 @@ impl EvalService {
         .wait()
         .results
         .into_iter()
-        .filter_map(|(name, result)| (*result).as_ref().ok().map(|r| (name, r.clone())))
+        .filter_map(|(name, result)| {
+            (*result)
+                .as_ref()
+                .ok()
+                .map(|r| (name.to_string(), r.clone()))
+        })
         .collect()
     }
 
@@ -432,7 +448,7 @@ fn fulfill(
     inner: &ServiceInner,
     state: &RequestState,
     slot: usize,
-    name: String,
+    name: Arc<str>,
     result: CachedResult,
 ) {
     {
@@ -548,7 +564,7 @@ fn dispatch(inner: &ServiceInner, senders: &[mpsc::Sender<Vec<WorkTask>>], batch
                     Lookup::Reserved => {
                         miss_count += 1;
                         per_backend[backend].push(WorkTask {
-                            spec: item.spec.clone(),
+                            spec: Arc::clone(&item.spec),
                             backend,
                         });
                     }
@@ -569,7 +585,13 @@ fn dispatch(inner: &ServiceInner, senders: &[mpsc::Sender<Vec<WorkTask>>], batch
         .cache_misses
         .fetch_add(miss_count, Ordering::Relaxed);
     for (state, slot, backend, result) in hits {
-        fulfill(inner, &state, slot, inner.names[backend].clone(), result);
+        fulfill(
+            inner,
+            &state,
+            slot,
+            Arc::clone(&inner.name_refs[backend]),
+            result,
+        );
     }
     let workers = inner.config.workers_per_backend.max(1);
     for (backend, mut tasks) in per_backend.into_iter().enumerate() {
@@ -613,7 +635,11 @@ fn worker_loop(
         if tasks.is_empty() {
             continue;
         }
-        let specs: Vec<WorkloadSpec> = tasks.iter().map(|task| task.spec.clone()).collect();
+        // `Backend::evaluate_many` takes a contiguous spec slice, so the
+        // miss path clones the specs out of their Arcs here — the one
+        // remaining deep copy, paid only when an actual evaluation runs
+        // (hits and merges never reach this point).
+        let specs: Vec<WorkloadSpec> = tasks.iter().map(|task| (*task.spec).clone()).collect();
         let results = catch_unwind(AssertUnwindSafe(|| backend.evaluate_many(&specs)))
             .unwrap_or_else(|_| {
                 // A panic mid-chunk aborted the remaining specs along with
@@ -664,7 +690,7 @@ fn worker_loop(
                     inner,
                     &waiter.state,
                     waiter.slot,
-                    inner.names[task.backend].clone(),
+                    Arc::clone(&inner.name_refs[task.backend]),
                     Arc::clone(&result),
                 );
             }
@@ -815,6 +841,7 @@ impl ShardRouter {
         for decl in &topology.remotes {
             let remote_config = RemoteConfig {
                 pool_size: decl.pool_size.unwrap_or(topology.service.remote.pool_size),
+                encoding: decl.encoding.unwrap_or(topology.service.remote.encoding),
                 ..topology.service.remote.clone()
             };
             router = router.remote_with(&decl.addr, remote_config, decl.weight)?;
@@ -956,7 +983,7 @@ mod tests {
         let response = service
             .submit(EvalRequest::all(WorkloadSpec::SquareGemm { n: 64 }))
             .wait();
-        let names: Vec<&str> = response.results.iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = response.results.iter().map(|(n, _)| n.as_ref()).collect();
         assert_eq!(names, ["alpha", "beta"]);
         assert!(response.results.iter().all(|(_, r)| r.is_ok()));
     }
@@ -975,13 +1002,13 @@ mod tests {
             ))
             .wait();
         assert_eq!(response.results.len(), 3);
-        assert_eq!(response.results[0].0, "beta");
+        assert_eq!(response.results[0].0.as_ref(), "beta");
         assert!(response.results[0].1.is_ok());
         assert!(matches!(
             *response.results[1].1,
             Err(EvalError::Unsupported { .. })
         ));
-        assert_eq!(response.results[2].0, "alpha");
+        assert_eq!(response.results[2].0.as_ref(), "alpha");
     }
 
     #[test]
@@ -1027,7 +1054,7 @@ mod tests {
         // Spec-major: [s0·alpha, s0·beta, s1·alpha, s1·beta, s2·alpha, ...].
         assert_eq!(response.results.len(), 6);
         for (i, (name, result)) in response.results.iter().enumerate() {
-            assert_eq!(name, if i % 2 == 0 { "alpha" } else { "beta" });
+            assert_eq!(name.as_ref(), if i % 2 == 0 { "alpha" } else { "beta" });
             let expected_n = match specs[i / 2] {
                 WorkloadSpec::SquareGemm { n } => n,
                 _ => unreachable!(),
@@ -1088,7 +1115,7 @@ mod tests {
             (Priority::High, 2),
         ] {
             queues.queues[priority.index()].push_back(QueuedItem {
-                spec: WorkloadSpec::SquareGemm { n: tag },
+                spec: Arc::new(WorkloadSpec::SquareGemm { n: tag }),
                 targets: Vec::new(),
                 state: Arc::new(RequestState {
                     slots: Mutex::new(Vec::new()),
@@ -1098,7 +1125,7 @@ mod tests {
             });
         }
         let order: Vec<WorkloadSpec> = std::iter::from_fn(|| queues.pop())
-            .map(|item| item.spec)
+            .map(|item| (*item.spec).clone())
             .collect();
         assert_eq!(
             order,

@@ -93,6 +93,12 @@ pub struct PoolStats {
     pub pipelined_batches: u64,
     /// Specs carried by those exchanges.
     pub pipelined_specs: u64,
+    /// Bytes this pool put on the wire (length prefixes included) — with
+    /// `bytes_received`, the observable difference between the JSON and
+    /// binary encodings.
+    pub bytes_sent: u64,
+    /// Bytes this pool took off the wire (length prefixes included).
+    pub bytes_received: u64,
 }
 
 impl PoolStats {

@@ -17,13 +17,14 @@
 //!       "connect_timeout_ms": 10000,
 //!       "io_timeout_ms": 30000,
 //!       "pool_size": 4,
-//!       "server_idle_timeout_ms": 60000
+//!       "server_idle_timeout_ms": 60000,
+//!       "encoding": "auto"
 //!     }
 //!   },
 //!   "local": ["rsn-xnn", "roofline-bound"],
 //!   "remotes": [
 //!     {"addr": "10.0.0.7:7070", "weight": 2, "pool_size": 8},
-//!     {"addr": "10.0.0.8:7070"}
+//!     {"addr": "10.0.0.8:7070", "encoding": "json"}
 //!   ]
 //! }
 //! ```
@@ -35,8 +36,10 @@
 //!   ([`rsn_eval::default_backends`] order);
 //! * `remotes` — shard servers to autodiscover backends from via the
 //!   `hello` handshake, with an optional per-shard worker `weight`
-//!   (heavier shards get proportionally more client-side worker threads)
-//!   and `pool_size` (connection-pool bound override).
+//!   (heavier shards get proportionally more client-side worker threads),
+//!   `pool_size` (connection-pool bound override) and `encoding`
+//!   (`auto`/`json`/`binary` wire-encoding override — force `json` on one
+//!   shard to debug its traffic while the fleet stays binary).
 //!
 //! [`ShardRouter::from_topology`](crate::ShardRouter::from_topology) turns
 //! a parsed topology into a running mixed local/remote service;
@@ -45,7 +48,7 @@
 //! round-trips byte-identically through parse → decode → re-emit, pinned
 //! by `tests/json_roundtrip.rs`.
 
-use crate::config::{RemoteConfig, ServiceConfig};
+use crate::config::{EncodingPolicy, RemoteConfig, ServiceConfig};
 use crate::json::{self, DecodeError, JsonParseError, JsonValue};
 use std::time::Duration;
 
@@ -61,15 +64,21 @@ pub struct RemoteShardDecl {
     /// Connection-pool bound override for this shard; `None` uses
     /// [`RemoteConfig::pool_size`].
     pub pool_size: Option<usize>,
+    /// Wire-encoding override for this shard; `None` uses
+    /// [`RemoteConfig::encoding`].  Force `json` on one shard to read its
+    /// traffic in a packet capture while the rest of the fleet stays
+    /// binary.
+    pub encoding: Option<EncodingPolicy>,
 }
 
 impl RemoteShardDecl {
-    /// A weight-1 declaration with the default pool bound.
+    /// A weight-1 declaration with the default pool bound and encoding.
     pub fn new(addr: &str) -> Self {
         Self {
             addr: addr.to_string(),
             weight: 1,
             pool_size: None,
+            encoding: None,
         }
     }
 }
@@ -180,6 +189,12 @@ pub fn topology_json(topology: &Topology) -> JsonValue {
                                 decl.pool_size
                                     .map_or(JsonValue::Null, |n| JsonValue::Int(n as u64)),
                             ),
+                            (
+                                "encoding",
+                                decl.encoding.map_or(JsonValue::Null, |e| {
+                                    JsonValue::Str(e.as_str().to_string())
+                                }),
+                            ),
                         ])
                     })
                     .collect(),
@@ -235,6 +250,10 @@ pub fn service_config_json(config: &ServiceConfig) -> JsonValue {
                     "server_idle_timeout_ms",
                     JsonValue::Int(millis_ceil(config.remote.server_idle_timeout)),
                 ),
+                (
+                    "encoding",
+                    JsonValue::Str(config.remote.encoding.as_str().to_string()),
+                ),
             ]),
         ),
     ])
@@ -280,7 +299,24 @@ fn remote_config_from_json(value: &JsonValue) -> Result<RemoteConfig, DecodeErro
         remote.server_idle_timeout =
             Duration::from_millis(decode_u64(v, CTX, "server_idle_timeout_ms")?);
     }
+    if let Some(v) = value.get("encoding") {
+        remote.encoding = decode_encoding(v, CTX)?;
+    }
     Ok(remote)
+}
+
+/// Decodes an `"auto"`/`"json"`/`"binary"` encoding spelling.
+fn decode_encoding(value: &JsonValue, ctx: &str) -> Result<EncodingPolicy, DecodeError> {
+    match value {
+        JsonValue::Str(text) => EncodingPolicy::parse(text).ok_or_else(|| DecodeError {
+            context: ctx.to_string(),
+            message: format!("`encoding`: unknown policy `{text}` (auto, json or binary)"),
+        }),
+        _ => Err(DecodeError {
+            context: ctx.to_string(),
+            message: "`encoding` must be a string".to_string(),
+        }),
+    }
 }
 
 /// Decodes a [`topology_json`] document (or a sparser hand-written file —
@@ -360,10 +396,15 @@ fn remote_decl_from_json(value: &JsonValue) -> Result<RemoteShardDecl, DecodeErr
         None | Some(JsonValue::Null) => None,
         Some(v) => Some(decode_usize(v, CTX, "pool_size")?),
     };
+    let encoding = match value.get("encoding") {
+        None | Some(JsonValue::Null) => None,
+        Some(v) => Some(decode_encoding(v, CTX)?),
+    };
     Ok(RemoteShardDecl {
         addr,
         weight,
         pool_size,
+        encoding,
     })
 }
 
@@ -400,6 +441,7 @@ mod tests {
                     io_timeout: Duration::from_millis(12000),
                     pool_size: 6,
                     server_idle_timeout: Duration::from_millis(45000),
+                    encoding: EncodingPolicy::Binary,
                 },
             },
             local: vec!["rsn-xnn".to_string(), "roofline-bound".to_string()],
@@ -408,6 +450,7 @@ mod tests {
                     addr: "10.0.0.7:7070".to_string(),
                     weight: 2,
                     pool_size: Some(8),
+                    encoding: Some(EncodingPolicy::Json),
                 },
                 RemoteShardDecl::new("10.0.0.8:7070"),
             ],
@@ -444,6 +487,8 @@ mod tests {
             r#"{"local": [3]}"#,
             r#"{"remotes": [{}]}"#,
             r#"{"remotes": [{"addr": "x", "weight": "heavy"}]}"#,
+            r#"{"remotes": [{"addr": "x", "encoding": "yaml"}]}"#,
+            r#"{"service": {"remote": {"encoding": 3}}}"#,
             r#"{"service": {"max_batch": -1}}"#,
         ];
         for text in bad {

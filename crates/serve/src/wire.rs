@@ -1,18 +1,23 @@
-//! The shard wire protocol: length-prefixed JSON frames and the typed
-//! request/response messages that cross them.
+//! The shard wire protocol: length-prefixed frames (JSON or compact
+//! binary) and the typed request/response messages that cross them.
 //!
 //! # Framing
 //!
 //! One frame is a 4-byte big-endian payload length followed by exactly that
-//! many bytes of UTF-8 JSON (the [`crate::json`] emitter's pretty form —
-//! deterministic, so a frame for a given message is byte-stable).  Frames
+//! many payload bytes.  The payload's first byte selects the encoding:
+//! [`binary::MAGIC`](crate::binary::MAGIC) (`0xB3`) marks the protocol-3
+//! compact binary codec ([`crate::binary`]); anything else is UTF-8 JSON
+//! (the [`crate::json`] emitter's pretty form — deterministic, so a frame
+//! for a given message is byte-stable).  Receivers dispatch per frame, so
+//! mixed-encoding fleets interoperate without per-connection state.  Frames
 //! larger than [`MAX_FRAME_BYTES`] are rejected on both sides, bounding
 //! what a malformed or hostile peer can make the other side allocate.
 //!
 //! # Messages
 //!
 //! Requests carry a client-chosen `id` that the response echoes, so a
-//! connection can be used for many sequential request/response exchanges:
+//! connection can be used for many sequential request/response exchanges
+//! (shown here in their JSON form):
 //!
 //! ```text
 //! {"id": 1, "kind": "hello"}                      → backends + protocol version
@@ -27,7 +32,7 @@
 //! evaluation failures are *domain* results and travel as structured
 //! [`EvalError`] documents inside an `"ok": true` response.
 //!
-//! # Versioning
+//! # Versioning and encoding negotiation
 //!
 //! The hello response advertises the shard's [`PROTOCOL_VERSION`]; a
 //! response without the field is a version-1 shard.  `evaluate_batch`
@@ -35,20 +40,45 @@
 //! of results in order) exists from version 2 — clients that handshook a
 //! version-1 shard fall back to per-spec `evaluate` exchanges, so old and
 //! new peers interoperate in both directions.
+//!
+//! Version 3 adds the binary codec.  Negotiation is one-sided and
+//! hello-driven: a client sends its `hello` in JSON (every version
+//! understands that), and switches to binary frames only after the
+//! response advertises protocol ≥ 3; servers answer every request in the
+//! encoding it arrived in (unless forced otherwise — see
+//! [`EncodingPolicy`](crate::config::EncodingPolicy)), so a v3 server
+//! transparently keeps speaking JSON to v1/v2 clients.
 
+use crate::binary;
 use crate::json::{self, DecodeError, JsonParseError, JsonValue};
 use crate::stats::ServiceStats;
 use rsn_eval::{EvalError, EvalReport, WorkloadSpec};
 use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// A domain result shared rather than copied: the report cache, the
+/// response slots, and the wire layer all hand out clones of one `Arc`, so
+/// serving or shipping a cached report never deep-copies it.
+pub type SharedResult = Arc<Result<EvalReport, EvalError>>;
 
 /// Upper bound on one frame's payload, sized generously above the largest
 /// document the service emits (a full-model report is a few tens of KiB).
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 
 /// The shard protocol version this build speaks.  Version 2 added the
-/// `evaluate_batch` exchange; the hello response advertises the version so
-/// clients can negotiate per-spec fallback against older shards.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// `evaluate_batch` exchange; version 3 added the compact binary codec
+/// ([`crate::binary`]).  The hello response advertises the version so
+/// clients can negotiate per-spec and JSON fallbacks against older shards.
+pub const PROTOCOL_VERSION: u64 = 3;
+
+/// The encoding of one frame on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireEncoding {
+    /// Pretty-printed JSON (protocol ≤ 2, and the v3 debugging fallback).
+    Json,
+    /// The compact binary codec (protocol ≥ 3).
+    Binary,
+}
 
 /// A transport-layer failure: the connection died, a frame was malformed,
 /// or a peer spoke something that is not the shard protocol.
@@ -145,6 +175,146 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Option<JsonValue>, WireError
     let text = String::from_utf8(payload)
         .map_err(|e| WireError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e)))?;
     Ok(Some(json::parse(&text)?))
+}
+
+/// Reads one frame's payload bytes into `scratch` (cleared and reused — no
+/// per-frame buffer allocation once the scratch has grown to the working
+/// set).  `Ok(None)` is a clean EOF before the length prefix.
+fn read_payload(reader: &mut impl Read, scratch: &mut Vec<u8>) -> Result<Option<()>, WireError> {
+    let mut prefix = [0u8; 4];
+    match reader.read(&mut prefix)? {
+        0 => return Ok(None),
+        mut filled => {
+            while filled < prefix.len() {
+                let n = reader.read(&mut prefix[filled..])?;
+                if n == 0 {
+                    return Err(WireError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed inside a frame length prefix",
+                    )));
+                }
+                filled += n;
+            }
+        }
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    scratch.clear();
+    scratch.resize(len as usize, 0);
+    reader.read_exact(scratch)?;
+    Ok(Some(()))
+}
+
+/// Frames the buffer prepared by [`begin_frame`] (4-byte placeholder,
+/// then the payload): patches the length prefix in place and puts the
+/// whole frame on the wire in **one** `write` — one syscall per frame
+/// instead of two, and with `TCP_NODELAY` one segment instead of a
+/// prefix-only runt packet.  Returns the total bytes written.
+fn write_framed(writer: &mut impl Write, scratch: &mut [u8]) -> Result<u64, WireError> {
+    let payload = scratch.len() - 4;
+    let len = u32::try_from(payload).map_err(|_| WireError::FrameTooLarge(u32::MAX))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    scratch[..4].copy_from_slice(&len.to_be_bytes());
+    writer.write_all(scratch)?;
+    writer.flush()?;
+    Ok(u64::from(len) + 4)
+}
+
+/// Resets `scratch` to a 4-byte length-prefix placeholder; the encoders
+/// append the payload behind it, so no post-encode memmove is needed.
+fn begin_frame(scratch: &mut Vec<u8>) {
+    scratch.clear();
+    scratch.extend_from_slice(&[0u8; 4]);
+}
+
+/// Parses a JSON payload (already read off the wire) into a document.
+fn parse_json_payload(payload: &[u8]) -> Result<JsonValue, WireError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| WireError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e)))?;
+    Ok(json::parse(text)?)
+}
+
+/// Writes one request frame in the given encoding, reusing `scratch` for
+/// the binary image.  Returns the bytes put on the wire.
+pub fn write_request_frame(
+    writer: &mut impl Write,
+    id: u64,
+    request: &ShardRequest,
+    encoding: WireEncoding,
+    scratch: &mut Vec<u8>,
+) -> Result<u64, WireError> {
+    begin_frame(scratch);
+    match encoding {
+        WireEncoding::Binary => binary::encode_request(scratch, id, request),
+        WireEncoding::Json => {
+            scratch.extend_from_slice(request.to_json(id).to_pretty().as_bytes());
+        }
+    }
+    write_framed(writer, scratch)
+}
+
+/// Writes one response frame in the given encoding, reusing `scratch` for
+/// the binary image.  Returns the bytes put on the wire.
+pub fn write_response_frame(
+    writer: &mut impl Write,
+    id: u64,
+    response: &ShardResponse,
+    encoding: WireEncoding,
+    scratch: &mut Vec<u8>,
+) -> Result<u64, WireError> {
+    begin_frame(scratch);
+    match encoding {
+        WireEncoding::Binary => binary::encode_response(scratch, id, response),
+        WireEncoding::Json => {
+            scratch.extend_from_slice(response.to_json(id).to_pretty().as_bytes());
+        }
+    }
+    write_framed(writer, scratch)
+}
+
+/// Reads and decodes one request frame, dispatching on the payload's
+/// leading byte.  Returns the exchange id, the request, the encoding it
+/// arrived in (so servers can mirror it), and the bytes taken off the
+/// wire; `Ok(None)` is a clean EOF before the length prefix.
+pub fn read_request_frame(
+    reader: &mut impl Read,
+    scratch: &mut Vec<u8>,
+) -> Result<Option<(u64, ShardRequest, WireEncoding, u64)>, WireError> {
+    if read_payload(reader, scratch)?.is_none() {
+        return Ok(None);
+    }
+    let bytes = scratch.len() as u64 + 4;
+    let (id, request, encoding) = if scratch.first() == Some(&binary::MAGIC) {
+        let (id, request) = binary::decode_request(scratch)?;
+        (id, request, WireEncoding::Binary)
+    } else {
+        let (id, request) = ShardRequest::from_json(&parse_json_payload(scratch)?)?;
+        (id, request, WireEncoding::Json)
+    };
+    Ok(Some((id, request, encoding, bytes)))
+}
+
+/// Reads and decodes one response frame, dispatching on the payload's
+/// leading byte.  Returns the exchange id, the response and the bytes
+/// taken off the wire; `Ok(None)` is a clean EOF before the length prefix.
+pub fn read_response_frame(
+    reader: &mut impl Read,
+    scratch: &mut Vec<u8>,
+) -> Result<Option<(u64, ShardResponse, u64)>, WireError> {
+    if read_payload(reader, scratch)?.is_none() {
+        return Ok(None);
+    }
+    let bytes = scratch.len() as u64 + 4;
+    let (id, response) = if scratch.first() == Some(&binary::MAGIC) {
+        binary::decode_response(scratch)?
+    } else {
+        ShardResponse::from_json(&parse_json_payload(scratch)?)?
+    };
+    Ok(Some((id, response, bytes)))
 }
 
 /// One request a client can make of a shard server.
@@ -305,11 +475,13 @@ pub enum ShardResponse {
     },
     /// Whether the asked backend supports the asked spec.
     Supported(bool),
-    /// The evaluation's domain result.
-    Evaluated(Result<EvalReport, EvalError>),
+    /// The evaluation's domain result, `Arc`-shared with the producing
+    /// service's report cache so answering a request never deep-copies the
+    /// report.
+    Evaluated(SharedResult),
     /// One domain result per spec of an `evaluate_batch` request, in the
-    /// request's spec order.
-    EvaluatedBatch(Vec<Result<EvalReport, EvalError>>),
+    /// request's spec order (shared, like [`Evaluated`](Self::Evaluated)).
+    EvaluatedBatch(Vec<SharedResult>),
     /// The shard's service statistics.
     Stats(ServiceStats),
     /// A protocol-level rejection (unknown backend/kind, malformed frame).
@@ -335,19 +507,17 @@ impl ShardResponse {
             ShardResponse::Supported(supported) => {
                 pairs.push(("supported".to_string(), JsonValue::Bool(*supported)));
             }
-            ShardResponse::Evaluated(Ok(report)) => {
-                pairs.push(("report".to_string(), json::report_json(report)));
-            }
-            ShardResponse::Evaluated(Err(error)) => {
-                pairs.push(("error".to_string(), json::error_json(error)));
-            }
+            ShardResponse::Evaluated(result) => match result.as_ref() {
+                Ok(report) => pairs.push(("report".to_string(), json::report_json(report))),
+                Err(error) => pairs.push(("error".to_string(), json::error_json(error))),
+            },
             ShardResponse::EvaluatedBatch(results) => {
                 pairs.push((
                     "results".to_string(),
                     JsonValue::Arr(
                         results
                             .iter()
-                            .map(|result| match result {
+                            .map(|result| match result.as_ref() {
                                 Ok(report) => JsonValue::Obj(vec![(
                                     "report".to_string(),
                                     json::report_json(report),
@@ -418,18 +588,18 @@ impl ShardResponse {
         } else if let Some(JsonValue::Bool(supported)) = doc.get("supported") {
             ShardResponse::Supported(*supported)
         } else if let Some(report) = doc.get("report") {
-            ShardResponse::Evaluated(Ok(json::report_from_json(report)?))
+            ShardResponse::Evaluated(Arc::new(Ok(json::report_from_json(report)?)))
         } else if let Some(error) = doc.get("error") {
-            ShardResponse::Evaluated(Err(json::error_from_json(error)?))
+            ShardResponse::Evaluated(Arc::new(Err(json::error_from_json(error)?)))
         } else if let Some(results) = doc.get("results") {
             let results = match results {
                 JsonValue::Arr(items) => items
                     .iter()
                     .map(|item| {
                         if let Some(report) = item.get("report") {
-                            Ok(Ok(json::report_from_json(report)?))
+                            Ok(Arc::new(Ok(json::report_from_json(report)?)))
                         } else if let Some(error) = item.get("error") {
-                            Ok(Err(json::error_from_json(error)?))
+                            Ok(Arc::new(Err(json::error_from_json(error)?)))
                         } else {
                             Err(DecodeError {
                                 context: CTX.to_string(),
@@ -438,7 +608,7 @@ impl ShardResponse {
                             })
                         }
                     })
-                    .collect::<Result<Vec<_>, DecodeError>>()?,
+                    .collect::<Result<Vec<SharedResult>, DecodeError>>()?,
                 _ => {
                     return Err(DecodeError {
                         context: CTX.to_string(),
@@ -565,17 +735,17 @@ mod tests {
                 protocol: PROTOCOL_VERSION,
             },
             ShardResponse::Supported(true),
-            ShardResponse::Evaluated(Ok(EvalReport::new("a", "w"))),
-            ShardResponse::Evaluated(Err(EvalError::Unsupported {
+            ShardResponse::Evaluated(Arc::new(Ok(EvalReport::new("a", "w")))),
+            ShardResponse::Evaluated(Arc::new(Err(EvalError::Unsupported {
                 backend: "a".to_string(),
                 workload: "w".to_string(),
-            })),
+            }))),
             ShardResponse::EvaluatedBatch(vec![
-                Ok(EvalReport::new("a", "w1")),
-                Err(EvalError::Unsupported {
+                Arc::new(Ok(EvalReport::new("a", "w1"))),
+                Arc::new(Err(EvalError::Unsupported {
                     backend: "a".to_string(),
                     workload: "w2".to_string(),
-                }),
+                })),
             ]),
             ShardResponse::Stats(ServiceStats::default()),
             ShardResponse::Rejected("unknown backend `zeta`".to_string()),
@@ -587,6 +757,64 @@ mod tests {
                 (id as u64, response)
             );
         }
+    }
+
+    #[test]
+    fn typed_frames_dispatch_on_the_magic_byte() {
+        let request = ShardRequest::Evaluate {
+            backend: "rsn-xnn".to_string(),
+            spec: WorkloadSpec::SquareGemm { n: 2048 },
+        };
+        let mut scratch = Vec::new();
+        for encoding in [WireEncoding::Json, WireEncoding::Binary] {
+            let mut buffer = Vec::new();
+            let sent = write_request_frame(&mut buffer, 11, &request, encoding, &mut scratch)
+                .expect("write request");
+            assert_eq!(sent as usize, buffer.len());
+            let (id, decoded, seen, received) =
+                read_request_frame(&mut Cursor::new(&buffer), &mut scratch)
+                    .expect("read request")
+                    .expect("not EOF");
+            assert_eq!((id, seen, received), (11, encoding, sent));
+            assert_eq!(decoded, request);
+        }
+        let response = ShardResponse::Evaluated(Arc::new(Ok(EvalReport::new("rsn-xnn", "w"))));
+        for encoding in [WireEncoding::Json, WireEncoding::Binary] {
+            let mut buffer = Vec::new();
+            let sent = write_response_frame(&mut buffer, 7, &response, encoding, &mut scratch)
+                .expect("write response");
+            let (id, decoded, received) =
+                read_response_frame(&mut Cursor::new(&buffer), &mut scratch)
+                    .expect("read response")
+                    .expect("not EOF");
+            assert_eq!((id, received), (7, sent));
+            assert_eq!(decoded, response);
+        }
+        // Binary frames are dramatically smaller than their JSON form.
+        let mut json_buf = Vec::new();
+        let mut bin_buf = Vec::new();
+        write_response_frame(
+            &mut json_buf,
+            1,
+            &response,
+            WireEncoding::Json,
+            &mut scratch,
+        )
+        .expect("json");
+        write_response_frame(
+            &mut bin_buf,
+            1,
+            &response,
+            WireEncoding::Binary,
+            &mut scratch,
+        )
+        .expect("binary");
+        assert!(
+            bin_buf.len() * 2 < json_buf.len(),
+            "binary {} vs json {}",
+            bin_buf.len(),
+            json_buf.len()
+        );
     }
 
     #[test]

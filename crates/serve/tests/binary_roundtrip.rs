@@ -1,0 +1,432 @@
+//! Property-style round-trip sweep of the binary wire codec (seeded, per
+//! the PR 1 convention: a deterministic LCG drives randomised documents, so
+//! a failure reproduces from the printed seed).
+//!
+//! Two invariants per document type, both over hundreds of randomised
+//! documents spanning every variant:
+//!
+//! * **binary identity** — `binary::decode(binary::encode(x)) == x`,
+//!   exactly (the binary codec preserves every value bit);
+//! * **binary ≡ JSON** — decoding the same document through the binary
+//!   codec and through the JSON emit→parse→decode pipeline yields equal
+//!   typed values, so the two encodings are semantically interchangeable
+//!   on the wire (frames may mix freely within one connection).
+
+use rsn_eval::{BreakdownRow, CycleStats, EvalError, EvalReport, SchedulerKind, WorkloadSpec};
+use rsn_lib::mapping::MappingType;
+use rsn_serve::json;
+use rsn_serve::wire::{ShardRequest, ShardResponse, SharedResult};
+use rsn_serve::{binary, PoolStats, ServiceStats, ShardStats};
+use rsn_workloads::bert::BertConfig;
+use rsn_workloads::models::ModelKind;
+use std::sync::Arc;
+
+/// Deterministic 64-bit LCG (same constants as the concurrency stress
+/// tests), so every generated document reproduces from the seed.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}
+
+/// A finite f64 in a spread of magnitudes (JSON cannot represent
+/// non-finite values — they emit as `null` — so the cross-codec sweep
+/// sticks to finite ones; non-finite binary fidelity has its own test).
+fn finite_f64(rng: &mut u64) -> f64 {
+    let mantissa = (lcg(rng) % 2_000_001) as f64 / 1000.0 - 1000.0;
+    let exponent = (lcg(rng) % 25) as i32 - 12;
+    mantissa * 10f64.powi(exponent)
+}
+
+fn opt_f64(rng: &mut u64) -> Option<f64> {
+    if lcg(rng).is_multiple_of(3) {
+        None
+    } else {
+        Some(finite_f64(rng))
+    }
+}
+
+/// Labels with escape-heavy candidates mixed in, so string encoding is
+/// stressed on both codecs.
+fn label(rng: &mut u64) -> String {
+    const POOL: [&str; 8] = [
+        "rsn-xnn",
+        "charm",
+        "encoder-layer L=512 B=6",
+        "quote \" backslash \\",
+        "newline\nand tab\t",
+        "unicode × é 😀 ßµ",
+        "",
+        "control \u{1} \u{1f}",
+    ];
+    POOL[(lcg(rng) % POOL.len() as u64) as usize].to_string()
+}
+
+fn random_cfg(rng: &mut u64) -> BertConfig {
+    BertConfig {
+        hidden: (lcg(rng) % 4096 + 1) as usize,
+        heads: (lcg(rng) % 64 + 1) as usize,
+        ff_dim: (lcg(rng) % 16384 + 1) as usize,
+        seq_len: (lcg(rng) % 2048 + 1) as usize,
+        batch: (lcg(rng) % 64 + 1) as usize,
+        layers: (lcg(rng) % 48 + 1) as usize,
+    }
+}
+
+fn random_spec(rng: &mut u64) -> WorkloadSpec {
+    match lcg(rng) % 11 {
+        0 => WorkloadSpec::EncoderLayer {
+            cfg: random_cfg(rng),
+        },
+        1 => WorkloadSpec::FullModel {
+            cfg: random_cfg(rng),
+        },
+        2 => WorkloadSpec::SquareGemm {
+            n: (lcg(rng) % 65536 + 1) as usize,
+        },
+        3 => {
+            let models = ModelKind::table7_models();
+            WorkloadSpec::ZooModel {
+                kind: models[(lcg(rng) % models.len() as u64) as usize],
+            }
+        }
+        4 => {
+            let mappings = MappingType::all();
+            WorkloadSpec::AttentionMapping {
+                cfg: random_cfg(rng),
+                mapping: mappings[(lcg(rng) % mappings.len() as u64) as usize],
+            }
+        }
+        5 => WorkloadSpec::PowerBreakdown,
+        6 => WorkloadSpec::DatapathProperties,
+        7 => WorkloadSpec::InstructionFootprint {
+            m: (lcg(rng) % 1024 + 1) as usize,
+            k: (lcg(rng) % 1024 + 1) as usize,
+            n: (lcg(rng) % 1024 + 1) as usize,
+        },
+        8 => WorkloadSpec::FunctionalGemm {
+            m: (lcg(rng) % 64 + 1) as usize,
+            k: (lcg(rng) % 64 + 1) as usize,
+            n: (lcg(rng) % 64 + 1) as usize,
+            seed: lcg(rng),
+        },
+        9 => WorkloadSpec::FunctionalAttention {
+            cfg: random_cfg(rng),
+            seed: lcg(rng),
+        },
+        _ => WorkloadSpec::ScalarPipeline {
+            elements: (lcg(rng) % 10000 + 1) as usize,
+        },
+    }
+}
+
+fn random_report(rng: &mut u64) -> EvalReport {
+    let mut report = EvalReport::new(label(rng), label(rng));
+    report.latency_s = opt_f64(rng);
+    report.throughput_tasks_per_s = opt_f64(rng);
+    report.achieved_flops = opt_f64(rng);
+    for i in 0..lcg(rng) % 4 {
+        report.segments.push(rsn_eval::SegmentMetric {
+            name: format!("segment-{i}"),
+            latency_s: finite_f64(rng),
+            compute_s: finite_f64(rng),
+            ddr_s: finite_f64(rng),
+            lpddr_s: finite_f64(rng),
+            phase_s: finite_f64(rng),
+        });
+    }
+    for i in 0..lcg(rng) % 3 {
+        let values = (0..lcg(rng) % 4)
+            .map(|j| (format!("metric-{j}"), finite_f64(rng)))
+            .collect();
+        report.breakdown.push(BreakdownRow {
+            name: format!("row {i} {}", label(rng)),
+            values,
+        });
+    }
+    if lcg(rng).is_multiple_of(2) {
+        report.cycle = Some(CycleStats {
+            scheduler: if lcg(rng).is_multiple_of(2) {
+                SchedulerKind::EventDriven
+            } else {
+                SchedulerKind::RoundRobin
+            },
+            steps: lcg(rng) % 1_000_000,
+            fu_step_calls: lcg(rng),
+            makespan_cycles: lcg(rng) % 1_000_000_000,
+            uops_retired: lcg(rng) % 100_000,
+            words_transferred: lcg(rng) % 10_000_000,
+            max_abs_error: opt_f64(rng),
+        });
+    }
+    for i in 0..lcg(rng) % 5 {
+        report.metrics.insert(format!("m{i}"), finite_f64(rng));
+    }
+    report
+}
+
+fn random_error(rng: &mut u64) -> EvalError {
+    match lcg(rng) % 5 {
+        0 => EvalError::Unsupported {
+            backend: label(rng),
+            workload: label(rng),
+        },
+        1 => EvalError::TooLarge {
+            backend: label(rng),
+            workload: label(rng),
+            limit: label(rng),
+        },
+        2 => EvalError::Remote {
+            message: label(rng),
+        },
+        3 => EvalError::Panicked {
+            backend: label(rng),
+            workload: label(rng),
+            reason: label(rng),
+        },
+        _ => EvalError::Transport {
+            backend: label(rng),
+            detail: label(rng),
+        },
+    }
+}
+
+fn random_result(rng: &mut u64) -> Result<EvalReport, EvalError> {
+    if lcg(rng).is_multiple_of(3) {
+        Err(random_error(rng))
+    } else {
+        Ok(random_report(rng))
+    }
+}
+
+fn random_stats(rng: &mut u64) -> ServiceStats {
+    ServiceStats {
+        submitted: lcg(rng) % 100_000,
+        completed: lcg(rng) % 100_000,
+        batches: lcg(rng) % 10_000,
+        batched_requests: lcg(rng) % 100_000,
+        cache_hits: lcg(rng) % 100_000,
+        cache_misses: lcg(rng) % 100_000,
+        inflight_merged: lcg(rng) % 10_000,
+        evaluations: lcg(rng) % 100_000,
+        eval_errors: lcg(rng) % 1_000,
+        evictions: lcg(rng) % 1_000,
+        per_shard: (0..lcg(rng) % 4)
+            .map(|_| ShardStats {
+                backend: label(rng),
+                evaluations: lcg(rng) % 100_000,
+                errors: lcg(rng) % 100,
+            })
+            .collect(),
+        remote_pools: (0..lcg(rng) % 3)
+            .map(|i| PoolStats {
+                addr: format!("10.0.0.{i}:7070"),
+                checkouts: lcg(rng) % 100_000,
+                reused: lcg(rng) % 100_000,
+                dials: lcg(rng) % 1_000,
+                redials: lcg(rng) % 100,
+                discarded: lcg(rng) % 100,
+                pipelined_batches: lcg(rng) % 10_000,
+                pipelined_specs: lcg(rng) % 100_000,
+                bytes_sent: lcg(rng),
+                bytes_received: lcg(rng),
+            })
+            .collect(),
+    }
+}
+
+fn shared(result: Result<EvalReport, EvalError>) -> SharedResult {
+    Arc::new(result)
+}
+
+fn random_request(rng: &mut u64) -> ShardRequest {
+    match lcg(rng) % 5 {
+        0 => ShardRequest::Hello,
+        1 => ShardRequest::Supports {
+            backend: label(rng),
+            spec: random_spec(rng),
+        },
+        2 => ShardRequest::Evaluate {
+            backend: label(rng),
+            spec: random_spec(rng),
+        },
+        3 => ShardRequest::EvaluateBatch {
+            backend: label(rng),
+            specs: (0..lcg(rng) % 8).map(|_| random_spec(rng)).collect(),
+        },
+        _ => ShardRequest::Stats,
+    }
+}
+
+fn random_response(rng: &mut u64) -> ShardResponse {
+    match lcg(rng) % 6 {
+        0 => ShardResponse::Backends {
+            names: (0..lcg(rng) % 5).map(|_| label(rng)).collect(),
+            protocol: lcg(rng) % 8,
+        },
+        1 => ShardResponse::Supported(lcg(rng).is_multiple_of(2)),
+        2 => ShardResponse::Evaluated(shared(random_result(rng))),
+        3 => ShardResponse::EvaluatedBatch(
+            (0..lcg(rng) % 6)
+                .map(|_| shared(random_result(rng)))
+                .collect(),
+        ),
+        4 => ShardResponse::Stats(random_stats(rng)),
+        _ => ShardResponse::Rejected(label(rng)),
+    }
+}
+
+const SEED: u64 = 0xB1_AB1E_5EED;
+const SWEEP: u64 = 400;
+
+#[test]
+fn specs_round_trip_identically_and_match_json() {
+    let mut rng = SEED;
+    let mut scratch = Vec::new();
+    for i in 0..SWEEP {
+        let spec = random_spec(&mut rng);
+        scratch.clear();
+        binary::encode_spec(&mut scratch, &spec);
+        let decoded =
+            binary::decode_spec(&scratch).unwrap_or_else(|e| panic!("seed {SEED:#x} doc {i}: {e}"));
+        assert_eq!(decoded, spec, "seed {SEED:#x} doc {i}");
+        // JSON pipeline agrees.
+        let via_json = json::workload_spec_from_json(
+            &json::parse(&json::workload_spec_json(&spec).to_pretty()).expect("parses"),
+        )
+        .expect("json decodes");
+        assert_eq!(via_json, decoded, "seed {SEED:#x} doc {i}");
+    }
+}
+
+#[test]
+fn reports_round_trip_identically_and_match_json() {
+    let mut rng = SEED ^ 1;
+    let mut scratch = Vec::new();
+    for i in 0..SWEEP {
+        let report = random_report(&mut rng);
+        scratch.clear();
+        binary::encode_report(&mut scratch, &report);
+        let decoded = binary::decode_report(&scratch)
+            .unwrap_or_else(|e| panic!("seed {SEED:#x} doc {i}: {e}"));
+        assert_eq!(decoded, report, "seed {SEED:#x} doc {i}");
+        let via_json = json::report_from_json(
+            &json::parse(&json::report_json(&report).to_pretty()).expect("parses"),
+        )
+        .expect("json decodes");
+        assert_eq!(via_json, decoded, "seed {SEED:#x} doc {i}");
+    }
+}
+
+#[test]
+fn errors_and_results_round_trip_identically_and_match_json() {
+    let mut rng = SEED ^ 2;
+    let mut scratch = Vec::new();
+    for i in 0..SWEEP {
+        let error = random_error(&mut rng);
+        scratch.clear();
+        binary::encode_error(&mut scratch, &error);
+        let decoded = binary::decode_error(&scratch)
+            .unwrap_or_else(|e| panic!("seed {SEED:#x} doc {i}: {e}"));
+        assert_eq!(decoded, error, "seed {SEED:#x} doc {i}");
+        let via_json =
+            json::error_from_json(&json::parse(&json::error_json(&error).to_pretty()).unwrap())
+                .expect("json decodes");
+        assert_eq!(via_json, decoded, "seed {SEED:#x} doc {i}");
+
+        let result = random_result(&mut rng);
+        scratch.clear();
+        binary::encode_result(&mut scratch, &result);
+        assert_eq!(
+            binary::decode_result(&scratch).expect("result decodes"),
+            result,
+            "seed {SEED:#x} doc {i}"
+        );
+    }
+}
+
+#[test]
+fn stats_round_trip_identically_and_match_json() {
+    let mut rng = SEED ^ 3;
+    let mut scratch = Vec::new();
+    for i in 0..SWEEP / 4 {
+        let stats = random_stats(&mut rng);
+        scratch.clear();
+        binary::encode_stats(&mut scratch, &stats);
+        let decoded = binary::decode_stats(&scratch)
+            .unwrap_or_else(|e| panic!("seed {SEED:#x} doc {i}: {e}"));
+        assert_eq!(decoded, stats, "seed {SEED:#x} doc {i}");
+        let via_json =
+            json::stats_from_json(&json::parse(&json::stats_json(&stats).to_pretty()).unwrap())
+                .expect("json decodes");
+        assert_eq!(via_json, decoded, "seed {SEED:#x} doc {i}");
+    }
+}
+
+#[test]
+fn whole_messages_round_trip_identically_and_match_json() {
+    let mut rng = SEED ^ 4;
+    let mut scratch = Vec::new();
+    for i in 0..SWEEP {
+        let id = lcg(&mut rng) % 1_000_000;
+        let request = random_request(&mut rng);
+        scratch.clear();
+        binary::encode_request(&mut scratch, id, &request);
+        assert_eq!(
+            binary::decode_request(&scratch).expect("request decodes"),
+            (id, request.clone()),
+            "seed {SEED:#x} doc {i}"
+        );
+        let via_json =
+            ShardRequest::from_json(&json::parse(&request.to_json(id).to_pretty()).unwrap())
+                .expect("json decodes");
+        assert_eq!(via_json, (id, request), "seed {SEED:#x} doc {i}");
+
+        let response = random_response(&mut rng);
+        scratch.clear();
+        binary::encode_response(&mut scratch, id, &response);
+        let (bin_id, bin_response) = binary::decode_response(&scratch).expect("response decodes");
+        assert_eq!(
+            (bin_id, &bin_response),
+            (id, &response),
+            "seed {SEED:#x} doc {i}"
+        );
+        let via_json =
+            ShardResponse::from_json(&json::parse(&response.to_json(id).to_pretty()).unwrap())
+                .expect("json decodes");
+        assert_eq!(via_json, (id, bin_response), "seed {SEED:#x} doc {i}");
+    }
+}
+
+#[test]
+fn non_finite_floats_survive_binary_exactly() {
+    // JSON flattens non-finite floats to null; the binary codec must not.
+    let mut report = EvalReport::new("b", "w");
+    report.latency_s = Some(f64::INFINITY);
+    report.metrics.insert("nan".to_string(), f64::NAN);
+    let mut scratch = Vec::new();
+    binary::encode_report(&mut scratch, &report);
+    let decoded = binary::decode_report(&scratch).expect("decodes");
+    assert_eq!(decoded.latency_s, Some(f64::INFINITY));
+    assert!(decoded.metrics["nan"].is_nan());
+}
+
+#[test]
+fn binary_images_are_deterministic_and_compact() {
+    let mut rng = SEED ^ 5;
+    for _ in 0..32 {
+        let response = ShardResponse::Evaluated(shared(Ok(random_report(&mut rng))));
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        binary::encode_response(&mut a, 3, &response);
+        binary::encode_response(&mut b, 3, &response);
+        assert_eq!(a, b, "same document, same bytes");
+        let json_len = response.to_json(3).to_pretty().len();
+        assert!(
+            a.len() < json_len,
+            "binary ({}) must undercut JSON ({})",
+            a.len(),
+            json_len
+        );
+    }
+}

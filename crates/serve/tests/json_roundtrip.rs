@@ -272,6 +272,8 @@ fn stats_round_trip_including_per_shard_counters() {
             discarded: 1,
             pipelined_batches: 3,
             pipelined_specs: 8,
+            bytes_sent: 4096,
+            bytes_received: 16384,
         }],
     };
     let parsed = assert_emit_stable(&stats_json(&stats));
@@ -317,6 +319,7 @@ fn topology_round_trips_typed_and_textual() {
                 io_timeout: std::time::Duration::from_millis(15000),
                 pool_size: 8,
                 server_idle_timeout: std::time::Duration::from_millis(30000),
+                encoding: rsn_serve::EncodingPolicy::Json,
             },
         },
         local: vec!["rsn-xnn".to_string()],
@@ -325,6 +328,7 @@ fn topology_round_trips_typed_and_textual() {
                 addr: "10.0.0.7:7070".to_string(),
                 weight: 2,
                 pool_size: Some(16),
+                encoding: Some(rsn_serve::EncodingPolicy::Binary),
             },
             RemoteShardDecl::new("10.0.0.8:7070"),
         ],

@@ -347,7 +347,7 @@ fn killed_shard_fails_every_queued_request_then_pool_refills_after_restart() {
     assert!(started.elapsed() < Duration::from_secs(30));
     assert_eq!(response.results.len(), fresh.len());
     for (slot, (backend, result)) in response.results.iter().enumerate() {
-        assert_eq!(backend, "rsn-xnn");
+        assert_eq!(backend.as_ref(), "rsn-xnn");
         assert!(
             matches!(**result, Err(EvalError::Transport { .. })),
             "slot {slot} of the dead-shard burst resolved to {result:?}"
@@ -407,6 +407,7 @@ fn topology_file_assembles_a_mixed_local_remote_service() {
             addr: server.local_addr().to_string(),
             weight: 2,
             pool_size: Some(3),
+            encoding: None,
         }],
     };
     let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("topologies");
@@ -501,7 +502,7 @@ fn version_one_shards_fall_back_to_per_spec_exchanges() {
                             continue;
                         }
                         ShardRequest::Evaluate { spec, .. } => {
-                            ShardResponse::Evaluated(backend.evaluate(&spec))
+                            ShardResponse::Evaluated(std::sync::Arc::new(backend.evaluate(&spec)))
                         }
                         _ => ShardResponse::Rejected("unsupported on protocol 1".to_string()),
                     };
@@ -599,4 +600,202 @@ fn shardd_binary_speaks_the_protocol() {
         eprintln!("shardd log kept at {}", log_path.display());
         std::panic::resume_unwind(panic);
     }
+}
+
+#[test]
+fn version_two_shards_negotiate_json_fallback_byte_identically() {
+    // A protocol-2 shard: speaks only JSON (it predates the binary codec)
+    // but does understand evaluate_batch.  A v3 client under the default
+    // `auto` encoding must learn this from the hello handshake and keep
+    // every subsequent frame JSON — never poking a binary frame at the old
+    // peer — while the results stay identical to a local evaluation.
+    use rsn_serve::json::JsonValue;
+    use rsn_serve::wire::{read_frame, write_frame, ShardRequest, ShardResponse};
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc as StdArc;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind legacy shard");
+    let addr = listener.local_addr().expect("addr").to_string();
+    // Counts frames whose payload did not parse as a JSON request — a v2
+    // shard would reject those, so the client must send none.
+    let non_json_frames = StdArc::new(AtomicU64::new(0));
+    let seen_binary = StdArc::clone(&non_json_frames);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { break };
+            let seen_binary = StdArc::clone(&seen_binary);
+            std::thread::spawn(move || {
+                let backend = XnnAnalyticBackend::new();
+                loop {
+                    // `read_frame` is the v2 code path: it parses the
+                    // payload as JSON and errors on anything else.
+                    let doc = match read_frame(&mut stream) {
+                        Ok(Some(doc)) => doc,
+                        Ok(None) => return,
+                        Err(_) => {
+                            seen_binary.fetch_add(1, Ordering::SeqCst);
+                            let _ = write_frame(
+                                &mut stream,
+                                &ShardResponse::Rejected("not JSON".to_string()).to_json(0),
+                            );
+                            return;
+                        }
+                    };
+                    let Ok((id, request)) = ShardRequest::from_json(&doc) else {
+                        return;
+                    };
+                    let response = match request {
+                        ShardRequest::Hello => {
+                            // Protocol 2: batch yes, binary no.
+                            let hello = JsonValue::Obj(vec![
+                                ("id".to_string(), JsonValue::Int(id)),
+                                ("ok".to_string(), JsonValue::Bool(true)),
+                                (
+                                    "backends".to_string(),
+                                    JsonValue::Arr(vec![JsonValue::Str("rsn-xnn".to_string())]),
+                                ),
+                                ("protocol".to_string(), JsonValue::Int(2)),
+                            ]);
+                            let _ = write_frame(&mut stream, &hello);
+                            continue;
+                        }
+                        ShardRequest::Evaluate { spec, .. } => {
+                            ShardResponse::Evaluated(std::sync::Arc::new(backend.evaluate(&spec)))
+                        }
+                        ShardRequest::EvaluateBatch { specs, .. } => ShardResponse::EvaluatedBatch(
+                            specs
+                                .iter()
+                                .map(|spec| std::sync::Arc::new(backend.evaluate(spec)))
+                                .collect(),
+                        ),
+                        ShardRequest::Supports { spec, .. } => {
+                            ShardResponse::Supported(backend.supports(&spec))
+                        }
+                        ShardRequest::Stats => {
+                            ShardResponse::Rejected("no stats on protocol 2".to_string())
+                        }
+                    };
+                    if write_frame(&mut stream, &response.to_json(id)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    // Default config = `auto` encoding: the v3 client must downgrade.
+    let remotes = RemoteBackend::connect_all(&addr).expect("hello against v2 shard");
+    assert_eq!(remotes[0].pool().protocol(), Some(2));
+    assert!(remotes[0].pool().supports_batch(), "v2 shards pipeline");
+    assert!(
+        !remotes[0].pool().supports_binary(),
+        "v2 shards must not be sent binary frames"
+    );
+
+    let specs: Vec<WorkloadSpec> = (1..=6usize)
+        .map(|n| WorkloadSpec::SquareGemm { n: n * 96 })
+        .collect();
+    let results = remotes[0].evaluate_many(&specs);
+    let local = XnnAnalyticBackend::new();
+    for (spec, result) in specs.iter().zip(&results) {
+        assert_eq!(
+            result.as_ref().expect("v2 shard evaluates"),
+            &local.evaluate(spec).expect("local evaluates"),
+            "fallback result diverged on {}",
+            spec.name()
+        );
+    }
+    // Byte-identical emission through the JSON fallback path.
+    let remote_doc =
+        rsn_serve::json::grid_json(&["rsn-xnn".to_string()], &specs, &[results]).to_pretty();
+    let local_results: Vec<Result<rsn_eval::EvalReport, EvalError>> =
+        specs.iter().map(|s| local.evaluate(s)).collect();
+    let local_doc =
+        rsn_serve::json::grid_json(&["rsn-xnn".to_string()], &specs, &[local_results]).to_pretty();
+    assert_eq!(remote_doc, local_doc);
+    // The batch pipelined (v2 capability) and no binary frame ever left
+    // the client (v3 capability correctly withheld).
+    assert!(remotes[0].pool().stats().pipelined_batches > 0);
+    assert_eq!(non_json_frames.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn binary_encoding_negotiates_and_shrinks_the_wire() {
+    use rsn_serve::{EncodingPolicy, RemoteConfig};
+
+    // One v3 shard, two clients: one forced to JSON, one on the default
+    // auto-negotiation (which must pick binary).  Same workload stream —
+    // identical results, different wire encodings, measurably fewer bytes.
+    let server = ShardServer::bind("127.0.0.1:0", EvalService::new(paper_backends()))
+        .expect("bind loopback shard");
+    let addr = server.local_addr().to_string();
+    let specs: Vec<WorkloadSpec> = (1..=16usize)
+        .map(|n| WorkloadSpec::SquareGemm { n: n * 64 })
+        .collect();
+
+    let run = |encoding: EncodingPolicy| {
+        let config = RemoteConfig {
+            encoding,
+            ..RemoteConfig::default()
+        };
+        let remotes =
+            RemoteBackend::connect_all_with(&addr, config).expect("loopback shard reachable");
+        let results = remotes[0].evaluate_many(&specs);
+        let stats = remotes[0].pool().stats();
+        (results, stats)
+    };
+
+    let (json_results, json_stats) = run(EncodingPolicy::Json);
+    let (auto_results, auto_stats) = run(EncodingPolicy::Auto);
+
+    // Identical domain results either way.
+    assert_eq!(json_results.len(), auto_results.len());
+    for (a, b) in json_results.iter().zip(&auto_results) {
+        assert_eq!(a.as_ref().expect("json ok"), b.as_ref().expect("auto ok"));
+    }
+    // Auto negotiated binary against the v3 shard...
+    assert!(auto_stats.pipelined_batches > 0);
+    assert!(json_stats.bytes_received > 0 && auto_stats.bytes_received > 0);
+    // ...and the binary stream is dramatically smaller in both directions.
+    assert!(
+        auto_stats.bytes_received * 3 < json_stats.bytes_received,
+        "binary responses must shrink the wire: {} vs {} bytes",
+        auto_stats.bytes_received,
+        json_stats.bytes_received
+    );
+    assert!(
+        auto_stats.bytes_sent < json_stats.bytes_sent,
+        "binary requests must shrink the wire: {} vs {} bytes",
+        auto_stats.bytes_sent,
+        json_stats.bytes_sent
+    );
+
+    // Forcing JSON on the *server* (the debugging knob) keeps byte-parity
+    // answers for a JSON client.
+    let debug_server = ShardServer::bind(
+        "127.0.0.1:0",
+        EvalService::with_config(
+            paper_backends(),
+            ServiceConfig {
+                remote: RemoteConfig {
+                    encoding: EncodingPolicy::Json,
+                    ..RemoteConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+        ),
+    )
+    .expect("bind debug shard");
+    let remotes = RemoteBackend::connect_all(&debug_server.local_addr().to_string())
+        .expect("debug shard reachable");
+    let result = remotes[0]
+        .evaluate(&WorkloadSpec::SquareGemm { n: 512 })
+        .expect("json-forced shard evaluates");
+    assert_eq!(
+        result,
+        XnnAnalyticBackend::new()
+            .evaluate(&WorkloadSpec::SquareGemm { n: 512 })
+            .expect("local evaluates")
+    );
 }
