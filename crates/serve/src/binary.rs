@@ -186,7 +186,9 @@ impl<'a> Reader<'a> {
     fn str(&mut self) -> Result<String, DecodeError> {
         let n = self.len()?;
         let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| self.error("string is not valid UTF-8"))
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| self.error("string is not valid UTF-8"))
     }
 
     fn f64(&mut self) -> Result<f64, DecodeError> {
