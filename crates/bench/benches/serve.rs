@@ -6,12 +6,15 @@
 //! After the timed runs the harness writes `BENCH_serve.json` (repo root
 //! when run via `cargo bench`): reports/s per batch size for a
 //! cache-hitting mixed workload, and reports/s for a **cache-missing**
-//! stream through a loopback shard server under four transports —
+//! stream through a loopback shard server under five transports —
 //! connect-per-call (the pre-pooling behaviour), pooled + pipelined JSON
-//! (the protocol-2 wire), pooled + pipelined **binary** (the protocol-3
-//! codec the `auto` default negotiates), and the in-process baseline — so
-//! future serving-path changes have a recorded trajectory to beat.  The
-//! document is emitted through the service's own hand-rolled JSON layer.
+//! (the protocol-2 wire), pooled + pipelined **binary** over TCP (the
+//! protocol-3 codec with zero-copy decode and frame coalescing), the
+//! same binary frames over the **shared-memory ring** (the protocol-4
+//! same-host transport the `auto` default negotiates on loopback), and
+//! the in-process baseline — so future serving-path changes have a
+//! recorded trajectory to beat.  The document is emitted through the
+//! service's own hand-rolled JSON layer.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rsn_eval::{CharmBackend, Evaluator, RooflineBackend, WorkloadSpec, XnnAnalyticBackend};
@@ -120,9 +123,12 @@ enum RemoteMode {
     /// onto the JSON encoding — the protocol-2 wire, kept measurable so
     /// the binary codec has a recorded baseline to beat.
     PooledPipelined,
-    /// Pooled + pipelined over the protocol-3 binary codec (the `auto`
-    /// default against a v3 shard).
+    /// Pooled + pipelined over the protocol-3 binary codec, pinned to the
+    /// TCP socket — isolates the codec + coalescing stages from the ring.
     PooledBinary,
+    /// Pooled + pipelined binary frames over the shared-memory ring the
+    /// `auto` default negotiates on loopback (protocol 4).
+    PooledShm,
     /// No wire at all: the same backend evaluated in-process.
     InProcess,
 }
@@ -147,7 +153,10 @@ fn remote_stream(mode: RemoteMode, requests: usize) -> (f64, u64, rsn_serve::Ser
     let addr = server.local_addr().to_string();
     let service = match mode {
         RemoteMode::InProcess => EvalService::with_config(shard_backends(), client_config),
-        RemoteMode::ConnectPerCall | RemoteMode::PooledPipelined | RemoteMode::PooledBinary => {
+        RemoteMode::ConnectPerCall
+        | RemoteMode::PooledPipelined
+        | RemoteMode::PooledBinary
+        | RemoteMode::PooledShm => {
             let remote_config = RemoteConfig {
                 pool_size: if mode == RemoteMode::ConnectPerCall {
                     0
@@ -155,12 +164,20 @@ fn remote_stream(mode: RemoteMode, requests: usize) -> (f64, u64, rsn_serve::Ser
                     RemoteConfig::default().pool_size
                 },
                 // The unpooled and pooled baselines stay on the JSON wire
-                // (the protocol-2 trajectory); only the binary mode lets
-                // the v3 auto-negotiation pick the compact codec.
-                encoding: if mode == RemoteMode::PooledBinary {
+                // (the protocol-2 trajectory); the binary and shm modes
+                // let the auto-negotiation pick the compact codec.
+                encoding: if matches!(mode, RemoteMode::PooledBinary | RemoteMode::PooledShm) {
                     rsn_serve::EncodingPolicy::Auto
                 } else {
                     rsn_serve::EncodingPolicy::Json
+                },
+                // Every socket mode pins `socket` so its trajectory stays
+                // comparable across protocol versions; only the shm mode
+                // accepts the shard's ring offer.
+                transport: if mode == RemoteMode::PooledShm {
+                    rsn_serve::TransportPolicy::Auto
+                } else {
+                    rsn_serve::TransportPolicy::Socket
                 },
                 ..RemoteConfig::default()
             };
@@ -275,6 +292,7 @@ fn emit_bench_json() {
         ("remote_unpooled", RemoteMode::ConnectPerCall),
         ("remote_pooled", RemoteMode::PooledPipelined),
         ("remote_binary", RemoteMode::PooledBinary),
+        ("remote_shm", RemoteMode::PooledShm),
         ("remote_inprocess_baseline", RemoteMode::InProcess),
     ] {
         let mut runs: Vec<(f64, u64, rsn_serve::ServiceStats)> = (0..3)
@@ -286,11 +304,14 @@ fn emit_bench_json() {
         let pool = stats.remote_pools.first().cloned().unwrap_or_default();
         println!(
             "remote stream: {label:<26} {reports_per_s:>12.0} reports/s  \
-             (dials {}, reuse {:.3}, pipeline depth {:.1}, rx {} bytes)",
+             (dials {}, reuse {:.3}, pipeline depth {:.1}, rx {} bytes, \
+             coalesced {}, ring {})",
             pool.dials,
             pool.reuse_ratio(),
             pool.mean_pipeline_depth(),
-            pool.bytes_received
+            pool.bytes_received,
+            pool.frames_coalesced,
+            pool.ring_exchanges
         );
         per_mode.push(reports_per_s);
         sections.push((
@@ -305,6 +326,8 @@ fn emit_bench_json() {
                 ("pipelined_specs", JsonValue::Int(pool.pipelined_specs)),
                 ("bytes_sent", JsonValue::Int(pool.bytes_sent)),
                 ("bytes_received", JsonValue::Int(pool.bytes_received)),
+                ("frames_coalesced", JsonValue::Int(pool.frames_coalesced)),
+                ("ring_exchanges", JsonValue::Int(pool.ring_exchanges)),
             ]),
         ));
     }
@@ -314,7 +337,7 @@ fn emit_bench_json() {
     ));
     sections.push((
         "remote_pooled_vs_inprocess".to_string(),
-        JsonValue::Num(per_mode[1] / per_mode[3]),
+        JsonValue::Num(per_mode[1] / per_mode[4]),
     ));
     sections.push((
         "remote_binary_vs_json".to_string(),
@@ -322,7 +345,15 @@ fn emit_bench_json() {
     ));
     sections.push((
         "remote_binary_vs_inprocess".to_string(),
-        JsonValue::Num(per_mode[2] / per_mode[3]),
+        JsonValue::Num(per_mode[2] / per_mode[4]),
+    ));
+    sections.push((
+        "remote_shm_vs_binary".to_string(),
+        JsonValue::Num(per_mode[3] / per_mode[2]),
+    ));
+    sections.push((
+        "remote_shm_vs_inprocess".to_string(),
+        JsonValue::Num(per_mode[3] / per_mode[4]),
     ));
 
     let json = JsonValue::Obj(sections).to_pretty();

@@ -45,6 +45,7 @@ fn render_via_topology_file(
             weight: 1,
             pool_size: Some(2),
             encoding: None,
+            transport: None,
         }],
         ..Topology::default()
     };

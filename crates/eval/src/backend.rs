@@ -136,6 +136,49 @@ pub trait Backend: Send + Sync {
     fn evaluate_many(&self, workloads: &[WorkloadSpec]) -> Vec<Result<EvalReport, EvalError>> {
         workloads.iter().map(|w| self.evaluate(w)).collect()
     }
+
+    /// Whether a serving worker should gather *several* pending work chunks
+    /// and hand them to this backend in one [`evaluate_chunks`](Self::evaluate_chunks)
+    /// call.  `false` (the default) preserves the chunk-at-a-time cadence —
+    /// right for in-process backends, where coalescing only adds queueing
+    /// latency.  Backends that pay a fixed cost per call (a remote shard
+    /// paying a wire round trip) return `true` so that cost is shared by
+    /// every chunk waiting in the worker's queue.
+    fn coalesces_chunks(&self) -> bool {
+        false
+    }
+
+    /// Evaluates several independent workload chunks, returning one result
+    /// vector per chunk, each in its chunk's order.  The default loops over
+    /// [`evaluate_many`](Self::evaluate_many); backends that can amortise
+    /// transport across chunks (a remote shard sending all chunks as one
+    /// burst of frames) override it.
+    fn evaluate_chunks(
+        &self,
+        chunks: &[Vec<WorkloadSpec>],
+    ) -> Vec<Vec<Result<EvalReport, EvalError>>> {
+        chunks
+            .iter()
+            .map(|chunk| self.evaluate_many(chunk))
+            .collect()
+    }
+
+    /// [`evaluate_chunks`](Self::evaluate_chunks) with every result behind
+    /// its own `Arc`.  The serving layer stores results `Arc`-shared in its
+    /// report cache; backends that already hold results in `Arc`s (a remote
+    /// shard client, whose wire decoder produces shared results) override
+    /// this to hand them through without unwrapping and re-boxing each one.
+    /// The default wraps the plain results, which is what the cache would
+    /// have done anyway — same allocation, moved earlier.
+    fn evaluate_chunks_shared(
+        &self,
+        chunks: &[Vec<WorkloadSpec>],
+    ) -> Vec<Vec<std::sync::Arc<Result<EvalReport, EvalError>>>> {
+        self.evaluate_chunks(chunks)
+            .into_iter()
+            .map(|chunk| chunk.into_iter().map(std::sync::Arc::new).collect())
+            .collect()
+    }
 }
 
 /// Convenience constructor for the `Unsupported` error.

@@ -152,7 +152,7 @@ impl Backend for CycleEngineBackend {
                     .segment_reports()
                     .iter()
                     .map(|(name, r)| SegmentMetric {
-                        name: name.clone(),
+                        name: std::sync::Arc::from(name.as_str()),
                         latency_s: r.makespan_cycles() as f64 / Vck190Spec::new().pl_clock_hz,
                         compute_s: 0.0,
                         ddr_s: 0.0,
@@ -160,12 +160,11 @@ impl Backend for CycleEngineBackend {
                         phase_s: 0.0,
                     })
                     .collect();
+                report
+                    .metrics
+                    .insert("mme_flops", host.machine().total_mme_flops() as f64);
                 report.metrics.insert(
-                    "mme_flops".to_string(),
-                    host.machine().total_mme_flops() as f64,
-                );
-                report.metrics.insert(
-                    "ddr_traffic_bytes".to_string(),
+                    "ddr_traffic_bytes",
                     host.machine().ddr_traffic_bytes() as f64,
                 );
                 let stats = self.stats_from_reports(
@@ -203,7 +202,7 @@ impl Backend for CycleEngineBackend {
                     .max_abs_diff(&expected);
                 report
                     .metrics
-                    .insert("mme_flops".to_string(), machine.total_mme_flops() as f64);
+                    .insert("mme_flops", machine.total_mme_flops() as f64);
                 let stats = self.stats_from_reports(std::iter::once(&run), Some(f64::from(err)));
                 self.finish(&mut report, stats);
             }
@@ -240,10 +239,9 @@ impl Backend for CycleEngineBackend {
                     .ddr_matrix(4)
                     .expect("output allocated")
                     .max_abs_diff(&reference);
-                report.metrics.insert(
-                    "ddr_traffic_bytes".to_string(),
-                    machine.ddr_traffic_bytes() as f64,
-                );
+                report
+                    .metrics
+                    .insert("ddr_traffic_bytes", machine.ddr_traffic_bytes() as f64);
                 let stats = self.stats_from_reports(std::iter::once(&run), Some(f64::from(err)));
                 self.finish(&mut report, stats);
             }
@@ -295,40 +293,38 @@ impl Backend for CycleEngineBackend {
                     .per_type
                     .iter()
                     .map(|row| BreakdownRow {
-                        name: row.fu_type.clone(),
+                        name: std::sync::Arc::from(row.fu_type.as_str()),
                         values: vec![
-                            ("rsn_packets".to_string(), row.rsn_packets as f64),
-                            ("rsn_bytes".to_string(), row.rsn_bytes as f64),
-                            ("expanded_uops".to_string(), row.expanded_uops as f64),
-                            ("uop_bytes".to_string(), row.uop_bytes as f64),
-                            ("compression".to_string(), row.compression_ratio()),
+                            ("rsn_packets".into(), row.rsn_packets as f64),
+                            ("rsn_bytes".into(), row.rsn_bytes as f64),
+                            ("expanded_uops".into(), row.expanded_uops as f64),
+                            ("uop_bytes".into(), row.uop_bytes as f64),
+                            ("compression".into(), row.compression_ratio()),
                         ],
                     })
                     .collect();
                 let flops = 2.0 * (*m as f64) * (*k as f64) * (*n as f64);
+                report
+                    .metrics
+                    .insert("overall_compression", stats.overall_compression());
                 report.metrics.insert(
-                    "overall_compression".to_string(),
-                    stats.overall_compression(),
-                );
-                report.metrics.insert(
-                    "flops_per_instruction_byte".to_string(),
+                    "flops_per_instruction_byte",
                     stats.flops_per_instruction_byte(flops),
                 );
-                report.metrics.insert(
-                    "total_rsn_bytes".to_string(),
-                    stats.total_rsn_bytes() as f64,
-                );
+                report
+                    .metrics
+                    .insert("total_rsn_bytes", stats.total_rsn_bytes() as f64);
             }
             WorkloadSpec::DatapathProperties => {
                 report.breakdown = XnnDatapath::fu_properties()
                     .iter()
                     .map(|p| BreakdownRow {
-                        name: p.fu_type.clone(),
+                        name: std::sync::Arc::from(p.fu_type.as_str()),
                         values: vec![
-                            ("instances".to_string(), p.instances as f64),
-                            ("tflops".to_string(), p.tflops),
-                            ("memory_mb".to_string(), p.memory_mb),
-                            ("bandwidth_gb_s".to_string(), p.bandwidth_gb_s),
+                            ("instances".into(), p.instances as f64),
+                            ("tflops".into(), p.tflops),
+                            ("memory_mb".into(), p.memory_mb),
+                            ("bandwidth_gb_s".into(), p.bandwidth_gb_s),
                         ],
                     })
                     .collect();

@@ -37,18 +37,16 @@ impl GpuBackend {
         report.throughput_tasks_per_s = Some(cfg.batch as f64 / latency);
         report
             .metrics
-            .insert("estimated_latency_s".to_string(), est.estimated_latency_s);
+            .insert("estimated_latency_s", est.estimated_latency_s);
         if let Some(published) = est.published_latency_s {
-            report
-                .metrics
-                .insert("published_latency_s".to_string(), published);
+            report.metrics.insert("published_latency_s", published);
         }
         report
             .metrics
-            .insert("operating_seq_per_j".to_string(), est.operating_seq_per_j);
+            .insert("operating_seq_per_j", est.operating_seq_per_j);
         report
             .metrics
-            .insert("dynamic_seq_per_j".to_string(), est.dynamic_seq_per_j);
+            .insert("dynamic_seq_per_j", est.dynamic_seq_per_j);
     }
 }
 

@@ -99,16 +99,14 @@ impl Backend for OverlayBackend {
                 overlay.execute(&program);
                 let clock = Vck190Spec::new().pl_clock_hz;
                 report.latency_s = Some(overlay.cycles() as f64 / clock);
+                report.metrics.insert("cycles", overlay.cycles() as f64);
                 report
                     .metrics
-                    .insert("cycles".to_string(), overlay.cycles() as f64);
-                report
-                    .metrics
-                    .insert("stall_cycles".to_string(), overlay.stall_cycles() as f64);
+                    .insert("stall_cycles", overlay.stall_cycles() as f64);
                 let expected_first = memory_check(&overlay, n);
                 report
                     .metrics
-                    .insert("functional_ok".to_string(), f64::from(expected_first));
+                    .insert("functional_ok", f64::from(expected_first));
             }
             _ => return Err(unsupported(self, workload)),
         }

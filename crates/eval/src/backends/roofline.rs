@@ -46,16 +46,11 @@ impl RooflineBackend {
         );
         report.latency_s = Some(est.latency_s());
         report.achieved_flops = Some(flops / est.latency_s());
+        report.metrics.insert("compute_time_s", est.compute_time_s);
+        report.metrics.insert("memory_time_s", est.memory_time_s);
         report
             .metrics
-            .insert("compute_time_s".to_string(), est.compute_time_s);
-        report
-            .metrics
-            .insert("memory_time_s".to_string(), est.memory_time_s);
-        report.metrics.insert(
-            "compute_bound".to_string(),
-            f64::from(est.is_compute_bound()),
-        );
+            .insert("compute_bound", f64::from(est.is_compute_bound()));
     }
 }
 

@@ -76,7 +76,7 @@ impl XnnAnalyticBackend {
         timings
             .iter()
             .map(|t| SegmentMetric {
-                name: t.name.clone(),
+                name: std::sync::Arc::from(t.name.as_str()),
                 latency_s: t.latency_s,
                 compute_s: t.compute_s,
                 ddr_s: t.ddr_s,
@@ -123,21 +123,17 @@ impl XnnAnalyticBackend {
         report.breakdown = rows
             .iter()
             .map(|r| BreakdownRow {
-                name: r.name.clone(),
-                values: vec![
-                    ("watts".to_string(), r.watts),
-                    ("share".to_string(), r.watts / total),
-                ],
+                name: std::sync::Arc::from(r.name.as_str()),
+                values: vec![("watts".into(), r.watts), ("share".into(), r.watts / total)],
             })
             .collect();
-        report.metrics.insert("total_watts".to_string(), total);
-        report.metrics.insert(
-            "board_operating_w".to_string(),
-            energy.board_operating_power_w,
-        );
+        report.metrics.insert("total_watts", total);
         report
             .metrics
-            .insert("board_dynamic_w".to_string(), energy.board_dynamic_power_w);
+            .insert("board_operating_w", energy.board_operating_power_w);
+        report
+            .metrics
+            .insert("board_dynamic_w", energy.board_dynamic_power_w);
     }
 }
 
@@ -168,7 +164,7 @@ impl Backend for XnnAnalyticBackend {
         let mut report = EvalReport::new(self.name(), workload.name());
         report
             .metrics
-            .insert("bandwidth_scale".to_string(), self.model.bandwidth_scale());
+            .insert("bandwidth_scale", self.model.bandwidth_scale());
         match workload {
             WorkloadSpec::EncoderLayer { cfg } => {
                 let latency = self.model.encoder_latency_s(cfg, self.opts);
@@ -189,11 +185,11 @@ impl Backend for XnnAnalyticBackend {
                 let energy = EnergyModel::calibrated();
                 let tasks_per_s = cfg.batch as f64 / latency;
                 report.metrics.insert(
-                    "operating_seq_per_j".to_string(),
+                    "operating_seq_per_j",
                     energy.operating_efficiency_seq_per_j(tasks_per_s),
                 );
                 report.metrics.insert(
-                    "dynamic_seq_per_j".to_string(),
+                    "dynamic_seq_per_j",
                     energy.dynamic_efficiency_seq_per_j(tasks_per_s),
                 );
             }
@@ -216,15 +212,11 @@ impl Backend for XnnAnalyticBackend {
                     .find(|r| r.mapping == *mapping)
                     .expect("all four mapping types analysed");
                 report.latency_s = Some(row.final_latency_s);
+                report.metrics.insert("compute_time_s", row.compute_time_s);
+                report.metrics.insert("memory_time_s", row.memory_time_s);
                 report
                     .metrics
-                    .insert("compute_time_s".to_string(), row.compute_time_s);
-                report
-                    .metrics
-                    .insert("memory_time_s".to_string(), row.memory_time_s);
-                report
-                    .metrics
-                    .insert("aie_utilization".to_string(), row.aie_utilization);
+                    .insert("aie_utilization", row.aie_utilization);
             }
             WorkloadSpec::PowerBreakdown => self.power_breakdown(&mut report),
             _ => return Err(unsupported(self, workload)),

@@ -71,7 +71,7 @@ pub use backends::{
     default_backends, CharmBackend, CycleEngineBackend, GpuBackend, OverlayBackend,
     RooflineBackend, XnnAnalyticBackend,
 };
-pub use report::{BreakdownRow, CycleStats, EvalReport, SegmentMetric};
+pub use report::{BreakdownRow, CycleStats, EvalReport, Metrics, SegmentMetric};
 // Re-exported so downstream decoders (the serving layer's JSON wire format)
 // can construct cycle statistics without a direct rsn-core dependency.
 pub use rsn_core::sim::SchedulerKind;

@@ -11,13 +11,100 @@
 
 use rsn_core::sim::SchedulerKind;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Ordered `name → value` map of backend-specific scalars, stored as a
+/// key-sorted vec.  Reports carry a handful of metrics at most, and they
+/// are built (one per evaluation) and decoded (one per wire report) on hot
+/// paths where a B-tree's per-node heap allocation dominates the cost of
+/// the map itself; a sorted vec costs zero allocations when empty and one
+/// growable buffer otherwise, while keeping lookups and iteration order
+/// identical to the `BTreeMap` it replaces.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    entries: Vec<(Arc<str>, f64)>,
+}
+
+impl Metrics {
+    /// An empty map (allocation-free).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces one scalar, returning the previous value if the
+    /// key was present.
+    pub fn insert(&mut self, key: impl Into<Arc<str>>, value: f64) -> Option<f64> {
+        let key = key.into();
+        match self.entries.binary_search_by(|(k, _)| (**k).cmp(&key)) {
+            Ok(idx) => Some(std::mem::replace(&mut self.entries[idx].1, value)),
+            Err(idx) => {
+                self.entries.insert(idx, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Looks up one scalar by name.
+    pub fn get(&self, key: &str) -> Option<&f64> {
+        self.entries
+            .binary_search_by(|(k, _)| (**k).cmp(key))
+            .ok()
+            .map(|idx| &self.entries[idx].1)
+    }
+
+    /// Number of named scalars.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no scalars are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Arc<str>, &f64)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates values in key order.
+    pub fn values(&self) -> impl Iterator<Item = &f64> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Iterates names in key order.
+    pub fn keys(&self) -> impl Iterator<Item = &Arc<str>> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+impl std::ops::Index<&str> for Metrics {
+    type Output = f64;
+
+    fn index(&self, key: &str) -> &f64 {
+        self.get(key).expect("no metric for key")
+    }
+}
+
+impl<'a> IntoIterator for &'a Metrics {
+    type Item = (&'a Arc<str>, &'a f64);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (Arc<str>, f64)>,
+        fn(&'a (Arc<str>, f64)) -> (&'a Arc<str>, &'a f64),
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
 
 /// Latency decomposition of one model segment (a Table 9 row).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SegmentMetric {
-    /// Segment name.
-    pub name: String,
+    /// Segment name.  Shared (`Arc<str>`) so decoded reports can alias one
+    /// interned copy of each recurring label (segment names repeat across
+    /// every report of a stream) instead of allocating per report.
+    pub name: Arc<str>,
     /// Total modelled latency, seconds.
     pub latency_s: f64,
     /// Compute-bound component, seconds.
@@ -34,16 +121,20 @@ pub struct SegmentMetric {
 /// instruction footprints): a name plus ordered key/value pairs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BreakdownRow {
-    /// Row label (component, FU type, ...).
-    pub name: String,
-    /// Ordered `(metric, value)` pairs.
-    pub values: Vec<(String, f64)>,
+    /// Row label (component, FU type, ...).  Shared — see
+    /// [`SegmentMetric::name`].
+    pub name: Arc<str>,
+    /// Ordered `(metric, value)` pairs; keys shared like the label.
+    pub values: Vec<(Arc<str>, f64)>,
 }
 
 impl BreakdownRow {
     /// Looks up one value by metric name.
     pub fn value(&self, key: &str) -> Option<f64> {
-        self.values.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+        self.values
+            .iter()
+            .find(|(k, _)| &**k == key)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -71,10 +162,12 @@ pub struct CycleStats {
 /// The result of one `Backend::evaluate` call.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvalReport {
-    /// Name of the backend that produced this report.
-    pub backend: String,
-    /// Label of the evaluated workload.
-    pub workload: String,
+    /// Name of the backend that produced this report.  Shared (`Arc<str>`)
+    /// so decoded and cached reports can alias one interned copy of each
+    /// name instead of allocating a fresh `String` per report.
+    pub backend: Arc<str>,
+    /// Label of the evaluated workload.  Shared for the same reason.
+    pub workload: Arc<str>,
     /// End-to-end latency, seconds (the primary comparison scalar).
     pub latency_s: Option<f64>,
     /// Tasks (sequences) per second.
@@ -87,13 +180,14 @@ pub struct EvalReport {
     pub breakdown: Vec<BreakdownRow>,
     /// Cycle-level statistics (simulation backend).
     pub cycle: Option<CycleStats>,
-    /// Backend-specific named scalars.
-    pub metrics: BTreeMap<String, f64>,
+    /// Backend-specific named scalars.  Keys shared — see
+    /// [`SegmentMetric::name`].
+    pub metrics: Metrics,
 }
 
 impl EvalReport {
     /// Creates an empty report tagged with backend and workload labels.
-    pub fn new(backend: impl Into<String>, workload: impl Into<String>) -> Self {
+    pub fn new(backend: impl Into<Arc<str>>, workload: impl Into<Arc<str>>) -> Self {
         Self {
             backend: backend.into(),
             workload: workload.into(),
@@ -103,13 +197,13 @@ impl EvalReport {
             segments: Vec::new(),
             breakdown: Vec::new(),
             cycle: None,
-            metrics: BTreeMap::new(),
+            metrics: Metrics::new(),
         }
     }
 
     /// Inserts a named scalar metric (builder form).
     pub fn with_metric(mut self, key: &str, value: f64) -> Self {
-        self.metrics.insert(key.to_string(), value);
+        self.metrics.insert(key, value);
         self
     }
 
@@ -151,7 +245,7 @@ mod tests {
         let mut r = EvalReport::new("b", "w");
         assert!(r.primary_metric().is_none());
         assert!(!r.is_finite_nonzero());
-        r.metrics.insert("x".into(), 3.0);
+        r.metrics.insert("x", 3.0);
         assert_eq!(r.primary_metric(), Some(3.0));
         r.latency_s = Some(1.5);
         assert_eq!(r.primary_metric(), Some(1.5));
@@ -170,8 +264,8 @@ mod tests {
     #[test]
     fn breakdown_lookup_by_key() {
         let row = BreakdownRow {
-            name: "MME".to_string(),
-            values: vec![("watts".to_string(), 60.8), ("share".to_string(), 0.6)],
+            name: "MME".into(),
+            values: vec![("watts".into(), 60.8), ("share".into(), 0.6)],
         };
         assert_eq!(row.value("watts"), Some(60.8));
         assert_eq!(row.value("missing"), None);

@@ -23,7 +23,8 @@ use rsn_serve::EvalService;
 use std::io::Write as _;
 
 const USAGE: &str = "usage: shardd [--topology FILE] [--listen ADDR] [--backends NAME,NAME,...] \
-                     [--workers N] [--cache-capacity N] [--encoding auto|json|binary]\n\
+                     [--workers N] [--cache-capacity N] [--encoding auto|json|binary] \
+                     [--transport auto|socket|shm]\n\
                      \n\
                      --topology FILE      load listen address, hosted backends and service\n\
                      \x20                    tuning from a topology file (flags override it)\n\
@@ -33,7 +34,11 @@ const USAGE: &str = "usage: shardd [--topology FILE] [--listen ADDR] [--backends
                      --cache-capacity N   bound the report cache to N completed entries\n\
                      --encoding POLICY    answer encoding: auto mirrors each request (default),\n\
                      \x20                    json forces readable frames for debugging, binary\n\
-                     \x20                    forces the compact codec (v3-only clients)\n";
+                     \x20                    forces the compact codec (v3-only clients)\n\
+                     --transport POLICY   shared-memory ring offers: auto offers one to\n\
+                     \x20                    loopback peers (default), socket never offers,\n\
+                     \x20                    shm offers to every peer (same-host fleets behind\n\
+                     \x20                    a non-loopback address)\n";
 
 fn fail(message: &str) -> ! {
     eprintln!("shardd: {message}");
@@ -47,6 +52,7 @@ fn main() {
     let mut workers: Option<usize> = None;
     let mut cache_capacity: Option<usize> = None;
     let mut encoding: Option<rsn_serve::EncodingPolicy> = None;
+    let mut transport: Option<rsn_serve::TransportPolicy> = None;
     let mut topology: Option<Topology> = None;
 
     let mut args = std::env::args().skip(1);
@@ -95,6 +101,14 @@ fn main() {
                     ))
                 }));
             }
+            "--transport" => {
+                let text = value("--transport");
+                transport = Some(rsn_serve::TransportPolicy::parse(&text).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown transport `{text}` (expected auto, socket or shm)"
+                    ))
+                }));
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return;
@@ -116,6 +130,9 @@ fn main() {
     }
     if let Some(encoding) = encoding {
         config.remote.encoding = encoding;
+    }
+    if let Some(transport) = transport {
+        config.remote.transport = transport;
     }
     let listen = listen
         .or_else(|| topology.as_ref().and_then(|t| t.listen.clone()))

@@ -39,6 +39,7 @@
 //! `decode(encode(x)) == x` identity for every document type and semantic
 //! equality with the JSON codec.
 
+use crate::fnv::FnvBuild;
 use crate::json::DecodeError;
 use crate::stats::{PoolStats, ServiceStats, ShardStats};
 use crate::wire::{ShardRequest, ShardResponse, SharedResult};
@@ -46,6 +47,8 @@ use rsn_eval::{BreakdownRow, CycleStats, SegmentMetric};
 use rsn_eval::{EvalError, EvalReport, SchedulerKind, WorkloadSpec};
 use rsn_workloads::bert::BertConfig;
 use rsn_workloads::models::ModelKind;
+use std::cell::RefCell;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// First byte of every binary payload.  The JSON emitter's documents start
@@ -115,7 +118,14 @@ fn put_bool(out: &mut Vec<u8>, value: bool) {
 
 /// Walks a binary payload; every read is bounds-checked so a truncated or
 /// hostile frame decodes into a [`DecodeError`], never a panic.
-struct Reader<'a> {
+///
+/// The reader is *borrowing*: [`Reader::take`] and [`Reader::str_ref`]
+/// return slices of the frame buffer itself, so decoders only allocate at
+/// the API boundary where a document must outlive its frame.  The owned
+/// [`Reader::str`] wrapper exists for cold paths (errors, rejections) and
+/// so tests can property-check the borrowed accessors against their owned
+/// counterparts.
+pub struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
@@ -123,7 +133,8 @@ struct Reader<'a> {
 const CTX: &str = "binary frame";
 
 impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    /// Starts reading at the first byte of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
         Self { bytes, pos: 0 }
     }
 
@@ -134,7 +145,8 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn byte(&mut self) -> Result<u8, DecodeError> {
+    /// Reads one raw byte.
+    pub fn byte(&mut self) -> Result<u8, DecodeError> {
         let b = *self
             .bytes
             .get(self.pos)
@@ -143,7 +155,8 @@ impl<'a> Reader<'a> {
         Ok(b)
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+    /// Borrows the next `n` bytes straight out of the frame buffer.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         let end = self
             .pos
             .checked_add(n)
@@ -154,7 +167,8 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn varint(&mut self) -> Result<u64, DecodeError> {
+    /// Reads one unsigned LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, DecodeError> {
         let mut value = 0u64;
         for shift in (0..64).step_by(7) {
             let byte = self.byte()?;
@@ -167,7 +181,7 @@ impl<'a> Reader<'a> {
     }
 
     /// A plain usize value (a dimension, a batch size) — unbounded.
-    fn usize_val(&mut self) -> Result<usize, DecodeError> {
+    pub fn usize_val(&mut self) -> Result<usize, DecodeError> {
         let v = self.varint()?;
         usize::try_from(v).map_err(|_| self.error("value does not fit in usize"))
     }
@@ -175,7 +189,8 @@ impl<'a> Reader<'a> {
     /// A collection count.  A count can never promise more elements than
     /// bytes remain (each element costs at least one byte); this caps what
     /// a hostile length prefix can make collection decoders pre-allocate.
-    fn len(&mut self) -> Result<usize, DecodeError> {
+    #[allow(clippy::len_without_is_empty)] // a wire count, not a container size
+    pub fn len(&mut self) -> Result<usize, DecodeError> {
         let n = self.usize_val()?;
         if n > self.bytes.len().saturating_sub(self.pos) {
             return Err(self.error(format!("implausible collection length {n}")));
@@ -183,22 +198,30 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
-    fn str(&mut self) -> Result<String, DecodeError> {
+    /// Borrows one length-prefixed UTF-8 string from the frame buffer —
+    /// validation only, no copy.
+    pub fn str_ref(&mut self) -> Result<&'a str, DecodeError> {
         let n = self.len()?;
         let bytes = self.take(n)?;
-        std::str::from_utf8(bytes)
-            .map(str::to_owned)
-            .map_err(|_| self.error("string is not valid UTF-8"))
+        std::str::from_utf8(bytes).map_err(|_| self.error("string is not valid UTF-8"))
     }
 
-    fn f64(&mut self) -> Result<f64, DecodeError> {
+    /// Owned counterpart of [`Reader::str_ref`] for strings that must
+    /// outlive the frame.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        self.str_ref().map(str::to_owned)
+    }
+
+    /// Reads one IEEE-754 double from its little-endian bit pattern.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
         let bytes = self.take(8)?;
         Ok(f64::from_bits(u64::from_le_bytes(
             bytes.try_into().expect("8 bytes taken"),
         )))
     }
 
-    fn opt_f64(&mut self) -> Result<Option<f64>, DecodeError> {
+    /// Reads one presence-byte-prefixed optional double.
+    pub fn opt_f64(&mut self) -> Result<Option<f64>, DecodeError> {
         match self.byte()? {
             0 => Ok(None),
             1 => Ok(Some(self.f64()?)),
@@ -206,7 +229,8 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn bool(&mut self) -> Result<bool, DecodeError> {
+    /// Reads one `0`/`1` boolean byte.
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
         match self.byte()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -214,13 +238,88 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn finish(&self) -> Result<(), DecodeError> {
+    /// Fails unless the whole payload was consumed.
+    pub fn finish(&self) -> Result<(), DecodeError> {
         if self.pos == self.bytes.len() {
             Ok(())
         } else {
             Err(self.error("trailing bytes after the message"))
         }
     }
+
+    /// Bytes left after the current position (used by decoders that accept
+    /// optional trailing fields from newer peers).
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Name interning
+// ---------------------------------------------------------------------------
+
+/// Deduplicates the small closed set of backend and slot names that appear
+/// in every report and stats record, handing decoders a shared `Arc<str>`
+/// instead of a fresh allocation per document.  Bounded so a hostile peer
+/// streaming unique names cannot grow the table without limit: once full,
+/// lookups still hit for known names and misses fall back to a fresh
+/// one-off `Arc`.
+pub struct Interner {
+    // FNV-keyed: the vocabulary is short human-chosen labels, and the table
+    // is capped, so the cheap hash is safe — see [`crate::fnv`].
+    set: HashSet<Arc<str>, FnvBuild>,
+}
+
+/// Names longer than this are never cached — real backend and workload
+/// labels are short, and skipping the hash probe for long one-off strings
+/// keeps the common path cheap.
+const INTERN_MAX_LEN: usize = 64;
+/// Upper bound on distinct cached names.
+const INTERN_CAP: usize = 256;
+
+impl Interner {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self {
+            set: HashSet::default(),
+        }
+    }
+
+    /// Returns a shared copy of `s`, allocating only on first sight.
+    pub fn intern(&mut self, s: &str) -> Arc<str> {
+        if s.len() > INTERN_MAX_LEN {
+            return Arc::from(s);
+        }
+        if let Some(existing) = self.set.get(s) {
+            return Arc::clone(existing);
+        }
+        let fresh: Arc<str> = Arc::from(s);
+        if self.set.len() < INTERN_CAP {
+            self.set.insert(Arc::clone(&fresh));
+        }
+        fresh
+    }
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    /// Per-thread interning table shared by every decode on the thread —
+    /// pool exchange threads and shard connection threads each converge on
+    /// one long-lived set of name `Arc`s.
+    static INTERNER: RefCell<Interner> = RefCell::new(Interner::new());
+}
+
+/// Runs `f` with the thread's interning table borrowed once.  Decoders that
+/// intern several labels per report hoist the TLS access and `RefCell`
+/// borrow out of the per-label path — on a 2048-report burst that is four
+/// fewer TLS round-trips per report.
+fn with_interner<T>(f: impl FnOnce(&mut Interner) -> T) -> T {
+    INTERNER.with(|table| f(&mut table.borrow_mut()))
 }
 
 // ---------------------------------------------------------------------------
@@ -308,7 +407,7 @@ fn read_spec(r: &mut Reader<'_>) -> Result<WorkloadSpec, DecodeError> {
         }),
         2 => Ok(WorkloadSpec::SquareGemm { n: r.usize_val()? }),
         3 => {
-            let name = r.str()?;
+            let name = r.str_ref()?;
             let kind = ModelKind::table7_models()
                 .into_iter()
                 .find(|k| k.name() == name)
@@ -317,7 +416,7 @@ fn read_spec(r: &mut Reader<'_>) -> Result<WorkloadSpec, DecodeError> {
         }
         4 => {
             let cfg = read_bert_config(r)?;
-            let letter = r.str()?;
+            let letter = r.str_ref()?;
             let mapping = rsn_lib::mapping::MappingType::all()
                 .into_iter()
                 .find(|m| m.letter().to_string() == letter)
@@ -409,16 +508,25 @@ pub fn encode_report(out: &mut Vec<u8>, report: &EvalReport) {
     }
 }
 
-fn read_report(r: &mut Reader<'_>) -> Result<EvalReport, DecodeError> {
-    let backend = r.str()?;
-    let workload = r.str()?;
+fn read_report(r: &mut Reader<'_>, names: &mut Interner) -> Result<EvalReport, DecodeError> {
+    // Backend (and frequently workload) names repeat across every report of
+    // a stream; borrow them out of the frame and intern, so a decoded
+    // report aliases the same `Arc<str>`s the service uses as slot names
+    // instead of allocating fresh `String`s.
+    let backend = names.intern(r.str_ref()?);
+    let workload = names.intern(r.str_ref()?);
     let mut report = EvalReport::new(backend, workload);
     report.latency_s = r.opt_f64()?;
     report.throughput_tasks_per_s = r.opt_f64()?;
     report.achieved_flops = r.opt_f64()?;
     for _ in 0..r.len()? {
         report.segments.push(SegmentMetric {
-            name: r.str()?,
+            // Segment, breakdown and metric labels are drawn from small
+            // fixed vocabularies that repeat in every report of a stream —
+            // intern them all, so a 2048-report burst decodes to aliases
+            // of a handful of `Arc<str>`s instead of tens of thousands of
+            // short-lived `String`s.
+            name: names.intern(r.str_ref()?),
             latency_s: r.f64()?,
             compute_s: r.f64()?,
             ddr_s: r.f64()?,
@@ -427,10 +535,10 @@ fn read_report(r: &mut Reader<'_>) -> Result<EvalReport, DecodeError> {
         });
     }
     for _ in 0..r.len()? {
-        let name = r.str()?;
+        let name = names.intern(r.str_ref()?);
         let mut values = Vec::new();
         for _ in 0..r.len()? {
-            values.push((r.str()?, r.f64()?));
+            values.push((names.intern(r.str_ref()?), r.f64()?));
         }
         report.breakdown.push(BreakdownRow { name, values });
     }
@@ -451,7 +559,7 @@ fn read_report(r: &mut Reader<'_>) -> Result<EvalReport, DecodeError> {
         });
     }
     for _ in 0..r.len()? {
-        let key = r.str()?;
+        let key = names.intern(r.str_ref()?);
         let value = r.f64()?;
         report.metrics.insert(key, value);
     }
@@ -461,7 +569,7 @@ fn read_report(r: &mut Reader<'_>) -> Result<EvalReport, DecodeError> {
 /// Decodes one standalone report document (used by tests).
 pub fn decode_report(bytes: &[u8]) -> Result<EvalReport, DecodeError> {
     let mut r = Reader::new(bytes);
-    let report = read_report(&mut r)?;
+    let report = with_interner(|names| read_report(&mut r, names))?;
     r.finish()?;
     Ok(report)
 }
@@ -555,9 +663,12 @@ pub fn encode_result(out: &mut Vec<u8>, result: &Result<EvalReport, EvalError>) 
     }
 }
 
-fn read_result(r: &mut Reader<'_>) -> Result<Result<EvalReport, EvalError>, DecodeError> {
+fn read_result(
+    r: &mut Reader<'_>,
+    names: &mut Interner,
+) -> Result<Result<EvalReport, EvalError>, DecodeError> {
     match r.byte()? {
-        0 => Ok(Ok(read_report(r)?)),
+        0 => Ok(Ok(read_report(r, names)?)),
         1 => Ok(Err(read_error(r)?)),
         other => Err(r.error(format!("unknown result tag {other:#04x}"))),
     }
@@ -566,7 +677,7 @@ fn read_result(r: &mut Reader<'_>) -> Result<Result<EvalReport, EvalError>, Deco
 /// Decodes one standalone result document (used by tests).
 pub fn decode_result(bytes: &[u8]) -> Result<Result<EvalReport, EvalError>, DecodeError> {
     let mut r = Reader::new(bytes);
-    let result = read_result(&mut r)?;
+    let result = with_interner(|names| read_result(&mut r, names))?;
     r.finish()?;
     Ok(result)
 }
@@ -596,6 +707,10 @@ pub fn encode_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
     put_usize(out, stats.remote_pools.len());
     for pool in &stats.remote_pools {
         put_str(out, &pool.addr);
+        // Pool records are extensible: a varint field count precedes the
+        // counter varints, so a decoder reads the fields it knows, skips
+        // any it does not, and zero-fills the rest.  New counters append.
+        put_usize(out, POOL_FIELD_COUNT);
         put_varint(out, pool.checkouts);
         put_varint(out, pool.reused);
         put_varint(out, pool.dials);
@@ -605,8 +720,14 @@ pub fn encode_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
         put_varint(out, pool.pipelined_specs);
         put_varint(out, pool.bytes_sent);
         put_varint(out, pool.bytes_received);
+        put_varint(out, pool.frames_coalesced);
+        put_varint(out, pool.ring_exchanges);
     }
 }
+
+/// Counter varints per pool record in this build's encoding (the record's
+/// field-count prefix).
+const POOL_FIELD_COUNT: usize = 11;
 
 fn read_stats(r: &mut Reader<'_>) -> Result<ServiceStats, DecodeError> {
     let mut stats = ServiceStats {
@@ -630,17 +751,29 @@ fn read_stats(r: &mut Reader<'_>) -> Result<ServiceStats, DecodeError> {
         });
     }
     for _ in 0..r.len()? {
+        let addr = r.str()?;
+        // Lenient record decode: a shorter count (older peer) zero-fills
+        // the missing counters, a longer one (newer peer) skips the extras.
+        let mut fields = [0u64; POOL_FIELD_COUNT];
+        for index in 0..r.len()? {
+            let value = r.varint()?;
+            if let Some(slot) = fields.get_mut(index) {
+                *slot = value;
+            }
+        }
         stats.remote_pools.push(PoolStats {
-            addr: r.str()?,
-            checkouts: r.varint()?,
-            reused: r.varint()?,
-            dials: r.varint()?,
-            redials: r.varint()?,
-            discarded: r.varint()?,
-            pipelined_batches: r.varint()?,
-            pipelined_specs: r.varint()?,
-            bytes_sent: r.varint()?,
-            bytes_received: r.varint()?,
+            addr,
+            checkouts: fields[0],
+            reused: fields[1],
+            dials: fields[2],
+            redials: fields[3],
+            discarded: fields[4],
+            pipelined_batches: fields[5],
+            pipelined_specs: fields[6],
+            bytes_sent: fields[7],
+            bytes_received: fields[8],
+            frames_coalesced: fields[9],
+            ring_exchanges: fields[10],
         });
     }
     Ok(stats)
@@ -735,7 +868,11 @@ pub fn decode_request(bytes: &[u8]) -> Result<(u64, ShardRequest), DecodeError> 
 pub fn encode_response(out: &mut Vec<u8>, id: u64, response: &ShardResponse) {
     out.push(MAGIC);
     match response {
-        ShardResponse::Backends { names, protocol } => {
+        ShardResponse::Backends {
+            names,
+            protocol,
+            ring,
+        } => {
             out.push(TAG_BACKENDS);
             put_varint(out, id);
             put_usize(out, names.len());
@@ -743,6 +880,15 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, response: &ShardResponse) {
                 put_str(out, name);
             }
             put_varint(out, *protocol);
+            // Trailing optional ring path, appended only when offered —
+            // decoders treat end-of-payload here as "no ring" so pre-v4
+            // images stay decodable.
+            if let Some(path) = ring {
+                out.push(1);
+                put_str(out, path);
+            } else {
+                out.push(0);
+            }
         }
         ShardResponse::Supported(supported) => {
             out.push(TAG_SUPPORTED);
@@ -790,19 +936,39 @@ pub fn decode_response(bytes: &[u8]) -> Result<(u64, ShardResponse), DecodeError
             for _ in 0..count {
                 names.push(r.str()?);
             }
+            let protocol = r.varint()?;
+            // The ring field arrived in v4; a payload ending right after
+            // the protocol varint is an older image with no ring offer.
+            let ring = if r.remaining() == 0 {
+                None
+            } else {
+                match r.byte()? {
+                    0 => None,
+                    1 => Some(r.str()?),
+                    other => return Err(r.error(format!("invalid ring tag {other:#04x}"))),
+                }
+            };
             ShardResponse::Backends {
                 names,
-                protocol: r.varint()?,
+                protocol,
+                ring,
             }
         }
         TAG_SUPPORTED => ShardResponse::Supported(r.bool()?),
-        TAG_EVALUATED => ShardResponse::Evaluated(Arc::new(read_result(&mut r)?)),
+        TAG_EVALUATED => {
+            ShardResponse::Evaluated(Arc::new(with_interner(|names| read_result(&mut r, names))?))
+        }
         TAG_EVALUATED_BATCH => {
             let count = r.len()?;
             let mut results: Vec<SharedResult> = Vec::with_capacity(count);
-            for _ in 0..count {
-                results.push(Arc::new(read_result(&mut r)?));
-            }
+            // One interner borrow for the whole batch: the table access is
+            // hoisted out of the per-report decode loop.
+            with_interner(|names| -> Result<(), DecodeError> {
+                for _ in 0..count {
+                    results.push(Arc::new(read_result(&mut r, names)?));
+                }
+                Ok(())
+            })?;
             ShardResponse::EvaluatedBatch(results)
         }
         TAG_STATS_RESPONSE => ShardResponse::Stats(read_stats(&mut r)?),

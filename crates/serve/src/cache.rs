@@ -25,8 +25,11 @@
 //! the few-thousand-entry capacities the service uses and keeps hits
 //! allocation-free.
 
+use crate::fnv::FnvBuild;
 use crate::wire::SharedResult;
-use rsn_eval::{EvalError, EvalReport, WorkloadSpec};
+use rsn_eval::WorkloadSpec;
+#[cfg(test)]
+use rsn_eval::{EvalError, EvalReport};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -62,7 +65,9 @@ struct CacheState<W> {
     /// Per-backend-shard key spaces, indexed by backend and grown lazily.
     /// Splitting by backend keeps the map key a bare `Arc<WorkloadSpec>`,
     /// which is what allows borrowed (clone-free) lookups by `&WorkloadSpec`.
-    shards: Vec<HashMap<Arc<WorkloadSpec>, Entry<W>>>,
+    // FNV-keyed: specs are small integer enums and the map is bounded by
+    // the capacity config, so the cheap hash is safe — see [`crate::fnv`].
+    shards: Vec<HashMap<Arc<WorkloadSpec>, Entry<W>, FnvBuild>>,
     /// Completed entries resident (in-flight entries do not count toward
     /// the capacity bound).
     ready: usize,
@@ -71,11 +76,71 @@ struct CacheState<W> {
 }
 
 impl<W> CacheState<W> {
-    fn shard_mut(&mut self, backend: usize) -> &mut HashMap<Arc<WorkloadSpec>, Entry<W>> {
+    fn shard_mut(&mut self, backend: usize) -> &mut HashMap<Arc<WorkloadSpec>, Entry<W>, FnvBuild> {
         if backend >= self.shards.len() {
-            self.shards.resize_with(backend + 1, HashMap::new);
+            self.shards.resize_with(backend + 1, HashMap::default);
         }
         &mut self.shards[backend]
+    }
+
+    /// Inserts (success) or vacates (error) one published key, adjusting the
+    /// ready count, and returns the waiters that were queued on it.  Shared
+    /// by [`ReportCache::complete`] and [`CacheTxn::publish`].
+    fn store(&mut self, backend: usize, spec: Arc<WorkloadSpec>, result: CachedResult) -> Vec<W> {
+        self.tick += 1;
+        let tick = self.tick;
+        let ok = result.is_ok();
+        let shard = self.shard_mut(backend);
+        let previous = if ok {
+            shard.insert(
+                spec,
+                Entry::Ready {
+                    result,
+                    last_used: tick,
+                },
+            )
+        } else {
+            // Borrowed removal: the key hashes through the spec itself.
+            shard.remove(spec.as_ref())
+        };
+        match (&previous, ok) {
+            (Some(Entry::Ready { .. }), true) => {} // replaced in place
+            (Some(Entry::Ready { .. }), false) => self.ready -= 1, // removed
+            (_, true) => self.ready += 1,
+            (_, false) => {}
+        }
+        match previous {
+            Some(Entry::InFlight(waiters)) => waiters,
+            _ => Vec::new(),
+        }
+    }
+
+    /// Evicts least-recently-used completed entries until the ready count is
+    /// within `capacity`; returns how many were removed.
+    fn evict_to(&mut self, capacity: Option<usize>) -> u64 {
+        let Some(capacity) = capacity else { return 0 };
+        let mut evicted = 0;
+        while self.ready > capacity {
+            let victim = self
+                .shards
+                .iter()
+                .enumerate()
+                .flat_map(|(shard_idx, shard)| {
+                    shard.iter().filter_map(move |(key, entry)| match entry {
+                        Entry::Ready { last_used, .. } => {
+                            Some((*last_used, shard_idx, Arc::clone(key)))
+                        }
+                        Entry::InFlight(_) => None,
+                    })
+                })
+                .min_by_key(|(last_used, _, _)| *last_used)
+                .map(|(_, shard_idx, key)| (shard_idx, key))
+                .expect("ready count > 0 implies a ready entry");
+            self.shards[victim.0].remove(victim.1.as_ref());
+            self.ready -= 1;
+            evicted += 1;
+        }
+        evicted
     }
 }
 
@@ -114,6 +179,7 @@ impl<W> ReportCache<W> {
     pub fn begin(&self) -> CacheTxn<'_, W> {
         CacheTxn {
             state: self.state.lock().expect("cache lock"),
+            capacity: self.capacity,
         }
     }
 
@@ -128,62 +194,29 @@ impl<W> ReportCache<W> {
     /// the next request re-evaluates.  Deterministic errors
     /// (unsupported/too-large) are cheap for backends to re-produce, so
     /// losing negative caching costs little.
+    #[cfg(test)]
     pub fn complete(
         &self,
         backend: usize,
         spec: &Arc<WorkloadSpec>,
         result: Result<EvalReport, EvalError>,
     ) -> (CachedResult, Vec<W>, u64) {
-        let result = Arc::new(result);
+        self.complete_shared(backend, spec, Arc::new(result))
+    }
+
+    /// [`complete`](Self::complete) for a result that is already
+    /// `Arc`-shared — a remote backend's wire decoder produces shared
+    /// results, and storing that very `Arc` spares the unwrap-and-re-box
+    /// a plain `complete` would force on every decoded report.
+    pub fn complete_shared(
+        &self,
+        backend: usize,
+        spec: &Arc<WorkloadSpec>,
+        result: CachedResult,
+    ) -> (CachedResult, Vec<W>, u64) {
         let mut state = self.state.lock().expect("cache lock");
-        state.tick += 1;
-        let tick = state.tick;
-        let shard = state.shard_mut(backend);
-        let previous = if result.is_ok() {
-            shard.insert(
-                Arc::clone(spec),
-                Entry::Ready {
-                    result: Arc::clone(&result),
-                    last_used: tick,
-                },
-            )
-        } else {
-            // Borrowed removal: the key hashes through the spec itself.
-            shard.remove(spec.as_ref())
-        };
-        match (&previous, result.is_ok()) {
-            (Some(Entry::Ready { .. }), true) => {} // replaced in place
-            (Some(Entry::Ready { .. }), false) => state.ready -= 1, // removed
-            (_, true) => state.ready += 1,
-            (_, false) => {}
-        }
-        let waiters = match previous {
-            Some(Entry::InFlight(waiters)) => waiters,
-            _ => Vec::new(),
-        };
-        let mut evicted = 0;
-        if let Some(capacity) = self.capacity {
-            while state.ready > capacity {
-                let victim = state
-                    .shards
-                    .iter()
-                    .enumerate()
-                    .flat_map(|(shard_idx, shard)| {
-                        shard.iter().filter_map(move |(key, entry)| match entry {
-                            Entry::Ready { last_used, .. } => {
-                                Some((*last_used, shard_idx, Arc::clone(key)))
-                            }
-                            Entry::InFlight(_) => None,
-                        })
-                    })
-                    .min_by_key(|(last_used, _, _)| *last_used)
-                    .map(|(_, shard_idx, key)| (shard_idx, key))
-                    .expect("ready count > 0 implies a ready entry");
-                state.shards[victim.0].remove(victim.1.as_ref());
-                state.ready -= 1;
-                evicted += 1;
-            }
-        }
+        let waiters = state.store(backend, Arc::clone(spec), Arc::clone(&result));
+        let evicted = state.evict_to(self.capacity);
         (result, waiters, evicted)
     }
 
@@ -202,6 +235,7 @@ impl<W> ReportCache<W> {
 /// A batch-scoped cache transaction (holds the lock until dropped).
 pub(crate) struct CacheTxn<'a, W> {
     state: std::sync::MutexGuard<'a, CacheState<W>>,
+    capacity: Option<usize>,
 }
 
 impl<W> CacheTxn<'_, W> {
@@ -231,6 +265,45 @@ impl<W> CacheTxn<'_, W> {
                 Lookup::Reserved
             }
         }
+    }
+
+    /// Read-only hit probe by borrowed spec: bumps recency and returns the
+    /// cached result on a hit, but — unlike [`Self::lookup_or_reserve`] —
+    /// never inserts an in-flight entry, queues a waiter, or clones the
+    /// spec.  The shard's inline burst path probes with the plain specs it
+    /// decoded off the wire, so a hit costs one hash and zero allocations;
+    /// a miss leaves the cache untouched (the caller evaluates and then
+    /// [`Self::publish`]es).
+    pub fn peek(&mut self, backend: usize, spec: &WorkloadSpec) -> Option<CachedResult> {
+        self.state.tick += 1;
+        let tick = self.state.tick;
+        let shard = self.state.shard_mut(backend);
+        match shard.get_mut(spec) {
+            Some(Entry::Ready { result, last_used }) => {
+                *last_used = tick;
+                Some(Arc::clone(result))
+            }
+            _ => None,
+        }
+    }
+
+    /// Publishes a result for a key the caller evaluated without reserving
+    /// it.  Retention matches [`ReportCache::complete`] — successes are
+    /// inserted, errors vacate the key — and any waiters that reserved or
+    /// merged onto the key between the caller's [`Self::peek`] and this
+    /// publish are returned for the caller to fulfil with this result (the
+    /// racing evaluation will later find the key ready/vacant and simply
+    /// find no waiters of its own).  Returns the waiters plus how many
+    /// entries the capacity bound evicted.
+    pub fn publish(
+        &mut self,
+        backend: usize,
+        spec: Arc<WorkloadSpec>,
+        result: CachedResult,
+    ) -> (Vec<W>, u64) {
+        let waiters = self.state.store(backend, spec, result);
+        let evicted = self.state.evict_to(self.capacity);
+        (waiters, evicted)
     }
 }
 

@@ -51,6 +51,55 @@ impl std::fmt::Display for EncodingPolicy {
     }
 }
 
+/// Which transport the remote layer rides (see [`crate::shm`] for the
+/// shared-memory ring and the negotiation rules).
+///
+/// On the server side this decides whether a shard *offers* a ring segment
+/// in its hello response: `Auto` offers one to loopback peers, `Shm`
+/// offers one to every peer (for operators who know their clients are
+/// local, e.g. behind a proxy address), `Socket` never offers.  On the
+/// client side it decides whether a pool *accepts* an offer: `Socket`
+/// ignores ring offers, anything else maps the segment and switches —
+/// falling back to the socket transparently if mapping fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportPolicy {
+    /// Negotiate per peer: shared memory where the hello advertises a
+    /// mappable same-host segment, the socket otherwise.
+    #[default]
+    Auto,
+    /// Sockets only — never offer nor accept a ring segment.
+    Socket,
+    /// Offer a ring to every peer (server) / accept any offer (client).
+    Shm,
+}
+
+impl TransportPolicy {
+    /// The policy's topology-file / CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransportPolicy::Auto => "auto",
+            TransportPolicy::Socket => "socket",
+            TransportPolicy::Shm => "shm",
+        }
+    }
+
+    /// Parses the topology-file / CLI spelling.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "auto" => Some(TransportPolicy::Auto),
+            "socket" => Some(TransportPolicy::Socket),
+            "shm" => Some(TransportPolicy::Shm),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TransportPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Configuration of an [`EvalService`](crate::EvalService).
 ///
 /// The two batching knobs bound the micro-batcher from both sides: a batch
@@ -109,6 +158,11 @@ pub struct RemoteConfig {
     /// shards answer with).  The default `Auto` negotiates binary with v3
     /// peers and falls back to JSON against older ones.
     pub encoding: EncodingPolicy,
+    /// Which transport to ride (client: whether pools accept a shard's
+    /// ring offer; server: whether shards make one).  The default `Auto`
+    /// uses shared memory for same-host connections and the socket
+    /// everywhere else.
+    pub transport: TransportPolicy,
 }
 
 impl Default for RemoteConfig {
@@ -119,6 +173,7 @@ impl Default for RemoteConfig {
             pool_size: 4,
             server_idle_timeout: Duration::from_secs(60),
             encoding: EncodingPolicy::Auto,
+            transport: TransportPolicy::Auto,
         }
     }
 }
@@ -188,5 +243,18 @@ mod tests {
         }
         assert_eq!(EncodingPolicy::parse("yaml"), None);
         assert_eq!(RemoteConfig::default().encoding, EncodingPolicy::Auto);
+    }
+
+    #[test]
+    fn transport_policy_spellings_round_trip() {
+        for policy in [
+            TransportPolicy::Auto,
+            TransportPolicy::Socket,
+            TransportPolicy::Shm,
+        ] {
+            assert_eq!(TransportPolicy::parse(policy.as_str()), Some(policy));
+        }
+        assert_eq!(TransportPolicy::parse("pipe"), None);
+        assert_eq!(RemoteConfig::default().transport, TransportPolicy::Auto);
     }
 }

@@ -779,8 +779,8 @@ pub fn workload_spec_from_json(value: &JsonValue) -> Result<WorkloadSpec, Decode
 /// Converts one report into a JSON document node.
 pub fn report_json(report: &EvalReport) -> JsonValue {
     JsonValue::obj([
-        ("backend", JsonValue::Str(report.backend.clone())),
-        ("workload", JsonValue::Str(report.workload.clone())),
+        ("backend", JsonValue::Str(report.backend.to_string())),
+        ("workload", JsonValue::Str(report.workload.to_string())),
         ("latency_s", JsonValue::num_opt(report.latency_s)),
         (
             "throughput_tasks_per_s",
@@ -795,7 +795,7 @@ pub fn report_json(report: &EvalReport) -> JsonValue {
                     .iter()
                     .map(|s| {
                         JsonValue::obj([
-                            ("name", JsonValue::Str(s.name.clone())),
+                            ("name", JsonValue::Str(s.name.to_string())),
                             ("latency_s", JsonValue::Num(s.latency_s)),
                             ("compute_s", JsonValue::Num(s.compute_s)),
                             ("ddr_s", JsonValue::Num(s.ddr_s)),
@@ -814,13 +814,13 @@ pub fn report_json(report: &EvalReport) -> JsonValue {
                     .iter()
                     .map(|row| {
                         JsonValue::obj([
-                            ("name", JsonValue::Str(row.name.clone())),
+                            ("name", JsonValue::Str(row.name.to_string())),
                             (
                                 "values",
                                 JsonValue::Obj(
                                     row.values
                                         .iter()
-                                        .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                                        .map(|(k, v)| (k.to_string(), JsonValue::Num(*v)))
                                         .collect(),
                                 ),
                             ),
@@ -849,7 +849,7 @@ pub fn report_json(report: &EvalReport) -> JsonValue {
                 report
                     .metrics
                     .iter()
-                    .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                    .map(|(k, v)| (k.to_string(), JsonValue::Num(*v)))
                     .collect(),
             ),
         ),
@@ -859,7 +859,7 @@ pub fn report_json(report: &EvalReport) -> JsonValue {
 fn segment_from_json(value: &JsonValue) -> Result<SegmentMetric, DecodeError> {
     const CTX: &str = "SegmentMetric";
     Ok(SegmentMetric {
-        name: expect_str(field(value, "name", CTX)?, CTX)?.to_string(),
+        name: expect_str(field(value, "name", CTX)?, CTX)?.into(),
         latency_s: expect_f64(field(value, "latency_s", CTX)?, CTX)?,
         compute_s: expect_f64(field(value, "compute_s", CTX)?, CTX)?,
         ddr_s: expect_f64(field(value, "ddr_s", CTX)?, CTX)?,
@@ -872,10 +872,10 @@ fn breakdown_from_json(value: &JsonValue) -> Result<BreakdownRow, DecodeError> {
     const CTX: &str = "BreakdownRow";
     let values = expect_obj(field(value, "values", CTX)?, CTX)?
         .iter()
-        .map(|(k, v)| Ok((k.clone(), expect_f64(v, CTX)?)))
+        .map(|(k, v)| Ok((k.as_str().into(), expect_f64(v, CTX)?)))
         .collect::<Result<Vec<_>, DecodeError>>()?;
     Ok(BreakdownRow {
-        name: expect_str(field(value, "name", CTX)?, CTX)?.to_string(),
+        name: expect_str(field(value, "name", CTX)?, CTX)?.into(),
         values,
     })
 }
@@ -927,7 +927,9 @@ pub fn report_from_json(value: &JsonValue) -> Result<EvalReport, DecodeError> {
         cycle => Some(cycle_from_json(cycle)?),
     };
     for (key, metric) in expect_obj(field(value, "metrics", CTX)?, CTX)? {
-        report.metrics.insert(key.clone(), expect_f64(metric, CTX)?);
+        report
+            .metrics
+            .insert(key.as_str(), expect_f64(metric, CTX)?);
     }
     Ok(report)
 }
@@ -1176,6 +1178,8 @@ pub fn stats_json(stats: &ServiceStats) -> JsonValue {
                             ("pipelined_specs", JsonValue::Int(pool.pipelined_specs)),
                             ("bytes_sent", JsonValue::Int(pool.bytes_sent)),
                             ("bytes_received", JsonValue::Int(pool.bytes_received)),
+                            ("frames_coalesced", JsonValue::Int(pool.frames_coalesced)),
+                            ("ring_exchanges", JsonValue::Int(pool.ring_exchanges)),
                         ])
                     })
                     .collect(),
@@ -1228,6 +1232,10 @@ pub fn stats_from_json(value: &JsonValue) -> Result<ServiceStats, DecodeError> {
                     pipelined_specs: pool_int("pipelined_specs")?,
                     bytes_sent: pool_int_opt("bytes_sent")?,
                     bytes_received: pool_int_opt("bytes_received")?,
+                    // Version-3 peers predate the coalescing and ring
+                    // counters.
+                    frames_coalesced: pool_int_opt("frames_coalesced")?,
+                    ring_exchanges: pool_int_opt("ring_exchanges")?,
                 })
             })
             .collect::<Result<Vec<_>, DecodeError>>()?,
@@ -1277,8 +1285,8 @@ mod tests {
         let mut report = EvalReport::new("rsn-xnn", "encoder-layer L=512 B=6");
         report.latency_s = Some(17.98e-3);
         report.breakdown.push(BreakdownRow {
-            name: "MME".to_string(),
-            values: vec![("watts".to_string(), 60.8)],
+            name: "MME".into(),
+            values: vec![("watts".into(), 60.8)],
         });
         report.metrics.insert("speedup".to_string(), 2.47);
         let text = report_json(&report).to_pretty();

@@ -96,16 +96,18 @@
 pub mod binary;
 mod cache;
 pub mod config;
+mod fnv;
 pub mod json;
 pub mod pool;
 pub mod remote;
 pub mod request;
 pub mod service;
+pub mod shm;
 pub mod stats;
 pub mod topology;
 pub mod wire;
 
-pub use config::{EncodingPolicy, RemoteConfig, ServiceConfig};
+pub use config::{EncodingPolicy, RemoteConfig, ServiceConfig, TransportPolicy};
 pub use pool::ConnectionPool;
 pub use remote::{RemoteBackend, ShardServer};
 pub use request::{BackendSelector, EvalRequest, EvalResponse, Priority, ResponseHandle};

@@ -37,15 +37,19 @@
 //! not on individual connections — it survives connection check-in and is
 //! shared by every backend routed through this shard address.
 
-use crate::config::{EncodingPolicy, RemoteConfig};
+use crate::config::{EncodingPolicy, RemoteConfig, TransportPolicy};
+use crate::shm::{RingConn, Segment};
 use crate::stats::PoolStats;
 use crate::wire::{
     read_response_frame, write_request_frame, ShardRequest, ShardResponse, WireEncoding, WireError,
 };
 use std::cell::RefCell;
+use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 thread_local! {
     /// Per-thread frame scratch: binary images are built here and received
@@ -53,6 +57,88 @@ thread_local! {
     /// per-frame buffers (the buffer grows once to the working-set frame
     /// size and is reused).
     static FRAME_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread burst buffer: a coalesced exchange's frames are laid out
+    /// contiguously here so the whole burst leaves in one write.
+    static BURST_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Per-pool memory of whether this shard's connections can ride a
+/// shared-memory ring, so only the first dial pays the probing hello
+/// against a shard (or peer) that will never offer one.
+const RING_UNKNOWN: u64 = 0;
+const RING_AVAILABLE: u64 = 1;
+const RING_REFUSED: u64 = 2;
+
+/// One pooled connection: either a plain framed TCP stream, or a
+/// negotiated shared-memory ring pair (with its TCP stream demoted to the
+/// liveness channel — see [`crate::shm`]).  Both speak identical frames,
+/// so the exchange paths are transport-blind.
+#[derive(Debug)]
+enum PooledConn {
+    Tcp(TcpStream),
+    Ring(Box<RingConn>),
+}
+
+impl PooledConn {
+    fn is_ring(&self) -> bool {
+        matches!(self, PooledConn::Ring(_))
+    }
+
+    /// Bounds the time the next response reads may take.
+    fn set_read_budget(&mut self, budget: Duration) -> Result<(), WireError> {
+        match self {
+            PooledConn::Tcp(stream) => stream.set_read_timeout(Some(budget)).map_err(WireError::Io),
+            PooledConn::Ring(conn) => {
+                conn.set_read_budget(budget);
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether an *idle* connection is healthy enough to hand out again:
+    /// live peer, no unconsumed bytes (leftovers mean desynchronisation).
+    fn is_idle_and_live(&self) -> bool {
+        match self {
+            PooledConn::Tcp(stream) => connection_is_idle_and_live(stream),
+            PooledConn::Ring(conn) => {
+                if conn.is_desynchronised() {
+                    return false;
+                }
+                // The liveness socket is permanently non-blocking; a
+                // healthy idle peer has nothing to say on it.
+                let mut probe = [0u8; 1];
+                matches!(
+                    conn.stream().peek(&mut probe),
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock
+                )
+            }
+        }
+    }
+}
+
+impl Read for PooledConn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            PooledConn::Tcp(stream) => stream.read(buf),
+            PooledConn::Ring(conn) => conn.read(buf),
+        }
+    }
+}
+
+impl Write for PooledConn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            PooledConn::Tcp(stream) => stream.write(buf),
+            PooledConn::Ring(conn) => conn.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            PooledConn::Tcp(stream) => stream.flush(),
+            PooledConn::Ring(conn) => conn.flush(),
+        }
+    }
 }
 
 /// Lock-free transport counters of one shard pool, surfaced through
@@ -80,6 +166,12 @@ pub(crate) struct PoolCounters {
     pub bytes_sent: AtomicU64,
     /// Bytes taken off the wire by this pool (length prefixes included).
     pub bytes_received: AtomicU64,
+    /// Request frames that shared a coalesced burst write with at least
+    /// one other frame (bursts of one count nothing).
+    pub frames_coalesced: AtomicU64,
+    /// Exchanges whose frames rode a shared-memory ring instead of the
+    /// socket.
+    pub ring_exchanges: AtomicU64,
 }
 
 /// A bounded pool of framed connections to one shard server address.
@@ -91,10 +183,13 @@ pub(crate) struct PoolCounters {
 pub struct ConnectionPool {
     addr: String,
     config: RemoteConfig,
-    idle: Mutex<Vec<TcpStream>>,
+    idle: Mutex<Vec<PooledConn>>,
     counters: PoolCounters,
     /// Negotiated shard protocol version; 0 until a `hello` has answered.
     protocol: AtomicU64,
+    /// Whether this shard offers ring segments (one of the `RING_*`
+    /// states), learned on the first ring-eligible dial.
+    ring_state: AtomicU64,
     /// Monotonic exchange ids (diagnostic only — exchanges on one
     /// connection are strictly sequential).
     next_id: AtomicU64,
@@ -109,6 +204,7 @@ impl ConnectionPool {
             idle: Mutex::new(Vec::new()),
             counters: PoolCounters::default(),
             protocol: AtomicU64::new(0),
+            ring_state: AtomicU64::new(RING_UNKNOWN),
             next_id: AtomicU64::new(1),
         }
     }
@@ -180,6 +276,8 @@ impl ConnectionPool {
             pipelined_specs: self.counters.pipelined_specs.load(Ordering::Relaxed),
             bytes_sent: self.counters.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.counters.bytes_received.load(Ordering::Relaxed),
+            frames_coalesced: self.counters.frames_coalesced.load(Ordering::Relaxed),
+            ring_exchanges: self.counters.ring_exchanges.load(Ordering::Relaxed),
         }
     }
 
@@ -188,7 +286,12 @@ impl ConnectionPool {
     /// the hosted backend names in registration order.
     pub fn hello(&self) -> Result<Vec<String>, WireError> {
         match self.exchange(&ShardRequest::Hello)? {
-            ShardResponse::Backends { names, protocol } => {
+            // Any ring offer in this response belongs to the connection
+            // that carried the exchange; rings are negotiated per
+            // connection at dial time, so it is ignored here.
+            ShardResponse::Backends {
+                names, protocol, ..
+            } => {
                 self.protocol.store(protocol.max(1), Ordering::Release);
                 Ok(names)
             }
@@ -219,8 +322,8 @@ impl ConnectionPool {
     /// failure surfaces immediately.
     pub fn exchange(&self, request: &ShardRequest) -> Result<ShardResponse, WireError> {
         self.counters.checkouts.fetch_add(1, Ordering::Relaxed);
-        if let Some(stream) = self.checkout_idle() {
-            match self.exchange_on(stream, request) {
+        if let Some(conn) = self.checkout_idle() {
+            match self.exchange_on(conn, request) {
                 Ok(response) => {
                     // Counted only on success: a checkout whose reused
                     // connection turned out stale pays a redial below and
@@ -235,23 +338,59 @@ impl ConnectionPool {
                 }
             }
         }
-        let stream = self.dial()?;
-        self.exchange_on(stream, request)
+        let conn = self.dial()?;
+        self.exchange_on(conn, request)
+    }
+
+    /// Sends several requests as **one** coalesced burst over one pooled
+    /// connection — all frames laid out contiguously and written together,
+    /// then every response read back in request order — so a multi-chunk
+    /// hand-off from a serving worker pays one transport round trip instead
+    /// of one per chunk.  Retry semantics match [`exchange`](Self::exchange):
+    /// a burst that fails on a reused connection is retried once over a
+    /// fresh dial (evaluations are idempotent).
+    pub fn exchange_burst(
+        &self,
+        requests: &[ShardRequest],
+    ) -> Result<Vec<ShardResponse>, WireError> {
+        match requests.len() {
+            0 => return Ok(Vec::new()),
+            // A burst of one is a plain exchange (and is not counted as
+            // coalesced — nothing shared a write).
+            1 => return self.exchange(&requests[0]).map(|response| vec![response]),
+            _ => {}
+        }
+        self.counters.checkouts.fetch_add(1, Ordering::Relaxed);
+        if let Some(conn) = self.checkout_idle() {
+            match self.burst_on(conn, requests) {
+                Ok(responses) => {
+                    self.counters.reused.fetch_add(1, Ordering::Relaxed);
+                    return Ok(responses);
+                }
+                Err(_) => {
+                    self.counters.redials.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let conn = self.dial()?;
+        self.burst_on(conn, requests)
     }
 
     /// Pops the first *healthy* idle connection, discarding dead ones.
-    fn checkout_idle(&self) -> Option<TcpStream> {
+    fn checkout_idle(&self) -> Option<PooledConn> {
         loop {
             let candidate = self.idle.lock().expect("pool idle lock").pop()?;
-            if connection_is_idle_and_live(&candidate) {
+            if candidate.is_idle_and_live() {
                 return Some(candidate);
             }
             self.counters.discarded.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Dials a fresh connection with the configured timeouts.
-    fn dial(&self) -> Result<TcpStream, WireError> {
+    /// Dials a fresh connection with the configured timeouts, negotiating
+    /// a shared-memory ring for it when the transport policy allows and
+    /// the shard offers one.
+    fn dial(&self) -> Result<PooledConn, WireError> {
         self.counters.dials.fetch_add(1, Ordering::Relaxed);
         let resolved = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
             WireError::Io(std::io::Error::new(
@@ -268,38 +407,104 @@ impl ConnectionPool {
         // round trip) — the one pathology connect-per-call never saw,
         // because a fresh socket has no unacknowledged data.
         stream.set_nodelay(true)?;
-        Ok(stream)
+        // Ring upgrade is only worth a probing hello on connections that
+        // will live in the pool; the unpooled configuration keeps its
+        // dial-per-exchange meaning (and the benchmark its baseline).
+        if self.config.transport == TransportPolicy::Socket
+            || self.config.pool_size == 0
+            || self.ring_state.load(Ordering::Acquire) == RING_REFUSED
+        {
+            return Ok(PooledConn::Tcp(stream));
+        }
+        self.negotiate_ring(stream)
     }
 
-    /// Runs one framed exchange on `stream`; on clean success the stream
-    /// goes back to the pool, on any failure (or protocol rejection) it is
-    /// dropped with the socket.
-    ///
-    /// The response read is bounded by `io_timeout` — scaled by the spec
-    /// count for `evaluate_batch` exchanges, since the shard evaluates the
-    /// whole batch before its single answer frame: a batch of `n` specs
-    /// gets the same per-evaluation time budget the per-spec path gives.
-    fn exchange_on(
-        &self,
-        mut stream: TcpStream,
-        request: &ShardRequest,
-    ) -> Result<ShardResponse, WireError> {
-        let read_budget = match request {
+    /// One hello on the fresh connection: learns the shard's protocol and,
+    /// when a ring segment is offered, maps it and upgrades the connection.
+    /// Every *semantic* disappointment — an old shard, no offer, a segment
+    /// that will not map — degrades to the plain socket; only transport
+    /// failures propagate.
+    fn negotiate_ring(&self, mut stream: TcpStream) -> Result<PooledConn, WireError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let encoding = self.frame_encoding();
+        let offer = FRAME_SCRATCH.with(|cell| {
+            let scratch = &mut cell.borrow_mut();
+            let sent =
+                write_request_frame(&mut stream, id, &ShardRequest::Hello, encoding, scratch)?;
+            self.counters.bytes_sent.fetch_add(sent, Ordering::Relaxed);
+            let (_, response, received) =
+                read_response_frame(&mut stream, scratch)?.ok_or_else(|| {
+                    WireError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "shard closed the connection during ring negotiation",
+                    ))
+                })?;
+            self.counters
+                .bytes_received
+                .fetch_add(received, Ordering::Relaxed);
+            Ok::<ShardResponse, WireError>(response)
+        })?;
+        let ring = match offer {
+            ShardResponse::Backends { protocol, ring, .. } => {
+                self.protocol.store(protocol.max(1), Ordering::Release);
+                ring
+            }
+            // Anything else is a peer that does not speak hello the way a
+            // shard does (a test double, a very old build).  The exchange
+            // itself was framed cleanly, so the connection is usable.
+            _ => None,
+        };
+        let Some(path) = ring else {
+            self.ring_state.store(RING_REFUSED, Ordering::Release);
+            return Ok(PooledConn::Tcp(stream));
+        };
+        match Segment::open(Path::new(&path)) {
+            Ok(segment) => match RingConn::new(stream, &segment, self.config.io_timeout) {
+                Ok(conn) => {
+                    self.ring_state.store(RING_AVAILABLE, Ordering::Release);
+                    Ok(PooledConn::Ring(Box::new(conn)))
+                }
+                Err(e) => Err(WireError::Io(e)),
+            },
+            // Different filesystem namespace, permissions, or a corrupt
+            // segment: fall back to the socket (and stop probing).
+            Err(_) => {
+                self.ring_state.store(RING_REFUSED, Ordering::Release);
+                Ok(PooledConn::Tcp(stream))
+            }
+        }
+    }
+
+    /// The response-read budget of one request: `io_timeout`, scaled by
+    /// the spec count for `evaluate_batch` exchanges, since the shard
+    /// evaluates the whole batch before its single answer frame.
+    fn read_budget_for(&self, request: &ShardRequest) -> Duration {
+        match request {
             ShardRequest::EvaluateBatch { specs, .. } => self
                 .config
                 .io_timeout
                 .saturating_mul(specs.len().max(1).min(u32::MAX as usize) as u32),
             _ => self.config.io_timeout,
-        };
-        stream.set_read_timeout(Some(read_budget))?;
+        }
+    }
+
+    /// Runs one framed exchange on `conn`; on clean success the connection
+    /// goes back to the pool, on any failure (or protocol rejection) it is
+    /// dropped.
+    fn exchange_on(
+        &self,
+        mut conn: PooledConn,
+        request: &ShardRequest,
+    ) -> Result<ShardResponse, WireError> {
+        conn.set_read_budget(self.read_budget_for(request))?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let encoding = self.frame_encoding();
         let response = FRAME_SCRATCH.with(|cell| {
             let scratch = &mut cell.borrow_mut();
-            let sent = write_request_frame(&mut stream, id, request, encoding, scratch)?;
+            let sent = write_request_frame(&mut conn, id, request, encoding, scratch)?;
             self.counters.bytes_sent.fetch_add(sent, Ordering::Relaxed);
             let (_, response, received) =
-                read_response_frame(&mut stream, scratch)?.ok_or_else(|| {
+                read_response_frame(&mut conn, scratch)?.ok_or_else(|| {
                     WireError::Io(std::io::Error::new(
                         std::io::ErrorKind::UnexpectedEof,
                         "shard closed the connection before answering",
@@ -310,21 +515,101 @@ impl ConnectionPool {
                 .fetch_add(received, Ordering::Relaxed);
             Ok::<ShardResponse, WireError>(response)
         })?;
+        if conn.is_ring() {
+            self.counters.ring_exchanges.fetch_add(1, Ordering::Relaxed);
+        }
         // A protocol-level rejection may leave the server about to close
         // the connection (framing failures do); never pool it.
         if !matches!(response, ShardResponse::Rejected(_)) {
-            self.checkin(stream);
+            self.checkin(conn);
         }
         Ok(response)
     }
 
+    /// Runs a coalesced burst on `conn`: every request frame in one
+    /// contiguous write, every response read back in request order (ids
+    /// are verified — an out-of-order shard is a desynchronised one).
+    fn burst_on(
+        &self,
+        mut conn: PooledConn,
+        requests: &[ShardRequest],
+    ) -> Result<Vec<ShardResponse>, WireError> {
+        let budget = requests
+            .iter()
+            .map(|request| self.read_budget_for(request))
+            .fold(Duration::ZERO, Duration::saturating_add);
+        conn.set_read_budget(budget)?;
+        let first_id = self
+            .next_id
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        let encoding = self.frame_encoding();
+        let responses = FRAME_SCRATCH.with(|cell| {
+            let scratch = &mut cell.borrow_mut();
+            BURST_SCRATCH.with(|burst_cell| {
+                let burst = &mut burst_cell.borrow_mut();
+                burst.clear();
+                for (offset, request) in requests.iter().enumerate() {
+                    write_request_frame(
+                        &mut **burst,
+                        first_id + offset as u64,
+                        request,
+                        encoding,
+                        scratch,
+                    )?;
+                }
+                conn.write_all(burst)?;
+                conn.flush()?;
+                self.counters
+                    .bytes_sent
+                    .fetch_add(burst.len() as u64, Ordering::Relaxed);
+                Ok::<(), WireError>(())
+            })?;
+            let mut responses = Vec::with_capacity(requests.len());
+            for offset in 0..requests.len() as u64 {
+                let (id, response, received) = read_response_frame(&mut conn, scratch)?
+                    .ok_or_else(|| {
+                        WireError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "shard closed the connection mid-burst",
+                        ))
+                    })?;
+                self.counters
+                    .bytes_received
+                    .fetch_add(received, Ordering::Relaxed);
+                if id != first_id + offset {
+                    return Err(WireError::Rejected(format!(
+                        "shard answered burst frame {} with id {id}",
+                        first_id + offset
+                    )));
+                }
+                responses.push(response);
+            }
+            Ok::<Vec<ShardResponse>, WireError>(responses)
+        })?;
+        self.counters
+            .frames_coalesced
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        if conn.is_ring() {
+            self.counters
+                .ring_exchanges
+                .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        }
+        if responses
+            .iter()
+            .all(|response| !matches!(response, ShardResponse::Rejected(_)))
+        {
+            self.checkin(conn);
+        }
+        Ok(responses)
+    }
+
     /// Returns a connection to the pool, bounded by the configured size.
-    fn checkin(&self, stream: TcpStream) {
+    fn checkin(&self, conn: PooledConn) {
         let mut idle = self.idle.lock().expect("pool idle lock");
         if idle.len() < self.config.pool_size {
-            idle.push(stream);
+            idle.push(conn);
         }
-        // Over the bound (or pool_size 0): drop, closing the socket.
+        // Over the bound (or pool_size 0): drop, closing the transport.
     }
 }
 
@@ -439,9 +724,12 @@ mod tests {
         // health probe sees a dead socket at the next checkout.
         {
             let idle = pool.idle.lock().expect("idle lock");
-            idle[0]
-                .shutdown(std::net::Shutdown::Both)
-                .expect("shutdown idle conn");
+            match &idle[0] {
+                PooledConn::Tcp(stream) => stream
+                    .shutdown(std::net::Shutdown::Both)
+                    .expect("shutdown idle conn"),
+                PooledConn::Ring(_) => unreachable!("the test peer never offers a ring"),
+            }
         }
         let response = pool.exchange(&probe_request()).expect("exchange survives");
         assert_eq!(response, ShardResponse::Supported(true));

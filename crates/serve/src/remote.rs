@@ -41,26 +41,35 @@
 //! failures are never retained by the report cache: a restarted shard
 //! serves the next request for the same spec normally.
 
-use crate::config::{EncodingPolicy, RemoteConfig};
+use crate::config::{EncodingPolicy, RemoteConfig, TransportPolicy};
 use crate::pool::ConnectionPool;
+use crate::request::ResponseHandle;
 use crate::service::EvalService;
+use crate::shm::{self, Direction, Parker, RingConsumer, RingProducer, Segment};
 use crate::stats::ServiceStats;
 use crate::wire::{
-    read_request_frame, write_response_frame, ShardRequest, ShardResponse, SharedResult,
-    WireEncoding, WireError, PROTOCOL_VERSION,
+    decode_request_payload, write_response_frame, FrameBuffer, ShardRequest, ShardResponse,
+    SharedResult, WireEncoding, WireError, PROTOCOL_VERSION,
 };
 use rsn_eval::{Backend, EvalError, EvalReport, WorkloadSpec};
 use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Live connections of a [`ShardServer`], so dropping the server can sever
 /// them (pooled clients hold connections open between exchanges; without
 /// this a "killed" server would keep answering on them).
 type ConnectionRegistry = Mutex<HashMap<u64, TcpStream>>;
+
+/// Live ring segments by connection id, so
+/// [`ShardServer::ring_segments`] can report which shared-memory files
+/// this server currently owns (tests pin that they unlink on teardown;
+/// operators can audit `/dev/shm` against it).
+type RingRegistry = Mutex<HashMap<u64, std::path::PathBuf>>;
 
 /// A TCP server hosting one [`EvalService`] as a backend shard.
 ///
@@ -75,6 +84,7 @@ pub struct ShardServer {
     shutdown: Arc<AtomicBool>,
     service: Arc<EvalService>,
     connections: Arc<ConnectionRegistry>,
+    rings: Arc<RingRegistry>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -87,10 +97,12 @@ impl ShardServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let service = Arc::new(service);
         let connections: Arc<ConnectionRegistry> = Arc::new(Mutex::new(HashMap::new()));
+        let rings: Arc<RingRegistry> = Arc::new(Mutex::new(HashMap::new()));
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
             let service = Arc::clone(&service);
             let connections = Arc::clone(&connections);
+            let rings = Arc::clone(&rings);
             std::thread::spawn(move || {
                 let next_id = AtomicU64::new(0);
                 for stream in listener.incoming() {
@@ -107,8 +119,10 @@ impl ShardServer {
                     }
                     let service = Arc::clone(&service);
                     let connections = Arc::clone(&connections);
+                    let rings = Arc::clone(&rings);
                     std::thread::spawn(move || {
-                        serve_connection(stream, &service);
+                        serve_connection(stream, &service, id, &rings);
+                        rings.lock().expect("ring registry lock").remove(&id);
                         connections
                             .lock()
                             .expect("connection registry lock")
@@ -122,6 +136,7 @@ impl ShardServer {
             shutdown,
             service,
             connections,
+            rings,
             accept_thread: Some(accept_thread),
         })
     }
@@ -140,6 +155,18 @@ impl ShardServer {
     /// Names of the backends this server hosts, in registration order.
     pub fn backend_names(&self) -> &[String] {
         self.service.backend_names()
+    }
+
+    /// Paths of the shared-memory ring segments live connections currently
+    /// own.  Every one is unlinked when its connection (or this server)
+    /// winds down — auditing `/dev/shm` against this list finds leaks.
+    pub fn ring_segments(&self) -> Vec<std::path::PathBuf> {
+        self.rings
+            .lock()
+            .expect("ring registry lock")
+            .values()
+            .cloned()
+            .collect()
     }
 }
 
@@ -168,17 +195,58 @@ impl Drop for ShardServer {
     }
 }
 
+/// The server end of one connection's negotiated ring: its segment (owned,
+/// unlinked on drop), the two ring halves, and a [`FrameBuffer`]
+/// accumulating the client's request bytes.
+struct ServerRing {
+    segment: Arc<Segment>,
+    producer: RingProducer,
+    consumer: RingConsumer,
+    frames: FrameBuffer,
+}
+
+/// Non-blocking `Read` over a ring consumer for [`FrameBuffer::fill`]: an
+/// empty ring reads as `WouldBlock`, never 0 (0 would mean EOF, and rings
+/// have no EOF — the liveness socket carries that signal).
+struct RingReader<'a>(&'a mut RingConsumer);
+
+impl Read for RingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self.0.read_some(buf)? {
+            0 => Err(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                "ring empty",
+            )),
+            n => Ok(n),
+        }
+    }
+}
+
 /// Serves one connection: frames in, frames out, until EOF, an idle
-/// timeout, or a socket error.  Malformed frames are answered with a
-/// protocol-level rejection (id 0, since the request id never decoded) and
-/// the connection closes — after a framing error the stream position can
-/// no longer be trusted.  The idle bound
+/// timeout, or a transport error.  Each socket read drains *every*
+/// complete frame it delivered (a client's coalesced burst is answered as
+/// one burst: all evaluations submitted before any is waited on, all
+/// responses written back in one buffer).  Malformed frames are answered
+/// with a protocol-level rejection (id 0, since the request id never
+/// decoded) and the connection closes — after a framing error the stream
+/// position can no longer be trusted.  The idle bound
 /// ([`RemoteConfig::server_idle_timeout`]) reaps abandoned sockets (a peer
 /// that vanished without a FIN) so they cannot pin a server thread
 /// forever; pooled clients that idle past it transparently re-dial.
-fn serve_connection(mut stream: TcpStream, service: &EvalService) {
-    let idle_timeout = service.config().remote.server_idle_timeout;
-    let policy = service.config().remote.encoding;
+///
+/// When the transport policy allows it, the first `hello` creates a
+/// shared-memory ring segment for this connection and advertises it; from
+/// then on the loop polls *both* sources and answers every request on the
+/// transport it arrived on, so clients that decline the offer (or raced
+/// frames onto the socket before switching) are served identically.
+fn serve_connection(
+    mut stream: TcpStream,
+    service: &EvalService,
+    conn_id: u64,
+    rings: &RingRegistry,
+) {
+    let remote = service.config().remote.clone();
+    let idle_timeout = remote.server_idle_timeout;
     if stream.set_read_timeout(Some(idle_timeout)).is_err() {
         return;
     }
@@ -187,105 +255,315 @@ fn serve_connection(mut stream: TcpStream, service: &EvalService) {
     // behind the client's delayed ACK (see the matching client-side note
     // in `crate::pool`).
     let _ = stream.set_nodelay(true);
-    // One scratch buffer per connection, reused for every received payload
-    // and every binary response image — the steady state allocates no
-    // per-frame buffers.
+    // Per-connection scratch buffers, reused for every received payload,
+    // every binary response image, and every outgoing burst — the steady
+    // state allocates no per-frame buffers.
     let mut scratch = Vec::new();
-    loop {
-        let (id, request, request_encoding) = match read_request_frame(&mut stream, &mut scratch) {
-            Ok(Some((id, request, encoding, _bytes))) => (id, request, encoding),
-            Ok(None) => return,
-            // Idle reap: the peer went quiet, there is nobody to answer.
-            Err(WireError::Io(e))
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                return;
-            }
+    let mut out = Vec::new();
+    let mut socket_frames = FrameBuffer::new();
+    let mut ring: Option<ServerRing> = None;
+
+    // Socket phase: blocking reads with the idle timeout doing the
+    // reaping, until (if ever) a hello negotiates a ring.
+    while ring.is_none() {
+        let burst = match drain_burst(&mut socket_frames, &mut scratch) {
+            Ok(burst) => burst,
             Err(error) => {
-                // The request never decoded, so its encoding is unknown;
-                // reject in JSON, which every protocol version reads.
-                let rejection = ShardResponse::Rejected(error.to_string());
-                let _ = write_response_frame(
-                    &mut stream,
-                    0,
-                    &rejection,
-                    WireEncoding::Json,
-                    &mut scratch,
-                );
+                reject_unframeable(&mut stream, &error, &mut scratch);
                 return;
             }
         };
-        // `Auto` mirrors the request's encoding, so v1/v2 JSON clients and
-        // v3 binary clients are both answered in what they speak; forcing
-        // `json` keeps a shard's answers human-readable for debugging.
-        let response_encoding = match policy {
-            EncodingPolicy::Auto => request_encoding,
-            EncodingPolicy::Json => WireEncoding::Json,
-            EncodingPolicy::Binary => WireEncoding::Binary,
-        };
-        let response = answer(service, request);
-        if write_response_frame(&mut stream, id, &response, response_encoding, &mut scratch)
-            .is_err()
-        {
+        if burst.is_empty() {
+            match socket_frames.fill(&mut stream) {
+                Ok(0) => return,
+                Ok(_) => continue,
+                // Idle reap: the peer went quiet, there is nobody to answer.
+                Err(ref e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return
+                }
+                Err(_) => return,
+            }
+        }
+        let responses = answer_burst(service, burst, &remote, &stream, conn_id, &mut ring, false);
+        out.clear();
+        if encode_responses(&mut out, &responses, &mut scratch).is_err() {
+            return;
+        }
+        if stream.write_all(&out).is_err() {
             return;
         }
     }
-}
 
-/// Answers one decoded request against the hosted service.
-fn answer(service: &EvalService, request: ShardRequest) -> ShardResponse {
-    match request {
-        ShardRequest::Hello => ShardResponse::Backends {
-            names: service.backend_names().to_vec(),
-            protocol: PROTOCOL_VERSION,
-        },
-        ShardRequest::Supports { backend, spec } => {
-            match service.backend_supports(&backend, &spec) {
-                Some(supported) => ShardResponse::Supported(supported),
-                None => ShardResponse::Rejected(format!("unknown backend `{backend}`")),
+    // Ring phase: poll both sources without blocking on either — the
+    // client is switching (or declined and stays on the socket), and a
+    // request must be answered where it arrived.
+    if let Some(server_ring) = ring.as_ref() {
+        rings
+            .lock()
+            .expect("ring registry lock")
+            .insert(conn_id, server_ring.segment.path().to_path_buf());
+    }
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut parker = Parker::new();
+    let mut last_activity = Instant::now();
+    loop {
+        let mut progressed = false;
+        match socket_frames.fill(&mut stream) {
+            Ok(0) => return, // FIN: the peer is gone; its segment unlinks with `ring`
+            Ok(_) => progressed = true,
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(_) => return,
+        }
+        {
+            let server_ring = ring.as_mut().expect("ring phase");
+            match server_ring
+                .frames
+                .fill(&mut RingReader(&mut server_ring.consumer))
+            {
+                Ok(_) => progressed = true,
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(_) => return, // corrupt cursors: abandon the connection
             }
         }
-        ShardRequest::Evaluate { backend, spec } => {
-            match evaluate_on(service, backend, vec![spec]) {
-                Ok(mut results) => ShardResponse::Evaluated(results.remove(0)),
-                Err(rejection) => ShardResponse::Rejected(rejection),
+        let socket_burst = match drain_burst(&mut socket_frames, &mut scratch) {
+            Ok(burst) => burst,
+            Err(error) => {
+                reject_unframeable(&mut stream, &error, &mut scratch);
+                return;
+            }
+        };
+        if !socket_burst.is_empty() {
+            progressed = true;
+            let responses = answer_burst(
+                service,
+                socket_burst,
+                &remote,
+                &stream,
+                conn_id,
+                &mut ring,
+                false,
+            );
+            out.clear();
+            if encode_responses(&mut out, &responses, &mut scratch).is_err() {
+                return;
+            }
+            if write_all_nonblocking(&mut stream, &out, idle_timeout).is_err() {
+                return;
             }
         }
-        ShardRequest::EvaluateBatch { backend, specs } => {
-            match evaluate_on(service, backend, specs) {
-                Ok(results) => ShardResponse::EvaluatedBatch(results),
-                Err(rejection) => ShardResponse::Rejected(rejection),
+        let ring_burst = {
+            let server_ring = ring.as_mut().expect("ring phase");
+            match drain_burst(&mut server_ring.frames, &mut scratch) {
+                Ok(burst) => burst,
+                Err(_) => return, // garbage on the ring: abandon it
+            }
+        };
+        if !ring_burst.is_empty() {
+            progressed = true;
+            let responses = answer_burst(
+                service, ring_burst, &remote, &stream, conn_id, &mut ring, true,
+            );
+            out.clear();
+            if encode_responses(&mut out, &responses, &mut scratch).is_err() {
+                return;
+            }
+            let server_ring = ring.as_mut().expect("ring phase");
+            if ring_write_all(server_ring, &stream, &out, idle_timeout).is_err() {
+                return;
             }
         }
-        ShardRequest::Stats => ShardResponse::Stats(service.stats()),
+        if progressed {
+            last_activity = Instant::now();
+            parker.reset();
+        } else {
+            if last_activity.elapsed() >= idle_timeout {
+                return;
+            }
+            parker.park();
+        }
     }
 }
 
-/// Runs `specs` through the hosted service on one named backend, returning
-/// one result per spec in order (the whole batch is submitted as one burst,
-/// so the shard's own micro-batcher and cache see it intact).  Results stay
-/// `Arc`-shared with the shard's report cache all the way into the response
-/// encoder — answering a cached spec copies nothing.  `Err` is a
-/// protocol-level rejection message.
-fn evaluate_on(
+/// Extracts and decodes every complete frame currently buffered.
+fn drain_burst(
+    frames: &mut FrameBuffer,
+    scratch: &mut Vec<u8>,
+) -> Result<Vec<(u64, ShardRequest, WireEncoding)>, WireError> {
+    let mut burst = Vec::new();
+    while frames.take_frame(scratch)? {
+        burst.push(decode_request_payload(scratch)?);
+    }
+    Ok(burst)
+}
+
+/// Best-effort rejection of a frame that never decoded: its encoding is
+/// unknown, so answer in JSON, which every protocol version reads.
+fn reject_unframeable(stream: &mut TcpStream, error: &WireError, scratch: &mut Vec<u8>) {
+    let rejection = ShardResponse::Rejected(error.to_string());
+    let _ = write_response_frame(stream, 0, &rejection, WireEncoding::Json, scratch);
+}
+
+/// One request staged against the service: answered immediately, or
+/// submitted and owed a wait.  Staging a whole burst before resolving any
+/// of it lets the shard's worker pools run every chunk of the burst
+/// concurrently — the point of coalescing.
+enum Staged {
+    Now(ShardResponse),
+    Submitted {
+        handle: ResponseHandle,
+        expected: usize,
+        single: bool,
+    },
+}
+
+/// Answers a burst of decoded requests: stage everything (submitting all
+/// evaluations), then resolve in request order.  Responses carry the
+/// encoding each will be written in (`Auto` mirrors the request's).
+///
+/// `inline` selects the shard's evaluation path: socket bursts fan out
+/// through the service's worker pools (the peer may be a different
+/// machine, so shard-side parallelism is free), while ring bursts — by
+/// construction same-host — evaluate on this thread, where queue
+/// hand-offs to a pool that shares cores with the client would only add
+/// context switches.
+fn answer_burst(
+    service: &EvalService,
+    burst: Vec<(u64, ShardRequest, WireEncoding)>,
+    remote: &RemoteConfig,
+    stream: &TcpStream,
+    conn_id: u64,
+    ring: &mut Option<ServerRing>,
+    inline: bool,
+) -> Vec<(u64, ShardResponse, WireEncoding)> {
+    let staged: Vec<(u64, Staged, WireEncoding)> = burst
+        .into_iter()
+        .map(|(id, request, request_encoding)| {
+            // `Auto` mirrors the request's encoding, so v1/v2 JSON clients
+            // and v3+ binary clients are both answered in what they speak;
+            // forcing `json` keeps a shard's answers human-readable.
+            let encoding = match remote.encoding {
+                EncodingPolicy::Auto => request_encoding,
+                EncodingPolicy::Json => WireEncoding::Json,
+                EncodingPolicy::Binary => WireEncoding::Binary,
+            };
+            (
+                id,
+                stage(service, request, remote, stream, conn_id, ring, inline),
+                encoding,
+            )
+        })
+        .collect();
+    staged
+        .into_iter()
+        .map(|(id, staged, encoding)| (id, resolve(staged), encoding))
+        .collect()
+}
+
+/// Stages one decoded request against the hosted service.
+#[allow(clippy::too_many_arguments)]
+fn stage(
+    service: &EvalService,
+    request: ShardRequest,
+    remote: &RemoteConfig,
+    stream: &TcpStream,
+    conn_id: u64,
+    ring: &mut Option<ServerRing>,
+    inline: bool,
+) -> Staged {
+    match request {
+        ShardRequest::Hello => {
+            maybe_offer_ring(remote, stream, conn_id, ring);
+            Staged::Now(ShardResponse::Backends {
+                names: service.backend_names().to_vec(),
+                protocol: PROTOCOL_VERSION,
+                ring: ring
+                    .as_ref()
+                    .map(|server_ring| server_ring.segment.path().display().to_string()),
+            })
+        }
+        ShardRequest::Supports { backend, spec } => {
+            Staged::Now(match service.backend_supports(&backend, &spec) {
+                Some(supported) => ShardResponse::Supported(supported),
+                None => ShardResponse::Rejected(format!("unknown backend `{backend}`")),
+            })
+        }
+        ShardRequest::Evaluate { backend, spec } => {
+            submit(service, backend, vec![spec], true, inline)
+        }
+        ShardRequest::EvaluateBatch { backend, specs } => {
+            submit(service, backend, specs, false, inline)
+        }
+        ShardRequest::Stats => Staged::Now(ShardResponse::Stats(service.stats())),
+    }
+}
+
+/// Submits `specs` to the hosted service on one named backend (the whole
+/// batch as one burst, so the shard's own micro-batcher and cache see it
+/// intact) without waiting for the results.  With `inline` the specs are
+/// instead evaluated on this thread through the cache-preserving
+/// [`EvalService::evaluate_batch_inline`] fast path.
+fn submit(
     service: &EvalService,
     backend: String,
     specs: Vec<WorkloadSpec>,
-) -> Result<Vec<SharedResult>, String> {
+    single: bool,
+    inline: bool,
+) -> Staged {
     if !service.backend_names().contains(&backend) {
-        return Err(format!("unknown backend `{backend}`"));
+        return Staged::Now(ShardResponse::Rejected(format!(
+            "unknown backend `{backend}`"
+        )));
+    }
+    if inline {
+        let mut results = service
+            .evaluate_batch_inline(&backend, specs)
+            .unwrap_or_default();
+        return Staged::Now(if single {
+            ShardResponse::Evaluated(results.pop().unwrap_or_else(|| {
+                Arc::new(Err(EvalError::Remote {
+                    message: "shard produced no result slot".to_string(),
+                }))
+            }))
+        } else {
+            ShardResponse::EvaluatedBatch(results)
+        });
     }
     let expected = specs.len();
-    let response = service
-        .submit_batch(
-            specs,
-            crate::request::BackendSelector::Named(vec![backend]),
-            crate::request::Priority::Normal,
-        )
-        .wait();
+    let handle = service.submit_batch(
+        specs,
+        crate::request::BackendSelector::Named(vec![backend]),
+        crate::request::Priority::Normal,
+    );
+    Staged::Submitted {
+        handle,
+        expected,
+        single,
+    }
+}
+
+/// Resolves one staged request into its response.  Results stay
+/// `Arc`-shared with the shard's report cache all the way into the
+/// response encoder — answering a cached spec copies nothing.
+fn resolve(staged: Staged) -> ShardResponse {
+    let Staged::Submitted {
+        handle,
+        expected,
+        single,
+    } = staged
+    else {
+        let Staged::Now(response) = staged else {
+            unreachable!()
+        };
+        return response;
+    };
+    let response = handle.wait();
     let mut results: Vec<SharedResult> = response
         .results
         .into_iter()
@@ -299,7 +577,153 @@ fn evaluate_on(
         })));
     }
     results.truncate(expected.max(1));
-    Ok(results)
+    if single {
+        ShardResponse::Evaluated(results.remove(0))
+    } else {
+        ShardResponse::EvaluatedBatch(results)
+    }
+}
+
+/// Creates and registers this connection's ring segment when the policy
+/// allows one and none exists yet.  Any failure (an unwritable segment
+/// dir, an unlikely path collision) simply leaves the offer unmade.
+fn maybe_offer_ring(
+    remote: &RemoteConfig,
+    stream: &TcpStream,
+    conn_id: u64,
+    ring: &mut Option<ServerRing>,
+) {
+    if ring.is_some() {
+        return;
+    }
+    let eligible = match remote.transport {
+        TransportPolicy::Socket => false,
+        // Rings only work inside one host's memory; `Shm` extends the
+        // offer to every peer for operators who know their clients are
+        // local behind a non-loopback address.
+        TransportPolicy::Shm => true,
+        TransportPolicy::Auto => stream
+            .peer_addr()
+            .map(|addr| addr.ip().is_loopback())
+            .unwrap_or(false),
+    };
+    if !eligible {
+        return;
+    }
+    let path = shm::segment_path(conn_id);
+    let Ok(segment) = Segment::create(&path, shm::DEFAULT_CAPACITY) else {
+        return;
+    };
+    *ring = Some(ServerRing {
+        producer: segment.producer(Direction::ServerToClient),
+        consumer: segment.consumer(Direction::ClientToServer),
+        frames: FrameBuffer::new(),
+        segment,
+    });
+}
+
+/// Encodes a burst's responses back-to-back into `out`, so the whole
+/// answer leaves in one write.
+fn encode_responses(
+    out: &mut Vec<u8>,
+    responses: &[(u64, ShardResponse, WireEncoding)],
+    scratch: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    for (id, response, encoding) in responses {
+        write_response_frame(out, *id, response, *encoding, scratch)?;
+    }
+    Ok(())
+}
+
+/// `write_all` over the (now non-blocking) socket, parking on a full send
+/// buffer, bounded by `budget`.
+fn write_all_nonblocking(
+    stream: &mut TcpStream,
+    bytes: &[u8],
+    budget: Duration,
+) -> std::io::Result<()> {
+    let deadline = Instant::now() + budget;
+    let mut parker = Parker::new();
+    let mut written = 0;
+    while written < bytes.len() {
+        match stream.write(&bytes[written..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "socket accepted no bytes",
+                ))
+            }
+            Ok(n) => {
+                written += n;
+                parker.reset();
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if parker.is_parking() && Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "socket write stalled",
+                    ));
+                }
+                parker.park();
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Writes a response burst into the ring, pumping the inbound direction
+/// while the outbound one is full: the client's write path does the
+/// mirror-image pumping, so even bursts larger than both rings stream
+/// through without deadlock.  Bounded by `budget`; a dead peer (socket
+/// EOF) aborts immediately.
+fn ring_write_all(
+    server_ring: &mut ServerRing,
+    stream: &TcpStream,
+    bytes: &[u8],
+    budget: Duration,
+) -> std::io::Result<()> {
+    let deadline = Instant::now() + budget;
+    let mut parker = Parker::new();
+    let mut written = 0;
+    while written < bytes.len() {
+        let n = server_ring.producer.write_some(&bytes[written..])?;
+        if n > 0 {
+            written += n;
+            parker.reset();
+            continue;
+        }
+        match server_ring
+            .frames
+            .fill(&mut RingReader(&mut server_ring.consumer))
+        {
+            Ok(_) => {}
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(e) => return Err(e),
+        }
+        if parker.is_parking() {
+            let mut probe = [0u8; 1];
+            match stream.peek(&mut probe) {
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionAborted,
+                        "client closed the ring connection",
+                    ))
+                }
+                Ok(_) => {}
+                Err(e) => return Err(e),
+            }
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "ring write stalled against a full ring",
+                ));
+            }
+        }
+        parker.park();
+    }
+    Ok(())
 }
 
 /// A [`Backend`] whose evaluations run in a shard server across pooled TCP
@@ -503,6 +927,108 @@ impl Backend for RemoteBackend {
             Err(error) => workloads
                 .iter()
                 .map(|_| Err(self.transport_error(&error)))
+                .collect(),
+        }
+    }
+
+    /// A pipelining remote backend wants its worker's pending chunks
+    /// coalesced: the whole backlog crosses the wire as one burst instead
+    /// of one round-trip per chunk.
+    fn coalesces_chunks(&self) -> bool {
+        self.pipelining
+    }
+
+    /// Burst path, plain-result form: unwraps the shared results of
+    /// [`evaluate_chunks_shared`](Backend::evaluate_chunks_shared) (each a
+    /// freshly decoded sole-owner `Arc`, so the unwrap is a move).
+    fn evaluate_chunks(
+        &self,
+        chunks: &[Vec<WorkloadSpec>],
+    ) -> Vec<Vec<Result<EvalReport, EvalError>>> {
+        self.evaluate_chunks_shared(chunks)
+            .into_iter()
+            .map(|chunk| chunk.into_iter().map(unshare).collect())
+            .collect()
+    }
+
+    /// Sends every chunk of a coalesced backlog as one contiguous
+    /// multi-frame burst (one `EvaluateBatch` frame per chunk, one socket
+    /// or ring write for all of them), then reads the responses in order.
+    /// Results are handed through in the `Arc`s the wire decoder produced —
+    /// the serving cache stores exactly those, so the burst path never
+    /// unwraps and re-boxes a report.  Falls back to sequential
+    /// [`Backend::evaluate_many`] calls when pipelining is off, the burst
+    /// is trivial, or the shard predates batch support.
+    fn evaluate_chunks_shared(&self, chunks: &[Vec<WorkloadSpec>]) -> Vec<Vec<SharedResult>> {
+        let sequential = || {
+            chunks
+                .iter()
+                .map(|specs| {
+                    self.evaluate_many(specs)
+                        .into_iter()
+                        .map(Arc::new)
+                        .collect()
+                })
+                .collect()
+        };
+        if !self.pipelining || chunks.len() < 2 {
+            return sequential();
+        }
+        if self.pool.protocol().is_none() {
+            // Negotiate on first use, exactly as `evaluate_many` does.
+            let _ = self.pool.hello();
+        }
+        if !self.pool.supports_batch() {
+            return sequential();
+        }
+        let requests: Vec<ShardRequest> = chunks
+            .iter()
+            .map(|specs| ShardRequest::EvaluateBatch {
+                backend: self.name.clone(),
+                specs: specs.clone(),
+            })
+            .collect();
+        match self.pool.exchange_burst(&requests) {
+            Ok(responses) => responses
+                .into_iter()
+                .zip(chunks)
+                .map(|(response, specs)| match response {
+                    ShardResponse::EvaluatedBatch(results) if results.len() == specs.len() => {
+                        self.pool.count_pipelined(specs.len());
+                        results
+                    }
+                    ShardResponse::EvaluatedBatch(results) => {
+                        let got = results.len();
+                        specs
+                            .iter()
+                            .map(|_| {
+                                Arc::new(Err(self.unexpected(&format!("{got} results for batch"))))
+                            })
+                            .collect()
+                    }
+                    ShardResponse::Rejected(message) => specs
+                        .iter()
+                        .map(|_| {
+                            Arc::new(Err(EvalError::Transport {
+                                backend: self.name.clone(),
+                                detail: format!("shard rejected the request: {message}"),
+                            }))
+                        })
+                        .collect(),
+                    _ => specs
+                        .iter()
+                        .map(|_| Arc::new(Err(self.unexpected("evaluate_batch"))))
+                        .collect(),
+                })
+                .collect(),
+            Err(error) => chunks
+                .iter()
+                .map(|specs| {
+                    specs
+                        .iter()
+                        .map(|_| Arc::new(Err(self.transport_error(&error))))
+                        .collect()
+                })
                 .collect(),
         }
     }

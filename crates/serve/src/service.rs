@@ -355,6 +355,133 @@ impl EvalService {
         ResponseHandle { rx }
     }
 
+    /// Evaluates a burst of specs on one named backend, on the caller's
+    /// thread.  This is the shard's answer path for same-host ring
+    /// connections: the "pool" shares cores with the client, so queue
+    /// hand-offs buy no parallelism and cost two context switches per
+    /// batch.  The report cache is consulted and filled, but through the
+    /// lean peek/publish protocol rather than the reserve/merge machinery
+    /// of the worker path: one read-only transaction probes every spec
+    /// (borrowed — no `Arc`, no waiter allocation, no in-flight entry),
+    /// misses evaluate inline, and one write transaction publishes the
+    /// fresh results.  A key another request is concurrently evaluating
+    /// is simply re-evaluated here instead of merged — duplicate work in
+    /// a rare race, in exchange for zero per-spec bookkeeping on every
+    /// burst; any waiters queued on such a key are fulfilled by the
+    /// publish, and the racing evaluation republishes harmlessly.
+    /// Returns `None` for an unknown backend; otherwise the results align
+    /// with `specs`, `Arc`-shared with the cache.
+    pub fn evaluate_batch_inline(
+        &self,
+        backend: &str,
+        specs: Vec<WorkloadSpec>,
+    ) -> Option<Vec<CachedResult>> {
+        let inner = &*self.inner;
+        let backend_idx = inner.names.iter().position(|n| n == backend)?;
+        inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        if specs.is_empty() {
+            inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+            return Some(Vec::new());
+        }
+        inner.counters.batches.fetch_add(1, Ordering::Relaxed);
+        inner
+            .counters
+            .batched_requests
+            .fetch_add(specs.len() as u64, Ordering::Relaxed);
+        let total = specs.len();
+        // Pass 1 — one read-only cache transaction over the whole burst.
+        let mut results: Vec<Option<CachedResult>> = Vec::with_capacity(total);
+        let mut miss_count = 0u64;
+        {
+            let mut txn = inner.cache.begin();
+            for spec in &specs {
+                let hit = txn.peek(backend_idx, spec);
+                if hit.is_none() {
+                    miss_count += 1;
+                }
+                results.push(hit);
+            }
+        }
+        inner
+            .counters
+            .cache_hits
+            .fetch_add(total as u64 - miss_count, Ordering::Relaxed);
+        inner
+            .counters
+            .cache_misses
+            .fetch_add(miss_count, Ordering::Relaxed);
+        if miss_count > 0 {
+            // Pass 2 — evaluate the misses on this thread, panic-isolated
+            // exactly like the worker path.
+            let backend_ref = &inner.backends[backend_idx];
+            let shard_counters = &inner.counters.per_shard[backend_idx];
+            let mut fresh: Vec<(usize, Arc<WorkloadSpec>, CachedResult)> =
+                Vec::with_capacity(miss_count as usize);
+            for (slot, spec) in specs.into_iter().enumerate() {
+                if results[slot].is_some() {
+                    continue;
+                }
+                let result = catch_unwind(AssertUnwindSafe(|| backend_ref.evaluate(&spec)))
+                    .unwrap_or_else(|payload| {
+                        Err(EvalError::Panicked {
+                            backend: backend_ref.name().to_string(),
+                            workload: spec.name(),
+                            reason: panic_message(payload.as_ref()),
+                        })
+                    });
+                if result.is_err() {
+                    inner.counters.eval_errors.fetch_add(1, Ordering::Relaxed);
+                    shard_counters.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                fresh.push((slot, Arc::new(spec), Arc::new(result)));
+            }
+            inner
+                .counters
+                .evaluations
+                .fetch_add(miss_count, Ordering::Relaxed);
+            shard_counters
+                .evaluations
+                .fetch_add(miss_count, Ordering::Relaxed);
+            // Pass 3 — one write transaction publishes every fresh result.
+            // Requests that reserved one of these keys while we evaluated
+            // come back as waiters; fulfil them so they are not stranded
+            // (our publish replaced their in-flight entry).
+            let mut evicted_total = 0u64;
+            let mut raced: Vec<(Waiter, CachedResult)> = Vec::new();
+            {
+                let mut txn = inner.cache.begin();
+                for (slot, spec, result) in fresh {
+                    let (waiters, evicted) = txn.publish(backend_idx, spec, Arc::clone(&result));
+                    evicted_total += evicted;
+                    raced.extend(waiters.into_iter().map(|w| (w, Arc::clone(&result))));
+                    results[slot] = Some(result);
+                }
+            }
+            if evicted_total > 0 {
+                inner
+                    .counters
+                    .evictions
+                    .fetch_add(evicted_total, Ordering::Relaxed);
+            }
+            for (waiter, result) in raced {
+                fulfill(
+                    inner,
+                    &waiter.state,
+                    waiter.slot,
+                    Arc::clone(&inner.name_refs[backend_idx]),
+                    result,
+                );
+            }
+        }
+        inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+        Some(
+            results
+                .into_iter()
+                .map(|r| r.expect("every slot is a hit or a published miss"))
+                .collect(),
+        )
+    }
+
     /// Evaluates one workload on every backend shard; results align with
     /// [`backend_names`](Self::backend_names).  Synchronous wrapper over a
     /// one-spec [`submit_batch`](Self::submit_batch) — the caller blocks, so
@@ -617,82 +744,124 @@ fn dispatch(inner: &ServiceInner, senders: &[mpsc::Sender<Vec<WorkTask>>], batch
 /// as one wire exchange — so micro-batches formed by the batcher cross a
 /// process boundary intact instead of unravelling into per-spec round
 /// trips.
+/// Bound on work chunks one worker gathers into a single
+/// [`Backend::evaluate_chunks`] call, so draining a deep queue can never
+/// starve the other workers of this backend or defer the first chunk's
+/// results indefinitely.  Sized so one worker's share of a deep client
+/// batch (a 2048-spec burst split two ways into 64-spec chunks) crosses
+/// the wire as a single exchange — each extra exchange costs a full
+/// transport wake-up round trip.
+const MAX_COALESCED_CHUNKS: usize = 32;
+
 fn worker_loop(
     inner: &ServiceInner,
     backend_idx: usize,
     rx: &Mutex<mpsc::Receiver<Vec<WorkTask>>>,
 ) {
     let backend = Arc::clone(&inner.backends[backend_idx]);
+    // Remote backends amortise a wire round trip across every chunk waiting
+    // in the queue; in-process backends keep the chunk-at-a-time cadence.
+    let coalesce = backend.coalesces_chunks();
     loop {
         // Hold the queue lock only while receiving, never while evaluating.
-        let tasks = {
+        let mut chunks: Vec<Vec<WorkTask>> = Vec::new();
+        {
             let queue = rx.lock().expect("worker queue lock");
-            queue.recv()
-        };
-        let Ok(tasks) = tasks else {
-            break;
-        };
-        if tasks.is_empty() {
+            match queue.recv() {
+                Ok(tasks) => chunks.push(tasks),
+                Err(_) => break,
+            }
+            if coalesce {
+                while chunks.len() < MAX_COALESCED_CHUNKS {
+                    match queue.try_recv() {
+                        Ok(tasks) => chunks.push(tasks),
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        chunks.retain(|tasks| !tasks.is_empty());
+        if chunks.is_empty() {
             continue;
         }
-        // `Backend::evaluate_many` takes a contiguous spec slice, so the
+        // `Backend::evaluate_chunks` takes contiguous spec slices, so the
         // miss path clones the specs out of their Arcs here — the one
         // remaining deep copy, paid only when an actual evaluation runs
         // (hits and merges never reach this point).
-        let specs: Vec<WorkloadSpec> = tasks.iter().map(|task| (*task.spec).clone()).collect();
-        let results = catch_unwind(AssertUnwindSafe(|| backend.evaluate_many(&specs)))
-            .unwrap_or_else(|_| {
-                // A panic mid-chunk aborted the remaining specs along with
-                // the offender.  Backends are deterministic, so re-run the
-                // chunk per spec with individual isolation: innocent specs
-                // get their real results and the panic is attributed to
-                // exactly the spec(s) that caused it.
-                specs
-                    .iter()
-                    .map(|spec| {
-                        catch_unwind(AssertUnwindSafe(|| backend.evaluate(spec))).unwrap_or_else(
-                            |payload| {
-                                Err(EvalError::Panicked {
-                                    backend: backend.name().to_string(),
-                                    workload: spec.name(),
-                                    reason: panic_message(payload.as_ref()),
-                                })
-                            },
-                        )
-                    })
-                    .collect()
-            });
-        let mut results = results.into_iter();
-        for task in tasks {
-            // Guard against a misbehaving `evaluate_many` override: a
-            // short result list must fail its slots, never strand waiters.
-            let result = results.next().unwrap_or_else(|| {
-                Err(EvalError::Remote {
-                    message: "backend returned fewer results than workloads".to_string(),
+        let spec_lists: Vec<Vec<WorkloadSpec>> = chunks
+            .iter()
+            .map(|tasks| tasks.iter().map(|task| (*task.spec).clone()).collect())
+            .collect();
+        // The shared form hands through the `Arc`s a remote backend's wire
+        // decoder produced, so the cache below stores them without a
+        // per-report unwrap-and-re-box.
+        let mut chunk_results = catch_unwind(AssertUnwindSafe(|| {
+            backend.evaluate_chunks_shared(&spec_lists)
+        }))
+        .unwrap_or_else(|_| {
+            // A panic mid-call aborted the remaining specs along with
+            // the offender.  Backends are deterministic, so re-run
+            // per spec with individual isolation: innocent specs get
+            // their real results and the panic is attributed to
+            // exactly the spec(s) that caused it.
+            spec_lists
+                .iter()
+                .map(|specs| {
+                    specs
+                        .iter()
+                        .map(|spec| {
+                            Arc::new(
+                                catch_unwind(AssertUnwindSafe(|| backend.evaluate(spec)))
+                                    .unwrap_or_else(|payload| {
+                                        Err(EvalError::Panicked {
+                                            backend: backend.name().to_string(),
+                                            workload: spec.name(),
+                                            reason: panic_message(payload.as_ref()),
+                                        })
+                                    }),
+                            )
+                        })
+                        .collect()
                 })
-            });
-            inner.counters.evaluations.fetch_add(1, Ordering::Relaxed);
-            let shard = &inner.counters.per_shard[task.backend];
-            shard.evaluations.fetch_add(1, Ordering::Relaxed);
-            if result.is_err() {
-                inner.counters.eval_errors.fetch_add(1, Ordering::Relaxed);
-                shard.errors.fetch_add(1, Ordering::Relaxed);
-            }
-            let (result, waiters, evicted) = inner.cache.complete(task.backend, &task.spec, result);
-            if evicted > 0 {
-                inner
-                    .counters
-                    .evictions
-                    .fetch_add(evicted, Ordering::Relaxed);
-            }
-            for waiter in waiters {
-                fulfill(
-                    inner,
-                    &waiter.state,
-                    waiter.slot,
-                    Arc::clone(&inner.name_refs[task.backend]),
-                    Arc::clone(&result),
-                );
+                .collect()
+        })
+        .into_iter();
+        for tasks in chunks {
+            // Guard against a misbehaving `evaluate_chunks` override: a
+            // short result list must fail its slots, never strand waiters.
+            let mut results = chunk_results.next().unwrap_or_default().into_iter();
+            for task in tasks {
+                let result = results.next().unwrap_or_else(|| {
+                    Arc::new(Err(EvalError::Remote {
+                        message: "backend returned fewer results than workloads".to_string(),
+                    }))
+                });
+                inner.counters.evaluations.fetch_add(1, Ordering::Relaxed);
+                let shard = &inner.counters.per_shard[task.backend];
+                shard.evaluations.fetch_add(1, Ordering::Relaxed);
+                if result.is_err() {
+                    inner.counters.eval_errors.fetch_add(1, Ordering::Relaxed);
+                    shard.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                let (result, waiters, evicted) =
+                    inner
+                        .cache
+                        .complete_shared(task.backend, &task.spec, result);
+                if evicted > 0 {
+                    inner
+                        .counters
+                        .evictions
+                        .fetch_add(evicted, Ordering::Relaxed);
+                }
+                for waiter in waiters {
+                    fulfill(
+                        inner,
+                        &waiter.state,
+                        waiter.slot,
+                        Arc::clone(&inner.name_refs[task.backend]),
+                        Arc::clone(&result),
+                    );
+                }
             }
         }
     }
@@ -842,6 +1011,7 @@ impl ShardRouter {
             let remote_config = RemoteConfig {
                 pool_size: decl.pool_size.unwrap_or(topology.service.remote.pool_size),
                 encoding: decl.encoding.unwrap_or(topology.service.remote.encoding),
+                transport: decl.transport.unwrap_or(topology.service.remote.transport),
                 ..topology.service.remote.clone()
             };
             router = router.remote_with(&decl.addr, remote_config, decl.weight)?;

@@ -99,6 +99,12 @@ pub struct PoolStats {
     pub bytes_sent: u64,
     /// Bytes this pool took off the wire (length prefixes included).
     pub bytes_received: u64,
+    /// Request frames that shared a burst write with at least one other
+    /// frame (counted only for bursts of two or more) — the observable
+    /// effect of worker-side chunk coalescing.
+    pub frames_coalesced: u64,
+    /// Exchanges carried by a shared-memory ring instead of the socket.
+    pub ring_exchanges: u64,
 }
 
 impl PoolStats {

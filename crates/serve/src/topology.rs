@@ -37,9 +37,11 @@
 //! * `remotes` — shard servers to autodiscover backends from via the
 //!   `hello` handshake, with an optional per-shard worker `weight`
 //!   (heavier shards get proportionally more client-side worker threads),
-//!   `pool_size` (connection-pool bound override) and `encoding`
+//!   `pool_size` (connection-pool bound override), `encoding`
 //!   (`auto`/`json`/`binary` wire-encoding override — force `json` on one
-//!   shard to debug its traffic while the fleet stays binary).
+//!   shard to debug its traffic while the fleet stays binary) and
+//!   `transport` (`auto`/`socket`/`shm` — whether the client accepts a
+//!   shard's shared-memory ring offer; see [`crate::shm`]).
 //!
 //! [`ShardRouter::from_topology`](crate::ShardRouter::from_topology) turns
 //! a parsed topology into a running mixed local/remote service;
@@ -48,7 +50,7 @@
 //! round-trips byte-identically through parse → decode → re-emit, pinned
 //! by `tests/json_roundtrip.rs`.
 
-use crate::config::{EncodingPolicy, RemoteConfig, ServiceConfig};
+use crate::config::{EncodingPolicy, RemoteConfig, ServiceConfig, TransportPolicy};
 use crate::json::{self, DecodeError, JsonParseError, JsonValue};
 use std::time::Duration;
 
@@ -69,6 +71,12 @@ pub struct RemoteShardDecl {
     /// traffic in a packet capture while the rest of the fleet stays
     /// binary.
     pub encoding: Option<EncodingPolicy>,
+    /// Transport override for this shard; `None` uses
+    /// [`RemoteConfig::transport`].  Force `socket` on one shard to keep
+    /// it off shared memory (say, while bisecting a perf regression), or
+    /// `shm` to accept ring offers from a non-loopback address that is
+    /// known to be this host.
+    pub transport: Option<TransportPolicy>,
 }
 
 impl RemoteShardDecl {
@@ -79,6 +87,7 @@ impl RemoteShardDecl {
             weight: 1,
             pool_size: None,
             encoding: None,
+            transport: None,
         }
     }
 }
@@ -195,6 +204,12 @@ pub fn topology_json(topology: &Topology) -> JsonValue {
                                     JsonValue::Str(e.as_str().to_string())
                                 }),
                             ),
+                            (
+                                "transport",
+                                decl.transport.map_or(JsonValue::Null, |t| {
+                                    JsonValue::Str(t.as_str().to_string())
+                                }),
+                            ),
                         ])
                     })
                     .collect(),
@@ -254,6 +269,10 @@ pub fn service_config_json(config: &ServiceConfig) -> JsonValue {
                     "encoding",
                     JsonValue::Str(config.remote.encoding.as_str().to_string()),
                 ),
+                (
+                    "transport",
+                    JsonValue::Str(config.remote.transport.as_str().to_string()),
+                ),
             ]),
         ),
     ])
@@ -302,7 +321,24 @@ fn remote_config_from_json(value: &JsonValue) -> Result<RemoteConfig, DecodeErro
     if let Some(v) = value.get("encoding") {
         remote.encoding = decode_encoding(v, CTX)?;
     }
+    if let Some(v) = value.get("transport") {
+        remote.transport = decode_transport(v, CTX)?;
+    }
     Ok(remote)
+}
+
+/// Decodes an `"auto"`/`"socket"`/`"shm"` transport spelling.
+fn decode_transport(value: &JsonValue, ctx: &str) -> Result<TransportPolicy, DecodeError> {
+    match value {
+        JsonValue::Str(text) => TransportPolicy::parse(text).ok_or_else(|| DecodeError {
+            context: ctx.to_string(),
+            message: format!("`transport`: unknown policy `{text}` (auto, socket or shm)"),
+        }),
+        _ => Err(DecodeError {
+            context: ctx.to_string(),
+            message: "`transport` must be a string".to_string(),
+        }),
+    }
 }
 
 /// Decodes an `"auto"`/`"json"`/`"binary"` encoding spelling.
@@ -400,11 +436,16 @@ fn remote_decl_from_json(value: &JsonValue) -> Result<RemoteShardDecl, DecodeErr
         None | Some(JsonValue::Null) => None,
         Some(v) => Some(decode_encoding(v, CTX)?),
     };
+    let transport = match value.get("transport") {
+        None | Some(JsonValue::Null) => None,
+        Some(v) => Some(decode_transport(v, CTX)?),
+    };
     Ok(RemoteShardDecl {
         addr,
         weight,
         pool_size,
         encoding,
+        transport,
     })
 }
 
@@ -442,6 +483,7 @@ mod tests {
                     pool_size: 6,
                     server_idle_timeout: Duration::from_millis(45000),
                     encoding: EncodingPolicy::Binary,
+                    transport: TransportPolicy::Socket,
                 },
             },
             local: vec!["rsn-xnn".to_string(), "roofline-bound".to_string()],
@@ -451,6 +493,7 @@ mod tests {
                     weight: 2,
                     pool_size: Some(8),
                     encoding: Some(EncodingPolicy::Json),
+                    transport: Some(TransportPolicy::Shm),
                 },
                 RemoteShardDecl::new("10.0.0.8:7070"),
             ],
@@ -488,7 +531,9 @@ mod tests {
             r#"{"remotes": [{}]}"#,
             r#"{"remotes": [{"addr": "x", "weight": "heavy"}]}"#,
             r#"{"remotes": [{"addr": "x", "encoding": "yaml"}]}"#,
+            r#"{"remotes": [{"addr": "x", "transport": "pipe"}]}"#,
             r#"{"service": {"remote": {"encoding": 3}}}"#,
+            r#"{"service": {"remote": {"transport": 3}}}"#,
             r#"{"service": {"max_batch": -1}}"#,
         ];
         for text in bad {

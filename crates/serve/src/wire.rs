@@ -67,9 +67,12 @@ pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 
 /// The shard protocol version this build speaks.  Version 2 added the
 /// `evaluate_batch` exchange; version 3 added the compact binary codec
-/// ([`crate::binary`]).  The hello response advertises the version so
-/// clients can negotiate per-spec and JSON fallbacks against older shards.
-pub const PROTOCOL_VERSION: u64 = 3;
+/// ([`crate::binary`]); version 4 added shared-memory ring negotiation
+/// (the hello response may advertise a same-host ring segment path — see
+/// [`crate::shm`]) and extensible pool-counter records in binary stats
+/// documents.  The hello response advertises the version so clients can
+/// negotiate per-spec and JSON fallbacks against older shards.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// The encoding of one frame on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -288,14 +291,23 @@ pub fn read_request_frame(
         return Ok(None);
     }
     let bytes = scratch.len() as u64 + 4;
-    let (id, request, encoding) = if scratch.first() == Some(&binary::MAGIC) {
-        let (id, request) = binary::decode_request(scratch)?;
-        (id, request, WireEncoding::Binary)
-    } else {
-        let (id, request) = ShardRequest::from_json(&parse_json_payload(scratch)?)?;
-        (id, request, WireEncoding::Json)
-    };
+    let (id, request, encoding) = decode_request_payload(scratch)?;
     Ok(Some((id, request, encoding, bytes)))
+}
+
+/// Decodes one request payload (already stripped of its length prefix),
+/// dispatching on the leading byte.  The frame-draining server loop uses
+/// this directly on payloads extracted from a [`FrameBuffer`].
+pub fn decode_request_payload(
+    payload: &[u8],
+) -> Result<(u64, ShardRequest, WireEncoding), WireError> {
+    if payload.first() == Some(&binary::MAGIC) {
+        let (id, request) = binary::decode_request(payload)?;
+        Ok((id, request, WireEncoding::Binary))
+    } else {
+        let (id, request) = ShardRequest::from_json(&parse_json_payload(payload)?)?;
+        Ok((id, request, WireEncoding::Json))
+    }
 }
 
 /// Reads and decodes one response frame, dispatching on the payload's
@@ -315,6 +327,79 @@ pub fn read_response_frame(
         ShardResponse::from_json(&parse_json_payload(scratch)?)?
     };
     Ok(Some((id, response, bytes)))
+}
+
+/// Accumulates wire bytes and slices them back into frames, so a receiver
+/// can take *every* complete frame one `read` delivered instead of issuing
+/// one syscall pair per frame.  This is what lets a shard server drain a
+/// client's coalesced burst: read once, answer everything that arrived.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+/// How much free space [`FrameBuffer::fill`] guarantees before reading —
+/// large enough that a burst of typical frames lands in one syscall.
+const FILL_CHUNK: usize = 256 * 1024;
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Unconsumed buffered bytes (complete frames plus any partial tail).
+    pub fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Issues **one** `read` into the buffer, compacting consumed bytes
+    /// first.  Returns the byte count (0 is EOF); `WouldBlock`/timeout
+    /// errors pass through for the caller's idle handling.
+    pub fn fill(&mut self, reader: &mut impl Read) -> std::io::Result<usize> {
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if self.buf.len() < self.end + FILL_CHUNK {
+            self.buf.resize(self.end + FILL_CHUNK, 0);
+        }
+        let n = reader.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
+    }
+
+    /// Extracts the next complete frame's payload into `scratch` (cleared
+    /// first).  `Ok(false)` means no complete frame is buffered yet; a
+    /// length prefix over [`MAX_FRAME_BYTES`] is an error.  Returns the
+    /// frame's total wire size (prefix included) via `scratch.len() + 4`.
+    pub fn take_frame(&mut self, scratch: &mut Vec<u8>) -> Result<bool, WireError> {
+        if self.buffered() < 4 {
+            return Ok(false);
+        }
+        let prefix: [u8; 4] = self.buf[self.start..self.start + 4]
+            .try_into()
+            .expect("4 bytes checked");
+        let len = u32::from_be_bytes(prefix);
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::FrameTooLarge(len));
+        }
+        let total = 4 + len as usize;
+        if self.buffered() < total {
+            return Ok(false);
+        }
+        scratch.clear();
+        scratch.extend_from_slice(&self.buf[self.start + 4..self.start + total]);
+        self.start += total;
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        }
+        Ok(true)
+    }
 }
 
 /// One request a client can make of a shard server.
@@ -472,6 +557,10 @@ pub enum ShardResponse {
         names: Vec<String>,
         /// The shard's [`PROTOCOL_VERSION`].
         protocol: u64,
+        /// Path of a shared-memory ring segment this connection may switch
+        /// to (see [`crate::shm`]); `None` when the shard does not offer
+        /// one (different host, transport disabled, or a pre-v4 peer).
+        ring: Option<String>,
     },
     /// Whether the asked backend supports the asked spec.
     Supported(bool),
@@ -497,12 +586,21 @@ impl ShardResponse {
             ("ok".to_string(), JsonValue::Bool(ok)),
         ];
         match self {
-            ShardResponse::Backends { names, protocol } => {
+            ShardResponse::Backends {
+                names,
+                protocol,
+                ring,
+            } => {
                 pairs.push((
                     "backends".to_string(),
                     JsonValue::Arr(names.iter().map(|n| JsonValue::Str(n.clone())).collect()),
                 ));
                 pairs.push(("protocol".to_string(), JsonValue::Int(*protocol)));
+                // Emitted only when offered; pre-v4 decoders ignore unknown
+                // keys, so the field is invisible to them either way.
+                if let Some(path) = ring {
+                    pairs.push(("ring".to_string(), JsonValue::Str(path.clone())));
+                }
             }
             ShardResponse::Supported(supported) => {
                 pairs.push(("supported".to_string(), JsonValue::Bool(*supported)));
@@ -584,7 +682,16 @@ impl ShardResponse {
                 Some(JsonValue::Int(version)) => *version,
                 _ => 1,
             };
-            ShardResponse::Backends { names, protocol }
+            // Pre-v4 shards never advertise a ring segment.
+            let ring = match doc.get("ring") {
+                Some(JsonValue::Str(path)) => Some(path.clone()),
+                _ => None,
+            };
+            ShardResponse::Backends {
+                names,
+                protocol,
+                ring,
+            }
         } else if let Some(JsonValue::Bool(supported)) = doc.get("supported") {
             ShardResponse::Supported(*supported)
         } else if let Some(report) = doc.get("report") {
@@ -733,6 +840,12 @@ mod tests {
             ShardResponse::Backends {
                 names: vec!["a".to_string(), "b".to_string()],
                 protocol: PROTOCOL_VERSION,
+                ring: None,
+            },
+            ShardResponse::Backends {
+                names: vec!["a".to_string()],
+                protocol: PROTOCOL_VERSION,
+                ring: Some("/dev/shm/rsn-ring-test".to_string()),
             },
             ShardResponse::Supported(true),
             ShardResponse::Evaluated(Arc::new(Ok(EvalReport::new("a", "w")))),
@@ -829,9 +942,17 @@ mod tests {
             ),
         ]);
         match ShardResponse::from_json(&doc).expect("legacy hello decodes") {
-            (9, ShardResponse::Backends { names, protocol }) => {
+            (
+                9,
+                ShardResponse::Backends {
+                    names,
+                    protocol,
+                    ring,
+                },
+            ) => {
                 assert_eq!(names, ["rsn-xnn"]);
                 assert_eq!(protocol, 1, "missing field must mean version 1");
+                assert_eq!(ring, None, "pre-v4 shards never offer a ring");
             }
             other => panic!("unexpected decode: {other:?}"),
         }

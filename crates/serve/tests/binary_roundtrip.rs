@@ -128,7 +128,7 @@ fn random_report(rng: &mut u64) -> EvalReport {
     report.achieved_flops = opt_f64(rng);
     for i in 0..lcg(rng) % 4 {
         report.segments.push(rsn_eval::SegmentMetric {
-            name: format!("segment-{i}"),
+            name: format!("segment-{i}").into(),
             latency_s: finite_f64(rng),
             compute_s: finite_f64(rng),
             ddr_s: finite_f64(rng),
@@ -138,10 +138,10 @@ fn random_report(rng: &mut u64) -> EvalReport {
     }
     for i in 0..lcg(rng) % 3 {
         let values = (0..lcg(rng) % 4)
-            .map(|j| (format!("metric-{j}"), finite_f64(rng)))
+            .map(|j| (format!("metric-{j}").into(), finite_f64(rng)))
             .collect();
         report.breakdown.push(BreakdownRow {
-            name: format!("row {i} {}", label(rng)),
+            name: format!("row {i} {}", label(rng)).into(),
             values,
         });
     }
@@ -231,6 +231,8 @@ fn random_stats(rng: &mut u64) -> ServiceStats {
                 pipelined_specs: lcg(rng) % 100_000,
                 bytes_sent: lcg(rng),
                 bytes_received: lcg(rng),
+                frames_coalesced: lcg(rng) % 100_000,
+                ring_exchanges: lcg(rng) % 100_000,
             })
             .collect(),
     }
@@ -264,6 +266,11 @@ fn random_response(rng: &mut u64) -> ShardResponse {
         0 => ShardResponse::Backends {
             names: (0..lcg(rng) % 5).map(|_| label(rng)).collect(),
             protocol: lcg(rng) % 8,
+            ring: if lcg(rng).is_multiple_of(2) {
+                None
+            } else {
+                Some(format!("/dev/shm/rsn-ring-{}.ring", lcg(rng) % 100_000))
+            },
         },
         1 => ShardResponse::Supported(lcg(rng).is_multiple_of(2)),
         2 => ShardResponse::Evaluated(shared(random_result(rng))),
@@ -399,17 +406,239 @@ fn whole_messages_round_trip_identically_and_match_json() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shared-memory ring transport: wraparound fidelity and hostile-input fuzz
+// ---------------------------------------------------------------------------
+
+use rsn_serve::shm::{Direction, RingConn, Segment};
+use rsn_serve::wire::{
+    decode_request_payload, write_request_frame, FrameBuffer, WireEncoding, WireError,
+};
+use std::io::Read as _;
+use std::time::{Duration, Instant};
+
+fn ring_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("rsn-ring-fuzz-{}-{name}.ring", std::process::id()))
+}
+
+#[test]
+fn ring_frames_survive_wraparound_byte_identically() {
+    let path = ring_path("wrap");
+    let _ = std::fs::remove_file(&path);
+    let segment = Segment::create(&path, 4096).expect("create segment");
+    let mut producer = segment.producer(Direction::ClientToServer);
+    let consumer_segment = Segment::open(&path).expect("peer mapping");
+    let mut consumer = consumer_segment.consumer(Direction::ClientToServer);
+
+    let mut rng = SEED ^ 7;
+    let mut scratch = Vec::new();
+    let mut wire = Vec::new();
+    let mut requests = Vec::new();
+    for _ in 0..64 {
+        let id = lcg(&mut rng) % 1_000_000;
+        let request = random_request(&mut rng);
+        write_request_frame(&mut wire, id, &request, WireEncoding::Binary, &mut scratch)
+            .expect("encode");
+        requests.push((id, request));
+    }
+    // Push the burst through the tiny ring in ragged chunks, draining only
+    // when the producer stalls: every frame crosses the wraparound boundary
+    // many times over.
+    let mut acc = Vec::new();
+    let mut buf = [0u8; 1024];
+    let mut offset = 0;
+    while offset < wire.len() {
+        let end = (offset + (lcg(&mut rng) % 900 + 1) as usize).min(wire.len());
+        while offset < end {
+            let n = producer.write_some(&wire[offset..end]).expect("ring write");
+            offset += n;
+            if n == 0 {
+                let got = consumer.read_some(&mut buf).expect("ring read");
+                acc.extend_from_slice(&buf[..got]);
+            }
+        }
+    }
+    loop {
+        let got = consumer.read_some(&mut buf).expect("ring read");
+        if got == 0 {
+            break;
+        }
+        acc.extend_from_slice(&buf[..got]);
+    }
+    assert_eq!(acc, wire, "bytes through the ring are identical");
+
+    let mut frames = FrameBuffer::new();
+    let mut src: &[u8] = &acc;
+    while frames.fill(&mut src).expect("fill") > 0 {}
+    let mut decoded = Vec::new();
+    while frames.take_frame(&mut scratch).expect("frame") {
+        let (id, request, encoding) = decode_request_payload(&scratch).expect("decode");
+        assert_eq!(encoding, WireEncoding::Binary);
+        decoded.push((id, request));
+    }
+    assert_eq!(decoded, requests, "every frame decodes back identically");
+}
+
+#[test]
+fn torn_length_prefixes_and_hostile_lengths_never_hang_or_panic() {
+    let mut scratch = Vec::new();
+    let mut wire = Vec::new();
+    write_request_frame(
+        &mut wire,
+        7,
+        &ShardRequest::Hello,
+        WireEncoding::Binary,
+        &mut scratch,
+    )
+    .expect("encode");
+    // A frame torn at every possible byte boundary — mid-prefix or
+    // mid-payload — yields no frame until the missing tail arrives.
+    for split in 1..wire.len() {
+        let mut frames = FrameBuffer::new();
+        let mut head: &[u8] = &wire[..split];
+        frames.fill(&mut head).expect("fill head");
+        assert!(
+            !frames
+                .take_frame(&mut scratch)
+                .expect("no error on torn frame"),
+            "split {split}: torn frame must stay incomplete"
+        );
+        let mut tail: &[u8] = &wire[split..];
+        frames.fill(&mut tail).expect("fill tail");
+        assert!(frames.take_frame(&mut scratch).expect("frame completes"));
+        let (id, request, _) = decode_request_payload(&scratch).expect("decodes");
+        assert_eq!((id, request), (7, ShardRequest::Hello));
+    }
+    // An absurd length prefix is rejected outright — no allocation sized
+    // by the attacker, no waiting for 4 GiB that never comes.
+    let mut frames = FrameBuffer::new();
+    let mut src: &[u8] = &u32::MAX.to_be_bytes();
+    frames.fill(&mut src).expect("fill");
+    assert!(matches!(
+        frames.take_frame(&mut scratch),
+        Err(WireError::FrameTooLarge(_))
+    ));
+}
+
+#[test]
+fn garbage_payloads_decode_to_errors_never_panics() {
+    let mut rng = SEED ^ 8;
+    for _ in 0..SWEEP {
+        let len = (lcg(&mut rng) % 64) as usize;
+        let mut payload: Vec<u8> = (0..len).map(|_| (lcg(&mut rng) & 0xFF) as u8).collect();
+        // Whatever the leading byte selects (JSON or binary), hostile
+        // bytes must decode to an error, never a panic.
+        let _ = decode_request_payload(&payload);
+        if !payload.is_empty() {
+            payload[0] = binary::MAGIC;
+            let _ = decode_request_payload(&payload);
+        }
+    }
+}
+
+#[test]
+fn dead_or_silent_ring_peers_fail_promptly_instead_of_hanging() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let client = std::net::TcpStream::connect(addr).expect("connect");
+    let (server, _) = listener.accept().expect("accept");
+    let path = ring_path("dead");
+    let _ = std::fs::remove_file(&path);
+    let segment = Segment::create(&path, 4096).expect("create segment");
+    let mut conn = RingConn::new(client, &segment, Duration::from_millis(300)).expect("ring conn");
+    let mut buf = [0u8; 8];
+    // Silent but alive peer: the read budget bounds the wait.
+    let started = Instant::now();
+    let err = conn.read(&mut buf).expect_err("nothing was sent");
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut, "{err}");
+    assert!(started.elapsed() < Duration::from_secs(10));
+    // Dead peer: the liveness socket reports the EOF and the read aborts
+    // without waiting out the whole budget pointlessly.
+    drop(server);
+    let started = Instant::now();
+    let err = conn.read(&mut buf).expect_err("peer is gone");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::ConnectionAborted | std::io::ErrorKind::TimedOut
+        ),
+        "{err}"
+    );
+    assert!(started.elapsed() < Duration::from_secs(10));
+}
+
 #[test]
 fn non_finite_floats_survive_binary_exactly() {
     // JSON flattens non-finite floats to null; the binary codec must not.
     let mut report = EvalReport::new("b", "w");
     report.latency_s = Some(f64::INFINITY);
-    report.metrics.insert("nan".to_string(), f64::NAN);
+    report.metrics.insert("nan", f64::NAN);
     let mut scratch = Vec::new();
     binary::encode_report(&mut scratch, &report);
     let decoded = binary::decode_report(&scratch).expect("decodes");
     assert_eq!(decoded.latency_s, Some(f64::INFINITY));
     assert!(decoded.metrics["nan"].is_nan());
+}
+
+/// LEB128, matching the codec's internal `put_varint` (the writer is
+/// private; strings on the wire are varint-length-prefixed UTF-8).
+fn put_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+#[test]
+fn borrowed_string_reads_match_owned_over_a_seeded_sweep() {
+    let mut rng = SEED ^ 6;
+    for i in 0..SWEEP {
+        let labels: Vec<String> = (0..lcg(&mut rng) % 16 + 1)
+            .map(|_| label(&mut rng))
+            .collect();
+        let mut buf = Vec::new();
+        for l in &labels {
+            put_varint(&mut buf, l.len() as u64);
+            buf.extend_from_slice(l.as_bytes());
+        }
+        let mut borrowed = binary::Reader::new(&buf);
+        let mut owned = binary::Reader::new(&buf);
+        let range = buf.as_ptr() as usize..buf.as_ptr() as usize + buf.len();
+        for (j, l) in labels.iter().enumerate() {
+            let b = borrowed
+                .str_ref()
+                .unwrap_or_else(|e| panic!("seed {SEED:#x} doc {i} str {j}: {e}"));
+            let o = owned
+                .str()
+                .unwrap_or_else(|e| panic!("seed {SEED:#x} doc {i} str {j}: {e}"));
+            assert_eq!(b, l.as_str(), "seed {SEED:#x} doc {i} str {j}");
+            assert_eq!(o, *l, "seed {SEED:#x} doc {i} str {j}");
+            // The borrowed read is genuinely zero-copy: the returned slice
+            // points into the frame buffer itself.
+            assert!(
+                l.is_empty() || range.contains(&(b.as_ptr() as usize)),
+                "seed {SEED:#x} doc {i} str {j}: borrowed slice escaped the frame"
+            );
+        }
+        borrowed.finish().expect("borrowed reader consumed all");
+        owned.finish().expect("owned reader consumed all");
+    }
+}
+
+#[test]
+fn interner_deduplicates_repeated_names_into_shared_arcs() {
+    let mut interner = binary::Interner::new();
+    let a = interner.intern("rsn-xnn");
+    let b = interner.intern("rsn-xnn");
+    assert!(Arc::ptr_eq(&a, &b), "repeat interning must share storage");
+    let c = interner.intern("charm");
+    assert!(!Arc::ptr_eq(&a, &c));
+    assert_eq!(&*c, "charm");
 }
 
 #[test]

@@ -42,7 +42,7 @@ fn rich_report() -> EvalReport {
     report.throughput_tasks_per_s = Some(333.76);
     report.achieved_flops = Some(4.7e12);
     report.segments.push(SegmentMetric {
-        name: "Attention MM1+MM2 (pipelined)".to_string(),
+        name: "Attention MM1+MM2 (pipelined)".into(),
         latency_s: 2.618e-3,
         compute_s: 2.0e-3,
         ddr_s: 0.4e-3,
@@ -50,12 +50,12 @@ fn rich_report() -> EvalReport {
         phase_s: 0.118e-3,
     });
     report.breakdown.push(BreakdownRow {
-        name: "quoted \"name\"\twith\nspecials \\ ×".to_string(),
-        values: vec![("watts".to_string(), 60.8), ("share".to_string(), 0.6163)],
+        name: "quoted \"name\"\twith\nspecials \\ ×".into(),
+        values: vec![("watts".into(), 60.8), ("share".into(), 0.6163)],
     });
     // An empty values object and empty metric map exercise `{}`.
     report.breakdown.push(BreakdownRow {
-        name: "empty".to_string(),
+        name: "empty".into(),
         values: Vec::new(),
     });
     report.cycle = Some(CycleStats {
@@ -274,6 +274,8 @@ fn stats_round_trip_including_per_shard_counters() {
             pipelined_specs: 8,
             bytes_sent: 4096,
             bytes_received: 16384,
+            frames_coalesced: 5,
+            ring_exchanges: 6,
         }],
     };
     let parsed = assert_emit_stable(&stats_json(&stats));
@@ -320,6 +322,7 @@ fn topology_round_trips_typed_and_textual() {
                 pool_size: 8,
                 server_idle_timeout: std::time::Duration::from_millis(30000),
                 encoding: rsn_serve::EncodingPolicy::Json,
+                transport: rsn_serve::TransportPolicy::Shm,
             },
         },
         local: vec!["rsn-xnn".to_string()],
@@ -329,6 +332,7 @@ fn topology_round_trips_typed_and_textual() {
                 weight: 2,
                 pool_size: Some(16),
                 encoding: Some(rsn_serve::EncodingPolicy::Binary),
+                transport: Some(rsn_serve::TransportPolicy::Socket),
             },
             RemoteShardDecl::new("10.0.0.8:7070"),
         ],

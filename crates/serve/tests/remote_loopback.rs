@@ -390,6 +390,135 @@ fn killed_shard_fails_every_queued_request_then_pool_refills_after_restart() {
 }
 
 #[test]
+fn shm_ring_negotiates_on_loopback_kills_promptly_and_unlinks_segments() {
+    let server = ShardServer::bind(
+        "127.0.0.1:0",
+        EvalService::new(Evaluator::empty().with_backend(Box::new(XnnAnalyticBackend::new()))),
+    )
+    .expect("bind loopback shard");
+    let addr = server.local_addr().to_string();
+    let service = ShardRouter::new()
+        .remote(&addr)
+        .expect("loopback shard reachable")
+        .build()
+        .expect("unique names");
+
+    // Loopback + the default `auto` policy on both ends: the hello offers
+    // a ring and the pool switches onto it.
+    let specs: Vec<WorkloadSpec> = (1..=32usize)
+        .map(|n| WorkloadSpec::SquareGemm { n: 4096 + n })
+        .collect();
+    assert!(service
+        .evaluate_grid(&specs)
+        .iter()
+        .flatten()
+        .all(Result::is_ok));
+    let pool = service.stats().pool(&addr).expect("pool").clone();
+    assert!(
+        pool.ring_exchanges > 0,
+        "loopback auto-negotiation must carry exchanges over the ring: {pool:?}"
+    );
+    let segments = server.ring_segments();
+    assert!(
+        !segments.is_empty(),
+        "a ring connection must own a live segment"
+    );
+    assert!(
+        segments.iter().all(|p| p.exists()),
+        "advertised segments must exist on disk: {segments:?}"
+    );
+
+    // Kill the shard mid-stream: the ring's liveness socket reports the
+    // death and the evaluation fails with a prompt transport error.
+    drop(server);
+    let started = std::time::Instant::now();
+    let result = service.evaluate(&WorkloadSpec::SquareGemm { n: 8191 });
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "dead ring peer must fail fast, not hang"
+    );
+    match &result[0] {
+        Err(EvalError::Transport { backend, .. }) => assert_eq!(backend, "rsn-xnn"),
+        other => panic!("expected a transport error over the dead ring, got {other:?}"),
+    }
+
+    // The serving threads wind down and every stale segment is unlinked —
+    // nothing leaks into /dev/shm.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while segments.iter().any(|p| p.exists()) && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    for path in &segments {
+        assert!(
+            !path.exists(),
+            "stale ring segment {} must be unlinked on server teardown",
+            path.display()
+        );
+    }
+
+    // Restart on the same address: the pool re-dials, re-negotiates a
+    // fresh ring, and serves again.
+    let revived = ShardServer::bind(
+        &addr,
+        EvalService::new(Evaluator::empty().with_backend(Box::new(XnnAnalyticBackend::new()))),
+    )
+    .expect("rebind the shard address");
+    let ring_exchanges_before = service.stats().pool(&addr).expect("pool").ring_exchanges;
+    let after: Vec<WorkloadSpec> = (1..=16usize)
+        .map(|n| WorkloadSpec::SquareGemm { n: 8192 + n })
+        .collect();
+    assert!(service
+        .evaluate_grid(&after)
+        .iter()
+        .flatten()
+        .all(Result::is_ok));
+    let pool = service.stats().pool(&addr).expect("pool").clone();
+    assert!(
+        pool.ring_exchanges > ring_exchanges_before,
+        "the restarted shard must renegotiate the ring: {pool:?}"
+    );
+    drop(revived);
+}
+
+#[test]
+fn socket_transport_policy_declines_the_ring_and_stays_byte_identical() {
+    let server = ShardServer::bind("127.0.0.1:0", EvalService::new(paper_backends()))
+        .expect("bind loopback shard");
+    let addr = server.local_addr().to_string();
+    let socket_only = rsn_serve::RemoteConfig {
+        transport: rsn_serve::TransportPolicy::Socket,
+        ..rsn_serve::RemoteConfig::default()
+    };
+    let service = ShardRouter::new()
+        .remote_with(&addr, socket_only, 1)
+        .expect("loopback shard reachable")
+        .build()
+        .expect("unique names");
+
+    let workloads = paper_workloads();
+    let via_socket = grid_json(
+        service.backend_names(),
+        &workloads,
+        &service.evaluate_grid(&workloads),
+    )
+    .to_pretty();
+    let in_process = EvalService::new(paper_backends());
+    let reference = grid_json(
+        in_process.backend_names(),
+        &workloads,
+        &in_process.evaluate_grid(&workloads),
+    )
+    .to_pretty();
+    assert_eq!(via_socket, reference, "socket-only grid is byte-identical");
+
+    let pool = service.stats().pool(&addr).expect("pool").clone();
+    assert_eq!(
+        pool.ring_exchanges, 0,
+        "a socket-policy client must never touch the ring: {pool:?}"
+    );
+}
+
+#[test]
 fn topology_file_assembles_a_mixed_local_remote_service() {
     let server = ShardServer::bind(
         "127.0.0.1:0",
@@ -408,6 +537,7 @@ fn topology_file_assembles_a_mixed_local_remote_service() {
             weight: 2,
             pool_size: Some(3),
             encoding: None,
+            transport: None,
         }],
     };
     let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("topologies");

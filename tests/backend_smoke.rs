@@ -33,8 +33,8 @@ fn every_backend_reports_finite_nonzero_for_a_small_bert_segment() {
             "{} produced a degenerate report: {report:?}",
             backend.name()
         );
-        assert_eq!(report.backend, backend.name());
-        assert_eq!(report.workload, workload.name());
+        assert_eq!(report.backend.as_ref(), backend.name());
+        assert_eq!(report.workload.as_ref(), workload.name());
     }
 }
 
