@@ -11,10 +11,11 @@
 //! (the protocol-2 wire), pooled + pipelined **binary** over TCP (the
 //! protocol-3 codec with zero-copy decode and frame coalescing), the
 //! same binary frames over the **shared-memory ring** (the protocol-4
-//! same-host transport the `auto` default negotiates on loopback), and
-//! the in-process baseline — so future serving-path changes have a
-//! recorded trajectory to beat.  The document is emitted through the
-//! service's own hand-rolled JSON layer.
+//! same-host transport the `auto` default negotiates on loopback), the
+//! **reactor front end** (the protocol-5 epoll event loop with
+//! out-of-order request multiplexing), and the in-process baseline — so
+//! future serving-path changes have a recorded trajectory to beat.  The
+//! document is emitted through the service's own hand-rolled JSON layer.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rsn_eval::{CharmBackend, Evaluator, RooflineBackend, WorkloadSpec, XnnAnalyticBackend};
@@ -129,6 +130,10 @@ enum RemoteMode {
     /// Pooled + pipelined binary frames over the shared-memory ring the
     /// `auto` default negotiates on loopback (protocol 4).
     PooledShm,
+    /// The shard served by the epoll reactor front end: one server thread
+    /// for every connection, with the client multiplexing out-of-order
+    /// requests over one socket (protocol 5).
+    PooledReactor,
     /// No wire at all: the same backend evaluated in-process.
     InProcess,
 }
@@ -148,15 +153,30 @@ fn remote_stream(mode: RemoteMode, requests: usize) -> (f64, u64, rsn_serve::Ser
     };
     // Bind a shard even for the in-process baseline so every mode pays the
     // same setup, then build the mode's client service.
-    let server = ShardServer::bind("127.0.0.1:0", EvalService::new(shard_backends()))
-        .expect("bind loopback shard");
+    let server_config = ServiceConfig {
+        remote: RemoteConfig {
+            frontend: if mode == RemoteMode::PooledReactor {
+                rsn_serve::FrontendPolicy::Reactor
+            } else {
+                rsn_serve::FrontendPolicy::Threads
+            },
+            ..RemoteConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let server = ShardServer::bind(
+        "127.0.0.1:0",
+        EvalService::with_config(shard_backends(), server_config),
+    )
+    .expect("bind loopback shard");
     let addr = server.local_addr().to_string();
     let service = match mode {
         RemoteMode::InProcess => EvalService::with_config(shard_backends(), client_config),
         RemoteMode::ConnectPerCall
         | RemoteMode::PooledPipelined
         | RemoteMode::PooledBinary
-        | RemoteMode::PooledShm => {
+        | RemoteMode::PooledShm
+        | RemoteMode::PooledReactor => {
             let remote_config = RemoteConfig {
                 pool_size: if mode == RemoteMode::ConnectPerCall {
                     0
@@ -164,9 +184,12 @@ fn remote_stream(mode: RemoteMode, requests: usize) -> (f64, u64, rsn_serve::Ser
                     RemoteConfig::default().pool_size
                 },
                 // The unpooled and pooled baselines stay on the JSON wire
-                // (the protocol-2 trajectory); the binary and shm modes
-                // let the auto-negotiation pick the compact codec.
-                encoding: if matches!(mode, RemoteMode::PooledBinary | RemoteMode::PooledShm) {
+                // (the protocol-2 trajectory); the binary, shm and reactor
+                // modes let the auto-negotiation pick the compact codec.
+                encoding: if matches!(
+                    mode,
+                    RemoteMode::PooledBinary | RemoteMode::PooledShm | RemoteMode::PooledReactor
+                ) {
                     rsn_serve::EncodingPolicy::Auto
                 } else {
                     rsn_serve::EncodingPolicy::Json
@@ -293,6 +316,7 @@ fn emit_bench_json() {
         ("remote_pooled", RemoteMode::PooledPipelined),
         ("remote_binary", RemoteMode::PooledBinary),
         ("remote_shm", RemoteMode::PooledShm),
+        ("remote_reactor", RemoteMode::PooledReactor),
         ("remote_inprocess_baseline", RemoteMode::InProcess),
     ] {
         let mut runs: Vec<(f64, u64, rsn_serve::ServiceStats)> = (0..3)
@@ -305,13 +329,14 @@ fn emit_bench_json() {
         println!(
             "remote stream: {label:<26} {reports_per_s:>12.0} reports/s  \
              (dials {}, reuse {:.3}, pipeline depth {:.1}, rx {} bytes, \
-             coalesced {}, ring {})",
+             coalesced {}, ring {}, mux depth {})",
             pool.dials,
             pool.reuse_ratio(),
             pool.mean_pipeline_depth(),
             pool.bytes_received,
             pool.frames_coalesced,
-            pool.ring_exchanges
+            pool.ring_exchanges,
+            pool.inflight_per_conn
         );
         per_mode.push(reports_per_s);
         sections.push((
@@ -328,6 +353,8 @@ fn emit_bench_json() {
                 ("bytes_received", JsonValue::Int(pool.bytes_received)),
                 ("frames_coalesced", JsonValue::Int(pool.frames_coalesced)),
                 ("ring_exchanges", JsonValue::Int(pool.ring_exchanges)),
+                ("reactor_wakeups", JsonValue::Int(pool.reactor_wakeups)),
+                ("inflight_per_conn", JsonValue::Int(pool.inflight_per_conn)),
             ]),
         ));
     }
@@ -337,7 +364,7 @@ fn emit_bench_json() {
     ));
     sections.push((
         "remote_pooled_vs_inprocess".to_string(),
-        JsonValue::Num(per_mode[1] / per_mode[4]),
+        JsonValue::Num(per_mode[1] / per_mode[5]),
     ));
     sections.push((
         "remote_binary_vs_json".to_string(),
@@ -345,7 +372,7 @@ fn emit_bench_json() {
     ));
     sections.push((
         "remote_binary_vs_inprocess".to_string(),
-        JsonValue::Num(per_mode[2] / per_mode[4]),
+        JsonValue::Num(per_mode[2] / per_mode[5]),
     ));
     sections.push((
         "remote_shm_vs_binary".to_string(),
@@ -353,7 +380,15 @@ fn emit_bench_json() {
     ));
     sections.push((
         "remote_shm_vs_inprocess".to_string(),
-        JsonValue::Num(per_mode[3] / per_mode[4]),
+        JsonValue::Num(per_mode[3] / per_mode[5]),
+    ));
+    sections.push((
+        "remote_reactor_vs_binary".to_string(),
+        JsonValue::Num(per_mode[4] / per_mode[2]),
+    ));
+    sections.push((
+        "remote_reactor_vs_inprocess".to_string(),
+        JsonValue::Num(per_mode[4] / per_mode[5]),
     ));
 
     let json = JsonValue::Obj(sections).to_pretty();

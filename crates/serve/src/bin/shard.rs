@@ -24,7 +24,7 @@ use std::io::Write as _;
 
 const USAGE: &str = "usage: shardd [--topology FILE] [--listen ADDR] [--backends NAME,NAME,...] \
                      [--workers N] [--cache-capacity N] [--encoding auto|json|binary] \
-                     [--transport auto|socket|shm]\n\
+                     [--transport auto|socket|shm] [--frontend threads|reactor]\n\
                      \n\
                      --topology FILE      load listen address, hosted backends and service\n\
                      \x20                    tuning from a topology file (flags override it)\n\
@@ -38,7 +38,11 @@ const USAGE: &str = "usage: shardd [--topology FILE] [--listen ADDR] [--backends
                      --transport POLICY   shared-memory ring offers: auto offers one to\n\
                      \x20                    loopback peers (default), socket never offers,\n\
                      \x20                    shm offers to every peer (same-host fleets behind\n\
-                     \x20                    a non-loopback address)\n";
+                     \x20                    a non-loopback address)\n\
+                     --frontend POLICY    connection front end: threads serves each connection\n\
+                     \x20                    from a blocking thread (default), reactor serves\n\
+                     \x20                    them all from one event loop (protocol-5\n\
+                     \x20                    multiplexing; never offers shm rings)\n";
 
 fn fail(message: &str) -> ! {
     eprintln!("shardd: {message}");
@@ -53,6 +57,7 @@ fn main() {
     let mut cache_capacity: Option<usize> = None;
     let mut encoding: Option<rsn_serve::EncodingPolicy> = None;
     let mut transport: Option<rsn_serve::TransportPolicy> = None;
+    let mut frontend: Option<rsn_serve::FrontendPolicy> = None;
     let mut topology: Option<Topology> = None;
 
     let mut args = std::env::args().skip(1);
@@ -109,6 +114,14 @@ fn main() {
                     ))
                 }));
             }
+            "--frontend" => {
+                let text = value("--frontend");
+                frontend = Some(rsn_serve::FrontendPolicy::parse(&text).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown frontend `{text}` (expected threads or reactor)"
+                    ))
+                }));
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return;
@@ -133,6 +146,9 @@ fn main() {
     }
     if let Some(transport) = transport {
         config.remote.transport = transport;
+    }
+    if let Some(frontend) = frontend {
+        config.remote.frontend = frontend;
     }
     let listen = listen
         .or_else(|| topology.as_ref().and_then(|t| t.listen.clone()))

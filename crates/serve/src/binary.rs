@@ -62,6 +62,7 @@ const TAG_SUPPORTS: u8 = 0x02;
 const TAG_EVALUATE: u8 = 0x03;
 const TAG_EVALUATE_BATCH: u8 = 0x04;
 const TAG_STATS: u8 = 0x05;
+const TAG_CANCEL: u8 = 0x06;
 const TAG_BACKENDS: u8 = 0x81;
 const TAG_SUPPORTED: u8 = 0x82;
 const TAG_EVALUATED: u8 = 0x83;
@@ -722,12 +723,14 @@ pub fn encode_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
         put_varint(out, pool.bytes_received);
         put_varint(out, pool.frames_coalesced);
         put_varint(out, pool.ring_exchanges);
+        put_varint(out, pool.reactor_wakeups);
+        put_varint(out, pool.inflight_per_conn);
     }
 }
 
 /// Counter varints per pool record in this build's encoding (the record's
 /// field-count prefix).
-const POOL_FIELD_COUNT: usize = 11;
+const POOL_FIELD_COUNT: usize = 13;
 
 fn read_stats(r: &mut Reader<'_>) -> Result<ServiceStats, DecodeError> {
     let mut stats = ServiceStats {
@@ -774,6 +777,8 @@ fn read_stats(r: &mut Reader<'_>) -> Result<ServiceStats, DecodeError> {
             bytes_received: fields[8],
             frames_coalesced: fields[9],
             ring_exchanges: fields[10],
+            reactor_wakeups: fields[11],
+            inflight_per_conn: fields[12],
         });
     }
     Ok(stats)
@@ -797,9 +802,15 @@ pub fn decode_stats(bytes: &[u8]) -> Result<ServiceStats, DecodeError> {
 pub fn encode_request(out: &mut Vec<u8>, id: u64, request: &ShardRequest) {
     out.push(MAGIC);
     match request {
-        ShardRequest::Hello => {
+        ShardRequest::Hello { protocol } => {
             out.push(TAG_HELLO);
             put_varint(out, id);
+            // Trailing optional client version, appended since v5 — pre-v5
+            // decoders call `finish()` after the id and would reject the
+            // extra varint, but clients always hello in JSON (where unknown
+            // keys are ignored), so the binary image only ever reaches
+            // peers that read it.
+            put_varint(out, *protocol);
         }
         ShardRequest::Supports { backend, spec } => {
             out.push(TAG_SUPPORTS);
@@ -826,6 +837,11 @@ pub fn encode_request(out: &mut Vec<u8>, id: u64, request: &ShardRequest) {
             out.push(TAG_STATS);
             put_varint(out, id);
         }
+        ShardRequest::Cancel { target } => {
+            out.push(TAG_CANCEL);
+            put_varint(out, id);
+            put_varint(out, *target);
+        }
     }
 }
 
@@ -838,7 +854,13 @@ pub fn decode_request(bytes: &[u8]) -> Result<(u64, ShardRequest), DecodeError> 
     let tag = r.byte()?;
     let id = r.varint()?;
     let request = match tag {
-        TAG_HELLO => ShardRequest::Hello,
+        TAG_HELLO => {
+            // The client version varint arrived in v5; a payload ending
+            // right after the id is an older client speaking version 1
+            // semantics (no multiplexing, strict FIFO).
+            let protocol = if r.remaining() > 0 { r.varint()? } else { 1 };
+            ShardRequest::Hello { protocol }
+        }
         TAG_SUPPORTS => ShardRequest::Supports {
             backend: r.str()?,
             spec: read_spec(&mut r)?,
@@ -857,6 +879,9 @@ pub fn decode_request(bytes: &[u8]) -> Result<(u64, ShardRequest), DecodeError> 
             ShardRequest::EvaluateBatch { backend, specs }
         }
         TAG_STATS => ShardRequest::Stats,
+        TAG_CANCEL => ShardRequest::Cancel {
+            target: r.varint()?,
+        },
         other => return Err(r.error(format!("unknown request tag {other:#04x}"))),
     };
     r.finish()?;
@@ -872,6 +897,7 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, response: &ShardResponse) {
             names,
             protocol,
             ring,
+            window,
         } => {
             out.push(TAG_BACKENDS);
             put_varint(out, id);
@@ -886,6 +912,14 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, response: &ShardResponse) {
             if let Some(path) = ring {
                 out.push(1);
                 put_str(out, path);
+            } else {
+                out.push(0);
+            }
+            // Trailing optional credit window (v5), after the ring bytes;
+            // decoders treat end-of-payload here as "no multiplexing".
+            if let Some(credits) = window {
+                out.push(1);
+                put_varint(out, *credits);
             } else {
                 out.push(0);
             }
@@ -948,10 +982,22 @@ pub fn decode_response(bytes: &[u8]) -> Result<(u64, ShardResponse), DecodeError
                     other => return Err(r.error(format!("invalid ring tag {other:#04x}"))),
                 }
             };
+            // The window field arrived in v5; a payload ending after the
+            // ring bytes is a v4 image with no multiplexing offer.
+            let window = if r.remaining() == 0 {
+                None
+            } else {
+                match r.byte()? {
+                    0 => None,
+                    1 => Some(r.varint()?),
+                    other => return Err(r.error(format!("invalid window tag {other:#04x}"))),
+                }
+            };
             ShardResponse::Backends {
                 names,
                 protocol,
                 ring,
+                window,
             }
         }
         TAG_SUPPORTED => ShardResponse::Supported(r.bool()?),

@@ -100,6 +100,51 @@ impl std::fmt::Display for TransportPolicy {
     }
 }
 
+/// How a shard server drives its connections (see [`crate::reactor`]).
+///
+/// `Threads` is the classic one-blocking-thread-per-connection front end:
+/// simple, debuggable, strictly FIFO per connection.  `Reactor` serves
+/// every connection from one nonblocking event-loop thread, which unlocks
+/// the protocol-5 features — out-of-order completion, cancellation, a
+/// per-connection credit window — and scales to thousands of idle
+/// connections without a thread each.  The reactor never offers
+/// shared-memory rings (same-host deployments wanting rings should stay on
+/// `Threads`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontendPolicy {
+    /// One blocking serve thread per connection (the default).
+    #[default]
+    Threads,
+    /// One nonblocking event-loop thread for every connection
+    /// (`shardd --frontend reactor`).
+    Reactor,
+}
+
+impl FrontendPolicy {
+    /// The policy's topology-file / CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FrontendPolicy::Threads => "threads",
+            FrontendPolicy::Reactor => "reactor",
+        }
+    }
+
+    /// Parses the topology-file / CLI spelling.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "threads" => Some(FrontendPolicy::Threads),
+            "reactor" => Some(FrontendPolicy::Reactor),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FrontendPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Configuration of an [`EvalService`](crate::EvalService).
 ///
 /// The two batching knobs bound the micro-batcher from both sides: a batch
@@ -163,6 +208,12 @@ pub struct RemoteConfig {
     /// uses shared memory for same-host connections and the socket
     /// everywhere else.
     pub transport: TransportPolicy,
+    /// How a shard server drives its connections: blocking
+    /// thread-per-connection, or the nonblocking reactor event loop that
+    /// enables protocol-5 multiplexing.  Client pools ignore this knob —
+    /// they follow the server's hello (a shard that advertises a credit
+    /// window gets a multiplexed connection).
+    pub frontend: FrontendPolicy,
 }
 
 impl Default for RemoteConfig {
@@ -174,6 +225,7 @@ impl Default for RemoteConfig {
             server_idle_timeout: Duration::from_secs(60),
             encoding: EncodingPolicy::Auto,
             transport: TransportPolicy::Auto,
+            frontend: FrontendPolicy::Threads,
         }
     }
 }
@@ -256,5 +308,16 @@ mod tests {
         }
         assert_eq!(TransportPolicy::parse("pipe"), None);
         assert_eq!(RemoteConfig::default().transport, TransportPolicy::Auto);
+    }
+
+    #[test]
+    fn frontend_policy_spellings_round_trip() {
+        for policy in [FrontendPolicy::Threads, FrontendPolicy::Reactor] {
+            assert_eq!(FrontendPolicy::parse(policy.as_str()), Some(policy));
+        }
+        assert_eq!(FrontendPolicy::parse("tokio"), None);
+        // Threads stays the default so existing deployments (and the
+        // shared-memory ring negotiation) are untouched by the reactor.
+        assert_eq!(RemoteConfig::default().frontend, FrontendPolicy::Threads);
     }
 }

@@ -1180,6 +1180,8 @@ pub fn stats_json(stats: &ServiceStats) -> JsonValue {
                             ("bytes_received", JsonValue::Int(pool.bytes_received)),
                             ("frames_coalesced", JsonValue::Int(pool.frames_coalesced)),
                             ("ring_exchanges", JsonValue::Int(pool.ring_exchanges)),
+                            ("reactor_wakeups", JsonValue::Int(pool.reactor_wakeups)),
+                            ("inflight_per_conn", JsonValue::Int(pool.inflight_per_conn)),
                         ])
                     })
                     .collect(),
@@ -1236,6 +1238,9 @@ pub fn stats_from_json(value: &JsonValue) -> Result<ServiceStats, DecodeError> {
                     // counters.
                     frames_coalesced: pool_int_opt("frames_coalesced")?,
                     ring_exchanges: pool_int_opt("ring_exchanges")?,
+                    // Version-4 peers predate the reactor counters.
+                    reactor_wakeups: pool_int_opt("reactor_wakeups")?,
+                    inflight_per_conn: pool_int_opt("inflight_per_conn")?,
                 })
             })
             .collect::<Result<Vec<_>, DecodeError>>()?,

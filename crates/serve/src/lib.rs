@@ -99,6 +99,7 @@ pub mod config;
 mod fnv;
 pub mod json;
 pub mod pool;
+pub mod reactor;
 pub mod remote;
 pub mod request;
 pub mod service;
@@ -107,7 +108,7 @@ pub mod stats;
 pub mod topology;
 pub mod wire;
 
-pub use config::{EncodingPolicy, RemoteConfig, ServiceConfig, TransportPolicy};
+pub use config::{EncodingPolicy, FrontendPolicy, RemoteConfig, ServiceConfig, TransportPolicy};
 pub use pool::ConnectionPool;
 pub use remote::{RemoteBackend, ShardServer};
 pub use request::{BackendSelector, EvalRequest, EvalResponse, Priority, ResponseHandle};

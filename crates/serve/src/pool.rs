@@ -38,17 +38,19 @@
 //! shared by every backend routed through this shard address.
 
 use crate::config::{EncodingPolicy, RemoteConfig, TransportPolicy};
+use crate::reactor::Multiplexer;
 use crate::shm::{RingConn, Segment};
 use crate::stats::PoolStats;
 use crate::wire::{
     read_response_frame, write_request_frame, ShardRequest, ShardResponse, WireEncoding, WireError,
+    PROTOCOL_VERSION,
 };
 use std::cell::RefCell;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 thread_local! {
@@ -172,6 +174,19 @@ pub(crate) struct PoolCounters {
     /// Exchanges whose frames rode a shared-memory ring instead of the
     /// socket.
     pub ring_exchanges: AtomicU64,
+    /// Times a reactor thread driving this pool's multiplexed connection
+    /// was woken (socket readiness or a submitter's wake byte).
+    pub reactor_wakeups: AtomicU64,
+    /// High-water mark of requests in flight on one multiplexed
+    /// connection; stays zero against strict-FIFO (pre-v5) shards.
+    pub inflight_per_conn: AtomicU64,
+}
+
+impl PoolCounters {
+    /// Raises `inflight_per_conn` to `depth` if it is the new high water.
+    pub fn note_inflight(&self, depth: u64) {
+        self.inflight_per_conn.fetch_max(depth, Ordering::Relaxed);
+    }
 }
 
 /// A bounded pool of framed connections to one shard server address.
@@ -184,12 +199,19 @@ pub struct ConnectionPool {
     addr: String,
     config: RemoteConfig,
     idle: Mutex<Vec<PooledConn>>,
-    counters: PoolCounters,
+    counters: Arc<PoolCounters>,
     /// Negotiated shard protocol version; 0 until a `hello` has answered.
     protocol: AtomicU64,
+    /// Credit window the shard advertised in `hello` (v5 multiplexing);
+    /// 0 until negotiated, and stays 0 against strict-FIFO shards.
+    window: AtomicU64,
     /// Whether this shard offers ring segments (one of the `RING_*`
     /// states), learned on the first ring-eligible dial.
     ring_state: AtomicU64,
+    /// The multiplexed connection, once one has been established (v5 shard,
+    /// binary encoding, no ring).  Poisoned (`None`) again on transport
+    /// failure so the next exchange re-dials.
+    mux: Mutex<Option<Arc<Multiplexer>>>,
     /// Monotonic exchange ids (diagnostic only — exchanges on one
     /// connection are strictly sequential).
     next_id: AtomicU64,
@@ -202,9 +224,11 @@ impl ConnectionPool {
             addr: addr.to_string(),
             config,
             idle: Mutex::new(Vec::new()),
-            counters: PoolCounters::default(),
+            counters: Arc::new(PoolCounters::default()),
             protocol: AtomicU64::new(0),
+            window: AtomicU64::new(0),
             ring_state: AtomicU64::new(RING_UNKNOWN),
+            mux: Mutex::new(None),
             next_id: AtomicU64::new(1),
         }
     }
@@ -238,6 +262,28 @@ impl ConnectionPool {
     /// (protocol ≥ 3).  `false` until negotiated.
     pub fn supports_binary(&self) -> bool {
         self.protocol().is_some_and(|v| v >= 3)
+    }
+
+    /// The per-connection credit window the shard advertised (`None` until
+    /// a `hello` has answered, or when the shard never offered one —
+    /// advertising a window is the shard's "multiplexing is on" signal).
+    pub fn window(&self) -> Option<u64> {
+        match self.window.load(Ordering::Acquire) {
+            0 => None,
+            credits => Some(credits),
+        }
+    }
+
+    /// Whether exchanges on this pool may ride one multiplexed v5
+    /// connection: the shard advertised a window, the frames are binary
+    /// (response ids route replies without a JSON parse per peek), and no
+    /// shared-memory ring won the transport negotiation (rings already
+    /// beat sockets; multiplexing them is future work).
+    fn mux_eligible(&self) -> bool {
+        self.window().is_some()
+            && self.frame_encoding() == WireEncoding::Binary
+            && self.ring_state.load(Ordering::Acquire) != RING_AVAILABLE
+            && self.config.pool_size > 0
     }
 
     /// The encoding the next frame to this shard should use, combining the
@@ -278,6 +324,8 @@ impl ConnectionPool {
             bytes_received: self.counters.bytes_received.load(Ordering::Relaxed),
             frames_coalesced: self.counters.frames_coalesced.load(Ordering::Relaxed),
             ring_exchanges: self.counters.ring_exchanges.load(Ordering::Relaxed),
+            reactor_wakeups: self.counters.reactor_wakeups.load(Ordering::Relaxed),
+            inflight_per_conn: self.counters.inflight_per_conn.load(Ordering::Relaxed),
         }
     }
 
@@ -285,14 +333,20 @@ impl ConnectionPool {
     /// version for [`supports_batch`](Self::supports_batch), and returns
     /// the hosted backend names in registration order.
     pub fn hello(&self) -> Result<Vec<String>, WireError> {
-        match self.exchange(&ShardRequest::Hello)? {
+        match self.exchange(&ShardRequest::Hello {
+            protocol: PROTOCOL_VERSION,
+        })? {
             // Any ring offer in this response belongs to the connection
             // that carried the exchange; rings are negotiated per
             // connection at dial time, so it is ignored here.
             ShardResponse::Backends {
-                names, protocol, ..
+                names,
+                protocol,
+                window,
+                ..
             } => {
                 self.protocol.store(protocol.max(1), Ordering::Release);
+                self.window.store(window.unwrap_or(0), Ordering::Release);
                 Ok(names)
             }
             ShardResponse::Rejected(message) => Err(WireError::Rejected(message)),
@@ -322,6 +376,21 @@ impl ConnectionPool {
     /// failure surfaces immediately.
     pub fn exchange(&self, request: &ShardRequest) -> Result<ShardResponse, WireError> {
         self.counters.checkouts.fetch_add(1, Ordering::Relaxed);
+        if let Some(mux) = self.mux_handle() {
+            match mux.exchange(request, self.read_budget_for(request)) {
+                Ok(response) => {
+                    self.counters.reused.fetch_add(1, Ordering::Relaxed);
+                    return Ok(response);
+                }
+                // A dead multiplexed connection degrades to the plain
+                // pooled path below (which dials fresh) — same story as a
+                // reaped idle connection.
+                Err(_) => {
+                    self.poison_mux(&mux);
+                    self.counters.redials.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         if let Some(conn) = self.checkout_idle() {
             match self.exchange_on(conn, request) {
                 Ok(response) => {
@@ -361,6 +430,25 @@ impl ConnectionPool {
             _ => {}
         }
         self.counters.checkouts.fetch_add(1, Ordering::Relaxed);
+        if let Some(mux) = self.mux_handle() {
+            let budget = requests
+                .iter()
+                .map(|request| self.read_budget_for(request))
+                .fold(Duration::ZERO, Duration::saturating_add);
+            match mux.exchange_burst(requests, budget) {
+                Ok(responses) => {
+                    self.counters.reused.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .frames_coalesced
+                        .fetch_add(requests.len() as u64, Ordering::Relaxed);
+                    return Ok(responses);
+                }
+                Err(_) => {
+                    self.poison_mux(&mux);
+                    self.counters.redials.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         if let Some(conn) = self.checkout_idle() {
             match self.burst_on(conn, requests) {
                 Ok(responses) => {
@@ -374,6 +462,45 @@ impl ConnectionPool {
         }
         let conn = self.dial()?;
         self.burst_on(conn, requests)
+    }
+
+    /// The pool's live multiplexed connection, dialling one on first use.
+    /// `None` when multiplexing is not negotiated (pre-v5 shard, JSON
+    /// encoding, a ring in play) or the dial fails — callers then take the
+    /// plain pooled path, so a mux setback never fails an exchange.
+    fn mux_handle(&self) -> Option<Arc<Multiplexer>> {
+        if !self.mux_eligible() {
+            return None;
+        }
+        let mut slot = self.mux.lock().expect("pool mux lock");
+        if let Some(mux) = slot.as_ref() {
+            if mux.is_healthy() {
+                return Some(Arc::clone(mux));
+            }
+            *slot = None;
+        }
+        let stream = self.dial_tcp().ok()?;
+        self.counters.dials.fetch_add(1, Ordering::Relaxed);
+        let mux = Arc::new(
+            Multiplexer::start(
+                stream,
+                self.window()?,
+                Arc::clone(&self.counters),
+                self.config.io_timeout,
+            )
+            .ok()?,
+        );
+        *slot = Some(Arc::clone(&mux));
+        Some(mux)
+    }
+
+    /// Drops the pool's multiplexed connection if `dead` is still the one
+    /// installed (a racing thread may already have replaced it).
+    fn poison_mux(&self, dead: &Arc<Multiplexer>) {
+        let mut slot = self.mux.lock().expect("pool mux lock");
+        if slot.as_ref().is_some_and(|m| Arc::ptr_eq(m, dead)) {
+            *slot = None;
+        }
     }
 
     /// Pops the first *healthy* idle connection, discarding dead ones.
@@ -392,21 +519,7 @@ impl ConnectionPool {
     /// the shard offers one.
     fn dial(&self) -> Result<PooledConn, WireError> {
         self.counters.dials.fetch_add(1, Ordering::Relaxed);
-        let resolved = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
-            WireError::Io(std::io::Error::new(
-                std::io::ErrorKind::AddrNotAvailable,
-                format!("`{}` resolves to no address", self.addr),
-            ))
-        })?;
-        let stream = TcpStream::connect_timeout(&resolved, self.config.connect_timeout)?;
-        stream.set_read_timeout(Some(self.config.io_timeout))?;
-        stream.set_write_timeout(Some(self.config.io_timeout))?;
-        // Frames are small and every exchange is write→read: without
-        // TCP_NODELAY, Nagle holds the second and later exchanges of a
-        // *reused* connection hostage to the peer's delayed ACK (~40 ms a
-        // round trip) — the one pathology connect-per-call never saw,
-        // because a fresh socket has no unacknowledged data.
-        stream.set_nodelay(true)?;
+        let stream = self.dial_tcp()?;
         // Ring upgrade is only worth a probing hello on connections that
         // will live in the pool; the unpooled configuration keeps its
         // dial-per-exchange meaning (and the benchmark its baseline).
@@ -419,6 +532,28 @@ impl ConnectionPool {
         self.negotiate_ring(stream)
     }
 
+    /// One configured TCP connect: resolve, dial with the connect timeout,
+    /// arm the I/O timeouts, disable Nagle.
+    ///
+    /// Frames are small and every exchange is write→read: without
+    /// TCP_NODELAY, Nagle holds the second and later exchanges of a
+    /// *reused* connection hostage to the peer's delayed ACK (~40 ms a
+    /// round trip) — the one pathology connect-per-call never saw, because
+    /// a fresh socket has no unacknowledged data.
+    fn dial_tcp(&self) -> Result<TcpStream, WireError> {
+        let resolved = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                format!("`{}` resolves to no address", self.addr),
+            ))
+        })?;
+        let stream = TcpStream::connect_timeout(&resolved, self.config.connect_timeout)?;
+        stream.set_read_timeout(Some(self.config.io_timeout))?;
+        stream.set_write_timeout(Some(self.config.io_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
     /// One hello on the fresh connection: learns the shard's protocol and,
     /// when a ring segment is offered, maps it and upgrades the connection.
     /// Every *semantic* disappointment — an old shard, no offer, a segment
@@ -427,10 +562,12 @@ impl ConnectionPool {
     fn negotiate_ring(&self, mut stream: TcpStream) -> Result<PooledConn, WireError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let encoding = self.frame_encoding();
+        let hello = ShardRequest::Hello {
+            protocol: PROTOCOL_VERSION,
+        };
         let offer = FRAME_SCRATCH.with(|cell| {
             let scratch = &mut cell.borrow_mut();
-            let sent =
-                write_request_frame(&mut stream, id, &ShardRequest::Hello, encoding, scratch)?;
+            let sent = write_request_frame(&mut stream, id, &hello, encoding, scratch)?;
             self.counters.bytes_sent.fetch_add(sent, Ordering::Relaxed);
             let (_, response, received) =
                 read_response_frame(&mut stream, scratch)?.ok_or_else(|| {
@@ -445,8 +582,14 @@ impl ConnectionPool {
             Ok::<ShardResponse, WireError>(response)
         })?;
         let ring = match offer {
-            ShardResponse::Backends { protocol, ring, .. } => {
+            ShardResponse::Backends {
+                protocol,
+                ring,
+                window,
+                ..
+            } => {
                 self.protocol.store(protocol.max(1), Ordering::Release);
+                self.window.store(window.unwrap_or(0), Ordering::Release);
                 ring
             }
             // Anything else is a peer that does not speak hello the way a
@@ -623,11 +766,23 @@ fn connection_is_idle_and_live(stream: &TcpStream) -> bool {
         return false;
     }
     let mut probe = [0u8; 1];
-    let live = matches!(
-        stream.peek(&mut probe),
-        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock
-    );
-    live && stream.set_nonblocking(false).is_ok()
+    let mut live = false;
+    // Retry a signal-interrupted peek exactly once: `EINTR` says nothing
+    // about the socket's health, only that a signal landed mid-syscall.
+    for attempt in 0..2 {
+        live = match stream.peek(&mut probe) {
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => true,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted && attempt == 0 => continue,
+            _ => false,
+        };
+        break;
+    }
+    // Restore blocking mode on *every* verdict — a connection handed out
+    // still in nonblocking mode would turn its next exchange's reads into
+    // spurious `WouldBlock` transport errors.  A healthy probe whose mode
+    // restore fails is unusable too.
+    let restored = stream.set_nonblocking(false).is_ok();
+    live && restored
 }
 
 #[cfg(test)]

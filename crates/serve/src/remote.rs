@@ -41,7 +41,7 @@
 //! failures are never retained by the report cache: a restarted shard
 //! serves the next request for the same spec normally.
 
-use crate::config::{EncodingPolicy, RemoteConfig, TransportPolicy};
+use crate::config::{EncodingPolicy, FrontendPolicy, RemoteConfig, TransportPolicy};
 use crate::pool::ConnectionPool;
 use crate::request::ResponseHandle;
 use crate::service::EvalService;
@@ -90,46 +90,74 @@ pub struct ShardServer {
 
 impl ShardServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
-    /// serving the given service's backends.
+    /// serving the given service's backends, on the front end the service's
+    /// [`RemoteConfig::frontend`] selects (thread-per-connection by
+    /// default; see [`bind_with_frontend`](Self::bind_with_frontend)).
     pub fn bind(addr: &str, service: EvalService) -> std::io::Result<Self> {
+        let frontend = service.config().remote.frontend;
+        Self::bind_with_frontend(addr, service, frontend)
+    }
+
+    /// [`bind`](Self::bind) with the front end forced: `Threads` serves
+    /// each connection from its own blocking thread (strict FIFO, may
+    /// offer shared-memory rings), `Reactor` serves every connection from
+    /// one nonblocking event-loop thread (protocol-5 multiplexing, never
+    /// offers rings) — see [`crate::reactor`].
+    pub fn bind_with_frontend(
+        addr: &str,
+        service: EvalService,
+        frontend: FrontendPolicy,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let service = Arc::new(service);
         let connections: Arc<ConnectionRegistry> = Arc::new(Mutex::new(HashMap::new()));
         let rings: Arc<RingRegistry> = Arc::new(Mutex::new(HashMap::new()));
-        let accept_thread = {
-            let shutdown = Arc::clone(&shutdown);
-            let service = Arc::clone(&service);
-            let connections = Arc::clone(&connections);
-            let rings = Arc::clone(&rings);
-            std::thread::spawn(move || {
-                let next_id = AtomicU64::new(0);
-                for stream in listener.incoming() {
-                    if shutdown.load(Ordering::Acquire) {
-                        break;
+        let accept_thread = match frontend {
+            FrontendPolicy::Reactor => {
+                let shutdown = Arc::clone(&shutdown);
+                let service = Arc::clone(&service);
+                let connections = Arc::clone(&connections);
+                std::thread::Builder::new()
+                    .name("shard-reactor".to_string())
+                    .spawn(move || {
+                        crate::reactor::serve_reactor(listener, service, shutdown, connections);
+                    })?
+            }
+            FrontendPolicy::Threads => {
+                let shutdown = Arc::clone(&shutdown);
+                let service = Arc::clone(&service);
+                let connections = Arc::clone(&connections);
+                let rings = Arc::clone(&rings);
+                std::thread::spawn(move || {
+                    let next_id = AtomicU64::new(0);
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let id = next_id.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(clone) = stream.try_clone() {
+                            connections
+                                .lock()
+                                .expect("connection registry lock")
+                                .insert(id, clone);
+                        }
+                        let service = Arc::clone(&service);
+                        let connections = Arc::clone(&connections);
+                        let rings = Arc::clone(&rings);
+                        std::thread::spawn(move || {
+                            serve_connection(stream, &service, id, &rings);
+                            rings.lock().expect("ring registry lock").remove(&id);
+                            connections
+                                .lock()
+                                .expect("connection registry lock")
+                                .remove(&id);
+                        });
                     }
-                    let Ok(stream) = stream else { continue };
-                    let id = next_id.fetch_add(1, Ordering::Relaxed);
-                    if let Ok(clone) = stream.try_clone() {
-                        connections
-                            .lock()
-                            .expect("connection registry lock")
-                            .insert(id, clone);
-                    }
-                    let service = Arc::clone(&service);
-                    let connections = Arc::clone(&connections);
-                    let rings = Arc::clone(&rings);
-                    std::thread::spawn(move || {
-                        serve_connection(stream, &service, id, &rings);
-                        rings.lock().expect("ring registry lock").remove(&id);
-                        connections
-                            .lock()
-                            .expect("connection registry lock")
-                            .remove(&id);
-                    });
-                }
-            })
+                })
+            }
         };
         Ok(Self {
             local_addr,
@@ -478,7 +506,7 @@ fn stage(
     inline: bool,
 ) -> Staged {
     match request {
-        ShardRequest::Hello => {
+        ShardRequest::Hello { protocol: _ } => {
             maybe_offer_ring(remote, stream, conn_id, ring);
             Staged::Now(ShardResponse::Backends {
                 names: service.backend_names().to_vec(),
@@ -486,6 +514,10 @@ fn stage(
                 ring: ring
                     .as_ref()
                     .map(|server_ring| server_ring.segment.path().display().to_string()),
+                // The blocking front end is strictly FIFO: whatever the
+                // client's protocol, no credit window is advertised, so v5
+                // clients fall back to sequential exchanges here.
+                window: None,
             })
         }
         ShardRequest::Supports { backend, spec } => {
@@ -501,6 +533,13 @@ fn stage(
             submit(service, backend, specs, false, inline)
         }
         ShardRequest::Stats => Staged::Now(ShardResponse::Stats(service.stats())),
+        // Cancellation is a reactor-front-end feature; a client can only
+        // send one here by ignoring the missing window in our hello.
+        // Answer (rather than silently dropping) so the 1:1
+        // request/response invariant of this front end holds.
+        ShardRequest::Cancel { target } => Staged::Now(ShardResponse::Rejected(format!(
+            "cancel (target {target}) is not supported by the threads front end"
+        ))),
     }
 }
 

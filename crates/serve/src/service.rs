@@ -38,14 +38,39 @@ use std::time::Instant;
 /// string.
 type SlotResult = (Arc<str>, CachedResult);
 
+/// How a finished request hands its response back: over the channel a
+/// [`ResponseHandle`] waits on (the blocking front ends), or by invoking a
+/// callback on the completing worker's thread (the reactor front end, which
+/// must never block a thread on a channel).
+pub(crate) enum Completion {
+    /// Send on this channel; the submitting thread waits on the other end.
+    Channel(mpsc::Sender<EvalResponse>),
+    /// Invoke this (exactly once) with the response.  Callbacks run on
+    /// whichever worker thread fills the last slot, so they must be quick
+    /// and non-blocking — the reactor's callback pushes onto a queue and
+    /// writes one wake byte.
+    Callback(Box<dyn FnOnce(EvalResponse) + Send>),
+}
+
+impl Completion {
+    fn resolve(self, response: EvalResponse) {
+        match self {
+            // A dropped receiver means the submitter gave up; that is its
+            // right, not an error.
+            Completion::Channel(tx) => drop(tx.send(response)),
+            Completion::Callback(callback) => callback(response),
+        }
+    }
+}
+
 /// Shared completion state of one accepted request.
 struct RequestState {
     /// One slot per selected backend, in selection order.
     slots: Mutex<Vec<Option<SlotResult>>>,
     /// Unfilled slots; the request responds when this reaches zero.
     remaining: AtomicUsize,
-    /// Response channel, consumed by whichever fill completes the request.
-    tx: Mutex<Option<mpsc::Sender<EvalResponse>>>,
+    /// Response hand-off, consumed by whichever fill completes the request.
+    tx: Mutex<Option<Completion>>,
 }
 
 /// A queued request slot awaiting one backend's report.
@@ -279,6 +304,29 @@ impl EvalService {
         self.submit_burst(specs, backends, priority, true)
     }
 
+    /// [`submit_batch`](Self::submit_batch) for callers that must not park
+    /// a thread per request: instead of a [`ResponseHandle`], `on_done` is
+    /// invoked exactly once with the response, on whichever worker thread
+    /// completes the last slot.  This is the reactor front end's submit
+    /// path — its completion callback enqueues the finished response and
+    /// wakes the event loop, so hundreds of in-flight requests cost no
+    /// blocked threads.
+    pub fn submit_batch_callback(
+        &self,
+        specs: Vec<WorkloadSpec>,
+        backends: BackendSelector,
+        priority: Priority,
+        on_done: impl FnOnce(EvalResponse) + Send + 'static,
+    ) {
+        self.submit_burst_with(
+            specs,
+            backends,
+            priority,
+            true,
+            Completion::Callback(Box::new(on_done)),
+        );
+    }
+
     fn submit_burst(
         &self,
         specs: Vec<WorkloadSpec>,
@@ -286,9 +334,21 @@ impl EvalService {
         priority: Priority,
         flush: bool,
     ) -> ResponseHandle {
+        let (tx, rx) = mpsc::channel();
+        self.submit_burst_with(specs, backends, priority, flush, Completion::Channel(tx));
+        ResponseHandle { rx }
+    }
+
+    fn submit_burst_with(
+        &self,
+        specs: Vec<WorkloadSpec>,
+        backends: BackendSelector,
+        priority: Priority,
+        flush: bool,
+        done: Completion,
+    ) {
         let inner = &self.inner;
         inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = mpsc::channel();
         let selection: Vec<Result<usize, String>> = match &backends {
             BackendSelector::All => (0..inner.names.len()).map(Ok).collect(),
             BackendSelector::Named(names) => names
@@ -305,15 +365,15 @@ impl EvalService {
         let total_slots = specs.len() * selection.len();
         if total_slots == 0 {
             inner.counters.completed.fetch_add(1, Ordering::Relaxed);
-            let _ = tx.send(EvalResponse {
+            done.resolve(EvalResponse {
                 results: Vec::new(),
             });
-            return ResponseHandle { rx };
+            return;
         }
         let state = Arc::new(RequestState {
             slots: Mutex::new(vec![None; total_slots]),
             remaining: AtomicUsize::new(total_slots),
-            tx: Mutex::new(Some(tx)),
+            tx: Mutex::new(Some(done)),
         });
         let mut items = Vec::with_capacity(specs.len());
         for (index, spec) in specs.into_iter().enumerate() {
@@ -352,7 +412,6 @@ impl EvalService {
             drop(pending);
             inner.pending_cv.notify_all();
         }
-        ResponseHandle { rx }
     }
 
     /// Evaluates a burst of specs on one named backend, on the caller's
@@ -594,8 +653,8 @@ fn fulfill(
         // Count before sending so a caller that has its response always
         // observes the completion in `stats()`.
         inner.counters.completed.fetch_add(1, Ordering::Relaxed);
-        if let Some(tx) = state.tx.lock().expect("tx lock").take() {
-            let _ = tx.send(EvalResponse { results });
+        if let Some(done) = state.tx.lock().expect("tx lock").take() {
+            done.resolve(EvalResponse { results });
         }
     }
 }

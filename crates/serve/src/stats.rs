@@ -105,6 +105,12 @@ pub struct PoolStats {
     pub frames_coalesced: u64,
     /// Exchanges carried by a shared-memory ring instead of the socket.
     pub ring_exchanges: u64,
+    /// Times the pool's reactor thread was woken by socket readiness or a
+    /// completion notification; zero when the pool runs blocking exchanges.
+    pub reactor_wakeups: u64,
+    /// High-water mark of requests in flight on one multiplexed connection
+    /// (v5 only); zero for strict-FIFO peers.
+    pub inflight_per_conn: u64,
 }
 
 impl PoolStats {

@@ -18,7 +18,8 @@
 //!       "io_timeout_ms": 30000,
 //!       "pool_size": 4,
 //!       "server_idle_timeout_ms": 60000,
-//!       "encoding": "auto"
+//!       "encoding": "auto",
+//!       "frontend": "threads"
 //!     }
 //!   },
 //!   "local": ["rsn-xnn", "roofline-bound"],
@@ -50,7 +51,7 @@
 //! round-trips byte-identically through parse → decode → re-emit, pinned
 //! by `tests/json_roundtrip.rs`.
 
-use crate::config::{EncodingPolicy, RemoteConfig, ServiceConfig, TransportPolicy};
+use crate::config::{EncodingPolicy, FrontendPolicy, RemoteConfig, ServiceConfig, TransportPolicy};
 use crate::json::{self, DecodeError, JsonParseError, JsonValue};
 use std::time::Duration;
 
@@ -273,6 +274,10 @@ pub fn service_config_json(config: &ServiceConfig) -> JsonValue {
                     "transport",
                     JsonValue::Str(config.remote.transport.as_str().to_string()),
                 ),
+                (
+                    "frontend",
+                    JsonValue::Str(config.remote.frontend.as_str().to_string()),
+                ),
             ]),
         ),
     ])
@@ -324,7 +329,24 @@ fn remote_config_from_json(value: &JsonValue) -> Result<RemoteConfig, DecodeErro
     if let Some(v) = value.get("transport") {
         remote.transport = decode_transport(v, CTX)?;
     }
+    if let Some(v) = value.get("frontend") {
+        remote.frontend = decode_frontend(v, CTX)?;
+    }
     Ok(remote)
+}
+
+/// Decodes a `"threads"`/`"reactor"` front-end spelling.
+fn decode_frontend(value: &JsonValue, ctx: &str) -> Result<FrontendPolicy, DecodeError> {
+    match value {
+        JsonValue::Str(text) => FrontendPolicy::parse(text).ok_or_else(|| DecodeError {
+            context: ctx.to_string(),
+            message: format!("`frontend`: unknown policy `{text}` (threads or reactor)"),
+        }),
+        _ => Err(DecodeError {
+            context: ctx.to_string(),
+            message: "`frontend` must be a string".to_string(),
+        }),
+    }
 }
 
 /// Decodes an `"auto"`/`"socket"`/`"shm"` transport spelling.
@@ -484,6 +506,7 @@ mod tests {
                     server_idle_timeout: Duration::from_millis(45000),
                     encoding: EncodingPolicy::Binary,
                     transport: TransportPolicy::Socket,
+                    frontend: FrontendPolicy::Reactor,
                 },
             },
             local: vec!["rsn-xnn".to_string(), "roofline-bound".to_string()],
@@ -534,6 +557,8 @@ mod tests {
             r#"{"remotes": [{"addr": "x", "transport": "pipe"}]}"#,
             r#"{"service": {"remote": {"encoding": 3}}}"#,
             r#"{"service": {"remote": {"transport": 3}}}"#,
+            r#"{"service": {"remote": {"frontend": 3}}}"#,
+            r#"{"service": {"remote": {"frontend": "tokio"}}}"#,
             r#"{"service": {"max_batch": -1}}"#,
         ];
         for text in bad {

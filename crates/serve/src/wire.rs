@@ -48,6 +48,15 @@
 //! encoding it arrived in (unless forced otherwise — see
 //! [`EncodingPolicy`](crate::config::EncodingPolicy)), so a v3 server
 //! transparently keeps speaking JSON to v1/v2 clients.
+//!
+//! Version 5 makes the negotiation two-sided for multiplexing: the client's
+//! `hello` now carries *its* protocol version (missing means a pre-v5
+//! client), and a reactor-fronted shard answering a v5 client advertises a
+//! per-connection credit `window` in the hello response.  Only when both
+//! halves are present may responses complete **out of order** (matched by
+//! the echoed request id) and may the client send `cancel` frames; against
+//! any older peer both sides keep the strict-FIFO one-response-per-request
+//! discipline, byte-identically to v4.
 
 use crate::binary;
 use crate::json::{self, DecodeError, JsonParseError, JsonValue};
@@ -70,9 +79,12 @@ pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 /// ([`crate::binary`]); version 4 added shared-memory ring negotiation
 /// (the hello response may advertise a same-host ring segment path — see
 /// [`crate::shm`]) and extensible pool-counter records in binary stats
-/// documents.  The hello response advertises the version so clients can
-/// negotiate per-spec and JSON fallbacks against older shards.
-pub const PROTOCOL_VERSION: u64 = 4;
+/// documents; version 5 adds request multiplexing (client protocol in the
+/// hello request, a credit `window` in the hello response, out-of-order
+/// response completion matched by id, and the `cancel` frame — see
+/// [`crate::reactor`]).  The hello exchange advertises the version both
+/// ways so each side can negotiate fallbacks against older peers.
+pub const PROTOCOL_VERSION: u64 = 5;
 
 /// The encoding of one frame on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,8 +101,10 @@ pub enum WireEncoding {
 pub enum WireError {
     /// The underlying socket failed (includes clean EOF mid-frame).
     Io(std::io::Error),
-    /// A frame exceeded [`MAX_FRAME_BYTES`].
-    FrameTooLarge(u32),
+    /// A frame exceeded [`MAX_FRAME_BYTES`]; carries the offending length
+    /// (wider than `u32` so encode-side overflows report the real payload
+    /// size instead of a saturated sentinel).
+    FrameTooLarge(u64),
     /// A frame's payload was not valid JSON.
     Parse(JsonParseError),
     /// A frame's JSON did not decode into the expected message.
@@ -139,10 +153,10 @@ impl From<DecodeError> for WireError {
 /// Writes one length-prefixed JSON frame.
 pub fn write_frame(writer: &mut impl Write, doc: &JsonValue) -> Result<(), WireError> {
     let payload = doc.to_pretty();
-    let len = u32::try_from(payload.len()).map_err(|_| WireError::FrameTooLarge(u32::MAX))?;
-    if len > MAX_FRAME_BYTES {
-        return Err(WireError::FrameTooLarge(len));
+    if payload.len() as u64 > u64::from(MAX_FRAME_BYTES) {
+        return Err(WireError::FrameTooLarge(payload.len() as u64));
     }
+    let len = payload.len() as u32;
     writer.write_all(&len.to_be_bytes())?;
     writer.write_all(payload.as_bytes())?;
     writer.flush()?;
@@ -171,10 +185,10 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Option<JsonValue>, WireError
     }
     let len = u32::from_be_bytes(prefix);
     if len > MAX_FRAME_BYTES {
-        return Err(WireError::FrameTooLarge(len));
+        return Err(WireError::FrameTooLarge(u64::from(len)));
     }
-    let mut payload = vec![0u8; len as usize];
-    reader.read_exact(&mut payload)?;
+    let mut payload = Vec::new();
+    read_exact_growing(reader, &mut payload, len as usize)?;
     let text = String::from_utf8(payload)
         .map_err(|e| WireError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e)))?;
     Ok(Some(json::parse(&text)?))
@@ -202,12 +216,37 @@ fn read_payload(reader: &mut impl Read, scratch: &mut Vec<u8>) -> Result<Option<
     }
     let len = u32::from_be_bytes(prefix);
     if len > MAX_FRAME_BYTES {
-        return Err(WireError::FrameTooLarge(len));
+        return Err(WireError::FrameTooLarge(u64::from(len)));
     }
-    scratch.clear();
-    scratch.resize(len as usize, 0);
-    reader.read_exact(scratch)?;
+    read_exact_growing(reader, scratch, len as usize)?;
     Ok(Some(()))
+}
+
+/// Granularity of payload-buffer growth: large enough that an honest
+/// frame's read loop stays short, small enough that a spoofed prefix
+/// cannot commit real memory it never backs with bytes.
+const PAYLOAD_GROW_STEP: usize = 256 * 1024;
+
+/// Reads exactly `len` bytes into `buf` (cleared first), growing the
+/// buffer in [`PAYLOAD_GROW_STEP`] increments *as the bytes arrive*.  The
+/// length prefix is attacker-controlled: committing the whole allocation
+/// up front would let a hostile peer pin [`MAX_FRAME_BYTES`] of memory per
+/// connection by sending nothing but a 4-byte prefix, so the allocation is
+/// kept proportional to what the peer actually delivered.
+fn read_exact_growing(
+    reader: &mut impl Read,
+    buf: &mut Vec<u8>,
+    len: usize,
+) -> std::io::Result<()> {
+    buf.clear();
+    let mut filled = 0;
+    while filled < len {
+        let target = len.min(filled + PAYLOAD_GROW_STEP);
+        buf.resize(target, 0);
+        reader.read_exact(&mut buf[filled..target])?;
+        filled = target;
+    }
+    Ok(())
 }
 
 /// Frames the buffer prepared by [`begin_frame`] (4-byte placeholder,
@@ -217,10 +256,10 @@ fn read_payload(reader: &mut impl Read, scratch: &mut Vec<u8>) -> Result<Option<
 /// prefix-only runt packet.  Returns the total bytes written.
 fn write_framed(writer: &mut impl Write, scratch: &mut [u8]) -> Result<u64, WireError> {
     let payload = scratch.len() - 4;
-    let len = u32::try_from(payload).map_err(|_| WireError::FrameTooLarge(u32::MAX))?;
-    if len > MAX_FRAME_BYTES {
-        return Err(WireError::FrameTooLarge(len));
+    if payload as u64 > u64::from(MAX_FRAME_BYTES) {
+        return Err(WireError::FrameTooLarge(payload as u64));
     }
+    let len = payload as u32;
     scratch[..4].copy_from_slice(&len.to_be_bytes());
     writer.write_all(scratch)?;
     writer.flush()?;
@@ -329,6 +368,18 @@ pub fn read_response_frame(
     Ok(Some((id, response, bytes)))
 }
 
+/// Decodes one response payload (already stripped of its length prefix),
+/// dispatching on the leading byte.  The client-side multiplexer uses this
+/// directly on payloads extracted from a [`FrameBuffer`], where responses
+/// arrive out of request order and are routed by id.
+pub fn decode_response_payload(payload: &[u8]) -> Result<(u64, ShardResponse), WireError> {
+    if payload.first() == Some(&binary::MAGIC) {
+        Ok(binary::decode_response(payload)?)
+    } else {
+        Ok(ShardResponse::from_json(&parse_json_payload(payload)?)?)
+    }
+}
+
 /// Accumulates wire bytes and slices them back into frames, so a receiver
 /// can take *every* complete frame one `read` delivered instead of issuing
 /// one syscall pair per frame.  This is what lets a shard server drain a
@@ -385,7 +436,7 @@ impl FrameBuffer {
             .expect("4 bytes checked");
         let len = u32::from_be_bytes(prefix);
         if len > MAX_FRAME_BYTES {
-            return Err(WireError::FrameTooLarge(len));
+            return Err(WireError::FrameTooLarge(u64::from(len)));
         }
         let total = 4 + len as usize;
         if self.buffered() < total {
@@ -405,8 +456,15 @@ impl FrameBuffer {
 /// One request a client can make of a shard server.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ShardRequest {
-    /// "Which backends do you host?"
-    Hello,
+    /// "Which backends do you host?"  Carries the *client's* protocol
+    /// version (from v5 on; decoders default a missing field to 1), so a
+    /// reactor-fronted shard knows whether this connection may use
+    /// out-of-order completion and credits.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`] (1 for pre-v5 peers, whose
+        /// hello carries no version field).
+        protocol: u64,
+    },
     /// "Can `backend` structurally evaluate `spec`?"
     Supports {
         /// Backend shard name.
@@ -432,6 +490,15 @@ pub enum ShardRequest {
     },
     /// "How busy have you been?"
     Stats,
+    /// "Forget request `target` if you have not answered it yet."  Best
+    /// effort and fire-and-forget: the server sends no reply to a cancel,
+    /// and may still answer the target if it already completed — the
+    /// client resolves the waiter locally and tolerates the late response.
+    /// Only meaningful on a multiplexed (v5, windowed) connection.
+    Cancel {
+        /// The id of the in-flight request to abandon.
+        target: u64,
+    },
 }
 
 impl ShardRequest {
@@ -439,8 +506,11 @@ impl ShardRequest {
     pub fn to_json(&self, id: u64) -> JsonValue {
         let mut pairs = vec![("id".to_string(), JsonValue::Int(id))];
         match self {
-            ShardRequest::Hello => {
+            ShardRequest::Hello { protocol } => {
                 pairs.push(("kind".to_string(), JsonValue::Str("hello".to_string())));
+                // Pre-v5 decoders ignore unknown keys, so the client's
+                // version is invisible to old shards.
+                pairs.push(("protocol".to_string(), JsonValue::Int(*protocol)));
             }
             ShardRequest::Supports { backend, spec } => {
                 pairs.push(("kind".to_string(), JsonValue::Str("supports".to_string())));
@@ -465,6 +535,10 @@ impl ShardRequest {
             }
             ShardRequest::Stats => {
                 pairs.push(("kind".to_string(), JsonValue::Str("stats".to_string())));
+            }
+            ShardRequest::Cancel { target } => {
+                pairs.push(("kind".to_string(), JsonValue::Str("cancel".to_string())));
+                pairs.push(("target".to_string(), JsonValue::Int(*target)));
             }
         }
         JsonValue::Obj(pairs)
@@ -509,7 +583,13 @@ impl ShardRequest {
             Ok((backend, json::workload_spec_from_json(spec)?))
         };
         let request = match kind {
-            "hello" => ShardRequest::Hello,
+            // Pre-v5 clients hello without a version field.
+            "hello" => ShardRequest::Hello {
+                protocol: match doc.get("protocol") {
+                    Some(JsonValue::Int(version)) => *version,
+                    _ => 1,
+                },
+            },
             "supports" => {
                 let (backend, spec) = backend_and_spec()?;
                 ShardRequest::Supports { backend, spec }
@@ -535,6 +615,17 @@ impl ShardRequest {
                 ShardRequest::EvaluateBatch { backend, specs }
             }
             "stats" => ShardRequest::Stats,
+            "cancel" => ShardRequest::Cancel {
+                target: match doc.get("target") {
+                    Some(JsonValue::Int(target)) => *target,
+                    _ => {
+                        return Err(DecodeError {
+                            context: CTX.to_string(),
+                            message: "missing integer `target`".to_string(),
+                        })
+                    }
+                },
+            },
             other => {
                 return Err(DecodeError {
                     context: CTX.to_string(),
@@ -561,6 +652,13 @@ pub enum ShardResponse {
         /// to (see [`crate::shm`]); `None` when the shard does not offer
         /// one (different host, transport disabled, or a pre-v4 peer).
         ring: Option<String>,
+        /// Per-connection credit window for multiplexed requests: how many
+        /// requests may be in flight on this connection at once, answered
+        /// out of order and cancellable.  `None` when the connection stays
+        /// strict-FIFO (a pre-v5 peer on either side, or a thread-frontend
+        /// shard).  Advertising a window is the server's "multiplexing is
+        /// on" signal.
+        window: Option<u64>,
     },
     /// Whether the asked backend supports the asked spec.
     Supported(bool),
@@ -590,6 +688,7 @@ impl ShardResponse {
                 names,
                 protocol,
                 ring,
+                window,
             } => {
                 pairs.push((
                     "backends".to_string(),
@@ -600,6 +699,10 @@ impl ShardResponse {
                 // keys, so the field is invisible to them either way.
                 if let Some(path) = ring {
                     pairs.push(("ring".to_string(), JsonValue::Str(path.clone())));
+                }
+                // Same story for the v5 credit window.
+                if let Some(credits) = window {
+                    pairs.push(("window".to_string(), JsonValue::Int(*credits)));
                 }
             }
             ShardResponse::Supported(supported) => {
@@ -687,10 +790,16 @@ impl ShardResponse {
                 Some(JsonValue::Str(path)) => Some(path.clone()),
                 _ => None,
             };
+            // Pre-v5 shards never advertise a credit window.
+            let window = match doc.get("window") {
+                Some(JsonValue::Int(credits)) => Some(*credits),
+                _ => None,
+            };
             ShardResponse::Backends {
                 names,
                 protocol,
                 ring,
+                window,
             }
         } else if let Some(JsonValue::Bool(supported)) = doc.get("supported") {
             ShardResponse::Supported(*supported)
@@ -806,7 +915,9 @@ mod tests {
     #[test]
     fn every_request_and_response_round_trips() {
         let requests = [
-            ShardRequest::Hello,
+            ShardRequest::Hello {
+                protocol: PROTOCOL_VERSION,
+            },
             ShardRequest::Supports {
                 backend: "alpha".to_string(),
                 spec: WorkloadSpec::PowerBreakdown,
@@ -828,6 +939,7 @@ mod tests {
                 ],
             },
             ShardRequest::Stats,
+            ShardRequest::Cancel { target: 41 },
         ];
         for (id, request) in requests.into_iter().enumerate() {
             let doc = request.to_json(id as u64);
@@ -841,11 +953,19 @@ mod tests {
                 names: vec!["a".to_string(), "b".to_string()],
                 protocol: PROTOCOL_VERSION,
                 ring: None,
+                window: None,
             },
             ShardResponse::Backends {
                 names: vec!["a".to_string()],
                 protocol: PROTOCOL_VERSION,
                 ring: Some("/dev/shm/rsn-ring-test".to_string()),
+                window: None,
+            },
+            ShardResponse::Backends {
+                names: vec!["a".to_string()],
+                protocol: PROTOCOL_VERSION,
+                ring: None,
+                window: Some(64),
             },
             ShardResponse::Supported(true),
             ShardResponse::Evaluated(Arc::new(Ok(EvalReport::new("a", "w")))),
@@ -948,13 +1068,43 @@ mod tests {
                     names,
                     protocol,
                     ring,
+                    window,
                 },
             ) => {
                 assert_eq!(names, ["rsn-xnn"]);
                 assert_eq!(protocol, 1, "missing field must mean version 1");
                 assert_eq!(ring, None, "pre-v4 shards never offer a ring");
+                assert_eq!(window, None, "pre-v5 shards never offer a window");
             }
             other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_without_client_protocol_is_a_version_one_client() {
+        // What a pre-v5 client sends: id and kind, no version field.
+        let doc = JsonValue::Obj(vec![
+            ("id".to_string(), JsonValue::Int(1)),
+            ("kind".to_string(), JsonValue::Str("hello".to_string())),
+        ]);
+        match ShardRequest::from_json(&doc).expect("legacy hello decodes") {
+            (1, ShardRequest::Hello { protocol }) => {
+                assert_eq!(protocol, 1, "missing field must mean version 1");
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_encode_reports_the_real_length() {
+        // A payload one byte over the bound must name its own length, not a
+        // saturated sentinel (the bug this pins: `u32::MAX` in the error).
+        let mut scratch = vec![0u8; 4 + MAX_FRAME_BYTES as usize + 1];
+        match write_framed(&mut Vec::new(), &mut scratch) {
+            Err(WireError::FrameTooLarge(len)) => {
+                assert_eq!(len, u64::from(MAX_FRAME_BYTES) + 1);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
         }
     }
 }

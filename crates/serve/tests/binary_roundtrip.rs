@@ -233,6 +233,8 @@ fn random_stats(rng: &mut u64) -> ServiceStats {
                 bytes_received: lcg(rng),
                 frames_coalesced: lcg(rng) % 100_000,
                 ring_exchanges: lcg(rng) % 100_000,
+                reactor_wakeups: lcg(rng) % 100_000,
+                inflight_per_conn: lcg(rng) % 64,
             })
             .collect(),
     }
@@ -243,8 +245,13 @@ fn shared(result: Result<EvalReport, EvalError>) -> SharedResult {
 }
 
 fn random_request(rng: &mut u64) -> ShardRequest {
-    match lcg(rng) % 5 {
-        0 => ShardRequest::Hello,
+    match lcg(rng) % 6 {
+        0 => ShardRequest::Hello {
+            protocol: lcg(rng) % 8,
+        },
+        5 => ShardRequest::Cancel {
+            target: lcg(rng) % 1_000_000,
+        },
         1 => ShardRequest::Supports {
             backend: label(rng),
             spec: random_spec(rng),
@@ -270,6 +277,11 @@ fn random_response(rng: &mut u64) -> ShardResponse {
                 None
             } else {
                 Some(format!("/dev/shm/rsn-ring-{}.ring", lcg(rng) % 100_000))
+            },
+            window: if lcg(rng).is_multiple_of(2) {
+                None
+            } else {
+                Some(lcg(rng) % 128 + 1)
             },
         },
         1 => ShardResponse::Supported(lcg(rng).is_multiple_of(2)),
@@ -486,7 +498,7 @@ fn torn_length_prefixes_and_hostile_lengths_never_hang_or_panic() {
     write_request_frame(
         &mut wire,
         7,
-        &ShardRequest::Hello,
+        &ShardRequest::Hello { protocol: 5 },
         WireEncoding::Binary,
         &mut scratch,
     )
@@ -507,7 +519,7 @@ fn torn_length_prefixes_and_hostile_lengths_never_hang_or_panic() {
         frames.fill(&mut tail).expect("fill tail");
         assert!(frames.take_frame(&mut scratch).expect("frame completes"));
         let (id, request, _) = decode_request_payload(&scratch).expect("decodes");
-        assert_eq!((id, request), (7, ShardRequest::Hello));
+        assert_eq!((id, request), (7, ShardRequest::Hello { protocol: 5 }));
     }
     // An absurd length prefix is rejected outright — no allocation sized
     // by the attacker, no waiting for 4 GiB that never comes.

@@ -276,6 +276,8 @@ fn stats_round_trip_including_per_shard_counters() {
             bytes_received: 16384,
             frames_coalesced: 5,
             ring_exchanges: 6,
+            reactor_wakeups: 11,
+            inflight_per_conn: 4,
         }],
     };
     let parsed = assert_emit_stable(&stats_json(&stats));
@@ -323,6 +325,7 @@ fn topology_round_trips_typed_and_textual() {
                 server_idle_timeout: std::time::Duration::from_millis(30000),
                 encoding: rsn_serve::EncodingPolicy::Json,
                 transport: rsn_serve::TransportPolicy::Shm,
+                frontend: rsn_serve::FrontendPolicy::Reactor,
             },
         },
         local: vec!["rsn-xnn".to_string()],

@@ -618,7 +618,7 @@ fn version_one_shards_fall_back_to_per_spec_exchanges() {
                         }
                     };
                     let response = match request {
-                        ShardRequest::Hello => {
+                        ShardRequest::Hello { .. } => {
                             // Hand-built hello with no protocol field.
                             let legacy = JsonValue::Obj(vec![
                                 ("id".to_string(), JsonValue::Int(id)),
@@ -776,7 +776,7 @@ fn version_two_shards_negotiate_json_fallback_byte_identically() {
                         return;
                     };
                     let response = match request {
-                        ShardRequest::Hello => {
+                        ShardRequest::Hello { .. } => {
                             // Protocol 2: batch yes, binary no.
                             let hello = JsonValue::Obj(vec![
                                 ("id".to_string(), JsonValue::Int(id)),
@@ -802,8 +802,8 @@ fn version_two_shards_negotiate_json_fallback_byte_identically() {
                         ShardRequest::Supports { spec, .. } => {
                             ShardResponse::Supported(backend.supports(&spec))
                         }
-                        ShardRequest::Stats => {
-                            ShardResponse::Rejected("no stats on protocol 2".to_string())
+                        ShardRequest::Stats | ShardRequest::Cancel { .. } => {
+                            ShardResponse::Rejected("unsupported on protocol 2".to_string())
                         }
                     };
                     if write_frame(&mut stream, &response.to_json(id)).is_err() {
