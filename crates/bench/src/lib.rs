@@ -9,6 +9,7 @@
 //! binary prints the paper's reference values next to the reproduction's
 //! modelled/measured values so the shape comparison is immediate.
 
+pub mod loadgen;
 pub mod tables;
 
 /// Handles the table binaries' `--topology FILE` flag: with no arguments

@@ -1,0 +1,542 @@
+//! Open-loop traffic harness for the serving stack.
+//!
+//! The throughput benchmarks (`benches/serve.rs`) are *closed-loop*: each
+//! producer waits for its burst's response before submitting the next, so
+//! the offered load self-throttles to whatever the service sustains and
+//! queueing delay never accumulates.  Production traffic does not behave
+//! that way — arrivals keep coming whether or not responses lag — and the
+//! latency a service quotes is meaningless without stating the *offered*
+//! rate it was measured under.  This module generates such traffic:
+//!
+//! * **Arrival processes** — Poisson (independent arrivals at a target
+//!   rate) and bursty ON–OFF (Poisson bursts separated by silences, same
+//!   mean rate, much nastier queue dynamics), both precomputed as
+//!   deterministic schedules from a seeded LCG so a run reproduces from
+//!   its seed.
+//! * **A multi-tenant scenario mix** — three traffic classes mapped onto
+//!   the service's [`Priority`] classes, each drawing different
+//!   [`WorkloadSpec`] shapes (interactive encoder layers, full-model
+//!   comparisons, bulk GEMM sweeps).  Every generated spec is distinct so
+//!   the stream is cache-cold: this harness measures the queueing path,
+//!   not the report cache (`BENCH_serve.json` covers that).
+//! * **Per-request sojourn recording** — client-side, from the submit
+//!   instant to the response callback, into the same log-bucket
+//!   [`LatencyHistogram`] the service uses, per class, plus exactly-once
+//!   answer accounting (every submission must resolve to exactly one
+//!   response, shed or served — the invariant the CI gate checks).
+//!
+//! The backend under test is [`PacedBackend`]: a stub with a fixed,
+//! sleep-enforced service time, so the service's capacity is controlled
+//! and the measured quantity is the serving stack's queueing/shedding
+//! behaviour rather than simulator throughput jitter.
+
+use rsn_eval::{Backend, EvalError, EvalReport, WorkloadSpec};
+use rsn_serve::{BackendSelector, EvalService, LatencyHistogram, Priority};
+use rsn_workloads::bert::BertConfig;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Deterministic 64-bit LCG (the repo-wide constants), so every schedule
+/// and scenario draw reproduces from its seed.
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Lcg(seed)
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// A uniform draw in the open interval (0, 1).
+    pub fn uniform(&mut self) -> f64 {
+        // 53 mantissa bits, +1 so ln() below never sees zero.
+        ((self.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64
+    }
+
+    /// An exponential draw with the given rate (events per second).
+    pub fn exponential(&mut self, rate_hz: f64) -> f64 {
+        -self.uniform().ln() / rate_hz
+    }
+}
+
+/// The inter-arrival structure of an open-loop schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Independent arrivals at the target rate: exponential gaps.
+    Poisson,
+    /// Bursty ON–OFF: Poisson arrivals during `on` windows, silence for
+    /// `off` windows, alternating.  The ON-window rate is scaled up by
+    /// `(on + off) / on` so the *mean* offered rate still matches the
+    /// target — same load, delivered in bursts that stress the queues.
+    OnOff {
+        /// Burst window length.
+        on: Duration,
+        /// Silence window length.
+        off: Duration,
+    },
+}
+
+/// Precomputes an arrival schedule: offsets from the run start at which
+/// requests are injected, covering `duration` at a mean of `rate_hz`.
+/// Open-loop means this schedule is fixed *before* the run — a lagging
+/// service changes nothing about when the next request arrives.
+pub fn arrival_schedule(
+    process: ArrivalProcess,
+    rate_hz: f64,
+    duration: Duration,
+    rng: &mut Lcg,
+) -> Vec<Duration> {
+    let horizon = duration.as_secs_f64();
+    let mut schedule = Vec::with_capacity((rate_hz * horizon) as usize + 16);
+    let mut t = 0.0f64;
+    match process {
+        ArrivalProcess::Poisson => loop {
+            t += rng.exponential(rate_hz);
+            if t >= horizon {
+                break;
+            }
+            schedule.push(Duration::from_secs_f64(t));
+        },
+        ArrivalProcess::OnOff { on, off } => {
+            let on_s = on.as_secs_f64().max(1e-6);
+            let off_s = off.as_secs_f64();
+            let burst_rate = rate_hz * (on_s + off_s) / on_s;
+            let mut window_start = 0.0f64;
+            while window_start < horizon {
+                let window_end = (window_start + on_s).min(horizon);
+                t = window_start;
+                loop {
+                    t += rng.exponential(burst_rate);
+                    if t >= window_end {
+                        break;
+                    }
+                    schedule.push(Duration::from_secs_f64(t));
+                }
+                window_start = window_end + off_s;
+            }
+        }
+    }
+    schedule
+}
+
+/// One tenant of the scenario mix: a share of the offered load, mapped
+/// onto a service priority class, drawing its own region of the
+/// [`WorkloadSpec`] space.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficClass {
+    /// Scheduling class its requests carry.
+    pub priority: Priority,
+    /// Relative share of arrivals (weights need not sum to anything).
+    pub weight: u64,
+    /// Display name of the tenant.
+    pub tenant: &'static str,
+}
+
+/// The default three-tenant mix: a latency-sensitive interactive tenant
+/// (20% of arrivals, High), a steady comparison tenant (50%, Normal), and
+/// a bulk sweep tenant (30%, Low).
+pub fn scenario_mix() -> Vec<TrafficClass> {
+    vec![
+        TrafficClass {
+            priority: Priority::High,
+            weight: 2,
+            tenant: "interactive",
+        },
+        TrafficClass {
+            priority: Priority::Normal,
+            weight: 5,
+            tenant: "comparisons",
+        },
+        TrafficClass {
+            priority: Priority::Low,
+            weight: 3,
+            tenant: "bulk-sweep",
+        },
+    ]
+}
+
+/// Picks a class from the mix by weight.
+pub fn pick_class<'a>(mix: &'a [TrafficClass], rng: &mut Lcg) -> &'a TrafficClass {
+    let total: u64 = mix.iter().map(|c| c.weight).sum();
+    let mut draw = rng.next_u64() % total.max(1);
+    for class in mix {
+        if draw < class.weight {
+            return class;
+        }
+        draw -= class.weight;
+    }
+    &mix[mix.len() - 1]
+}
+
+/// A spec for one arrival of `class`.  `unique` (a per-run counter) is
+/// folded into a size parameter so every generated spec is distinct —
+/// the stream never hits the report cache and every request pays the
+/// full queueing + service path.
+pub fn spec_for(class: &TrafficClass, unique: u64, rng: &mut Lcg) -> WorkloadSpec {
+    match class.priority {
+        // Interactive tenants ask for single encoder layers at modest
+        // batch — unique sequence lengths keep the keys distinct.
+        Priority::High => WorkloadSpec::EncoderLayer {
+            cfg: BertConfig::bert_large(64 + unique as usize, 1 + (rng.next_u64() % 8) as usize),
+        },
+        // The steady tenant compares whole models.
+        Priority::Normal => WorkloadSpec::FullModel {
+            cfg: BertConfig::bert_large(32 + unique as usize, 1 + (rng.next_u64() % 16) as usize),
+        },
+        // Bulk sweeps walk GEMM sizes.
+        Priority::Low => WorkloadSpec::SquareGemm {
+            n: 256 + unique as usize,
+        },
+    }
+}
+
+/// A backend with a fixed, sleep-enforced service time: the capacity of a
+/// service built on it is known and stable, so open-loop measurements see
+/// the serving stack's queueing behaviour, not simulator jitter.  Every
+/// spec is "supported" and evaluates to a stub report.
+pub struct PacedBackend {
+    name: &'static str,
+    service_time: Duration,
+}
+
+impl PacedBackend {
+    /// A paced backend taking `service_time` per evaluation.
+    pub fn new(name: &'static str, service_time: Duration) -> Self {
+        Self { name, service_time }
+    }
+}
+
+impl Backend for PacedBackend {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn supports(&self, _workload: &WorkloadSpec) -> bool {
+        true
+    }
+
+    fn evaluate(&self, workload: &WorkloadSpec) -> Result<EvalReport, EvalError> {
+        std::thread::sleep(self.service_time);
+        let mut report = EvalReport::new(self.name, workload.name());
+        report.latency_s = Some(self.service_time.as_secs_f64());
+        Ok(report)
+    }
+}
+
+/// What happened to one class's share of an open-loop run.
+#[derive(Debug, Default, Clone)]
+pub struct ClassOutcome {
+    /// Requests injected.
+    pub offered: u64,
+    /// Responses received (must equal `offered` after the drain — every
+    /// submission is answered exactly once, shed or served).
+    pub answered: u64,
+    /// Responses whose result was a report.
+    pub ok: u64,
+    /// Responses fast-failed with [`EvalError::Overloaded`].
+    pub overloaded: u64,
+    /// Responses with any other error (must stay zero for paced runs).
+    pub failed: u64,
+    /// Client-side sojourn (submit to response callback) of **served**
+    /// requests; shed fast-fails are counted above, not here.
+    pub latency: LatencyHistogram,
+}
+
+/// The result of one open-loop run.
+#[derive(Debug)]
+pub struct OpenLoopReport {
+    /// The schedule's mean offered rate.
+    pub offered_rate_hz: f64,
+    /// Injection wall time (the schedule horizon as executed).
+    pub inject_wall: Duration,
+    /// Wall time until the last response arrived (includes queue drain).
+    pub total_wall: Duration,
+    /// Per-class outcomes, in [`Priority::ALL`] order.
+    pub classes: Vec<(Priority, ClassOutcome)>,
+    /// Whether every injected request was answered within the drain bound.
+    pub drained: bool,
+}
+
+impl OpenLoopReport {
+    /// The outcome of one class.
+    pub fn class(&self, priority: Priority) -> &ClassOutcome {
+        &self
+            .classes
+            .iter()
+            .find(|(p, _)| *p == priority)
+            .expect("all classes present")
+            .1
+    }
+
+    /// Totals across classes: `(offered, answered, ok, overloaded, failed)`.
+    pub fn totals(&self) -> (u64, u64, u64, u64, u64) {
+        self.classes.iter().fold((0, 0, 0, 0, 0), |acc, (_, c)| {
+            (
+                acc.0 + c.offered,
+                acc.1 + c.answered,
+                acc.2 + c.ok,
+                acc.3 + c.overloaded,
+                acc.4 + c.failed,
+            )
+        })
+    }
+}
+
+/// Client-side accumulator one callback writes into.
+#[derive(Default)]
+struct ClassAgg {
+    answered: u64,
+    ok: u64,
+    overloaded: u64,
+    failed: u64,
+    latency: LatencyHistogram,
+}
+
+/// Runs one open-loop measurement: injects `schedule`'s arrivals into
+/// `service` (each request one distinct spec, class drawn from `mix` by
+/// weight), records per-class sojourn and outcome client-side, then waits
+/// for every outstanding response (bounded by `drain_timeout`).
+///
+/// Injection uses [`EvalService::submit_batch_callback`] — the
+/// non-blocking submit path — so the injector thread itself never waits
+/// on the service: a lagging service makes queues grow (or the shedder
+/// fire), exactly like open-loop production traffic.  If injection falls
+/// behind its schedule the request is submitted immediately; the
+/// scheduled instants are the *earliest* each arrival may be injected.
+pub fn run_open_loop(
+    service: &EvalService,
+    mix: &[TrafficClass],
+    schedule: &[Duration],
+    rate_hz: f64,
+    seed: u64,
+    drain_timeout: Duration,
+) -> OpenLoopReport {
+    let mut rng = Lcg::new(seed ^ 0x9E3779B97F4A7C15);
+    let aggs: Arc<[Mutex<ClassAgg>; 3]> = Arc::new(std::array::from_fn(|_| Mutex::default()));
+    let mut offered = [0u64; 3];
+    let start = Instant::now();
+    for (unique, &offset) in schedule.iter().enumerate() {
+        // Hybrid wait: coarse sleep until close, then yield — arrival
+        // jitter well under typical service times.
+        loop {
+            let now = start.elapsed();
+            if now >= offset {
+                break;
+            }
+            let gap = offset - now;
+            if gap > Duration::from_micros(200) {
+                std::thread::sleep(gap - Duration::from_micros(100));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        let class = pick_class(mix, &mut rng);
+        let spec = spec_for(class, unique as u64, &mut rng);
+        let index = class.priority.index();
+        offered[index] += 1;
+        let submitted_at = Instant::now();
+        let aggs = Arc::clone(&aggs);
+        service.submit_batch_callback(
+            vec![spec],
+            BackendSelector::All,
+            class.priority,
+            move |response| {
+                let sojourn = submitted_at.elapsed();
+                let mut agg = aggs[index].lock().expect("agg lock");
+                agg.answered += 1;
+                match response.results.first().map(|(_, r)| r.as_ref()) {
+                    Some(Ok(_)) => {
+                        agg.ok += 1;
+                        agg.latency.record(sojourn);
+                    }
+                    Some(Err(EvalError::Overloaded { .. })) => agg.overloaded += 1,
+                    _ => agg.failed += 1,
+                }
+            },
+        );
+    }
+    let inject_wall = start.elapsed();
+    // Drain: every injected request is owed exactly one response.
+    let total_offered: u64 = offered.iter().sum();
+    let deadline = Instant::now() + drain_timeout;
+    let drained = loop {
+        let answered: u64 = aggs
+            .iter()
+            .map(|agg| agg.lock().expect("agg lock").answered)
+            .sum();
+        if answered >= total_offered {
+            break true;
+        }
+        if Instant::now() >= deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let total_wall = start.elapsed();
+    let classes = Priority::ALL
+        .iter()
+        .map(|&priority| {
+            let agg = aggs[priority.index()].lock().expect("agg lock");
+            (
+                priority,
+                ClassOutcome {
+                    offered: offered[priority.index()],
+                    answered: agg.answered,
+                    ok: agg.ok,
+                    overloaded: agg.overloaded,
+                    failed: agg.failed,
+                    latency: agg.latency.clone(),
+                },
+            )
+        })
+        .collect();
+    OpenLoopReport {
+        offered_rate_hz: rate_hz,
+        inject_wall,
+        total_wall,
+        classes,
+        drained,
+    }
+}
+
+/// Measures the service's sustainable throughput *closed-loop*: bursts
+/// submitted back to back, each waiting for its response, for roughly
+/// `window`.  The result anchors the open-loop sweep's rate multiples.
+pub fn measure_capacity(service: &EvalService, window: Duration) -> f64 {
+    let burst = 64usize;
+    let mut unique = 1_000_000u64; // disjoint from open-loop uniques
+    let mut served = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < window {
+        let specs: Vec<WorkloadSpec> = (0..burst)
+            .map(|_| {
+                unique += 1;
+                WorkloadSpec::SquareGemm { n: unique as usize }
+            })
+            .collect();
+        let response = service
+            .submit_batch(specs, BackendSelector::All, Priority::Normal)
+            .wait();
+        served += response.results.len() as u64;
+    }
+    served as f64 / start.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_schedule_hits_the_target_rate() {
+        let mut rng = Lcg::new(7);
+        let schedule = arrival_schedule(
+            ArrivalProcess::Poisson,
+            1000.0,
+            Duration::from_secs(4),
+            &mut rng,
+        );
+        // 4000 expected arrivals; 4σ ≈ 253.
+        assert!(
+            (schedule.len() as i64 - 4000).abs() < 300,
+            "got {} arrivals",
+            schedule.len()
+        );
+        assert!(schedule.windows(2).all(|w| w[0] <= w[1]), "sorted offsets");
+        assert!(*schedule.last().unwrap() < Duration::from_secs(4));
+    }
+
+    #[test]
+    fn onoff_schedule_keeps_the_mean_rate_but_bursts() {
+        let mut rng = Lcg::new(11);
+        let on = Duration::from_millis(50);
+        let off = Duration::from_millis(150);
+        let schedule = arrival_schedule(
+            ArrivalProcess::OnOff { on, off },
+            1000.0,
+            Duration::from_secs(4),
+            &mut rng,
+        );
+        // Mean rate preserved within tolerance.
+        assert!(
+            (schedule.len() as i64 - 4000).abs() < 400,
+            "got {} arrivals",
+            schedule.len()
+        );
+        // Every arrival lands inside an ON window of the 200ms cycle.
+        for &offset in &schedule {
+            let in_cycle = offset.as_secs_f64() % 0.2;
+            assert!(in_cycle < 0.05 + 1e-9, "arrival at {in_cycle}s of cycle");
+        }
+    }
+
+    #[test]
+    fn class_mix_respects_weights() {
+        let mix = scenario_mix();
+        let mut rng = Lcg::new(3);
+        let mut counts = [0u64; 3];
+        for _ in 0..10_000 {
+            counts[pick_class(&mix, &mut rng).priority.index()] += 1;
+        }
+        // 20/50/30 split within generous tolerance.
+        assert!((1_500..2_500).contains(&counts[0]), "high {}", counts[0]);
+        assert!((4_500..5_500).contains(&counts[1]), "normal {}", counts[1]);
+        assert!((2_500..3_500).contains(&counts[2]), "low {}", counts[2]);
+    }
+
+    #[test]
+    fn generated_specs_are_distinct() {
+        let mix = scenario_mix();
+        let mut rng = Lcg::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for unique in 0..1000u64 {
+            let class = pick_class(&mix, &mut rng);
+            let spec = spec_for(class, unique, &mut rng);
+            assert!(seen.insert(format!("{spec:?}")), "duplicate at {unique}");
+        }
+    }
+
+    #[test]
+    fn open_loop_answers_every_request_exactly_once() {
+        let service = EvalService::with_config(
+            rsn_eval::Evaluator::empty().with_backend(Box::new(PacedBackend::new(
+                "paced",
+                Duration::from_micros(100),
+            ))),
+            rsn_serve::ServiceConfig::default(),
+        );
+        let mut rng = Lcg::new(21);
+        let schedule = arrival_schedule(
+            ArrivalProcess::Poisson,
+            2000.0,
+            Duration::from_millis(300),
+            &mut rng,
+        );
+        let report = run_open_loop(
+            &service,
+            &scenario_mix(),
+            &schedule,
+            2000.0,
+            21,
+            Duration::from_secs(30),
+        );
+        let (offered, answered, ok, overloaded, failed) = report.totals();
+        assert_eq!(offered, schedule.len() as u64);
+        assert_eq!(answered, offered, "exactly one response per submission");
+        assert!(report.drained);
+        assert_eq!(failed, 0);
+        assert_eq!(ok + overloaded, answered);
+        // No budgets configured: nothing sheds, and sojourns land in the
+        // class histograms.
+        assert_eq!(overloaded, 0);
+        let recorded: u64 = report.classes.iter().map(|(_, c)| c.latency.count).sum();
+        assert_eq!(recorded, ok);
+    }
+}

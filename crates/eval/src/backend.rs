@@ -59,6 +59,16 @@ pub enum EvalError {
         /// The remote error's display text.
         message: String,
     },
+    /// The serving layer refused or shed this request under load instead
+    /// of evaluating it: its queue age exceeded the priority class's SLO
+    /// budget, or the pending queues were at capacity.  A fast-fail, never
+    /// cached — the caller may retry once the service drains.
+    Overloaded {
+        /// The request's scheduling-class spelling (`high`/`normal`/`low`).
+        class: String,
+        /// What tripped: the class deadline or the queue-depth gate.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for EvalError {
@@ -91,6 +101,9 @@ impl std::fmt::Display for EvalError {
                 write!(f, "transport to backend shard `{backend}` failed: {detail}")
             }
             EvalError::Remote { message } => write!(f, "{message}"),
+            EvalError::Overloaded { class, reason } => {
+                write!(f, "service overloaded ({class}): {reason}")
+            }
         }
     }
 }

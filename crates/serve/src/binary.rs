@@ -41,7 +41,8 @@
 
 use crate::fnv::FnvBuild;
 use crate::json::DecodeError;
-use crate::stats::{PoolStats, ServiceStats, ShardStats};
+use crate::request::Priority;
+use crate::stats::{ClassStats, LatencyHistogram, PoolStats, ServiceStats, ShardStats};
 use crate::wire::{ShardRequest, ShardResponse, SharedResult};
 use rsn_eval::{BreakdownRow, CycleStats, SegmentMetric};
 use rsn_eval::{EvalError, EvalReport, SchedulerKind, WorkloadSpec};
@@ -614,6 +615,11 @@ pub fn encode_error(out: &mut Vec<u8>, error: &EvalError) {
             put_str(out, backend);
             put_str(out, detail);
         }
+        EvalError::Overloaded { class, reason } => {
+            out.push(5);
+            put_str(out, class);
+            put_str(out, reason);
+        }
     }
 }
 
@@ -637,6 +643,10 @@ fn read_error(r: &mut Reader<'_>) -> Result<EvalError, DecodeError> {
         4 => Ok(EvalError::Transport {
             backend: r.str()?,
             detail: r.str()?,
+        }),
+        5 => Ok(EvalError::Overloaded {
+            class: r.str()?,
+            reason: r.str()?,
         }),
         other => Err(r.error(format!("unknown error tag {other:#04x}"))),
     }
@@ -726,6 +736,28 @@ pub fn encode_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
         put_varint(out, pool.reactor_wakeups);
         put_varint(out, pool.inflight_per_conn);
     }
+    // Trailing-optional per-class latency section, appended since v6.  It
+    // is emitted only when populated: pre-v6 decoders `finish()` after the
+    // pool records and would reject appended bytes, so servers clear
+    // `classes` before answering a peer whose hello said < v6 (see the
+    // front ends), and the resulting empty image is byte-identical to v5's.
+    // Decoding the other way, a missing section reads as "no classes".
+    if stats.classes.is_empty() {
+        return;
+    }
+    put_usize(out, stats.classes.len());
+    for class in &stats.classes {
+        put_str(out, class.priority.as_str());
+        put_varint(out, class.shed_deadline);
+        put_varint(out, class.shed_queue);
+        put_varint(out, class.latency.count);
+        put_varint(out, class.latency.sum_us);
+        put_varint(out, class.latency.max_us);
+        put_usize(out, class.latency.bucket_counts().len());
+        for &bucket in class.latency.bucket_counts() {
+            put_varint(out, bucket);
+        }
+    }
 }
 
 /// Counter varints per pool record in this build's encoding (the record's
@@ -780,6 +812,30 @@ fn read_stats(r: &mut Reader<'_>) -> Result<ServiceStats, DecodeError> {
             reactor_wakeups: fields[11],
             inflight_per_conn: fields[12],
         });
+    }
+    // Trailing-optional: a v1–v5 peer's image simply ends here.
+    if r.remaining() > 0 {
+        for _ in 0..r.len()? {
+            let spelling = r.str()?;
+            let priority = Priority::parse(&spelling)
+                .ok_or_else(|| r.error(format!("unknown priority class `{spelling}`")))?;
+            let shed_deadline = r.varint()?;
+            let shed_queue = r.varint()?;
+            let count = r.varint()?;
+            let sum_us = r.varint()?;
+            let max_us = r.varint()?;
+            let bucket_count = r.len()?;
+            let mut buckets = Vec::with_capacity(bucket_count);
+            for _ in 0..bucket_count {
+                buckets.push(r.varint()?);
+            }
+            stats.classes.push(ClassStats {
+                priority,
+                latency: LatencyHistogram::from_parts(buckets, count, sum_us, max_us),
+                shed_deadline,
+                shed_queue,
+            });
+        }
     }
     Ok(stats)
 }

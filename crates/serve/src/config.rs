@@ -171,6 +171,23 @@ pub struct ServiceConfig {
     /// owed to waiters).  Evictions are counted in
     /// [`ServiceStats::evictions`](crate::ServiceStats::evictions).
     pub cache_capacity: Option<usize>,
+    /// Optional per-class queue-age budgets (SLOs), indexed by
+    /// [`Priority::index`](crate::Priority).  When a class has a budget and
+    /// a request of that class reaches the batcher already older than it,
+    /// the request is *shed*: fast-failed with
+    /// [`EvalError::Overloaded`](rsn_eval::EvalError::Overloaded) instead
+    /// of evaluated.  Under sustained overload this keeps the classes with
+    /// budgets inside (a small multiple of) them, at the price of errors
+    /// for the excess offered load.  `None` (every class, the default)
+    /// never sheds on age.
+    pub class_budgets: [Option<Duration>; 3],
+    /// Optional bound on requests resident in the pending queues.  A
+    /// submission that would push the total past this is refused whole with
+    /// [`EvalError::Overloaded`](rsn_eval::EvalError::Overloaded) — the
+    /// admission gate that bounds queue memory under an open-loop overload
+    /// (arrivals that do not slow down when responses lag).  `None` (the
+    /// default) admits everything.
+    pub queue_capacity: Option<usize>,
     /// Transport tuning of remote backend shards (connection pooling,
     /// timeouts).  Ignored by services with no remote shards.
     pub remote: RemoteConfig,
@@ -239,6 +256,17 @@ impl ServiceConfig {
             ..Self::default()
         }
     }
+
+    /// Returns the configuration with `priority`'s queue-age budget set.
+    pub fn with_class_budget(mut self, priority: crate::Priority, budget: Duration) -> Self {
+        self.class_budgets[priority.index()] = Some(budget);
+        self
+    }
+
+    /// The queue-age budget of `priority`, if one is configured.
+    pub fn class_budget(&self, priority: crate::Priority) -> Option<Duration> {
+        self.class_budgets[priority.index()]
+    }
 }
 
 impl Default for ServiceConfig {
@@ -248,6 +276,8 @@ impl Default for ServiceConfig {
             batch_deadline: Duration::from_millis(1),
             workers_per_backend: 2,
             cache_capacity: None,
+            class_budgets: [None; 3],
+            queue_capacity: None,
             remote: RemoteConfig::default(),
         }
     }

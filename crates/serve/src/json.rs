@@ -23,7 +23,8 @@
 //! structurally required floats, so a non-finite value survives a round
 //! trip as "absent", never as a parse error.
 
-use crate::stats::{PoolStats, ServiceStats, ShardStats};
+use crate::request::Priority;
+use crate::stats::{ClassStats, LatencyHistogram, PoolStats, ServiceStats, ShardStats};
 use rsn_eval::{BreakdownRow, CycleStats, SegmentMetric};
 use rsn_eval::{EvalError, EvalReport, SchedulerKind, WorkloadSpec};
 use rsn_lib::mapping::MappingType;
@@ -981,6 +982,11 @@ pub fn error_json(error: &EvalError) -> JsonValue {
             ("backend", JsonValue::Str(backend.clone())),
             ("detail", JsonValue::Str(detail.clone())),
         ]),
+        EvalError::Overloaded { class, reason } => JsonValue::obj([
+            ("kind", JsonValue::Str("overloaded".to_string())),
+            ("class", JsonValue::Str(class.clone())),
+            ("reason", JsonValue::Str(reason.clone())),
+        ]),
     }
 }
 
@@ -1011,6 +1017,10 @@ pub fn error_from_json(value: &JsonValue) -> Result<EvalError, DecodeError> {
         "transport" => Ok(EvalError::Transport {
             backend: str_field("backend")?,
             detail: str_field("detail")?,
+        }),
+        "overloaded" => Ok(EvalError::Overloaded {
+            class: str_field("class")?,
+            reason: str_field("reason")?,
         }),
         other => Err(DecodeError::new(
             CTX,
@@ -1145,6 +1155,41 @@ pub fn stats_json(stats: &ServiceStats) -> JsonValue {
         ("eval_errors", JsonValue::Int(stats.eval_errors)),
         ("evictions", JsonValue::Int(stats.evictions)),
         (
+            "classes",
+            JsonValue::Arr(
+                stats
+                    .classes
+                    .iter()
+                    .map(|class| {
+                        JsonValue::obj([
+                            ("class", JsonValue::Str(class.priority.as_str().to_string())),
+                            ("shed_deadline", JsonValue::Int(class.shed_deadline)),
+                            ("shed_queue", JsonValue::Int(class.shed_queue)),
+                            (
+                                "latency",
+                                JsonValue::obj([
+                                    ("count", JsonValue::Int(class.latency.count)),
+                                    ("sum_us", JsonValue::Int(class.latency.sum_us)),
+                                    ("max_us", JsonValue::Int(class.latency.max_us)),
+                                    (
+                                        "buckets",
+                                        JsonValue::Arr(
+                                            class
+                                                .latency
+                                                .bucket_counts()
+                                                .iter()
+                                                .map(|&c| JsonValue::Int(c))
+                                                .collect(),
+                                        ),
+                                    ),
+                                ]),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
             "per_shard",
             JsonValue::Arr(
                 stats
@@ -1195,6 +1240,37 @@ pub fn stats_from_json(value: &JsonValue) -> Result<ServiceStats, DecodeError> {
     const CTX: &str = "ServiceStats";
     let int_field =
         |key: &str| -> Result<u64, DecodeError> { expect_u64(field(value, key, CTX)?, CTX) };
+    // Pre-v6 peers predate per-class latency accounting; a missing field
+    // decodes as "no classes", matching the binary codec's trailing
+    // section.
+    let classes = match value.get("classes") {
+        None => Vec::new(),
+        Some(classes) => expect_arr(classes, CTX)?
+            .iter()
+            .map(|class| {
+                let spelling = expect_str(field(class, "class", CTX)?, CTX)?;
+                let priority = Priority::parse(spelling).ok_or_else(|| {
+                    DecodeError::new(CTX, format!("unknown priority class `{spelling}`"))
+                })?;
+                let latency = field(class, "latency", CTX)?;
+                let buckets = expect_arr(field(latency, "buckets", CTX)?, CTX)?
+                    .iter()
+                    .map(|b| expect_u64(b, CTX))
+                    .collect::<Result<Vec<_>, DecodeError>>()?;
+                Ok(ClassStats {
+                    priority,
+                    latency: LatencyHistogram::from_parts(
+                        buckets,
+                        expect_u64(field(latency, "count", CTX)?, CTX)?,
+                        expect_u64(field(latency, "sum_us", CTX)?, CTX)?,
+                        expect_u64(field(latency, "max_us", CTX)?, CTX)?,
+                    ),
+                    shed_deadline: expect_u64(field(class, "shed_deadline", CTX)?, CTX)?,
+                    shed_queue: expect_u64(field(class, "shed_queue", CTX)?, CTX)?,
+                })
+            })
+            .collect::<Result<Vec<_>, DecodeError>>()?,
+    };
     let per_shard = expect_arr(field(value, "per_shard", CTX)?, CTX)?
         .iter()
         .map(|shard| {
@@ -1256,6 +1332,7 @@ pub fn stats_from_json(value: &JsonValue) -> Result<ServiceStats, DecodeError> {
         evaluations: int_field("evaluations")?,
         eval_errors: int_field("eval_errors")?,
         evictions: int_field("evictions")?,
+        classes,
         per_shard,
         remote_pools,
     })

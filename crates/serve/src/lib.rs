@@ -113,5 +113,5 @@ pub use pool::ConnectionPool;
 pub use remote::{RemoteBackend, ShardServer};
 pub use request::{BackendSelector, EvalRequest, EvalResponse, Priority, ResponseHandle};
 pub use service::{EvalService, RouterError, ShardRouter};
-pub use stats::{PoolStats, ServiceStats, ShardStats};
+pub use stats::{ClassStats, LatencyHistogram, PoolStats, ServiceStats, ShardStats};
 pub use topology::{RemoteShardDecl, Topology, TopologyError};

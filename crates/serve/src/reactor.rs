@@ -61,7 +61,7 @@ use crate::service::EvalService;
 use crate::wire::{
     decode_request_payload, decode_response_payload, write_request_frame, write_response_frame,
     FrameBuffer, ShardRequest, ShardResponse, SharedResult, WireEncoding, WireError,
-    PROTOCOL_VERSION,
+    LATENCY_STATS_PROTOCOL, MUX_PROTOCOL, PROTOCOL_VERSION,
 };
 use rsn_eval::EvalError;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -490,7 +490,7 @@ impl Conn {
 
     /// Whether this peer negotiated out-of-order completion (protocol 5).
     fn fifo(&self) -> bool {
-        self.peer_protocol < PROTOCOL_VERSION
+        self.peer_protocol < MUX_PROTOCOL
     }
 
     fn wants_write(&self) -> bool {
@@ -605,7 +605,7 @@ fn handle_frame(
                 names: service.backend_names().to_vec(),
                 protocol: PROTOCOL_VERSION,
                 ring: None,
-                window: (protocol >= PROTOCOL_VERSION).then_some(CREDIT_WINDOW),
+                window: (protocol >= MUX_PROTOCOL).then_some(CREDIT_WINDOW),
             };
             let bytes = encode_response(id, &response, encoding, scratch);
             // The hello itself was enqueued under the peer's *old*
@@ -626,7 +626,13 @@ fn handle_frame(
             queue_response(conn, id, bytes);
         }
         ShardRequest::Stats => {
-            let response = ShardResponse::Stats(service.stats());
+            let mut stats = service.stats();
+            // Pre-v6 binary decoders reject the trailing per-class latency
+            // section, so strip it for peers that predate it.
+            if conn.peer_protocol < LATENCY_STATS_PROTOCOL {
+                stats.classes.clear();
+            }
+            let response = ShardResponse::Stats(stats);
             let bytes = encode_response(id, &response, encoding, scratch);
             queue_response(conn, id, bytes);
         }
@@ -1070,8 +1076,12 @@ impl Multiplexer {
         request: &ShardRequest,
         budget: Duration,
     ) -> Result<ShardResponse, WireError> {
-        let (id, rx) = self.submit(request, budget)?;
-        match rx.recv_timeout(budget) {
+        // One deadline bounds both halves: whatever the credit wait spent
+        // is no longer available to the response wait, so a slow shard can
+        // never stretch a "bounded" exchange to 2× its budget.
+        let deadline = Instant::now() + budget;
+        let (id, rx) = self.submit(request, deadline)?;
+        match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
             Ok(response) => Ok(response),
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 self.cancel_local(id);
@@ -1090,10 +1100,15 @@ impl Multiplexer {
         requests: &[ShardRequest],
         budget: Duration,
     ) -> Result<Vec<ShardResponse>, WireError> {
+        // The clock starts before the first submit: every credit wait and
+        // every response wait draws down the same deadline, so an n-request
+        // burst against a credit-starved shard costs at most one budget,
+        // not (n+1) of them.
+        let deadline = Instant::now() + budget;
         let mut submitted = Vec::with_capacity(requests.len());
         let mut failure: Option<WireError> = None;
         for request in requests {
-            match self.submit(request, budget) {
+            match self.submit(request, deadline) {
                 Ok(pair) => submitted.push(pair),
                 Err(error) => {
                     failure = Some(error);
@@ -1101,7 +1116,6 @@ impl Multiplexer {
                 }
             }
         }
-        let deadline = Instant::now() + budget;
         let mut responses = Vec::with_capacity(submitted.len());
         for (id, rx) in submitted {
             if failure.is_some() {
@@ -1125,14 +1139,15 @@ impl Multiplexer {
     }
 
     /// Acquires a credit, registers the pending slot, encodes the frame
-    /// into the outbound buffer, and wakes the reactor thread.
+    /// into the outbound buffer, and wakes the reactor thread.  `deadline`
+    /// is the *exchange's* deadline, shared with the caller's response
+    /// wait — the credit wait must not get a fresh allowance of its own.
     fn submit(
         &self,
         request: &ShardRequest,
-        budget: Duration,
+        deadline: Instant,
     ) -> Result<(u64, mpsc::Receiver<ShardResponse>), WireError> {
         let shared = &self.inner;
-        let deadline = Instant::now() + budget;
         let mut state = shared.state.lock().expect("mux state lock");
         while state.in_use >= shared.window {
             if shared.dead.load(Ordering::Acquire) {
@@ -1454,5 +1469,134 @@ mod tests {
             ShardResponse::Evaluated(result) => assert!(result.is_err()),
             other => panic!("unexpected response: {other:?}"),
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Multiplexer budget regression tests.
+    //
+    // Both pin the contract that `budget` bounds a *whole* exchange.
+    // Before the shared-deadline fix, `submit`'s credit wait and the
+    // response wait each got a full budget (2× worst case for
+    // `exchange`, (n+1)× for an n-request `exchange_burst`), so these
+    // tests fail against the pre-fix code and pass after.
+    // -----------------------------------------------------------------
+
+    use crate::wire::{read_request_frame, write_response_frame};
+    use rsn_eval::WorkloadSpec;
+
+    /// A hand-built shard for the budget tests: answers each non-cancel
+    /// request after the scripted delay, in arrival order; `None`
+    /// withholds that response forever (the credit never frees on the
+    /// server side of the story).  Exits on EOF when the client hangs up.
+    fn scripted_shard(delays: Vec<Option<Duration>>) -> (std::net::SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind scripted shard");
+        let addr = listener.local_addr().expect("shard addr");
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = match listener.accept() {
+                Ok(pair) => pair,
+                Err(_) => return,
+            };
+            let mut scratch = Vec::new();
+            let mut served = 0usize;
+            loop {
+                let (id, request, encoding, _) = match read_request_frame(&mut stream, &mut scratch)
+                {
+                    Ok(Some(frame)) => frame,
+                    Ok(None) | Err(_) => return,
+                };
+                if matches!(request, ShardRequest::Cancel { .. }) {
+                    continue; // cancels get no reply and consume no script slot
+                }
+                let delay = delays.get(served).copied().unwrap_or(Some(Duration::ZERO));
+                served += 1;
+                match delay {
+                    None => continue, // withhold this response forever
+                    Some(delay) => {
+                        std::thread::sleep(delay);
+                        let mut out = Vec::new();
+                        if write_response_frame(
+                            &mut stream,
+                            id,
+                            &ShardResponse::Supported(true),
+                            encoding,
+                            &mut out,
+                        )
+                        .is_err()
+                        {
+                            return;
+                        }
+                    }
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    fn probe_request(n: usize) -> ShardRequest {
+        ShardRequest::Supports {
+            backend: "shard".to_string(),
+            spec: WorkloadSpec::SquareGemm { n },
+        }
+    }
+
+    fn budget_mux(addr: std::net::SocketAddr, window: u64) -> Multiplexer {
+        let stream = TcpStream::connect(addr).expect("connect scripted shard");
+        Multiplexer::start(
+            stream,
+            window,
+            Arc::new(PoolCounters::default()),
+            Duration::from_secs(5),
+        )
+        .expect("mux starts")
+    }
+
+    #[test]
+    fn exchange_budget_is_not_rearmed_by_a_late_credit() {
+        let budget = Duration::from_millis(600);
+        // First request answered at 0.75× budget (holding the only credit
+        // until then); second request withheld forever.
+        let (addr, shard) = scripted_shard(vec![Some(budget.mul_f64(0.75)), None]);
+        let mux = Arc::new(budget_mux(addr, 1));
+        let first = {
+            let mux = Arc::clone(&mux);
+            std::thread::spawn(move || mux.exchange(&probe_request(1), budget))
+        };
+        // Let the first exchange take the credit before contending for it.
+        std::thread::sleep(Duration::from_millis(50));
+        let start = Instant::now();
+        let second = mux.exchange(&probe_request(2), budget);
+        let elapsed = start.elapsed();
+        assert!(second.is_err(), "withheld response must time out");
+        assert!(
+            elapsed <= budget.mul_f64(1.5),
+            "exchange overran its budget: {elapsed:?} vs {budget:?} \
+             (credit wait re-armed the response clock?)"
+        );
+        assert!(first.join().expect("first exchange thread").is_ok());
+        drop(mux); // hang up so the shard thread sees EOF
+        let _ = shard.join();
+    }
+
+    #[test]
+    fn burst_budget_is_shared_across_submits() {
+        let budget = Duration::from_millis(500);
+        // Window 1, each response at 0.7× budget: the third submit cannot
+        // get a credit before the shared deadline, so the burst must fail
+        // at ~1× budget instead of grinding through at ~2×+.
+        let delay = budget.mul_f64(0.7);
+        let (addr, shard) = scripted_shard(vec![Some(delay); 3]);
+        let mux = budget_mux(addr, 1);
+        let requests: Vec<ShardRequest> = (0..3).map(probe_request).collect();
+        let start = Instant::now();
+        let result = mux.exchange_burst(&requests, budget);
+        let elapsed = start.elapsed();
+        assert!(result.is_err(), "credit-starved burst must time out");
+        assert!(
+            elapsed <= budget.mul_f64(1.5),
+            "burst overran its budget: {elapsed:?} vs {budget:?} \
+             (per-submit budgets or a post-submit response clock?)"
+        );
+        drop(mux);
+        let _ = shard.join();
     }
 }

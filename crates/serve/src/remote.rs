@@ -49,7 +49,7 @@ use crate::shm::{self, Direction, Parker, RingConsumer, RingProducer, Segment};
 use crate::stats::ServiceStats;
 use crate::wire::{
     decode_request_payload, write_response_frame, FrameBuffer, ShardRequest, ShardResponse,
-    SharedResult, WireEncoding, WireError, PROTOCOL_VERSION,
+    SharedResult, WireEncoding, WireError, LATENCY_STATS_PROTOCOL, PROTOCOL_VERSION,
 };
 use rsn_eval::{Backend, EvalError, EvalReport, WorkloadSpec};
 use std::collections::HashMap;
@@ -290,6 +290,9 @@ fn serve_connection(
     let mut out = Vec::new();
     let mut socket_frames = FrameBuffer::new();
     let mut ring: Option<ServerRing> = None;
+    // The peer's protocol version, learned from its hello.  Clients that
+    // skip the hello are assumed v1 — the conservative answer shape.
+    let mut peer_protocol: u64 = 1;
 
     // Socket phase: blocking reads with the idle timeout doing the
     // reaping, until (if ever) a hello negotiates a ring.
@@ -317,7 +320,16 @@ fn serve_connection(
                 Err(_) => return,
             }
         }
-        let responses = answer_burst(service, burst, &remote, &stream, conn_id, &mut ring, false);
+        let responses = answer_burst(
+            service,
+            burst,
+            &remote,
+            &stream,
+            conn_id,
+            &mut ring,
+            &mut peer_protocol,
+            false,
+        );
         out.clear();
         if encode_responses(&mut out, &responses, &mut scratch).is_err() {
             return;
@@ -376,6 +388,7 @@ fn serve_connection(
                 &stream,
                 conn_id,
                 &mut ring,
+                &mut peer_protocol,
                 false,
             );
             out.clear();
@@ -396,7 +409,14 @@ fn serve_connection(
         if !ring_burst.is_empty() {
             progressed = true;
             let responses = answer_burst(
-                service, ring_burst, &remote, &stream, conn_id, &mut ring, true,
+                service,
+                ring_burst,
+                &remote,
+                &stream,
+                conn_id,
+                &mut ring,
+                &mut peer_protocol,
+                true,
             );
             out.clear();
             if encode_responses(&mut out, &responses, &mut scratch).is_err() {
@@ -461,6 +481,7 @@ enum Staged {
 /// construction same-host — evaluate on this thread, where queue
 /// hand-offs to a pool that shares cores with the client would only add
 /// context switches.
+#[allow(clippy::too_many_arguments)]
 fn answer_burst(
     service: &EvalService,
     burst: Vec<(u64, ShardRequest, WireEncoding)>,
@@ -468,6 +489,7 @@ fn answer_burst(
     stream: &TcpStream,
     conn_id: u64,
     ring: &mut Option<ServerRing>,
+    peer_protocol: &mut u64,
     inline: bool,
 ) -> Vec<(u64, ShardResponse, WireEncoding)> {
     let staged: Vec<(u64, Staged, WireEncoding)> = burst
@@ -483,7 +505,16 @@ fn answer_burst(
             };
             (
                 id,
-                stage(service, request, remote, stream, conn_id, ring, inline),
+                stage(
+                    service,
+                    request,
+                    remote,
+                    stream,
+                    conn_id,
+                    ring,
+                    peer_protocol,
+                    inline,
+                ),
                 encoding,
             )
         })
@@ -503,10 +534,12 @@ fn stage(
     stream: &TcpStream,
     conn_id: u64,
     ring: &mut Option<ServerRing>,
+    peer_protocol: &mut u64,
     inline: bool,
 ) -> Staged {
     match request {
-        ShardRequest::Hello { protocol: _ } => {
+        ShardRequest::Hello { protocol } => {
+            *peer_protocol = protocol.max(1);
             maybe_offer_ring(remote, stream, conn_id, ring);
             Staged::Now(ShardResponse::Backends {
                 names: service.backend_names().to_vec(),
@@ -532,7 +565,15 @@ fn stage(
         ShardRequest::EvaluateBatch { backend, specs } => {
             submit(service, backend, specs, false, inline)
         }
-        ShardRequest::Stats => Staged::Now(ShardResponse::Stats(service.stats())),
+        ShardRequest::Stats => {
+            let mut stats = service.stats();
+            // Pre-v6 binary decoders reject the trailing per-class latency
+            // section, so strip it for peers that predate it.
+            if *peer_protocol < LATENCY_STATS_PROTOCOL {
+                stats.classes.clear();
+            }
+            Staged::Now(ShardResponse::Stats(stats))
+        }
         // Cancellation is a reactor-front-end feature; a client can only
         // send one here by ignoring the missing window in our hello.
         // Answer (rather than silently dropping) so the 1:1

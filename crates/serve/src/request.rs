@@ -31,12 +31,32 @@ impl Priority {
     /// All classes, most urgent first — the batcher's drain order.
     pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
 
-    /// Queue index of this class (0 = most urgent).
-    pub(crate) fn index(self) -> usize {
+    /// Queue index of this class (0 = most urgent) — also the class's slot
+    /// in [`ServiceConfig::class_budgets`](crate::ServiceConfig::class_budgets).
+    pub fn index(self) -> usize {
         match self {
             Priority::High => 0,
             Priority::Normal => 1,
             Priority::Low => 2,
+        }
+    }
+
+    /// The class's wire / topology-file spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Parses the wire / topology-file spelling.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "low" => Some(Priority::Low),
+            _ => None,
         }
     }
 }

@@ -27,7 +27,7 @@ use crate::topology::Topology;
 use rsn_eval::{Backend, EvalError, EvalReport, Evaluator, WorkloadSpec};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -71,6 +71,16 @@ struct RequestState {
     remaining: AtomicUsize,
     /// Response hand-off, consumed by whichever fill completes the request.
     tx: Mutex<Option<Completion>>,
+    /// When the request was accepted — the base of its sojourn time, which
+    /// is what the per-class latency histograms record at completion.
+    enqueued_at: Instant,
+    /// Scheduling class, for the per-class latency/shed accounting.
+    priority: Priority,
+    /// Set when any member of the request was shed under load; a shed
+    /// request's sojourn is excluded from the latency histogram (it
+    /// measures *served* requests) and shows up in the shed counters
+    /// instead.
+    shed: AtomicBool,
 }
 
 /// A queued request slot awaiting one backend's report.
@@ -87,6 +97,15 @@ struct QueuedItem {
     /// `(slot index, backend shard)` pairs still needing evaluation.
     targets: Vec<(usize, usize)>,
     state: Arc<RequestState>,
+    /// When the member entered the queues.  The batcher anchors its
+    /// deadline to the *oldest* member's stamp (a request must never wait
+    /// more than `batch_deadline` in the batcher regardless of when the
+    /// batcher thread woke), and deadline-aware shedding compares this age
+    /// against the class budget at dispatch.
+    enqueued_at: Instant,
+    /// Scheduling class (duplicated from the queue index so dispatch-time
+    /// shedding can account against the right class).
+    priority: Priority,
 }
 
 /// One unit of backend work produced by a cache miss.
@@ -196,11 +215,33 @@ impl EvalService {
 
         let mut senders = Vec::with_capacity(inner.backends.len());
         let mut workers = Vec::new();
+        // Whether this service enforces a deadline discipline (class SLO
+        // budgets or a queue-depth bound).  It changes how deep the worker
+        // hand-off buffers may be, below.
+        let disciplined = inner.config.class_budgets.iter().any(Option::is_some)
+            || inner.config.queue_capacity.is_some();
         for backend_idx in 0..inner.backends.len() {
-            let (tx, rx) = mpsc::channel::<Vec<WorkTask>>();
+            let weight = weights.get(backend_idx).copied().unwrap_or(1).max(1);
+            // The hand-off to the workers is *bounded*: under overload the
+            // backlog must accumulate in `pending` — where the admission
+            // gate and the deadline shedder can see it — not in an
+            // unbounded worker channel the accounting is blind to.  The
+            // depth is the service's posture.  Undisciplined services
+            // (no budgets, no queue bound — every service before this
+            // feature, all the throughput benchmarks) get a deep buffer:
+            // the batcher almost never blocks mid-burst and remote
+            // backends still find whole queues to coalesce into one wire
+            // exchange.  Disciplined services trade that depth for an
+            // accurate shedding horizon: work parked in this channel has
+            // already passed the shedder, so every buffered chunk is
+            // queue-age the accounting cannot see — two chunks per worker
+            // keeps the pool double-buffered and the blind spot at one
+            // dispatch's worth of work.
+            let per_worker = if disciplined { 2 } else { MAX_COALESCED_CHUNKS };
+            let depth = inner.config.workers_per_backend.max(1) * weight * per_worker;
+            let (tx, rx) = mpsc::sync_channel::<Vec<WorkTask>>(depth);
             let rx = Arc::new(Mutex::new(rx));
             senders.push(tx);
-            let weight = weights.get(backend_idx).copied().unwrap_or(1).max(1);
             for _ in 0..inner.config.workers_per_backend.max(1) * weight {
                 let inner = Arc::clone(&inner);
                 let rx = Arc::clone(&rx);
@@ -370,10 +411,14 @@ impl EvalService {
             });
             return;
         }
+        let enqueued_at = Instant::now();
         let state = Arc::new(RequestState {
             slots: Mutex::new(vec![None; total_slots]),
             remaining: AtomicUsize::new(total_slots),
             tx: Mutex::new(Some(done)),
+            enqueued_at,
+            priority,
+            shed: AtomicBool::new(false),
         });
         let mut items = Vec::with_capacity(specs.len());
         for (index, spec) in specs.into_iter().enumerate() {
@@ -401,12 +446,44 @@ impl EvalService {
                     spec: Arc::new(spec),
                     targets,
                     state: Arc::clone(&state),
+                    enqueued_at,
+                    priority,
                 });
             }
         }
         if !items.is_empty() {
             // One queue transaction for the whole burst.
             let mut pending = inner.pending.lock().expect("pending lock");
+            // The admission gate: under an open-loop overload (arrivals
+            // that do not slow down when responses lag) the pending queues
+            // are the unbounded buffer — refuse the whole burst once they
+            // are at capacity, bounding queue memory and answering the
+            // excess immediately instead of after a hopeless wait.
+            if let Some(capacity) = inner.config.queue_capacity {
+                if pending.len() + items.len() > capacity {
+                    drop(pending);
+                    inner.counters.classes[priority.index()]
+                        .shed_queue
+                        .fetch_add(items.len() as u64, Ordering::Relaxed);
+                    state.shed.store(true, Ordering::Relaxed);
+                    let error: CachedResult = Arc::new(Err(EvalError::Overloaded {
+                        class: priority.as_str().to_string(),
+                        reason: format!("pending queues at capacity ({capacity})"),
+                    }));
+                    for item in items {
+                        for &(slot, backend) in &item.targets {
+                            fulfill(
+                                inner,
+                                &item.state,
+                                slot,
+                                Arc::clone(&inner.name_refs[backend]),
+                                Arc::clone(&error),
+                            );
+                        }
+                    }
+                    return;
+                }
+            }
             pending.queues[priority.index()].extend(items);
             pending.flush |= flush;
             drop(pending);
@@ -653,6 +730,15 @@ fn fulfill(
         // Count before sending so a caller that has its response always
         // observes the completion in `stats()`.
         inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+        // Sojourn time, enqueue to response, of *served* requests; shed
+        // requests are accounted in the shed counters instead (mixing
+        // their fast-fail times in would make the histograms look better
+        // exactly when the service is refusing work).
+        if !state.shed.load(Ordering::Relaxed) {
+            inner.counters.classes[state.priority.index()]
+                .latency
+                .record(state.enqueued_at.elapsed());
+        }
         if let Some(done) = state.tx.lock().expect("tx lock").take() {
             done.resolve(EvalResponse { results });
         }
@@ -661,7 +747,7 @@ fn fulfill(
 
 /// The micro-batcher: forms size/deadline-bounded batches and dispatches
 /// them through the cache onto the per-backend work queues.
-fn batcher_loop(inner: &ServiceInner, senders: Vec<mpsc::Sender<Vec<WorkTask>>>) {
+fn batcher_loop(inner: &ServiceInner, senders: Vec<mpsc::SyncSender<Vec<WorkTask>>>) {
     while let Some(batch) = collect_batch(inner) {
         if !batch.is_empty() {
             dispatch(inner, &senders, batch);
@@ -680,7 +766,7 @@ fn collect_batch(inner: &ServiceInner) -> Option<Vec<QueuedItem>> {
         pending = inner.pending_cv.wait(pending).expect("pending lock");
     }
     let mut batch = Vec::with_capacity(max_batch.min(pending.len()));
-    let deadline = Instant::now() + inner.config.batch_deadline;
+    let mut deadline: Option<Instant> = None;
     loop {
         while batch.len() < max_batch {
             match pending.pop() {
@@ -688,6 +774,20 @@ fn collect_batch(inner: &ServiceInner) -> Option<Vec<QueuedItem>> {
                 None => break,
             }
         }
+        // The deadline is anchored to the *oldest* member's enqueue stamp,
+        // not this thread's wake-up: the batcher may itself have been busy
+        // dispatching when the request arrived, and starting the clock
+        // here would let a request wait up to twice `batch_deadline`.  The
+        // first fill above always yields at least one item (the condvar
+        // loop held until `pending` was non-empty).
+        let deadline = *deadline.get_or_insert_with(|| {
+            let oldest = batch
+                .iter()
+                .map(|item| item.enqueued_at)
+                .min()
+                .expect("first fill yields at least one item");
+            oldest + inner.config.batch_deadline
+        });
         if batch.len() >= max_batch || pending.shutdown {
             // Consume the flush hint together with the last of its items so
             // a burst of exactly `max_batch` specs cannot leave a stale flag
@@ -717,9 +817,56 @@ fn collect_batch(inner: &ServiceInner) -> Option<Vec<QueuedItem>> {
     Some(batch)
 }
 
+/// Fast-fails one queued member whose queue age exceeded its class budget:
+/// every unfilled slot gets [`EvalError::Overloaded`], the class's
+/// `shed_deadline` counter ticks, and the request is marked shed so its
+/// sojourn stays out of the latency histogram.
+fn shed_aged(inner: &ServiceInner, item: QueuedItem, age: std::time::Duration) {
+    inner.counters.classes[item.priority.index()]
+        .shed_deadline
+        .fetch_add(1, Ordering::Relaxed);
+    item.state.shed.store(true, Ordering::Relaxed);
+    let error: CachedResult = Arc::new(Err(EvalError::Overloaded {
+        class: item.priority.as_str().to_string(),
+        reason: format!("queue age {}µs exceeded the class budget", age.as_micros()),
+    }));
+    for &(slot, backend) in &item.targets {
+        fulfill(
+            inner,
+            &item.state,
+            slot,
+            Arc::clone(&inner.name_refs[backend]),
+            Arc::clone(&error),
+        );
+    }
+}
+
 /// Runs one batch through the report cache: hits answer immediately,
 /// in-flight keys merge, misses become sharded work tasks.
-fn dispatch(inner: &ServiceInner, senders: &[mpsc::Sender<Vec<WorkTask>>], batch: Vec<QueuedItem>) {
+fn dispatch(
+    inner: &ServiceInner,
+    senders: &[mpsc::SyncSender<Vec<WorkTask>>],
+    batch: Vec<QueuedItem>,
+) {
+    // Deadline-aware shedding, decided here — the last moment before the
+    // batch commits to backend work.  A member that already overstayed its
+    // class's budget would blow its SLO anyway; failing it fast keeps the
+    // queues short, which is what protects the members still inside
+    // budget.  Classes without a budget never shed on age.
+    let now = Instant::now();
+    let (batch, aged): (Vec<_>, Vec<_>) = batch.into_iter().partition(|item| {
+        match inner.config.class_budgets[item.priority.index()] {
+            Some(budget) => now.saturating_duration_since(item.enqueued_at) <= budget,
+            None => true,
+        }
+    });
+    for item in aged {
+        let age = now.saturating_duration_since(item.enqueued_at);
+        shed_aged(inner, item, age);
+    }
+    if batch.is_empty() {
+        return;
+    }
     inner.counters.batches.fetch_add(1, Ordering::Relaxed);
     inner
         .counters
@@ -1350,7 +1497,12 @@ mod tests {
                     slots: Mutex::new(Vec::new()),
                     remaining: AtomicUsize::new(0),
                     tx: Mutex::new(None),
+                    enqueued_at: Instant::now(),
+                    priority,
+                    shed: AtomicBool::new(false),
                 }),
+                enqueued_at: Instant::now(),
+                priority,
             });
         }
         let order: Vec<WorkloadSpec> = std::iter::from_fn(|| queues.pop())
@@ -1457,5 +1609,117 @@ mod tests {
         assert!(stats.batches <= 32);
         assert_eq!(stats.batched_requests, 32);
         assert!(stats.mean_batch_size() >= 1.0);
+    }
+
+    #[test]
+    fn served_sojourns_land_in_the_class_histograms() {
+        let service = two_shard_service();
+        for n in 0..4 {
+            let response = service
+                .submit(
+                    EvalRequest::all(WorkloadSpec::SquareGemm { n }).with_priority(Priority::High),
+                )
+                .wait();
+            assert_eq!(response.results.len(), 2);
+        }
+        let stats = service.stats();
+        let high = stats.class(Priority::High).expect("high class present");
+        assert_eq!(high.latency.count, 4);
+        assert!(high.latency.p99().is_some());
+        assert_eq!(high.shed(), 0);
+        // Nothing ran in the other classes.
+        assert_eq!(stats.class(Priority::Low).expect("low").latency.count, 0);
+        assert_eq!(stats.shed(), 0);
+    }
+
+    #[test]
+    fn aged_out_requests_shed_with_overloaded_exactly_once() {
+        // A zero budget for Low sheds every Low request at dispatch (its
+        // queue age is always positive by then), while Normal requests,
+        // budgetless, are served — the per-class isolation the budgets are
+        // for.  Shed or served, every submission is answered exactly once.
+        let service = EvalService::with_config(
+            Evaluator::empty().with_backend(Box::new(SquareOnly { name: "alpha" })),
+            ServiceConfig {
+                class_budgets: [None, None, Some(Duration::ZERO)],
+                ..ServiceConfig::default()
+            },
+        );
+        let total = 16usize;
+        let handles: Vec<ResponseHandle> = (0..total)
+            .map(|n| {
+                service.submit(
+                    EvalRequest::all(WorkloadSpec::SquareGemm { n }).with_priority(if n % 2 == 0 {
+                        Priority::Low
+                    } else {
+                        Priority::Normal
+                    }),
+                )
+            })
+            .collect();
+        for (n, handle) in handles.into_iter().enumerate() {
+            let response = handle.wait();
+            assert_eq!(response.results.len(), 1);
+            let result = response.results[0].1.as_ref();
+            if n % 2 == 0 {
+                match result {
+                    Err(EvalError::Overloaded { class, .. }) => assert_eq!(class, "low"),
+                    other => panic!("expected an overloaded fast-fail, got {other:?}"),
+                }
+            } else {
+                assert!(result.is_ok(), "budgetless class must be served");
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.completed, total as u64);
+        let low = stats.class(Priority::Low).expect("low class present");
+        assert_eq!(low.shed_deadline, (total / 2) as u64);
+        // Shed sojourns stay out of the latency histogram.
+        assert_eq!(low.latency.count, 0);
+        assert_eq!(
+            stats.class(Priority::Normal).expect("normal").latency.count,
+            (total / 2) as u64
+        );
+        // Shed requests never reach a backend.
+        assert_eq!(stats.evaluations, (total / 2) as u64);
+    }
+
+    #[test]
+    fn queue_capacity_gate_refuses_bursts_whole() {
+        // Capacity zero refuses every admission — the deterministic
+        // extreme of the memory bound under open-loop overload.
+        let service = EvalService::with_config(
+            Evaluator::empty().with_backend(Box::new(SquareOnly { name: "alpha" })),
+            ServiceConfig {
+                queue_capacity: Some(0),
+                ..ServiceConfig::default()
+            },
+        );
+        let specs = vec![
+            WorkloadSpec::SquareGemm { n: 1 },
+            WorkloadSpec::SquareGemm { n: 2 },
+        ];
+        let response = service
+            .submit_batch(specs, BackendSelector::All, Priority::Normal)
+            .wait();
+        assert_eq!(response.results.len(), 2);
+        for (_, result) in &response.results {
+            match result.as_ref() {
+                Err(EvalError::Overloaded { class, reason }) => {
+                    assert_eq!(class, "normal");
+                    assert!(reason.contains("capacity"), "reason: {reason}");
+                }
+                other => panic!("expected an overloaded refusal, got {other:?}"),
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.class(Priority::Normal).expect("normal").shed_queue, 2);
+        assert_eq!(stats.evaluations, 0);
+        // Refused sojourns stay out of the histogram too.
+        assert_eq!(
+            stats.class(Priority::Normal).expect("normal").latency.count,
+            0
+        );
     }
 }

@@ -251,6 +251,22 @@ pub fn service_config_json(config: &ServiceConfig) -> JsonValue {
                 .map_or(JsonValue::Null, |n| JsonValue::Int(n as u64)),
         ),
         (
+            "class_budgets_us",
+            JsonValue::obj(crate::request::Priority::ALL.map(|priority| {
+                (
+                    priority.as_str(),
+                    config.class_budgets[priority.index()]
+                        .map_or(JsonValue::Null, |b| JsonValue::Int(micros_ceil(b))),
+                )
+            })),
+        ),
+        (
+            "queue_capacity",
+            config
+                .queue_capacity
+                .map_or(JsonValue::Null, |n| JsonValue::Int(n as u64)),
+        ),
+        (
             "remote",
             JsonValue::obj([
                 (
@@ -300,6 +316,31 @@ pub fn service_config_from_json(value: &JsonValue) -> Result<ServiceConfig, Deco
     match value.get("cache_capacity") {
         None | Some(JsonValue::Null) => {}
         Some(v) => config.cache_capacity = Some(decode_usize(v, CTX, "cache_capacity")?),
+    }
+    match value.get("class_budgets_us") {
+        None | Some(JsonValue::Null) => {}
+        Some(budgets @ JsonValue::Obj(_)) => {
+            for priority in crate::request::Priority::ALL {
+                match budgets.get(priority.as_str()) {
+                    None | Some(JsonValue::Null) => {}
+                    Some(v) => {
+                        config.class_budgets[priority.index()] = Some(Duration::from_micros(
+                            decode_u64(v, CTX, "class_budgets_us")?,
+                        ))
+                    }
+                }
+            }
+        }
+        Some(_) => {
+            return Err(DecodeError {
+                context: CTX.to_string(),
+                message: "`class_budgets_us` must be an object keyed by class".to_string(),
+            })
+        }
+    }
+    match value.get("queue_capacity") {
+        None | Some(JsonValue::Null) => {}
+        Some(v) => config.queue_capacity = Some(decode_usize(v, CTX, "queue_capacity")?),
     }
     if let Some(remote) = value.get("remote") {
         config.remote = remote_config_from_json(remote)?;
@@ -499,6 +540,12 @@ mod tests {
                 batch_deadline: Duration::from_micros(750),
                 workers_per_backend: 3,
                 cache_capacity: Some(4096),
+                class_budgets: [
+                    Some(Duration::from_micros(2_000)),
+                    Some(Duration::from_micros(20_000)),
+                    None,
+                ],
+                queue_capacity: Some(1024),
                 remote: RemoteConfig {
                     connect_timeout: Duration::from_millis(2500),
                     io_timeout: Duration::from_millis(12000),
@@ -560,6 +607,9 @@ mod tests {
             r#"{"service": {"remote": {"frontend": 3}}}"#,
             r#"{"service": {"remote": {"frontend": "tokio"}}}"#,
             r#"{"service": {"max_batch": -1}}"#,
+            r#"{"service": {"class_budgets_us": [2000]}}"#,
+            r#"{"service": {"class_budgets_us": {"high": "fast"}}}"#,
+            r#"{"service": {"queue_capacity": "lots"}}"#,
         ];
         for text in bad {
             let doc = json::parse(text).expect("structurally valid JSON");

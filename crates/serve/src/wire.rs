@@ -82,9 +82,23 @@ pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 /// documents; version 5 adds request multiplexing (client protocol in the
 /// hello request, a credit `window` in the hello response, out-of-order
 /// response completion matched by id, and the `cancel` frame — see
-/// [`crate::reactor`]).  The hello exchange advertises the version both
-/// ways so each side can negotiate fallbacks against older peers.
-pub const PROTOCOL_VERSION: u64 = 5;
+/// [`crate::reactor`]); version 6 adds the trailing per-class latency
+/// section in stats documents ([`crate::stats::ClassStats`]).  The hello
+/// exchange advertises the version both ways so each side can negotiate
+/// fallbacks against older peers.
+pub const PROTOCOL_VERSION: u64 = 6;
+
+/// The protocol version that introduced request multiplexing.  Capability
+/// checks for credit windows and out-of-order completion compare against
+/// this, not [`PROTOCOL_VERSION`] — a v5 peer keeps its credit window when
+/// talking to a v6 build.
+pub(crate) const MUX_PROTOCOL: u64 = 5;
+
+/// The protocol version that introduced the per-class latency section in
+/// stats documents.  Servers clear `classes` from a stats snapshot before
+/// answering a peer older than this: pre-v6 binary decoders reject
+/// trailing bytes they do not know.
+pub(crate) const LATENCY_STATS_PROTOCOL: u64 = 6;
 
 /// The encoding of one frame on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -16,7 +16,9 @@ use rsn_eval::{BreakdownRow, CycleStats, EvalError, EvalReport, SchedulerKind, W
 use rsn_lib::mapping::MappingType;
 use rsn_serve::json;
 use rsn_serve::wire::{ShardRequest, ShardResponse, SharedResult};
-use rsn_serve::{binary, PoolStats, ServiceStats, ShardStats};
+use rsn_serve::{
+    binary, ClassStats, LatencyHistogram, PoolStats, Priority, ServiceStats, ShardStats,
+};
 use rsn_workloads::bert::BertConfig;
 use rsn_workloads::models::ModelKind;
 use std::sync::Arc;
@@ -200,6 +202,17 @@ fn random_result(rng: &mut u64) -> Result<EvalReport, EvalError> {
     }
 }
 
+/// A histogram built the way the service builds one: by recording, so its
+/// trimmed bucket vector, count, sum, and max are all mutually consistent.
+fn random_histogram(rng: &mut u64) -> LatencyHistogram {
+    let mut histogram = LatencyHistogram::new();
+    for _ in 0..lcg(rng) % 200 {
+        let us = lcg(rng) % 10_000_000;
+        histogram.record(std::time::Duration::from_micros(us));
+    }
+    histogram
+}
+
 fn random_stats(rng: &mut u64) -> ServiceStats {
     ServiceStats {
         submitted: lcg(rng) % 100_000,
@@ -237,6 +250,21 @@ fn random_stats(rng: &mut u64) -> ServiceStats {
                 inflight_per_conn: lcg(rng) % 64,
             })
             .collect(),
+        // Roughly half the sweep has a populated per-class section (the
+        // v6 trailing-optional addition), the rest the empty v5 shape.
+        classes: if lcg(rng).is_multiple_of(2) {
+            Priority::ALL
+                .iter()
+                .map(|&priority| ClassStats {
+                    priority,
+                    latency: random_histogram(rng),
+                    shed_deadline: lcg(rng) % 1_000,
+                    shed_queue: lcg(rng) % 1_000,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        },
     }
 }
 

@@ -19,7 +19,8 @@ use rsn_serve::json::{
 };
 use rsn_serve::topology::{topology_from_json, topology_json};
 use rsn_serve::{
-    PoolStats, RemoteConfig, RemoteShardDecl, ServiceConfig, ServiceStats, ShardStats, Topology,
+    ClassStats, LatencyHistogram, PoolStats, Priority, RemoteConfig, RemoteShardDecl,
+    ServiceConfig, ServiceStats, ShardStats, Topology,
 };
 use rsn_workloads::bert::BertConfig;
 use rsn_workloads::models::ModelKind;
@@ -279,6 +280,21 @@ fn stats_round_trip_including_per_shard_counters() {
             reactor_wakeups: 11,
             inflight_per_conn: 4,
         }],
+        classes: Priority::ALL
+            .iter()
+            .map(|&priority| {
+                let mut latency = LatencyHistogram::new();
+                for us in [90_u64, 450, 450, 12_000, 250_000] {
+                    latency.record(std::time::Duration::from_micros(us));
+                }
+                ClassStats {
+                    priority,
+                    latency,
+                    shed_deadline: 3,
+                    shed_queue: 1,
+                }
+            })
+            .collect(),
     };
     let parsed = assert_emit_stable(&stats_json(&stats));
     assert_eq!(json::stats_from_json(&parsed).expect("decodes"), stats);
@@ -318,6 +334,12 @@ fn topology_round_trips_typed_and_textual() {
             batch_deadline: std::time::Duration::from_micros(500),
             workers_per_backend: 4,
             cache_capacity: Some(1024),
+            class_budgets: [
+                Some(std::time::Duration::from_micros(1_500)),
+                None,
+                Some(std::time::Duration::from_micros(50_000)),
+            ],
+            queue_capacity: Some(512),
             remote: RemoteConfig {
                 connect_timeout: std::time::Duration::from_millis(2000),
                 io_timeout: std::time::Duration::from_millis(15000),
