@@ -16,7 +16,7 @@
 //!
 //! * [`stream`] — bounded, backpressured, statistics-tracking stream channels
 //!   (the network edges),
-//! * [`fu`] — the [`FunctionalUnit`](fu::FunctionalUnit) trait and the
+//! * [`fu`] — the [`FunctionalUnit`] trait and the
 //!   resumable-kernel step model (the network nodes),
 //! * [`uop`] — the neutral uOP representation shared by the decoder and FUs,
 //! * [`isa`] — RSN instruction packets (32-bit header with opcode / mask /

@@ -735,6 +735,11 @@ pub fn encode_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
         put_varint(out, pool.ring_exchanges);
         put_varint(out, pool.reactor_wakeups);
         put_varint(out, pool.inflight_per_conn);
+        put_varint(out, pool.hedges_launched);
+        put_varint(out, pool.hedges_won);
+        put_varint(out, pool.failovers);
+        put_varint(out, pool.breaker_trips);
+        put_varint(out, pool.breaker_fast_fails);
     }
     // Trailing-optional per-class latency section, appended since v6.  It
     // is emitted only when populated: pre-v6 decoders `finish()` after the
@@ -762,7 +767,7 @@ pub fn encode_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
 
 /// Counter varints per pool record in this build's encoding (the record's
 /// field-count prefix).
-const POOL_FIELD_COUNT: usize = 13;
+const POOL_FIELD_COUNT: usize = 18;
 
 fn read_stats(r: &mut Reader<'_>) -> Result<ServiceStats, DecodeError> {
     let mut stats = ServiceStats {
@@ -811,6 +816,11 @@ fn read_stats(r: &mut Reader<'_>) -> Result<ServiceStats, DecodeError> {
             ring_exchanges: fields[10],
             reactor_wakeups: fields[11],
             inflight_per_conn: fields[12],
+            hedges_launched: fields[13],
+            hedges_won: fields[14],
+            failovers: fields[15],
+            breaker_trips: fields[16],
+            breaker_fast_fails: fields[17],
         });
     }
     // Trailing-optional: a v1–v5 peer's image simply ends here.

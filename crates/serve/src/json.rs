@@ -1227,6 +1227,14 @@ pub fn stats_json(stats: &ServiceStats) -> JsonValue {
                             ("ring_exchanges", JsonValue::Int(pool.ring_exchanges)),
                             ("reactor_wakeups", JsonValue::Int(pool.reactor_wakeups)),
                             ("inflight_per_conn", JsonValue::Int(pool.inflight_per_conn)),
+                            ("hedges_launched", JsonValue::Int(pool.hedges_launched)),
+                            ("hedges_won", JsonValue::Int(pool.hedges_won)),
+                            ("failovers", JsonValue::Int(pool.failovers)),
+                            ("breaker_trips", JsonValue::Int(pool.breaker_trips)),
+                            (
+                                "breaker_fast_fails",
+                                JsonValue::Int(pool.breaker_fast_fails),
+                            ),
                         ])
                     })
                     .collect(),
@@ -1317,6 +1325,13 @@ pub fn stats_from_json(value: &JsonValue) -> Result<ServiceStats, DecodeError> {
                     // Version-4 peers predate the reactor counters.
                     reactor_wakeups: pool_int_opt("reactor_wakeups")?,
                     inflight_per_conn: pool_int_opt("inflight_per_conn")?,
+                    // Peers predating the fleet layer (replication,
+                    // hedging, circuit breaking) lack these counters.
+                    hedges_launched: pool_int_opt("hedges_launched")?,
+                    hedges_won: pool_int_opt("hedges_won")?,
+                    failovers: pool_int_opt("failovers")?,
+                    breaker_trips: pool_int_opt("breaker_trips")?,
+                    breaker_fast_fails: pool_int_opt("breaker_fast_fails")?,
                 })
             })
             .collect::<Result<Vec<_>, DecodeError>>()?,

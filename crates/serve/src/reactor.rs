@@ -1,6 +1,6 @@
 //! Nonblocking event-loop front ends for the shard wire: a hand-rolled
 //! `epoll` reactor (with a portable `poll` fallback) serving every shard
-//! connection from one thread, and the client-side [`Multiplexer`] that
+//! connection from one thread, and the client-side `Multiplexer` that
 //! keeps many requests in flight on one connection.
 //!
 //! # Why a reactor
@@ -52,7 +52,7 @@
 //! connection has `window` evaluations in flight, its frames stay in the
 //! kernel socket buffer (read interest is dropped) until a completion
 //! frees a slot — TCP flow control pushes back to the client, whose own
-//! [`Multiplexer`] blocks submitters on the same window.
+//! `Multiplexer` blocks submitters on the same window.
 
 use crate::config::EncodingPolicy;
 use crate::pool::PoolCounters;

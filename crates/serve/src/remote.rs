@@ -814,7 +814,7 @@ fn ring_write_all(
 /// connection set; the pool bound keeps a shard from hoarding sockets.  A
 /// shard restart between calls costs one transparent re-dial.  All socket
 /// operations carry the pool's configured timeouts
-/// ([`RemoteConfig`](crate::config::RemoteConfig)), so a hung shard yields
+/// ([`RemoteConfig`]), so a hung shard yields
 /// [`EvalError::Transport`], never a stuck worker.
 #[derive(Debug, Clone)]
 pub struct RemoteBackend {

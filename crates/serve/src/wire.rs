@@ -5,7 +5,7 @@
 //!
 //! One frame is a 4-byte big-endian payload length followed by exactly that
 //! many payload bytes.  The payload's first byte selects the encoding:
-//! [`binary::MAGIC`](crate::binary::MAGIC) (`0xB3`) marks the protocol-3
+//! [`binary::MAGIC`] (`0xB3`) marks the protocol-3
 //! compact binary codec ([`crate::binary`]); anything else is UTF-8 JSON
 //! (the [`crate::json`] emitter's pretty form — deterministic, so a frame
 //! for a given message is byte-stable).  Receivers dispatch per frame, so

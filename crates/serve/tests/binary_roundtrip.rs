@@ -248,6 +248,11 @@ fn random_stats(rng: &mut u64) -> ServiceStats {
                 ring_exchanges: lcg(rng) % 100_000,
                 reactor_wakeups: lcg(rng) % 100_000,
                 inflight_per_conn: lcg(rng) % 64,
+                hedges_launched: lcg(rng) % 10_000,
+                hedges_won: lcg(rng) % 10_000,
+                failovers: lcg(rng) % 1_000,
+                breaker_trips: lcg(rng) % 100,
+                breaker_fast_fails: lcg(rng) % 1_000,
             })
             .collect(),
         // Roughly half the sweep has a populated per-class section (the

@@ -539,6 +539,7 @@ fn topology_file_assembles_a_mixed_local_remote_service() {
             encoding: None,
             transport: None,
         }],
+        replicas: Vec::new(),
     };
     let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("topologies");
     std::fs::create_dir_all(&dir).expect("topology dir");
