@@ -8,9 +8,10 @@
 //! cache-hitting mixed workload, and reports/s for a **cache-missing**
 //! stream through a loopback shard server under five transports —
 //! connect-per-call (the pre-pooling behaviour), pooled + pipelined JSON
-//! (the protocol-2 wire), pooled + pipelined **binary** over TCP (the
-//! protocol-3 codec with zero-copy decode and frame coalescing), the
-//! same binary frames over the **shared-memory ring** (the protocol-4
+//! (the protocol-2 wire), pooled + pipelined **binary** over TCP (with
+//! the protocol-7 symbol dictionaries and bitmap-compact reports), the
+//! same stream with the dictionaries forced off (`binary_nodict`), the
+//! binary frames over the **shared-memory ring** (the protocol-4
 //! same-host transport the `auto` default negotiates on loopback), the
 //! **reactor front end** (the protocol-5 epoll event loop with
 //! out-of-order request multiplexing), and the in-process baseline — so
@@ -124,9 +125,15 @@ enum RemoteMode {
     /// onto the JSON encoding — the protocol-2 wire, kept measurable so
     /// the binary codec has a recorded baseline to beat.
     PooledPipelined,
-    /// Pooled + pipelined over the protocol-3 binary codec, pinned to the
-    /// TCP socket — isolates the codec + coalescing stages from the ring.
+    /// Pooled + pipelined over the binary codec, pinned to the TCP socket
+    /// — isolates the codec + coalescing stages from the ring.  Under
+    /// protocol 7 the auto-negotiation layers per-connection symbol
+    /// dictionaries and bitmap-compact reports on top.
     PooledBinary,
+    /// The same pooled binary socket with the protocol-7 symbol
+    /// dictionaries forced off (`binary_nodict`) — isolates what the
+    /// dictionaries themselves buy on an identical stream.
+    PooledBinaryNodict,
     /// Pooled + pipelined binary frames over the shared-memory ring the
     /// `auto` default negotiates on loopback (protocol 4).
     PooledShm,
@@ -175,6 +182,7 @@ fn remote_stream(mode: RemoteMode, requests: usize) -> (f64, u64, rsn_serve::Ser
         RemoteMode::ConnectPerCall
         | RemoteMode::PooledPipelined
         | RemoteMode::PooledBinary
+        | RemoteMode::PooledBinaryNodict
         | RemoteMode::PooledShm
         | RemoteMode::PooledReactor => {
             let remote_config = RemoteConfig {
@@ -185,14 +193,15 @@ fn remote_stream(mode: RemoteMode, requests: usize) -> (f64, u64, rsn_serve::Ser
                 },
                 // The unpooled and pooled baselines stay on the JSON wire
                 // (the protocol-2 trajectory); the binary, shm and reactor
-                // modes let the auto-negotiation pick the compact codec.
-                encoding: if matches!(
-                    mode,
-                    RemoteMode::PooledBinary | RemoteMode::PooledShm | RemoteMode::PooledReactor
-                ) {
-                    rsn_serve::EncodingPolicy::Auto
-                } else {
-                    rsn_serve::EncodingPolicy::Json
+                // modes let the auto-negotiation pick the compact codec
+                // (with symbol dictionaries under protocol 7), and the
+                // nodict mode forces the dictionaries off to isolate them.
+                encoding: match mode {
+                    RemoteMode::PooledBinary
+                    | RemoteMode::PooledShm
+                    | RemoteMode::PooledReactor => rsn_serve::EncodingPolicy::Auto,
+                    RemoteMode::PooledBinaryNodict => rsn_serve::EncodingPolicy::BinaryNodict,
+                    _ => rsn_serve::EncodingPolicy::Json,
                 },
                 // Every socket mode pins `socket` so its trajectory stays
                 // comparable across protocol versions; only the shm mode
@@ -315,6 +324,7 @@ fn emit_bench_json() {
         ("remote_unpooled", RemoteMode::ConnectPerCall),
         ("remote_pooled", RemoteMode::PooledPipelined),
         ("remote_binary", RemoteMode::PooledBinary),
+        ("remote_binary_nodict", RemoteMode::PooledBinaryNodict),
         ("remote_shm", RemoteMode::PooledShm),
         ("remote_reactor", RemoteMode::PooledReactor),
         ("remote_inprocess_baseline", RemoteMode::InProcess),
@@ -329,14 +339,16 @@ fn emit_bench_json() {
         println!(
             "remote stream: {label:<26} {reports_per_s:>12.0} reports/s  \
              (dials {}, reuse {:.3}, pipeline depth {:.1}, rx {} bytes, \
-             coalesced {}, ring {}, mux depth {})",
+             coalesced {}, ring {}, mux depth {}, dict {}/{})",
             pool.dials,
             pool.reuse_ratio(),
             pool.mean_pipeline_depth(),
             pool.bytes_received,
             pool.frames_coalesced,
             pool.ring_exchanges,
-            pool.inflight_per_conn
+            pool.inflight_per_conn,
+            pool.dict_defines,
+            pool.dict_hits
         );
         per_mode.push(reports_per_s);
         sections.push((
@@ -363,6 +375,8 @@ fn emit_bench_json() {
                     "breaker_fast_fails",
                     JsonValue::Int(pool.breaker_fast_fails),
                 ),
+                ("dict_defines", JsonValue::Int(pool.dict_defines)),
+                ("dict_hits", JsonValue::Int(pool.dict_hits)),
             ]),
         ));
     }
@@ -372,7 +386,7 @@ fn emit_bench_json() {
     ));
     sections.push((
         "remote_pooled_vs_inprocess".to_string(),
-        JsonValue::Num(per_mode[1] / per_mode[5]),
+        JsonValue::Num(per_mode[1] / per_mode[6]),
     ));
     sections.push((
         "remote_binary_vs_json".to_string(),
@@ -380,23 +394,27 @@ fn emit_bench_json() {
     ));
     sections.push((
         "remote_binary_vs_inprocess".to_string(),
-        JsonValue::Num(per_mode[2] / per_mode[5]),
+        JsonValue::Num(per_mode[2] / per_mode[6]),
+    ));
+    sections.push((
+        "remote_binary_vs_nodict".to_string(),
+        JsonValue::Num(per_mode[2] / per_mode[3]),
     ));
     sections.push((
         "remote_shm_vs_binary".to_string(),
-        JsonValue::Num(per_mode[3] / per_mode[2]),
-    ));
-    sections.push((
-        "remote_shm_vs_inprocess".to_string(),
-        JsonValue::Num(per_mode[3] / per_mode[5]),
-    ));
-    sections.push((
-        "remote_reactor_vs_binary".to_string(),
         JsonValue::Num(per_mode[4] / per_mode[2]),
     ));
     sections.push((
+        "remote_shm_vs_inprocess".to_string(),
+        JsonValue::Num(per_mode[4] / per_mode[6]),
+    ));
+    sections.push((
+        "remote_reactor_vs_binary".to_string(),
+        JsonValue::Num(per_mode[5] / per_mode[2]),
+    ));
+    sections.push((
         "remote_reactor_vs_inprocess".to_string(),
-        JsonValue::Num(per_mode[4] / per_mode[5]),
+        JsonValue::Num(per_mode[5] / per_mode[6]),
     ));
 
     let json = JsonValue::Obj(sections).to_pretty();

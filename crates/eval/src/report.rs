@@ -44,6 +44,32 @@ impl Metrics {
         }
     }
 
+    /// Builds a map from entries that are *usually* already sorted — the
+    /// wire codecs emit keys in map order, so a decoded report's entries
+    /// arrive sorted and the map adopts the vec as-is after one linear
+    /// sortedness check (no per-key binary search + shifting insert, which
+    /// made a k-metric decode O(k²)).  Input that is not strictly
+    /// key-sorted (a hostile or non-canonical peer) falls back to
+    /// sort-then-dedup, where the *last* occurrence of a duplicated key
+    /// wins — the same outcome as inserting the entries one by one.
+    pub fn from_entries(mut entries: Vec<(Arc<str>, f64)>) -> Self {
+        let sorted = entries.windows(2).all(|pair| pair[0].0 < pair[1].0);
+        if !sorted {
+            // Stable sort keeps equal keys in arrival order, so dedup can
+            // keep the later occurrence deterministically.
+            entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+            let mut deduped: Vec<(Arc<str>, f64)> = Vec::with_capacity(entries.len());
+            for (key, value) in entries {
+                match deduped.last_mut() {
+                    Some((last, slot)) if *last == key => *slot = value,
+                    _ => deduped.push((key, value)),
+                }
+            }
+            entries = deduped;
+        }
+        Self { entries }
+    }
+
     /// Looks up one scalar by name.
     pub fn get(&self, key: &str) -> Option<&f64> {
         self.entries
@@ -259,6 +285,38 @@ mod tests {
         assert!(!r.is_finite_nonzero());
         r.latency_s = Some(0.0);
         assert!(!r.is_finite_nonzero());
+    }
+
+    #[test]
+    fn from_entries_adopts_sorted_input_and_repairs_hostile_input() {
+        // The fast path: already sorted, adopted verbatim.
+        let sorted: Vec<(Arc<str>, f64)> = (0..100)
+            .map(|i| (Arc::from(format!("metric_{i:03}")), i as f64))
+            .collect();
+        let fast = Metrics::from_entries(sorted.clone());
+        assert_eq!(fast.len(), 100);
+        assert_eq!(fast.get("metric_042"), Some(&42.0));
+        let mut by_insert = Metrics::new();
+        for (k, v) in &sorted {
+            by_insert.insert(Arc::clone(k), *v);
+        }
+        assert_eq!(fast, by_insert);
+
+        // Hostile input: unsorted with a duplicated key — sorted, deduped,
+        // last occurrence wins (matching repeated `insert` semantics).
+        let hostile: Vec<(Arc<str>, f64)> = vec![
+            ("zeta".into(), 1.0),
+            ("alpha".into(), 2.0),
+            ("zeta".into(), 3.0),
+        ];
+        let repaired = Metrics::from_entries(hostile);
+        assert_eq!(repaired.len(), 2);
+        assert_eq!(repaired.get("alpha"), Some(&2.0));
+        assert_eq!(repaired.get("zeta"), Some(&3.0));
+        assert_eq!(
+            repaired.keys().map(|k| &**k).collect::<Vec<_>>(),
+            ["alpha", "zeta"]
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ use rsn_serve::EvalService;
 use std::io::Write as _;
 
 const USAGE: &str = "usage: shardd [--topology FILE] [--listen ADDR] [--backends NAME,NAME,...] \
-                     [--workers N] [--cache-capacity N] [--encoding auto|json|binary] \
+                     [--workers N] [--cache-capacity N] [--encoding auto|json|binary|binary_nodict] \
                      [--transport auto|socket|shm] [--frontend threads|reactor]\n\
                      \n\
                      --topology FILE      load listen address, hosted backends and service\n\
@@ -34,7 +34,8 @@ const USAGE: &str = "usage: shardd [--topology FILE] [--listen ADDR] [--backends
                      --cache-capacity N   bound the report cache to N completed entries\n\
                      --encoding POLICY    answer encoding: auto mirrors each request (default),\n\
                      \x20                    json forces readable frames for debugging, binary\n\
-                     \x20                    forces the compact codec (v3-only clients)\n\
+                     \x20                    forces the compact codec (v3-only clients), and\n\
+                     \x20                    binary_nodict forces the v7 symbol dictionaries off\n\
                      --transport POLICY   shared-memory ring offers: auto offers one to\n\
                      \x20                    loopback peers (default), socket never offers,\n\
                      \x20                    shm offers to every peer (same-host fleets behind\n\
@@ -102,7 +103,7 @@ fn main() {
                 let text = value("--encoding");
                 encoding = Some(rsn_serve::EncodingPolicy::parse(&text).unwrap_or_else(|| {
                     fail(&format!(
-                        "unknown encoding `{text}` (expected auto, json or binary)"
+                        "unknown encoding `{text}` (expected auto, json, binary or binary_nodict)"
                     ))
                 }));
             }

@@ -44,12 +44,12 @@ use crate::json::DecodeError;
 use crate::request::Priority;
 use crate::stats::{ClassStats, LatencyHistogram, PoolStats, ServiceStats, ShardStats};
 use crate::wire::{ShardRequest, ShardResponse, SharedResult};
-use rsn_eval::{BreakdownRow, CycleStats, SegmentMetric};
+use rsn_eval::{BreakdownRow, CycleStats, Metrics, SegmentMetric};
 use rsn_eval::{EvalError, EvalReport, SchedulerKind, WorkloadSpec};
 use rsn_workloads::bert::BertConfig;
 use rsn_workloads::models::ModelKind;
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// First byte of every binary payload.  The JSON emitter's documents start
@@ -254,6 +254,17 @@ impl<'a> Reader<'a> {
     fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }
+
+    /// A safe `Vec::with_capacity` hint for a collection of `count`
+    /// elements each costing at least `min_elem_bytes` on the wire: an
+    /// honest count always passes through unchanged (its elements' bytes
+    /// are all still ahead of the cursor), while a hostile length prefix is
+    /// clamped to what the remaining payload could actually back — the
+    /// same bounded-growth discipline as [`Reader::len`], applied to the
+    /// pre-allocation.
+    fn capacity_hint(&self, count: usize, min_elem_bytes: usize) -> usize {
+        count.min(self.remaining() / min_elem_bytes.max(1))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -322,6 +333,537 @@ thread_local! {
 /// fewer TLS round-trips per report.
 fn with_interner<T>(f: impl FnOnce(&mut Interner) -> T) -> T {
     INTERNER.with(|table| f(&mut table.borrow_mut()))
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection symbol dictionaries (protocol 7)
+// ---------------------------------------------------------------------------
+
+/// First byte of a dictionary-encoded binary payload (protocol 7).  Like
+/// [`MAGIC`], no JSON document can start with it, so receivers still
+/// dispatch per frame — but unlike plain binary frames, a dictionary frame
+/// reads and writes *connection state*: the per-direction symbol tables
+/// that resolve label ids.  Frames with this magic may only appear on a
+/// connection whose hello negotiated protocol ≥ 7, and the two magics may
+/// interleave freely on such a connection (plain frames never touch the
+/// tables).
+pub const DICT_MAGIC: u8 = 0xB7;
+
+/// Upper bound on symbols per direction per connection.  Once a table is
+/// full, further first-sight labels fall back to inline strings — a peer
+/// streaming unique labels degrades to plain-binary cost, it cannot grow
+/// the table without limit.
+pub const DICT_CAP: usize = 4096;
+
+// A dictionary string ("dstr") is a varint tag:
+//   0          inline:  length + bytes, no table entry (table full, or a
+//              label too long to be worth a slot);
+//   1          define:  varint id + length + bytes, appending the string
+//              to the table (the id must equal the table's current length
+//              — explicit so a duplicate or out-of-order define is a
+//              decode error, not a silent re-intern);
+//   n ≥ 2      reference to table entry `n - 2` (no string bytes at all).
+const DSTR_INLINE: u64 = 0;
+const DSTR_DEFINE: u64 = 1;
+const DSTR_REF_BASE: u64 = 2;
+
+/// The encode half of one connection direction's symbol dictionary: maps
+/// labels already defined on this connection to their ids.
+///
+/// The FNV-keyed probe happens once per label *occurrence on the encode
+/// side only*; the decode side resolves references by direct vector index
+/// with no hashing at all — that, plus the absent string bytes, is the
+/// protocol-7 saving.
+#[derive(Debug, Default)]
+pub struct TxSymbols {
+    ids: HashMap<Arc<str>, u32, FnvBuild>,
+    defines: u64,
+    hits: u64,
+}
+
+impl TxSymbols {
+    /// An empty table (one per connection direction).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one dictionary string, defining it on first sight.
+    fn put(&mut self, out: &mut Vec<u8>, label: &str) {
+        // Long labels are one-offs (same judgement as the interner): a
+        // table slot would be wasted on them, and the length check keeps
+        // the common short-label path from hashing pathological strings.
+        if label.len() > INTERN_MAX_LEN {
+            put_varint(out, DSTR_INLINE);
+            put_str(out, label);
+            return;
+        }
+        if let Some(&id) = self.ids.get(label) {
+            self.hits += 1;
+            put_varint(out, DSTR_REF_BASE + u64::from(id));
+            return;
+        }
+        if self.ids.len() >= DICT_CAP {
+            put_varint(out, DSTR_INLINE);
+            put_str(out, label);
+            return;
+        }
+        let id = self.ids.len() as u32;
+        self.ids.insert(Arc::from(label), id);
+        self.defines += 1;
+        put_varint(out, DSTR_DEFINE);
+        put_varint(out, u64::from(id));
+        put_str(out, label);
+    }
+
+    /// Drains the `(defines, hits)` counters accumulated since the last
+    /// take, so connection owners can fold them into pool counters without
+    /// this module knowing about atomics.
+    pub fn take_counts(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.defines),
+            std::mem::take(&mut self.hits),
+        )
+    }
+}
+
+/// The decode half of one connection direction's symbol dictionary: the
+/// id-indexed table of labels the peer has defined.  Resolution is a
+/// bounds-checked vector index and an `Arc` clone — no string bytes off
+/// the wire, no hash, no interner probe.
+#[derive(Debug, Default)]
+pub struct RxSymbols {
+    table: Vec<Arc<str>>,
+    defines: u64,
+    hits: u64,
+}
+
+impl RxSymbols {
+    /// An empty table (one per connection direction).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads one dictionary string, recording a define into the table.
+    fn get(&mut self, r: &mut Reader<'_>) -> Result<Arc<str>, DecodeError> {
+        match r.varint()? {
+            DSTR_INLINE => Ok(Arc::from(r.str_ref()?)),
+            DSTR_DEFINE => {
+                let id = r.varint()?;
+                if self.table.len() >= DICT_CAP {
+                    return Err(r.error(format!(
+                        "dictionary define past the {DICT_CAP}-entry table bound"
+                    )));
+                }
+                if id != self.table.len() as u64 {
+                    return Err(r.error(format!(
+                        "dictionary define id {id} out of order (expected {})",
+                        self.table.len()
+                    )));
+                }
+                let label: Arc<str> = Arc::from(r.str_ref()?);
+                self.table.push(Arc::clone(&label));
+                self.defines += 1;
+                Ok(label)
+            }
+            tag => {
+                let id = (tag - DSTR_REF_BASE) as usize;
+                let label = self.table.get(id).ok_or_else(|| {
+                    r.error(format!(
+                        "dictionary reference {id} outside the {}-entry table",
+                        self.table.len()
+                    ))
+                })?;
+                self.hits += 1;
+                Ok(Arc::clone(label))
+            }
+        }
+    }
+
+    /// Drains the `(defines, hits)` counters — see
+    /// [`TxSymbols::take_counts`].
+    pub fn take_counts(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.defines),
+            std::mem::take(&mut self.hits),
+        )
+    }
+}
+
+/// Both directions of one connection's dictionary state: `tx` encodes what
+/// this side sends, `rx` resolves what the peer sends.  Reset per
+/// connection — a fresh connection always starts from empty tables, so a
+/// frame stream is self-contained and replayable.
+#[derive(Debug, Default)]
+pub struct ConnCodec {
+    /// Symbols this side has defined in its outgoing frames.
+    pub tx: TxSymbols,
+    /// Symbols the peer has defined in its incoming frames.
+    pub rx: RxSymbols,
+}
+
+impl ConnCodec {
+    /// Fresh empty tables for a new connection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains both directions' `(defines, hits)` counters as one sum.
+    pub fn take_counts(&mut self) -> (u64, u64) {
+        let (tx_defines, tx_hits) = self.tx.take_counts();
+        let (rx_defines, rx_hits) = self.rx.take_counts();
+        (tx_defines + rx_defines, tx_hits + rx_hits)
+    }
+}
+
+// Report presence bitmap (protocol 7): one leading varint replaces the
+// three per-`Option` tag bytes, the cycle presence bool, the nested
+// `max_abs_error` option tag, and lets empty sections cost nothing — the
+// common analytic-report shape encodes its fixed scalars back-to-back.
+const REPORT_HAS_LATENCY: u64 = 1 << 0;
+const REPORT_HAS_THROUGHPUT: u64 = 1 << 1;
+const REPORT_HAS_FLOPS: u64 = 1 << 2;
+const REPORT_HAS_SEGMENTS: u64 = 1 << 3;
+const REPORT_HAS_BREAKDOWN: u64 = 1 << 4;
+const REPORT_HAS_CYCLE: u64 = 1 << 5;
+const REPORT_CYCLE_HAS_ERROR: u64 = 1 << 6;
+const REPORT_HAS_METRICS: u64 = 1 << 7;
+const REPORT_KNOWN_BITS: u64 = REPORT_HAS_LATENCY
+    | REPORT_HAS_THROUGHPUT
+    | REPORT_HAS_FLOPS
+    | REPORT_HAS_SEGMENTS
+    | REPORT_HAS_BREAKDOWN
+    | REPORT_HAS_CYCLE
+    | REPORT_CYCLE_HAS_ERROR
+    | REPORT_HAS_METRICS;
+
+/// Appends one report in the dictionary/bitmap form: a presence bitmap,
+/// dictionary strings for every label, and present fields back-to-back.
+pub fn encode_report_dict(out: &mut Vec<u8>, report: &EvalReport, tx: &mut TxSymbols) {
+    let mut bits = 0u64;
+    if report.latency_s.is_some() {
+        bits |= REPORT_HAS_LATENCY;
+    }
+    if report.throughput_tasks_per_s.is_some() {
+        bits |= REPORT_HAS_THROUGHPUT;
+    }
+    if report.achieved_flops.is_some() {
+        bits |= REPORT_HAS_FLOPS;
+    }
+    if !report.segments.is_empty() {
+        bits |= REPORT_HAS_SEGMENTS;
+    }
+    if !report.breakdown.is_empty() {
+        bits |= REPORT_HAS_BREAKDOWN;
+    }
+    if let Some(cycle) = &report.cycle {
+        bits |= REPORT_HAS_CYCLE;
+        if cycle.max_abs_error.is_some() {
+            bits |= REPORT_CYCLE_HAS_ERROR;
+        }
+    }
+    if !report.metrics.is_empty() {
+        bits |= REPORT_HAS_METRICS;
+    }
+    put_varint(out, bits);
+    tx.put(out, &report.backend);
+    tx.put(out, &report.workload);
+    if let Some(v) = report.latency_s {
+        put_f64(out, v);
+    }
+    if let Some(v) = report.throughput_tasks_per_s {
+        put_f64(out, v);
+    }
+    if let Some(v) = report.achieved_flops {
+        put_f64(out, v);
+    }
+    if !report.segments.is_empty() {
+        put_usize(out, report.segments.len());
+        for s in &report.segments {
+            tx.put(out, &s.name);
+            put_f64(out, s.latency_s);
+            put_f64(out, s.compute_s);
+            put_f64(out, s.ddr_s);
+            put_f64(out, s.lpddr_s);
+            put_f64(out, s.phase_s);
+        }
+    }
+    if !report.breakdown.is_empty() {
+        put_usize(out, report.breakdown.len());
+        for row in &report.breakdown {
+            tx.put(out, &row.name);
+            put_usize(out, row.values.len());
+            for (key, value) in &row.values {
+                tx.put(out, key);
+                put_f64(out, *value);
+            }
+        }
+    }
+    if let Some(c) = &report.cycle {
+        out.push(match c.scheduler {
+            SchedulerKind::EventDriven => 0,
+            SchedulerKind::RoundRobin => 1,
+        });
+        put_varint(out, c.steps);
+        put_varint(out, c.fu_step_calls);
+        put_varint(out, c.makespan_cycles);
+        put_varint(out, c.uops_retired);
+        put_varint(out, c.words_transferred);
+        if let Some(e) = c.max_abs_error {
+            put_f64(out, e);
+        }
+    }
+    if !report.metrics.is_empty() {
+        put_usize(out, report.metrics.len());
+        for (key, value) in &report.metrics {
+            tx.put(out, key);
+            put_f64(out, *value);
+        }
+    }
+}
+
+fn read_report_dict(r: &mut Reader<'_>, rx: &mut RxSymbols) -> Result<EvalReport, DecodeError> {
+    let bits = r.varint()?;
+    if bits & !REPORT_KNOWN_BITS != 0 {
+        return Err(r.error(format!("unknown report bitmap bits {bits:#x}")));
+    }
+    if bits & REPORT_CYCLE_HAS_ERROR != 0 && bits & REPORT_HAS_CYCLE == 0 {
+        return Err(r.error("cycle error bit set without the cycle section"));
+    }
+    let backend = rx.get(r)?;
+    let workload = rx.get(r)?;
+    let mut report = EvalReport::new(backend, workload);
+    if bits & REPORT_HAS_LATENCY != 0 {
+        report.latency_s = Some(r.f64()?);
+    }
+    if bits & REPORT_HAS_THROUGHPUT != 0 {
+        report.throughput_tasks_per_s = Some(r.f64()?);
+    }
+    if bits & REPORT_HAS_FLOPS != 0 {
+        report.achieved_flops = Some(r.f64()?);
+    }
+    if bits & REPORT_HAS_SEGMENTS != 0 {
+        let segment_count = r.len()?;
+        report
+            .segments
+            .reserve(r.capacity_hint(segment_count, SEGMENT_MIN_BYTES));
+        for _ in 0..segment_count {
+            report.segments.push(SegmentMetric {
+                name: rx.get(r)?,
+                latency_s: r.f64()?,
+                compute_s: r.f64()?,
+                ddr_s: r.f64()?,
+                lpddr_s: r.f64()?,
+                phase_s: r.f64()?,
+            });
+        }
+    }
+    if bits & REPORT_HAS_BREAKDOWN != 0 {
+        let row_count = r.len()?;
+        report
+            .breakdown
+            .reserve(r.capacity_hint(row_count, ROW_MIN_BYTES));
+        for _ in 0..row_count {
+            let name = rx.get(r)?;
+            let value_count = r.len()?;
+            let mut values = Vec::with_capacity(r.capacity_hint(value_count, PAIR_MIN_BYTES));
+            for _ in 0..value_count {
+                values.push((rx.get(r)?, r.f64()?));
+            }
+            report.breakdown.push(BreakdownRow { name, values });
+        }
+    }
+    if bits & REPORT_HAS_CYCLE != 0 {
+        let scheduler = match r.byte()? {
+            0 => SchedulerKind::EventDriven,
+            1 => SchedulerKind::RoundRobin,
+            other => return Err(r.error(format!("unknown scheduler tag {other:#04x}"))),
+        };
+        report.cycle = Some(CycleStats {
+            scheduler,
+            steps: r.varint()?,
+            fu_step_calls: r.varint()?,
+            makespan_cycles: r.varint()?,
+            uops_retired: r.varint()?,
+            words_transferred: r.varint()?,
+            max_abs_error: if bits & REPORT_CYCLE_HAS_ERROR != 0 {
+                Some(r.f64()?)
+            } else {
+                None
+            },
+        });
+    }
+    if bits & REPORT_HAS_METRICS != 0 {
+        let metric_count = r.len()?;
+        let mut metrics = Vec::with_capacity(r.capacity_hint(metric_count, PAIR_MIN_BYTES));
+        for _ in 0..metric_count {
+            metrics.push((rx.get(r)?, r.f64()?));
+        }
+        report.metrics = Metrics::from_entries(metrics);
+    }
+    Ok(report)
+}
+
+/// Appends one domain result in dictionary form (`0` = report, `1` =
+/// error).  Errors keep the plain v6 field encoding — they are the cold
+/// path, and their free-text payloads are poor dictionary citizens.
+pub fn encode_result_dict(
+    out: &mut Vec<u8>,
+    result: &Result<EvalReport, EvalError>,
+    tx: &mut TxSymbols,
+) {
+    match result {
+        Ok(report) => {
+            out.push(0);
+            encode_report_dict(out, report, tx);
+        }
+        Err(error) => {
+            out.push(1);
+            encode_error(out, error);
+        }
+    }
+}
+
+fn read_result_dict(
+    r: &mut Reader<'_>,
+    rx: &mut RxSymbols,
+) -> Result<Result<EvalReport, EvalError>, DecodeError> {
+    match r.byte()? {
+        0 => Ok(Ok(read_report_dict(r, rx)?)),
+        1 => Ok(Err(read_error(r)?)),
+        other => Err(r.error(format!("unknown result tag {other:#04x}"))),
+    }
+}
+
+/// Encodes one request payload for a dictionary-negotiated connection.
+/// Only the messages that carry labels worth a table slot (`supports`,
+/// `evaluate`, `evaluate_batch` — their backend name repeats on every
+/// exchange) use [`DICT_MAGIC`]; hello, stats and cancel keep their plain
+/// [`MAGIC`] image, which never touches the tables — the magics interleave
+/// freely on one connection.
+pub fn encode_request_dict(out: &mut Vec<u8>, id: u64, request: &ShardRequest, tx: &mut TxSymbols) {
+    match request {
+        ShardRequest::Supports { backend, spec } => {
+            out.push(DICT_MAGIC);
+            out.push(TAG_SUPPORTS);
+            put_varint(out, id);
+            tx.put(out, backend);
+            encode_spec(out, spec);
+        }
+        ShardRequest::Evaluate { backend, spec } => {
+            out.push(DICT_MAGIC);
+            out.push(TAG_EVALUATE);
+            put_varint(out, id);
+            tx.put(out, backend);
+            encode_spec(out, spec);
+        }
+        ShardRequest::EvaluateBatch { backend, specs } => {
+            out.push(DICT_MAGIC);
+            out.push(TAG_EVALUATE_BATCH);
+            put_varint(out, id);
+            tx.put(out, backend);
+            put_usize(out, specs.len());
+            for spec in specs {
+                encode_spec(out, spec);
+            }
+        }
+        ShardRequest::Hello { .. } | ShardRequest::Stats | ShardRequest::Cancel { .. } => {
+            encode_request(out, id, request);
+        }
+    }
+}
+
+/// Decodes one [`DICT_MAGIC`] request payload against the connection's
+/// receive-side table.
+pub fn decode_request_dict(
+    bytes: &[u8],
+    rx: &mut RxSymbols,
+) -> Result<(u64, ShardRequest), DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.byte()? != DICT_MAGIC {
+        return Err(r.error("payload does not start with the dictionary magic byte"));
+    }
+    let tag = r.byte()?;
+    let id = r.varint()?;
+    let request = match tag {
+        TAG_SUPPORTS => ShardRequest::Supports {
+            backend: rx.get(&mut r)?.to_string(),
+            spec: read_spec(&mut r)?,
+        },
+        TAG_EVALUATE => ShardRequest::Evaluate {
+            backend: rx.get(&mut r)?.to_string(),
+            spec: read_spec(&mut r)?,
+        },
+        TAG_EVALUATE_BATCH => {
+            let backend = rx.get(&mut r)?.to_string();
+            let count = r.len()?;
+            let mut specs = Vec::with_capacity(count);
+            for _ in 0..count {
+                specs.push(read_spec(&mut r)?);
+            }
+            ShardRequest::EvaluateBatch { backend, specs }
+        }
+        other => return Err(r.error(format!("unknown dictionary request tag {other:#04x}"))),
+    };
+    r.finish()?;
+    Ok((id, request))
+}
+
+/// Encodes one response payload for a dictionary-negotiated connection.
+/// Only results (`evaluated`, `evaluated_batch`) carry the repeating
+/// labels dictionaries exist for; everything else keeps its plain image
+/// (see [`encode_request_dict`]).
+pub fn encode_response_dict(
+    out: &mut Vec<u8>,
+    id: u64,
+    response: &ShardResponse,
+    tx: &mut TxSymbols,
+) {
+    match response {
+        ShardResponse::Evaluated(result) => {
+            out.push(DICT_MAGIC);
+            out.push(TAG_EVALUATED);
+            put_varint(out, id);
+            encode_result_dict(out, result, tx);
+        }
+        ShardResponse::EvaluatedBatch(results) => {
+            out.push(DICT_MAGIC);
+            out.push(TAG_EVALUATED_BATCH);
+            put_varint(out, id);
+            put_usize(out, results.len());
+            for result in results {
+                encode_result_dict(out, result, tx);
+            }
+        }
+        _ => encode_response(out, id, response),
+    }
+}
+
+/// Decodes one [`DICT_MAGIC`] response payload against the connection's
+/// receive-side table.
+pub fn decode_response_dict(
+    bytes: &[u8],
+    rx: &mut RxSymbols,
+) -> Result<(u64, ShardResponse), DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.byte()? != DICT_MAGIC {
+        return Err(r.error("payload does not start with the dictionary magic byte"));
+    }
+    let tag = r.byte()?;
+    let id = r.varint()?;
+    let response = match tag {
+        TAG_EVALUATED => ShardResponse::Evaluated(Arc::new(read_result_dict(&mut r, rx)?)),
+        TAG_EVALUATED_BATCH => {
+            let count = r.len()?;
+            let mut results: Vec<SharedResult> = Vec::with_capacity(count);
+            for _ in 0..count {
+                results.push(Arc::new(read_result_dict(&mut r, rx)?));
+            }
+            ShardResponse::EvaluatedBatch(results)
+        }
+        other => return Err(r.error(format!("unknown dictionary response tag {other:#04x}"))),
+    };
+    r.finish()?;
+    Ok((id, response))
 }
 
 // ---------------------------------------------------------------------------
@@ -521,7 +1063,11 @@ fn read_report(r: &mut Reader<'_>, names: &mut Interner) -> Result<EvalReport, D
     report.latency_s = r.opt_f64()?;
     report.throughput_tasks_per_s = r.opt_f64()?;
     report.achieved_flops = r.opt_f64()?;
-    for _ in 0..r.len()? {
+    let segment_count = r.len()?;
+    report
+        .segments
+        .reserve(r.capacity_hint(segment_count, SEGMENT_MIN_BYTES));
+    for _ in 0..segment_count {
         report.segments.push(SegmentMetric {
             // Segment, breakdown and metric labels are drawn from small
             // fixed vocabularies that repeat in every report of a stream —
@@ -536,36 +1082,57 @@ fn read_report(r: &mut Reader<'_>, names: &mut Interner) -> Result<EvalReport, D
             phase_s: r.f64()?,
         });
     }
-    for _ in 0..r.len()? {
+    let row_count = r.len()?;
+    report
+        .breakdown
+        .reserve(r.capacity_hint(row_count, ROW_MIN_BYTES));
+    for _ in 0..row_count {
         let name = names.intern(r.str_ref()?);
-        let mut values = Vec::new();
-        for _ in 0..r.len()? {
+        let value_count = r.len()?;
+        let mut values = Vec::with_capacity(r.capacity_hint(value_count, PAIR_MIN_BYTES));
+        for _ in 0..value_count {
             values.push((names.intern(r.str_ref()?), r.f64()?));
         }
         report.breakdown.push(BreakdownRow { name, values });
     }
     if r.bool()? {
-        let scheduler = match r.byte()? {
-            0 => SchedulerKind::EventDriven,
-            1 => SchedulerKind::RoundRobin,
-            other => return Err(r.error(format!("unknown scheduler tag {other:#04x}"))),
-        };
-        report.cycle = Some(CycleStats {
-            scheduler,
-            steps: r.varint()?,
-            fu_step_calls: r.varint()?,
-            makespan_cycles: r.varint()?,
-            uops_retired: r.varint()?,
-            words_transferred: r.varint()?,
-            max_abs_error: r.opt_f64()?,
-        });
+        report.cycle = Some(read_cycle(r)?);
     }
-    for _ in 0..r.len()? {
-        let key = names.intern(r.str_ref()?);
-        let value = r.f64()?;
-        report.metrics.insert(key, value);
+    let metric_count = r.len()?;
+    let mut metrics = Vec::with_capacity(r.capacity_hint(metric_count, PAIR_MIN_BYTES));
+    for _ in 0..metric_count {
+        metrics.push((names.intern(r.str_ref()?), r.f64()?));
     }
+    // The encoder emits metrics in map (sorted) order, so this adopts the
+    // vec after one sortedness check instead of one binary-search-and-shift
+    // insert per key (O(k²) on a k-metric report).
+    report.metrics = Metrics::from_entries(metrics);
     Ok(report)
+}
+
+/// Smallest possible wire footprint of one segment (a 1-byte name length
+/// plus five raw doubles) — the pre-allocation clamp for segment counts.
+const SEGMENT_MIN_BYTES: usize = 1 + 5 * 8;
+/// Smallest possible breakdown row (1-byte name length, 1-byte value count).
+const ROW_MIN_BYTES: usize = 2;
+/// Smallest possible labelled `(key, f64)` pair (1-byte key length + bits).
+const PAIR_MIN_BYTES: usize = 1 + 8;
+
+fn read_cycle(r: &mut Reader<'_>) -> Result<CycleStats, DecodeError> {
+    let scheduler = match r.byte()? {
+        0 => SchedulerKind::EventDriven,
+        1 => SchedulerKind::RoundRobin,
+        other => return Err(r.error(format!("unknown scheduler tag {other:#04x}"))),
+    };
+    Ok(CycleStats {
+        scheduler,
+        steps: r.varint()?,
+        fu_step_calls: r.varint()?,
+        makespan_cycles: r.varint()?,
+        uops_retired: r.varint()?,
+        words_transferred: r.varint()?,
+        max_abs_error: r.opt_f64()?,
+    })
 }
 
 /// Decodes one standalone report document (used by tests).
@@ -740,6 +1307,8 @@ pub fn encode_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
         put_varint(out, pool.failovers);
         put_varint(out, pool.breaker_trips);
         put_varint(out, pool.breaker_fast_fails);
+        put_varint(out, pool.dict_defines);
+        put_varint(out, pool.dict_hits);
     }
     // Trailing-optional per-class latency section, appended since v6.  It
     // is emitted only when populated: pre-v6 decoders `finish()` after the
@@ -766,8 +1335,9 @@ pub fn encode_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
 }
 
 /// Counter varints per pool record in this build's encoding (the record's
-/// field-count prefix).
-const POOL_FIELD_COUNT: usize = 18;
+/// field-count prefix).  18 → 20 in v7: the two symbol-dictionary counters
+/// append, and older peers' records zero-fill them leniently.
+const POOL_FIELD_COUNT: usize = 20;
 
 fn read_stats(r: &mut Reader<'_>) -> Result<ServiceStats, DecodeError> {
     let mut stats = ServiceStats {
@@ -821,6 +1391,8 @@ fn read_stats(r: &mut Reader<'_>) -> Result<ServiceStats, DecodeError> {
             failovers: fields[15],
             breaker_trips: fields[16],
             breaker_fast_fails: fields[17],
+            dict_defines: fields[18],
+            dict_hits: fields[19],
         });
     }
     // Trailing-optional: a v1–v5 peer's image simply ends here.

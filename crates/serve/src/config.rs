@@ -13,15 +13,24 @@ use std::time::Duration;
 /// debugging (`shardd --encoding json`, or the topology's `encoding`
 /// knob), and `Binary` forces the compact codec even for JSON requests —
 /// only useful when every client is known to be version ≥ 3.
+/// `BinaryNodict` is `Binary` with the protocol-7 symbol dictionaries
+/// forced off: frames stay stateless plain binary even against v7 peers,
+/// for debugging dictionary suspicion and for the bench's v7-vs-v6
+/// same-run comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EncodingPolicy {
-    /// Negotiate per peer: binary with v3 peers, JSON otherwise.
+    /// Negotiate per peer: dictionary binary with v7 peers, plain binary
+    /// with v3–v6 peers, JSON otherwise.
     #[default]
     Auto,
     /// Always JSON (the debugging / archaeology setting).
     Json,
-    /// Always binary (requires every peer to speak protocol ≥ 3).
+    /// Binary, with dictionaries where the peer negotiates v7 (requires
+    /// every peer to speak protocol ≥ 3).
     Binary,
+    /// Binary with symbol dictionaries forced off — every frame is the
+    /// stateless plain image, even against v7 peers.
+    BinaryNodict,
 }
 
 impl EncodingPolicy {
@@ -31,6 +40,7 @@ impl EncodingPolicy {
             EncodingPolicy::Auto => "auto",
             EncodingPolicy::Json => "json",
             EncodingPolicy::Binary => "binary",
+            EncodingPolicy::BinaryNodict => "binary_nodict",
         }
     }
 
@@ -40,6 +50,7 @@ impl EncodingPolicy {
             "auto" => Some(EncodingPolicy::Auto),
             "json" => Some(EncodingPolicy::Json),
             "binary" => Some(EncodingPolicy::Binary),
+            "binary_nodict" => Some(EncodingPolicy::BinaryNodict),
             _ => None,
         }
     }
@@ -363,6 +374,7 @@ mod tests {
             EncodingPolicy::Auto,
             EncodingPolicy::Json,
             EncodingPolicy::Binary,
+            EncodingPolicy::BinaryNodict,
         ] {
             assert_eq!(EncodingPolicy::parse(policy.as_str()), Some(policy));
         }

@@ -1235,6 +1235,8 @@ pub fn stats_json(stats: &ServiceStats) -> JsonValue {
                                 "breaker_fast_fails",
                                 JsonValue::Int(pool.breaker_fast_fails),
                             ),
+                            ("dict_defines", JsonValue::Int(pool.dict_defines)),
+                            ("dict_hits", JsonValue::Int(pool.dict_hits)),
                         ])
                     })
                     .collect(),
@@ -1332,6 +1334,9 @@ pub fn stats_from_json(value: &JsonValue) -> Result<ServiceStats, DecodeError> {
                     failovers: pool_int_opt("failovers")?,
                     breaker_trips: pool_int_opt("breaker_trips")?,
                     breaker_fast_fails: pool_int_opt("breaker_fast_fails")?,
+                    // Pre-v7 peers predate the symbol-dictionary counters.
+                    dict_defines: pool_int_opt("dict_defines")?,
+                    dict_hits: pool_int_opt("dict_hits")?,
                 })
             })
             .collect::<Result<Vec<_>, DecodeError>>()?,

@@ -60,13 +60,14 @@
 //! sit in a fleet, breaker-open, until the shard comes back: live
 //! topology reload adds and drains pools without restarting anything.
 
+use crate::binary::ConnCodec;
 use crate::config::{EncodingPolicy, RemoteConfig, TransportPolicy};
 use crate::reactor::Multiplexer;
 use crate::shm::{RingConn, Segment};
 use crate::stats::{LatencyRecorder, PoolStats};
 use crate::wire::{
-    read_response_frame, write_request_frame, ShardRequest, ShardResponse, WireEncoding, WireError,
-    PROTOCOL_VERSION,
+    read_response_frame, read_response_frame_dict, write_request_frame, write_request_frame_dict,
+    ShardRequest, ShardResponse, WireEncoding, WireError, DICT_PROTOCOL, PROTOCOL_VERSION,
 };
 use std::cell::RefCell;
 use std::io::{Read, Write};
@@ -94,26 +95,53 @@ const RING_UNKNOWN: u64 = 0;
 const RING_AVAILABLE: u64 = 1;
 const RING_REFUSED: u64 = 2;
 
-/// One pooled connection: either a plain framed TCP stream, or a
-/// negotiated shared-memory ring pair (with its TCP stream demoted to the
-/// liveness channel — see [`crate::shm`]).  Both speak identical frames,
-/// so the exchange paths are transport-blind.
+/// One pooled connection: a transport plus the per-connection symbol
+/// dictionaries of the protocol-7 encoding.  The codec rides with the
+/// connection through check-in and checkout — whichever thread holds the
+/// connection holds its tables, and dropping the connection drops them
+/// (fresh connections always start from empty tables).
 #[derive(Debug)]
-enum PooledConn {
+struct PooledConn {
+    transport: Transport,
+    codec: ConnCodec,
+}
+
+impl PooledConn {
+    fn tcp(stream: TcpStream) -> Self {
+        Self {
+            transport: Transport::Tcp(stream),
+            codec: ConnCodec::new(),
+        }
+    }
+
+    fn ring(conn: Box<RingConn>) -> Self {
+        Self {
+            transport: Transport::Ring(conn),
+            codec: ConnCodec::new(),
+        }
+    }
+}
+
+/// The byte channel of one pooled connection: either a plain framed TCP
+/// stream, or a negotiated shared-memory ring pair (with its TCP stream
+/// demoted to the liveness channel — see [`crate::shm`]).  Both speak
+/// identical frames, so the exchange paths are transport-blind.
+#[derive(Debug)]
+enum Transport {
     Tcp(TcpStream),
     Ring(Box<RingConn>),
 }
 
-impl PooledConn {
+impl Transport {
     fn is_ring(&self) -> bool {
-        matches!(self, PooledConn::Ring(_))
+        matches!(self, Transport::Ring(_))
     }
 
     /// Bounds the time the next response reads may take.
     fn set_read_budget(&mut self, budget: Duration) -> Result<(), WireError> {
         match self {
-            PooledConn::Tcp(stream) => stream.set_read_timeout(Some(budget)).map_err(WireError::Io),
-            PooledConn::Ring(conn) => {
+            Transport::Tcp(stream) => stream.set_read_timeout(Some(budget)).map_err(WireError::Io),
+            Transport::Ring(conn) => {
                 conn.set_read_budget(budget);
                 Ok(())
             }
@@ -124,8 +152,8 @@ impl PooledConn {
     /// live peer, no unconsumed bytes (leftovers mean desynchronisation).
     fn is_idle_and_live(&self) -> bool {
         match self {
-            PooledConn::Tcp(stream) => connection_is_idle_and_live(stream),
-            PooledConn::Ring(conn) => {
+            Transport::Tcp(stream) => connection_is_idle_and_live(stream),
+            Transport::Ring(conn) => {
                 if conn.is_desynchronised() {
                     return false;
                 }
@@ -141,27 +169,27 @@ impl PooledConn {
     }
 }
 
-impl Read for PooledConn {
+impl Read for Transport {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         match self {
-            PooledConn::Tcp(stream) => stream.read(buf),
-            PooledConn::Ring(conn) => conn.read(buf),
+            Transport::Tcp(stream) => stream.read(buf),
+            Transport::Ring(conn) => conn.read(buf),
         }
     }
 }
 
-impl Write for PooledConn {
+impl Write for Transport {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
         match self {
-            PooledConn::Tcp(stream) => stream.write(buf),
-            PooledConn::Ring(conn) => conn.write(buf),
+            Transport::Tcp(stream) => stream.write(buf),
+            Transport::Ring(conn) => conn.write(buf),
         }
     }
 
     fn flush(&mut self) -> std::io::Result<()> {
         match self {
-            PooledConn::Tcp(stream) => stream.flush(),
-            PooledConn::Ring(conn) => conn.flush(),
+            Transport::Tcp(stream) => stream.flush(),
+            Transport::Ring(conn) => conn.flush(),
         }
     }
 }
@@ -214,6 +242,12 @@ pub(crate) struct PoolCounters {
     pub breaker_trips: AtomicU64,
     /// Routing decisions that skipped this pool because its breaker was open.
     pub breaker_fast_fails: AtomicU64,
+    /// Labels defined into protocol-7 symbol dictionaries on this pool's
+    /// connections (both directions).
+    pub dict_defines: AtomicU64,
+    /// Label occurrences resolved through those dictionaries instead of
+    /// re-sending string bytes (both directions).
+    pub dict_hits: AtomicU64,
     /// Wall time of every *successful* exchange; its p95 is the default
     /// hedge budget ([`ConnectionPool::observed_exchange_p95`]).
     pub exchange_latency: LatencyRecorder,
@@ -223,6 +257,17 @@ impl PoolCounters {
     /// Raises `inflight_per_conn` to `depth` if it is the new high water.
     pub fn note_inflight(&self, depth: u64) {
         self.inflight_per_conn.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Folds drained symbol-dictionary counters in (see
+    /// [`ConnCodec::take_counts`]).
+    pub fn note_dict(&self, defines: u64, hits: u64) {
+        if defines != 0 {
+            self.dict_defines.fetch_add(defines, Ordering::Relaxed);
+        }
+        if hits != 0 {
+            self.dict_hits.fetch_add(hits, Ordering::Relaxed);
+        }
     }
 }
 
@@ -301,6 +346,12 @@ impl ConnectionPool {
         self.protocol().is_some_and(|v| v >= 3)
     }
 
+    /// Whether the shard behind this pool speaks the protocol-7 symbol
+    /// dictionaries.  `false` until negotiated.
+    pub fn supports_dict(&self) -> bool {
+        self.protocol().is_some_and(|v| v >= DICT_PROTOCOL)
+    }
+
     /// The per-connection credit window the shard advertised (`None` until
     /// a `hello` has answered, or when the shard never offered one —
     /// advertising a window is the shard's "multiplexing is on" signal).
@@ -318,7 +369,10 @@ impl ConnectionPool {
     /// beat sockets; multiplexing them is future work).
     fn mux_eligible(&self) -> bool {
         self.window().is_some()
-            && self.frame_encoding() == WireEncoding::Binary
+            && matches!(
+                self.frame_encoding(),
+                WireEncoding::Binary | WireEncoding::BinaryDict
+            )
             && self.ring_state.load(Ordering::Acquire) != RING_AVAILABLE
             && self.config.pool_size > 0
     }
@@ -330,9 +384,20 @@ impl ConnectionPool {
     pub fn frame_encoding(&self) -> WireEncoding {
         match self.config.encoding {
             EncodingPolicy::Json => WireEncoding::Json,
-            EncodingPolicy::Binary => WireEncoding::Binary,
+            EncodingPolicy::Binary => {
+                if self.supports_dict() {
+                    WireEncoding::BinaryDict
+                } else {
+                    WireEncoding::Binary
+                }
+            }
+            // The debugging escape hatch: plain binary even against a v7
+            // shard, so dictionary suspicion can be ruled out per pool.
+            EncodingPolicy::BinaryNodict => WireEncoding::Binary,
             EncodingPolicy::Auto => {
-                if self.supports_binary() {
+                if self.supports_dict() {
+                    WireEncoding::BinaryDict
+                } else if self.supports_binary() {
                     WireEncoding::Binary
                 } else {
                     WireEncoding::Json
@@ -368,6 +433,8 @@ impl ConnectionPool {
             failovers: self.counters.failovers.load(Ordering::Relaxed),
             breaker_trips: self.counters.breaker_trips.load(Ordering::Relaxed),
             breaker_fast_fails: self.counters.breaker_fast_fails.load(Ordering::Relaxed),
+            dict_defines: self.counters.dict_defines.load(Ordering::Relaxed),
+            dict_hits: self.counters.dict_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -575,6 +642,7 @@ impl ConnectionPool {
             Multiplexer::start(
                 stream,
                 self.window()?,
+                self.frame_encoding(),
                 Arc::clone(&self.counters),
                 self.config.io_timeout,
             )
@@ -597,7 +665,7 @@ impl ConnectionPool {
     fn checkout_idle(&self) -> Option<PooledConn> {
         loop {
             let candidate = self.idle.lock().expect("pool idle lock").pop()?;
-            if candidate.is_idle_and_live() {
+            if candidate.transport.is_idle_and_live() {
                 return Some(candidate);
             }
             self.counters.discarded.fetch_add(1, Ordering::Relaxed);
@@ -617,7 +685,7 @@ impl ConnectionPool {
             || self.config.pool_size == 0
             || self.ring_state.load(Ordering::Acquire) == RING_REFUSED
         {
-            return Ok(PooledConn::Tcp(stream));
+            return Ok(PooledConn::tcp(stream));
         }
         self.negotiate_ring(stream)
     }
@@ -689,13 +757,13 @@ impl ConnectionPool {
         };
         let Some(path) = ring else {
             self.ring_state.store(RING_REFUSED, Ordering::Release);
-            return Ok(PooledConn::Tcp(stream));
+            return Ok(PooledConn::tcp(stream));
         };
         match Segment::open(Path::new(&path)) {
             Ok(segment) => match RingConn::new(stream, &segment, self.config.io_timeout) {
                 Ok(conn) => {
                     self.ring_state.store(RING_AVAILABLE, Ordering::Release);
-                    Ok(PooledConn::Ring(Box::new(conn)))
+                    Ok(PooledConn::ring(Box::new(conn)))
                 }
                 Err(e) => Err(WireError::Io(e)),
             },
@@ -703,7 +771,7 @@ impl ConnectionPool {
             // segment: fall back to the socket (and stop probing).
             Err(_) => {
                 self.ring_state.store(RING_REFUSED, Ordering::Release);
-                Ok(PooledConn::Tcp(stream))
+                Ok(PooledConn::tcp(stream))
             }
         }
     }
@@ -729,26 +797,40 @@ impl ConnectionPool {
         mut conn: PooledConn,
         request: &ShardRequest,
     ) -> Result<ShardResponse, WireError> {
-        conn.set_read_budget(self.read_budget_for(request))?;
+        conn.transport
+            .set_read_budget(self.read_budget_for(request))?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let encoding = self.frame_encoding();
-        let response = FRAME_SCRATCH.with(|cell| {
+        let result = FRAME_SCRATCH.with(|cell| {
             let scratch = &mut cell.borrow_mut();
-            let sent = write_request_frame(&mut conn, id, request, encoding, scratch)?;
+            let sent = write_request_frame_dict(
+                &mut conn.transport,
+                id,
+                request,
+                encoding,
+                scratch,
+                &mut conn.codec.tx,
+            )?;
             self.counters.bytes_sent.fetch_add(sent, Ordering::Relaxed);
             let (_, response, received) =
-                read_response_frame(&mut conn, scratch)?.ok_or_else(|| {
-                    WireError::Io(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "shard closed the connection before answering",
-                    ))
-                })?;
+                read_response_frame_dict(&mut conn.transport, scratch, &mut conn.codec.rx)?
+                    .ok_or_else(|| {
+                        WireError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "shard closed the connection before answering",
+                        ))
+                    })?;
             self.counters
                 .bytes_received
                 .fetch_add(received, Ordering::Relaxed);
             Ok::<ShardResponse, WireError>(response)
-        })?;
-        if conn.is_ring() {
+        });
+        // Drain on every outcome — a failed exchange's defines are still
+        // real table entries the peer may reference.
+        let (defines, hits) = conn.codec.take_counts();
+        self.counters.note_dict(defines, hits);
+        let response = result?;
+        if conn.transport.is_ring() {
             self.counters.ring_exchanges.fetch_add(1, Ordering::Relaxed);
         }
         // A protocol-level rejection may leave the server about to close
@@ -771,27 +853,28 @@ impl ConnectionPool {
             .iter()
             .map(|request| self.read_budget_for(request))
             .fold(Duration::ZERO, Duration::saturating_add);
-        conn.set_read_budget(budget)?;
+        conn.transport.set_read_budget(budget)?;
         let first_id = self
             .next_id
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
         let encoding = self.frame_encoding();
-        let responses = FRAME_SCRATCH.with(|cell| {
+        let result = FRAME_SCRATCH.with(|cell| {
             let scratch = &mut cell.borrow_mut();
             BURST_SCRATCH.with(|burst_cell| {
                 let burst = &mut burst_cell.borrow_mut();
                 burst.clear();
                 for (offset, request) in requests.iter().enumerate() {
-                    write_request_frame(
+                    write_request_frame_dict(
                         &mut **burst,
                         first_id + offset as u64,
                         request,
                         encoding,
                         scratch,
+                        &mut conn.codec.tx,
                     )?;
                 }
-                conn.write_all(burst)?;
-                conn.flush()?;
+                conn.transport.write_all(burst)?;
+                conn.transport.flush()?;
                 self.counters
                     .bytes_sent
                     .fetch_add(burst.len() as u64, Ordering::Relaxed);
@@ -799,13 +882,14 @@ impl ConnectionPool {
             })?;
             let mut responses = Vec::with_capacity(requests.len());
             for offset in 0..requests.len() as u64 {
-                let (id, response, received) = read_response_frame(&mut conn, scratch)?
-                    .ok_or_else(|| {
-                        WireError::Io(std::io::Error::new(
-                            std::io::ErrorKind::UnexpectedEof,
-                            "shard closed the connection mid-burst",
-                        ))
-                    })?;
+                let (id, response, received) =
+                    read_response_frame_dict(&mut conn.transport, scratch, &mut conn.codec.rx)?
+                        .ok_or_else(|| {
+                            WireError::Io(std::io::Error::new(
+                                std::io::ErrorKind::UnexpectedEof,
+                                "shard closed the connection mid-burst",
+                            ))
+                        })?;
                 self.counters
                     .bytes_received
                     .fetch_add(received, Ordering::Relaxed);
@@ -818,11 +902,14 @@ impl ConnectionPool {
                 responses.push(response);
             }
             Ok::<Vec<ShardResponse>, WireError>(responses)
-        })?;
+        });
+        let (defines, hits) = conn.codec.take_counts();
+        self.counters.note_dict(defines, hits);
+        let responses = result?;
         self.counters
             .frames_coalesced
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
-        if conn.is_ring() {
+        if conn.transport.is_ring() {
             self.counters
                 .ring_exchanges
                 .fetch_add(requests.len() as u64, Ordering::Relaxed);
@@ -969,11 +1056,11 @@ mod tests {
         // health probe sees a dead socket at the next checkout.
         {
             let idle = pool.idle.lock().expect("idle lock");
-            match &idle[0] {
-                PooledConn::Tcp(stream) => stream
+            match &idle[0].transport {
+                Transport::Tcp(stream) => stream
                     .shutdown(std::net::Shutdown::Both)
                     .expect("shutdown idle conn"),
-                PooledConn::Ring(_) => unreachable!("the test peer never offers a ring"),
+                Transport::Ring(_) => unreachable!("the test peer never offers a ring"),
             }
         }
         let response = pool.exchange(&probe_request()).expect("exchange survives");

@@ -54,14 +54,15 @@
 //! frees a slot — TCP flow control pushes back to the client, whose own
 //! `Multiplexer` blocks submitters on the same window.
 
+use crate::binary::{ConnCodec, RxSymbols, TxSymbols};
 use crate::config::EncodingPolicy;
 use crate::pool::PoolCounters;
 use crate::request::{BackendSelector, EvalResponse, Priority};
 use crate::service::EvalService;
 use crate::wire::{
-    decode_request_payload, decode_response_payload, write_request_frame, write_response_frame,
-    FrameBuffer, ShardRequest, ShardResponse, SharedResult, WireEncoding, WireError,
-    LATENCY_STATS_PROTOCOL, MUX_PROTOCOL, PROTOCOL_VERSION,
+    decode_request_payload_dict, decode_response_payload_dict, write_request_frame_dict,
+    write_response_frame, write_response_frame_dict, FrameBuffer, ShardRequest, ShardResponse,
+    SharedResult, WireEncoding, WireError, LATENCY_STATS_PROTOCOL, MUX_PROTOCOL, PROTOCOL_VERSION,
 };
 use rsn_eval::EvalError;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -465,6 +466,10 @@ struct Conn {
     interest: u8,
     dead: bool,
     last_activity: Instant,
+    /// Protocol-7 symbol dictionaries: `rx` interns the labels this peer
+    /// defines in its request frames, `tx` tracks what this side has
+    /// defined in its responses.  Reset with the connection, never shared.
+    codec: ConnCodec,
 }
 
 impl Conn {
@@ -485,6 +490,7 @@ impl Conn {
             interest: INTEREST_READ,
             dead: false,
             last_activity: Instant::now(),
+            codec: ConnCodec::new(),
         }
     }
 
@@ -500,20 +506,36 @@ impl Conn {
 
 /// Encodes one response frame into a fresh buffer; a response too large
 /// for the frame bound degrades to a protocol-level rejection so the
-/// connection (and, for FIFO peers, the response order) survives.
+/// connection (and, for FIFO peers, the response order) survives.  A
+/// *dictionary* frame that hits the bound also winds the connection down:
+/// the symbol table may have advanced past the discarded frame, so later
+/// references would desynchronise the peer.
 fn encode_response(
+    conn: &mut Conn,
     id: u64,
     response: &ShardResponse,
     encoding: WireEncoding,
     scratch: &mut Vec<u8>,
 ) -> Vec<u8> {
     let mut bytes = Vec::new();
-    if write_response_frame(&mut bytes, id, response, encoding, scratch).is_ok() {
+    if write_response_frame_dict(
+        &mut bytes,
+        id,
+        response,
+        encoding,
+        scratch,
+        &mut conn.codec.tx,
+    )
+    .is_ok()
+    {
         return bytes;
     }
     bytes.clear();
     let fallback = ShardResponse::Rejected("response exceeded the frame bound".to_string());
     let _ = write_response_frame(&mut bytes, id, &fallback, WireEncoding::Json, scratch);
+    if encoding == WireEncoding::BinaryDict {
+        conn.closing = true;
+    }
     bytes
 }
 
@@ -576,21 +598,41 @@ fn handle_frame(
     policy: EncodingPolicy,
     scratch: &mut Vec<u8>,
 ) {
-    let Ok((id, request, request_encoding)) = decode_request_payload(payload) else {
+    let Ok((id, request, request_encoding)) =
+        decode_request_payload_dict(payload, &mut conn.codec.rx)
+    else {
         // The encoding never decoded, so answer in JSON (readable by every
         // protocol version) and wind the connection down: after a framing
         // error the stream position cannot be trusted.
         let rejection = ShardResponse::Rejected("malformed frame".to_string());
-        let bytes = encode_response(0, &rejection, WireEncoding::Json, scratch);
+        let bytes = encode_response(conn, 0, &rejection, WireEncoding::Json, scratch);
         conn.out.extend_from_slice(&bytes);
         conn.closing = true;
         return;
     };
-    let encoding = match policy {
+    let mut encoding = match policy {
         EncodingPolicy::Auto => request_encoding,
         EncodingPolicy::Json => WireEncoding::Json,
-        EncodingPolicy::Binary => WireEncoding::Binary,
+        // Forced binary still mirrors the *dictness* of each request: a
+        // dictionary frame gets a dictionary answer, a plain one stays
+        // plain, so pre-v7 peers never see a stateful frame.
+        EncodingPolicy::Binary => {
+            if request_encoding == WireEncoding::BinaryDict {
+                WireEncoding::BinaryDict
+            } else {
+                WireEncoding::Binary
+            }
+        }
+        EncodingPolicy::BinaryNodict => WireEncoding::Binary,
     };
+    // Dictionary responses require encode order == wire order, and the
+    // FIFO hold below releases out-of-order completions in *request*
+    // order.  A peer that sends dictionary frames before its protocol-5
+    // hello (no conforming client does) therefore gets plain binary,
+    // which every dict-capable client decodes statelessly.
+    if encoding == WireEncoding::BinaryDict && conn.fifo() {
+        encoding = WireEncoding::Binary;
+    }
     // FIFO bookkeeping uses the protocol in force when the frame arrived;
     // a hello upgrades the *following* frames.
     if conn.fifo() && !matches!(request, ShardRequest::Cancel { .. }) {
@@ -607,7 +649,7 @@ fn handle_frame(
                 ring: None,
                 window: (protocol >= MUX_PROTOCOL).then_some(CREDIT_WINDOW),
             };
-            let bytes = encode_response(id, &response, encoding, scratch);
+            let bytes = encode_response(conn, id, &response, encoding, scratch);
             // The hello itself was enqueued under the peer's *old*
             // protocol, so release it through the same path.
             if conn.order.back() == Some(&id) {
@@ -622,7 +664,7 @@ fn handle_frame(
                 Some(supported) => ShardResponse::Supported(supported),
                 None => ShardResponse::Rejected(format!("unknown backend `{backend}`")),
             };
-            let bytes = encode_response(id, &response, encoding, scratch);
+            let bytes = encode_response(conn, id, &response, encoding, scratch);
             queue_response(conn, id, bytes);
         }
         ShardRequest::Stats => {
@@ -633,7 +675,7 @@ fn handle_frame(
                 stats.classes.clear();
             }
             let response = ShardResponse::Stats(stats);
-            let bytes = encode_response(id, &response, encoding, scratch);
+            let bytes = encode_response(conn, id, &response, encoding, scratch);
             queue_response(conn, id, bytes);
         }
         ShardRequest::Cancel { target } => {
@@ -690,7 +732,7 @@ fn submit_eval(
 ) {
     if !service.backend_names().contains(&backend) {
         let rejection = ShardResponse::Rejected(format!("unknown backend `{backend}`"));
-        let bytes = encode_response(id, &rejection, encoding, scratch);
+        let bytes = encode_response(conn, id, &rejection, encoding, scratch);
         queue_response(conn, id, bytes);
         return;
     }
@@ -742,7 +784,7 @@ fn drain_frames(
             Ok(false) => break,
             Err(error) => {
                 let rejection = ShardResponse::Rejected(error.to_string());
-                let bytes = encode_response(0, &rejection, WireEncoding::Json, scratch);
+                let bytes = encode_response(conn, 0, &rejection, WireEncoding::Json, scratch);
                 conn.out.extend_from_slice(&bytes);
                 conn.closing = true;
             }
@@ -891,7 +933,7 @@ pub(crate) fn serve_reactor(
                 continue;
             }
             let response = completed_response(entry.response, entry.expected, entry.single);
-            let bytes = encode_response(entry.id, &response, entry.encoding, &mut scratch);
+            let bytes = encode_response(conn, entry.id, &response, entry.encoding, &mut scratch);
             queue_response(conn, entry.id, bytes);
             if conn.inflight == 0 {
                 conn.cancelled.clear();
@@ -975,6 +1017,10 @@ struct MuxState {
     /// Encoded request frames waiting for the reactor thread to write.
     outbound: Vec<u8>,
     pending: PendingMap,
+    /// Protocol-7 request-direction symbol table.  Lives under the state
+    /// lock so encode order always equals wire order: frames append to
+    /// `outbound` in the same critical section that advances the table.
+    tx: TxSymbols,
 }
 
 #[derive(Debug)]
@@ -986,6 +1032,9 @@ struct MuxShared {
     wake: WakePipe,
     dead: AtomicBool,
     window: u64,
+    /// Frame encoding negotiated for this connection (`BinaryDict` against
+    /// protocol-7 shards, plain `Binary` otherwise).
+    encoding: WireEncoding,
     counters: Arc<PoolCounters>,
 }
 
@@ -1026,28 +1075,53 @@ fn timeout_error(what: &str) -> WireError {
 impl Multiplexer {
     /// Takes ownership of a freshly dialled stream and starts the reactor
     /// thread.  `window` is the shard's advertised credit window,
+    /// `encoding` the frame encoding negotiated for the connection, and
     /// `io_timeout` bounds how long the reactor lets pending output stall
     /// against a full socket before declaring the connection dead.
     pub fn start(
         stream: TcpStream,
         window: u64,
+        encoding: WireEncoding,
         counters: Arc<PoolCounters>,
         io_timeout: Duration,
     ) -> Result<Multiplexer, WireError> {
         stream.set_nonblocking(true)?;
         let _ = stream.set_nodelay(true);
         let wake = WakePipe::new()?;
+        // The connection's own `hello` goes out as its very first frame.
+        // The pool negotiated protocol and window on a *different*
+        // connection, and the shard tracks versions per connection: without
+        // this, a reactor-fronted shard would treat the mux connection as a
+        // pre-v5 FIFO peer — holding completions in request order and
+        // downgrading protocol-7 dictionary responses to plain binary.  Id
+        // 0 is below `next_id`'s floor, so the `backends` answer falls into
+        // the unknown-id drop path like any cancelled response.
+        let mut outbound = Vec::new();
+        let mut tx = TxSymbols::new();
+        let mut scratch = Vec::new();
+        write_request_frame_dict(
+            &mut outbound,
+            0,
+            &ShardRequest::Hello {
+                protocol: PROTOCOL_VERSION,
+            },
+            encoding,
+            &mut scratch,
+            &mut tx,
+        )?;
         let shared = Arc::new(MuxShared {
             state: Mutex::new(MuxState {
                 next_id: 1,
                 in_use: 0,
-                outbound: Vec::new(),
+                outbound,
                 pending: HashMap::new(),
+                tx,
             }),
             credits: Condvar::new(),
             wake,
             dead: AtomicBool::new(false),
             window: window.max(1),
+            encoding,
             counters,
         });
         let thread = {
@@ -1173,14 +1247,21 @@ impl Multiplexer {
         let (tx, rx) = mpsc::channel();
         state.pending.insert(id, tx);
         let mut scratch = Vec::new();
-        match write_request_frame(
-            &mut state.outbound,
+        // Split the guard so the outbound buffer and the symbol table can
+        // be borrowed together; encoding under the lock keeps table order
+        // equal to wire order across concurrent submitters.
+        let inner = &mut *state;
+        match write_request_frame_dict(
+            &mut inner.outbound,
             id,
             request,
-            WireEncoding::Binary,
+            shared.encoding,
             &mut scratch,
+            &mut inner.tx,
         ) {
             Ok(bytes) => {
+                let (defines, hits) = inner.tx.take_counts();
+                shared.counters.note_dict(defines, hits);
                 shared
                     .counters
                     .bytes_sent
@@ -1190,6 +1271,14 @@ impl Multiplexer {
                 state.pending.remove(&id);
                 state.in_use -= 1;
                 shared.credits.notify_all();
+                if shared.encoding == WireEncoding::BinaryDict {
+                    // The failed encode may have advanced the symbol table
+                    // past a frame the shard will never see; the stream is
+                    // unrecoverable, so fail the connection (the pool
+                    // falls back to a fresh one).
+                    shared.dead.store(true, Ordering::Release);
+                    shared.wake.wake();
+                }
                 return Err(error);
             }
         }
@@ -1210,12 +1299,17 @@ impl Multiplexer {
         let cancel_id = state.next_id;
         state.next_id += 1;
         let mut scratch = Vec::new();
-        if let Ok(bytes) = write_request_frame(
-            &mut state.outbound,
+        // Cancel frames carry no labels (the dict encoder emits them as
+        // plain frames), but routing them through the same writer keeps
+        // one code path per connection.
+        let inner = &mut *state;
+        if let Ok(bytes) = write_request_frame_dict(
+            &mut inner.outbound,
             cancel_id,
             &ShardRequest::Cancel { target: id },
-            WireEncoding::Binary,
+            shared.encoding,
             &mut scratch,
+            &mut inner.tx,
         ) {
             shared
                 .counters
@@ -1268,6 +1362,9 @@ fn mux_loop(mut stream: TcpStream, shared: &Arc<MuxShared>, io_timeout: Duration
         let mut payload = Vec::new();
         let mut events = Vec::new();
         let mut stalled_since: Option<Instant> = None;
+        // Response-direction symbol table: only this thread decodes, so it
+        // never needs the state lock.
+        let mut rx_symbols = RxSymbols::new();
         loop {
             if shared.dead.load(Ordering::Acquire) {
                 return Err(());
@@ -1361,9 +1458,13 @@ fn mux_loop(mut stream: TcpStream, shared: &Arc<MuxShared>, io_timeout: Duration
                                 .counters
                                 .bytes_received
                                 .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
-                            let Ok((id, response)) = decode_response_payload(&payload) else {
+                            let Ok((id, response)) =
+                                decode_response_payload_dict(&payload, &mut rx_symbols)
+                            else {
                                 return Err(()); // desync: abandon the connection
                             };
+                            let (defines, hits) = rx_symbols.take_counts();
+                            shared.counters.note_dict(defines, hits);
                             let mut state = shared.state.lock().expect("mux state lock");
                             if let Some(tx) = state.pending.remove(&id) {
                                 state.in_use -= 1;
@@ -1507,6 +1608,22 @@ mod tests {
                 if matches!(request, ShardRequest::Cancel { .. }) {
                     continue; // cancels get no reply and consume no script slot
                 }
+                if matches!(request, ShardRequest::Hello { .. }) {
+                    // The mux opens every connection with a hello; answer it
+                    // out-of-script (the client drops the reply by id anyway).
+                    let mut out = Vec::new();
+                    let backends = ShardResponse::Backends {
+                        names: Vec::new(),
+                        protocol: PROTOCOL_VERSION,
+                        ring: None,
+                        window: Some(1),
+                    };
+                    if write_response_frame(&mut stream, id, &backends, encoding, &mut out).is_err()
+                    {
+                        return;
+                    }
+                    continue;
+                }
                 let delay = delays.get(served).copied().unwrap_or(Some(Duration::ZERO));
                 served += 1;
                 match delay {
@@ -1541,9 +1658,13 @@ mod tests {
 
     fn budget_mux(addr: std::net::SocketAddr, window: u64) -> Multiplexer {
         let stream = TcpStream::connect(addr).expect("connect scripted shard");
+        // Plain binary keeps the scripted shard's stateless frame reader
+        // valid; dictionary frames are exercised by the wire and loopback
+        // suites.
         Multiplexer::start(
             stream,
             window,
+            WireEncoding::Binary,
             Arc::new(PoolCounters::default()),
             Duration::from_secs(5),
         )

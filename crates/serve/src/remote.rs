@@ -41,6 +41,7 @@
 //! failures are never retained by the report cache: a restarted shard
 //! serves the next request for the same spec normally.
 
+use crate::binary::{ConnCodec, RxSymbols, TxSymbols};
 use crate::config::{EncodingPolicy, FrontendPolicy, RemoteConfig, TransportPolicy};
 use crate::pool::ConnectionPool;
 use crate::request::ResponseHandle;
@@ -48,8 +49,9 @@ use crate::service::EvalService;
 use crate::shm::{self, Direction, Parker, RingConsumer, RingProducer, Segment};
 use crate::stats::ServiceStats;
 use crate::wire::{
-    decode_request_payload, write_response_frame, FrameBuffer, ShardRequest, ShardResponse,
-    SharedResult, WireEncoding, WireError, LATENCY_STATS_PROTOCOL, PROTOCOL_VERSION,
+    decode_request_payload_dict, write_response_frame, write_response_frame_dict, FrameBuffer,
+    ShardRequest, ShardResponse, SharedResult, WireEncoding, WireError, LATENCY_STATS_PROTOCOL,
+    PROTOCOL_VERSION,
 };
 use rsn_eval::{Backend, EvalError, EvalReport, WorkloadSpec};
 use std::collections::HashMap;
@@ -290,6 +292,11 @@ fn serve_connection(
     let mut out = Vec::new();
     let mut socket_frames = FrameBuffer::new();
     let mut ring: Option<ServerRing> = None;
+    // This connection's protocol-7 symbol dictionaries: `rx` resolves the
+    // client's label ids, `tx` defines ours.  One codec per connection —
+    // the ring phase continues the socket phase's tables, because a ring
+    // upgrade is the same connection on a different byte channel.
+    let mut codec = ConnCodec::new();
     // The peer's protocol version, learned from its hello.  Clients that
     // skip the hello are assumed v1 — the conservative answer shape.
     let mut peer_protocol: u64 = 1;
@@ -297,7 +304,7 @@ fn serve_connection(
     // Socket phase: blocking reads with the idle timeout doing the
     // reaping, until (if ever) a hello negotiates a ring.
     while ring.is_none() {
-        let burst = match drain_burst(&mut socket_frames, &mut scratch) {
+        let burst = match drain_burst(&mut socket_frames, &mut scratch, &mut codec.rx) {
             Ok(burst) => burst,
             Err(error) => {
                 reject_unframeable(&mut stream, &error, &mut scratch);
@@ -331,7 +338,7 @@ fn serve_connection(
             false,
         );
         out.clear();
-        if encode_responses(&mut out, &responses, &mut scratch).is_err() {
+        if encode_responses(&mut out, &responses, &mut scratch, &mut codec.tx).is_err() {
             return;
         }
         if stream.write_all(&out).is_err() {
@@ -372,7 +379,7 @@ fn serve_connection(
                 Err(_) => return, // corrupt cursors: abandon the connection
             }
         }
-        let socket_burst = match drain_burst(&mut socket_frames, &mut scratch) {
+        let socket_burst = match drain_burst(&mut socket_frames, &mut scratch, &mut codec.rx) {
             Ok(burst) => burst,
             Err(error) => {
                 reject_unframeable(&mut stream, &error, &mut scratch);
@@ -392,7 +399,7 @@ fn serve_connection(
                 false,
             );
             out.clear();
-            if encode_responses(&mut out, &responses, &mut scratch).is_err() {
+            if encode_responses(&mut out, &responses, &mut scratch, &mut codec.tx).is_err() {
                 return;
             }
             if write_all_nonblocking(&mut stream, &out, idle_timeout).is_err() {
@@ -401,7 +408,7 @@ fn serve_connection(
         }
         let ring_burst = {
             let server_ring = ring.as_mut().expect("ring phase");
-            match drain_burst(&mut server_ring.frames, &mut scratch) {
+            match drain_burst(&mut server_ring.frames, &mut scratch, &mut codec.rx) {
                 Ok(burst) => burst,
                 Err(_) => return, // garbage on the ring: abandon it
             }
@@ -419,7 +426,7 @@ fn serve_connection(
                 true,
             );
             out.clear();
-            if encode_responses(&mut out, &responses, &mut scratch).is_err() {
+            if encode_responses(&mut out, &responses, &mut scratch, &mut codec.tx).is_err() {
                 return;
             }
             let server_ring = ring.as_mut().expect("ring phase");
@@ -439,14 +446,16 @@ fn serve_connection(
     }
 }
 
-/// Extracts and decodes every complete frame currently buffered.
+/// Extracts and decodes every complete frame currently buffered,
+/// resolving dictionary frames against the connection's receive table.
 fn drain_burst(
     frames: &mut FrameBuffer,
     scratch: &mut Vec<u8>,
+    rx: &mut RxSymbols,
 ) -> Result<Vec<(u64, ShardRequest, WireEncoding)>, WireError> {
     let mut burst = Vec::new();
     while frames.take_frame(scratch)? {
-        burst.push(decode_request_payload(scratch)?);
+        burst.push(decode_request_payload_dict(scratch, rx)?);
     }
     Ok(burst)
 }
@@ -495,13 +504,23 @@ fn answer_burst(
     let staged: Vec<(u64, Staged, WireEncoding)> = burst
         .into_iter()
         .map(|(id, request, request_encoding)| {
-            // `Auto` mirrors the request's encoding, so v1/v2 JSON clients
-            // and v3+ binary clients are both answered in what they speak;
-            // forcing `json` keeps a shard's answers human-readable.
+            // `Auto` mirrors the request's encoding, so v1/v2 JSON clients,
+            // v3–v6 binary clients and v7 dictionary clients are each
+            // answered in what they speak; forcing `json` keeps a shard's
+            // answers human-readable.  `Binary` upgrades to dictionaries
+            // only when the request proves the peer resolves them, and
+            // `BinaryNodict` pins plain binary even then.
             let encoding = match remote.encoding {
                 EncodingPolicy::Auto => request_encoding,
                 EncodingPolicy::Json => WireEncoding::Json,
-                EncodingPolicy::Binary => WireEncoding::Binary,
+                EncodingPolicy::Binary => {
+                    if request_encoding == WireEncoding::BinaryDict {
+                        WireEncoding::BinaryDict
+                    } else {
+                        WireEncoding::Binary
+                    }
+                }
+                EncodingPolicy::BinaryNodict => WireEncoding::Binary,
             };
             (
                 id,
@@ -708,9 +727,10 @@ fn encode_responses(
     out: &mut Vec<u8>,
     responses: &[(u64, ShardResponse, WireEncoding)],
     scratch: &mut Vec<u8>,
+    tx: &mut TxSymbols,
 ) -> Result<(), WireError> {
     for (id, response, encoding) in responses {
-        write_response_frame(out, *id, response, *encoding, scratch)?;
+        write_response_frame_dict(out, *id, response, *encoding, scratch, tx)?;
     }
     Ok(())
 }

@@ -402,6 +402,13 @@ pub struct PoolStats {
     /// Routing decisions that skipped this pool because its breaker was
     /// open (the fast-fail path — no connection was attempted).
     pub breaker_fast_fails: u64,
+    /// Labels first-seen on protocol-7 connections and entered into a
+    /// per-connection symbol dictionary (each define costs one inline
+    /// string on the wire; every later use is a bare varint id).
+    pub dict_defines: u64,
+    /// Label occurrences resolved through a protocol-7 symbol dictionary
+    /// instead of re-sending the string bytes — the dictionary's saving.
+    pub dict_hits: u64,
 }
 
 impl PoolStats {

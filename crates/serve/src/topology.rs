@@ -47,7 +47,7 @@
 //!   `hello` handshake, with an optional per-shard worker `weight`
 //!   (heavier shards get proportionally more client-side worker threads),
 //!   `pool_size` (connection-pool bound override), `encoding`
-//!   (`auto`/`json`/`binary` wire-encoding override — force `json` on one
+//!   (`auto`/`json`/`binary`/`binary_nodict` wire-encoding override — force `json` on one
 //!   shard to debug its traffic while the fleet stays binary) and
 //!   `transport` (`auto`/`socket`/`shm` — whether the client accepts a
 //!   shard's shared-memory ring offer; see [`crate::shm`]);
@@ -516,12 +516,14 @@ fn decode_transport(value: &JsonValue, ctx: &str) -> Result<TransportPolicy, Dec
     }
 }
 
-/// Decodes an `"auto"`/`"json"`/`"binary"` encoding spelling.
+/// Decodes an `"auto"`/`"json"`/`"binary"`/`"binary_nodict"` encoding spelling.
 fn decode_encoding(value: &JsonValue, ctx: &str) -> Result<EncodingPolicy, DecodeError> {
     match value {
         JsonValue::Str(text) => EncodingPolicy::parse(text).ok_or_else(|| DecodeError {
             context: ctx.to_string(),
-            message: format!("`encoding`: unknown policy `{text}` (auto, json or binary)"),
+            message: format!(
+                "`encoding`: unknown policy `{text}` (auto, json, binary or binary_nodict)"
+            ),
         }),
         _ => Err(DecodeError {
             context: ctx.to_string(),

@@ -57,6 +57,19 @@
 //! the echoed request id) and may the client send `cancel` frames; against
 //! any older peer both sides keep the strict-FIFO one-response-per-request
 //! discipline, byte-identically to v4.
+//!
+//! Version 7 adds per-connection symbol dictionaries and bitmap-compact
+//! report framing ([`binary::DICT_MAGIC`], `0xB7`).  Unlike every earlier
+//! encoding, a dictionary frame reads and writes *connection state* — the
+//! per-direction symbol tables that resolve label ids — so the stateless
+//! entry points here never emit or accept one: [`write_request_frame`]
+//! treats [`WireEncoding::BinaryDict`] as plain binary, and the plain
+//! decoders reject `0xB7` payloads outright.  Connection owners (the pool,
+//! the reactor, the threads front end) thread their
+//! [`binary::TxSymbols`]/[`binary::RxSymbols`] halves through the `_dict`
+//! variants instead.  Negotiation stays hello-driven: both sides must
+//! advertise ≥ 7 before either emits a dictionary frame, so a v7 client
+//! against a v6 shard produces byte-identical v6 framing.
 
 use crate::binary;
 use crate::json::{self, DecodeError, JsonParseError, JsonValue};
@@ -83,10 +96,12 @@ pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 /// hello request, a credit `window` in the hello response, out-of-order
 /// response completion matched by id, and the `cancel` frame — see
 /// [`crate::reactor`]); version 6 adds the trailing per-class latency
-/// section in stats documents ([`crate::stats::ClassStats`]).  The hello
-/// exchange advertises the version both ways so each side can negotiate
-/// fallbacks against older peers.
-pub const PROTOCOL_VERSION: u64 = 6;
+/// section in stats documents ([`crate::stats::ClassStats`]); version 7
+/// adds per-connection symbol dictionaries and bitmap-compact report
+/// frames ([`crate::binary::DICT_MAGIC`]).  The hello exchange advertises
+/// the version both ways so each side can negotiate fallbacks against
+/// older peers.
+pub const PROTOCOL_VERSION: u64 = 7;
 
 /// The protocol version that introduced request multiplexing.  Capability
 /// checks for credit windows and out-of-order completion compare against
@@ -100,6 +115,12 @@ pub(crate) const MUX_PROTOCOL: u64 = 5;
 /// trailing bytes they do not know.
 pub(crate) const LATENCY_STATS_PROTOCOL: u64 = 6;
 
+/// The protocol version that introduced per-connection symbol dictionaries
+/// and bitmap report frames.  Both sides must advertise at least this
+/// before either may put a [`binary::DICT_MAGIC`] frame on the wire; any
+/// older peer gets byte-identical v6 framing.
+pub(crate) const DICT_PROTOCOL: u64 = 7;
+
 /// The encoding of one frame on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireEncoding {
@@ -107,6 +128,11 @@ pub enum WireEncoding {
     Json,
     /// The compact binary codec (protocol ≥ 3).
     Binary,
+    /// The binary codec with per-connection symbol dictionaries and bitmap
+    /// report frames (protocol ≥ 7).  Stateful: frames in this encoding
+    /// must travel through the `_dict` functions with the connection's
+    /// symbol tables; the stateless writers fall back to plain binary.
+    BinaryDict,
 }
 
 /// A transport-layer failure: the connection died, a frame was malformed,
@@ -305,11 +331,37 @@ pub fn write_request_frame(
 ) -> Result<u64, WireError> {
     begin_frame(scratch);
     match encoding {
-        WireEncoding::Binary => binary::encode_request(scratch, id, request),
+        // Stateless entry point: without the connection's symbol tables,
+        // BinaryDict degrades to the plain image, which every ≥ v3 peer
+        // decodes.  Dictionary frames go through
+        // [`write_request_frame_dict`].
+        WireEncoding::Binary | WireEncoding::BinaryDict => {
+            binary::encode_request(scratch, id, request)
+        }
         WireEncoding::Json => {
             scratch.extend_from_slice(request.to_json(id).to_pretty().as_bytes());
         }
     }
+    write_framed(writer, scratch)
+}
+
+/// Writes one request frame against the connection's transmit-side symbol
+/// table.  Only meaningful with [`WireEncoding::BinaryDict`]; other
+/// encodings behave exactly like [`write_request_frame`] (the table is
+/// untouched).  Returns the bytes put on the wire.
+pub fn write_request_frame_dict(
+    writer: &mut impl Write,
+    id: u64,
+    request: &ShardRequest,
+    encoding: WireEncoding,
+    scratch: &mut Vec<u8>,
+    tx: &mut binary::TxSymbols,
+) -> Result<u64, WireError> {
+    if encoding != WireEncoding::BinaryDict {
+        return write_request_frame(writer, id, request, encoding, scratch);
+    }
+    begin_frame(scratch);
+    binary::encode_request_dict(scratch, id, request, tx);
     write_framed(writer, scratch)
 }
 
@@ -324,11 +376,32 @@ pub fn write_response_frame(
 ) -> Result<u64, WireError> {
     begin_frame(scratch);
     match encoding {
-        WireEncoding::Binary => binary::encode_response(scratch, id, response),
+        // Stateless fallback — see [`write_request_frame`].
+        WireEncoding::Binary | WireEncoding::BinaryDict => {
+            binary::encode_response(scratch, id, response)
+        }
         WireEncoding::Json => {
             scratch.extend_from_slice(response.to_json(id).to_pretty().as_bytes());
         }
     }
+    write_framed(writer, scratch)
+}
+
+/// Writes one response frame against the connection's transmit-side symbol
+/// table — the server-side counterpart of [`write_request_frame_dict`].
+pub fn write_response_frame_dict(
+    writer: &mut impl Write,
+    id: u64,
+    response: &ShardResponse,
+    encoding: WireEncoding,
+    scratch: &mut Vec<u8>,
+    tx: &mut binary::TxSymbols,
+) -> Result<u64, WireError> {
+    if encoding != WireEncoding::BinaryDict {
+        return write_response_frame(writer, id, response, encoding, scratch);
+    }
+    begin_frame(scratch);
+    binary::encode_response_dict(scratch, id, response, tx);
     write_framed(writer, scratch)
 }
 
@@ -354,12 +427,34 @@ pub fn read_request_frame(
 pub fn decode_request_payload(
     payload: &[u8],
 ) -> Result<(u64, ShardRequest, WireEncoding), WireError> {
+    if payload.first() == Some(&binary::DICT_MAGIC) {
+        return Err(WireError::Decode(DecodeError {
+            context: "ShardRequest".to_string(),
+            message: "dictionary frame on a connection without dictionary state".to_string(),
+        }));
+    }
     if payload.first() == Some(&binary::MAGIC) {
         let (id, request) = binary::decode_request(payload)?;
         Ok((id, request, WireEncoding::Binary))
     } else {
         let (id, request) = ShardRequest::from_json(&parse_json_payload(payload)?)?;
         Ok((id, request, WireEncoding::Json))
+    }
+}
+
+/// Decodes one request payload against the connection's receive-side
+/// symbol table, accepting all three encodings.  Frames that are not
+/// [`binary::DICT_MAGIC`] leave the table untouched — plain and dictionary
+/// frames interleave freely on a negotiated connection.
+pub fn decode_request_payload_dict(
+    payload: &[u8],
+    rx: &mut binary::RxSymbols,
+) -> Result<(u64, ShardRequest, WireEncoding), WireError> {
+    if payload.first() == Some(&binary::DICT_MAGIC) {
+        let (id, request) = binary::decode_request_dict(payload, rx)?;
+        Ok((id, request, WireEncoding::BinaryDict))
+    } else {
+        decode_request_payload(payload)
     }
 }
 
@@ -374,10 +469,26 @@ pub fn read_response_frame(
         return Ok(None);
     }
     let bytes = scratch.len() as u64 + 4;
-    let (id, response) = if scratch.first() == Some(&binary::MAGIC) {
-        binary::decode_response(scratch)?
+    let (id, response) = decode_response_payload(scratch)?;
+    Ok(Some((id, response, bytes)))
+}
+
+/// Reads and decodes one response frame against the connection's
+/// receive-side symbol table — the stateful counterpart of
+/// [`read_response_frame`] for dictionary-negotiated connections.
+pub fn read_response_frame_dict(
+    reader: &mut impl Read,
+    scratch: &mut Vec<u8>,
+    rx: &mut binary::RxSymbols,
+) -> Result<Option<(u64, ShardResponse, u64)>, WireError> {
+    if read_payload(reader, scratch)?.is_none() {
+        return Ok(None);
+    }
+    let bytes = scratch.len() as u64 + 4;
+    let (id, response) = if scratch.first() == Some(&binary::DICT_MAGIC) {
+        binary::decode_response_dict(scratch, rx)?
     } else {
-        ShardResponse::from_json(&parse_json_payload(scratch)?)?
+        decode_response_payload(scratch)?
     };
     Ok(Some((id, response, bytes)))
 }
@@ -387,10 +498,30 @@ pub fn read_response_frame(
 /// directly on payloads extracted from a [`FrameBuffer`], where responses
 /// arrive out of request order and are routed by id.
 pub fn decode_response_payload(payload: &[u8]) -> Result<(u64, ShardResponse), WireError> {
+    if payload.first() == Some(&binary::DICT_MAGIC) {
+        return Err(WireError::Decode(DecodeError {
+            context: "ShardResponse".to_string(),
+            message: "dictionary frame on a connection without dictionary state".to_string(),
+        }));
+    }
     if payload.first() == Some(&binary::MAGIC) {
         Ok(binary::decode_response(payload)?)
     } else {
         Ok(ShardResponse::from_json(&parse_json_payload(payload)?)?)
+    }
+}
+
+/// Decodes one response payload against the connection's receive-side
+/// symbol table, accepting all three encodings — the multiplexer's
+/// counterpart of [`decode_response_payload`].
+pub fn decode_response_payload_dict(
+    payload: &[u8],
+    rx: &mut binary::RxSymbols,
+) -> Result<(u64, ShardResponse), WireError> {
+    if payload.first() == Some(&binary::DICT_MAGIC) {
+        Ok(binary::decode_response_dict(payload, rx)?)
+    } else {
+        decode_response_payload(payload)
     }
 }
 
@@ -1062,6 +1193,92 @@ mod tests {
             bin_buf.len(),
             json_buf.len()
         );
+    }
+
+    #[test]
+    fn dict_frames_round_trip_and_shrink_on_reuse() {
+        let mut codec_client = binary::ConnCodec::new();
+        let mut codec_server = binary::ConnCodec::new();
+        let mut scratch = Vec::new();
+        let request = ShardRequest::Evaluate {
+            backend: "rsn-xnn".to_string(),
+            spec: WorkloadSpec::SquareGemm { n: 2048 },
+        };
+        let mut sizes = Vec::new();
+        for id in 0..3u64 {
+            let mut buffer = Vec::new();
+            let sent = write_request_frame_dict(
+                &mut buffer,
+                id,
+                &request,
+                WireEncoding::BinaryDict,
+                &mut scratch,
+                &mut codec_client.tx,
+            )
+            .expect("write dict request");
+            sizes.push(sent);
+            assert_eq!(buffer[4], binary::DICT_MAGIC);
+            // The stateless decoder must refuse what it cannot resolve.
+            assert!(matches!(
+                decode_request_payload(&buffer[4..]),
+                Err(WireError::Decode(_))
+            ));
+            let (got_id, decoded, seen) =
+                decode_request_payload_dict(&buffer[4..], &mut codec_server.rx)
+                    .expect("decode dict request");
+            assert_eq!((got_id, seen), (id, WireEncoding::BinaryDict));
+            assert_eq!(decoded, request);
+        }
+        // First frame defines "rsn-xnn"; later frames reference it by id.
+        assert!(sizes[1] < sizes[0], "reuse must shrink the frame");
+        assert_eq!(sizes[1], sizes[2]);
+        let (defines, hits) = codec_client.tx.take_counts();
+        assert_eq!((defines, hits), (1, 2));
+        let (defines, hits) = codec_server.rx.take_counts();
+        assert_eq!((defines, hits), (1, 2));
+
+        // Responses: same discipline through the server's tx table.
+        let response = ShardResponse::Evaluated(Arc::new(Ok(EvalReport::new("rsn-xnn", "w"))));
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for buffer in [&mut first, &mut second] {
+            write_response_frame_dict(
+                buffer,
+                7,
+                &response,
+                WireEncoding::BinaryDict,
+                &mut scratch,
+                &mut codec_server.tx,
+            )
+            .expect("write dict response");
+            assert!(matches!(
+                decode_response_payload(&buffer[4..]),
+                Err(WireError::Decode(_))
+            ));
+            let (id, decoded) = decode_response_payload_dict(&buffer[4..], &mut codec_client.rx)
+                .expect("decode dict response");
+            assert_eq!(id, 7);
+            assert_eq!(decoded, response);
+        }
+        assert!(second.len() < first.len());
+
+        // Messages without dictionary-worthy labels keep their plain image
+        // even through the dict writer — the magics interleave freely.
+        let mut buffer = Vec::new();
+        write_request_frame_dict(
+            &mut buffer,
+            9,
+            &ShardRequest::Stats,
+            WireEncoding::BinaryDict,
+            &mut scratch,
+            &mut codec_client.tx,
+        )
+        .expect("write stats");
+        assert_eq!(buffer[4], binary::MAGIC);
+        let (id, decoded, seen) = decode_request_payload_dict(&buffer[4..], &mut codec_server.rx)
+            .expect("plain frame through the dict decoder");
+        assert_eq!((id, seen), (9, WireEncoding::Binary));
+        assert_eq!(decoded, ShardRequest::Stats);
     }
 
     #[test]

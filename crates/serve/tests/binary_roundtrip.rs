@@ -253,6 +253,8 @@ fn random_stats(rng: &mut u64) -> ServiceStats {
                 failovers: lcg(rng) % 1_000,
                 breaker_trips: lcg(rng) % 100,
                 breaker_fast_fails: lcg(rng) % 1_000,
+                dict_defines: lcg(rng) % 10_000,
+                dict_hits: lcg(rng) % 1_000_000,
             })
             .collect(),
         // Roughly half the sweep has a populated per-class section (the
@@ -702,5 +704,216 @@ fn binary_images_are_deterministic_and_compact() {
             a.len(),
             json_len
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-7 symbol dictionaries: round-trip, compaction, hostile inputs
+// ---------------------------------------------------------------------------
+
+use rsn_serve::binary::{ConnCodec, RxSymbols};
+
+#[test]
+fn dict_messages_round_trip_identically() {
+    let mut rng = SEED ^ 9;
+    let mut client = ConnCodec::new();
+    let mut server = ConnCodec::new();
+    let mut payload = Vec::new();
+    for i in 0..SWEEP {
+        let id = lcg(&mut rng) % 1_000_000;
+        let request = random_request(&mut rng);
+        payload.clear();
+        binary::encode_request_dict(&mut payload, id, &request, &mut client.tx);
+        let decoded = if payload.first() == Some(&binary::DICT_MAGIC) {
+            binary::decode_request_dict(&payload, &mut server.rx).expect("dict request decodes")
+        } else {
+            // Label-free requests keep their plain image byte for byte.
+            let mut plain = Vec::new();
+            binary::encode_request(&mut plain, id, &request);
+            assert_eq!(payload, plain, "seed {SEED:#x} doc {i}");
+            binary::decode_request(&payload).expect("plain request decodes")
+        };
+        assert_eq!(decoded, (id, request), "seed {SEED:#x} doc {i}");
+
+        let response = random_response(&mut rng);
+        payload.clear();
+        binary::encode_response_dict(&mut payload, id, &response, &mut server.tx);
+        let (got_id, got) = if payload.first() == Some(&binary::DICT_MAGIC) {
+            binary::decode_response_dict(&payload, &mut client.rx).expect("dict response decodes")
+        } else {
+            let mut plain = Vec::new();
+            binary::encode_response(&mut plain, id, &response);
+            assert_eq!(payload, plain, "seed {SEED:#x} doc {i}");
+            binary::decode_response(&payload).expect("plain response decodes")
+        };
+        assert_eq!((got_id, got), (id, response), "seed {SEED:#x} doc {i}");
+    }
+}
+
+#[test]
+fn dict_reports_shrink_on_reuse_and_count_defines_and_hits() {
+    let mut rng = SEED ^ 10;
+    let report = random_report(&mut rng);
+    let response = ShardResponse::Evaluated(shared(Ok(report)));
+    let mut codec = ConnCodec::new();
+    let mut rx = RxSymbols::new();
+    let (mut first, mut second) = (Vec::new(), Vec::new());
+    binary::encode_response_dict(&mut first, 1, &response, &mut codec.tx);
+    binary::encode_response_dict(&mut second, 1, &response, &mut codec.tx);
+    assert!(
+        second.len() < first.len(),
+        "repeat frame ({}) must undercut the defining frame ({})",
+        second.len(),
+        first.len()
+    );
+    // And undercut the plain binary image too — that is the whole point.
+    let mut plain = Vec::new();
+    binary::encode_response(&mut plain, 1, &response);
+    assert!(
+        second.len() < plain.len(),
+        "repeat dict frame ({}) must undercut plain binary ({})",
+        second.len(),
+        plain.len()
+    );
+    assert_eq!(
+        binary::decode_response_dict(&first, &mut rx).expect("first decodes"),
+        binary::decode_response_dict(&second, &mut rx).expect("second decodes"),
+    );
+    let (tx_defines, tx_hits) = codec.tx.take_counts();
+    let (rx_defines, rx_hits) = rx.take_counts();
+    assert_eq!((tx_defines, tx_hits), (rx_defines, rx_hits));
+    // The report names a backend and a workload at minimum: at least two
+    // defines in the first frame, each re-referenced by the second.
+    assert!(tx_defines >= 2, "defines: {tx_defines}");
+    assert!(
+        tx_hits >= tx_defines,
+        "hits {tx_hits} vs defines {tx_defines}"
+    );
+}
+
+/// Hand-builds the head of a dict `supports` frame: magic, tag, id.
+fn dict_supports_head(id: u64) -> Vec<u8> {
+    let mut out = vec![binary::DICT_MAGIC, 0x02];
+    put_varint(&mut out, id);
+    out
+}
+
+#[test]
+fn dict_reference_outside_the_table_is_an_error() {
+    let mut payload = dict_supports_head(7);
+    put_varint(&mut payload, 2 + 5); // reference id 5 against an empty table
+    let mut rx = RxSymbols::new();
+    let err = binary::decode_request_dict(&payload, &mut rx).expect_err("out-of-range reference");
+    assert!(err.to_string().contains("dictionary reference"), "{err}");
+}
+
+#[test]
+fn dict_duplicate_define_is_an_error_and_never_reinterns() {
+    let spec = WorkloadSpec::SquareGemm { n: 64 };
+    let request = ShardRequest::Supports {
+        backend: "shard".to_string(),
+        spec: spec.clone(),
+    };
+    let mut codec = ConnCodec::new();
+    let mut rx = RxSymbols::new();
+    let mut first = Vec::new();
+    binary::encode_request_dict(&mut first, 1, &request, &mut codec.tx);
+    binary::decode_request_dict(&first, &mut rx).expect("defining frame decodes");
+
+    // A second define for id 0 (or any id not equal to the table length)
+    // must be rejected, not silently rebind the slot.
+    for bogus_id in [0u64, 2, 4096] {
+        let mut dup = dict_supports_head(2);
+        put_varint(&mut dup, 1); // DSTR_DEFINE
+        put_varint(&mut dup, bogus_id);
+        put_varint(&mut dup, 6);
+        dup.extend_from_slice(b"poison");
+        let err =
+            binary::decode_request_dict(&dup, &mut rx).expect_err("duplicate/out-of-order define");
+        assert!(err.to_string().contains("out of order"), "{err}");
+    }
+
+    // The original binding survives: a reference frame still resolves to
+    // the first definition.
+    let mut reference = Vec::new();
+    binary::encode_request_dict(&mut reference, 3, &request, &mut codec.tx);
+    assert!(
+        reference.windows(5).all(|w| w != b"shard"),
+        "second frame must reference, not define"
+    );
+    let (_, decoded) = binary::decode_request_dict(&reference, &mut rx).expect("reference decodes");
+    assert_eq!(
+        decoded,
+        ShardRequest::Supports {
+            backend: "shard".to_string(),
+            spec,
+        }
+    );
+}
+
+#[test]
+fn dict_define_past_the_table_bound_is_an_error() {
+    let mut codec = ConnCodec::new();
+    let mut rx = RxSymbols::new();
+    let mut payload = Vec::new();
+    // Fill the table to the bound through the real encoder.
+    for i in 0..binary::DICT_CAP {
+        let request = ShardRequest::Supports {
+            backend: format!("backend-{i:04}"),
+            spec: WorkloadSpec::SquareGemm { n: 1 },
+        };
+        payload.clear();
+        binary::encode_request_dict(&mut payload, i as u64, &request, &mut codec.tx);
+        binary::decode_request_dict(&payload, &mut rx).expect("in-bound define decodes");
+    }
+    // The encoder itself now falls back to inline strings (no table slot).
+    let overflow = ShardRequest::Supports {
+        backend: "one-too-many".to_string(),
+        spec: WorkloadSpec::SquareGemm { n: 1 },
+    };
+    payload.clear();
+    binary::encode_request_dict(&mut payload, 9_999, &overflow, &mut codec.tx);
+    binary::decode_request_dict(&payload, &mut rx).expect("inline fallback decodes");
+    // A peer that defines past the bound anyway is rejected.
+    let mut hostile = dict_supports_head(10_000);
+    put_varint(&mut hostile, 1); // DSTR_DEFINE
+    put_varint(&mut hostile, binary::DICT_CAP as u64);
+    put_varint(&mut hostile, 4);
+    hostile.extend_from_slice(b"evil");
+    let err = binary::decode_request_dict(&hostile, &mut rx).expect_err("define past the bound");
+    assert!(err.to_string().contains("table bound"), "{err}");
+}
+
+#[test]
+fn truncated_and_garbage_dict_payloads_error_never_panic() {
+    let mut codec = ConnCodec::new();
+    let request = ShardRequest::Evaluate {
+        backend: "shard".to_string(),
+        spec: WorkloadSpec::SquareGemm { n: 64 },
+    };
+    let mut whole = Vec::new();
+    binary::encode_request_dict(&mut whole, 42, &request, &mut codec.tx);
+    // Every strict prefix — including ones torn mid-define — must decode
+    // to an error against a fresh table, never panic or hang.
+    for split in 0..whole.len() {
+        let mut rx = RxSymbols::new();
+        assert!(
+            binary::decode_request_dict(&whole[..split], &mut rx).is_err(),
+            "prefix of {split} bytes must not decode"
+        );
+    }
+    // Random garbage behind the dict magic errors too (both directions).
+    let mut rng = SEED ^ 11;
+    for _ in 0..SWEEP {
+        let len = (lcg(&mut rng) % 64) as usize;
+        let mut payload: Vec<u8> = (0..len).map(|_| (lcg(&mut rng) & 0xFF) as u8).collect();
+        if payload.is_empty() {
+            continue;
+        }
+        payload[0] = binary::DICT_MAGIC;
+        let mut rx = RxSymbols::new();
+        let _ = binary::decode_request_dict(&payload, &mut rx);
+        let mut rx = RxSymbols::new();
+        let _ = binary::decode_response_dict(&payload, &mut rx);
     }
 }

@@ -284,6 +284,8 @@ fn stats_round_trip_including_per_shard_counters() {
             failovers: 1,
             breaker_trips: 1,
             breaker_fast_fails: 5,
+            dict_defines: 12,
+            dict_hits: 340,
         }],
         classes: Priority::ALL
             .iter()

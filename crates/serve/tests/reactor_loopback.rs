@@ -192,6 +192,15 @@ fn reactor_grid_is_byte_identical_to_in_process() {
     );
     assert_eq!(pool.ring_exchanges, 0, "reactor shards offer no ring");
     assert!(server.ring_segments().is_empty());
+    // Both v7 peers, both directions: the request direction interns only
+    // the two backend labels, so any define beyond those proves the shard
+    // answered with dictionary frames too (report labels interned), which
+    // requires the mux connection's own hello to have upgraded it past the
+    // strict-FIFO default.
+    assert!(
+        pool.dict_defines > 2 && pool.dict_hits > 0,
+        "protocol-7 mux must carry symbol dictionaries in both directions: {pool:?}"
+    );
 }
 
 #[test]

@@ -930,3 +930,204 @@ fn binary_encoding_negotiates_and_shrinks_the_wire() {
             .expect("local evaluates")
     );
 }
+
+#[test]
+fn version_six_shards_stay_on_plain_binary_byte_identically() {
+    // A protocol-6 shard: full binary codec, no symbol dictionaries.  A v7
+    // client under the default `auto` encoding must learn this from the
+    // hello handshake and keep every frame a plain 0xB3 image — a 0xB7
+    // dictionary frame would be rejected by the old decoder — and those
+    // plain images must be byte-identical to the v6 encoder's own output.
+    use rsn_serve::binary;
+    use rsn_serve::wire::{
+        decode_request_payload, write_response_frame, FrameBuffer, ShardRequest, ShardResponse,
+        WireEncoding,
+    };
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc as StdArc;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind v6 shard");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let dict_frames = StdArc::new(AtomicU64::new(0));
+    let binary_frames = StdArc::new(AtomicU64::new(0));
+    let seen_dict = StdArc::clone(&dict_frames);
+    let seen_binary = StdArc::clone(&binary_frames);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { break };
+            let seen_dict = StdArc::clone(&seen_dict);
+            let seen_binary = StdArc::clone(&seen_binary);
+            std::thread::spawn(move || {
+                let backend = XnnAnalyticBackend::new();
+                let mut frames = FrameBuffer::new();
+                let mut payload = Vec::new();
+                let mut scratch = Vec::new();
+                loop {
+                    match frames.take_frame(&mut payload) {
+                        Ok(true) => {}
+                        Ok(false) => match frames.fill(&mut stream) {
+                            Ok(0) | Err(_) => return,
+                            Ok(_) => continue,
+                        },
+                        Err(_) => return,
+                    }
+                    if payload.first() == Some(&binary::DICT_MAGIC) {
+                        // A real v6 decoder would choke right here.
+                        seen_dict.fetch_add(1, Ordering::SeqCst);
+                        return;
+                    }
+                    let Ok((id, request, encoding)) = decode_request_payload(&payload) else {
+                        return;
+                    };
+                    if encoding == WireEncoding::Binary {
+                        seen_binary.fetch_add(1, Ordering::SeqCst);
+                        // Pin: the v7 client's plain frames are byte-identical
+                        // to what the v6 encoder itself produces.
+                        let mut expected = Vec::new();
+                        binary::encode_request(&mut expected, id, &request);
+                        assert_eq!(payload, expected, "plain binary request image drifted");
+                    }
+                    let response = match request {
+                        ShardRequest::Hello { .. } => ShardResponse::Backends {
+                            names: vec!["rsn-xnn".to_string()],
+                            protocol: 6,
+                            ring: None,
+                            window: None,
+                        },
+                        ShardRequest::Supports { spec, .. } => {
+                            ShardResponse::Supported(backend.supports(&spec))
+                        }
+                        ShardRequest::Evaluate { spec, .. } => {
+                            ShardResponse::Evaluated(std::sync::Arc::new(backend.evaluate(&spec)))
+                        }
+                        ShardRequest::EvaluateBatch { specs, .. } => ShardResponse::EvaluatedBatch(
+                            specs
+                                .iter()
+                                .map(|spec| std::sync::Arc::new(backend.evaluate(spec)))
+                                .collect(),
+                        ),
+                        _ => ShardResponse::Rejected("unsupported on protocol 6".to_string()),
+                    };
+                    if write_response_frame(&mut stream, id, &response, encoding, &mut scratch)
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    let remotes = RemoteBackend::connect_all(&addr).expect("hello against v6 shard");
+    assert_eq!(remotes[0].pool().protocol(), Some(6));
+    let specs: Vec<WorkloadSpec> = (1..=6usize)
+        .map(|n| WorkloadSpec::SquareGemm { n: n * 96 })
+        .collect();
+    let local = XnnAnalyticBackend::new();
+    for _ in 0..2 {
+        let results = remotes[0].evaluate_many(&specs);
+        for (spec, result) in specs.iter().zip(&results) {
+            assert_eq!(
+                result.as_ref().expect("v6 shard evaluates"),
+                &local.evaluate(spec).expect("local evaluates")
+            );
+        }
+    }
+    let stats = remotes[0].pool().stats();
+    assert_eq!(
+        stats.dict_defines, 0,
+        "no dictionary state against a v6 peer"
+    );
+    assert_eq!(stats.dict_hits, 0, "no dictionary state against a v6 peer");
+    assert_eq!(
+        dict_frames.load(Ordering::SeqCst),
+        0,
+        "a 0xB7 frame reached the v6 shard"
+    );
+    assert!(
+        binary_frames.load(Ordering::SeqCst) > 0,
+        "the plain binary path was never exercised"
+    );
+}
+
+#[test]
+fn dict_encoding_negotiates_shrinks_the_wire_and_counts() {
+    use rsn_serve::{EncodingPolicy, RemoteConfig};
+
+    // One v7 shard, two clients over the same workload stream: the default
+    // auto-negotiation (which must pick the symbol dictionaries) and the
+    // `binary_nodict` escape hatch.  Identical results, fewer bytes, and
+    // the dictionary counters populate only on the negotiated client.
+    let server = ShardServer::bind("127.0.0.1:0", EvalService::new(paper_backends()))
+        .expect("bind loopback shard");
+    let addr = server.local_addr().to_string();
+    let specs: Vec<WorkloadSpec> = (1..=8usize)
+        .map(|n| WorkloadSpec::SquareGemm { n: n * 64 })
+        .collect();
+
+    let run = |encoding: EncodingPolicy| {
+        let config = RemoteConfig {
+            encoding,
+            ..RemoteConfig::default()
+        };
+        let remotes =
+            RemoteBackend::connect_all_with(&addr, config).expect("loopback shard reachable");
+        // Three passes over the same specs: the first defines every label,
+        // the rest must resolve them by reference.
+        let mut runs = Vec::new();
+        for _ in 0..3 {
+            runs.push(remotes[0].evaluate_many(&specs));
+        }
+        (runs, remotes[0].pool().stats())
+    };
+
+    let (auto_runs, auto_stats) = run(EncodingPolicy::Auto);
+    // `binary` vs `binary_nodict` both open with a binary hello, so their
+    // byte counters differ only by the dictionary encoding itself (the
+    // `auto` client's pre-negotiation hello goes out as JSON, which would
+    // skew a byte comparison on a stream this short).
+    let (dict_runs, dict_stats) = run(EncodingPolicy::Binary);
+    let (plain_runs, plain_stats) = run(EncodingPolicy::BinaryNodict);
+
+    // Identical domain results every way.
+    for (dict_run, plain_run) in dict_runs.iter().zip(&plain_runs) {
+        for (a, b) in dict_run.iter().zip(plain_run) {
+            assert_eq!(a.as_ref().expect("dict ok"), b.as_ref().expect("nodict ok"));
+        }
+    }
+    for (auto_run, dict_run) in auto_runs.iter().zip(&dict_runs) {
+        for (a, b) in auto_run.iter().zip(dict_run) {
+            assert_eq!(a.as_ref().expect("auto ok"), b.as_ref().expect("dict ok"));
+        }
+    }
+    // Auto negotiation picked the dictionaries: labels interned, then
+    // resolved by reference.
+    assert!(
+        auto_stats.dict_defines > 0,
+        "auto client never defined a symbol"
+    );
+    assert!(
+        auto_stats.dict_hits > auto_stats.dict_defines,
+        "repeated labels must resolve by reference: {} hits vs {} defines",
+        auto_stats.dict_hits,
+        auto_stats.dict_defines
+    );
+    assert!(dict_stats.dict_defines > 0 && dict_stats.dict_hits > 0);
+    // The escape hatch never touched a table...
+    assert_eq!(plain_stats.dict_defines, 0);
+    assert_eq!(plain_stats.dict_hits, 0);
+    // ...and the dictionary stream is smaller in both directions.
+    assert!(
+        dict_stats.bytes_received < plain_stats.bytes_received,
+        "dict responses must shrink the wire: {} vs {} bytes",
+        dict_stats.bytes_received,
+        plain_stats.bytes_received
+    );
+    assert!(
+        dict_stats.bytes_sent < plain_stats.bytes_sent,
+        "dict requests must shrink the wire: {} vs {} bytes",
+        dict_stats.bytes_sent,
+        plain_stats.bytes_sent
+    );
+}
